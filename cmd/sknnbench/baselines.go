@@ -1,0 +1,124 @@
+package main
+
+import (
+	"fmt"
+	mrand "math/rand"
+	"time"
+
+	"crypto/rand"
+
+	"sknn"
+	"sknn/internal/aspe"
+	"sknn/internal/dataset"
+	"sknn/internal/plainknn"
+	"sknn/internal/svdknn"
+	"sknn/internal/voronoi"
+)
+
+// baselines is an extension table: per-query latency of every approach
+// discussed in the paper's related work, at one common scale, annotated
+// with what each one leaks. It makes the security/efficiency trade-off
+// of Section 2 concrete in a single table.
+func (b *bench) baselines() error {
+	n := b.sc.secureN
+	const k = 4
+	fmt.Printf("Baseline comparison (extension): n=%d, k=%d\n", n, k)
+	fmt.Println("scheme      query-time   guarantees")
+	fmt.Println("----------  -----------  ----------")
+
+	// Plaintext kNN — no security at all, the absolute floor.
+	tbl, err := dataset.Generate(977, n, 2, 8)
+	if err != nil {
+		return err
+	}
+	q, err := dataset.GenerateQuery(978, 2, 8)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	const plainReps = 1000
+	for i := 0; i < plainReps; i++ {
+		if _, err := plainknn.KNN(tbl.Rows, q, k); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("%-10s  %11v  none (cleartext server)\n", "plaintext", time.Since(start)/plainReps)
+
+	// ASPE (Wong et al. 2009) — fast, falls to known-plaintext attack.
+	rng := mrand.New(mrand.NewSource(979))
+	key, err := aspe.GenerateKey(rng, 2)
+	if err != nil {
+		return err
+	}
+	encPts := make([][]float64, n)
+	for i, row := range tbl.Rows {
+		encPts[i], err = key.EncryptPoint([]float64{float64(row[0]), float64(row[1])})
+		if err != nil {
+			return err
+		}
+	}
+	encQ, err := key.EncryptQuery([]float64{float64(q[0]), float64(q[1])})
+	if err != nil {
+		return err
+	}
+	start = time.Now()
+	const aspeReps = 200
+	for i := 0; i < aspeReps; i++ {
+		if _, err := aspe.KNN(encPts, encQ, k); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("%-10s  %11v  broken by known-plaintext attack\n", "ASPE", time.Since(start)/aspeReps)
+
+	// SVD partitions (Yao et al. 2013) — exact 1-NN only, client-heavy,
+	// leaks access patterns.
+	sites := make([]voronoi.Point, n)
+	for i, row := range tbl.Rows {
+		sites[i] = voronoi.Point{X: float64(row[0]), Y: float64(row[1])}
+	}
+	server := svdknn.NewServer()
+	grid := 6
+	idx, err := svdknn.Build(rand.Reader, server, sites, grid)
+	if err != nil {
+		return err
+	}
+	// Clamp the query into the indexed region (the SVD scheme only
+	// answers queries inside the sites' bounding rectangle).
+	area, err := voronoi.BoundingRect(sites)
+	if err != nil {
+		return err
+	}
+	qPt := voronoi.Point{
+		X: min(max(float64(q[0]), area.MinX), area.MaxX),
+		Y: min(max(float64(q[1]), area.MinY), area.MaxY),
+	}
+	start = time.Now()
+	const svdReps = 200
+	for i := 0; i < svdReps; i++ {
+		if _, err := idx.NearestNeighbor(server, qPt); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("%-10s  %11v  1-NN only; access patterns leak; client does the scan\n",
+		"SVD", time.Since(start)/svdReps)
+
+	// SkNNb and SkNNm — this paper's protocols.
+	sys, err := sknn.New(tbl.Rows, 8, sknn.Config{Key: b.key(512)})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	start = time.Now()
+	if _, err := sys.Query(q, k, sknn.ModeBasic); err != nil {
+		return err
+	}
+	fmt.Printf("%-10s  %11v  data+query private; leaks distances+patterns to clouds\n",
+		"SkNNb", time.Since(start).Round(time.Millisecond))
+	start = time.Now()
+	if _, err := sys.Query(q, k, sknn.ModeSecure); err != nil {
+		return err
+	}
+	fmt.Printf("%-10s  %11v  full: data, query, and access patterns hidden\n",
+		"SkNNm", time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,284 @@
+// Command sknnd deploys the federated cloud across real processes and
+// machines using the TCP transport. It has four subcommands mirroring
+// the paper's parties:
+//
+//	sknnd keygen  -bits 512 -out alice.key
+//	    Alice generates her Paillier key pair.
+//
+//	sknnd encrypt -key alice.key -data data.csv -bits 8 -out table.enc
+//	    Alice encrypts her table attribute-wise for outsourcing.
+//
+//	sknnd c2 -key alice.key -listen :7002
+//	    The key cloud C2: holds the secret key, serves protocol requests.
+//
+//	sknnd c1 -table table.enc -connect host:7002 -q 1,2,3 -k 5 -mode secure [-workers 4]
+//	    The data cloud C1: holds the encrypted table, runs the protocol,
+//	    and (playing Bob as well, for CLI convenience) encrypts the query
+//	    and unmasks the result.
+//
+// The table file never contains plaintext or the secret key; C1 learns
+// nothing it wouldn't in the paper's model.
+package main
+
+import (
+	"encoding/gob"
+	"flag"
+	"fmt"
+	"log"
+	"math/big"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+
+	"sknn/internal/core"
+	"sknn/internal/dataset"
+	"sknn/internal/mpc"
+	"sknn/internal/paillier"
+	"sknn/internal/plainknn"
+
+	"crypto/rand"
+)
+
+// tableFile is the serialized outsourced database: the public key and
+// the attribute-wise ciphertexts, plus the metadata C1 needs to run
+// SkNNm (attribute domain for l).
+type tableFile struct {
+	PublicKey []byte
+	Rows      [][]*big.Int
+	AttrBits  int
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sknnd: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "keygen":
+		cmdKeygen(os.Args[2:])
+	case "encrypt":
+		cmdEncrypt(os.Args[2:])
+	case "c2":
+		cmdC2(os.Args[2:])
+	case "c1":
+		cmdC1(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: sknnd {keygen|encrypt|c2|c1} [flags]")
+	os.Exit(2)
+}
+
+func cmdKeygen(args []string) {
+	fs := flag.NewFlagSet("keygen", flag.ExitOnError)
+	bits := fs.Int("bits", 512, "Paillier key size")
+	out := fs.String("out", "alice.key", "private key output file")
+	fs.Parse(args)
+
+	sk, err := paillier.GenerateKey(rand.Reader, *bits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := sk.MarshalBinary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, data, 0o600); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d-bit private key to %s\n", *bits, *out)
+}
+
+func loadKey(path string) *paillier.PrivateKey {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var sk paillier.PrivateKey
+	if err := sk.UnmarshalBinary(data); err != nil {
+		log.Fatal(err)
+	}
+	return &sk
+}
+
+func cmdEncrypt(args []string) {
+	fs := flag.NewFlagSet("encrypt", flag.ExitOnError)
+	keyPath := fs.String("key", "alice.key", "Alice's private key")
+	dataPath := fs.String("data", "", "plaintext CSV table (required)")
+	bits := fs.Int("bits", 8, "attribute domain size in bits")
+	out := fs.String("out", "table.enc", "encrypted table output file")
+	fs.Parse(args)
+	if *dataPath == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	sk := loadKey(*keyPath)
+	f, err := os.Open(*dataPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tbl, err := dataset.ReadCSV(f, *bits)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc, err := core.EncryptTable(rand.Reader, &sk.PublicKey, tbl.Rows)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pkBytes, err := sk.PublicKey.MarshalBinary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	of, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer of.Close()
+	if err := gob.NewEncoder(of).Encode(tableFile{
+		PublicKey: pkBytes,
+		Rows:      enc.MarshalRecords(),
+		AttrBits:  tbl.AttrBits,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "encrypted %d×%d table to %s\n", tbl.N(), tbl.M(), *out)
+}
+
+func cmdC2(args []string) {
+	fs := flag.NewFlagSet("c2", flag.ExitOnError)
+	keyPath := fs.String("key", "alice.key", "Alice's private key (entrusted to C2)")
+	listen := fs.String("listen", ":7002", "TCP listen address")
+	fs.Parse(args)
+
+	sk := loadKey(*keyPath)
+	c2 := core.NewCloudC2(sk, nil)
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "C2 (key cloud) serving on %s\n", ln.Addr())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Fatal(err)
+		}
+		go func(conn net.Conn) {
+			if err := c2.Serve(mpc.WrapNet(conn)); err != nil {
+				log.Printf("session from %s: %v", conn.RemoteAddr(), err)
+			}
+		}(conn)
+	}
+}
+
+func cmdC1(args []string) {
+	fs := flag.NewFlagSet("c1", flag.ExitOnError)
+	tablePath := fs.String("table", "table.enc", "encrypted table file")
+	connect := fs.String("connect", "127.0.0.1:7002", "C2 address")
+	queryStr := fs.String("q", "", "comma-separated query attributes (required)")
+	k := fs.Int("k", 5, "number of neighbors")
+	mode := fs.String("mode", "secure", `protocol: "basic" or "secure"`)
+	workers := fs.Int("workers", 1, "parallel sessions to C2")
+	fs.Parse(args)
+	if *queryStr == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	tf, pk := loadTable(*tablePath)
+	table, err := core.UnmarshalRecords(pk, tf.Rows)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	conns := make([]mpc.Conn, *workers)
+	for i := range conns {
+		conn, err := mpc.Dial(*connect)
+		if err != nil {
+			log.Fatal(err)
+		}
+		conns[i] = conn
+	}
+	c1, err := core.NewCloudC1(table, conns, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c1.Close()
+
+	q, err := parseQuery(*queryStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bob := core.NewClient(pk, nil)
+	eq, err := bob.EncryptQuery(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var res *core.MaskedResult
+	switch *mode {
+	case "basic":
+		var metrics *core.BasicMetrics
+		res, metrics, err = c1.BasicQueryMetered(eq, *k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "SkNNb done in %v, traffic %s\n", metrics.Total.Round(1e6), metrics.Comm)
+	case "secure":
+		l := dataset.DomainBits(tf.AttrBits, table.M())
+		var metrics *core.SecureMetrics
+		res, metrics, err = c1.SecureQueryMetered(eq, *k, l)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "SkNNm done in %v (SMINn %.0f%%), traffic %s\n",
+			metrics.Total.Round(1e6), 100*metrics.SMINnShare(), metrics.Comm)
+	default:
+		log.Fatalf("unknown -mode %q", *mode)
+	}
+
+	rows, err := bob.Unmask(res)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, row := range rows {
+		d, _ := plainknn.SquaredDistance(row, q)
+		fmt.Printf("#%d dist²=%d %v\n", i+1, d, row)
+	}
+}
+
+func loadTable(path string) (*tableFile, *paillier.PublicKey) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	var tf tableFile
+	if err := gob.NewDecoder(f).Decode(&tf); err != nil {
+		log.Fatal(err)
+	}
+	var pk paillier.PublicKey
+	if err := pk.UnmarshalBinary(tf.PublicKey); err != nil {
+		log.Fatal(err)
+	}
+	return &tf, &pk
+}
+
+func parseQuery(s string) ([]uint64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]uint64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseUint(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("query attribute %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,28 @@
+// Package sknn is a Go implementation of "Secure k-Nearest Neighbor
+// Query over Encrypted Data in Outsourced Environments" (Elmehdwi,
+// Samanthula, Jiang — ICDE 2014).
+//
+// It lets a data owner outsource a Paillier-encrypted relational table to
+// a federated cloud (two non-colluding semi-honest servers C1 and C2) and
+// lets authorized users run exact k-nearest-neighbor queries over the
+// encrypted data. Two protocols are provided:
+//
+//   - SkNNb (ModeBasic): efficient, but C2 learns plaintext distances
+//     and both clouds learn data access patterns;
+//   - SkNNm (ModeSecure): hides data content, the query, and access
+//     patterns from both clouds, at a much higher computational cost.
+//
+// The top-level System type wires all parties in-process for
+// single-machine use and experimentation:
+//
+//	sys, err := sknn.New(rows, attrBits, sknn.Config{KeyBits: 512})
+//	defer sys.Close()
+//	neighbors, err := sys.Query(query, 5, sknn.ModeSecure)
+//
+// For a real two-machine deployment, use the building blocks directly
+// (internal/core, internal/mpc with the TCP transport) the way
+// cmd/sknnd does.
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// reproduction of the paper's evaluation.
+package sknn

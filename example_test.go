@@ -1,0 +1,40 @@
+package sknn_test
+
+import (
+	"fmt"
+	"log"
+
+	"sknn"
+)
+
+// Example demonstrates the end-to-end flow: outsource a plaintext table
+// to the in-process federated cloud and run a fully secure kNN query.
+func Example() {
+	// Alice's table: 5 records, 2 attributes, values < 2^4.
+	rows := [][]uint64{
+		{1, 1},
+		{8, 9},
+		{2, 3},
+		{15, 0},
+		{7, 7},
+	}
+	// 256-bit keys keep the example fast; use ≥ 2048 in production.
+	sys, err := sknn.New(rows, 4, sknn.Config{KeyBits: 256})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	// Bob asks for the 2 records nearest to (2, 1). Neither cloud learns
+	// the query, the data, or which records matched.
+	neighbors, err := sys.Query([]uint64{2, 1}, 2, sknn.ModeSecure)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, rec := range neighbors {
+		fmt.Println(rec)
+	}
+	// Output:
+	// [1 1]
+	// [2 3]
+}

@@ -1,0 +1,67 @@
+// Medical: the paper's running Example 1. A hospital outsources the
+// (encrypted) heart-disease table of Table 1 to the cloud; a physician
+// queries the k=2 most similar patients to a new case without the cloud
+// learning the table, the query, or even which records matched. The
+// expected answer from the paper is {t4, t5}.
+//
+// Usage: go run ./examples/medical
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"sknn"
+	"sknn/internal/dataset"
+	"sknn/internal/plainknn"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	tbl := dataset.HeartDiseaseFeatures()
+	query := dataset.HeartExampleQuery
+
+	fmt.Println("Heart-disease sample (Table 1 of the paper, feature columns):")
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "record")
+	for _, name := range tbl.Names {
+		fmt.Fprintf(tw, "\t%s", name)
+	}
+	fmt.Fprintln(tw)
+	for i, row := range tbl.Rows {
+		fmt.Fprintf(tw, "t%d", i+1)
+		for _, v := range row {
+			fmt.Fprintf(tw, "\t%d", v)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	fmt.Printf("\nPhysician's case (Bob's query): %v\n", query)
+
+	sys, err := sknn.New(tbl.Rows, tbl.AttrBits, sknn.Config{KeyBits: 256})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	const k = 2
+	rows, metrics, err := sys.QuerySecureMetered(query, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nSkNNm returned the %d most similar patients:\n", k)
+	for i, row := range rows {
+		d, err := plainknn.SquaredDistance(row, query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  #%d %v  (squared distance %d)\n", i+1, row, d)
+	}
+	fmt.Println("\nExpected from the paper: records t4 and t5.")
+	fmt.Printf("\nProtocol cost: %v total (SMINn share %.0f%%), traffic %s\n",
+		metrics.Total.Round(1e6), 100*metrics.SMINnShare(), metrics.Comm)
+}

@@ -1,0 +1,230 @@
+package aspe
+
+import (
+	"errors"
+	"math"
+	mrand "math/rand"
+	"sort"
+	"testing"
+
+	"sknn/internal/linalg"
+	"sknn/internal/plainknn"
+)
+
+func newTestKey(t *testing.T, d int) *Key {
+	t.Helper()
+	k, err := GenerateKey(mrand.New(mrand.NewSource(1)), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func randomPoints(seed int64, n, d int) [][]float64 {
+	rng := mrand.New(mrand.NewSource(seed))
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = rng.Float64() * 100
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func TestScorePreservesDistanceOrder(t *testing.T) {
+	key := newTestKey(t, 3)
+	q := []float64{10, 20, 30}
+	near := []float64{11, 21, 29}
+	far := []float64{90, 2, 70}
+	encQ, err := key.EncryptQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encNear, _ := key.EncryptPoint(near)
+	encFar, _ := key.EncryptPoint(far)
+	sNear, _ := Score(encNear, encQ)
+	sFar, _ := Score(encFar, encQ)
+	if sNear <= sFar {
+		t.Errorf("near score %v not greater than far score %v", sNear, sFar)
+	}
+}
+
+func TestKNNMatchesPlaintextOracle(t *testing.T) {
+	const d, n, k = 4, 60, 7
+	key := newTestKey(t, d)
+	pts := randomPoints(5, n, d)
+	// Mirror the float points into a uint64 grid for the plaintext
+	// oracle: scale by 1000 to keep ordering intact.
+	gridRows := make([][]uint64, n)
+	for i, p := range pts {
+		row := make([]uint64, d)
+		for j, x := range p {
+			row[j] = uint64(math.Round(x * 1000))
+		}
+		gridRows[i] = row
+	}
+	q := []float64{50, 50, 50, 50}
+	gridQ := []uint64{50000, 50000, 50000, 50000}
+
+	enc := make([][]float64, n)
+	for i, p := range pts {
+		e, err := key.EncryptPoint(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc[i] = e
+	}
+	encQ, err := key.EncryptQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := KNN(enc, encQ, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plainknn.KNN(gridRows, gridQ, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSorted := append([]int(nil), got...)
+	sort.Ints(gotSorted)
+	wantIdx := make([]int, k)
+	for i, nb := range want {
+		wantIdx[i] = nb.Index
+	}
+	sort.Ints(wantIdx)
+	for i := range wantIdx {
+		if gotSorted[i] != wantIdx[i] {
+			t.Fatalf("ASPE kNN = %v, oracle = %v", gotSorted, wantIdx)
+		}
+	}
+}
+
+func TestQueryRandomnessDoesNotChangeRanking(t *testing.T) {
+	key := newTestKey(t, 2)
+	pts := randomPoints(6, 20, 2)
+	enc := make([][]float64, len(pts))
+	for i, p := range pts {
+		enc[i], _ = key.EncryptPoint(p)
+	}
+	q := []float64{42, 17}
+	e1, _ := key.EncryptQuery(q)
+	e2, _ := key.EncryptQuery(q)
+	// Different r ⇒ different ciphertexts...
+	diff, _ := linalg.MaxAbsDiff(e1, e2)
+	if diff == 0 {
+		t.Error("two query encryptions identical (r not fresh)")
+	}
+	// ...same ranking.
+	k1, _ := KNN(enc, e1, 5)
+	k2, _ := KNN(enc, e2, 5)
+	for i := range k1 {
+		if k1[i] != k2[i] {
+			t.Fatalf("rankings differ: %v vs %v", k1, k2)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	key := newTestKey(t, 2)
+	if _, err := key.EncryptPoint([]float64{1}); !errors.Is(err, ErrDimension) {
+		t.Errorf("point dim error = %v", err)
+	}
+	if _, err := key.EncryptQuery([]float64{1, 2, 3}); !errors.Is(err, ErrDimension) {
+		t.Errorf("query dim error = %v", err)
+	}
+	if _, err := GenerateKey(mrand.New(mrand.NewSource(1)), 0); !errors.Is(err, ErrInvalidArgs) {
+		t.Errorf("d=0 error = %v", err)
+	}
+	enc := [][]float64{{1, 2, 3}}
+	if _, err := KNN(enc, []float64{1, 2, 3}, 0); !errors.Is(err, ErrBadK) {
+		t.Errorf("k=0 error = %v", err)
+	}
+	if _, err := KNN(nil, []float64{1}, 1); !errors.Is(err, ErrInvalidArgs) {
+		t.Errorf("empty error = %v", err)
+	}
+}
+
+func TestKnownPlaintextAttackRecoversDatabase(t *testing.T) {
+	// The attack that motivates the paper: with d+1 known pairs the
+	// adversary decrypts every other record exactly.
+	const d = 5
+	key := newTestKey(t, d)
+	pts := randomPoints(7, 40, d)
+	enc := make([][]float64, len(pts))
+	for i, p := range pts {
+		e, err := key.EncryptPoint(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc[i] = e
+	}
+	// Adversary knows the first d+1 plaintexts only.
+	breaker, err := RecoverKey(pts[:d+1], enc[:d+1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := d + 1; i < len(pts); i++ {
+		rec, err := breaker.DecryptPoint(enc[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		diff, err := linalg.MaxAbsDiff(rec, pts[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff > 1e-6 {
+			t.Fatalf("record %d recovered with error %v", i, diff)
+		}
+	}
+}
+
+func TestAttackNeedsEnoughPairs(t *testing.T) {
+	const d = 3
+	key := newTestKey(t, d)
+	pts := randomPoints(8, d, d) // only d pairs — one short
+	enc := make([][]float64, len(pts))
+	for i, p := range pts {
+		enc[i], _ = key.EncryptPoint(p)
+	}
+	if _, err := RecoverKey(pts, enc); !errors.Is(err, ErrNeedMore) {
+		t.Errorf("insufficient pairs error = %v", err)
+	}
+}
+
+func TestAttackRejectsDegeneratePoints(t *testing.T) {
+	const d = 2
+	key := newTestKey(t, d)
+	// Three copies of the same point: P̂ is singular.
+	p := []float64{3, 4}
+	pts := [][]float64{p, p, p}
+	enc := make([][]float64, 3)
+	for i := range enc {
+		enc[i], _ = key.EncryptPoint(p)
+	}
+	if _, err := RecoverKey(pts, enc); !errors.Is(err, ErrDegenerate) {
+		t.Errorf("degenerate error = %v", err)
+	}
+}
+
+func TestAttackMismatchedPairs(t *testing.T) {
+	const d = 2
+	key := newTestKey(t, d)
+	pts := randomPoints(9, 4, d)
+	enc := make([][]float64, 3)
+	for i := 0; i < 3; i++ {
+		enc[i], _ = key.EncryptPoint(pts[i])
+	}
+	if _, err := RecoverKey(pts, enc); !errors.Is(err, ErrDimension) {
+		t.Errorf("mismatch error = %v", err)
+	}
+	breaker, err := RecoverKey(pts[:3], enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := breaker.DecryptPoint([]float64{1}); !errors.Is(err, ErrDimension) {
+		t.Errorf("breaker dim error = %v", err)
+	}
+}

@@ -1,0 +1,81 @@
+package aspe
+
+import (
+	"fmt"
+
+	"sknn/internal/linalg"
+)
+
+// Breaker is the adversary's recovered decryption capability after a
+// successful known-plaintext attack: it inverts the linear transform and
+// decrypts any stored ciphertext back to its plaintext point.
+type Breaker struct {
+	d     int
+	mTInv *linalg.Matrix // (Mᵀ)⁻¹
+}
+
+// RecoverKey mounts the known-plaintext attack: given d+1 (or more)
+// plaintext points and their ASPE ciphertexts, it solves
+//
+//	P′ = Mᵀ·P̂   ⇒   Mᵀ = P′·P̂⁻¹
+//
+// where the columns of P̂ are the extended plaintexts (pᵀ, −½|p|²)ᵀ and
+// the columns of P′ the corresponding ciphertexts. The points must be in
+// general position (P̂ invertible); random datasets essentially always
+// are. Extra pairs beyond d+1 are ignored.
+func RecoverKey(plain [][]float64, cipher [][]float64) (*Breaker, error) {
+	if len(plain) == 0 || len(plain[0]) == 0 {
+		return nil, ErrInvalidArgs
+	}
+	d := len(plain[0])
+	need := d + 1
+	if len(plain) < need || len(cipher) < need {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrNeedMore, min(len(plain), len(cipher)), need)
+	}
+	if len(plain) != len(cipher) {
+		return nil, fmt.Errorf("%w: %d plaintexts vs %d ciphertexts", ErrDimension, len(plain), len(cipher))
+	}
+	// Build P̂ and P′ column-wise from the first d+1 pairs.
+	pHat := linalg.New(need, need)
+	pPrime := linalg.New(need, need)
+	for c := 0; c < need; c++ {
+		if len(plain[c]) != d || len(cipher[c]) != need {
+			return nil, fmt.Errorf("%w: pair %d has wrong arity", ErrDimension, c)
+		}
+		var norm float64
+		for r := 0; r < d; r++ {
+			pHat.Set(r, c, plain[c][r])
+			norm += plain[c][r] * plain[c][r]
+		}
+		pHat.Set(d, c, -0.5*norm)
+		for r := 0; r < need; r++ {
+			pPrime.Set(r, c, cipher[c][r])
+		}
+	}
+	pHatInv, err := pHat.Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDegenerate, err)
+	}
+	mT, err := pPrime.Mul(pHatInv)
+	if err != nil {
+		return nil, fmt.Errorf("aspe: recovering Mᵀ: %w", err)
+	}
+	mTInv, err := mT.Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("%w: recovered key not invertible: %v", ErrDegenerate, err)
+	}
+	return &Breaker{d: d, mTInv: mTInv}, nil
+}
+
+// DecryptPoint recovers the plaintext point from a stored ciphertext:
+// p̂ = (Mᵀ)⁻¹·p′, then the first d coordinates are p.
+func (b *Breaker) DecryptPoint(encPoint []float64) ([]float64, error) {
+	if len(encPoint) != b.d+1 {
+		return nil, fmt.Errorf("%w: ciphertext has %d dims, want %d", ErrDimension, len(encPoint), b.d+1)
+	}
+	ext, err := b.mTInv.MulVec(encPoint)
+	if err != nil {
+		return nil, err
+	}
+	return ext[:b.d], nil
+}

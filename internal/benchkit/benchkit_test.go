@@ -1,0 +1,73 @@
+package benchkit
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFigureRendering(t *testing.T) {
+	f := NewFigure("Fig X", "n", "time (s)")
+	a := f.NewSeries("m=6")
+	a.Add(2000, 44.08)
+	a.Add(4000, 87.91)
+	b := f.NewSeries("m=12")
+	b.Add(2000, 88.1)
+
+	var sb strings.Builder
+	if err := f.Fprint(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Fig X", "m=6", "m=12", "2000", "44.08", "87.91", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigureEmptySeries(t *testing.T) {
+	f := NewFigure("Empty", "x", "y")
+	f.NewSeries("s")
+	var sb strings.Builder
+	if err := f.Fprint(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Empty") {
+		t.Error("title missing")
+	}
+}
+
+func TestTimed(t *testing.T) {
+	d, err := Timed(func() error {
+		time.Sleep(5 * time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 5*time.Millisecond {
+		t.Errorf("measured %v, want ≥ 5ms", d)
+	}
+	wantErr := errors.New("boom")
+	_, err = Timed(func() error { return wantErr })
+	if !errors.Is(err, wantErr) {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestRatioAndUnits(t *testing.T) {
+	if r := Ratio(2*time.Second, time.Second); r != 2 {
+		t.Errorf("Ratio = %v", r)
+	}
+	if r := Ratio(time.Second, 0); r != 0 {
+		t.Errorf("Ratio by zero = %v", r)
+	}
+	if s := Seconds(1500 * time.Millisecond); s != 1.5 {
+		t.Errorf("Seconds = %v", s)
+	}
+	if m := Minutes(90 * time.Second); m != 1.5 {
+		t.Errorf("Minutes = %v", m)
+	}
+}

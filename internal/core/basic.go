@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"time"
+
+	"sknn/internal/mpc"
+)
+
+// BasicMetrics breaks down one SkNNb run for the evaluation harness.
+type BasicMetrics struct {
+	Total    time.Duration
+	Distance time.Duration // SSED over all records (step 2)
+	Rank     time.Duration // C2 decrypt-and-rank (step 3)
+	Reveal   time.Duration // masked result delivery (steps 4–6)
+	Comm     mpc.StatsSnapshot
+}
+
+// BasicQuery runs SkNNb (Algorithm 5): compute all encrypted distances,
+// let C2 decrypt and rank them, and reveal the top-k records to Bob via
+// masking.
+//
+// SkNNb is the efficiency baseline: it deliberately relaxes security —
+// C2 learns every plaintext distance, and both clouds learn which
+// records answer the query (data access patterns). Use SecureQuery for
+// the full guarantees.
+func (c *CloudC1) BasicQuery(q EncryptedQuery, k int) (*MaskedResult, error) {
+	res, _, err := c.BasicQueryMetered(q, k)
+	return res, err
+}
+
+// BasicQueryMetered is BasicQuery plus phase timings and traffic counts.
+func (c *CloudC1) BasicQueryMetered(q EncryptedQuery, k int) (*MaskedResult, *BasicMetrics, error) {
+	if err := c.checkQuery(q); err != nil {
+		return nil, nil, err
+	}
+	if err := validateK(k, c.table.N()); err != nil {
+		return nil, nil, err
+	}
+	metrics := &BasicMetrics{}
+	comm0 := c.CommStats()
+	start := time.Now()
+
+	// Step 2: dᵢ = |Q−tᵢ|² under encryption.
+	phase := time.Now()
+	ds, err := c.distances(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	metrics.Distance = time.Since(phase)
+
+	// Step 3: C2 decrypts and returns the top-k index list δ.
+	phase = time.Now()
+	payload := make([]*big.Int, 0, len(ds)+1)
+	payload = append(payload, big.NewInt(int64(k)))
+	for _, d := range ds {
+		payload = append(payload, d.Raw())
+	}
+	resp, err := mpc.RoundTrip(c.primary().Conn(), &mpc.Message{Op: OpRank, Ints: payload})
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: rank round trip: %w", err)
+	}
+	if len(resp.Ints) != k {
+		return nil, nil, fmt.Errorf("%w: rank reply has %d indices, want %d", ErrBadFrame, len(resp.Ints), k)
+	}
+	selected := make([]EncryptedRecord, k)
+	for j, idx := range resp.Ints {
+		if !idx.IsInt64() || idx.Int64() < 0 || idx.Int64() >= int64(c.table.N()) {
+			return nil, nil, fmt.Errorf("%w: rank index %v out of range", ErrBadFrame, idx)
+		}
+		selected[j] = c.table.Record(int(idx.Int64()))
+	}
+	metrics.Rank = time.Since(phase)
+
+	// Steps 4–6: masked reveal to Bob.
+	phase = time.Now()
+	res, err := c.reveal(selected)
+	if err != nil {
+		return nil, nil, err
+	}
+	metrics.Reveal = time.Since(phase)
+
+	metrics.Total = time.Since(start)
+	metrics.Comm = c.CommStats().Sub(comm0)
+	return res, metrics, nil
+}

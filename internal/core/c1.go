@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+	"sync"
+
+	"sknn/internal/mpc"
+	"sknn/internal/paillier"
+	"sknn/internal/smc"
+)
+
+// CloudC1 is the data cloud: it stores Alice's encrypted table and
+// orchestrates both protocols against C2 through one or more
+// connections. With w connections the per-record phases run on w
+// parallel workers (the paper's Section 5.3 OpenMP parallelization,
+// expressed as goroutines); with one connection everything is serial.
+type CloudC1 struct {
+	table  *EncryptedTable
+	rqs    []*smc.Requester // one per connection; rqs[0] is the primary
+	random io.Reader
+}
+
+// NewCloudC1 wires the data cloud to C2 over the given connections.
+// Every connection must be served by the same CloudC2 (its handlers are
+// stateless, so any number of serve loops can share one CloudC2).
+func NewCloudC1(table *EncryptedTable, conns []mpc.Conn, random io.Reader) (*CloudC1, error) {
+	if len(conns) == 0 {
+		return nil, ErrNoConnections
+	}
+	c := &CloudC1{table: table, random: random}
+	for _, conn := range conns {
+		c.rqs = append(c.rqs, smc.NewRequester(table.pk, conn, random))
+	}
+	if err := c.handshake(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// handshake verifies on every connection that C2 holds the secret key
+// matching this table's public key (OpHello), failing fast on
+// mis-deployment.
+func (c *CloudC1) handshake() error {
+	for i, rq := range c.rqs {
+		req := &mpc.Message{Op: OpHello, Ints: []*big.Int{new(big.Int).Set(c.table.pk.N)}}
+		resp, err := mpc.RoundTrip(rq.Conn(), req)
+		if err != nil {
+			return fmt.Errorf("core: hello on connection %d: %w", i, err)
+		}
+		if len(resp.Ints) != 1 || resp.Ints[0].Cmp(c.table.pk.N) != 0 {
+			return fmt.Errorf("%w: connection %d", ErrHello, i)
+		}
+	}
+	return nil
+}
+
+// Table returns the outsourced encrypted table.
+func (c *CloudC1) Table() *EncryptedTable { return c.table }
+
+// Workers reports the parallelism degree (number of C2 connections).
+func (c *CloudC1) Workers() int { return len(c.rqs) }
+
+// primary returns the requester used for the global (non-chunkable)
+// protocol steps.
+func (c *CloudC1) primary() *smc.Requester { return c.rqs[0] }
+
+// CommStats aggregates traffic over all connections.
+func (c *CloudC1) CommStats() mpc.StatsSnapshot {
+	var total mpc.StatsSnapshot
+	for _, rq := range c.rqs {
+		total = total.Add(rq.Conn().Stats().Snapshot())
+	}
+	return total
+}
+
+// Close sends a close frame on every connection.
+func (c *CloudC1) Close() error {
+	var first error
+	for _, rq := range c.rqs {
+		if err := mpc.SendClose(rq.Conn()); err != nil && first == nil {
+			first = err
+		}
+		if err := rq.Conn().Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// checkQuery validates Bob's query against the table's feature columns.
+func (c *CloudC1) checkQuery(q EncryptedQuery) error {
+	if len(q) != c.table.featureM {
+		return fmt.Errorf("%w: query has %d attributes, table has %d feature columns",
+			ErrDimension, len(q), c.table.featureM)
+	}
+	return nil
+}
+
+// chunk describes a contiguous slice of records assigned to one worker.
+type chunk struct{ lo, hi, worker int }
+
+// chunks splits [0,n) evenly across the available workers. Workers with
+// empty ranges are dropped.
+func (c *CloudC1) chunks(n int) []chunk {
+	w := len(c.rqs)
+	if w > n {
+		w = n
+	}
+	out := make([]chunk, 0, w)
+	for i := 0; i < w; i++ {
+		lo := i * n / w
+		hi := (i + 1) * n / w
+		if lo < hi {
+			out = append(out, chunk{lo: lo, hi: hi, worker: i})
+		}
+	}
+	return out
+}
+
+// parallelOverRecords runs fn once per chunk, each chunk on its own
+// worker requester, and returns the first error.
+func (c *CloudC1) parallelOverRecords(n int, fn func(rq *smc.Requester, lo, hi int) error) error {
+	cks := c.chunks(n)
+	if len(cks) == 1 {
+		return fn(c.rqs[cks[0].worker], cks[0].lo, cks[0].hi)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(cks))
+	for i, ck := range cks {
+		wg.Add(1)
+		go func(i int, ck chunk) {
+			defer wg.Done()
+			errs[i] = fn(c.rqs[ck.worker], ck.lo, ck.hi)
+		}(i, ck)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// distances computes E(dᵢ) = E(|Q−tᵢ|²) for every record (step 2 of both
+// algorithms), chunked across workers. Only the feature prefix of each
+// record participates.
+func (c *CloudC1) distances(q EncryptedQuery) ([]*paillier.Ciphertext, error) {
+	n := c.table.N()
+	out := make([]*paillier.Ciphertext, n)
+	records := c.table.featureRecords2D()
+	err := c.parallelOverRecords(n, func(rq *smc.Requester, lo, hi int) error {
+		ds, err := rq.SSEDMany(q, records[lo:hi])
+		if err != nil {
+			return fmt.Errorf("core: SSED chunk [%d,%d): %w", lo, hi, err)
+		}
+		copy(out[lo:hi], ds)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// reveal performs the masked result delivery shared by both protocols
+// (steps 4–6 of Algorithm 5): C1 masks each attribute of each selected
+// record with fresh randomness, C2 decrypts the masked values, and the
+// two shares travel to Bob.
+func (c *CloudC1) reveal(selected []EncryptedRecord) (*MaskedResult, error) {
+	pk := c.table.pk
+	k := len(selected)
+	m := c.table.m
+	res := &MaskedResult{K: k, M: m, n: pk.N}
+	payload := make([]*big.Int, 0, k*m)
+	for j := 0; j < k; j++ {
+		maskRow := make([]*big.Int, m)
+		for h := 0; h < m; h++ {
+			r, err := pk.RandomZN(c.primary().Rand())
+			if err != nil {
+				return nil, fmt.Errorf("core: reveal mask: %w", err)
+			}
+			maskRow[h] = r
+			payload = append(payload, pk.AddPlain(selected[j][h], r).Raw())
+		}
+		res.Masks = append(res.Masks, maskRow)
+	}
+	resp, err := mpc.RoundTrip(c.primary().Conn(), &mpc.Message{Op: OpReveal, Ints: payload})
+	if err != nil {
+		return nil, fmt.Errorf("core: reveal round trip: %w", err)
+	}
+	if len(resp.Ints) != k*m {
+		return nil, fmt.Errorf("%w: reveal reply has %d ints, want %d", ErrBadFrame, len(resp.Ints), k*m)
+	}
+	for j := 0; j < k; j++ {
+		res.Masked = append(res.Masked, resp.Ints[j*m:(j+1)*m])
+	}
+	return res, nil
+}

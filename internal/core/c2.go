@@ -1,0 +1,195 @@
+package core
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+	"math/big"
+	"sort"
+
+	"sknn/internal/mpc"
+	"sknn/internal/paillier"
+	"sknn/internal/smc"
+)
+
+// CloudC2 is the key cloud: it embeds the smc responder (SM, SBD, SMIN
+// steps, …) and adds the three protocol-level services of Algorithms 5
+// and 6. It is stateless across requests, so one CloudC2 can serve any
+// number of connections concurrently (the parallel variants rely on
+// this).
+type CloudC2 struct {
+	resp   *smc.Responder
+	sk     *paillier.PrivateKey
+	random io.Reader
+	pool   *paillier.RandomizerPool // optional precomputed-nonce pool
+}
+
+// NewCloudC2 builds the key cloud from Alice's secret key. If random is
+// nil, crypto/rand.Reader is used.
+func NewCloudC2(sk *paillier.PrivateKey, random io.Reader) *CloudC2 {
+	if random == nil {
+		random = rand.Reader
+	}
+	return &CloudC2{resp: smc.NewResponder(sk, random), sk: sk, random: random}
+}
+
+// UsePool makes all of C2's reply encryptions draw nonces from a
+// precomputed-randomizer pool — the biggest single optimization for the
+// key cloud, quantified by BenchmarkAblationRandomizerPool.
+func (c *CloudC2) UsePool(pool *paillier.RandomizerPool) {
+	c.pool = pool
+	c.resp.UsePool(pool)
+}
+
+// encrypt produces a fresh encryption, via the pool when configured.
+func (c *CloudC2) encrypt(m *big.Int) (*paillier.Ciphertext, error) {
+	if c.pool != nil {
+		return c.pool.Encrypt(m)
+	}
+	return c.sk.Encrypt(c.random, m)
+}
+
+// Mux returns a dispatcher with both the smc primitive handlers and the
+// protocol handlers registered.
+func (c *CloudC2) Mux() *mpc.Mux {
+	mux := c.resp.Mux()
+	mux.Register(OpRank, mpc.HandlerFunc(c.handleRank))
+	mux.Register(OpReveal, mpc.HandlerFunc(c.handleReveal))
+	mux.Register(OpMinSelect, mpc.HandlerFunc(c.handleMinSelect))
+	mux.Register(OpHello, mpc.HandlerFunc(c.handleHello))
+	return mux
+}
+
+// handleHello verifies that C1's public modulus matches the key C2
+// holds, so a mis-deployed session (wrong key file, stale table) fails
+// immediately instead of producing garbage ciphertext arithmetic deep
+// inside a query. Payload: [N]; reply: [N] echoed on success.
+func (c *CloudC2) handleHello(req *mpc.Message) (*mpc.Message, error) {
+	if len(req.Ints) != 1 || req.Ints[0] == nil {
+		return nil, fmt.Errorf("%w: hello payload", ErrBadFrame)
+	}
+	if req.Ints[0].Cmp(c.sk.N) != 0 {
+		return nil, ErrHello
+	}
+	return &mpc.Message{Op: OpHello, Ints: []*big.Int{new(big.Int).Set(c.sk.N)}}, nil
+}
+
+// Serve runs the responder loop on conn until the peer closes.
+func (c *CloudC2) Serve(conn mpc.Conn) error {
+	return mpc.Serve(conn, c.Mux())
+}
+
+// handleRank implements step 3 of Algorithm 5 (SkNNb only): decrypt all
+// encrypted distances, find the k smallest, and return their indices δ.
+// This is precisely the step that leaks plaintext distances and access
+// patterns to C2 — the reason SkNNm exists. Payload: [k, E(d₁),…,E(d_n)];
+// reply: [i₁,…,i_k] (0-based, plaintext).
+func (c *CloudC2) handleRank(req *mpc.Message) (*mpc.Message, error) {
+	if len(req.Ints) < 2 {
+		return nil, fmt.Errorf("%w: rank payload of %d ints", ErrBadFrame, len(req.Ints))
+	}
+	if !req.Ints[0].IsInt64() {
+		return nil, fmt.Errorf("%w: bad k", ErrBadFrame)
+	}
+	k := int(req.Ints[0].Int64())
+	n := len(req.Ints) - 1
+	if err := validateK(k, n); err != nil {
+		return nil, err
+	}
+	type distIdx struct {
+		d   *big.Int
+		idx int
+	}
+	ds := make([]distIdx, n)
+	for i := 0; i < n; i++ {
+		ct, err := c.sk.FromRaw(req.Ints[i+1])
+		if err != nil {
+			return nil, fmt.Errorf("core: rank distance %d: %w", i, err)
+		}
+		d, err := c.sk.Decrypt(ct)
+		if err != nil {
+			return nil, fmt.Errorf("core: rank decrypt %d: %w", i, err)
+		}
+		ds[i] = distIdx{d: d, idx: i}
+	}
+	// Stable sort keeps ties in record order, matching the sequential
+	// scan a plaintext kNN oracle performs.
+	sort.SliceStable(ds, func(a, b int) bool { return ds[a].d.Cmp(ds[b].d) < 0 })
+	out := make([]*big.Int, k)
+	for j := 0; j < k; j++ {
+		out[j] = big.NewInt(int64(ds[j].idx))
+	}
+	return &mpc.Message{Op: OpRank, Ints: out}, nil
+}
+
+// handleReveal implements step 5 of Algorithm 5 (shared by both
+// protocols): decrypt each masked attribute γ_{j,h} and return the
+// plaintext γ′_{j,h}, which is uniformly random thanks to C1's masks and
+// destined for Bob. Payload: [γ…]; reply: [γ′…].
+func (c *CloudC2) handleReveal(req *mpc.Message) (*mpc.Message, error) {
+	if len(req.Ints) == 0 {
+		return nil, fmt.Errorf("%w: empty reveal payload", ErrBadFrame)
+	}
+	out := make([]*big.Int, len(req.Ints))
+	for i, v := range req.Ints {
+		ct, err := c.sk.FromRaw(v)
+		if err != nil {
+			return nil, fmt.Errorf("core: reveal γ[%d]: %w", i, err)
+		}
+		m, err := c.sk.Decrypt(ct)
+		if err != nil {
+			return nil, fmt.Errorf("core: reveal decrypt[%d]: %w", i, err)
+		}
+		out[i] = m
+	}
+	return &mpc.Message{Op: OpReveal, Ints: out}, nil
+}
+
+// handleMinSelect implements step 3(c) of Algorithm 6: decrypt the
+// blinded, permuted distance differences β and return the one-hot vector
+// U with E(1) at (one of) the zero position(s) and fresh E(0) elsewhere.
+// If several entries are zero (tied minima), one is chosen uniformly at
+// random, exactly as the paper prescribes. Payload: [β₁,…,β_n]; reply:
+// [U₁,…,U_n].
+func (c *CloudC2) handleMinSelect(req *mpc.Message) (*mpc.Message, error) {
+	n := len(req.Ints)
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty min-select payload", ErrBadFrame)
+	}
+	var zeros []int
+	for i, v := range req.Ints {
+		ct, err := c.sk.FromRaw(v)
+		if err != nil {
+			return nil, fmt.Errorf("core: min-select β[%d]: %w", i, err)
+		}
+		m, err := c.sk.Decrypt(ct)
+		if err != nil {
+			return nil, fmt.Errorf("core: min-select decrypt[%d]: %w", i, err)
+		}
+		if m.Sign() == 0 {
+			zeros = append(zeros, i)
+		}
+	}
+	if len(zeros) == 0 {
+		return nil, ErrNoZeroInBeta
+	}
+	pickBig, err := rand.Int(c.random, big.NewInt(int64(len(zeros))))
+	if err != nil {
+		return nil, fmt.Errorf("core: min-select choice: %w", err)
+	}
+	chosen := zeros[pickBig.Int64()]
+
+	out := make([]*big.Int, n)
+	for i := 0; i < n; i++ {
+		bit := uint64(0)
+		if i == chosen {
+			bit = 1
+		}
+		ct, err := c.encrypt(new(big.Int).SetUint64(bit))
+		if err != nil {
+			return nil, fmt.Errorf("core: min-select encrypt U[%d]: %w", i, err)
+		}
+		out[i] = ct.Raw()
+	}
+	return &mpc.Message{Op: OpMinSelect, Ints: out}, nil
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+	"math/big"
+
+	"sknn/internal/paillier"
+)
+
+// Client is Bob, the authorized query user. His entire workload is one
+// attribute-wise encryption of the query and k·m modular subtractions to
+// unmask the result — the "low computation overhead on the end-user"
+// property the paper measures in Section 5.2 (milliseconds even at
+// K = 1024).
+type Client struct {
+	pk     *paillier.PublicKey
+	random io.Reader
+}
+
+// NewClient builds Bob's context. If random is nil, crypto/rand.Reader
+// is used.
+func NewClient(pk *paillier.PublicKey, random io.Reader) *Client {
+	if random == nil {
+		random = rand.Reader
+	}
+	return &Client{pk: pk, random: random}
+}
+
+// EncryptedQuery is E(Q) = ⟨E(q₁),…,E(q_m)⟩ as sent to C1.
+type EncryptedQuery []*paillier.Ciphertext
+
+// EncryptQuery encrypts Bob's query attribute-wise.
+func (c *Client) EncryptQuery(q []uint64) (EncryptedQuery, error) {
+	if len(q) == 0 {
+		return nil, fmt.Errorf("core: empty query")
+	}
+	cts, err := c.pk.EncryptUint64Vector(c.random, q)
+	if err != nil {
+		return nil, fmt.Errorf("core: encrypting query: %w", err)
+	}
+	return EncryptedQuery(cts), nil
+}
+
+// MaskedResult is what reaches Bob at the end of either protocol: for
+// each of the k nearest records, the additive masks r_{j,h} chosen by C1
+// and the decrypted masked attributes γ′_{j,h} = t′_{j,h} + r_{j,h} mod N
+// produced by C2. Either share alone is uniformly random.
+type MaskedResult struct {
+	K, M   int
+	Masks  [][]*big.Int // from C1: r_{j,h}
+	Masked [][]*big.Int // from C2: γ′_{j,h}
+	n      *big.Int     // modulus for unmasking
+}
+
+// Unmask recovers the k nearest records: t′_{j,h} = γ′_{j,h} − r_{j,h}
+// mod N (step 6 of Algorithm 5). The recovered attributes must fit
+// uint64; anything larger means a corrupted transcript.
+func (c *Client) Unmask(res *MaskedResult) ([][]uint64, error) {
+	if res == nil || len(res.Masks) != res.K || len(res.Masked) != res.K {
+		return nil, fmt.Errorf("%w: inconsistent masked result", ErrBadFrame)
+	}
+	out := make([][]uint64, res.K)
+	for j := 0; j < res.K; j++ {
+		if len(res.Masks[j]) != res.M || len(res.Masked[j]) != res.M {
+			return nil, fmt.Errorf("%w: record %d has wrong arity", ErrBadFrame, j)
+		}
+		row := make([]uint64, res.M)
+		for h := 0; h < res.M; h++ {
+			v := new(big.Int).Sub(res.Masked[j][h], res.Masks[j][h])
+			v.Mod(v, res.n)
+			if !v.IsUint64() {
+				return nil, fmt.Errorf("core: unmasked attribute (%d,%d) overflows uint64", j, h)
+			}
+			row[h] = v.Uint64()
+		}
+		out[j] = row
+	}
+	return out, nil
+}

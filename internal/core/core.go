@@ -1,0 +1,58 @@
+// Package core implements the paper's two protocols — SkNNb (Algorithm 5,
+// the efficient basic protocol) and SkNNm (Algorithm 6, the fully secure
+// protocol) — plus their parallel variants (Section 5.3).
+//
+// Cast of parties and where each lives:
+//
+//   - Alice, the data owner: EncryptTable. She encrypts attribute-wise,
+//     outsources, and never participates again.
+//   - Bob, the authorized user: Client. He encrypts a query
+//     (EncryptQuery) and unmasks the k result records (Unmask); that is
+//     all the computation he ever does, which is the paper's
+//     "lightweight end-user" property.
+//   - C1, the data cloud: CloudC1. Holds E(T) and the public key,
+//     orchestrates every protocol phase through smc primitives.
+//   - C2, the key cloud: CloudC2. Holds the secret key and answers C1's
+//     frames; never sees unblinded data.
+//
+// Result delivery: in the paper C1 sends masks r directly to Bob and C2
+// sends decrypted masked attributes γ′ directly to Bob. This runtime has
+// a single C1↔C2 link, so C2's γ′ frame is routed back through C1, which
+// packages it — without inspecting it — into the MaskedResult handed to
+// Bob. The values C1 relays are exactly the ones the paper already lets
+// C1 generate masks for, so the simulation argument is unchanged.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"sknn/internal/mpc"
+)
+
+// Opcodes 64+ belong to the protocol layer (mpc owns 0–15, smc 16–63).
+const (
+	OpRank      mpc.Op = 64 // SkNNb: decrypt distances, return top-k index list δ
+	OpReveal    mpc.Op = 65 // both: decrypt masked result attributes γ → γ′
+	OpMinSelect mpc.Op = 66 // SkNNm: decrypt blinded β, return one-hot U
+	OpHello     mpc.Op = 67 // session handshake: verify both clouds share one key
+)
+
+// Errors returned by the protocols.
+var (
+	ErrBadK          = errors.New("core: k must satisfy 1 ≤ k ≤ n")
+	ErrDimension     = errors.New("core: query/record dimension mismatch")
+	ErrKeyMismatch   = errors.New("core: ciphertext under a different public key")
+	ErrNoZeroInBeta  = errors.New("core: no minimum found in blinded distance vector")
+	ErrBadFrame      = errors.New("core: malformed protocol frame")
+	ErrNoConnections = errors.New("core: CloudC1 needs at least one connection")
+	ErrDomainBits    = errors.New("core: domain size l out of range")
+	ErrHello         = errors.New("core: key mismatch between C1 and C2")
+)
+
+func validateK(k, n int) error {
+	if k < 1 || k > n {
+		return fmt.Errorf("%w: k=%d, n=%d", ErrBadK, k, n)
+	}
+	return nil
+}

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+	"time"
+
+	"sknn/internal/mpc"
+	"sknn/internal/paillier"
+	"sknn/internal/smc"
+)
+
+// SecureMetrics breaks down one SkNNm run. The paper reports that SMINn
+// dominates (≥69.7% of the total at k=5, growing with k); SMINnShare
+// lets the harness reproduce that number.
+type SecureMetrics struct {
+	Total    time.Duration
+	Distance time.Duration // SSED over all records
+	BitDecom time.Duration // SBD of all distances
+	SMINn    time.Duration // sum over the k SMINn invocations
+	Select   time.Duration // τ/β blinding + C2 one-hot (step 3(b)-(c))
+	Extract  time.Duration // oblivious record extraction (step 3(d))
+	Exclude  time.Duration // SBOR disqualification (step 3(e))
+	Reveal   time.Duration // masked result delivery
+	Comm     mpc.StatsSnapshot
+}
+
+// SMINnShare is SMINn's fraction of total wall-clock time.
+func (m *SecureMetrics) SMINnShare() float64 {
+	if m.Total <= 0 {
+		return 0
+	}
+	return float64(m.SMINn) / float64(m.Total)
+}
+
+// SecureQuery runs SkNNm (Algorithm 6), the fully secure protocol: data
+// confidentiality, query privacy, and access-pattern hiding against both
+// clouds.
+//
+// domainBits is l, the bit length of the squared-distance domain: all
+// |Q−tᵢ|² must be < 2^l. dataset.DomainBits derives it from the
+// attribute domain and dimension.
+func (c *CloudC1) SecureQuery(q EncryptedQuery, k, domainBits int) (*MaskedResult, error) {
+	res, _, err := c.SecureQueryMetered(q, k, domainBits)
+	return res, err
+}
+
+// SecureQueryMetered is SecureQuery plus phase timings and traffic counts.
+func (c *CloudC1) SecureQueryMetered(q EncryptedQuery, k, domainBits int) (*MaskedResult, *SecureMetrics, error) {
+	if err := c.checkQuery(q); err != nil {
+		return nil, nil, err
+	}
+	n := c.table.N()
+	if err := validateK(k, n); err != nil {
+		return nil, nil, err
+	}
+	if domainBits < 1 || domainBits > 512 {
+		return nil, nil, fmt.Errorf("%w: l=%d", ErrDomainBits, domainBits)
+	}
+	pk := c.table.pk
+	metrics := &SecureMetrics{}
+	comm0 := c.CommStats()
+	start := time.Now()
+
+	// Step 2a: E(dᵢ) for every record.
+	phase := time.Now()
+	ds, err := c.distances(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	metrics.Distance = time.Since(phase)
+
+	// Step 2b: [dᵢ] — bit decomposition of every distance (chunked).
+	phase = time.Now()
+	bits := make([][]*paillier.Ciphertext, n)
+	err = c.parallelOverRecords(n, func(rq *smc.Requester, lo, hi int) error {
+		bs, err := rq.SBDBatch(ds[lo:hi], domainBits)
+		if err != nil {
+			return fmt.Errorf("core: SBD chunk [%d,%d): %w", lo, hi, err)
+		}
+		copy(bits[lo:hi], bs)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	metrics.BitDecom = time.Since(phase)
+
+	selected := make([]EncryptedRecord, 0, k)
+	records := c.table.records2D()
+	m := c.table.m
+
+	for s := 0; s < k; s++ {
+		// Step 3(a): [dmin] = SMINn([d₁],…,[d_n]).
+		phase = time.Now()
+		minBits, err := c.sminnParallel(bits)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: iteration %d SMINn: %w", s+1, err)
+		}
+		metrics.SMINn += time.Since(phase)
+
+		// Step 3(b): recompose E(dmin) and, from the second iteration on,
+		// E(dᵢ) from the updated bit vectors.
+		phase = time.Now()
+		encMin := smc.Recompose(pk, minBits)
+		if s != 0 {
+			for i := 0; i < n; i++ {
+				ds[i] = smc.Recompose(pk, bits[i])
+			}
+		}
+
+		// Step 3(b)-(c): τᵢ = E(rᵢ·(dmin−dᵢ)), permute, and ask C2 for the
+		// one-hot selector U.
+		tauP := make([]*big.Int, n)
+		perm, err := smc.NewPermutation(c.primary().Rand(), n)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: iteration %d permutation: %w", s+1, err)
+		}
+		for i := 0; i < n; i++ {
+			src := perm[i]
+			tau := pk.Sub(encMin, ds[src])
+			r, err := pk.RandomNonzeroZN(c.primary().Rand())
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: iteration %d blind: %w", s+1, err)
+			}
+			tauP[i] = pk.ScalarMul(tau, r).Raw()
+		}
+		resp, err := mpc.RoundTrip(c.primary().Conn(), &mpc.Message{Op: OpMinSelect, Ints: tauP})
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: iteration %d min-select: %w", s+1, err)
+		}
+		if len(resp.Ints) != n {
+			return nil, nil, fmt.Errorf("%w: min-select reply has %d ints, want %d",
+				ErrBadFrame, len(resp.Ints), n)
+		}
+		// V = π⁻¹(U).
+		v := make([]*paillier.Ciphertext, n)
+		for i := 0; i < n; i++ {
+			ct, err := pk.FromRaw(resp.Ints[i])
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: iteration %d U[%d]: %w", s+1, i, err)
+			}
+			v[perm[i]] = ct
+		}
+		metrics.Select += time.Since(phase)
+
+		// Step 3(d): oblivious extraction — E(t′ₛ,j) = Πᵢ SM(Vᵢ, E(t_{i,j})).
+		phase = time.Now()
+		// Per-worker partial column products, combined at the end.
+		partials := make([][]*paillier.Ciphertext, len(c.rqs))
+		err = c.parallelOverRecords(n, func(rq *smc.Requester, lo, hi int) error {
+			sel := make([]*paillier.Ciphertext, 0, (hi-lo)*m)
+			rec := make([]*paillier.Ciphertext, 0, (hi-lo)*m)
+			for i := lo; i < hi; i++ {
+				for j := 0; j < m; j++ {
+					sel = append(sel, v[i])
+					rec = append(rec, records[i][j])
+				}
+			}
+			prods, err := rq.SMBatch(sel, rec)
+			if err != nil {
+				return fmt.Errorf("core: extract chunk [%d,%d): %w", lo, hi, err)
+			}
+			cols := make([]*paillier.Ciphertext, m)
+			for i := lo; i < hi; i++ {
+				row := prods[(i-lo)*m : (i-lo+1)*m]
+				for j := 0; j < m; j++ {
+					if cols[j] == nil {
+						cols[j] = row[j]
+					} else {
+						cols[j] = pk.Add(cols[j], row[j])
+					}
+				}
+			}
+			partials[c.workerIndex(rq)] = cols
+			return nil
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		record := make(EncryptedRecord, m)
+		for _, cols := range partials {
+			if cols == nil {
+				continue
+			}
+			for j := 0; j < m; j++ {
+				if record[j] == nil {
+					record[j] = cols[j]
+				} else {
+					record[j] = pk.Add(record[j], cols[j])
+				}
+			}
+		}
+		selected = append(selected, record)
+		metrics.Extract += time.Since(phase)
+
+		// Step 3(e): oblivious disqualification — OR Vᵢ into every bit of
+		// [dᵢ], driving the winner's distance to 2^l − 1. Skipped after
+		// the final iteration (nothing consumes the update).
+		if s == k-1 {
+			break
+		}
+		phase = time.Now()
+		err = c.parallelOverRecords(n, func(rq *smc.Requester, lo, hi int) error {
+			sel := make([]*paillier.Ciphertext, 0, (hi-lo)*domainBits)
+			bts := make([]*paillier.Ciphertext, 0, (hi-lo)*domainBits)
+			for i := lo; i < hi; i++ {
+				for g := 0; g < domainBits; g++ {
+					sel = append(sel, v[i])
+					bts = append(bts, bits[i][g])
+				}
+			}
+			ors, err := rq.SBORBatch(sel, bts)
+			if err != nil {
+				return fmt.Errorf("core: exclude chunk [%d,%d): %w", lo, hi, err)
+			}
+			for i := lo; i < hi; i++ {
+				copy(bits[i], ors[(i-lo)*domainBits:(i-lo+1)*domainBits])
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		metrics.Exclude += time.Since(phase)
+	}
+
+	// Steps 4–6 of Algorithm 5: masked reveal.
+	phase = time.Now()
+	res, err := c.reveal(selected)
+	if err != nil {
+		return nil, nil, err
+	}
+	metrics.Reveal = time.Since(phase)
+
+	metrics.Total = time.Since(start)
+	metrics.Comm = c.CommStats().Sub(comm0)
+	return res, metrics, nil
+}
+
+// workerIndex maps a requester back to its slot (for per-worker result
+// buffers).
+func (c *CloudC1) workerIndex(rq *smc.Requester) int {
+	for i, r := range c.rqs {
+		if r == rq {
+			return i
+		}
+	}
+	panic("core: requester not owned by this cloud")
+}
+
+// sminnParallel is SMINn (Algorithm 4) with each tournament level's
+// independent SMIN pairs spread across the worker connections. The
+// round structure — ⌈log₂ n⌉ levels, n−1 SMINs — is identical to
+// smc.SMINn; only the scheduling differs. With a single connection the
+// whole tournament runs through the round-batched form instead (two
+// frames per level rather than two per pair).
+func (c *CloudC1) sminnParallel(ds [][]*paillier.Ciphertext) ([]*paillier.Ciphertext, error) {
+	if len(ds) == 0 {
+		return nil, fmt.Errorf("core: SMINn over empty set")
+	}
+	if len(c.rqs) == 1 {
+		return c.rqs[0].SMINnBatched(ds)
+	}
+	live := make([][]*paillier.Ciphertext, len(ds))
+	copy(live, ds)
+	for len(live) > 1 {
+		pairs := len(live) / 2
+		next := make([][]*paillier.Ciphertext, (len(live)+1)/2)
+		if len(live)%2 == 1 {
+			next[pairs] = live[len(live)-1]
+		}
+		if len(c.rqs) == 1 || pairs == 1 {
+			for p := 0; p < pairs; p++ {
+				m, err := c.rqs[0].SMIN(live[2*p], live[2*p+1])
+				if err != nil {
+					return nil, err
+				}
+				next[p] = m
+			}
+		} else {
+			var wg sync.WaitGroup
+			errs := make([]error, len(c.rqs))
+			for w := range c.rqs {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for p := w; p < pairs; p += len(c.rqs) {
+						m, err := c.rqs[w].SMIN(live[2*p], live[2*p+1])
+						if err != nil {
+							errs[w] = err
+							return
+						}
+						next[p] = m
+					}
+				}(w)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		live = next
+	}
+	return live[0], nil
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+
+	"sknn/internal/paillier"
+)
+
+// EncryptedRecord is one row of the outsourced database, encrypted
+// attribute-wise: ⟨E(t_{i,1}),…,E(t_{i,m})⟩.
+type EncryptedRecord []*paillier.Ciphertext
+
+// EncryptedTable is Alice's outsourced database E(T): n records of m
+// attributes, all encrypted under her Paillier public key. The table is
+// immutable once built and safe to share across parallel workers.
+//
+// featureM ≤ m marks how many leading attributes participate in
+// distance computation; trailing columns (e.g. a class label) ride
+// along encrypted and are returned to Bob but never influence ranking.
+// This is the layout secure kNN *classification* needs (the paper's
+// Section 2.1 points at classification as a direct application).
+type EncryptedTable struct {
+	pk       *paillier.PublicKey
+	records  []EncryptedRecord
+	m        int
+	featureM int
+}
+
+// EncryptTable is Alice's one-time setup (Section 1.1): she encrypts her
+// n×m table attribute-wise under pk. Rows must be rectangular and each
+// attribute must fit the chosen domain: callers enforce value bounds via
+// dataset validation before encryption.
+func EncryptTable(random io.Reader, pk *paillier.PublicKey, rows [][]uint64) (*EncryptedTable, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, fmt.Errorf("core: empty table")
+	}
+	m := len(rows[0])
+	t := &EncryptedTable{pk: pk, m: m, featureM: m, records: make([]EncryptedRecord, len(rows))}
+	for i, row := range rows {
+		if len(row) != m {
+			return nil, fmt.Errorf("core: row %d has %d attributes, want %d", i, len(row), m)
+		}
+		rec, err := pk.EncryptUint64Vector(random, row)
+		if err != nil {
+			return nil, fmt.Errorf("core: encrypting row %d: %w", i, err)
+		}
+		t.records[i] = rec
+	}
+	return t, nil
+}
+
+// NewEncryptedTable wraps already-encrypted records (e.g. loaded from
+// disk or received over the wire) after validating rectangularity.
+func NewEncryptedTable(pk *paillier.PublicKey, records []EncryptedRecord) (*EncryptedTable, error) {
+	if len(records) == 0 || len(records[0]) == 0 {
+		return nil, fmt.Errorf("core: empty table")
+	}
+	m := len(records[0])
+	for i, rec := range records {
+		if len(rec) != m {
+			return nil, fmt.Errorf("core: record %d has %d attributes, want %d", i, len(rec), m)
+		}
+		for j, ct := range rec {
+			if ct == nil {
+				return nil, fmt.Errorf("core: record %d attribute %d is nil", i, j)
+			}
+		}
+	}
+	return &EncryptedTable{pk: pk, m: m, featureM: m, records: records}, nil
+}
+
+// WithFeatureColumns returns a view of the table whose first f columns
+// are the distance features; the remaining m−f columns are opaque
+// payload (labels, identifiers) still delivered with results. The
+// ciphertexts are shared with the receiver, not copied.
+func (t *EncryptedTable) WithFeatureColumns(f int) (*EncryptedTable, error) {
+	if f < 1 || f > t.m {
+		return nil, fmt.Errorf("core: feature columns %d out of range [1,%d]", f, t.m)
+	}
+	view := *t
+	view.featureM = f
+	return &view, nil
+}
+
+// N returns the number of records.
+func (t *EncryptedTable) N() int { return len(t.records) }
+
+// M returns the number of attributes.
+func (t *EncryptedTable) M() int { return t.m }
+
+// FeatureM returns the number of leading attributes used for distance.
+func (t *EncryptedTable) FeatureM() int { return t.featureM }
+
+// featureRecords2D exposes the distance-relevant prefix of each record.
+func (t *EncryptedTable) featureRecords2D() [][]*paillier.Ciphertext {
+	out := make([][]*paillier.Ciphertext, len(t.records))
+	for i, r := range t.records {
+		out[i] = r[:t.featureM]
+	}
+	return out
+}
+
+// PK returns the public key the table is encrypted under.
+func (t *EncryptedTable) PK() *paillier.PublicKey { return t.pk }
+
+// Record returns row i (shared, read-only).
+func (t *EncryptedTable) Record(i int) EncryptedRecord { return t.records[i] }
+
+// records2D exposes the raw [][]*Ciphertext shape smc batch calls expect.
+func (t *EncryptedTable) records2D() [][]*paillier.Ciphertext {
+	out := make([][]*paillier.Ciphertext, len(t.records))
+	for i, r := range t.records {
+		out[i] = r
+	}
+	return out
+}
+
+// MarshalRecords serializes the table's ciphertexts as raw big.Ints
+// (row-major), the format cmd/sknnd ships tables in.
+func (t *EncryptedTable) MarshalRecords() [][]*big.Int {
+	out := make([][]*big.Int, len(t.records))
+	for i, rec := range t.records {
+		row := make([]*big.Int, len(rec))
+		for j, ct := range rec {
+			row[j] = ct.Raw()
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// UnmarshalRecords reverses MarshalRecords, validating every element.
+func UnmarshalRecords(pk *paillier.PublicKey, rows [][]*big.Int) (*EncryptedTable, error) {
+	records := make([]EncryptedRecord, len(rows))
+	for i, row := range rows {
+		rec := make(EncryptedRecord, len(row))
+		for j, v := range row {
+			ct, err := pk.FromRaw(v)
+			if err != nil {
+				return nil, fmt.Errorf("core: row %d attr %d: %w", i, j, err)
+			}
+			rec[j] = ct
+		}
+		records[i] = rec
+	}
+	return NewEncryptedTable(pk, records)
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+)
+
+func TestEncryptTableShape(t *testing.T) {
+	sk := testKey()
+	rows := [][]uint64{{1, 2, 3}, {4, 5, 6}}
+	tbl, err := EncryptTable(rand.Reader, &sk.PublicKey, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.N() != 2 || tbl.M() != 3 {
+		t.Fatalf("shape = %dx%d", tbl.N(), tbl.M())
+	}
+	// Decrypting a cell recovers the plaintext.
+	m, err := sk.Decrypt(tbl.Record(1)[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Int64() != 6 {
+		t.Errorf("cell (1,2) = %v, want 6", m)
+	}
+}
+
+func TestEncryptTableValidation(t *testing.T) {
+	sk := testKey()
+	if _, err := EncryptTable(rand.Reader, &sk.PublicKey, nil); err == nil {
+		t.Error("empty table accepted")
+	}
+	if _, err := EncryptTable(rand.Reader, &sk.PublicKey, [][]uint64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged table accepted")
+	}
+}
+
+func TestNewEncryptedTableValidation(t *testing.T) {
+	sk := testKey()
+	pk := &sk.PublicKey
+	good, err := EncryptTable(rand.Reader, pk, [][]uint64{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEncryptedTable(pk, nil); err == nil {
+		t.Error("nil records accepted")
+	}
+	ragged := []EncryptedRecord{good.Record(0), good.Record(0)[:1]}
+	if _, err := NewEncryptedTable(pk, ragged); err == nil {
+		t.Error("ragged records accepted")
+	}
+	withNil := []EncryptedRecord{{good.Record(0)[0], nil}}
+	if _, err := NewEncryptedTable(pk, withNil); err == nil {
+		t.Error("nil ciphertext accepted")
+	}
+}
+
+func TestTableMarshalRoundTrip(t *testing.T) {
+	sk := testKey()
+	rows := [][]uint64{{7, 8}, {9, 10}, {11, 12}}
+	tbl, err := EncryptTable(rand.Reader, &sk.PublicKey, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := tbl.MarshalRecords()
+	back, err := UnmarshalRecords(&sk.PublicKey, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		for j := range rows[i] {
+			m, err := sk.Decrypt(back.Record(i)[j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Uint64() != rows[i][j] {
+				t.Errorf("cell (%d,%d) = %v, want %d", i, j, m, rows[i][j])
+			}
+		}
+	}
+}
+
+func TestUnmarshalRecordsRejectsGarbage(t *testing.T) {
+	sk := testKey()
+	// Zero is outside the ciphertext group (0, N²).
+	bad := [][]*big.Int{{big.NewInt(0)}}
+	if _, err := UnmarshalRecords(&sk.PublicKey, bad); err == nil {
+		t.Error("invalid ciphertext accepted")
+	}
+	tooBig := [][]*big.Int{{new(big.Int).Set(sk.NSquared)}}
+	if _, err := UnmarshalRecords(&sk.PublicKey, tooBig); err == nil {
+		t.Error("out-of-group ciphertext accepted")
+	}
+}

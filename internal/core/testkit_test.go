@@ -1,0 +1,96 @@
+package core
+
+import (
+	"crypto/rand"
+	"sync"
+	"testing"
+
+	"sknn/internal/dataset"
+	"sknn/internal/mpc"
+	"sknn/internal/paillier"
+)
+
+// testKey is a shared 256-bit key for the core suite.
+var testKey = sync.OnceValue(func() *paillier.PrivateKey {
+	sk, err := paillier.GenerateKey(rand.Reader, 256)
+	if err != nil {
+		panic(err)
+	}
+	return sk
+})
+
+// newSystem outsources tbl to a fresh federated cloud with the given
+// number of C1↔C2 connections and returns the orchestrator plus Bob's
+// client. All goroutines and connections are torn down via t.Cleanup.
+func newSystem(t *testing.T, tbl *dataset.Table, workers int) (*CloudC1, *Client) {
+	t.Helper()
+	sk := testKey()
+	if err := tbl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	encTable, err := EncryptTable(rand.Reader, &sk.PublicKey, tbl.Rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := NewCloudC2(sk, nil)
+	conns := make([]mpc.Conn, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		c1Side, c2Side := mpc.ChanPipe()
+		conns[i] = c1Side
+		wg.Add(1)
+		go func(conn mpc.Conn) {
+			defer wg.Done()
+			if err := c2.Serve(conn); err != nil {
+				t.Errorf("C2 serve loop: %v", err)
+			}
+		}(c2Side)
+	}
+	c1, err := NewCloudC1(encTable, conns, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := c1.Close(); err != nil {
+			t.Errorf("closing C1: %v", err)
+		}
+		wg.Wait()
+	})
+	return c1, NewClient(&sk.PublicKey, nil)
+}
+
+// runBasic executes SkNNb end-to-end and returns Bob's unmasked records.
+func runBasic(t *testing.T, c1 *CloudC1, bob *Client, q []uint64, k int) [][]uint64 {
+	t.Helper()
+	eq, err := bob.EncryptQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c1.BasicQuery(eq, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := bob.Unmask(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+// runSecure executes SkNNm end-to-end and returns Bob's unmasked records.
+func runSecure(t *testing.T, c1 *CloudC1, bob *Client, q []uint64, k, l int) [][]uint64 {
+	t.Helper()
+	eq, err := bob.EncryptQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c1.SecureQuery(eq, k, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := bob.Unmask(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}

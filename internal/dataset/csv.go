@@ -1,0 +1,74 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the table with an optional header row (when Names is
+// set), the interchange format of cmd/sknngen and cmd/sknnquery.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if len(t.Names) > 0 {
+		if err := cw.Write(t.Names); err != nil {
+			return fmt.Errorf("dataset: writing header: %w", err)
+		}
+	}
+	row := make([]string, t.M())
+	for i, r := range t.Rows {
+		for j, v := range r {
+			row[j] = strconv.FormatUint(v, 10)
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("dataset: writing row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a table written by WriteCSV. If the first row contains
+// any non-numeric field it is treated as a header. attrBits declares the
+// intended domain; the parsed table is validated against it.
+func ReadCSV(r io.Reader, attrBits int) (*Table, error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading csv: %w", err)
+	}
+	if len(recs) == 0 {
+		return nil, ErrEmptyTable
+	}
+	t := &Table{AttrBits: attrBits}
+	start := 0
+	if !allNumeric(recs[0]) {
+		t.Names = append([]string(nil), recs[0]...)
+		start = 1
+	}
+	for i := start; i < len(recs); i++ {
+		row := make([]uint64, len(recs[i]))
+		for j, field := range recs[i] {
+			v, err := strconv.ParseUint(field, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: row %d field %d %q: %w", i, j, field, err)
+			}
+			row[j] = v
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func allNumeric(fields []string) bool {
+	for _, f := range fields {
+		if _, err := strconv.ParseUint(f, 10, 64); err != nil {
+			return false
+		}
+	}
+	return true
+}

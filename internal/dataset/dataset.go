@@ -1,0 +1,134 @@
+// Package dataset provides the data substrate for the SkNN evaluation:
+// synthetic table generation with the paper's parameterization (number of
+// records n, attributes m, attribute domain in bits), the UCI
+// heart-disease sample of Table 1/2, CSV interchange, a fixed-point
+// encoder for real-valued attributes, and the domain-size calculation
+// that feeds SkNNm's bit-decomposition parameter l.
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	mrand "math/rand"
+)
+
+// MaxAttrBits bounds per-attribute domains so squared Euclidean
+// distances stay well inside uint64 for the plaintext oracle
+// (m·2^(2b) < 2^63 comfortably for realistic m).
+const MaxAttrBits = 24
+
+// Errors returned by this package.
+var (
+	ErrEmptyTable    = errors.New("dataset: empty table")
+	ErrRagged        = errors.New("dataset: rows have differing attribute counts")
+	ErrValueTooLarge = errors.New("dataset: attribute exceeds declared domain")
+	ErrBadAttrBits   = errors.New("dataset: attribute domain bits out of range")
+)
+
+// Table is a plaintext relational table: n rows of m uint64 attributes,
+// each attribute in [0, 2^AttrBits).
+type Table struct {
+	// Rows holds the records, row-major.
+	Rows [][]uint64
+	// AttrBits is the per-attribute domain size in bits (values are in
+	// [0, 2^AttrBits)).
+	AttrBits int
+	// Names optionally labels the attributes (len M or nil).
+	Names []string
+}
+
+// N returns the number of records.
+func (t *Table) N() int { return len(t.Rows) }
+
+// M returns the number of attributes (0 for an empty table).
+func (t *Table) M() int {
+	if len(t.Rows) == 0 {
+		return 0
+	}
+	return len(t.Rows[0])
+}
+
+// Validate checks shape and domain bounds.
+func (t *Table) Validate() error {
+	if t.N() == 0 || t.M() == 0 {
+		return ErrEmptyTable
+	}
+	if t.AttrBits < 1 || t.AttrBits > MaxAttrBits {
+		return fmt.Errorf("%w: %d", ErrBadAttrBits, t.AttrBits)
+	}
+	limit := uint64(1) << t.AttrBits
+	m := t.M()
+	for i, row := range t.Rows {
+		if len(row) != m {
+			return fmt.Errorf("%w: row %d has %d, row 0 has %d", ErrRagged, i, len(row), m)
+		}
+		for j, v := range row {
+			if v >= limit {
+				return fmt.Errorf("%w: row %d attr %d value %d ≥ 2^%d",
+					ErrValueTooLarge, i, j, v, t.AttrBits)
+			}
+		}
+	}
+	return nil
+}
+
+// DomainBits returns l for the table: the bit length of the largest
+// possible squared Euclidean distance, m·(2^b−1)², which is what SkNNm's
+// bit decomposition must accommodate.
+func (t *Table) DomainBits() int {
+	return DomainBits(t.AttrBits, t.M())
+}
+
+// DomainBits computes l = bitlen(m · (2^b − 1)²) for attribute domain b
+// and dimension m.
+func DomainBits(attrBits, m int) int {
+	maxAttr := uint64(1)<<attrBits - 1
+	maxSq := maxAttr * maxAttr
+	// bits.Len64 of m*maxSq could overflow uint64 for extreme b; domain
+	// is capped at MaxAttrBits so m up to 2^14 is safe.
+	return bits.Len64(uint64(m) * maxSq)
+}
+
+// Generate produces a synthetic table with uniform attribute values, the
+// dataset recipe of the paper's Section 5 ("we randomly generated
+// synthetic datasets depending on the parameter values in
+// consideration"). The generator is deterministic in seed so benchmark
+// runs are reproducible.
+func Generate(seed int64, n, m, attrBits int) (*Table, error) {
+	if n <= 0 || m <= 0 {
+		return nil, ErrEmptyTable
+	}
+	if attrBits < 1 || attrBits > MaxAttrBits {
+		return nil, fmt.Errorf("%w: %d", ErrBadAttrBits, attrBits)
+	}
+	rng := mrand.New(mrand.NewSource(seed))
+	limit := uint64(1) << attrBits
+	rows := make([][]uint64, n)
+	for i := range rows {
+		row := make([]uint64, m)
+		for j := range row {
+			row[j] = uint64(rng.Int63n(int64(limit)))
+		}
+		rows[i] = row
+	}
+	return &Table{Rows: rows, AttrBits: attrBits}, nil
+}
+
+// GenerateQuery produces a uniform random query point in the table's
+// attribute domain.
+func GenerateQuery(seed int64, m, attrBits int) ([]uint64, error) {
+	if m <= 0 {
+		return nil, ErrEmptyTable
+	}
+	if attrBits < 1 || attrBits > MaxAttrBits {
+		return nil, fmt.Errorf("%w: %d", ErrBadAttrBits, attrBits)
+	}
+	rng := mrand.New(mrand.NewSource(seed))
+	limit := uint64(1) << attrBits
+	q := make([]uint64, m)
+	for j := range q {
+		q[j] = uint64(rng.Int63n(int64(limit)))
+	}
+	return q, nil
+}

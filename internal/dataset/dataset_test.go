@@ -1,0 +1,224 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestGenerateShapeAndDomain(t *testing.T) {
+	tbl, err := Generate(1, 100, 6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.N() != 100 || tbl.M() != 6 {
+		t.Fatalf("shape = %dx%d, want 100x6", tbl.N(), tbl.M())
+	}
+	if err := tbl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		for _, v := range row {
+			if v >= 256 {
+				t.Fatalf("value %d out of 8-bit domain", v)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(42, 10, 3, 10)
+	b, _ := Generate(42, 10, 3, 10)
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if a.Rows[i][j] != b.Rows[i][j] {
+				t.Fatal("same seed produced different tables")
+			}
+		}
+	}
+	c, _ := Generate(43, 10, 3, 10)
+	same := true
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if a.Rows[i][j] != c.Rows[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical tables")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(1, 0, 3, 8); !errors.Is(err, ErrEmptyTable) {
+		t.Errorf("n=0 error = %v", err)
+	}
+	if _, err := Generate(1, 5, 0, 8); !errors.Is(err, ErrEmptyTable) {
+		t.Errorf("m=0 error = %v", err)
+	}
+	if _, err := Generate(1, 5, 3, 0); !errors.Is(err, ErrBadAttrBits) {
+		t.Errorf("bits=0 error = %v", err)
+	}
+	if _, err := Generate(1, 5, 3, MaxAttrBits+1); !errors.Is(err, ErrBadAttrBits) {
+		t.Errorf("bits too large error = %v", err)
+	}
+}
+
+func TestGenerateQuery(t *testing.T) {
+	q, err := GenerateQuery(7, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q) != 4 {
+		t.Fatalf("len = %d", len(q))
+	}
+	for _, v := range q {
+		if v >= 256 {
+			t.Fatalf("query value %d out of domain", v)
+		}
+	}
+}
+
+func TestValidateCatchesRaggedAndOverflow(t *testing.T) {
+	tbl := &Table{Rows: [][]uint64{{1, 2}, {3}}, AttrBits: 4}
+	if err := tbl.Validate(); !errors.Is(err, ErrRagged) {
+		t.Errorf("ragged error = %v", err)
+	}
+	tbl = &Table{Rows: [][]uint64{{1, 16}}, AttrBits: 4}
+	if err := tbl.Validate(); !errors.Is(err, ErrValueTooLarge) {
+		t.Errorf("overflow error = %v", err)
+	}
+	tbl = &Table{Rows: [][]uint64{{1, 15}}, AttrBits: 4}
+	if err := tbl.Validate(); err != nil {
+		t.Errorf("valid table rejected: %v", err)
+	}
+}
+
+func TestDomainBits(t *testing.T) {
+	cases := []struct {
+		attrBits, m, want int
+	}{
+		// m=1, b=1: max diff 1, squared 1 -> 1 bit.
+		{1, 1, 1},
+		// b=3 (max 7): 49 per dim; m=2 -> 98 -> 7 bits.
+		{3, 2, 7},
+		// Paper-style: b=9 (heart data, max 511), m=10:
+		// 10*511² = 2612121 -> 22 bits.
+		{9, 10, 22},
+	}
+	for _, c := range cases {
+		if got := DomainBits(c.attrBits, c.m); got != c.want {
+			t.Errorf("DomainBits(%d,%d) = %d, want %d", c.attrBits, c.m, got, c.want)
+		}
+	}
+}
+
+func TestDomainBitsIsSufficient(t *testing.T) {
+	// Any pair of in-domain vectors must have squared distance < 2^l.
+	tbl, _ := Generate(3, 50, 5, 8)
+	l := tbl.DomainBits()
+	limit := uint64(1) << l
+	for i := 0; i < tbl.N()-1; i++ {
+		var sum uint64
+		for j := 0; j < tbl.M(); j++ {
+			d := int64(tbl.Rows[i][j]) - int64(tbl.Rows[i+1][j])
+			sum += uint64(d * d)
+		}
+		if sum >= limit {
+			t.Fatalf("distance %d ≥ 2^%d", sum, l)
+		}
+	}
+}
+
+func TestHeartDiseaseTable(t *testing.T) {
+	tbl := HeartDisease()
+	if tbl.N() != 6 || tbl.M() != 10 {
+		t.Fatalf("shape = %dx%d, want 6x10", tbl.N(), tbl.M())
+	}
+	if err := tbl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check t1 and t6 against Table 1.
+	if tbl.Rows[0][0] != 63 || tbl.Rows[0][4] != 233 {
+		t.Error("t1 mismatch")
+	}
+	if tbl.Rows[5][0] != 77 || tbl.Rows[5][9] != 4 {
+		t.Error("t6 mismatch")
+	}
+	if len(tbl.Names) != 10 || tbl.Names[3] != "trestbps" {
+		t.Errorf("names = %v", tbl.Names)
+	}
+	for _, name := range tbl.Names {
+		if _, ok := HeartAttributeDescriptions[name]; !ok {
+			t.Errorf("attribute %q missing from Table 2 descriptions", name)
+		}
+	}
+}
+
+func TestHeartDiseaseFeatures(t *testing.T) {
+	tbl := HeartDiseaseFeatures()
+	if tbl.M() != 9 {
+		t.Fatalf("M = %d, want 9", tbl.M())
+	}
+	if len(HeartExampleQuery) != tbl.M() {
+		t.Fatal("example query dimension mismatch")
+	}
+	if err := tbl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the returned copy must not corrupt the embedded data.
+	tbl.Rows[0][0] = 999
+	if HeartDiseaseFeatures().Rows[0][0] != 63 {
+		t.Error("HeartDiseaseFeatures returns shared backing storage")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tbl, _ := Generate(5, 20, 4, 8)
+	tbl.Names = []string{"a", "b", "c", "d"}
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != tbl.N() || back.M() != tbl.M() {
+		t.Fatalf("shape changed: %dx%d", back.N(), back.M())
+	}
+	if back.Names[2] != "c" {
+		t.Errorf("names = %v", back.Names)
+	}
+	for i := range tbl.Rows {
+		for j := range tbl.Rows[i] {
+			if tbl.Rows[i][j] != back.Rows[i][j] {
+				t.Fatalf("cell (%d,%d) changed", i, j)
+			}
+		}
+	}
+}
+
+func TestCSVNoHeader(t *testing.T) {
+	back, err := ReadCSV(strings.NewReader("1,2\n3,4\n"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Names != nil || back.N() != 2 || back.Rows[1][1] != 4 {
+		t.Errorf("parsed = %+v", back)
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), 4); !errors.Is(err, ErrEmptyTable) {
+		t.Errorf("empty error = %v", err)
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1,x\n"), 4); err == nil {
+		t.Error("non-numeric body accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,99\n"), 4); !errors.Is(err, ErrValueTooLarge) {
+		t.Errorf("overflow error = %v", err)
+	}
+}

@@ -1,0 +1,95 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Quantizer maps real-valued attributes into the integer domain the
+// protocols operate on: x ↦ round((x − Offset) · Scale). The paper's
+// protocols work over non-negative integers; many real datasets (sensor
+// readings, lab values) need this shim. Nearest-neighbor ordering under
+// squared Euclidean distance is preserved exactly when all attributes
+// share one Quantizer, up to the rounding granularity 1/Scale.
+type Quantizer struct {
+	// Scale is the number of integer steps per unit (> 0).
+	Scale float64
+	// Offset shifts the domain so the minimum maps to ≥ 0.
+	Offset float64
+	// Bits is the target attribute domain; encoded values must fit it.
+	Bits int
+}
+
+// ErrQuantizeRange reports a value that falls outside [0, 2^Bits) after
+// encoding.
+var ErrQuantizeRange = errors.New("dataset: value outside quantizer range")
+
+// Encode quantizes one value.
+func (q *Quantizer) Encode(x float64) (uint64, error) {
+	if q.Scale <= 0 || q.Bits < 1 || q.Bits > MaxAttrBits {
+		return 0, fmt.Errorf("dataset: invalid quantizer %+v", *q)
+	}
+	v := math.Round((x - q.Offset) * q.Scale)
+	if v < 0 || v >= float64(uint64(1)<<q.Bits) || math.IsNaN(v) {
+		return 0, fmt.Errorf("%w: %v -> %v with %d bits", ErrQuantizeRange, x, v, q.Bits)
+	}
+	return uint64(v), nil
+}
+
+// Decode inverts Encode up to rounding.
+func (q *Quantizer) Decode(v uint64) float64 {
+	return float64(v)/q.Scale + q.Offset
+}
+
+// EncodeRows quantizes a whole real-valued table.
+func (q *Quantizer) EncodeRows(rows [][]float64) (*Table, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, ErrEmptyTable
+	}
+	out := make([][]uint64, len(rows))
+	m := len(rows[0])
+	for i, row := range rows {
+		if len(row) != m {
+			return nil, fmt.Errorf("%w: row %d", ErrRagged, i)
+		}
+		enc := make([]uint64, m)
+		for j, x := range row {
+			v, err := q.Encode(x)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: row %d attr %d: %w", i, j, err)
+			}
+			enc[j] = v
+		}
+		out[i] = enc
+	}
+	return &Table{Rows: out, AttrBits: q.Bits}, nil
+}
+
+// FitQuantizer chooses Offset = min(rows) and the largest power-of-two
+// friendly Scale that makes max(rows) fit in bits. It returns an error
+// on degenerate input (no spread at all is fine — scale defaults to 1).
+func FitQuantizer(rows [][]float64, bits int) (*Quantizer, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, ErrEmptyTable
+	}
+	if bits < 1 || bits > MaxAttrBits {
+		return nil, fmt.Errorf("%w: %d", ErrBadAttrBits, bits)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, row := range rows {
+		for _, x := range row {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return nil, fmt.Errorf("dataset: non-finite value %v", x)
+			}
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+	}
+	span := hi - lo
+	scale := 1.0
+	if span > 0 {
+		scale = (float64(uint64(1)<<bits) - 1) / span
+	}
+	return &Quantizer{Scale: scale, Offset: lo, Bits: bits}, nil
+}

@@ -1,0 +1,122 @@
+package dataset
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantizerRoundTrip(t *testing.T) {
+	q := &Quantizer{Scale: 100, Offset: -5, Bits: 16}
+	for _, x := range []float64{-5, -4.99, 0, 3.14159, 600} {
+		v, err := q.Encode(x)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", x, err)
+		}
+		back := q.Decode(v)
+		if math.Abs(back-x) > 1.0/q.Scale {
+			t.Errorf("round trip %v -> %v -> %v drifts more than 1/scale", x, v, back)
+		}
+	}
+}
+
+func TestQuantizerRange(t *testing.T) {
+	q := &Quantizer{Scale: 1, Offset: 0, Bits: 4}
+	if _, err := q.Encode(-1); !errors.Is(err, ErrQuantizeRange) {
+		t.Errorf("negative error = %v", err)
+	}
+	if _, err := q.Encode(16); !errors.Is(err, ErrQuantizeRange) {
+		t.Errorf("overflow error = %v", err)
+	}
+	if _, err := q.Encode(math.NaN()); err == nil {
+		t.Error("NaN accepted")
+	}
+	if v, err := q.Encode(15); err != nil || v != 15 {
+		t.Errorf("Encode(15) = %d, %v", v, err)
+	}
+}
+
+func TestQuantizerInvalidConfig(t *testing.T) {
+	bad := []Quantizer{
+		{Scale: 0, Bits: 8},
+		{Scale: -1, Bits: 8},
+		{Scale: 1, Bits: 0},
+		{Scale: 1, Bits: MaxAttrBits + 1},
+	}
+	for _, q := range bad {
+		if _, err := q.Encode(1); err == nil {
+			t.Errorf("invalid quantizer %+v accepted", q)
+		}
+	}
+}
+
+func TestFitQuantizerCoversData(t *testing.T) {
+	rows := [][]float64{{-2.5, 0}, {7.25, 3.5}, {1, 1}}
+	q, err := FitQuantizer(rows, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := q.EncodeRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitQuantizerDegenerate(t *testing.T) {
+	// All-equal data: scale defaults to 1, everything encodes to 0.
+	q, err := FitQuantizer([][]float64{{3, 3}, {3, 3}}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := q.Encode(3)
+	if err != nil || v != 0 {
+		t.Errorf("Encode(3) = %d, %v", v, err)
+	}
+	if _, err := FitQuantizer([][]float64{{math.Inf(1)}}, 8); err == nil {
+		t.Error("infinite input accepted")
+	}
+	if _, err := FitQuantizer(nil, 8); !errors.Is(err, ErrEmptyTable) {
+		t.Errorf("empty error = %v", err)
+	}
+}
+
+func TestQuantizerPreservesOrdering(t *testing.T) {
+	// Distances computed on quantized values must rank neighbors the
+	// same way as float distances (up to quantization granularity).
+	f := func(a, b, c float64) bool {
+		vals := []float64{math.Mod(math.Abs(a), 100), math.Mod(math.Abs(b), 100), math.Mod(math.Abs(c), 100)}
+		q, err := FitQuantizer([][]float64{vals}, 20)
+		if err != nil {
+			return false
+		}
+		enc := make([]uint64, 3)
+		for i, x := range vals {
+			enc[i], err = q.Encode(x)
+			if err != nil {
+				return false
+			}
+		}
+		// |a-b| < |a-c| (with a comfortable margin) must survive encoding.
+		db, dc := math.Abs(vals[0]-vals[1]), math.Abs(vals[0]-vals[2])
+		if math.Abs(db-dc) < 2.0/q.Scale {
+			return true // too close to call — granularity exemption
+		}
+		encDb := int64(enc[0]) - int64(enc[1])
+		encDc := int64(enc[0]) - int64(enc[2])
+		return (db < dc) == (encDb*encDb < encDc*encDc)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeRowsRagged(t *testing.T) {
+	q := &Quantizer{Scale: 1, Offset: 0, Bits: 8}
+	if _, err := q.EncodeRows([][]float64{{1, 2}, {3}}); !errors.Is(err, ErrRagged) {
+		t.Errorf("ragged error = %v", err)
+	}
+}

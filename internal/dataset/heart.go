@@ -1,0 +1,68 @@
+package dataset
+
+// This file embeds the sample heart-disease data of the paper's Table 1
+// and the attribute dictionary of Table 2 (originally from the UCI
+// machine learning repository's Heart Disease data set). It drives the
+// paper's running Example 1 and the `examples/medical` program.
+
+// HeartAttributeNames are the m = 10 attributes of Table 1 in order.
+var HeartAttributeNames = []string{
+	"age", "sex", "cp", "trestbps", "chol", "fbs", "slope", "ca", "thal", "num",
+}
+
+// HeartAttributeDescriptions reproduces Table 2.
+var HeartAttributeDescriptions = map[string]string{
+	"age":      "age in years",
+	"sex":      "1=male, 0=female",
+	"cp":       "chest pain type: 1=typical angina, 2=atypical angina, 3=non-anginal pain, 4=asymptomatic",
+	"trestbps": "resting blood pressure (mm Hg)",
+	"chol":     "serum cholesterol in mg/dl",
+	"fbs":      "fasting blood sugar > 120 mg/dl (1=true; 0=false)",
+	"slope":    "slope of the peak exercise ST segment (1=upsloping, 2=flat, 3=downsloping)",
+	"ca":       "number of major vessels (0-3) colored by flourosopy",
+	"thal":     "3=normal, 6=fixed defect, 7=reversible defect",
+	"num":      "diagnosis of heart disease from 0 (no presence) to 4",
+}
+
+// heartRows is Table 1 verbatim (records t1…t6).
+var heartRows = [][]uint64{
+	{63, 1, 1, 145, 233, 1, 3, 0, 6, 0}, // t1
+	{56, 1, 3, 130, 256, 1, 2, 1, 6, 2}, // t2
+	{57, 0, 3, 140, 241, 0, 2, 0, 7, 1}, // t3
+	{59, 1, 4, 144, 200, 1, 2, 2, 6, 3}, // t4
+	{55, 0, 4, 128, 205, 0, 2, 1, 7, 3}, // t5
+	{77, 1, 4, 125, 304, 0, 1, 3, 3, 4}, // t6
+}
+
+// HeartDisease returns a fresh copy of the Table 1 sample. Attribute
+// values fit in 9 bits (max 304).
+func HeartDisease() *Table {
+	rows := make([][]uint64, len(heartRows))
+	for i, r := range heartRows {
+		rows[i] = append([]uint64(nil), r...)
+	}
+	names := append([]string(nil), HeartAttributeNames...)
+	return &Table{Rows: rows, AttrBits: 9, Names: names}
+}
+
+// HeartExampleQuery is the patient record of Example 1:
+// Q = ⟨58, 1, 4, 133, 196, 1, 2, 1, 6⟩. It has only 9 attributes — the
+// query deliberately omits the diagnosis column "num", which is what the
+// physician is trying to infer.
+var HeartExampleQuery = []uint64{58, 1, 4, 133, 196, 1, 2, 1, 6}
+
+// HeartDiseaseFeatures returns the Table 1 sample restricted to the 9
+// feature attributes (dropping the diagnosis column "num") so that it is
+// dimension-compatible with HeartExampleQuery.
+func HeartDiseaseFeatures() *Table {
+	full := HeartDisease()
+	rows := make([][]uint64, len(full.Rows))
+	for i, r := range full.Rows {
+		rows[i] = append([]uint64(nil), r[:9]...)
+	}
+	return &Table{
+		Rows:     rows,
+		AttrBits: full.AttrBits,
+		Names:    append([]string(nil), HeartAttributeNames[:9]...),
+	}
+}

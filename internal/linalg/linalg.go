@@ -1,0 +1,218 @@
+// Package linalg provides the small dense float64 matrix toolkit the
+// ASPE baseline (internal/aspe) needs: multiplication, transpose,
+// Gauss–Jordan inversion with partial pivoting, and linear solves. It is
+// deliberately minimal — just enough numerical machinery to implement
+// Wong et al.'s scheme and the known-plaintext attack against it, with
+// stdlib only.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	mrand "math/rand"
+)
+
+// Errors returned by this package.
+var (
+	ErrShape    = errors.New("linalg: incompatible shapes")
+	ErrSingular = errors.New("linalg: matrix is singular")
+)
+
+// Matrix is a dense row-major float64 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, row-major
+}
+
+// New returns a zero matrix of the given shape.
+func New(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices (copied).
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, fmt.Errorf("%w: empty input", ErrShape)
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			return nil, fmt.Errorf("%w: row %d has %d cols, want %d", ErrShape, i, len(r), m.Cols)
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m, nil
+}
+
+// Identity returns the n×n identity.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// At returns element (i,j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i,j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Transpose returns mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	t := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Mul returns m·o.
+func (m *Matrix) Mul(o *Matrix) (*Matrix, error) {
+	if m.Cols != o.Rows {
+		return nil, fmt.Errorf("%w: %dx%d · %dx%d", ErrShape, m.Rows, m.Cols, o.Rows, o.Cols)
+	}
+	out := New(m.Rows, o.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for kk := 0; kk < m.Cols; kk++ {
+			a := m.At(i, kk)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < o.Cols; j++ {
+				out.Data[i*out.Cols+j] += a * o.At(kk, j)
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns m·v for a column vector v.
+func (m *Matrix) MulVec(v []float64) ([]float64, error) {
+	if m.Cols != len(v) {
+		return nil, fmt.Errorf("%w: %dx%d · vec %d", ErrShape, m.Rows, m.Cols, len(v))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		var s float64
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, a := range row {
+			s += a * v[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Inverse returns m⁻¹ by Gauss–Jordan elimination with partial pivoting.
+func (m *Matrix) Inverse() (*Matrix, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("%w: inverse of %dx%d", ErrShape, m.Rows, m.Cols)
+	}
+	n := m.Rows
+	a := m.Clone()
+	inv := Identity(n)
+	for col := 0; col < n; col++ {
+		// Partial pivot: largest magnitude in this column at or below the
+		// diagonal.
+		pivot := col
+		best := math.Abs(a.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a.At(r, col)); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-12 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			swapRows(a, pivot, col)
+			swapRows(inv, pivot, col)
+		}
+		// Normalize the pivot row.
+		p := a.At(col, col)
+		for j := 0; j < n; j++ {
+			a.Set(col, j, a.At(col, j)/p)
+			inv.Set(col, j, inv.At(col, j)/p)
+		}
+		// Eliminate everywhere else.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a.At(r, col)
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				a.Set(r, j, a.At(r, j)-f*a.At(col, j))
+				inv.Set(r, j, inv.At(r, j)-f*inv.At(col, j))
+			}
+		}
+	}
+	return inv, nil
+}
+
+func swapRows(m *Matrix, a, b int) {
+	ra := m.Data[a*m.Cols : (a+1)*m.Cols]
+	rb := m.Data[b*m.Cols : (b+1)*m.Cols]
+	for j := range ra {
+		ra[j], rb[j] = rb[j], ra[j]
+	}
+}
+
+// RandomInvertible samples an n×n matrix with entries uniform in
+// [-1, 1), retrying until it is comfortably non-singular. Deterministic
+// in the provided rng.
+func RandomInvertible(rng *mrand.Rand, n int) *Matrix {
+	for {
+		m := New(n, n)
+		for i := range m.Data {
+			m.Data[i] = rng.Float64()*2 - 1
+		}
+		if _, err := m.Inverse(); err == nil {
+			return m
+		}
+	}
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("%w: dot %d · %d", ErrShape, len(a), len(b))
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s, nil
+}
+
+// MaxAbsDiff reports the largest element-wise absolute difference, the
+// metric the ASPE attack tests use for "recovered exactly".
+func MaxAbsDiff(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("%w: diff %d vs %d", ErrShape, len(a), len(b))
+	}
+	var worst float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst, nil
+}

@@ -1,0 +1,167 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	mrand "math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromRowsAndAccessors(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 0) != 3 {
+		t.Errorf("At(1,0) = %v", m.At(1, 0))
+	}
+	m.Set(1, 0, 9)
+	if m.At(1, 0) != 9 {
+		t.Errorf("Set failed")
+	}
+	if _, err := FromRows([][]float64{{1}, {2, 3}}); !errors.Is(err, ErrShape) {
+		t.Errorf("ragged error = %v", err)
+	}
+	if _, err := FromRows(nil); !errors.Is(err, ErrShape) {
+		t.Errorf("empty error = %v", err)
+	}
+}
+
+func TestMul(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("(%d,%d) = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+	if _, err := a.Mul(New(3, 3)); !errors.Is(err, ErrShape) {
+		t.Errorf("shape error = %v", err)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 0, 2}, {0, 3, 0}})
+	v, err := a.MulVec([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 7 || v[1] != 6 {
+		t.Errorf("MulVec = %v", v)
+	}
+	if _, err := a.MulVec([]float64{1}); !errors.Is(err, ErrShape) {
+		t.Errorf("shape error = %v", err)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := a.Transpose()
+	if tr.Rows != 3 || tr.Cols != 2 || tr.At(2, 1) != 6 || tr.At(0, 1) != 4 {
+		t.Errorf("transpose wrong: %+v", tr)
+	}
+}
+
+func TestInverseKnown(t *testing.T) {
+	a, _ := FromRows([][]float64{{4, 7}, {2, 6}})
+	inv, err := a.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{0.6, -0.7}, {-0.2, 0.4}}
+	for i := range want {
+		for j := range want[i] {
+			if math.Abs(inv.At(i, j)-want[i][j]) > 1e-12 {
+				t.Errorf("inv(%d,%d) = %v, want %v", i, j, inv.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := a.Inverse(); !errors.Is(err, ErrSingular) {
+		t.Errorf("singular error = %v", err)
+	}
+	if _, err := New(2, 3).Inverse(); !errors.Is(err, ErrShape) {
+		t.Errorf("non-square error = %v", err)
+	}
+}
+
+func TestInverseNeedsPivoting(t *testing.T) {
+	// Zero on the diagonal forces a row swap.
+	a, _ := FromRows([][]float64{{0, 1}, {1, 0}})
+	inv, err := a.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.At(0, 1) != 1 || inv.At(1, 0) != 1 || inv.At(0, 0) != 0 {
+		t.Errorf("inverse of permutation wrong: %+v", inv)
+	}
+}
+
+func TestPropertyInverseRoundTrip(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(7))
+	f := func() bool {
+		n := 1 + rng.Intn(6)
+		m := RandomInvertible(rng, n)
+		inv, err := m.Inverse()
+		if err != nil {
+			return false
+		}
+		prod, err := m.Mul(inv)
+		if err != nil {
+			return false
+		}
+		id := Identity(n)
+		for i := range prod.Data {
+			if math.Abs(prod.Data[i]-id.Data[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDotAndMaxAbsDiff(t *testing.T) {
+	d, err := Dot([]float64{1, 2, 3}, []float64{4, 5, 6})
+	if err != nil || d != 32 {
+		t.Errorf("Dot = %v, %v", d, err)
+	}
+	if _, err := Dot([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrShape) {
+		t.Errorf("dot shape error = %v", err)
+	}
+	diff, err := MaxAbsDiff([]float64{1, 5}, []float64{1.5, 4})
+	if err != nil || diff != 1 {
+		t.Errorf("MaxAbsDiff = %v, %v", diff, err)
+	}
+}
+
+func TestIdentityAndClone(t *testing.T) {
+	id := Identity(3)
+	c := id.Clone()
+	c.Set(0, 0, 7)
+	if id.At(0, 0) != 1 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0,1) did not panic")
+		}
+	}()
+	New(0, 1)
+}

@@ -1,0 +1,80 @@
+package mpc
+
+import "sync"
+
+// chanConn is the in-process transport: two buffered channels carrying
+// deep-copied messages. It is the transport tests and single-machine
+// benchmarks use; it has no serialization cost but still accounts
+// estimated wire bytes so communication numbers stay meaningful.
+type chanConn struct {
+	send      chan<- *Message
+	recv      <-chan *Message
+	stats     Stats
+	closeOnce sync.Once
+	closed    chan struct{}
+	peerDone  <-chan struct{}
+}
+
+// ChanPipe returns the two endpoints of an in-process connection. Each
+// direction is buffered so a party can fire a request and do local work
+// before the peer drains it.
+func ChanPipe() (a, b Conn) {
+	ab := make(chan *Message, 64)
+	ba := make(chan *Message, 64)
+	aClosed := make(chan struct{})
+	bClosed := make(chan struct{})
+	a = &chanConn{send: ab, recv: ba, closed: aClosed, peerDone: bClosed}
+	b = &chanConn{send: ba, recv: ab, closed: bClosed, peerDone: aClosed}
+	return a, b
+}
+
+func (c *chanConn) Send(m *Message) error {
+	// Check for local closure first: the buffered send below could
+	// otherwise win the select race against the closed channel.
+	select {
+	case <-c.closed:
+		return ErrConnClosed
+	default:
+	}
+	cp := m.Clone()
+	select {
+	case <-c.closed:
+		return ErrConnClosed
+	case c.send <- cp:
+		c.stats.addSend(m.wireSize())
+		return nil
+	case <-c.peerDone:
+		return ErrConnClosed
+	}
+}
+
+func (c *chanConn) Recv() (*Message, error) {
+	select {
+	case <-c.closed:
+		return nil, ErrConnClosed
+	case m, ok := <-c.recv:
+		if !ok {
+			return nil, ErrConnClosed
+		}
+		c.stats.addRecv(m.wireSize())
+		return m, nil
+	case <-c.peerDone:
+		// Drain anything already in flight before reporting closure.
+		select {
+		case m, ok := <-c.recv:
+			if ok {
+				c.stats.addRecv(m.wireSize())
+				return m, nil
+			}
+		default:
+		}
+		return nil, ErrConnClosed
+	}
+}
+
+func (c *chanConn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return nil
+}
+
+func (c *chanConn) Stats() *Stats { return &c.stats }

@@ -1,0 +1,304 @@
+package mpc
+
+import (
+	"errors"
+	"math/big"
+	"net"
+	"sync"
+	"testing"
+)
+
+func msg(op Op, vals ...int64) *Message {
+	m := &Message{Op: op}
+	for _, v := range vals {
+		m.Ints = append(m.Ints, big.NewInt(v))
+	}
+	return m
+}
+
+func TestChanPipeRoundTrip(t *testing.T) {
+	a, b := ChanPipe()
+	defer a.Close()
+	defer b.Close()
+
+	go func() {
+		req, err := b.Recv()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := b.Send(&Message{Op: req.Op, Ints: req.Ints}); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	resp, err := RoundTrip(a, msg(OpPing, 1, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Ints) != 3 || resp.Ints[2].Int64() != 3 {
+		t.Errorf("echo payload = %v", resp.Ints)
+	}
+	if a.Stats().Rounds() != 1 {
+		t.Errorf("rounds = %d, want 1", a.Stats().Rounds())
+	}
+}
+
+func TestChanPipeDeepCopies(t *testing.T) {
+	a, b := ChanPipe()
+	defer a.Close()
+	defer b.Close()
+
+	v := big.NewInt(10)
+	if err := a.Send(&Message{Op: OpPing, Ints: []*big.Int{v}}); err != nil {
+		t.Fatal(err)
+	}
+	v.SetInt64(99) // mutate after send; receiver must not observe this
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Ints[0].Int64() != 10 {
+		t.Errorf("receiver saw mutated value %v, want 10", got.Ints[0])
+	}
+}
+
+func TestChanPipeCloseUnblocksPeer(t *testing.T) {
+	a, b := ChanPipe()
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Recv()
+		done <- err
+	}()
+	a.Close()
+	if err := <-done; !errors.Is(err, ErrConnClosed) {
+		t.Errorf("Recv after peer close = %v, want ErrConnClosed", err)
+	}
+}
+
+func TestChanPipeSendAfterCloseFails(t *testing.T) {
+	a, b := ChanPipe()
+	_ = b
+	a.Close()
+	if err := a.Send(msg(OpPing)); !errors.Is(err, ErrConnClosed) {
+		t.Errorf("Send after close = %v, want ErrConnClosed", err)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	a, b := ChanPipe()
+	defer a.Close()
+	defer b.Close()
+
+	m := msg(OpPing, 1<<20, 5)
+	if err := a.Send(m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats().MessagesSent() != 1 || b.Stats().MessagesReceived() != 1 {
+		t.Error("message counters wrong")
+	}
+	if a.Stats().BytesSent() != int64(m.wireSize()) {
+		t.Errorf("bytes sent = %d, want %d", a.Stats().BytesSent(), m.wireSize())
+	}
+	if a.Stats().BytesSent() != b.Stats().BytesReceived() {
+		t.Error("asymmetric byte accounting")
+	}
+}
+
+func TestStatsSnapshotArithmetic(t *testing.T) {
+	a := StatsSnapshot{MessagesSent: 5, BytesSent: 100, Rounds: 2}
+	b := StatsSnapshot{MessagesSent: 2, BytesSent: 40, Rounds: 1}
+	d := a.Sub(b)
+	if d.MessagesSent != 3 || d.BytesSent != 60 || d.Rounds != 1 {
+		t.Errorf("Sub = %+v", d)
+	}
+	s := a.Add(b)
+	if s.MessagesSent != 7 || s.BytesSent != 140 || s.Rounds != 3 {
+		t.Errorf("Add = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestMuxDispatch(t *testing.T) {
+	mux := NewMux()
+	const opDouble Op = 100
+	mux.Register(opDouble, HandlerFunc(func(req *Message) (*Message, error) {
+		out := new(big.Int).Lsh(req.Ints[0], 1)
+		return &Message{Op: opDouble, Ints: []*big.Int{out}}, nil
+	}))
+
+	resp, err := mux.Handle(msg(opDouble, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Ints[0].Int64() != 42 {
+		t.Errorf("double(21) = %v", resp.Ints[0])
+	}
+	if _, err := mux.Handle(msg(999)); !errors.Is(err, ErrUnknownOp) {
+		t.Errorf("unknown op error = %v", err)
+	}
+	ops := mux.Ops()
+	if len(ops) != 2 || ops[0] != OpPing || ops[1] != opDouble {
+		t.Errorf("Ops() = %v", ops)
+	}
+}
+
+func TestMuxDuplicateRegisterPanics(t *testing.T) {
+	mux := NewMux()
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	mux.Register(OpPing, HandlerFunc(nil))
+}
+
+func TestServeLoopAndRemoteError(t *testing.T) {
+	a, b := ChanPipe()
+	mux := NewMux()
+	const opFail Op = 50
+	mux.Register(opFail, HandlerFunc(func(req *Message) (*Message, error) {
+		return nil, errors.New("boom")
+	}))
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := Serve(b, mux); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	// Good request.
+	if _, err := RoundTrip(a, msg(OpPing, 7)); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	// Handler failure comes back as *RemoteError and the loop survives.
+	_, err := RoundTrip(a, msg(opFail))
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Msg != "boom" {
+		t.Fatalf("error = %v, want RemoteError(boom)", err)
+	}
+	if _, err := RoundTrip(a, msg(OpPing)); err != nil {
+		t.Fatalf("ping after error: %v", err)
+	}
+	// Unknown op also survives.
+	if _, err := RoundTrip(a, msg(999)); err == nil {
+		t.Fatal("unknown op did not error")
+	}
+
+	if err := SendClose(a); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}
+
+func TestServeStopsOnPeerClose(t *testing.T) {
+	a, b := ChanPipe()
+	done := make(chan error, 1)
+	go func() { done <- Serve(b, NewMux()) }()
+	a.Close()
+	if err := <-done; err != nil {
+		t.Errorf("Serve after peer close = %v, want nil", err)
+	}
+}
+
+func TestNilHandlerResponseGetsEmptyReply(t *testing.T) {
+	a, b := ChanPipe()
+	mux := NewMux()
+	const opAck Op = 51
+	mux.Register(opAck, HandlerFunc(func(req *Message) (*Message, error) {
+		return nil, nil
+	}))
+	go Serve(b, mux)
+	defer SendClose(a)
+	resp, err := RoundTrip(a, msg(opAck, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Op != opAck || len(resp.Ints) != 0 {
+		t.Errorf("ack reply = %+v", resp)
+	}
+}
+
+func TestNetConnOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	serverDone := make(chan error, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			serverDone <- err
+			return
+		}
+		serverDone <- Serve(WrapNet(c), NewMux())
+	}()
+
+	conn, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := RoundTrip(conn, msg(OpPing, 123456789))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Ints[0].Int64() != 123456789 {
+		t.Errorf("TCP echo = %v", resp.Ints[0])
+	}
+	if conn.Stats().BytesSent() == 0 {
+		t.Error("no bytes accounted on TCP conn")
+	}
+	if err := SendClose(conn); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	if err := <-serverDone; err != nil {
+		t.Errorf("server loop: %v", err)
+	}
+}
+
+func TestWireSize(t *testing.T) {
+	m := msg(OpPing, 255, 0) // 255 -> 1 byte, 0 -> 0 bytes
+	want := 2 + 4 + (4 + 1) + (4 + 0)
+	if got := m.wireSize(); got != want {
+		t.Errorf("wireSize = %d, want %d", got, want)
+	}
+	m2 := &Message{Op: OpError, Err: "xyz"}
+	if got := m2.wireSize(); got != 2+4+3 {
+		t.Errorf("error frame wireSize = %d", got)
+	}
+}
+
+func TestMessageCloneHandlesNils(t *testing.T) {
+	m := &Message{Op: OpPing, Ints: []*big.Int{nil, big.NewInt(4)}}
+	c := m.Clone()
+	if c.Ints[0] != nil || c.Ints[1].Int64() != 4 {
+		t.Errorf("Clone = %+v", c.Ints)
+	}
+	var empty Message
+	if cc := empty.Clone(); cc.Ints != nil {
+		t.Error("Clone of empty message allocated payload")
+	}
+}
+
+func TestRoundTripMismatchedReply(t *testing.T) {
+	a, b := ChanPipe()
+	go func() {
+		_, _ = b.Recv()
+		_ = b.Send(msg(77)) // wrong opcode
+	}()
+	_, err := RoundTrip(a, msg(OpPing))
+	if !errors.Is(err, ErrBadResponse) {
+		t.Errorf("mismatched reply error = %v, want ErrBadResponse", err)
+	}
+}

@@ -1,0 +1,71 @@
+package mpc
+
+import (
+	"encoding/gob"
+	"errors"
+	"io"
+	"net"
+	"sync"
+)
+
+// netConn is the wire transport: gob-encoded Message frames over any
+// io.ReadWriteCloser (in practice a *net.TCPConn). It is what cmd/sknnd
+// and the cloudwire example use to run C1 and C2 in separate processes.
+type netConn struct {
+	rwc   io.ReadWriteCloser
+	enc   *gob.Encoder
+	dec   *gob.Decoder
+	sendM sync.Mutex
+	recvM sync.Mutex
+	stats Stats
+}
+
+// WrapNet turns a byte stream into a message Conn. The returned Conn owns
+// rwc and closes it on Close.
+func WrapNet(rwc io.ReadWriteCloser) Conn {
+	return &netConn{
+		rwc: rwc,
+		enc: gob.NewEncoder(rwc),
+		dec: gob.NewDecoder(rwc),
+	}
+}
+
+// Dial connects to a listening peer (C2's daemon) over TCP.
+func Dial(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return WrapNet(c), nil
+}
+
+func (c *netConn) Send(m *Message) error {
+	c.sendM.Lock()
+	defer c.sendM.Unlock()
+	if err := c.enc.Encode(m); err != nil {
+		if errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) {
+			return ErrConnClosed
+		}
+		return err
+	}
+	c.stats.addSend(m.wireSize())
+	return nil
+}
+
+func (c *netConn) Recv() (*Message, error) {
+	c.recvM.Lock()
+	defer c.recvM.Unlock()
+	var m Message
+	if err := c.dec.Decode(&m); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+			errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) {
+			return nil, ErrConnClosed
+		}
+		return nil, err
+	}
+	c.stats.addRecv(m.wireSize())
+	return &m, nil
+}
+
+func (c *netConn) Close() error  { return c.rwc.Close() }
+func (c *netConn) Stats() *Stats { return &c.stats }

@@ -1,0 +1,105 @@
+package mpc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Handler answers a single request frame. Returning an error sends an
+// OpError frame to the peer; the serve loop keeps running so one failed
+// sub-protocol does not kill the session.
+type Handler interface {
+	Handle(req *Message) (*Message, error)
+}
+
+// HandlerFunc adapts a plain function to Handler.
+type HandlerFunc func(req *Message) (*Message, error)
+
+// Handle calls f(req).
+func (f HandlerFunc) Handle(req *Message) (*Message, error) { return f(req) }
+
+// Mux dispatches requests to handlers by opcode. A Mux is immutable after
+// the last Register call and therefore safe for concurrent Serve loops
+// (one per parallel worker connection).
+type Mux struct {
+	handlers map[Op]Handler
+}
+
+// NewMux returns an empty Mux with OpPing pre-registered.
+func NewMux() *Mux {
+	m := &Mux{handlers: make(map[Op]Handler)}
+	m.Register(OpPing, HandlerFunc(func(req *Message) (*Message, error) {
+		return &Message{Op: OpPing, Ints: req.Ints}, nil
+	}))
+	return m
+}
+
+// Register installs h for op. Registering the same op twice panics — it
+// is always a wiring bug between the smc and core op ranges.
+func (m *Mux) Register(op Op, h Handler) {
+	if _, dup := m.handlers[op]; dup {
+		panic(fmt.Sprintf("mpc: duplicate handler for op %d", op))
+	}
+	m.handlers[op] = h
+}
+
+// Ops lists the registered opcodes in ascending order (for diagnostics).
+func (m *Mux) Ops() []Op {
+	ops := make([]Op, 0, len(m.handlers))
+	for op := range m.handlers {
+		ops = append(ops, op)
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
+	return ops
+}
+
+// Handle implements Handler by dispatching on req.Op.
+func (m *Mux) Handle(req *Message) (*Message, error) {
+	h, ok := m.handlers[req.Op]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownOp, req.Op)
+	}
+	return h.Handle(req)
+}
+
+// Serve runs the responder loop: receive a request, dispatch, reply.
+// It returns nil when the peer sends OpClose or cleanly closes the
+// connection, and the first transport error otherwise. This is C2's main
+// loop in both SkNN protocols.
+func Serve(conn Conn, h Handler) error {
+	for {
+		req, err := conn.Recv()
+		if err != nil {
+			if errors.Is(err, ErrConnClosed) {
+				return nil
+			}
+			return fmt.Errorf("mpc: serve recv: %w", err)
+		}
+		if req.Op == OpClose {
+			return nil
+		}
+		resp, herr := h.Handle(req)
+		if herr != nil {
+			resp = &Message{Op: OpError, Err: herr.Error()}
+		} else if resp == nil {
+			resp = &Message{Op: req.Op}
+		}
+		if err := conn.Send(resp); err != nil {
+			if errors.Is(err, ErrConnClosed) {
+				return nil
+			}
+			return fmt.Errorf("mpc: serve send: %w", err)
+		}
+	}
+}
+
+// SendClose tells the responder to stop serving. Errors are reported but
+// a closed peer is fine — the session is over either way.
+func SendClose(conn Conn) error {
+	err := conn.Send(&Message{Op: OpClose})
+	if errors.Is(err, ErrConnClosed) {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,93 @@
+package mpc
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Stats accumulates traffic counters for one connection. All methods are
+// safe for concurrent use; protocols read them after the run to report
+// communication complexity alongside wall-clock time.
+type Stats struct {
+	msgsSent  atomic.Int64
+	msgsRecv  atomic.Int64
+	bytesSent atomic.Int64
+	bytesRecv atomic.Int64
+	rounds    atomic.Int64
+}
+
+func (s *Stats) addSend(n int) {
+	s.msgsSent.Add(1)
+	s.bytesSent.Add(int64(n))
+}
+
+func (s *Stats) addRecv(n int) {
+	s.msgsRecv.Add(1)
+	s.bytesRecv.Add(int64(n))
+}
+
+func (s *Stats) addRound() { s.rounds.Add(1) }
+
+// MessagesSent reports the number of frames sent.
+func (s *Stats) MessagesSent() int64 { return s.msgsSent.Load() }
+
+// MessagesReceived reports the number of frames received.
+func (s *Stats) MessagesReceived() int64 { return s.msgsRecv.Load() }
+
+// BytesSent reports (estimated) bytes sent.
+func (s *Stats) BytesSent() int64 { return s.bytesSent.Load() }
+
+// BytesReceived reports (estimated) bytes received.
+func (s *Stats) BytesReceived() int64 { return s.bytesRecv.Load() }
+
+// Rounds reports completed request/response round trips.
+func (s *Stats) Rounds() int64 { return s.rounds.Load() }
+
+// Snapshot returns a plain-struct copy, convenient for diffing before and
+// after a protocol phase.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		MessagesSent:     s.MessagesSent(),
+		MessagesReceived: s.MessagesReceived(),
+		BytesSent:        s.BytesSent(),
+		BytesReceived:    s.BytesReceived(),
+		Rounds:           s.Rounds(),
+	}
+}
+
+// StatsSnapshot is an immutable copy of Stats.
+type StatsSnapshot struct {
+	MessagesSent     int64
+	MessagesReceived int64
+	BytesSent        int64
+	BytesReceived    int64
+	Rounds           int64
+}
+
+// Sub returns the element-wise difference s - o, for measuring one phase.
+func (s StatsSnapshot) Sub(o StatsSnapshot) StatsSnapshot {
+	return StatsSnapshot{
+		MessagesSent:     s.MessagesSent - o.MessagesSent,
+		MessagesReceived: s.MessagesReceived - o.MessagesReceived,
+		BytesSent:        s.BytesSent - o.BytesSent,
+		BytesReceived:    s.BytesReceived - o.BytesReceived,
+		Rounds:           s.Rounds - o.Rounds,
+	}
+}
+
+// Add returns the element-wise sum, for aggregating parallel workers.
+func (s StatsSnapshot) Add(o StatsSnapshot) StatsSnapshot {
+	return StatsSnapshot{
+		MessagesSent:     s.MessagesSent + o.MessagesSent,
+		MessagesReceived: s.MessagesReceived + o.MessagesReceived,
+		BytesSent:        s.BytesSent + o.BytesSent,
+		BytesReceived:    s.BytesReceived + o.BytesReceived,
+		Rounds:           s.Rounds + o.Rounds,
+	}
+}
+
+// String renders the snapshot in a compact single line.
+func (s StatsSnapshot) String() string {
+	return fmt.Sprintf("rounds=%d msgs=%d/%d bytes=%d/%d",
+		s.Rounds, s.MessagesSent, s.MessagesReceived, s.BytesSent, s.BytesReceived)
+}

@@ -1,0 +1,45 @@
+package mpc
+
+// Direction labels which way a tapped frame was travelling.
+type Direction int
+
+const (
+	// DirSend is a frame leaving the tapped endpoint.
+	DirSend Direction = iota
+	// DirRecv is a frame arriving at the tapped endpoint.
+	DirRecv
+)
+
+func (d Direction) String() string {
+	if d == DirSend {
+		return "send"
+	}
+	return "recv"
+}
+
+// Tap wraps a connection with an observer invoked for every frame in
+// both directions. The observer sees the live message — treat it as
+// read-only. Used by the access-pattern leakage demo to show exactly
+// what crosses the C1↔C2 wire in each protocol, and handy for protocol
+// debugging generally.
+func Tap(conn Conn, observe func(Direction, *Message)) Conn {
+	return &tapConn{Conn: conn, observe: observe}
+}
+
+type tapConn struct {
+	Conn
+	observe func(Direction, *Message)
+}
+
+func (t *tapConn) Send(m *Message) error {
+	t.observe(DirSend, m)
+	return t.Conn.Send(m)
+}
+
+func (t *tapConn) Recv() (*Message, error) {
+	m, err := t.Conn.Recv()
+	if err == nil {
+		t.observe(DirRecv, m)
+	}
+	return m, err
+}

@@ -1,0 +1,51 @@
+package mpc
+
+import (
+	"testing"
+)
+
+func TestTapObservesBothDirections(t *testing.T) {
+	a, b := ChanPipe()
+	defer a.Close()
+	defer b.Close()
+
+	var events []Direction
+	tapped := Tap(a, func(dir Direction, m *Message) {
+		events = append(events, dir)
+	})
+	go func() {
+		req, err := b.Recv()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := b.Send(&Message{Op: req.Op}); err != nil {
+			t.Error(err)
+		}
+	}()
+	if _, err := RoundTrip(tapped, msg(OpPing, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[0] != DirSend || events[1] != DirRecv {
+		t.Errorf("events = %v", events)
+	}
+	if DirSend.String() != "send" || DirRecv.String() != "recv" {
+		t.Error("Direction.String wrong")
+	}
+}
+
+func TestTapStatsPassThrough(t *testing.T) {
+	a, b := ChanPipe()
+	defer a.Close()
+	defer b.Close()
+	tapped := Tap(a, func(Direction, *Message) {})
+	if err := tapped.Send(msg(OpPing)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if tapped.Stats().MessagesSent() != 1 {
+		t.Error("stats not shared with underlying conn")
+	}
+}

@@ -1,0 +1,108 @@
+package paillier
+
+import (
+	"crypto/rand"
+	"fmt"
+	"math/big"
+	"sync"
+	"testing"
+)
+
+// Benchmarks for the cryptosystem substrate. The Encrypt/Decrypt pair at
+// 512 vs 1024 bits underlies the paper's "×~7 when K doubles"
+// observation; BenchmarkAblationCRTDecrypt quantifies the CRT design
+// choice from DESIGN.md §5.
+
+var benchKeys sync.Map // bits -> *PrivateKey
+
+func benchKey(b *testing.B, bits int) *PrivateKey {
+	if sk, ok := benchKeys.Load(bits); ok {
+		return sk.(*PrivateKey)
+	}
+	sk, err := GenerateKey(rand.Reader, bits)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchKeys.Store(bits, sk)
+	return sk
+}
+
+func BenchmarkEncrypt(b *testing.B) {
+	for _, bits := range []int{512, 1024} {
+		b.Run(fmt.Sprintf("K=%d", bits), func(b *testing.B) {
+			sk := benchKey(b, bits)
+			m := big.NewInt(123456)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sk.Encrypt(rand.Reader, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDecrypt(b *testing.B) {
+	for _, bits := range []int{512, 1024} {
+		b.Run(fmt.Sprintf("K=%d", bits), func(b *testing.B) {
+			sk := benchKey(b, bits)
+			ct, err := sk.Encrypt(rand.Reader, big.NewInt(987654))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sk.Decrypt(ct); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCRTDecrypt compares CRT decryption against the
+// textbook path (DESIGN.md §5: C2 decrypts constantly, so this is the
+// single most profitable micro-optimization).
+func BenchmarkAblationCRTDecrypt(b *testing.B) {
+	sk := benchKey(b, 512)
+	ct, err := sk.Encrypt(rand.Reader, big.NewInt(55))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("crt", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sk.Decrypt(ct); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("textbook", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sk.decryptNoCRT(ct); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkHomomorphicOps(b *testing.B) {
+	sk := benchKey(b, 512)
+	x, _ := sk.Encrypt(rand.Reader, big.NewInt(42))
+	y, _ := sk.Encrypt(rand.Reader, big.NewInt(17))
+	scalar := big.NewInt(999)
+	b.Run("Add", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sk.Add(x, y)
+		}
+	})
+	b.Run("ScalarMul", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sk.ScalarMul(x, scalar)
+		}
+	})
+	b.Run("Neg", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sk.Neg(x)
+		}
+	})
+}

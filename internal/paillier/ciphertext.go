@@ -1,0 +1,181 @@
+package paillier
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// Ciphertext is a Paillier ciphertext: an element of Z*_{N²}. The zero
+// value is not usable; ciphertexts are produced by Encrypt, the
+// homomorphic operations on PublicKey, or FromRaw.
+//
+// Ciphertexts are immutable: every operation allocates a fresh value, so
+// sharing a *Ciphertext across goroutines is safe.
+type Ciphertext struct {
+	c *big.Int
+}
+
+// Raw returns a copy of the underlying group element, suitable for
+// serialization into protocol frames.
+func (ct *Ciphertext) Raw() *big.Int {
+	if ct == nil || ct.c == nil {
+		return nil
+	}
+	return new(big.Int).Set(ct.c)
+}
+
+// String renders an abbreviated hex form, handy in traces.
+func (ct *Ciphertext) String() string {
+	if ct == nil || ct.c == nil {
+		return "Ciphertext(nil)"
+	}
+	s := ct.c.Text(16)
+	if len(s) > 16 {
+		s = s[:16] + "…"
+	}
+	return "Ciphertext(0x" + s + ")"
+}
+
+// Equal reports whether two ciphertexts are the same group element.
+// Note: semantically equal plaintexts almost never compare equal because
+// encryptions are randomized; this is a byte-level identity check used by
+// tests (e.g. verifying re-randomization actually changed the element).
+func (ct *Ciphertext) Equal(other *Ciphertext) bool {
+	if ct == nil || other == nil || ct.c == nil || other.c == nil {
+		return false
+	}
+	return ct.c.Cmp(other.c) == 0
+}
+
+// FromRaw validates v as a ciphertext under pk and wraps it. Frames
+// arriving from the network pass through here so a malformed peer cannot
+// inject out-of-group values.
+func (pk *PublicKey) FromRaw(v *big.Int) (*Ciphertext, error) {
+	if v == nil {
+		return nil, ErrNilCiphertext
+	}
+	if v.Sign() <= 0 || v.Cmp(pk.NSquared) >= 0 {
+		return nil, fmt.Errorf("%w: value outside (0, N²)", ErrInvalidCiphertext)
+	}
+	return &Ciphertext{c: new(big.Int).Set(v)}, nil
+}
+
+// MustFromRaw is FromRaw for values already known to be valid (internal
+// composition of results of other homomorphic ops). It panics on nil.
+func (pk *PublicKey) MustFromRaw(v *big.Int) *Ciphertext {
+	ct, err := pk.FromRaw(v)
+	if err != nil {
+		panic(err)
+	}
+	return ct
+}
+
+// Add returns E(a+b mod N) = E(a)*E(b) mod N².
+func (pk *PublicKey) Add(a, b *Ciphertext) *Ciphertext {
+	c := new(big.Int).Mul(a.c, b.c)
+	c.Mod(c, pk.NSquared)
+	return &Ciphertext{c: c}
+}
+
+// AddPlain returns E(a+m mod N) without a second encryption:
+// E(a) * (1+mN) mod N².
+func (pk *PublicKey) AddPlain(a *Ciphertext, m *big.Int) *Ciphertext {
+	gm := new(big.Int).Mul(pk.reduceMessage(m), pk.N)
+	gm.Add(gm, one)
+	gm.Mod(gm, pk.NSquared)
+	gm.Mul(gm, a.c)
+	gm.Mod(gm, pk.NSquared)
+	return &Ciphertext{c: gm}
+}
+
+// ScalarMul returns E(a*k mod N) = E(a)^k mod N². Negative k is reduced
+// into Z_N first (so ScalarMul(a, -1) == Neg(a)).
+func (pk *PublicKey) ScalarMul(a *Ciphertext, k *big.Int) *Ciphertext {
+	e := pk.reduceMessage(k)
+	c := new(big.Int).Exp(a.c, e, pk.NSquared)
+	return &Ciphertext{c: c}
+}
+
+// ScalarMulInt64 is ScalarMul with a small exponent.
+func (pk *PublicKey) ScalarMulInt64(a *Ciphertext, k int64) *Ciphertext {
+	return pk.ScalarMul(a, big.NewInt(k))
+}
+
+// Neg returns E(-a mod N) = E(a)^{N-1} mod N², the "N - x" trick the
+// paper applies throughout.
+func (pk *PublicKey) Neg(a *Ciphertext) *Ciphertext {
+	e := new(big.Int).Sub(pk.N, one)
+	c := new(big.Int).Exp(a.c, e, pk.NSquared)
+	return &Ciphertext{c: c}
+}
+
+// Sub returns E(a-b mod N) = E(a) * E(b)^{N-1} mod N².
+func (pk *PublicKey) Sub(a, b *Ciphertext) *Ciphertext {
+	return pk.Add(a, pk.Neg(b))
+}
+
+// Rerandomize multiplies in a fresh encryption of zero, producing a
+// ciphertext of the same plaintext that is statistically unlinkable to a.
+func (pk *PublicKey) Rerandomize(random io.Reader, a *Ciphertext) (*Ciphertext, error) {
+	r, err := pk.randomUnit(random)
+	if err != nil {
+		return nil, err
+	}
+	rn := new(big.Int).Exp(r, pk.N, pk.NSquared)
+	rn.Mul(rn, a.c)
+	rn.Mod(rn, pk.NSquared)
+	return &Ciphertext{c: rn}, nil
+}
+
+// EncryptVector encrypts each component of v attribute-wise, the way the
+// data owner encrypts a record and Bob encrypts a query.
+func (pk *PublicKey) EncryptVector(random io.Reader, v []*big.Int) ([]*Ciphertext, error) {
+	out := make([]*Ciphertext, len(v))
+	for i, m := range v {
+		ct, err := pk.Encrypt(random, m)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: encrypting component %d: %w", i, err)
+		}
+		out[i] = ct
+	}
+	return out, nil
+}
+
+// EncryptUint64Vector encrypts a vector of machine integers.
+func (pk *PublicKey) EncryptUint64Vector(random io.Reader, v []uint64) ([]*Ciphertext, error) {
+	bigs := make([]*big.Int, len(v))
+	for i, x := range v {
+		bigs[i] = new(big.Int).SetUint64(x)
+	}
+	return pk.EncryptVector(random, bigs)
+}
+
+// DecryptVector decrypts each component.
+func (sk *PrivateKey) DecryptVector(cts []*Ciphertext) ([]*big.Int, error) {
+	out := make([]*big.Int, len(cts))
+	for i, ct := range cts {
+		m, err := sk.Decrypt(ct)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: decrypting component %d: %w", i, err)
+		}
+		out[i] = m
+	}
+	return out, nil
+}
+
+// Product multiplies a slice of ciphertexts together, i.e. computes the
+// encryption of the sum of their plaintexts (Π E(x_i) = E(Σ x_i)). It is
+// the homomorphic accumulation step of SSED and of SkNNm's record
+// extraction. Panics on an empty slice (callers always have ≥1 term).
+func (pk *PublicKey) Product(cts []*Ciphertext) *Ciphertext {
+	if len(cts) == 0 {
+		panic("paillier: Product of empty ciphertext slice")
+	}
+	acc := new(big.Int).Set(cts[0].c)
+	for _, ct := range cts[1:] {
+		acc.Mul(acc, ct.c)
+		acc.Mod(acc, pk.NSquared)
+	}
+	return &Ciphertext{c: acc}
+}

@@ -1,0 +1,40 @@
+package paillier
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/big"
+)
+
+// wireEncoder builds raw serialized private keys (including invalid ones)
+// so tests can exercise UnmarshalBinary's validation.
+type wireEncoder struct{ p, q *big.Int }
+
+func (w *wireEncoder) encode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(wirePrivateKey{P: w.p, Q: w.q})
+	return buf.Bytes(), err
+}
+
+// Test-only accessors for unexported functionality.
+
+// EncryptWithNonce exposes deterministic encryption for test vectors.
+func (pk *PublicKey) EncryptWithNonce(m, r *big.Int) *Ciphertext {
+	return pk.encryptWithNonce(m, r)
+}
+
+// DecryptNoCRT exposes the textbook decryption path for cross-checks.
+func (sk *PrivateKey) DecryptNoCRT(ct *Ciphertext) (*big.Int, error) {
+	return sk.decryptNoCRT(ct)
+}
+
+// NewPrivateKeyFromPrimes builds a key from fixed primes so tests can be
+// fully deterministic.
+func NewPrivateKeyFromPrimes(p, q *big.Int) *PrivateKey {
+	return newPrivateKey(p, q)
+}
+
+// Factors returns the prime factors for test assertions.
+func (sk *PrivateKey) Factors() (p, q *big.Int) {
+	return new(big.Int).Set(sk.p), new(big.Int).Set(sk.q)
+}

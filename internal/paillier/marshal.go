@@ -1,0 +1,69 @@
+package paillier
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math/big"
+)
+
+// wirePublicKey and wirePrivateKey are the stable serialized forms. Only
+// the defining values travel; caches and CRT precomputations are rebuilt
+// on load so a corrupted or malicious file cannot desynchronize them.
+type wirePublicKey struct {
+	N *big.Int
+}
+
+type wirePrivateKey struct {
+	P, Q *big.Int
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (pk *PublicKey) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(wirePublicKey{N: pk.N}); err != nil {
+		return nil, fmt.Errorf("paillier: encoding public key: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (pk *PublicKey) UnmarshalBinary(data []byte) error {
+	var w wirePublicKey
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("paillier: decoding public key: %w", err)
+	}
+	if w.N == nil || w.N.Sign() <= 0 || w.N.BitLen() < 64 {
+		return ErrMalformedGobRemote
+	}
+	pk.N = w.N
+	pk.NSquared = new(big.Int).Mul(w.N, w.N)
+	return nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler. Only p and q are
+// stored; everything else is derivable.
+func (sk *PrivateKey) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(wirePrivateKey{P: sk.p, Q: sk.q}); err != nil {
+		return nil, fmt.Errorf("paillier: encoding private key: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, rebuilding all
+// precomputed values from p and q.
+func (sk *PrivateKey) UnmarshalBinary(data []byte) error {
+	var w wirePrivateKey
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("paillier: decoding private key: %w", err)
+	}
+	if w.P == nil || w.Q == nil || w.P.Sign() <= 0 || w.Q.Sign() <= 0 || w.P.Cmp(w.Q) == 0 {
+		return ErrMalformedGobRemote
+	}
+	if !w.P.ProbablyPrime(20) || !w.Q.ProbablyPrime(20) {
+		return fmt.Errorf("%w: factors are not prime", ErrMalformedGobRemote)
+	}
+	*sk = *newPrivateKey(w.P, w.Q)
+	return nil
+}

@@ -1,0 +1,164 @@
+package paillier
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+	"sync"
+)
+
+// RandomizerPool precomputes the expensive part of Paillier encryption —
+// the nonce power r^N mod N², one modular exponentiation per ciphertext
+// — on background goroutines, so hot paths (C2 re-encrypts constantly in
+// SM/SBD/SMIN; C1 encrypts masks) pay only two modular multiplications
+// per encryption. DESIGN.md §5 lists this as an ablation
+// (BenchmarkAblationRandomizerPool).
+//
+// The pool is safe for concurrent use. Fill is lazy: Encrypt falls back
+// to inline nonce generation when the buffer runs dry, so correctness
+// never depends on the producer keeping up.
+type RandomizerPool struct {
+	pk     *PublicKey
+	random io.Reader
+	buf    chan *big.Int
+
+	mu      sync.Mutex
+	started bool
+	stop    chan struct{}
+	done    sync.WaitGroup
+	err     error
+}
+
+// NewRandomizerPool creates a pool holding up to capacity precomputed
+// nonce powers. Call Start to launch the producers and Close to stop
+// them. If random is nil, crypto/rand is used via the key's helpers.
+func NewRandomizerPool(pk *PublicKey, random io.Reader, capacity int) (*RandomizerPool, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("paillier: pool capacity %d", capacity)
+	}
+	return &RandomizerPool{
+		pk:     pk,
+		random: random,
+		buf:    make(chan *big.Int, capacity),
+		stop:   make(chan struct{}),
+	}, nil
+}
+
+// Start launches `producers` background goroutines that keep the buffer
+// full. Calling Start twice is a no-op.
+func (p *RandomizerPool) Start(producers int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.started {
+		return
+	}
+	p.started = true
+	if producers < 1 {
+		producers = 1
+	}
+	for i := 0; i < producers; i++ {
+		p.done.Add(1)
+		go p.produce()
+	}
+}
+
+func (p *RandomizerPool) produce() {
+	defer p.done.Done()
+	for {
+		rn, err := p.makeRandomizer()
+		if err != nil {
+			p.mu.Lock()
+			if p.err == nil {
+				p.err = err
+			}
+			p.mu.Unlock()
+			return
+		}
+		select {
+		case p.buf <- rn:
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+// makeRandomizer computes one fresh r^N mod N².
+func (p *RandomizerPool) makeRandomizer() (*big.Int, error) {
+	r, err := p.pk.randomUnit(p.random)
+	if err != nil {
+		return nil, err
+	}
+	return new(big.Int).Exp(r, p.pk.N, p.pk.NSquared), nil
+}
+
+// take returns a precomputed randomizer if available, else computes one
+// inline.
+func (p *RandomizerPool) take() (*big.Int, error) {
+	select {
+	case rn := <-p.buf:
+		return rn, nil
+	default:
+		return p.makeRandomizer()
+	}
+}
+
+// Encrypt is PublicKey.Encrypt backed by the pool: (1+mN)·(r^N) mod N²
+// with the nonce power taken from the precomputed buffer.
+func (p *RandomizerPool) Encrypt(m *big.Int) (*Ciphertext, error) {
+	rn, err := p.take()
+	if err != nil {
+		return nil, err
+	}
+	gm := new(big.Int).Mul(p.pk.reduceMessage(m), p.pk.N)
+	gm.Add(gm, one)
+	gm.Mod(gm, p.pk.NSquared)
+	c := gm.Mul(gm, rn)
+	c.Mod(c, p.pk.NSquared)
+	return &Ciphertext{c: c}, nil
+}
+
+// Rerandomize multiplies a pooled encryption of zero into ct.
+func (p *RandomizerPool) Rerandomize(ct *Ciphertext) (*Ciphertext, error) {
+	rn, err := p.take()
+	if err != nil {
+		return nil, err
+	}
+	c := new(big.Int).Mul(ct.c, rn)
+	c.Mod(c, p.pk.NSquared)
+	return &Ciphertext{c: c}, nil
+}
+
+// Buffered reports how many randomizers are currently precomputed.
+func (p *RandomizerPool) Buffered() int { return len(p.buf) }
+
+// Err reports the first producer failure, if any.
+func (p *RandomizerPool) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// Close stops the producers and waits for them to exit. The pool remains
+// usable afterwards (Encrypt computes nonces inline).
+func (p *RandomizerPool) Close() {
+	p.mu.Lock()
+	if !p.started {
+		p.mu.Unlock()
+		return
+	}
+	select {
+	case <-p.stop:
+	default:
+		close(p.stop)
+	}
+	p.mu.Unlock()
+	p.done.Wait()
+	// Drain so producers blocked on send (already exited) leave no state.
+	for {
+		select {
+		case <-p.buf:
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package paillier
+
+import (
+	"crypto/rand"
+	"math/big"
+	mrand "math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// quickCfg caps the case count: each case costs a few modexps on a 256-bit
+// modulus, so 40 cases keeps the property suite fast while still sweeping
+// the 64-bit input space.
+func quickCfg() *quick.Config {
+	return &quick.Config{MaxCount: 40, Rand: mrand.New(mrand.NewSource(1))}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	sk := testKey()
+	f := func(m uint64) bool {
+		ct, err := sk.Encrypt(rand.Reader, new(big.Int).SetUint64(m))
+		if err != nil {
+			return false
+		}
+		got, err := sk.Decrypt(ct)
+		return err == nil && got.Uint64() == m
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAdditiveHomomorphism(t *testing.T) {
+	sk := testKey()
+	f := func(a, b uint32) bool {
+		ca, _ := sk.Encrypt(rand.Reader, big.NewInt(int64(a)))
+		cb, _ := sk.Encrypt(rand.Reader, big.NewInt(int64(b)))
+		got, err := sk.Decrypt(sk.Add(ca, cb))
+		return err == nil && got.Uint64() == uint64(a)+uint64(b)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyScalarHomomorphism(t *testing.T) {
+	sk := testKey()
+	f := func(a, k uint32) bool {
+		ca, _ := sk.Encrypt(rand.Reader, big.NewInt(int64(a)))
+		got, err := sk.Decrypt(sk.ScalarMul(ca, big.NewInt(int64(k))))
+		return err == nil && got.Uint64() == uint64(a)*uint64(k)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySubIsInverseOfAdd(t *testing.T) {
+	sk := testKey()
+	f := func(a, b uint32) bool {
+		ca, _ := sk.Encrypt(rand.Reader, big.NewInt(int64(a)))
+		cb, _ := sk.Encrypt(rand.Reader, big.NewInt(int64(b)))
+		sum := sk.Add(ca, cb)
+		back, err := sk.Decrypt(sk.Sub(sum, cb))
+		return err == nil && back.Uint64() == uint64(a)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAddPlainEqualsAddEncrypted(t *testing.T) {
+	sk := testKey()
+	f := func(a, b uint32) bool {
+		ca, _ := sk.Encrypt(rand.Reader, big.NewInt(int64(a)))
+		viaPlain, err1 := sk.Decrypt(sk.AddPlain(ca, big.NewInt(int64(b))))
+		cb, _ := sk.Encrypt(rand.Reader, big.NewInt(int64(b)))
+		viaEnc, err2 := sk.Decrypt(sk.Add(ca, cb))
+		return err1 == nil && err2 == nil && viaPlain.Cmp(viaEnc) == 0
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyNegCancels(t *testing.T) {
+	sk := testKey()
+	f := func(a uint32) bool {
+		ca, _ := sk.Encrypt(rand.Reader, big.NewInt(int64(a)))
+		z, err := sk.Decrypt(sk.Add(ca, sk.Neg(ca)))
+		return err == nil && z.Sign() == 0
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyRerandomizeInvariant(t *testing.T) {
+	sk := testKey()
+	f := func(a uint32) bool {
+		ca, _ := sk.Encrypt(rand.Reader, big.NewInt(int64(a)))
+		cb, err := sk.Rerandomize(rand.Reader, ca)
+		if err != nil || ca.Equal(cb) {
+			return false
+		}
+		m, err := sk.Decrypt(cb)
+		return err == nil && m.Uint64() == uint64(a)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySignedDecryption(t *testing.T) {
+	sk := testKey()
+	f := func(a int32) bool {
+		ca, _ := sk.Encrypt(rand.Reader, big.NewInt(int64(a)))
+		m, err := sk.DecryptSigned(ca)
+		return err == nil && m.Int64() == int64(a)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,131 @@
+// Package plainknn is the exact plaintext k-nearest-neighbor oracle used
+// to verify the secure protocols and to serve as the baseline kNN
+// implementation in benchmarks. Distances are squared Euclidean — the
+// ordering the paper's protocols preserve (Section 4.1: comparing squared
+// distances suffices because square root is monotone).
+package plainknn
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Errors returned by the oracle.
+var (
+	ErrBadK      = errors.New("plainknn: k out of range")
+	ErrDimension = errors.New("plainknn: dimension mismatch")
+	ErrEmpty     = errors.New("plainknn: empty input")
+)
+
+// Neighbor is one result: the record index and its squared distance.
+type Neighbor struct {
+	Index int
+	Dist  uint64
+}
+
+// SquaredDistance computes |a−b|² over uint64 attributes. Callers must
+// keep attribute domains within dataset.MaxAttrBits so the sum cannot
+// overflow.
+func SquaredDistance(a, b []uint64) (uint64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrDimension, len(a), len(b))
+	}
+	var sum uint64
+	for i := range a {
+		var d uint64
+		if a[i] >= b[i] {
+			d = a[i] - b[i]
+		} else {
+			d = b[i] - a[i]
+		}
+		sum += d * d
+	}
+	return sum, nil
+}
+
+// maxHeap keeps the current k best neighbors with the worst on top.
+type maxHeap []Neighbor
+
+func (h maxHeap) Len() int      { return len(h) }
+func (h maxHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h maxHeap) Less(i, j int) bool {
+	// Worst-first: larger distance on top; among equal distances the
+	// larger index is "worse", matching first-come stable ranking.
+	if h[i].Dist != h[j].Dist {
+		return h[i].Dist > h[j].Dist
+	}
+	return h[i].Index > h[j].Index
+}
+func (h *maxHeap) Push(x any) { *h = append(*h, x.(Neighbor)) }
+func (h *maxHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// KNN returns the k nearest records to q, ordered by ascending distance
+// with ties broken by ascending index (the same stable order the SkNNb
+// rank step produces). It runs in O(n log k) with a bounded max-heap.
+func KNN(rows [][]uint64, q []uint64, k int) ([]Neighbor, error) {
+	if len(rows) == 0 || len(q) == 0 {
+		return nil, ErrEmpty
+	}
+	if k < 1 || k > len(rows) {
+		return nil, fmt.Errorf("%w: k=%d, n=%d", ErrBadK, k, len(rows))
+	}
+	h := make(maxHeap, 0, k+1)
+	for i, row := range rows {
+		d, err := SquaredDistance(row, q)
+		if err != nil {
+			return nil, fmt.Errorf("plainknn: record %d: %w", i, err)
+		}
+		heap.Push(&h, Neighbor{Index: i, Dist: d})
+		if len(h) > k {
+			heap.Pop(&h)
+		}
+	}
+	out := []Neighbor(h)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Dist != out[b].Dist {
+			return out[a].Dist < out[b].Dist
+		}
+		return out[a].Index < out[b].Index
+	})
+	return out, nil
+}
+
+// Distances returns |q − rows[i]|² for every record.
+func Distances(rows [][]uint64, q []uint64) ([]uint64, error) {
+	if len(rows) == 0 || len(q) == 0 {
+		return nil, ErrEmpty
+	}
+	out := make([]uint64, len(rows))
+	for i, row := range rows {
+		d, err := SquaredDistance(row, q)
+		if err != nil {
+			return nil, fmt.Errorf("plainknn: record %d: %w", i, err)
+		}
+		out[i] = d
+	}
+	return out, nil
+}
+
+// KDistances returns just the sorted distance multiset of the k nearest
+// neighbors — the invariant integration tests compare against SkNNm,
+// whose tie-breaking among equidistant records is intentionally
+// randomized.
+func KDistances(rows [][]uint64, q []uint64, k int) ([]uint64, error) {
+	nbrs, err := KNN(rows, q, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint64, len(nbrs))
+	for i, nb := range nbrs {
+		out[i] = nb.Dist
+	}
+	return out, nil
+}

@@ -1,0 +1,173 @@
+package plainknn
+
+import (
+	"errors"
+	mrand "math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSquaredDistance(t *testing.T) {
+	d, err := SquaredDistance([]uint64{1, 2, 3}, []uint64{4, 0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 9+4 {
+		t.Errorf("distance = %d, want 13", d)
+	}
+	if _, err := SquaredDistance([]uint64{1}, []uint64{1, 2}); !errors.Is(err, ErrDimension) {
+		t.Errorf("dimension error = %v", err)
+	}
+}
+
+func TestSquaredDistanceSymmetric(t *testing.T) {
+	a := []uint64{10, 0, 7}
+	b := []uint64{2, 9, 7}
+	ab, _ := SquaredDistance(a, b)
+	ba, _ := SquaredDistance(b, a)
+	if ab != ba {
+		t.Errorf("asymmetric: %d vs %d", ab, ba)
+	}
+}
+
+func TestKNNHeartExample(t *testing.T) {
+	// Example 1 of the paper: the 2 nearest neighbors of
+	// Q = ⟨58,1,4,133,196,1,2,1,6⟩ among t1…t6 (feature columns only)
+	// are t4 and t5.
+	rows := [][]uint64{
+		{63, 1, 1, 145, 233, 1, 3, 0, 6},
+		{56, 1, 3, 130, 256, 1, 2, 1, 6},
+		{57, 0, 3, 140, 241, 0, 2, 0, 7},
+		{59, 1, 4, 144, 200, 1, 2, 2, 6},
+		{55, 0, 4, 128, 205, 0, 2, 1, 7},
+		{77, 1, 4, 125, 304, 0, 1, 3, 3},
+	}
+	q := []uint64{58, 1, 4, 133, 196, 1, 2, 1, 6}
+	nbrs, err := KNN(rows, q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []int{nbrs[0].Index, nbrs[1].Index}
+	sort.Ints(got)
+	if got[0] != 3 || got[1] != 4 {
+		t.Errorf("2-NN indices = %v, want {3,4} (t4 and t5)", got)
+	}
+}
+
+func TestKNNOrderingAndTies(t *testing.T) {
+	rows := [][]uint64{{10}, {0}, {4}, {4}, {7}}
+	nbrs, err := KNN(rows, []uint64{4}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIdx := []int{2, 3, 4, 1} // dists 0,0,9,16; tie 2<3
+	for i, w := range wantIdx {
+		if nbrs[i].Index != w {
+			t.Errorf("rank %d index = %d, want %d (neighbors %v)", i, nbrs[i].Index, w, nbrs)
+		}
+	}
+	if nbrs[0].Dist != 0 || nbrs[2].Dist != 9 {
+		t.Errorf("distances = %v", nbrs)
+	}
+}
+
+func TestKNNKEqualsN(t *testing.T) {
+	rows := [][]uint64{{5}, {1}, {9}}
+	nbrs, err := KNN(rows, []uint64{0}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nbrs) != 3 || nbrs[0].Index != 1 || nbrs[2].Index != 2 {
+		t.Errorf("full ranking = %v", nbrs)
+	}
+}
+
+func TestKNNValidation(t *testing.T) {
+	rows := [][]uint64{{1}}
+	if _, err := KNN(rows, []uint64{1}, 0); !errors.Is(err, ErrBadK) {
+		t.Errorf("k=0 error = %v", err)
+	}
+	if _, err := KNN(rows, []uint64{1}, 2); !errors.Is(err, ErrBadK) {
+		t.Errorf("k>n error = %v", err)
+	}
+	if _, err := KNN(nil, []uint64{1}, 1); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty error = %v", err)
+	}
+	if _, err := KNN([][]uint64{{1, 2}}, []uint64{1}, 1); !errors.Is(err, ErrDimension) {
+		t.Errorf("dimension error = %v", err)
+	}
+}
+
+func TestDistances(t *testing.T) {
+	rows := [][]uint64{{0, 0}, {3, 4}}
+	ds, err := Distances(rows, []uint64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds[0] != 0 || ds[1] != 25 {
+		t.Errorf("distances = %v", ds)
+	}
+}
+
+func TestKDistancesSorted(t *testing.T) {
+	rows := [][]uint64{{9}, {1}, {5}, {1}}
+	ds, err := KDistances(rows, []uint64{0}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 3 || ds[0] != 1 || ds[1] != 1 || ds[2] != 25 {
+		t.Errorf("k distances = %v", ds)
+	}
+}
+
+// TestKNNPropertyMatchesFullSort cross-checks the heap implementation
+// against a straightforward sort over random instances.
+func TestKNNPropertyMatchesFullSort(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(9))
+	f := func() bool {
+		n := 1 + rng.Intn(40)
+		m := 1 + rng.Intn(5)
+		k := 1 + rng.Intn(n)
+		rows := make([][]uint64, n)
+		for i := range rows {
+			rows[i] = make([]uint64, m)
+			for j := range rows[i] {
+				rows[i][j] = uint64(rng.Intn(32))
+			}
+		}
+		q := make([]uint64, m)
+		for j := range q {
+			q[j] = uint64(rng.Intn(32))
+		}
+		nbrs, err := KNN(rows, q, k)
+		if err != nil {
+			return false
+		}
+		// Reference: full sort.
+		type pair struct {
+			d   uint64
+			idx int
+		}
+		ref := make([]pair, n)
+		for i := range rows {
+			d, _ := SquaredDistance(rows[i], q)
+			ref[i] = pair{d, i}
+		}
+		sort.Slice(ref, func(a, b int) bool {
+			if ref[a].d != ref[b].d {
+				return ref[a].d < ref[b].d
+			}
+			return ref[a].idx < ref[b].idx
+		})
+		for i := 0; i < k; i++ {
+			if nbrs[i].Index != ref[i].idx || nbrs[i].Dist != ref[i].d {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

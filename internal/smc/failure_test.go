@@ -1,0 +1,210 @@
+package smc
+
+import (
+	"errors"
+	"math/big"
+	"sync"
+	"testing"
+
+	"sknn/internal/mpc"
+	"sknn/internal/paillier"
+)
+
+// corruptingMux wraps the genuine responder mux and tampers with replies
+// according to a programmable hook — the failure-injection harness for
+// the requester-side defenses.
+type corruptingMux struct {
+	inner   *mpc.Mux
+	corrupt func(req, resp *mpc.Message) *mpc.Message
+}
+
+func (c *corruptingMux) Handle(req *mpc.Message) (*mpc.Message, error) {
+	resp, err := c.inner.Handle(req)
+	if err != nil {
+		return nil, err
+	}
+	return c.corrupt(req, resp), nil
+}
+
+// corruptedPair wires a Requester against a tampering responder.
+func corruptedPair(t *testing.T, corrupt func(req, resp *mpc.Message) *mpc.Message) (*Requester, *paillier.PrivateKey) {
+	t.Helper()
+	sk := testKey()
+	c1Conn, c2Conn := mpc.ChanPipe()
+	mux := &corruptingMux{inner: NewResponder(sk, nil).Mux(), corrupt: corrupt}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := mpc.Serve(c2Conn, mux); err != nil {
+			t.Errorf("responder: %v", err)
+		}
+	}()
+	t.Cleanup(func() {
+		if err := mpc.SendClose(c1Conn); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		wg.Wait()
+	})
+	return NewRequester(&sk.PublicKey, c1Conn, nil), sk
+}
+
+// TestSBDRecoversFromCorruptedRound injects one wrong LSB reply: the
+// decomposition fails verification, the verify-and-retry loop kicks in,
+// and the final answer is still correct — the probabilistic-SBD recovery
+// path of [21] exercised end to end.
+func TestSBDRecoversFromCorruptedRound(t *testing.T) {
+	var once sync.Once
+	sk := testKey()
+	rq, _ := corruptedPair(t, func(req, resp *mpc.Message) *mpc.Message {
+		if req.Op == OpSBDLsb {
+			once.Do(func() {
+				// Flip the first returned bit by homomorphically adding 1.
+				ct, err := sk.FromRaw(resp.Ints[0])
+				if err != nil {
+					t.Errorf("tamper: %v", err)
+					return
+				}
+				resp.Ints[0] = sk.AddPlain(ct, big.NewInt(1)).Raw()
+			})
+		}
+		return resp
+	})
+	bits, err := rq.SBD(enc(t, sk, 45), 6)
+	if err != nil {
+		t.Fatalf("SBD did not recover: %v", err)
+	}
+	if got := decBits(t, sk, bits); got != 45 {
+		t.Errorf("recovered decomposition = %d, want 45", got)
+	}
+}
+
+// TestSBDGivesUpAfterPersistentCorruption verifies the retry loop is
+// bounded: a peer that always lies makes SBD fail with ErrSBDVerify
+// instead of looping forever.
+func TestSBDGivesUpAfterPersistentCorruption(t *testing.T) {
+	sk := testKey()
+	rq, _ := corruptedPair(t, func(req, resp *mpc.Message) *mpc.Message {
+		if req.Op == OpSBDLsb {
+			ct, err := sk.FromRaw(resp.Ints[0])
+			if err == nil {
+				resp.Ints[0] = sk.AddPlain(ct, big.NewInt(1)).Raw()
+			}
+		}
+		return resp
+	})
+	_, err := rq.SBD(enc(t, sk, 45), 6)
+	if !errors.Is(err, ErrSBDVerify) {
+		t.Errorf("persistent corruption error = %v, want ErrSBDVerify", err)
+	}
+}
+
+// TestRequesterRejectsShortReply covers the frame-shape validation: a
+// responder that drops payload elements triggers ErrBadFrame, not a
+// panic or a silent wrong answer.
+func TestRequesterRejectsShortReply(t *testing.T) {
+	rq, sk := corruptedPair(t, func(req, resp *mpc.Message) *mpc.Message {
+		if req.Op == OpSM {
+			resp.Ints = resp.Ints[:0]
+		}
+		return resp
+	})
+	_, err := rq.SM(enc(t, sk, 2), enc(t, sk, 3))
+	if !errors.Is(err, ErrBadFrame) {
+		t.Errorf("short reply error = %v, want ErrBadFrame", err)
+	}
+}
+
+// TestRequesterRejectsInvalidCiphertext covers group-membership checks
+// on replies: out-of-group values are refused at the boundary.
+func TestRequesterRejectsInvalidCiphertext(t *testing.T) {
+	rq, sk := corruptedPair(t, func(req, resp *mpc.Message) *mpc.Message {
+		if req.Op == OpSM {
+			resp.Ints[0] = big.NewInt(0) // 0 is not in Z*_{N²}
+		}
+		return resp
+	})
+	_, err := rq.SM(enc(t, sk, 2), enc(t, sk, 3))
+	if err == nil || !errors.Is(err, paillier.ErrInvalidCiphertext) {
+		t.Errorf("invalid ciphertext error = %v", err)
+	}
+}
+
+// TestResponderRejectsMalformedFrames drives C2's validation directly.
+func TestResponderRejectsMalformedFrames(t *testing.T) {
+	sk := testKey()
+	mux := NewResponder(sk, nil).Mux()
+
+	cases := []struct {
+		name string
+		msg  *mpc.Message
+	}{
+		{"SM odd payload", &mpc.Message{Op: OpSM, Ints: []*big.Int{big.NewInt(1)}}},
+		{"SM empty", &mpc.Message{Op: OpSM}},
+		{"SM garbage ciphertext", &mpc.Message{Op: OpSM, Ints: []*big.Int{big.NewInt(0), big.NewInt(0)}}},
+		{"SBD empty", &mpc.Message{Op: OpSBDLsb}},
+		{"SBD verify empty", &mpc.Message{Op: OpSBDVerify}},
+		{"SMIN odd payload", &mpc.Message{Op: OpSMIN, Ints: []*big.Int{big.NewInt(1)}}},
+		{"SMIN empty", &mpc.Message{Op: OpSMIN}},
+	}
+	for _, tc := range cases {
+		if _, err := mux.Handle(tc.msg); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// TestConcurrentRequestersShareOneResponder exercises the parallel
+// topology: several requesters with independent connections served by
+// one stateless Responder, all multiplying concurrently.
+func TestConcurrentRequestersShareOneResponder(t *testing.T) {
+	sk := testKey()
+	rp := NewResponder(sk, nil)
+	const workers, reps = 4, 5
+	// Pre-encrypt all inputs on the test goroutine (the enc helper may
+	// call t.Fatal, which must not run inside worker goroutines).
+	as := make([][]*paillier.Ciphertext, workers)
+	bs := make([][]*paillier.Ciphertext, workers)
+	for w := 0; w < workers; w++ {
+		for i := 0; i < reps; i++ {
+			as[w] = append(as[w], enc(t, sk, int64(w+2)))
+			bs[w] = append(bs[w], enc(t, sk, int64(i+3)))
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		c1Conn, c2Conn := mpc.ChanPipe()
+		go func() {
+			_ = mpc.Serve(c2Conn, rp.Mux())
+		}()
+		wg.Add(1)
+		go func(w int, conn mpc.Conn) {
+			defer wg.Done()
+			defer mpc.SendClose(conn)
+			rq := NewRequester(&sk.PublicKey, conn, nil)
+			for i := 0; i < reps; i++ {
+				got, err := rq.SM(as[w][i], bs[w][i])
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				m, err := sk.Decrypt(got)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if m.Int64() != int64((w+2)*(i+3)) {
+					errs[w] = errors.New("wrong product")
+					return
+				}
+			}
+		}(w, c1Conn)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Errorf("worker %d: %v", w, err)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package smc
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// Permutation is a random permutation of [0,n) used to shuffle encrypted
+// vectors before they cross to C2 (π in SkNNm, π₁/π₂ in SMIN). Index
+// semantics: out[i] = in[p[i]].
+type Permutation []int
+
+// NewPermutation samples a uniform permutation of size n with a
+// cryptographic Fisher–Yates shuffle.
+func NewPermutation(random io.Reader, n int) (Permutation, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("smc: permutation size %d", n)
+	}
+	p := make(Permutation, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		jBig, err := rand.Int(random, big.NewInt(int64(i+1)))
+		if err != nil {
+			return nil, fmt.Errorf("smc: sampling permutation: %w", err)
+		}
+		j := int(jBig.Int64())
+		p[i], p[j] = p[j], p[i]
+	}
+	return p, nil
+}
+
+// Inverse returns the permutation q with q[p[i]] = i.
+func (p Permutation) Inverse() Permutation {
+	q := make(Permutation, len(p))
+	for i, v := range p {
+		q[v] = i
+	}
+	return q
+}
+
+// applyPerm returns out with out[i] = in[p[i]]. It panics on length
+// mismatch — permutations are always built for the exact vector.
+func applyPerm[T any](p Permutation, in []T) []T {
+	if len(p) != len(in) {
+		panic(fmt.Sprintf("smc: permutation size %d applied to vector of %d", len(p), len(in)))
+	}
+	out := make([]T, len(in))
+	for i := range p {
+		out[i] = in[p[i]]
+	}
+	return out
+}

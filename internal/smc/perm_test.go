@@ -1,0 +1,81 @@
+package smc
+
+import (
+	"crypto/rand"
+	"sort"
+	"testing"
+)
+
+func TestNewPermutationIsPermutation(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 64} {
+		p, err := NewPermutation(rand.Reader, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := append(Permutation(nil), p...)
+		sort.Ints(got)
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("size %d: not a permutation: %v", n, p)
+			}
+		}
+	}
+}
+
+func TestNewPermutationInvalidSize(t *testing.T) {
+	if _, err := NewPermutation(rand.Reader, 0); err == nil {
+		t.Error("size 0 accepted")
+	}
+	if _, err := NewPermutation(rand.Reader, -3); err == nil {
+		t.Error("negative size accepted")
+	}
+}
+
+func TestPermutationInverse(t *testing.T) {
+	p, err := NewPermutation(rand.Reader, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]int, 16)
+	for i := range in {
+		in[i] = i * 10
+	}
+	shuffled := applyPerm(p, in)
+	back := applyPerm(p.Inverse(), shuffled)
+	for i := range in {
+		if back[i] != in[i] {
+			t.Fatalf("inverse did not restore order: %v", back)
+		}
+	}
+}
+
+func TestApplyPermSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("size mismatch did not panic")
+		}
+	}()
+	applyPerm(Permutation{0, 1}, []int{1, 2, 3})
+}
+
+func TestPermutationIsUniformish(t *testing.T) {
+	// Sanity check, not a statistical test: over many draws of a size-4
+	// permutation every position should see every value at least once.
+	seen := [4][4]bool{}
+	for trial := 0; trial < 200; trial++ {
+		p, err := NewPermutation(rand.Reader, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range p {
+			seen[i][v] = true
+		}
+	}
+	for i := range seen {
+		for v := range seen[i] {
+			if !seen[i][v] {
+				t.Errorf("position %d never held value %d in 200 draws", i, v)
+			}
+		}
+	}
+}

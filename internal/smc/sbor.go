@@ -1,0 +1,58 @@
+package smc
+
+import (
+	"fmt"
+
+	"sknn/internal/paillier"
+)
+
+// SBOR is Secure Bit-OR: given E(o₁) and E(o₂) for bits o₁, o₂, C1
+// learns E(o₁∨o₂) via the identity o₁∨o₂ = o₁ + o₂ − o₁∧o₂, where the
+// AND is one secure multiplication (for bits, o₁·o₂ = o₁∧o₂).
+func (rq *Requester) SBOR(o1, o2 *paillier.Ciphertext) (*paillier.Ciphertext, error) {
+	out, err := rq.SBORBatch([]*paillier.Ciphertext{o1}, []*paillier.Ciphertext{o2})
+	if err != nil {
+		return nil, err
+	}
+	return out[0], nil
+}
+
+// SBORBatch computes element-wise OR over two bit vectors in one round
+// trip. SkNNm's disqualification step ORs the selector bit into all l
+// bits of all n distances, i.e. n·l SBORs per iteration — batching these
+// is the single biggest communication win in the protocol.
+func (rq *Requester) SBORBatch(o1s, o2s []*paillier.Ciphertext) ([]*paillier.Ciphertext, error) {
+	if len(o1s) != len(o2s) {
+		return nil, fmt.Errorf("%w: %d vs %d", ErrLengthMismatch, len(o1s), len(o2s))
+	}
+	ands, err := rq.SMBatch(o1s, o2s)
+	if err != nil {
+		return nil, fmt.Errorf("smc: SBOR products: %w", err)
+	}
+	out := make([]*paillier.Ciphertext, len(o1s))
+	for i := range o1s {
+		out[i] = rq.pk.Sub(rq.pk.Add(o1s[i], o2s[i]), ands[i])
+	}
+	return out, nil
+}
+
+// SBXOR computes E(o₁⊕o₂) = E(o₁ + o₂ − 2·o₁o₂); not used by SkNN itself
+// (SMIN inlines the formula) but part of the primitive toolbox and
+// exercised by tests.
+func (rq *Requester) SBXOR(o1, o2 *paillier.Ciphertext) (*paillier.Ciphertext, error) {
+	and, err := rq.SM(o1, o2)
+	if err != nil {
+		return nil, fmt.Errorf("smc: SBXOR product: %w", err)
+	}
+	return rq.pk.Add(rq.pk.Add(o1, o2), rq.pk.ScalarMulInt64(and, -2)), nil
+}
+
+// SBAND computes E(o₁∧o₂), which for bits is exactly SM.
+func (rq *Requester) SBAND(o1, o2 *paillier.Ciphertext) (*paillier.Ciphertext, error) {
+	return rq.SM(o1, o2)
+}
+
+// SBNOT computes E(¬o) = E(1−o) locally — no interaction needed.
+func (rq *Requester) SBNOT(o *paillier.Ciphertext) *paillier.Ciphertext {
+	return rq.pk.AddPlain(rq.pk.Neg(o), oneBig)
+}

@@ -1,0 +1,53 @@
+package smc
+
+import (
+	"fmt"
+
+	"sknn/internal/paillier"
+)
+
+// SMAX computes [max(u,v)] from two bit-decomposed encrypted values.
+// It is not needed by the SkNN protocols themselves but rounds out the
+// primitive toolbox for the "other complex queries" direction the paper
+// sketches as future work (e.g. reverse-kNN and skyline both need
+// encrypted maxima).
+//
+// It reuses SMIN via the identity max(u,v)ᵢ = uᵢ + vᵢ − min(u,v)ᵢ, which
+// holds bit-wise because SMIN returns the bits of one input vector in
+// its entirety: whichever of u, v the minimum is, the bit-wise sum minus
+// the minimum's bit leaves the other operand's bit.
+func (rq *Requester) SMAX(u, v []*paillier.Ciphertext) ([]*paillier.Ciphertext, error) {
+	min, err := rq.SMIN(u, v)
+	if err != nil {
+		return nil, fmt.Errorf("smc: SMAX via SMIN: %w", err)
+	}
+	out := make([]*paillier.Ciphertext, len(u))
+	for i := range u {
+		out[i] = rq.pk.Sub(rq.pk.Add(u[i], v[i]), min[i])
+	}
+	return out, nil
+}
+
+// SMAXn computes [max(d₁,…,d_n)] by the same binary tournament as SMINn.
+func (rq *Requester) SMAXn(ds [][]*paillier.Ciphertext) ([]*paillier.Ciphertext, error) {
+	if err := validateBitVectors(ds); err != nil {
+		return nil, err
+	}
+	live := make([][]*paillier.Ciphertext, len(ds))
+	copy(live, ds)
+	for len(live) > 1 {
+		next := make([][]*paillier.Ciphertext, 0, (len(live)+1)/2)
+		for i := 0; i+1 < len(live); i += 2 {
+			m, err := rq.SMAX(live[i], live[i+1])
+			if err != nil {
+				return nil, fmt.Errorf("smc: SMAXn round of %d: %w", len(live), err)
+			}
+			next = append(next, m)
+		}
+		if len(live)%2 == 1 {
+			next = append(next, live[len(live)-1])
+		}
+		live = next
+	}
+	return live[0], nil
+}

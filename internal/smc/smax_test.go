@@ -1,0 +1,86 @@
+package smc
+
+import (
+	mrand "math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSMAXBasic(t *testing.T) {
+	rq, sk := pair(t)
+	cases := []struct{ u, v, want uint64 }{
+		{55, 58, 58},
+		{58, 55, 58},
+		{0, 63, 63},
+		{17, 17, 17},
+		{0, 0, 0},
+	}
+	for _, c := range cases {
+		max, err := rq.SMAX(encBits(t, sk, c.u, 6), encBits(t, sk, c.v, 6))
+		if err != nil {
+			t.Fatalf("SMAX(%d,%d): %v", c.u, c.v, err)
+		}
+		if got := decBits(t, sk, max); got != c.want {
+			t.Errorf("SMAX(%d,%d) = %d, want %d", c.u, c.v, got, c.want)
+		}
+	}
+}
+
+func TestSMAXnTournament(t *testing.T) {
+	rq, sk := pair(t)
+	max, err := rq.SMAXn(encBitsMany(t, sk, 6, 23, 9, 40, 55, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := decBits(t, sk, max); got != 55 {
+		t.Errorf("SMAXn = %d, want 55", got)
+	}
+}
+
+func TestSMAXnValidation(t *testing.T) {
+	rq, _ := pair(t)
+	if _, err := rq.SMAXn(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestSMAXPropertyMatchesMax(t *testing.T) {
+	rq, sk := pair(t)
+	const l = 7
+	f := func(a, b uint8) bool {
+		u, v := uint64(a)&127, uint64(b)&127
+		max, err := rq.SMAX(encBits(t, sk, u, l), encBits(t, sk, v, l))
+		if err != nil {
+			return false
+		}
+		want := u
+		if v > u {
+			want = v
+		}
+		return decBits(t, sk, max) == want
+	}
+	cfg := &quick.Config{MaxCount: 8, Rand: mrand.New(mrand.NewSource(6))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMinPlusMaxEqualsSum checks the algebraic relationship the SMAX
+// construction relies on, end to end over both protocols.
+func TestMinPlusMaxEqualsSum(t *testing.T) {
+	rq, sk := pair(t)
+	u, v := uint64(37), uint64(52)
+	ub := encBits(t, sk, u, 6)
+	vb := encBits(t, sk, v, 6)
+	min, err := rq.SMIN(ub, vb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	max, err := rq.SMAX(ub, vb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := decBits(t, sk, min) + decBits(t, sk, max); got != u+v {
+		t.Errorf("min+max = %d, want %d", got, u+v)
+	}
+}

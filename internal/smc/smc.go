@@ -1,0 +1,202 @@
+// Package smc implements the paper's basic security primitives (Section 3)
+// as two-party protocols between C1 (the data cloud, which holds only
+// ciphertexts and the public key) and C2 (the key cloud, which holds the
+// Paillier secret key):
+//
+//   - SM     — Secure Multiplication (Algorithm 1)
+//   - SSED   — Secure Squared Euclidean Distance (Algorithm 2)
+//   - SBD    — Secure Bit-Decomposition (Samanthula–Jiang, ASIACCS'13 [21])
+//   - SMIN   — Secure Minimum of two bit-decomposed values (Algorithm 3)
+//   - SMINn  — Secure Minimum of n values (Algorithm 4)
+//   - SBOR   — Secure Bit-OR (Section 3)
+//
+// C1's side of each primitive is a method on Requester; C2's side is a
+// stateless handler registered on an mpc.Mux by Responder. Each primitive
+// also has a batched variant that processes a whole vector per round trip;
+// the arithmetic is identical element-wise, only framing is shared. The
+// SkNN protocols use the batched forms; the scalar forms exist for
+// fidelity with the paper's presentation and for tests.
+//
+// Bit-vector convention: as in the paper, [z] = ⟨E(z₁),…,E(z_l)⟩ with
+// index 0 holding the MOST significant bit.
+package smc
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"sknn/internal/mpc"
+	"sknn/internal/paillier"
+)
+
+// Opcodes 16–63 are reserved for smc (0–15 belong to mpc).
+const (
+	OpSM        mpc.Op = 16 // batched secure multiplication
+	OpSBDLsb    mpc.Op = 17 // batched encrypted-LSB extraction
+	OpSBDVerify mpc.Op = 18 // batched randomized zero test
+	OpSMIN      mpc.Op = 19 // SMIN step 2 (Γ′, L′ → M′, E(α))
+)
+
+// Errors returned by the primitives.
+var (
+	ErrLengthMismatch = errors.New("smc: input vector lengths differ")
+	ErrEmptyInput     = errors.New("smc: empty input")
+	ErrBadFrame       = errors.New("smc: malformed protocol frame")
+	ErrSBDVerify      = errors.New("smc: bit decomposition failed verification after retries")
+)
+
+// oneBig is the shared constant 1 (read-only).
+var oneBig = big.NewInt(1)
+
+// sbdMaxRetries bounds the verify-and-retry loop of SBD. The failure
+// probability per value is ≈ 2^l / N (< 2^-200 for realistic keys), so a
+// retry triggering at all in practice means a broken peer.
+const sbdMaxRetries = 4
+
+// Requester is C1's execution context: the public key, one connection to
+// C2, and a randomness source. A Requester drives primitives serially;
+// for parallel work open one Requester per worker connection.
+type Requester struct {
+	pk   *paillier.PublicKey
+	conn mpc.Conn
+	rand io.Reader
+
+	// invTwo caches 2⁻¹ mod N for SBD's halving step.
+	invTwo *big.Int
+}
+
+// NewRequester builds C1's context. If random is nil, crypto/rand.Reader
+// is used.
+func NewRequester(pk *paillier.PublicKey, conn mpc.Conn, random io.Reader) *Requester {
+	if random == nil {
+		random = rand.Reader
+	}
+	return &Requester{
+		pk:     pk,
+		conn:   conn,
+		rand:   random,
+		invTwo: new(big.Int).ModInverse(big.NewInt(2), pk.N),
+	}
+}
+
+// PK returns the public key the requester encrypts under.
+func (rq *Requester) PK() *paillier.PublicKey { return rq.pk }
+
+// Conn returns the underlying connection (for stats and shutdown).
+func (rq *Requester) Conn() mpc.Conn { return rq.conn }
+
+// Rand returns the requester's randomness source.
+func (rq *Requester) Rand() io.Reader { return rq.rand }
+
+// EncryptZero returns a fresh encryption of 0.
+func (rq *Requester) EncryptZero() (*paillier.Ciphertext, error) {
+	return rq.pk.EncryptInt64(rq.rand, 0)
+}
+
+// EncryptOne returns a fresh encryption of 1.
+func (rq *Requester) EncryptOne() (*paillier.Ciphertext, error) {
+	return rq.pk.EncryptInt64(rq.rand, 1)
+}
+
+// roundTrip performs one request/response exchange, validating the reply
+// payload length.
+func (rq *Requester) roundTrip(op mpc.Op, payload []*big.Int, wantLen int) ([]*big.Int, error) {
+	resp, err := mpc.RoundTrip(rq.conn, &mpc.Message{Op: op, Ints: payload})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Ints) != wantLen {
+		return nil, fmt.Errorf("%w: op %d reply has %d ints, want %d",
+			ErrBadFrame, op, len(resp.Ints), wantLen)
+	}
+	return resp.Ints, nil
+}
+
+// rawCiphertexts converts a reply payload into validated ciphertexts.
+func (rq *Requester) rawCiphertexts(vals []*big.Int) ([]*paillier.Ciphertext, error) {
+	out := make([]*paillier.Ciphertext, len(vals))
+	for i, v := range vals {
+		ct, err := rq.pk.FromRaw(v)
+		if err != nil {
+			return nil, fmt.Errorf("smc: reply component %d: %w", i, err)
+		}
+		out[i] = ct
+	}
+	return out, nil
+}
+
+// Responder is C2's execution context: the secret key and a randomness
+// source for re-randomizing replies. Responder is stateless across
+// requests and safe for concurrent serve loops.
+type Responder struct {
+	sk   *paillier.PrivateKey
+	rand io.Reader
+	pool *paillier.RandomizerPool // optional precomputed-nonce pool
+}
+
+// NewResponder builds C2's context. If random is nil, crypto/rand.Reader
+// is used.
+func NewResponder(sk *paillier.PrivateKey, random io.Reader) *Responder {
+	if random == nil {
+		random = rand.Reader
+	}
+	return &Responder{sk: sk, rand: random}
+}
+
+// SK exposes the private key to protocol-level responders built on top
+// (internal/core embeds Responder for SkNN-specific steps).
+func (rp *Responder) SK() *paillier.PrivateKey { return rp.sk }
+
+// UsePool makes the responder draw encryption nonces from a
+// precomputed-randomizer pool (see paillier.RandomizerPool). C2's
+// workload is dominated by fresh encryptions, so a warm pool removes
+// one modular exponentiation from every reply element. Pass nil to
+// return to inline nonce generation.
+func (rp *Responder) UsePool(pool *paillier.RandomizerPool) { rp.pool = pool }
+
+// encrypt produces a fresh encryption, via the pool when configured.
+func (rp *Responder) encrypt(m *big.Int) (*paillier.Ciphertext, error) {
+	if rp.pool != nil {
+		return rp.pool.Encrypt(m)
+	}
+	return rp.sk.Encrypt(rp.rand, m)
+}
+
+// rerandomize re-randomizes a ciphertext, via the pool when configured.
+func (rp *Responder) rerandomize(ct *paillier.Ciphertext) (*paillier.Ciphertext, error) {
+	if rp.pool != nil {
+		return rp.pool.Rerandomize(ct)
+	}
+	return rp.sk.Rerandomize(rp.rand, ct)
+}
+
+// Rand returns the responder's randomness source.
+func (rp *Responder) Rand() io.Reader { return rp.rand }
+
+// Register installs all smc handlers on mux.
+func (rp *Responder) Register(mux *mpc.Mux) {
+	mux.Register(OpSM, mpc.HandlerFunc(rp.handleSM))
+	mux.Register(OpSBDLsb, mpc.HandlerFunc(rp.handleSBDLsb))
+	mux.Register(OpSBDVerify, mpc.HandlerFunc(rp.handleSBDVerify))
+	mux.Register(OpSMIN, mpc.HandlerFunc(rp.handleSMIN))
+	mux.Register(opSMINBatch, mpc.HandlerFunc(rp.handleSMINBatch))
+}
+
+// Mux returns a fresh Mux with all smc handlers registered.
+func (rp *Responder) Mux() *mpc.Mux {
+	mux := mpc.NewMux()
+	rp.Register(mux)
+	return mux
+}
+
+// decryptRaw validates and decrypts one payload element.
+func (rp *Responder) decryptRaw(v *big.Int) (*big.Int, error) {
+	ct, err := rp.sk.FromRaw(v)
+	if err != nil {
+		return nil, err
+	}
+	return rp.sk.Decrypt(ct)
+}

@@ -1,0 +1,131 @@
+package smc
+
+import (
+	"errors"
+	mrand "math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSMINPaperExample5(t *testing.T) {
+	// Example 5: u = 55, v = 58, l = 6 ⇒ [min] = [55].
+	rq, sk := pair(t)
+	u := encBits(t, sk, 55, 6)
+	v := encBits(t, sk, 58, 6)
+	min, err := rq.SMIN(u, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := decBits(t, sk, min); got != 55 {
+		t.Errorf("SMIN(55,58) = %d, want 55", got)
+	}
+}
+
+func TestSMINOrderIndependence(t *testing.T) {
+	rq, sk := pair(t)
+	min, err := rq.SMIN(encBits(t, sk, 58, 6), encBits(t, sk, 55, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := decBits(t, sk, min); got != 55 {
+		t.Errorf("SMIN(58,55) = %d, want 55", got)
+	}
+}
+
+func TestSMINEqualInputs(t *testing.T) {
+	// u == v: no bit differs, the H-chain never fires, α must come out 0
+	// and the result is u itself.
+	rq, sk := pair(t)
+	min, err := rq.SMIN(encBits(t, sk, 37, 6), encBits(t, sk, 37, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := decBits(t, sk, min); got != 37 {
+		t.Errorf("SMIN(37,37) = %d, want 37", got)
+	}
+}
+
+func TestSMINExtremes(t *testing.T) {
+	rq, sk := pair(t)
+	cases := []struct{ u, v, want uint64 }{
+		{0, 63, 0},
+		{63, 0, 0},
+		{0, 0, 0},
+		{63, 63, 63},
+		{31, 32, 31}, // all bits differ
+		{1, 2, 1},
+	}
+	for _, c := range cases {
+		min, err := rq.SMIN(encBits(t, sk, c.u, 6), encBits(t, sk, c.v, 6))
+		if err != nil {
+			t.Fatalf("SMIN(%d,%d): %v", c.u, c.v, err)
+		}
+		if got := decBits(t, sk, min); got != c.want {
+			t.Errorf("SMIN(%d,%d) = %d, want %d", c.u, c.v, got, c.want)
+		}
+	}
+}
+
+func TestSMINSingleBit(t *testing.T) {
+	rq, sk := pair(t)
+	for _, c := range []struct{ u, v, want uint64 }{
+		{0, 1, 0}, {1, 0, 0}, {1, 1, 1}, {0, 0, 0},
+	} {
+		min, err := rq.SMIN(encBits(t, sk, c.u, 1), encBits(t, sk, c.v, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := decBits(t, sk, min); got != c.want {
+			t.Errorf("SMIN1(%d,%d) = %d, want %d", c.u, c.v, got, c.want)
+		}
+	}
+}
+
+func TestSMINValidation(t *testing.T) {
+	rq, sk := pair(t)
+	if _, err := rq.SMIN(encBits(t, sk, 1, 2), encBits(t, sk, 1, 3)); !errors.Is(err, ErrLengthMismatch) {
+		t.Errorf("mismatch error = %v", err)
+	}
+	if _, err := rq.SMIN(nil, nil); !errors.Is(err, ErrEmptyInput) {
+		t.Errorf("empty error = %v", err)
+	}
+}
+
+func TestSMINPropertyMatchesMin(t *testing.T) {
+	rq, sk := pair(t)
+	const l = 8
+	f := func(a, b uint8) bool {
+		min, err := rq.SMIN(encBits(t, sk, uint64(a), l), encBits(t, sk, uint64(b), l))
+		if err != nil {
+			return false
+		}
+		want := uint64(a)
+		if b < a {
+			want = uint64(b)
+		}
+		return decBits(t, sk, min) == want
+	}
+	cfg := &quick.Config{MaxCount: 10, Rand: mrand.New(mrand.NewSource(4))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSMINOutputBitsAreFresh(t *testing.T) {
+	// The output bit vector must consist of new ciphertexts (not aliases
+	// of the winning input), otherwise C1 could identify the minimum by
+	// pointer/element comparison — the access-pattern leak SkNNm exists
+	// to prevent.
+	rq, sk := pair(t)
+	u := encBits(t, sk, 9, 4)
+	v := encBits(t, sk, 12, 4)
+	min, err := rq.SMIN(u, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range min {
+		if min[i].Equal(u[i]) || min[i].Equal(v[i]) {
+			t.Errorf("output bit %d aliases an input ciphertext", i)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package smc
+
+import (
+	"math/big"
+	"testing"
+
+	"sknn/internal/paillier"
+)
+
+// TestSMINPaperTable4Trace reproduces Table 4 of the paper: the
+// intermediate vectors of SMIN for u = 55 = 110111₂, v = 58 = 111010₂
+// with the functionality fixed to F: v > u. It recomputes each column
+// with the same homomorphic formulas SMIN uses and checks the decrypted
+// structure the table exhibits:
+//
+//   - W = ⟨0,0,1,0,0,0⟩ masked appearances (vᵢ(1−uᵢ) values 0,0,1,0,0,0);
+//   - G = u⊕v = ⟨0,0,1,1,0,1⟩;
+//   - H holds E(1) exactly once, at j = 3 (the first differing bit);
+//   - Φ is E(0) exactly at j = 3;
+//   - L decrypts to 1 exactly at j = 3 (because W₃ = 1, so α = 1).
+func TestSMINPaperTable4Trace(t *testing.T) {
+	rq, sk := pair(t)
+	const l = 6
+	u := encBits(t, sk, 55, l)
+	v := encBits(t, sk, 58, l)
+
+	uv, err := rq.SMBatch(u, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk := rq.PK()
+
+	wantW := []int64{0, 0, 1, 0, 0, 0} // vᵢ(1−uᵢ) for F: v > u
+	wantG := []int64{0, 0, 1, 1, 0, 1} // 55 ⊕ 58 = 001101₂... bit-wise below
+	// 55 = 110111, 58 = 111010 ⇒ xor = 001101.
+	var w, g, h, phi, lv [l]*paillier.Ciphertext
+	hPrev, err := rq.EncryptZero()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < l; i++ {
+		w[i] = pk.Sub(v[i], uv[i]) // F: v > u branch
+		g[i] = pk.Add(pk.Add(u[i], v[i]), pk.ScalarMulInt64(uv[i], -2))
+		ri, err := pk.RandomNonzeroZN(rq.Rand())
+		if err != nil {
+			t.Fatal(err)
+		}
+		h[i] = pk.Add(pk.ScalarMul(hPrev, ri), g[i])
+		hPrev = h[i]
+		phi[i] = pk.AddPlain(h[i], big.NewInt(-1))
+		rpi, err := pk.RandomNonzeroZN(rq.Rand())
+		if err != nil {
+			t.Fatal(err)
+		}
+		lv[i] = pk.Add(w[i], pk.ScalarMul(phi[i], rpi))
+	}
+
+	for i := 0; i < l; i++ {
+		if got := dec(t, sk, w[i]); got != wantW[i] {
+			t.Errorf("W[%d] = %d, want %d", i, got, wantW[i])
+		}
+		if got := dec(t, sk, g[i]); got != wantG[i] {
+			t.Errorf("G[%d] = %d, want %d", i, got, wantG[i])
+		}
+	}
+
+	// H: exactly one E(1), at index 2 (paper's 1-based j = 3).
+	ones := 0
+	for i := 0; i < l; i++ {
+		if dec(t, sk, h[i]) == 1 {
+			ones++
+			if i != 2 {
+				t.Errorf("H one-hot at index %d, want 2", i)
+			}
+		}
+	}
+	if ones != 1 {
+		t.Errorf("H contains %d encryptions of 1, want exactly 1", ones)
+	}
+
+	// Φ: zero exactly at index 2; L decrypts to 1 exactly there (W₃=1).
+	for i := 0; i < l; i++ {
+		phiZero := dec(t, sk, phi[i]) == 0
+		if phiZero != (i == 2) {
+			t.Errorf("Φ[%d] zero = %v, want %v", i, phiZero, i == 2)
+		}
+		lIsOne := dec(t, sk, lv[i]) == 1
+		if lIsOne != (i == 2) {
+			t.Errorf("L[%d] == 1 is %v, want %v", i, lIsOne, i == 2)
+		}
+	}
+}

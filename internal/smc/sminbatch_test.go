@@ -1,0 +1,178 @@
+package smc
+
+import (
+	"errors"
+	"math/big"
+	mrand "math/rand"
+	"testing"
+	"testing/quick"
+
+	"sknn/internal/mpc"
+	"sknn/internal/paillier"
+)
+
+func TestSMINPairsBatchMatchesScalar(t *testing.T) {
+	rq, sk := pair(t)
+	const l = 6
+	pairsIn := []SMINPair{
+		{U: encBits(t, sk, 55, l), V: encBits(t, sk, 58, l)},
+		{U: encBits(t, sk, 12, l), V: encBits(t, sk, 3, l)},
+		{U: encBits(t, sk, 40, l), V: encBits(t, sk, 40, l)},
+		{U: encBits(t, sk, 0, l), V: encBits(t, sk, 63, l)},
+	}
+	mins, err := rq.SMINPairsBatch(pairsIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{55, 3, 40, 0}
+	for i, w := range want {
+		if got := decBits(t, sk, mins[i]); got != w {
+			t.Errorf("pair %d min = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestSMINPairsBatchTwoRounds(t *testing.T) {
+	rq, sk := pair(t)
+	pairsIn := []SMINPair{
+		{U: encBits(t, sk, 9, 4), V: encBits(t, sk, 5, 4)},
+		{U: encBits(t, sk, 2, 4), V: encBits(t, sk, 14, 4)},
+		{U: encBits(t, sk, 7, 4), V: encBits(t, sk, 7, 4)},
+	}
+	rounds0 := rq.Conn().Stats().Rounds()
+	if _, err := rq.SMINPairsBatch(pairsIn); err != nil {
+		t.Fatal(err)
+	}
+	if r := rq.Conn().Stats().Rounds() - rounds0; r != 2 {
+		t.Errorf("batched SMIN used %d rounds, want 2", r)
+	}
+}
+
+func TestSMINPairsBatchValidation(t *testing.T) {
+	rq, sk := pair(t)
+	if _, err := rq.SMINPairsBatch(nil); !errors.Is(err, ErrEmptyInput) {
+		t.Errorf("empty error = %v", err)
+	}
+	ragged := []SMINPair{{U: encBits(t, sk, 1, 3), V: encBits(t, sk, 1, 4)}}
+	if _, err := rq.SMINPairsBatch(ragged); !errors.Is(err, ErrLengthMismatch) {
+		t.Errorf("ragged error = %v", err)
+	}
+}
+
+func TestSMINnBatchedMatchesTree(t *testing.T) {
+	rq, sk := pair(t)
+	vals := []uint64{33, 20, 58, 41, 6, 50, 27, 19, 44}
+	batched, err := rq.SMINnBatched(encBitsMany(t, sk, 6, vals...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := decBits(t, sk, batched); got != 6 {
+		t.Errorf("SMINnBatched = %d, want 6", got)
+	}
+}
+
+func TestSMINnBatchedRoundCount(t *testing.T) {
+	rq, sk := pair(t)
+	// n = 8: 3 tournament levels ⇒ 6 rounds batched (2 per level).
+	ds := encBitsMany(t, sk, 5, 8, 7, 6, 5, 4, 3, 2, 1)
+	rounds0 := rq.Conn().Stats().Rounds()
+	min, err := rq.SMINnBatched(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := decBits(t, sk, min); got != 1 {
+		t.Errorf("min = %d", got)
+	}
+	if r := rq.Conn().Stats().Rounds() - rounds0; r != 6 {
+		t.Errorf("SMINnBatched(8) used %d rounds, want 6", r)
+	}
+}
+
+func TestSMINnBatchedSingleValue(t *testing.T) {
+	rq, sk := pair(t)
+	min, err := rq.SMINnBatched(encBitsMany(t, sk, 4, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := decBits(t, sk, min); got != 11 {
+		t.Errorf("singleton = %d", got)
+	}
+}
+
+func TestSMINnBatchedProperty(t *testing.T) {
+	rq, sk := pair(t)
+	const l = 6
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 7 {
+			return true
+		}
+		vals := make([]uint64, len(raw))
+		want := uint64(63)
+		for i, r := range raw {
+			vals[i] = uint64(r) & 63
+			if vals[i] < want {
+				want = vals[i]
+			}
+		}
+		min, err := rq.SMINnBatched(encBitsMany(t, sk, l, vals...))
+		if err != nil {
+			return false
+		}
+		return decBits(t, sk, min) == want
+	}
+	cfg := &quick.Config{MaxCount: 6, Rand: mrand.New(mrand.NewSource(13))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHandleSMINBatchValidation(t *testing.T) {
+	sk := testKey()
+	mux := NewResponder(sk, nil).Mux()
+	bad := []*mpc.Message{
+		{Op: opSMINBatch},
+		{Op: opSMINBatch, Ints: bigInts(1)},
+		{Op: opSMINBatch, Ints: bigInts(0, 4)},          // b=0
+		{Op: opSMINBatch, Ints: bigInts(1, 0)},          // l=0
+		{Op: opSMINBatch, Ints: bigInts(2, 3, 1, 1, 1)}, // wrong body size
+		{Op: opSMINBatch, Ints: bigInts(1, 1, 0, 0)},    // invalid ciphertexts
+	}
+	for i, msg := range bad {
+		if _, err := mux.Handle(msg); err == nil {
+			t.Errorf("frame %d accepted", i)
+		}
+	}
+}
+
+func bigInts(vals ...int64) []*big.Int {
+	out := make([]*big.Int, len(vals))
+	for i, v := range vals {
+		out[i] = big.NewInt(v)
+	}
+	return out
+}
+
+// BenchmarkAblationSMINnRoundBatching quantifies the round-fused
+// tournament vs the per-pair tournament — the dominant latency factor
+// on a wire transport.
+func BenchmarkAblationSMINnRoundBatching(b *testing.B) {
+	rq, sk := benchPair(b)
+	ds := make([][]*paillier.Ciphertext, 8)
+	for i := range ds {
+		ds[i] = encBits(b, sk, uint64(60-i*7), 6)
+	}
+	b.Run("scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rq.SMINn(ds); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rq.SMINnBatched(ds); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,61 @@
+package smc
+
+import (
+	"fmt"
+
+	"sknn/internal/paillier"
+)
+
+// SSED is the Secure Squared Euclidean Distance protocol (Algorithm 2):
+// given attribute-wise encryptions E(X) and E(Y) of two m-dimensional
+// vectors, C1 learns E(|X−Y|²) and neither party learns X or Y.
+//
+// C1 first computes E(xᵢ−yᵢ) locally, squares each difference with one
+// batched SM call, and accumulates the encrypted sum homomorphically.
+func (rq *Requester) SSED(x, y []*paillier.Ciphertext) (*paillier.Ciphertext, error) {
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("%w: %d vs %d", ErrLengthMismatch, len(x), len(y))
+	}
+	if len(x) == 0 {
+		return nil, ErrEmptyInput
+	}
+	diffs := make([]*paillier.Ciphertext, len(x))
+	for i := range x {
+		diffs[i] = rq.pk.Sub(x[i], y[i])
+	}
+	squares, err := rq.SMBatch(diffs, diffs)
+	if err != nil {
+		return nil, fmt.Errorf("smc: SSED squaring: %w", err)
+	}
+	return rq.pk.Product(squares), nil
+}
+
+// SSEDMany computes E(|Q−tᵢ|²) for one query vector against many record
+// vectors in a single SM round trip (n·m multiplications in one frame).
+// This is the Stage-1 workload of both SkNN protocols, so collapsing it
+// to one round matters for the wire transport.
+func (rq *Requester) SSEDMany(q []*paillier.Ciphertext, records [][]*paillier.Ciphertext) ([]*paillier.Ciphertext, error) {
+	if len(records) == 0 {
+		return nil, ErrEmptyInput
+	}
+	m := len(q)
+	diffs := make([]*paillier.Ciphertext, 0, len(records)*m)
+	for i, rec := range records {
+		if len(rec) != m {
+			return nil, fmt.Errorf("%w: record %d has %d attributes, query has %d",
+				ErrLengthMismatch, i, len(rec), m)
+		}
+		for j := range rec {
+			diffs = append(diffs, rq.pk.Sub(q[j], rec[j]))
+		}
+	}
+	squares, err := rq.SMBatch(diffs, diffs)
+	if err != nil {
+		return nil, fmt.Errorf("smc: SSEDMany squaring: %w", err)
+	}
+	out := make([]*paillier.Ciphertext, len(records))
+	for i := range records {
+		out[i] = rq.pk.Product(squares[i*m : (i+1)*m])
+	}
+	return out, nil
+}

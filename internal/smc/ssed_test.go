@@ -1,0 +1,115 @@
+package smc
+
+import (
+	"errors"
+	"testing"
+
+	"sknn/internal/paillier"
+)
+
+// Records t1 and t2 of Table 1 in the paper.
+var (
+	tableT1 = []int64{63, 1, 1, 145, 233, 1, 3, 0, 6, 0}
+	tableT2 = []int64{56, 1, 3, 130, 256, 1, 2, 1, 6, 2}
+)
+
+func TestSSEDPaperExample3(t *testing.T) {
+	// Example 3: |t1 − t2|² = 813.
+	rq, sk := pair(t)
+	x := encVec(t, sk, tableT1...)
+	y := encVec(t, sk, tableT2...)
+	got, err := rq.SSED(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := dec(t, sk, got); v != 813 {
+		t.Errorf("SSED(t1,t2) = %d, want 813", v)
+	}
+}
+
+func TestSSEDZeroDistance(t *testing.T) {
+	rq, sk := pair(t)
+	x := encVec(t, sk, 5, 9, 2)
+	y := encVec(t, sk, 5, 9, 2)
+	got, err := rq.SSED(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := dec(t, sk, got); v != 0 {
+		t.Errorf("SSED(x,x) = %d, want 0", v)
+	}
+}
+
+func TestSSEDOneDimension(t *testing.T) {
+	rq, sk := pair(t)
+	got, err := rq.SSED(encVec(t, sk, 10), encVec(t, sk, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := dec(t, sk, got); v != 49 {
+		t.Errorf("SSED([10],[3]) = %d, want 49", v)
+	}
+}
+
+func TestSSEDSymmetry(t *testing.T) {
+	rq, sk := pair(t)
+	x := encVec(t, sk, 1, 2, 3)
+	y := encVec(t, sk, 6, 5, 4)
+	xy, err := rq.SSED(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yx, err := rq.SSED(y, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := dec(t, sk, xy), dec(t, sk, yx); a != b || a != 25+9+1 {
+		t.Errorf("SSED asymmetric: %d vs %d (want 35)", a, b)
+	}
+}
+
+func TestSSEDValidation(t *testing.T) {
+	rq, sk := pair(t)
+	if _, err := rq.SSED(encVec(t, sk, 1, 2), encVec(t, sk, 1)); !errors.Is(err, ErrLengthMismatch) {
+		t.Errorf("mismatch error = %v", err)
+	}
+	if _, err := rq.SSED(nil, nil); !errors.Is(err, ErrEmptyInput) {
+		t.Errorf("empty error = %v", err)
+	}
+}
+
+func TestSSEDMany(t *testing.T) {
+	rq, sk := pair(t)
+	q := encVec(t, sk, 0, 0)
+	plain := [][]int64{{3, 4}, {1, 1}, {0, 0}, {10, 0}}
+	records := make([][]*paillier.Ciphertext, len(plain))
+	for i, rec := range plain {
+		records[i] = encVec(t, sk, rec...)
+	}
+	rounds0 := rq.Conn().Stats().Rounds()
+	ds, err := rq.SSEDMany(q, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := rq.Conn().Stats().Rounds() - rounds0; r != 1 {
+		t.Errorf("SSEDMany used %d rounds, want 1", r)
+	}
+	want := []int64{25, 2, 0, 100}
+	for i := range want {
+		if v := dec(t, sk, ds[i]); v != want[i] {
+			t.Errorf("distance[%d] = %d, want %d", i, v, want[i])
+		}
+	}
+}
+
+func TestSSEDManyValidation(t *testing.T) {
+	rq, sk := pair(t)
+	q := encVec(t, sk, 1, 2)
+	if _, err := rq.SSEDMany(q, nil); !errors.Is(err, ErrEmptyInput) {
+		t.Errorf("empty error = %v", err)
+	}
+	bad := [][]*paillier.Ciphertext{encVec(t, sk, 1)}
+	if _, err := rq.SSEDMany(q, bad); !errors.Is(err, ErrLengthMismatch) {
+		t.Errorf("mismatch error = %v", err)
+	}
+}

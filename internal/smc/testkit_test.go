@@ -1,0 +1,104 @@
+package smc
+
+import (
+	"crypto/rand"
+	"math/big"
+	"sync"
+	"testing"
+
+	"sknn/internal/mpc"
+	"sknn/internal/paillier"
+)
+
+// testKey is a shared 256-bit key for the whole smc suite (keygen is the
+// slow part; the key itself is immutable).
+var testKey = sync.OnceValue(func() *paillier.PrivateKey {
+	sk, err := paillier.GenerateKey(rand.Reader, 256)
+	if err != nil {
+		panic(err)
+	}
+	return sk
+})
+
+// pair wires a Requester to a live Responder over an in-process pipe and
+// registers cleanup. Tests drive the returned Requester directly.
+func pair(t testing.TB) (*Requester, *paillier.PrivateKey) {
+	t.Helper()
+	sk := testKey()
+	c1Conn, c2Conn := mpc.ChanPipe()
+	rp := NewResponder(sk, nil)
+	done := make(chan error, 1)
+	go func() { done <- mpc.Serve(c2Conn, rp.Mux()) }()
+	t.Cleanup(func() {
+		if err := mpc.SendClose(c1Conn); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("responder loop: %v", err)
+		}
+		c1Conn.Close()
+		c2Conn.Close()
+	})
+	return NewRequester(&sk.PublicKey, c1Conn, nil), sk
+}
+
+// enc encrypts a small integer, failing the test on error.
+func enc(t testing.TB, sk *paillier.PrivateKey, v int64) *paillier.Ciphertext {
+	t.Helper()
+	ct, err := sk.Encrypt(rand.Reader, big.NewInt(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ct
+}
+
+// encVec encrypts a vector attribute-wise.
+func encVec(t testing.TB, sk *paillier.PrivateKey, vs ...int64) []*paillier.Ciphertext {
+	t.Helper()
+	out := make([]*paillier.Ciphertext, len(vs))
+	for i, v := range vs {
+		out[i] = enc(t, sk, v)
+	}
+	return out
+}
+
+// encBits bit-decomposes v into l encrypted bits, MSB first — the [v]
+// notation of the paper, prepared locally for tests.
+func encBits(t testing.TB, sk *paillier.PrivateKey, v uint64, l int) []*paillier.Ciphertext {
+	t.Helper()
+	out := make([]*paillier.Ciphertext, l)
+	for i := 0; i < l; i++ {
+		bit := (v >> (l - 1 - i)) & 1
+		ct, err := sk.EncryptUint64(rand.Reader, bit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = ct
+	}
+	return out
+}
+
+// dec decrypts to int64 (unsigned range), failing on error.
+func dec(t testing.TB, sk *paillier.PrivateKey, ct *paillier.Ciphertext) int64 {
+	t.Helper()
+	m, err := sk.Decrypt(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Int64()
+}
+
+// decBits decrypts an encrypted bit vector (MSB first) to its value,
+// failing if any component is not a bit.
+func decBits(t testing.TB, sk *paillier.PrivateKey, bits []*paillier.Ciphertext) uint64 {
+	t.Helper()
+	var v uint64
+	for i, ct := range bits {
+		b := dec(t, sk, ct)
+		if b != 0 && b != 1 {
+			t.Fatalf("bit %d decrypts to %d, not a bit", i, b)
+		}
+		v = v<<1 | uint64(b)
+	}
+	return v
+}

@@ -1,0 +1,55 @@
+package svdknn
+
+import (
+	"crypto/rand"
+	"fmt"
+	"testing"
+
+	"sknn/internal/voronoi"
+)
+
+// Benchmarks for the Voronoi-partition baseline: setup cost (owner-side,
+// O(grid²·n²)) and per-query cost (client-side fetch+decrypt+scan —
+// microseconds, i.e. why the insecure-by-leakage design is fast and why
+// the paper's protocols cost so much more for hiding everything).
+
+func BenchmarkBuild(b *testing.B) {
+	for _, n := range []int{50, 200} {
+		b.Run(fmt.Sprintf("n=%d/grid=8", n), func(b *testing.B) {
+			sites := randomSites(1, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Build(rand.Reader, NewServer(), sites, 8); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkNearestNeighborQuery(b *testing.B) {
+	sites := randomSites(2, 200)
+	server := NewServer()
+	idx, err := Build(rand.Reader, server, sites, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := voronoi.Point{X: 50, Y: 50}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := idx.NearestNeighbor(server, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRelevantSites(b *testing.B) {
+	sites := randomSites(3, 200)
+	rect := voronoi.Rect{MinX: 40, MinY: 40, MaxX: 60, MaxY: 60}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := voronoi.RelevantSites(sites, rect); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,8 @@
+package svdknn
+
+import "math"
+
+// math64 and float64FromBits wrap the IEEE-754 bit conversions used by
+// the partition codec.
+func math64(f float64) uint64          { return math.Float64bits(f) }
+func float64FromBits(b uint64) float64 { return math.Float64frombits(b) }

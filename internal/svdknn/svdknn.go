@@ -1,0 +1,362 @@
+// Package svdknn implements the partition-based secure Voronoi diagram
+// (SVD) scheme in the style of Yao, Li and Xiao (ICDE 2013), the third
+// prior approach the paper discusses (its reference [31]) — built here
+// as a comparison baseline.
+//
+// Idea: the data owner covers the plane with a G×G grid. For each grid
+// cell she stores the cell's *relevant set* — every site whose Voronoi
+// cell intersects it (internal/voronoi) — serialized and encrypted with
+// an AEAD under a key shared with authorized users. Cells are addressed
+// by a pseudorandom tag (HMAC of the cell index), so the storage server
+// holds an opaque tag→blob map and performs NO computation. A querier
+// locates her own grid cell, requests that one blob by tag, decrypts,
+// and finds her exact nearest neighbor among the candidates locally.
+//
+// The scheme is correct for 1-NN by the Voronoi-cover property, and it
+// is exactly what the paper criticizes:
+//
+//   - the cloud returns a partition, not the exact kNN — for k > 1 the
+//     candidate set may simply not contain the k-th neighbor;
+//   - the querier does the real work (decryption + distance scan),
+//     conflicting with outsourcing;
+//   - access patterns leak: the server sees which tag every query
+//     touches, so equal/nearby queries are linkable.
+//
+// Package sknn's protocols pay orders of magnitude more computation to
+// avoid all three. The benchmark harness compares them directly.
+package svdknn
+
+import (
+	"bytes"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"sknn/internal/voronoi"
+)
+
+// Errors returned by the scheme.
+var (
+	ErrBadGrid      = errors.New("svdknn: grid size must be ≥ 1")
+	ErrNoSites      = errors.New("svdknn: no sites")
+	ErrOutOfBounds  = errors.New("svdknn: query outside the indexed region")
+	ErrUnknownTag   = errors.New("svdknn: no partition with that tag")
+	ErrTampered     = errors.New("svdknn: partition failed authentication")
+	ErrBadKeyLength = errors.New("svdknn: key must be 32 bytes")
+)
+
+// Key is the secret shared between the data owner and authorized
+// queriers: half keys the AEAD, half keys the tag PRF.
+type Key struct {
+	enc [16]byte
+	mac [16]byte
+}
+
+// GenerateKey samples a fresh key.
+func GenerateKey(random io.Reader) (*Key, error) {
+	var k Key
+	if _, err := io.ReadFull(random, k.enc[:]); err != nil {
+		return nil, fmt.Errorf("svdknn: sampling key: %w", err)
+	}
+	if _, err := io.ReadFull(random, k.mac[:]); err != nil {
+		return nil, fmt.Errorf("svdknn: sampling key: %w", err)
+	}
+	return &k, nil
+}
+
+// KeyFromBytes restores a key from its 32-byte serialization.
+func KeyFromBytes(b []byte) (*Key, error) {
+	if len(b) != 32 {
+		return nil, ErrBadKeyLength
+	}
+	var k Key
+	copy(k.enc[:], b[:16])
+	copy(k.mac[:], b[16:])
+	return &k, nil
+}
+
+// Bytes serializes the key.
+func (k *Key) Bytes() []byte {
+	out := make([]byte, 32)
+	copy(out, k.enc[:])
+	copy(out[16:], k.mac[:])
+	return out
+}
+
+// aead builds the AES-GCM instance for the encryption half-key.
+func (k *Key) aead() (cipher.AEAD, error) {
+	block, err := aes.NewCipher(k.enc[:])
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(block)
+}
+
+// tag computes the pseudorandom address of grid cell (cx, cy).
+func (k *Key) tag(cx, cy int) string {
+	mac := hmac.New(sha256.New, k.mac[:])
+	var buf [16]byte
+	binary.BigEndian.PutUint64(buf[:8], uint64(int64(cx)))
+	binary.BigEndian.PutUint64(buf[8:], uint64(int64(cy)))
+	mac.Write(buf[:])
+	return string(mac.Sum(nil))
+}
+
+// Server is the untrusted storage provider: an opaque tag→blob map. It
+// performs no computation on queries — the "cloud as storage medium"
+// criticism the paper levels at this design.
+type Server struct {
+	blobs map[string][]byte
+	// AccessLog records every requested tag in order: the access-pattern
+	// leakage, made explicit for demos and tests.
+	AccessLog []string
+}
+
+// NewServer returns an empty server.
+func NewServer() *Server { return &Server{blobs: make(map[string][]byte)} }
+
+// Store uploads one encrypted partition.
+func (s *Server) Store(tag string, blob []byte) {
+	s.blobs[tag] = append([]byte(nil), blob...)
+}
+
+// Fetch retrieves the blob for a tag, recording the access.
+func (s *Server) Fetch(tag string) ([]byte, error) {
+	s.AccessLog = append(s.AccessLog, tag)
+	blob, ok := s.blobs[tag]
+	if !ok {
+		return nil, ErrUnknownTag
+	}
+	return append([]byte(nil), blob...), nil
+}
+
+// Size reports the number of stored partitions.
+func (s *Server) Size() int { return len(s.blobs) }
+
+// Index is the data owner's (and authorized queriers') view: the grid
+// geometry and the shared key. Site coordinates never reach the server
+// in the clear.
+type Index struct {
+	key   *Key
+	grid  int
+	area  voronoi.Rect
+	cellW float64
+	cellH float64
+}
+
+// Build partitions the sites into a grid×grid cover of their bounding
+// rectangle, computes each cell's Voronoi-relevant candidate set,
+// encrypts, and uploads everything to the server. It returns the Index
+// that queriers use. Setup cost is O(grid² · n²).
+func Build(random io.Reader, server *Server, sites []voronoi.Point, grid int) (*Index, error) {
+	if grid < 1 {
+		return nil, ErrBadGrid
+	}
+	if len(sites) == 0 {
+		return nil, ErrNoSites
+	}
+	if random == nil {
+		random = rand.Reader
+	}
+	key, err := GenerateKey(random)
+	if err != nil {
+		return nil, err
+	}
+	area, err := voronoi.BoundingRect(sites)
+	if err != nil {
+		return nil, err
+	}
+	// Pad degenerate extents so every site strictly fits some cell.
+	if area.MaxX-area.MinX == 0 {
+		area.MaxX++
+	}
+	if area.MaxY-area.MinY == 0 {
+		area.MaxY++
+	}
+	idx := &Index{
+		key:   key,
+		grid:  grid,
+		area:  area,
+		cellW: (area.MaxX - area.MinX) / float64(grid),
+		cellH: (area.MaxY - area.MinY) / float64(grid),
+	}
+	aead, err := key.aead()
+	if err != nil {
+		return nil, err
+	}
+	for cx := 0; cx < grid; cx++ {
+		for cy := 0; cy < grid; cy++ {
+			rect := idx.cellRect(cx, cy)
+			rel, err := voronoi.RelevantSites(sites, rect)
+			if err != nil {
+				return nil, fmt.Errorf("svdknn: cell (%d,%d): %w", cx, cy, err)
+			}
+			plain := encodeCandidates(sites, rel)
+			nonce := make([]byte, aead.NonceSize())
+			if _, err := io.ReadFull(random, nonce); err != nil {
+				return nil, fmt.Errorf("svdknn: nonce: %w", err)
+			}
+			blob := append(nonce, aead.Seal(nil, nonce, plain, nil)...)
+			server.Store(key.tag(cx, cy), blob)
+		}
+	}
+	return idx, nil
+}
+
+// Key returns the shared secret for distribution to authorized users.
+func (idx *Index) Key() *Key { return idx.key }
+
+// Grid returns the grid resolution.
+func (idx *Index) Grid() int { return idx.grid }
+
+// cellRect returns the rectangle of grid cell (cx, cy).
+func (idx *Index) cellRect(cx, cy int) voronoi.Rect {
+	return voronoi.Rect{
+		MinX: idx.area.MinX + float64(cx)*idx.cellW,
+		MaxX: idx.area.MinX + float64(cx+1)*idx.cellW,
+		MinY: idx.area.MinY + float64(cy)*idx.cellH,
+		MaxY: idx.area.MinY + float64(cy+1)*idx.cellH,
+	}
+}
+
+// cellOf locates the grid cell containing q, clamping boundary points
+// into the last cell.
+func (idx *Index) cellOf(q voronoi.Point) (int, int, error) {
+	if !idx.area.Contains(q) {
+		return 0, 0, ErrOutOfBounds
+	}
+	cx := int((q.X - idx.area.MinX) / idx.cellW)
+	cy := int((q.Y - idx.area.MinY) / idx.cellH)
+	if cx >= idx.grid {
+		cx = idx.grid - 1
+	}
+	if cy >= idx.grid {
+		cy = idx.grid - 1
+	}
+	return cx, cy, nil
+}
+
+// Candidate is one decrypted partition entry: a site and its original
+// index.
+type Candidate struct {
+	Index int
+	Site  voronoi.Point
+}
+
+// FetchCandidates performs the client side of a query up to decryption:
+// locate the cell, fetch the blob by tag, authenticate and decrypt, and
+// return the candidate set. Exposed separately so benchmarks can split
+// transport from the local scan.
+func (idx *Index) FetchCandidates(server *Server, q voronoi.Point) ([]Candidate, error) {
+	cx, cy, err := idx.cellOf(q)
+	if err != nil {
+		return nil, err
+	}
+	blob, err := server.Fetch(idx.key.tag(cx, cy))
+	if err != nil {
+		return nil, err
+	}
+	aead, err := idx.key.aead()
+	if err != nil {
+		return nil, err
+	}
+	if len(blob) < aead.NonceSize() {
+		return nil, ErrTampered
+	}
+	plain, err := aead.Open(nil, blob[:aead.NonceSize()], blob[aead.NonceSize():], nil)
+	if err != nil {
+		return nil, ErrTampered
+	}
+	return decodeCandidates(plain)
+}
+
+// NearestNeighbor answers an exact 1-NN query: fetch the partition and
+// scan it locally. The exactness follows from the Voronoi-cover
+// property of the relevant sets.
+func (idx *Index) NearestNeighbor(server *Server, q voronoi.Point) (Candidate, error) {
+	cands, err := idx.FetchCandidates(server, q)
+	if err != nil {
+		return Candidate{}, err
+	}
+	best := cands[0]
+	bestD := best.Site.Dist2(q)
+	for _, c := range cands[1:] {
+		if d := c.Site.Dist2(q); d < bestD || (d == bestD && c.Index < best.Index) {
+			best, bestD = c, d
+		}
+	}
+	return best, nil
+}
+
+// KNNBestEffort returns up to k nearest candidates from the query's
+// partition. Unlike the Paillier protocols this is NOT guaranteed to be
+// the true kNN for k > 1 — the partition only covers the 1-NN — which is
+// precisely the accuracy criticism motivating the paper. The second
+// return value reports how many candidates the partition held.
+func (idx *Index) KNNBestEffort(server *Server, q voronoi.Point, k int) ([]Candidate, int, error) {
+	if k < 1 {
+		return nil, 0, fmt.Errorf("svdknn: k=%d", k)
+	}
+	cands, err := idx.FetchCandidates(server, q)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Insertion sort by distance (candidate sets are small).
+	sorted := append([]Candidate(nil), cands...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0; j-- {
+			di, dj := sorted[j].Site.Dist2(q), sorted[j-1].Site.Dist2(q)
+			if di < dj || (di == dj && sorted[j].Index < sorted[j-1].Index) {
+				sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+			} else {
+				break
+			}
+		}
+	}
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	return sorted[:k], len(cands), nil
+}
+
+// encodeCandidates serializes (index, x, y) triples.
+func encodeCandidates(sites []voronoi.Point, rel []int) []byte {
+	var buf bytes.Buffer
+	var scratch [8]byte
+	binary.BigEndian.PutUint64(scratch[:], uint64(len(rel)))
+	buf.Write(scratch[:])
+	for _, i := range rel {
+		binary.BigEndian.PutUint64(scratch[:], uint64(i))
+		buf.Write(scratch[:])
+		binary.BigEndian.PutUint64(scratch[:], math64(sites[i].X))
+		buf.Write(scratch[:])
+		binary.BigEndian.PutUint64(scratch[:], math64(sites[i].Y))
+		buf.Write(scratch[:])
+	}
+	return buf.Bytes()
+}
+
+func decodeCandidates(plain []byte) ([]Candidate, error) {
+	if len(plain) < 8 {
+		return nil, ErrTampered
+	}
+	n := binary.BigEndian.Uint64(plain[:8])
+	if uint64(len(plain)-8) != n*24 || n == 0 {
+		return nil, ErrTampered
+	}
+	out := make([]Candidate, n)
+	off := 8
+	for i := range out {
+		out[i].Index = int(binary.BigEndian.Uint64(plain[off:]))
+		out[i].Site.X = float64FromBits(binary.BigEndian.Uint64(plain[off+8:]))
+		out[i].Site.Y = float64FromBits(binary.BigEndian.Uint64(plain[off+16:]))
+		off += 24
+	}
+	return out, nil
+}

@@ -1,0 +1,214 @@
+// Package voronoi provides the 2-D computational geometry behind the
+// partition-based "secure Voronoi diagram" baseline (Yao, Li, Xiao —
+// "Secure nearest neighbor revisited", ICDE 2013, the paper's reference
+// [31]): deciding, for an axis-aligned rectangle, which sites' Voronoi
+// cells intersect it. That "relevant set" is exactly the set of possible
+// nearest neighbors of any query inside the rectangle, which is the
+// correctness guarantee the SVD scheme builds on.
+//
+// The implementation is exact (up to float64 epsilon): a site's Voronoi
+// cell restricted to a rectangle is the rectangle clipped by the n−1
+// perpendicular-bisector half-planes, computed with Sutherland–Hodgman
+// polygon clipping. O(n²) per rectangle — fine for the dataset sizes the
+// baseline is compared at, and free of the robustness pitfalls of a full
+// Fortune sweep.
+package voronoi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// eps absorbs float64 round-off in the clipping predicates. Degenerate
+// slivers thinner than eps may be classified either way; both answers
+// are acceptable for the SVD scheme (a spurious candidate only costs the
+// client one extra distance check).
+const eps = 1e-9
+
+// Point is a site or query location in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Sub returns p − q as a vector.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Dist2 returns the squared Euclidean distance between two points.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Rect is an axis-aligned rectangle (Min ≤ Max on both axes).
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// Valid reports whether the rectangle is non-degenerate and finite.
+func (r Rect) Valid() bool {
+	finite := !math.IsNaN(r.MinX+r.MinY+r.MaxX+r.MaxY) &&
+		!math.IsInf(r.MinX, 0) && !math.IsInf(r.MaxX, 0) &&
+		!math.IsInf(r.MinY, 0) && !math.IsInf(r.MaxY, 0)
+	return finite && r.MinX <= r.MaxX && r.MinY <= r.MaxY
+}
+
+// Contains reports whether p lies in the closed rectangle.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.MinX-eps && p.X <= r.MaxX+eps &&
+		p.Y >= r.MinY-eps && p.Y <= r.MaxY+eps
+}
+
+// corners returns the rectangle as a counter-clockwise polygon.
+func (r Rect) corners() []Point {
+	return []Point{
+		{r.MinX, r.MinY}, {r.MaxX, r.MinY}, {r.MaxX, r.MaxY}, {r.MinX, r.MaxY},
+	}
+}
+
+// Errors returned by this package.
+var (
+	ErrNoSites = errors.New("voronoi: no sites")
+	ErrBadRect = errors.New("voronoi: invalid rectangle")
+)
+
+// NearestSite returns the index of the site closest to x (ties to the
+// lowest index) — the plaintext oracle for the scheme's guarantee.
+func NearestSite(sites []Point, x Point) (int, error) {
+	if len(sites) == 0 {
+		return 0, ErrNoSites
+	}
+	best, bestD := 0, sites[0].Dist2(x)
+	for i := 1; i < len(sites); i++ {
+		if d := sites[i].Dist2(x); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, nil
+}
+
+// halfPlane is the set {x : a·x_x + b·x_y ≤ c}.
+type halfPlane struct{ a, b, c float64 }
+
+// bisectorTowards returns the half-plane of points at least as close to
+// p as to q: |x−p|² ≤ |x−q|², i.e. 2(q−p)·x ≤ |q|²−|p|².
+func bisectorTowards(p, q Point) halfPlane {
+	return halfPlane{
+		a: 2 * (q.X - p.X),
+		b: 2 * (q.Y - p.Y),
+		c: q.X*q.X + q.Y*q.Y - p.X*p.X - p.Y*p.Y,
+	}
+}
+
+func (h halfPlane) inside(p Point) bool {
+	return h.a*p.X+h.b*p.Y <= h.c+eps
+}
+
+// intersect returns the point where segment s→e crosses the half-plane
+// boundary. Callers guarantee the segment straddles the boundary.
+func (h halfPlane) intersect(s, e Point) Point {
+	ds := h.a*s.X + h.b*s.Y - h.c
+	de := h.a*e.X + h.b*e.Y - h.c
+	t := ds / (ds - de)
+	return Point{s.X + t*(e.X-s.X), s.Y + t*(e.Y-s.Y)}
+}
+
+// clip applies Sutherland–Hodgman clipping of polygon poly by h.
+func (h halfPlane) clip(poly []Point) []Point {
+	if len(poly) == 0 {
+		return nil
+	}
+	out := make([]Point, 0, len(poly)+1)
+	prev := poly[len(poly)-1]
+	prevIn := h.inside(prev)
+	for _, cur := range poly {
+		curIn := h.inside(cur)
+		switch {
+		case prevIn && curIn:
+			out = append(out, cur)
+		case prevIn && !curIn:
+			out = append(out, h.intersect(prev, cur))
+		case !prevIn && curIn:
+			out = append(out, h.intersect(prev, cur), cur)
+		}
+		prev, prevIn = cur, curIn
+	}
+	return out
+}
+
+// CellIntersectsRect reports whether site i's Voronoi cell (with respect
+// to all sites) has non-empty intersection with rect: the rectangle is
+// clipped by every bisector half-plane toward site i; a surviving
+// polygon means some query location in rect has site i as (a) nearest
+// neighbor.
+func CellIntersectsRect(sites []Point, i int, rect Rect) (bool, error) {
+	if len(sites) == 0 {
+		return false, ErrNoSites
+	}
+	if i < 0 || i >= len(sites) {
+		return false, fmt.Errorf("voronoi: site index %d out of range", i)
+	}
+	if !rect.Valid() {
+		return false, ErrBadRect
+	}
+	poly := rect.corners()
+	for j, q := range sites {
+		if j == i || (q.X == sites[i].X && q.Y == sites[i].Y) {
+			continue // duplicate sites share a cell
+		}
+		poly = bisectorTowards(sites[i], q).clip(poly)
+		if len(poly) == 0 {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// RelevantSites returns the indices of all sites whose Voronoi cells
+// intersect rect — the exact candidate set the SVD scheme stores per
+// partition. The result is never empty for a valid rectangle (some site
+// is nearest to every location).
+func RelevantSites(sites []Point, rect Rect) ([]int, error) {
+	if len(sites) == 0 {
+		return nil, ErrNoSites
+	}
+	if !rect.Valid() {
+		return nil, ErrBadRect
+	}
+	var out []int
+	for i := range sites {
+		ok, err := CellIntersectsRect(sites, i, rect)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, i)
+		}
+	}
+	if len(out) == 0 {
+		// Numerically impossible in theory; guard against eps slivers by
+		// falling back to the nearest site of the rectangle's center.
+		c := Point{(rect.MinX + rect.MaxX) / 2, (rect.MinY + rect.MaxY) / 2}
+		nn, err := NearestSite(sites, c)
+		if err != nil {
+			return nil, err
+		}
+		out = []int{nn}
+	}
+	return out, nil
+}
+
+// BoundingRect returns the tight bounding rectangle of the sites.
+func BoundingRect(sites []Point) (Rect, error) {
+	if len(sites) == 0 {
+		return Rect{}, ErrNoSites
+	}
+	r := Rect{MinX: sites[0].X, MaxX: sites[0].X, MinY: sites[0].Y, MaxY: sites[0].Y}
+	for _, p := range sites[1:] {
+		r.MinX = math.Min(r.MinX, p.X)
+		r.MaxX = math.Max(r.MaxX, p.X)
+		r.MinY = math.Min(r.MinY, p.Y)
+		r.MaxY = math.Max(r.MaxY, p.Y)
+	}
+	return r, nil
+}

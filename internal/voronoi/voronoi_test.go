@@ -1,0 +1,197 @@
+package voronoi
+
+import (
+	"errors"
+	mrand "math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNearestSite(t *testing.T) {
+	sites := []Point{{0, 0}, {10, 0}, {5, 5}}
+	cases := []struct {
+		x    Point
+		want int
+	}{
+		{Point{1, 1}, 0},
+		{Point{9, 1}, 1},
+		{Point{5, 4}, 2},
+	}
+	for _, c := range cases {
+		got, err := NearestSite(sites, c.x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("NearestSite(%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+	if _, err := NearestSite(nil, Point{}); !errors.Is(err, ErrNoSites) {
+		t.Errorf("empty error = %v", err)
+	}
+}
+
+func TestTwoSitesBisector(t *testing.T) {
+	// Sites at x=0 and x=10: the bisector is x=5. A rectangle entirely
+	// left of the bisector is relevant only to site 0.
+	sites := []Point{{0, 0}, {10, 0}}
+	left := Rect{MinX: 0, MinY: -1, MaxX: 2, MaxY: 1}
+	rel, err := RelevantSites(sites, left)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel) != 1 || rel[0] != 0 {
+		t.Errorf("left rect relevant = %v, want [0]", rel)
+	}
+	// A rectangle straddling x=5 sees both.
+	mid := Rect{MinX: 4, MinY: -1, MaxX: 6, MaxY: 1}
+	rel, err = RelevantSites(sites, mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel) != 2 {
+		t.Errorf("straddling rect relevant = %v, want both sites", rel)
+	}
+}
+
+func TestCellIntersectsRectValidation(t *testing.T) {
+	sites := []Point{{0, 0}}
+	if _, err := CellIntersectsRect(nil, 0, Rect{}); !errors.Is(err, ErrNoSites) {
+		t.Errorf("no sites error = %v", err)
+	}
+	if _, err := CellIntersectsRect(sites, 5, Rect{MaxX: 1, MaxY: 1}); err == nil {
+		t.Error("bad index accepted")
+	}
+	bad := Rect{MinX: 2, MaxX: 1, MinY: 0, MaxY: 1}
+	if _, err := CellIntersectsRect(sites, 0, bad); !errors.Is(err, ErrBadRect) {
+		t.Errorf("bad rect error = %v", err)
+	}
+}
+
+func TestSingleSiteOwnsEverything(t *testing.T) {
+	sites := []Point{{3, 3}}
+	rel, err := RelevantSites(sites, Rect{MinX: -100, MinY: -100, MaxX: 100, MaxY: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel) != 1 || rel[0] != 0 {
+		t.Errorf("relevant = %v", rel)
+	}
+}
+
+func TestDuplicateSitesShareCell(t *testing.T) {
+	sites := []Point{{1, 1}, {1, 1}, {9, 9}}
+	rel, err := RelevantSites(sites, Rect{MinX: 0, MinY: 0, MaxX: 2, MaxY: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both duplicates are relevant near (1,1); site 2 is not.
+	has := map[int]bool{}
+	for _, i := range rel {
+		has[i] = true
+	}
+	if !has[0] || !has[1] || has[2] {
+		t.Errorf("relevant = %v, want {0,1}", rel)
+	}
+}
+
+func TestBoundingRect(t *testing.T) {
+	sites := []Point{{3, -1}, {0, 4}, {7, 2}}
+	r, err := BoundingRect(sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MinX != 0 || r.MaxX != 7 || r.MinY != -1 || r.MaxY != 4 {
+		t.Errorf("bounding rect = %+v", r)
+	}
+	if _, err := BoundingRect(nil); !errors.Is(err, ErrNoSites) {
+		t.Errorf("empty error = %v", err)
+	}
+}
+
+func TestRectHelpers(t *testing.T) {
+	r := Rect{MinX: 0, MinY: 0, MaxX: 2, MaxY: 2}
+	if !r.Contains(Point{1, 1}) || r.Contains(Point{3, 1}) {
+		t.Error("Contains wrong")
+	}
+	if !r.Valid() {
+		t.Error("valid rect reported invalid")
+	}
+}
+
+// TestPropertyRelevantSetCoversNearestNeighbor is the correctness
+// invariant the SVD scheme relies on: for ANY query point inside a
+// rectangle, its exact nearest site is in the rectangle's relevant set.
+func TestPropertyRelevantSetCoversNearestNeighbor(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(11))
+	f := func() bool {
+		n := 2 + rng.Intn(15)
+		sites := make([]Point, n)
+		for i := range sites {
+			sites[i] = Point{rng.Float64() * 100, rng.Float64() * 100}
+		}
+		x0, y0 := rng.Float64()*90, rng.Float64()*90
+		rect := Rect{MinX: x0, MinY: y0, MaxX: x0 + 1 + rng.Float64()*10, MaxY: y0 + 1 + rng.Float64()*10}
+		rel, err := RelevantSites(sites, rect)
+		if err != nil {
+			return false
+		}
+		relSet := map[int]bool{}
+		for _, i := range rel {
+			relSet[i] = true
+		}
+		// Sample interior queries, including corners.
+		queries := rect.corners()
+		for i := 0; i < 25; i++ {
+			queries = append(queries, Point{
+				rect.MinX + rng.Float64()*(rect.MaxX-rect.MinX),
+				rect.MinY + rng.Float64()*(rect.MaxY-rect.MinY),
+			})
+		}
+		for _, q := range queries {
+			nn, err := NearestSite(sites, q)
+			if err != nil {
+				return false
+			}
+			if !relSet[nn] {
+				// Tolerate exact ties on the boundary: accept if some
+				// relevant site is equally close.
+				tied := false
+				for _, ri := range rel {
+					if sites[ri].Dist2(q) <= sites[nn].Dist2(q)+1e-7 {
+						tied = true
+						break
+					}
+				}
+				if !tied {
+					t.Logf("query %v: NN %d not in relevant set %v", q, nn, rel)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyRelevantSetIsTight checks the other direction on a
+// deterministic configuration: sites on a grid, a cell-sized rectangle
+// should have far fewer relevant sites than n.
+func TestPropertyRelevantSetIsTight(t *testing.T) {
+	var sites []Point
+	for x := 0; x < 5; x++ {
+		for y := 0; y < 5; y++ {
+			sites = append(sites, Point{float64(x) * 10, float64(y) * 10})
+		}
+	}
+	rect := Rect{MinX: 19, MinY: 19, MaxX: 21, MaxY: 21} // around site (20,20)
+	rel, err := RelevantSites(sites, rect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel) > 9 {
+		t.Errorf("relevant set of a tight rect has %d sites (want ≤ 9): %v", len(rel), rel)
+	}
+}

@@ -1,0 +1,276 @@
+package sknn
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"sknn/internal/core"
+	"sknn/internal/dataset"
+	"sknn/internal/mpc"
+	"sknn/internal/paillier"
+)
+
+// Mode selects which of the paper's two protocols answers a query.
+type Mode int
+
+const (
+	// ModeBasic runs SkNNb (Algorithm 5): fast, but leaks distances to
+	// C2 and access patterns to both clouds.
+	ModeBasic Mode = iota
+	// ModeSecure runs SkNNm (Algorithm 6): full confidentiality and
+	// access-pattern hiding.
+	ModeSecure
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeBasic:
+		return "SkNNb"
+	case ModeSecure:
+		return "SkNNm"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Metric aliases so facade users can consume phase breakdowns without
+// importing internal packages.
+type (
+	// BasicMetrics is the phase breakdown of one SkNNb query.
+	BasicMetrics = core.BasicMetrics
+	// SecureMetrics is the phase breakdown of one SkNNm query.
+	SecureMetrics = core.SecureMetrics
+)
+
+// Config tunes System construction.
+type Config struct {
+	// KeyBits is the Paillier modulus size; the paper evaluates 512 and
+	// 1024. Default 512.
+	KeyBits int
+	// Workers is the number of parallel C1↔C2 sessions (the paper's
+	// Section 5.3 parallelization). Default 1 (serial).
+	Workers int
+	// Random overrides the randomness source (default crypto/rand).
+	Random io.Reader
+	// Key reuses an existing Paillier key instead of generating one —
+	// key generation dominates setup time, so benchmarks share keys.
+	Key *paillier.PrivateKey
+	// FeatureColumns restricts distance computation to the first f
+	// attributes; trailing columns (class labels, identifiers) are
+	// returned with results but never ranked on. 0 means all columns
+	// are features. This is the layout secure kNN classification uses
+	// (see examples/classifier).
+	FeatureColumns int
+	// UseNoncePool precomputes Paillier encryption nonces for C2 on
+	// background goroutines (paillier.RandomizerPool), trading idle CPU
+	// for much cheaper reply encryption. Off by default so benchmark
+	// numbers reflect the paper's unassisted protocol cost.
+	UseNoncePool bool
+}
+
+// ErrClosed is returned by queries on a closed System.
+var ErrClosed = errors.New("sknn: system closed")
+
+// System wires every party of the paper in one process: Alice encrypts
+// and outsources, C1 and C2 form the federated cloud (connected by
+// in-process pipes), and Bob issues queries. It is the quickstart
+// entry point; distributed deployments compose the internal packages
+// instead.
+//
+// A System is safe for sequential queries; concurrent Query calls must
+// be externally serialized (the underlying protocol connections are
+// stateful streams).
+type System struct {
+	sk         *paillier.PrivateKey
+	c1         *core.CloudC1
+	client     *core.Client
+	domainBits int
+	n, m       int
+
+	mu      sync.Mutex
+	closed  bool
+	serveWG sync.WaitGroup
+	pool    *paillier.RandomizerPool // non-nil when Config.UseNoncePool
+}
+
+// New builds a System over the given plaintext table: rows of uint64
+// attributes, each value in [0, 2^attrBits). This performs Alice's
+// one-time setup (key generation and attribute-wise encryption) and
+// stands up the federated cloud.
+func New(rows [][]uint64, attrBits int, cfg Config) (*System, error) {
+	tbl := &dataset.Table{Rows: rows, AttrBits: attrBits}
+	if err := tbl.Validate(); err != nil {
+		return nil, fmt.Errorf("sknn: %w", err)
+	}
+	if cfg.KeyBits == 0 {
+		cfg.KeyBits = 512
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	random := cfg.Random
+	if random == nil {
+		random = rand.Reader
+	}
+	sk := cfg.Key
+	if sk == nil {
+		var err error
+		sk, err = paillier.GenerateKey(random, cfg.KeyBits)
+		if err != nil {
+			return nil, fmt.Errorf("sknn: generating key: %w", err)
+		}
+	}
+
+	encTable, err := core.EncryptTable(random, &sk.PublicKey, tbl.Rows)
+	if err != nil {
+		return nil, fmt.Errorf("sknn: outsourcing table: %w", err)
+	}
+	featureM := tbl.M()
+	if cfg.FeatureColumns > 0 {
+		encTable, err = encTable.WithFeatureColumns(cfg.FeatureColumns)
+		if err != nil {
+			return nil, fmt.Errorf("sknn: %w", err)
+		}
+		featureM = cfg.FeatureColumns
+	}
+
+	sys := &System{
+		sk:         sk,
+		client:     core.NewClient(&sk.PublicKey, random),
+		domainBits: dataset.DomainBits(attrBits, featureM),
+		n:          tbl.N(),
+		m:          tbl.M(),
+	}
+	c2 := core.NewCloudC2(sk, random)
+	if cfg.UseNoncePool {
+		pool, err := paillier.NewRandomizerPool(&sk.PublicKey, random, 4096)
+		if err != nil {
+			return nil, fmt.Errorf("sknn: nonce pool: %w", err)
+		}
+		pool.Start(2)
+		c2.UsePool(pool)
+		sys.pool = pool
+	}
+	conns := make([]mpc.Conn, cfg.Workers)
+	for i := range conns {
+		c1Side, c2Side := mpc.ChanPipe()
+		conns[i] = c1Side
+		sys.serveWG.Add(1)
+		go func(conn mpc.Conn) {
+			defer sys.serveWG.Done()
+			// Serve returns nil on orderly shutdown; any other error is a
+			// protocol bug surfaced to the requester as a broken round
+			// trip, so it is not separately reported here.
+			_ = c2.Serve(conn)
+		}(c2Side)
+	}
+	sys.c1, err = core.NewCloudC1(encTable, conns, random)
+	if err != nil {
+		return nil, fmt.Errorf("sknn: wiring clouds: %w", err)
+	}
+	return sys, nil
+}
+
+// N returns the number of outsourced records.
+func (s *System) N() int { return s.n }
+
+// M returns the number of attributes.
+func (s *System) M() int { return s.m }
+
+// DomainBits returns l, the squared-distance domain size SkNNm uses.
+func (s *System) DomainBits() int { return s.domainBits }
+
+// PublicKey exposes the Paillier public key (e.g. for encrypting
+// additional data under the same system).
+func (s *System) PublicKey() *paillier.PublicKey { return &s.sk.PublicKey }
+
+// Workers reports the configured parallelism.
+func (s *System) Workers() int { return s.c1.Workers() }
+
+// CommStats reports cumulative C1↔C2 traffic.
+func (s *System) CommStats() mpc.StatsSnapshot { return s.c1.CommStats() }
+
+// Query runs a k-nearest-neighbor query end-to-end: Bob encrypts q, the
+// clouds execute the selected protocol, and Bob unmasks and returns the
+// k closest records (each a full attribute row).
+func (s *System) Query(q []uint64, k int, mode Mode) ([][]uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	eq, err := s.client.EncryptQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	var res *core.MaskedResult
+	switch mode {
+	case ModeBasic:
+		res, err = s.c1.BasicQuery(eq, k)
+	case ModeSecure:
+		res, err = s.c1.SecureQuery(eq, k, s.domainBits)
+	default:
+		return nil, fmt.Errorf("sknn: unknown mode %d", int(mode))
+	}
+	if err != nil {
+		return nil, err
+	}
+	return s.client.Unmask(res)
+}
+
+// QueryBasicMetered runs SkNNb and returns the phase breakdown.
+func (s *System) QueryBasicMetered(q []uint64, k int) ([][]uint64, *BasicMetrics, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, nil, ErrClosed
+	}
+	eq, err := s.client.EncryptQuery(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, metrics, err := s.c1.BasicQueryMetered(eq, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows, err := s.client.Unmask(res)
+	return rows, metrics, err
+}
+
+// QuerySecureMetered runs SkNNm and returns the phase breakdown.
+func (s *System) QuerySecureMetered(q []uint64, k int) ([][]uint64, *SecureMetrics, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, nil, ErrClosed
+	}
+	eq, err := s.client.EncryptQuery(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, metrics, err := s.c1.SecureQueryMetered(eq, k, s.domainBits)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows, err := s.client.Unmask(res)
+	return rows, metrics, err
+}
+
+// Close shuts down the federated cloud and waits for its serve loops.
+func (s *System) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.c1.Close()
+	s.serveWG.Wait()
+	if s.pool != nil {
+		s.pool.Close()
+	}
+	return err
+}

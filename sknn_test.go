@@ -1,0 +1,240 @@
+package sknn
+
+import (
+	"crypto/rand"
+	"errors"
+	"sort"
+	"sync"
+	"testing"
+
+	"sknn/internal/dataset"
+	"sknn/internal/paillier"
+	"sknn/internal/plainknn"
+)
+
+// facadeKey shares one small key across facade tests (keygen dominates).
+var facadeKey = sync.OnceValue(func() *paillier.PrivateKey {
+	sk, err := paillier.GenerateKey(rand.Reader, 256)
+	if err != nil {
+		panic(err)
+	}
+	return sk
+})
+
+func newTestSystem(t *testing.T, rows [][]uint64, attrBits, workers int) *System {
+	t.Helper()
+	sys, err := New(rows, attrBits, Config{Key: facadeKey(), Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := sys.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	return sys
+}
+
+func TestSystemBasicQuery(t *testing.T) {
+	tbl, _ := dataset.Generate(101, 20, 3, 4)
+	sys := newTestSystem(t, tbl.Rows, 4, 1)
+	q, _ := dataset.GenerateQuery(102, 3, 4)
+	got, err := sys.Query(q, 3, ModeBasic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := plainknn.KNN(tbl.Rows, q, 3)
+	for i, nb := range want {
+		for j := range got[i] {
+			if got[i][j] != tbl.Rows[nb.Index][j] {
+				t.Fatalf("record %d = %v, want %v", i, got[i], tbl.Rows[nb.Index])
+			}
+		}
+	}
+}
+
+func TestSystemSecureQuery(t *testing.T) {
+	tbl, _ := dataset.Generate(111, 8, 2, 3)
+	sys := newTestSystem(t, tbl.Rows, 3, 1)
+	q, _ := dataset.GenerateQuery(112, 2, 3)
+	got, err := sys.Query(q, 2, ModeSecure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := plainknn.KDistances(tbl.Rows, q, 2)
+	gotDs := make([]uint64, len(got))
+	for i, row := range got {
+		d, _ := plainknn.SquaredDistance(row, q)
+		gotDs[i] = d
+	}
+	sort.Slice(gotDs, func(a, b int) bool { return gotDs[a] < gotDs[b] })
+	for i := range want {
+		if gotDs[i] != want[i] {
+			t.Fatalf("secure distances = %v, want %v", gotDs, want)
+		}
+	}
+}
+
+func TestSystemMeteredQueries(t *testing.T) {
+	tbl, _ := dataset.Generate(121, 6, 2, 3)
+	sys := newTestSystem(t, tbl.Rows, 3, 2)
+	q, _ := dataset.GenerateQuery(122, 2, 3)
+	_, bm, err := sys.QueryBasicMetered(q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bm.Total <= 0 {
+		t.Error("basic metrics empty")
+	}
+	_, sm, err := sys.QuerySecureMetered(q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.Total <= 0 || sm.SMINn <= 0 {
+		t.Error("secure metrics empty")
+	}
+	if sys.CommStats().Rounds == 0 {
+		t.Error("no communication accounted")
+	}
+}
+
+func TestSystemAccessors(t *testing.T) {
+	tbl, _ := dataset.Generate(131, 5, 3, 4)
+	sys := newTestSystem(t, tbl.Rows, 4, 2)
+	if sys.N() != 5 || sys.M() != 3 {
+		t.Errorf("shape = %dx%d", sys.N(), sys.M())
+	}
+	if sys.Workers() != 2 {
+		t.Errorf("workers = %d", sys.Workers())
+	}
+	if sys.DomainBits() != dataset.DomainBits(4, 3) {
+		t.Errorf("domain bits = %d", sys.DomainBits())
+	}
+	if sys.PublicKey() == nil {
+		t.Error("nil public key")
+	}
+	if ModeBasic.String() != "SkNNb" || ModeSecure.String() != "SkNNm" || Mode(9).String() == "" {
+		t.Error("Mode.String wrong")
+	}
+}
+
+func TestSystemValidation(t *testing.T) {
+	if _, err := New(nil, 4, Config{Key: facadeKey()}); err == nil {
+		t.Error("empty table accepted")
+	}
+	if _, err := New([][]uint64{{99}}, 4, Config{Key: facadeKey()}); err == nil {
+		t.Error("out-of-domain value accepted")
+	}
+	tbl, _ := dataset.Generate(141, 4, 2, 3)
+	sys := newTestSystem(t, tbl.Rows, 3, 1)
+	q, _ := dataset.GenerateQuery(142, 2, 3)
+	if _, err := sys.Query(q, 0, ModeBasic); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := sys.Query(q, 1, Mode(42)); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if _, err := sys.Query([]uint64{1}, 1, ModeBasic); err == nil {
+		t.Error("wrong-dimension query accepted")
+	}
+}
+
+func TestSystemFeatureColumns(t *testing.T) {
+	// Rank on the first 2 columns; column 3 is a label that must come
+	// back but not influence ranking.
+	rows := [][]uint64{
+		{9, 9, 1},
+		{1, 1, 7},
+		{4, 4, 2},
+	}
+	sys, err := New(rows, 4, Config{Key: facadeKey(), FeatureColumns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	got, err := sys.Query([]uint64{0, 0}, 1, ModeSecure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0][0] != 1 || got[0][2] != 7 {
+		t.Errorf("nearest = %v, want [1 1 7]", got[0])
+	}
+	// DomainBits must cover only the feature columns.
+	if sys.DomainBits() != dataset.DomainBits(4, 2) {
+		t.Errorf("domain bits = %d", sys.DomainBits())
+	}
+	if _, err := New(rows, 4, Config{Key: facadeKey(), FeatureColumns: 9}); err == nil {
+		t.Error("FeatureColumns > m accepted")
+	}
+}
+
+func TestSystemClose(t *testing.T) {
+	tbl, _ := dataset.Generate(151, 4, 2, 3)
+	sys, err := New(tbl.Rows, 3, Config{Key: facadeKey()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	q, _ := dataset.GenerateQuery(152, 2, 3)
+	if _, err := sys.Query(q, 1, ModeBasic); !errors.Is(err, ErrClosed) {
+		t.Errorf("query after close = %v, want ErrClosed", err)
+	}
+	if _, _, err := sys.QueryBasicMetered(q, 1); !errors.Is(err, ErrClosed) {
+		t.Errorf("metered basic after close = %v", err)
+	}
+	if _, _, err := sys.QuerySecureMetered(q, 1); !errors.Is(err, ErrClosed) {
+		t.Errorf("metered secure after close = %v", err)
+	}
+}
+
+func TestSystemNoncePool(t *testing.T) {
+	tbl, _ := dataset.Generate(171, 10, 2, 3)
+	q, _ := dataset.GenerateQuery(172, 2, 3)
+	sys, err := New(tbl.Rows, 3, Config{Key: facadeKey(), UseNoncePool: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	got, err := sys.Query(q, 2, ModeSecure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := plainknn.KDistances(tbl.Rows, q, 2)
+	ds := make([]uint64, len(got))
+	for i, row := range got {
+		ds[i], _ = plainknn.SquaredDistance(row, q)
+	}
+	sort.Slice(ds, func(a, b int) bool { return ds[a] < ds[b] })
+	for i := range want {
+		if ds[i] != want[i] {
+			t.Fatalf("pooled system distances = %v, want %v", ds, want)
+		}
+	}
+}
+
+func TestSystemParallelMatchesSerial(t *testing.T) {
+	tbl, _ := dataset.Generate(161, 16, 2, 4)
+	q, _ := dataset.GenerateQuery(162, 2, 4)
+	serial := newTestSystem(t, tbl.Rows, 4, 1)
+	parallel := newTestSystem(t, tbl.Rows, 4, 3)
+	a, err := serial.Query(q, 4, ModeBasic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := parallel.Query(q, 4, ModeBasic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("parallel differs: %v vs %v", a, b)
+			}
+		}
+	}
+}
