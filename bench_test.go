@@ -206,6 +206,75 @@ func BenchmarkAblationSMINnShare(b *testing.B) {
 	b.ReportMetric(100*share, "sminn-share-%")
 }
 
+// --- Extension: multi-query throughput (QPS) --------------------------
+
+// benchThroughput measures aggregate queries-per-second: a serial Query
+// loop against QueryBatch with `batch` concurrent queries, at each
+// worker count. Batch QPS should approach workers× the serial-loop QPS
+// on a machine with that many cores (each query narrows to ~one
+// connection, so queries pipeline through the pool instead of
+// serializing behind a global lock). The 256-bit key keeps one
+// iteration in benchmark territory; concurrency scaling is key-size
+// independent.
+func benchThroughput(b *testing.B, mode Mode, n, m, attrBits, k int, workerCounts []int) {
+	const (
+		keyBits = 256
+		batch   = 8
+	)
+	tbl, err := dataset.Generate(int64(n*131+m), n, m, attrBits)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([][]uint64, batch)
+	for i := range queries {
+		queries[i], err = dataset.GenerateQuery(int64(n*151+i), m, attrBits)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, workers := range workerCounts {
+		sys, err := New(tbl.Rows, attrBits, Config{Key: benchKey(b, keyBits), Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("serial/workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, q := range queries {
+					if _, err := sys.Query(q, k, mode); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "qps")
+		})
+		b.Run(fmt.Sprintf("batch%d/workers=%d", batch, workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.QueryBatch(queries, k, mode); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "qps")
+		})
+		if err := sys.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkThroughput is the headline number for the concurrent
+// multi-query engine: SkNNb over a ≥1k-record table.
+func BenchmarkThroughput(b *testing.B) {
+	benchThroughput(b, ModeBasic, 1024, 2, 4, 5, []int{1, 2, 4})
+}
+
+// BenchmarkThroughputSecure is the SkNNm counterpart at a size where one
+// secure query is tractable; the same near-linear batch scaling is
+// expected because SMINn — the dominant cost — runs entirely inside each
+// query's own session.
+func BenchmarkThroughputSecure(b *testing.B) {
+	benchThroughput(b, ModeSecure, 24, 2, 3, 2, []int{1, 4})
+}
+
 // --- Section 5.2: Bob's cost (query encryption) ----------------------
 
 func BenchmarkBobEncryptQuery(b *testing.B) {

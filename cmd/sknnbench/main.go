@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
@@ -75,19 +76,39 @@ var scales = map[string]scale{
 }
 
 // bench carries the shared state: one cached key per key size so keygen
-// is paid once, and the chosen scale.
+// is paid once, the chosen scale, and the optional JSON output dir.
 type bench struct {
-	sc   scale
-	keys map[int]*paillier.PrivateKey
+	sc      scale
+	keys    map[int]*paillier.PrivateKey
+	jsonDir string
+}
+
+// emit renders fig to stdout and, when -json is set, also writes
+// BENCH_<name>.json so later PRs can diff the perf trajectory without
+// scraping tables.
+func (b *bench) emit(fig *benchkit.Figure, name string) error {
+	if err := fig.Fprint(os.Stdout); err != nil {
+		return err
+	}
+	if b.jsonDir == "" {
+		return nil
+	}
+	path := filepath.Join(b.jsonDir, "BENCH_"+name+".json")
+	if err := fig.WriteJSON(path); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sknnbench: ")
 	var (
-		figFlag     = flag.String("fig", "all", "figure to regenerate: 2a 2b 2c 2d 2e 2f 3 sminn bob comm all")
+		figFlag     = flag.String("fig", "all", "figure to regenerate: 2a 2b 2c 2d 2e 2f 3 qps sminn bob comm all")
 		scaleFlag   = flag.String("scale", "small", "sweep preset: small | medium | paper")
-		workersFlag = flag.Int("workers", 0, "override Figure 3 worker count (0 = min(6, NumCPU))")
+		workersFlag = flag.Int("workers", 0, "override Figure 3 / QPS worker count (0 = min(6, NumCPU))")
+		jsonFlag    = flag.String("json", "", "also write machine-readable BENCH_<fig>.json files into this directory")
 	)
 	flag.Parse()
 
@@ -98,7 +119,12 @@ func main() {
 	if *workersFlag > 0 {
 		sc.workers = *workersFlag
 	}
-	b := &bench{sc: sc, keys: map[int]*paillier.PrivateKey{}}
+	if *jsonFlag != "" {
+		if err := os.MkdirAll(*jsonFlag, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+	b := &bench{sc: sc, keys: map[int]*paillier.PrivateKey{}, jsonDir: *jsonFlag}
 
 	figs := map[string]func() error{
 		"2a":        b.fig2a,
@@ -108,12 +134,13 @@ func main() {
 		"2e":        b.fig2e,
 		"2f":        b.fig2f,
 		"3":         b.fig3,
+		"qps":       b.qps,
 		"sminn":     b.sminnShare,
 		"bob":       b.bobCost,
 		"comm":      b.comm,
 		"baselines": b.baselines,
 	}
-	order := []string{"2a", "2b", "2c", "2d", "2e", "2f", "3", "sminn", "bob", "comm", "baselines"}
+	order := []string{"2a", "2b", "2c", "2d", "2e", "2f", "3", "qps", "sminn", "bob", "comm", "baselines"}
 
 	if *figFlag == "all" {
 		for _, name := range order {
@@ -198,10 +225,10 @@ func (b *bench) secureMetrics(n, m, k, l, keyBits int) (*sknn.SecureMetrics, err
 	return metrics, nil
 }
 
-func (b *bench) fig2a() error { return b.basicNMSweep("Fig 2(a): SkNNb, k=5, K=512", 512) }
-func (b *bench) fig2b() error { return b.basicNMSweep("Fig 2(b): SkNNb, k=5, K=1024", 1024) }
+func (b *bench) fig2a() error { return b.basicNMSweep("2a", "Fig 2(a): SkNNb, k=5, K=512", 512) }
+func (b *bench) fig2b() error { return b.basicNMSweep("2b", "Fig 2(b): SkNNb, k=5, K=1024", 1024) }
 
-func (b *bench) basicNMSweep(title string, keyBits int) error {
+func (b *bench) basicNMSweep(name, title string, keyBits int) error {
 	fig := benchkit.NewFigure(fmt.Sprintf("%s [scale=%s]", title, b.sc.name), "n", "time (s)")
 	for _, m := range b.sc.basicMs {
 		series := fig.NewSeries(fmt.Sprintf("m=%d", m))
@@ -213,7 +240,7 @@ func (b *bench) basicNMSweep(title string, keyBits int) error {
 			series.Add(float64(n), benchkit.Seconds(d))
 		}
 	}
-	return fig.Fprint(os.Stdout)
+	return b.emit(fig, name)
 }
 
 func (b *bench) fig2c() error {
@@ -231,13 +258,13 @@ func (b *bench) fig2c() error {
 			series.Add(float64(k), benchkit.Seconds(d))
 		}
 	}
-	return fig.Fprint(os.Stdout)
+	return b.emit(fig, "2c")
 }
 
-func (b *bench) fig2d() error { return b.secureKLSweep("Fig 2(d): SkNNm, m=6", 512) }
-func (b *bench) fig2e() error { return b.secureKLSweep("Fig 2(e): SkNNm, m=6", 1024) }
+func (b *bench) fig2d() error { return b.secureKLSweep("2d", "Fig 2(d): SkNNm, m=6", 512) }
+func (b *bench) fig2e() error { return b.secureKLSweep("2e", "Fig 2(e): SkNNm, m=6", 1024) }
 
-func (b *bench) secureKLSweep(title string, keyBits int) error {
+func (b *bench) secureKLSweep(name, title string, keyBits int) error {
 	fig := benchkit.NewFigure(
 		fmt.Sprintf("%s, n=%d, K=%d [scale=%s]", title, b.sc.secureN, keyBits, b.sc.name),
 		"k", "time (min)")
@@ -251,7 +278,7 @@ func (b *bench) secureKLSweep(title string, keyBits int) error {
 			series.Add(float64(k), benchkit.Minutes(m.Total))
 		}
 	}
-	return fig.Fprint(os.Stdout)
+	return b.emit(fig, name)
 }
 
 func (b *bench) fig2f() error {
@@ -273,7 +300,7 @@ func (b *bench) fig2f() error {
 		}
 		secureSeries.Add(float64(k), benchkit.Minutes(sm.Total))
 	}
-	return fig.Fprint(os.Stdout)
+	return b.emit(fig, "2f")
 }
 
 func (b *bench) fig3() error {
@@ -296,11 +323,76 @@ func (b *bench) fig3() error {
 		}
 		parallel.Add(float64(n), benchkit.Seconds(dp))
 	}
-	if err := fig.Fprint(os.Stdout); err != nil {
+	if err := b.emit(fig, "3"); err != nil {
 		return err
 	}
 	fmt.Printf("(paper: parallel ≈ serial/6 on 6 cores; here %d workers on %d CPUs)\n",
 		w, runtime.NumCPU())
+	return nil
+}
+
+// qps is an extension beyond the paper: aggregate throughput of the
+// concurrent multi-query engine. For each concurrency level the same
+// queries are answered twice over a pool of sc.workers connections —
+// serially through Query, then concurrently through QueryBatch — and
+// the figure reports queries per second. Near-linear batch scaling up
+// to the worker count (on a machine with that many cores) is the
+// target; the serial loop stays flat because each query monopolizes
+// the pool in turn.
+func (b *bench) qps() error {
+	n := b.sc.basicNs[len(b.sc.basicNs)-1]
+	const m, attrBits, k = 2, 4, 5
+	workers := b.sc.workers
+	fig := benchkit.NewFigure(
+		fmt.Sprintf("QPS: SkNNb multi-query throughput, n=%d, m=%d, K=512, workers=%d [scale=%s]",
+			n, m, workers, b.sc.name),
+		"concurrent queries", "QPS")
+	serial := fig.NewSeries("serial Query loop")
+	batch := fig.NewSeries("QueryBatch")
+
+	tbl, err := dataset.Generate(int64(n*31+m), n, m, attrBits)
+	if err != nil {
+		return err
+	}
+	sys, err := sknn.New(tbl.Rows, attrBits, sknn.Config{Key: b.key(512), Workers: workers})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	for _, c := range []int{1, 2, 4, 8} {
+		queries := make([][]uint64, c)
+		for i := range queries {
+			queries[i], err = dataset.GenerateQuery(int64(n*37+i), m, attrBits)
+			if err != nil {
+				return err
+			}
+		}
+		d, err := benchkit.Timed(func() error {
+			for _, q := range queries {
+				if _, err := sys.Query(q, k, sknn.ModeBasic); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		serial.Add(float64(c), float64(c)/d.Seconds())
+		d, err = benchkit.Timed(func() error {
+			_, err := sys.QueryBatch(queries, k, sknn.ModeBasic)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		batch.Add(float64(c), float64(c)/d.Seconds())
+	}
+	if err := b.emit(fig, "qps"); err != nil {
+		return err
+	}
+	fmt.Printf("(target: batch ≈ workers× serial at ≥workers concurrent queries, given as many cores; %d CPUs here)\n",
+		runtime.NumCPU())
 	return nil
 }
 
@@ -317,7 +409,7 @@ func (b *bench) sminnShare() error {
 		}
 		series.Add(float64(k), 100*m.SMINnShare())
 	}
-	if err := fig.Fprint(os.Stdout); err != nil {
+	if err := b.emit(fig, "sminn"); err != nil {
 		return err
 	}
 	fmt.Println("(paper: 69.7% at k=5, rising to ≥75% at k=25)")
@@ -353,7 +445,7 @@ func (b *bench) bobCost() error {
 		sys.Close()
 		series.Add(float64(keyBits), float64(perEncrypt.Microseconds())/1000)
 	}
-	if err := fig.Fprint(os.Stdout); err != nil {
+	if err := b.emit(fig, "bob"); err != nil {
 		return err
 	}
 	fmt.Println("(paper: 4 ms at K=512, 17 ms at K=1024)")

@@ -8,13 +8,17 @@
 //	sknnd encrypt -key alice.key -data data.csv -bits 8 -out table.enc
 //	    Alice encrypts her table attribute-wise for outsourcing.
 //
-//	sknnd c2 -key alice.key -listen :7002
+//	sknnd c2 -key alice.key -listen :7002 [-inflight 4]
 //	    The key cloud C2: holds the secret key, serves protocol requests.
+//	    Each connection's interleaved session frames are handled
+//	    concurrently (-inflight at a time).
 //
 //	sknnd c1 -table table.enc -connect host:7002 -q 1,2,3 -k 5 -mode secure [-workers 4]
 //	    The data cloud C1: holds the encrypted table, runs the protocol,
 //	    and (playing Bob as well, for CLI convenience) encrypts the query
-//	    and unmasks the result.
+//	    and unmasks the result. Multiple queries — ';'-separated in -q or
+//	    one per line in -qfile — are answered concurrently, each in its
+//	    own session multiplexed over the -workers connections.
 //
 // The table file never contains plaintext or the secret key; C1 learns
 // nothing it wouldn't in the paper's model.
@@ -30,6 +34,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"sknn/internal/core"
 	"sknn/internal/dataset"
@@ -155,6 +161,7 @@ func cmdC2(args []string) {
 	fs := flag.NewFlagSet("c2", flag.ExitOnError)
 	keyPath := fs.String("key", "alice.key", "Alice's private key (entrusted to C2)")
 	listen := fs.String("listen", ":7002", "TCP listen address")
+	inflight := fs.Int("inflight", 4, "interleaved requests handled at once per connection")
 	fs.Parse(args)
 
 	sk := loadKey(*keyPath)
@@ -163,14 +170,17 @@ func cmdC2(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "C2 (key cloud) serving on %s\n", ln.Addr())
+	fmt.Fprintf(os.Stderr, "C2 (key cloud) serving on %s (%d in-flight requests/conn)\n", ln.Addr(), *inflight)
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			log.Fatal(err)
 		}
+		// Each accepted connection carries any number of multiplexed C1
+		// query sessions; serve their interleaved frames concurrently.
 		go func(conn net.Conn) {
-			if err := c2.Serve(mpc.WrapNet(conn)); err != nil {
+			defer conn.Close()
+			if err := c2.ServeConcurrent(mpc.WrapNet(conn), *inflight); err != nil {
 				log.Printf("session from %s: %v", conn.RemoteAddr(), err)
 			}
 		}(conn)
@@ -181,12 +191,18 @@ func cmdC1(args []string) {
 	fs := flag.NewFlagSet("c1", flag.ExitOnError)
 	tablePath := fs.String("table", "table.enc", "encrypted table file")
 	connect := fs.String("connect", "127.0.0.1:7002", "C2 address")
-	queryStr := fs.String("q", "", "comma-separated query attributes (required)")
+	queryStr := fs.String("q", "", "query attributes, comma-separated; separate multiple queries with ';'")
+	queryFile := fs.String("qfile", "", "file with one comma-separated query per line (alternative to -q)")
 	k := fs.Int("k", 5, "number of neighbors")
 	mode := fs.String("mode", "secure", `protocol: "basic" or "secure"`)
-	workers := fs.Int("workers", 1, "parallel sessions to C2")
+	workers := fs.Int("workers", 1, "parallel connections to C2")
+	concurrency := fs.Int("concurrency", 0, "queries in flight at once (0 = all at once)")
 	fs.Parse(args)
-	if *queryStr == "" {
+	queries, err := collectQueries(*queryStr, *queryFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(queries) == 0 {
 		fs.Usage()
 		os.Exit(2)
 	}
@@ -210,47 +226,108 @@ func cmdC1(args []string) {
 		log.Fatal(err)
 	}
 	defer c1.Close()
-
-	q, err := parseQuery(*queryStr)
-	if err != nil {
-		log.Fatal(err)
-	}
 	bob := core.NewClient(pk, nil)
+	l := dataset.DomainBits(tf.AttrBits, table.M())
+
+	// Answer all queries concurrently: each leases its own session from
+	// the pool, so they multiplex over the -workers connections.
+	inflight := *concurrency
+	if inflight <= 0 || inflight > len(queries) {
+		inflight = len(queries)
+	}
+	sem := make(chan struct{}, inflight)
+	rows := make([][][]uint64, len(queries))
+	errs := make([]error, len(queries))
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, q := range queries {
+		wg.Add(1)
+		go func(i int, q []uint64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rows[i], errs[i] = runQuery(c1, bob, q, *k, *mode, l)
+		}(i, q)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	for i, q := range queries {
+		if errs[i] != nil {
+			log.Fatalf("query %d %v: %v", i+1, q, errs[i])
+		}
+		if len(queries) > 1 {
+			fmt.Printf("query %d: %v\n", i+1, q)
+		}
+		for j, row := range rows[i] {
+			d, _ := plainknn.SquaredDistance(row, q)
+			fmt.Printf("#%d dist²=%d %v\n", j+1, d, row)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "%d %s queries in %v (%.2f QPS), traffic %s\n",
+		len(queries), *mode, elapsed.Round(1e6),
+		float64(len(queries))/elapsed.Seconds(), c1.CommStats())
+}
+
+// runQuery answers one query in its own pool session and unmasks it.
+func runQuery(c1 *core.CloudC1, bob *core.Client, q []uint64, k int, mode string, l int) ([][]uint64, error) {
 	eq, err := bob.EncryptQuery(q)
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
-
-	var res *core.MaskedResult
-	switch *mode {
-	case "basic":
-		var metrics *core.BasicMetrics
-		res, metrics, err = c1.BasicQueryMetered(eq, *k)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "SkNNb done in %v, traffic %s\n", metrics.Total.Round(1e6), metrics.Comm)
-	case "secure":
-		l := dataset.DomainBits(tf.AttrBits, table.M())
-		var metrics *core.SecureMetrics
-		res, metrics, err = c1.SecureQueryMetered(eq, *k, l)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "SkNNm done in %v (SMINn %.0f%%), traffic %s\n",
-			metrics.Total.Round(1e6), 100*metrics.SMINnShare(), metrics.Comm)
-	default:
-		log.Fatalf("unknown -mode %q", *mode)
-	}
-
-	rows, err := bob.Unmask(res)
+	sess, err := c1.NewSession(0)
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
-	for i, row := range rows {
-		d, _ := plainknn.SquaredDistance(row, q)
-		fmt.Printf("#%d dist²=%d %v\n", i+1, d, row)
+	defer sess.Close()
+	var res *core.MaskedResult
+	switch mode {
+	case "basic":
+		res, err = sess.BasicQuery(eq, k)
+	case "secure":
+		res, err = sess.SecureQuery(eq, k, l)
+	default:
+		return nil, fmt.Errorf("unknown -mode %q", mode)
 	}
+	if err != nil {
+		return nil, err
+	}
+	return bob.Unmask(res)
+}
+
+// collectQueries merges the -q list and the -qfile lines.
+func collectQueries(queryStr, queryFile string) ([][]uint64, error) {
+	var out [][]uint64
+	if queryStr != "" {
+		for _, part := range strings.Split(queryStr, ";") {
+			if strings.TrimSpace(part) == "" {
+				continue // tolerate trailing/doubled separators
+			}
+			q, err := parseQuery(part)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, q)
+		}
+	}
+	if queryFile != "" {
+		data, err := os.ReadFile(queryFile)
+		if err != nil {
+			return nil, err
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			q, err := parseQuery(line)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, q)
+		}
+	}
+	return out, nil
 }
 
 func loadTable(path string) (*tableFile, *paillier.PublicKey) {

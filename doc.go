@@ -15,14 +15,26 @@
 // The top-level System type wires all parties in-process for
 // single-machine use and experimentation:
 //
-//	sys, err := sknn.New(rows, attrBits, sknn.Config{KeyBits: 512})
+//	sys, err := sknn.New(rows, attrBits, sknn.Config{KeyBits: 512, Workers: 4})
 //	defer sys.Close()
 //	neighbors, err := sys.Query(query, 5, sknn.ModeSecure)
+//
+// A System is safe for concurrent use. Each query runs in its own
+// protocol session multiplexed over the Config.Workers C1↔C2
+// connections, so any number of Query calls may be in flight at once,
+// and QueryBatch answers a whole slice of queries concurrently:
+//
+//	results, err := sys.QueryBatch(queries, 5, sknn.ModeBasic)
+//
+// A lone query fans out across the idle connection pool (the paper's
+// Section 5.3 parallel variant); concurrent queries share the pool —
+// Config.PerQueryWorkers tunes that trade-off. Close drains in-flight
+// queries before tearing the cloud down.
 //
 // For a real two-machine deployment, use the building blocks directly
 // (internal/core, internal/mpc with the TCP transport) the way
 // cmd/sknnd does.
 //
-// See DESIGN.md for the architecture and EXPERIMENTS.md for the
-// reproduction of the paper's evaluation.
+// See README.md for the module layout and concurrency architecture, and
+// cmd/sknnbench for the reproduction of the paper's evaluation.
 package sknn

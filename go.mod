@@ -1,0 +1,3 @@
+module sknn
+
+go 1.22

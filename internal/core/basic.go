@@ -25,13 +25,16 @@ type BasicMetrics struct {
 // C2 learns every plaintext distance, and both clouds learn which
 // records answer the query (data access patterns). Use SecureQuery for
 // the full guarantees.
-func (c *CloudC1) BasicQuery(q EncryptedQuery, k int) (*MaskedResult, error) {
-	res, _, err := c.BasicQueryMetered(q, k)
+func (s *QuerySession) BasicQuery(q EncryptedQuery, k int) (*MaskedResult, error) {
+	res, _, err := s.BasicQueryMetered(q, k)
 	return res, err
 }
 
 // BasicQueryMetered is BasicQuery plus phase timings and traffic counts.
-func (c *CloudC1) BasicQueryMetered(q EncryptedQuery, k int) (*MaskedResult, *BasicMetrics, error) {
+// The Comm field covers this session's streams only, so concurrent
+// queries on other sessions never pollute the numbers.
+func (s *QuerySession) BasicQueryMetered(q EncryptedQuery, k int) (*MaskedResult, *BasicMetrics, error) {
+	c := s.c
 	if err := c.checkQuery(q); err != nil {
 		return nil, nil, err
 	}
@@ -39,12 +42,12 @@ func (c *CloudC1) BasicQueryMetered(q EncryptedQuery, k int) (*MaskedResult, *Ba
 		return nil, nil, err
 	}
 	metrics := &BasicMetrics{}
-	comm0 := c.CommStats()
+	comm0 := s.CommStats()
 	start := time.Now()
 
 	// Step 2: dᵢ = |Q−tᵢ|² under encryption.
 	phase := time.Now()
-	ds, err := c.distances(q)
+	ds, err := s.distances(q)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -57,7 +60,7 @@ func (c *CloudC1) BasicQueryMetered(q EncryptedQuery, k int) (*MaskedResult, *Ba
 	for _, d := range ds {
 		payload = append(payload, d.Raw())
 	}
-	resp, err := mpc.RoundTrip(c.primary().Conn(), &mpc.Message{Op: OpRank, Ints: payload})
+	resp, err := mpc.RoundTrip(s.primary().Conn(), &mpc.Message{Op: OpRank, Ints: payload})
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: rank round trip: %w", err)
 	}
@@ -75,13 +78,13 @@ func (c *CloudC1) BasicQueryMetered(q EncryptedQuery, k int) (*MaskedResult, *Ba
 
 	// Steps 4–6: masked reveal to Bob.
 	phase = time.Now()
-	res, err := c.reveal(selected)
+	res, err := s.reveal(selected)
 	if err != nil {
 		return nil, nil, err
 	}
 	metrics.Reveal = time.Since(phase)
 
 	metrics.Total = time.Since(start)
-	metrics.Comm = c.CommStats().Sub(comm0)
+	metrics.Comm = s.CommStats().Sub(comm0)
 	return res, metrics, nil
 }

@@ -4,22 +4,32 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sort"
 	"sync"
 
 	"sknn/internal/mpc"
-	"sknn/internal/paillier"
-	"sknn/internal/smc"
 )
 
-// CloudC1 is the data cloud: it stores Alice's encrypted table and
-// orchestrates both protocols against C2 through one or more
-// connections. With w connections the per-record phases run on w
-// parallel workers (the paper's Section 5.3 OpenMP parallelization,
-// expressed as goroutines); with one connection everything is serial.
+// CloudC1 is the data cloud: it stores Alice's encrypted table and owns
+// the pool of connections (links) to C2. Queries do not run on CloudC1
+// directly; each runs inside a QuerySession leased from the pool, so any
+// number of queries can be in flight at once. A session spanning w links
+// runs its per-record phases on w parallel workers (the paper's Section
+// 5.3 OpenMP parallelization, expressed as goroutines); the scheduler
+// multiplexes concurrent sessions over the links via tagged streams
+// (mpc.Multiplexer), so sharing a link never crosses replies.
 type CloudC1 struct {
 	table  *EncryptedTable
-	rqs    []*smc.Requester // one per connection; rqs[0] is the primary
 	random io.Reader
+
+	mu        sync.Mutex
+	links     []*mpc.Multiplexer
+	load      []int // open sessions per link, for least-loaded placement
+	active    int   // open query sessions
+	closed    bool
+	closeDone chan struct{}  // closed when teardown has fully finished
+	closeErr  error          // valid once closeDone is closed
+	drain     sync.WaitGroup // one unit per open session
 }
 
 // NewCloudC1 wires the data cloud to C2 over the given connections.
@@ -29,23 +39,36 @@ func NewCloudC1(table *EncryptedTable, conns []mpc.Conn, random io.Reader) (*Clo
 	if len(conns) == 0 {
 		return nil, ErrNoConnections
 	}
-	c := &CloudC1{table: table, random: random}
-	for _, conn := range conns {
-		c.rqs = append(c.rqs, smc.NewRequester(table.pk, conn, random))
+	c := &CloudC1{
+		table:     table,
+		random:    random,
+		links:     make([]*mpc.Multiplexer, len(conns)),
+		load:      make([]int, len(conns)),
+		closeDone: make(chan struct{}),
+	}
+	for i, conn := range conns {
+		c.links[i] = mpc.NewMultiplexer(conn)
 	}
 	if err := c.handshake(); err != nil {
+		for _, link := range c.links {
+			link.Close()
+		}
 		return nil, err
 	}
 	return c, nil
 }
 
-// handshake verifies on every connection that C2 holds the secret key
-// matching this table's public key (OpHello), failing fast on
-// mis-deployment.
+// handshake verifies on every link that C2 holds the secret key matching
+// this table's public key (OpHello), failing fast on mis-deployment.
 func (c *CloudC1) handshake() error {
-	for i, rq := range c.rqs {
+	for i, link := range c.links {
+		conn, err := link.Open()
+		if err != nil {
+			return fmt.Errorf("core: hello on connection %d: %w", i, err)
+		}
 		req := &mpc.Message{Op: OpHello, Ints: []*big.Int{new(big.Int).Set(c.table.pk.N)}}
-		resp, err := mpc.RoundTrip(rq.Conn(), req)
+		resp, err := mpc.RoundTrip(conn, req)
+		conn.Close()
 		if err != nil {
 			return fmt.Errorf("core: hello on connection %d: %w", i, err)
 		}
@@ -59,33 +82,113 @@ func (c *CloudC1) handshake() error {
 // Table returns the outsourced encrypted table.
 func (c *CloudC1) Table() *EncryptedTable { return c.table }
 
-// Workers reports the parallelism degree (number of C2 connections).
-func (c *CloudC1) Workers() int { return len(c.rqs) }
+// Workers reports the parallelism degree (number of C2 links).
+func (c *CloudC1) Workers() int { return len(c.links) }
 
-// primary returns the requester used for the global (non-chunkable)
-// protocol steps.
-func (c *CloudC1) primary() *smc.Requester { return c.rqs[0] }
-
-// CommStats aggregates traffic over all connections.
+// CommStats aggregates traffic over all links and their sessions.
 func (c *CloudC1) CommStats() mpc.StatsSnapshot {
 	var total mpc.StatsSnapshot
-	for _, rq := range c.rqs {
-		total = total.Add(rq.Conn().Stats().Snapshot())
+	for _, link := range c.links {
+		total = total.Add(link.Agg())
 	}
 	return total
 }
 
-// Close sends a close frame on every connection.
+// NewSession leases a QuerySession spanning width links. width <= 0 asks
+// the scheduler to decide: a session opened on an idle pool spans every
+// link (lowest single-query latency, the paper's parallel variant),
+// while sessions opened under concurrent load get an even share of the
+// pool, narrowing toward one link per query so throughput scales with
+// in-flight queries instead. Sessions placed on busy links interleave
+// safely — streams are tagged — and the session must be Closed to return
+// its capacity.
+func (c *CloudC1) NewSession(width int) (*QuerySession, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrCloudClosed
+	}
+	w := len(c.links)
+	if width > 0 {
+		if width < w {
+			w = width
+		}
+	} else {
+		// Auto width: split the pool evenly over the sessions that would
+		// be open, so an idle pool gives one query full fan-out while
+		// arrivals under load narrow toward one link per query.
+		w = len(c.links) / (c.active + 1)
+		if w < 1 {
+			w = 1
+		}
+	}
+	slots := c.leastLoaded(w)
+	for _, i := range slots {
+		c.load[i]++
+	}
+	c.active++
+	c.drain.Add(1)
+	c.mu.Unlock()
+
+	s := &QuerySession{c: c, slots: slots}
+	for _, i := range slots {
+		conn, err := c.links[i].Open()
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("core: opening session stream: %w", err)
+		}
+		s.attach(conn)
+	}
+	return s, nil
+}
+
+// leastLoaded picks the w least-loaded link indices (ties by index, so
+// placement is deterministic). Caller holds c.mu.
+func (c *CloudC1) leastLoaded(w int) []int {
+	idx := make([]int, len(c.links))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return c.load[idx[a]] < c.load[idx[b]] })
+	return idx[:w]
+}
+
+// release returns a session's capacity to the pool.
+func (c *CloudC1) release(slots []int) {
+	c.mu.Lock()
+	for _, i := range slots {
+		c.load[i]--
+	}
+	c.active--
+	c.mu.Unlock()
+	c.drain.Done()
+}
+
+// Close drains every in-flight session, then sends a close frame on
+// every link and tears the pool down. Queries issued after Close fail
+// with ErrCloudClosed. Every Close call — including concurrent and
+// repeated ones — returns only after teardown has fully finished.
 func (c *CloudC1) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		<-c.closeDone
+		return c.closeErr
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.drain.Wait()
 	var first error
-	for _, rq := range c.rqs {
-		if err := mpc.SendClose(rq.Conn()); err != nil && first == nil {
+	for _, link := range c.links {
+		if err := mpc.SendClose(link.Conn()); err != nil && first == nil {
 			first = err
 		}
-		if err := rq.Conn().Close(); err != nil && first == nil {
+		if err := link.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
+	c.closeErr = first
+	close(c.closeDone)
 	return first
 }
 
@@ -98,104 +201,34 @@ func (c *CloudC1) checkQuery(q EncryptedQuery) error {
 	return nil
 }
 
-// chunk describes a contiguous slice of records assigned to one worker.
-type chunk struct{ lo, hi, worker int }
-
-// chunks splits [0,n) evenly across the available workers. Workers with
-// empty ranges are dropped.
-func (c *CloudC1) chunks(n int) []chunk {
-	w := len(c.rqs)
-	if w > n {
-		w = n
-	}
-	out := make([]chunk, 0, w)
-	for i := 0; i < w; i++ {
-		lo := i * n / w
-		hi := (i + 1) * n / w
-		if lo < hi {
-			out = append(out, chunk{lo: lo, hi: hi, worker: i})
-		}
-	}
-	return out
+// BasicQuery runs SkNNb in a session leased for this one call.
+func (c *CloudC1) BasicQuery(q EncryptedQuery, k int) (*MaskedResult, error) {
+	res, _, err := c.BasicQueryMetered(q, k)
+	return res, err
 }
 
-// parallelOverRecords runs fn once per chunk, each chunk on its own
-// worker requester, and returns the first error.
-func (c *CloudC1) parallelOverRecords(n int, fn func(rq *smc.Requester, lo, hi int) error) error {
-	cks := c.chunks(n)
-	if len(cks) == 1 {
-		return fn(c.rqs[cks[0].worker], cks[0].lo, cks[0].hi)
-	}
-	var wg sync.WaitGroup
-	errs := make([]error, len(cks))
-	for i, ck := range cks {
-		wg.Add(1)
-		go func(i int, ck chunk) {
-			defer wg.Done()
-			errs[i] = fn(c.rqs[ck.worker], ck.lo, ck.hi)
-		}(i, ck)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// distances computes E(dᵢ) = E(|Q−tᵢ|²) for every record (step 2 of both
-// algorithms), chunked across workers. Only the feature prefix of each
-// record participates.
-func (c *CloudC1) distances(q EncryptedQuery) ([]*paillier.Ciphertext, error) {
-	n := c.table.N()
-	out := make([]*paillier.Ciphertext, n)
-	records := c.table.featureRecords2D()
-	err := c.parallelOverRecords(n, func(rq *smc.Requester, lo, hi int) error {
-		ds, err := rq.SSEDMany(q, records[lo:hi])
-		if err != nil {
-			return fmt.Errorf("core: SSED chunk [%d,%d): %w", lo, hi, err)
-		}
-		copy(out[lo:hi], ds)
-		return nil
-	})
+// BasicQueryMetered is BasicQuery plus phase timings and traffic counts.
+func (c *CloudC1) BasicQueryMetered(q EncryptedQuery, k int) (*MaskedResult, *BasicMetrics, error) {
+	s, err := c.NewSession(0)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return out, nil
+	defer s.Close()
+	return s.BasicQueryMetered(q, k)
 }
 
-// reveal performs the masked result delivery shared by both protocols
-// (steps 4–6 of Algorithm 5): C1 masks each attribute of each selected
-// record with fresh randomness, C2 decrypts the masked values, and the
-// two shares travel to Bob.
-func (c *CloudC1) reveal(selected []EncryptedRecord) (*MaskedResult, error) {
-	pk := c.table.pk
-	k := len(selected)
-	m := c.table.m
-	res := &MaskedResult{K: k, M: m, n: pk.N}
-	payload := make([]*big.Int, 0, k*m)
-	for j := 0; j < k; j++ {
-		maskRow := make([]*big.Int, m)
-		for h := 0; h < m; h++ {
-			r, err := pk.RandomZN(c.primary().Rand())
-			if err != nil {
-				return nil, fmt.Errorf("core: reveal mask: %w", err)
-			}
-			maskRow[h] = r
-			payload = append(payload, pk.AddPlain(selected[j][h], r).Raw())
-		}
-		res.Masks = append(res.Masks, maskRow)
-	}
-	resp, err := mpc.RoundTrip(c.primary().Conn(), &mpc.Message{Op: OpReveal, Ints: payload})
+// SecureQuery runs SkNNm in a session leased for this one call.
+func (c *CloudC1) SecureQuery(q EncryptedQuery, k, domainBits int) (*MaskedResult, error) {
+	res, _, err := c.SecureQueryMetered(q, k, domainBits)
+	return res, err
+}
+
+// SecureQueryMetered is SecureQuery plus phase timings and traffic counts.
+func (c *CloudC1) SecureQueryMetered(q EncryptedQuery, k, domainBits int) (*MaskedResult, *SecureMetrics, error) {
+	s, err := c.NewSession(0)
 	if err != nil {
-		return nil, fmt.Errorf("core: reveal round trip: %w", err)
+		return nil, nil, err
 	}
-	if len(resp.Ints) != k*m {
-		return nil, fmt.Errorf("%w: reveal reply has %d ints, want %d", ErrBadFrame, len(resp.Ints), k*m)
-	}
-	for j := 0; j < k; j++ {
-		res.Masked = append(res.Masked, resp.Ints[j*m:(j+1)*m])
-	}
-	return res, nil
+	defer s.Close()
+	return s.SecureQueryMetered(q, k, domainBits)
 }

@@ -79,6 +79,15 @@ func (c *CloudC2) Serve(conn mpc.Conn) error {
 	return mpc.Serve(conn, c.Mux())
 }
 
+// ServeConcurrent serves conn handling up to maxInflight interleaved
+// requests at once. Use it when the peer multiplexes several query
+// sessions over one link (mpc.Multiplexer): one session's heavyweight
+// step then no longer delays the others' replies. All handlers are
+// stateless, so concurrency needs no further coordination.
+func (c *CloudC2) ServeConcurrent(conn mpc.Conn, maxInflight int) error {
+	return mpc.ServeConcurrent(conn, c.Mux(), maxInflight)
+}
+
 // handleRank implements step 3 of Algorithm 5 (SkNNb only): decrypt all
 // encrypted distances, find the k smallest, and return their indices δ.
 // This is precisely the step that leaks plaintext distances and access

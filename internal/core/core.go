@@ -46,6 +46,7 @@ var (
 	ErrNoZeroInBeta  = errors.New("core: no minimum found in blinded distance vector")
 	ErrBadFrame      = errors.New("core: malformed protocol frame")
 	ErrNoConnections = errors.New("core: CloudC1 needs at least one connection")
+	ErrCloudClosed   = errors.New("core: cloud closed")
 	ErrDomainBits    = errors.New("core: domain size l out of range")
 	ErrHello         = errors.New("core: key mismatch between C1 and C2")
 )

@@ -41,13 +41,15 @@ func (m *SecureMetrics) SMINnShare() float64 {
 // domainBits is l, the bit length of the squared-distance domain: all
 // |Q−tᵢ|² must be < 2^l. dataset.DomainBits derives it from the
 // attribute domain and dimension.
-func (c *CloudC1) SecureQuery(q EncryptedQuery, k, domainBits int) (*MaskedResult, error) {
-	res, _, err := c.SecureQueryMetered(q, k, domainBits)
+func (s *QuerySession) SecureQuery(q EncryptedQuery, k, domainBits int) (*MaskedResult, error) {
+	res, _, err := s.SecureQueryMetered(q, k, domainBits)
 	return res, err
 }
 
-// SecureQueryMetered is SecureQuery plus phase timings and traffic counts.
-func (c *CloudC1) SecureQueryMetered(q EncryptedQuery, k, domainBits int) (*MaskedResult, *SecureMetrics, error) {
+// SecureQueryMetered is SecureQuery plus phase timings and traffic
+// counts, both scoped to this session's streams.
+func (s *QuerySession) SecureQueryMetered(q EncryptedQuery, k, domainBits int) (*MaskedResult, *SecureMetrics, error) {
+	c := s.c
 	if err := c.checkQuery(q); err != nil {
 		return nil, nil, err
 	}
@@ -60,12 +62,12 @@ func (c *CloudC1) SecureQueryMetered(q EncryptedQuery, k, domainBits int) (*Mask
 	}
 	pk := c.table.pk
 	metrics := &SecureMetrics{}
-	comm0 := c.CommStats()
+	comm0 := s.CommStats()
 	start := time.Now()
 
 	// Step 2a: E(dᵢ) for every record.
 	phase := time.Now()
-	ds, err := c.distances(q)
+	ds, err := s.distances(q)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -74,7 +76,7 @@ func (c *CloudC1) SecureQueryMetered(q EncryptedQuery, k, domainBits int) (*Mask
 	// Step 2b: [dᵢ] — bit decomposition of every distance (chunked).
 	phase = time.Now()
 	bits := make([][]*paillier.Ciphertext, n)
-	err = c.parallelOverRecords(n, func(rq *smc.Requester, lo, hi int) error {
+	err = s.parallelOverRecords(n, func(rq *smc.Requester, lo, hi int) error {
 		bs, err := rq.SBDBatch(ds[lo:hi], domainBits)
 		if err != nil {
 			return fmt.Errorf("core: SBD chunk [%d,%d): %w", lo, hi, err)
@@ -91,12 +93,12 @@ func (c *CloudC1) SecureQueryMetered(q EncryptedQuery, k, domainBits int) (*Mask
 	records := c.table.records2D()
 	m := c.table.m
 
-	for s := 0; s < k; s++ {
+	for iter := 0; iter < k; iter++ {
 		// Step 3(a): [dmin] = SMINn([d₁],…,[d_n]).
 		phase = time.Now()
-		minBits, err := c.sminnParallel(bits)
+		minBits, err := s.sminnParallel(bits)
 		if err != nil {
-			return nil, nil, fmt.Errorf("core: iteration %d SMINn: %w", s+1, err)
+			return nil, nil, fmt.Errorf("core: iteration %d SMINn: %w", iter+1, err)
 		}
 		metrics.SMINn += time.Since(phase)
 
@@ -104,31 +106,32 @@ func (c *CloudC1) SecureQueryMetered(q EncryptedQuery, k, domainBits int) (*Mask
 		// E(dᵢ) from the updated bit vectors.
 		phase = time.Now()
 		encMin := smc.Recompose(pk, minBits)
-		if s != 0 {
+		if iter != 0 {
 			for i := 0; i < n; i++ {
 				ds[i] = smc.Recompose(pk, bits[i])
 			}
 		}
 
 		// Step 3(b)-(c): τᵢ = E(rᵢ·(dmin−dᵢ)), permute, and ask C2 for the
-		// one-hot selector U.
+		// one-hot selector U. The permutation is fresh per iteration and
+		// lives only on this session.
 		tauP := make([]*big.Int, n)
-		perm, err := smc.NewPermutation(c.primary().Rand(), n)
+		perm, err := smc.NewPermutation(s.primary().Rand(), n)
 		if err != nil {
-			return nil, nil, fmt.Errorf("core: iteration %d permutation: %w", s+1, err)
+			return nil, nil, fmt.Errorf("core: iteration %d permutation: %w", iter+1, err)
 		}
 		for i := 0; i < n; i++ {
 			src := perm[i]
 			tau := pk.Sub(encMin, ds[src])
-			r, err := pk.RandomNonzeroZN(c.primary().Rand())
+			r, err := pk.RandomNonzeroZN(s.primary().Rand())
 			if err != nil {
-				return nil, nil, fmt.Errorf("core: iteration %d blind: %w", s+1, err)
+				return nil, nil, fmt.Errorf("core: iteration %d blind: %w", iter+1, err)
 			}
 			tauP[i] = pk.ScalarMul(tau, r).Raw()
 		}
-		resp, err := mpc.RoundTrip(c.primary().Conn(), &mpc.Message{Op: OpMinSelect, Ints: tauP})
+		resp, err := mpc.RoundTrip(s.primary().Conn(), &mpc.Message{Op: OpMinSelect, Ints: tauP})
 		if err != nil {
-			return nil, nil, fmt.Errorf("core: iteration %d min-select: %w", s+1, err)
+			return nil, nil, fmt.Errorf("core: iteration %d min-select: %w", iter+1, err)
 		}
 		if len(resp.Ints) != n {
 			return nil, nil, fmt.Errorf("%w: min-select reply has %d ints, want %d",
@@ -139,7 +142,7 @@ func (c *CloudC1) SecureQueryMetered(q EncryptedQuery, k, domainBits int) (*Mask
 		for i := 0; i < n; i++ {
 			ct, err := pk.FromRaw(resp.Ints[i])
 			if err != nil {
-				return nil, nil, fmt.Errorf("core: iteration %d U[%d]: %w", s+1, i, err)
+				return nil, nil, fmt.Errorf("core: iteration %d U[%d]: %w", iter+1, i, err)
 			}
 			v[perm[i]] = ct
 		}
@@ -148,8 +151,8 @@ func (c *CloudC1) SecureQueryMetered(q EncryptedQuery, k, domainBits int) (*Mask
 		// Step 3(d): oblivious extraction — E(t′ₛ,j) = Πᵢ SM(Vᵢ, E(t_{i,j})).
 		phase = time.Now()
 		// Per-worker partial column products, combined at the end.
-		partials := make([][]*paillier.Ciphertext, len(c.rqs))
-		err = c.parallelOverRecords(n, func(rq *smc.Requester, lo, hi int) error {
+		partials := make([][]*paillier.Ciphertext, len(s.rqs))
+		err = s.parallelOverRecords(n, func(rq *smc.Requester, lo, hi int) error {
 			sel := make([]*paillier.Ciphertext, 0, (hi-lo)*m)
 			rec := make([]*paillier.Ciphertext, 0, (hi-lo)*m)
 			for i := lo; i < hi; i++ {
@@ -173,7 +176,7 @@ func (c *CloudC1) SecureQueryMetered(q EncryptedQuery, k, domainBits int) (*Mask
 					}
 				}
 			}
-			partials[c.workerIndex(rq)] = cols
+			partials[s.workerIndex(rq)] = cols
 			return nil
 		})
 		if err != nil {
@@ -198,11 +201,11 @@ func (c *CloudC1) SecureQueryMetered(q EncryptedQuery, k, domainBits int) (*Mask
 		// Step 3(e): oblivious disqualification — OR Vᵢ into every bit of
 		// [dᵢ], driving the winner's distance to 2^l − 1. Skipped after
 		// the final iteration (nothing consumes the update).
-		if s == k-1 {
+		if iter == k-1 {
 			break
 		}
 		phase = time.Now()
-		err = c.parallelOverRecords(n, func(rq *smc.Requester, lo, hi int) error {
+		err = s.parallelOverRecords(n, func(rq *smc.Requester, lo, hi int) error {
 			sel := make([]*paillier.Ciphertext, 0, (hi-lo)*domainBits)
 			bts := make([]*paillier.Ciphertext, 0, (hi-lo)*domainBits)
 			for i := lo; i < hi; i++ {
@@ -228,40 +231,40 @@ func (c *CloudC1) SecureQueryMetered(q EncryptedQuery, k, domainBits int) (*Mask
 
 	// Steps 4–6 of Algorithm 5: masked reveal.
 	phase = time.Now()
-	res, err := c.reveal(selected)
+	res, err := s.reveal(selected)
 	if err != nil {
 		return nil, nil, err
 	}
 	metrics.Reveal = time.Since(phase)
 
 	metrics.Total = time.Since(start)
-	metrics.Comm = c.CommStats().Sub(comm0)
+	metrics.Comm = s.CommStats().Sub(comm0)
 	return res, metrics, nil
 }
 
 // workerIndex maps a requester back to its slot (for per-worker result
 // buffers).
-func (c *CloudC1) workerIndex(rq *smc.Requester) int {
-	for i, r := range c.rqs {
+func (s *QuerySession) workerIndex(rq *smc.Requester) int {
+	for i, r := range s.rqs {
 		if r == rq {
 			return i
 		}
 	}
-	panic("core: requester not owned by this cloud")
+	panic("core: requester not owned by this session")
 }
 
 // sminnParallel is SMINn (Algorithm 4) with each tournament level's
-// independent SMIN pairs spread across the worker connections. The
+// independent SMIN pairs spread across the session's streams. The
 // round structure — ⌈log₂ n⌉ levels, n−1 SMINs — is identical to
-// smc.SMINn; only the scheduling differs. With a single connection the
+// smc.SMINn; only the scheduling differs. With a single stream the
 // whole tournament runs through the round-batched form instead (two
 // frames per level rather than two per pair).
-func (c *CloudC1) sminnParallel(ds [][]*paillier.Ciphertext) ([]*paillier.Ciphertext, error) {
+func (s *QuerySession) sminnParallel(ds [][]*paillier.Ciphertext) ([]*paillier.Ciphertext, error) {
 	if len(ds) == 0 {
 		return nil, fmt.Errorf("core: SMINn over empty set")
 	}
-	if len(c.rqs) == 1 {
-		return c.rqs[0].SMINnBatched(ds)
+	if len(s.rqs) == 1 {
+		return s.rqs[0].SMINnBatched(ds)
 	}
 	live := make([][]*paillier.Ciphertext, len(ds))
 	copy(live, ds)
@@ -271,23 +274,21 @@ func (c *CloudC1) sminnParallel(ds [][]*paillier.Ciphertext) ([]*paillier.Cipher
 		if len(live)%2 == 1 {
 			next[pairs] = live[len(live)-1]
 		}
-		if len(c.rqs) == 1 || pairs == 1 {
-			for p := 0; p < pairs; p++ {
-				m, err := c.rqs[0].SMIN(live[2*p], live[2*p+1])
-				if err != nil {
-					return nil, err
-				}
-				next[p] = m
+		if pairs == 1 {
+			m, err := s.rqs[0].SMIN(live[0], live[1])
+			if err != nil {
+				return nil, err
 			}
+			next[0] = m
 		} else {
 			var wg sync.WaitGroup
-			errs := make([]error, len(c.rqs))
-			for w := range c.rqs {
+			errs := make([]error, len(s.rqs))
+			for w := range s.rqs {
 				wg.Add(1)
 				go func(w int) {
 					defer wg.Done()
-					for p := w; p < pairs; p += len(c.rqs) {
-						m, err := c.rqs[w].SMIN(live[2*p], live[2*p+1])
+					for p := w; p < pairs; p += len(s.rqs) {
+						m, err := s.rqs[w].SMIN(live[2*p], live[2*p+1])
 						if err != nil {
 							errs[w] = err
 							return

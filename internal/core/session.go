@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+
+	"sknn/internal/mpc"
+	"sknn/internal/paillier"
+	"sknn/internal/smc"
+)
+
+// QuerySession is the per-query execution context: one tagged logical
+// stream (and one smc.Requester driving it) per leased link. All
+// protocol state that lives for the duration of a query — blinding
+// permutations, SMINn tournament state, per-phase traffic counters — is
+// scoped here, never on the shared CloudC1, which is what lets sessions
+// interleave on the same links without crossing streams.
+//
+// A session answers queries one at a time; run concurrent queries in
+// concurrent sessions. Close returns the leased capacity to the pool.
+type QuerySession struct {
+	c     *CloudC1
+	slots []int            // leased link indices
+	conns []mpc.Conn       // logical streams, one per slot
+	rqs   []*smc.Requester // primitive drivers, one per stream
+
+	once sync.Once
+}
+
+// attach wires one opened logical stream into the session.
+func (s *QuerySession) attach(conn mpc.Conn) {
+	s.conns = append(s.conns, conn)
+	s.rqs = append(s.rqs, smc.NewRequester(s.c.table.pk, conn, s.c.random))
+}
+
+// Close ends the session's logical streams and releases its links back
+// to the scheduler. It is idempotent and safe to call with the query
+// finished or failed; an in-flight query must not be Closed under.
+func (s *QuerySession) Close() {
+	s.once.Do(func() {
+		for _, conn := range s.conns {
+			conn.Close()
+		}
+		s.c.release(s.slots)
+	})
+}
+
+// Workers reports how many links this session spans.
+func (s *QuerySession) Workers() int { return len(s.rqs) }
+
+// CommStats sums the traffic of this session's streams only — the
+// session-scoped counters behind the per-query metrics.
+func (s *QuerySession) CommStats() mpc.StatsSnapshot {
+	var total mpc.StatsSnapshot
+	for _, conn := range s.conns {
+		total = total.Add(conn.Stats().Snapshot())
+	}
+	return total
+}
+
+// primary returns the requester used for the global (non-chunkable)
+// protocol steps.
+func (s *QuerySession) primary() *smc.Requester { return s.rqs[0] }
+
+// chunk describes a contiguous slice of records assigned to one worker.
+type chunk struct{ lo, hi, worker int }
+
+// chunks splits [0,n) evenly across the session's workers. Workers with
+// empty ranges are dropped.
+func (s *QuerySession) chunks(n int) []chunk {
+	w := len(s.rqs)
+	if w > n {
+		w = n
+	}
+	out := make([]chunk, 0, w)
+	for i := 0; i < w; i++ {
+		lo := i * n / w
+		hi := (i + 1) * n / w
+		if lo < hi {
+			out = append(out, chunk{lo: lo, hi: hi, worker: i})
+		}
+	}
+	return out
+}
+
+// parallelOverRecords runs fn once per chunk, each chunk on its own
+// worker requester, and returns the first error.
+func (s *QuerySession) parallelOverRecords(n int, fn func(rq *smc.Requester, lo, hi int) error) error {
+	cks := s.chunks(n)
+	if len(cks) == 1 {
+		return fn(s.rqs[cks[0].worker], cks[0].lo, cks[0].hi)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(cks))
+	for i, ck := range cks {
+		wg.Add(1)
+		go func(i int, ck chunk) {
+			defer wg.Done()
+			errs[i] = fn(s.rqs[ck.worker], ck.lo, ck.hi)
+		}(i, ck)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// distances computes E(dᵢ) = E(|Q−tᵢ|²) for every record (step 2 of both
+// algorithms), chunked across the session's workers. Only the feature
+// prefix of each record participates.
+func (s *QuerySession) distances(q EncryptedQuery) ([]*paillier.Ciphertext, error) {
+	n := s.c.table.N()
+	out := make([]*paillier.Ciphertext, n)
+	records := s.c.table.featureRecords2D()
+	err := s.parallelOverRecords(n, func(rq *smc.Requester, lo, hi int) error {
+		ds, err := rq.SSEDMany(q, records[lo:hi])
+		if err != nil {
+			return fmt.Errorf("core: SSED chunk [%d,%d): %w", lo, hi, err)
+		}
+		copy(out[lo:hi], ds)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// reveal performs the masked result delivery shared by both protocols
+// (steps 4–6 of Algorithm 5): C1 masks each attribute of each selected
+// record with fresh randomness, C2 decrypts the masked values, and the
+// two shares travel to Bob.
+func (s *QuerySession) reveal(selected []EncryptedRecord) (*MaskedResult, error) {
+	pk := s.c.table.pk
+	k := len(selected)
+	m := s.c.table.m
+	res := &MaskedResult{K: k, M: m, n: pk.N}
+	payload := make([]*big.Int, 0, k*m)
+	for j := 0; j < k; j++ {
+		maskRow := make([]*big.Int, m)
+		for h := 0; h < m; h++ {
+			r, err := pk.RandomZN(s.primary().Rand())
+			if err != nil {
+				return nil, fmt.Errorf("core: reveal mask: %w", err)
+			}
+			maskRow[h] = r
+			payload = append(payload, pk.AddPlain(selected[j][h], r).Raw())
+		}
+		res.Masks = append(res.Masks, maskRow)
+	}
+	resp, err := mpc.RoundTrip(s.primary().Conn(), &mpc.Message{Op: OpReveal, Ints: payload})
+	if err != nil {
+		return nil, fmt.Errorf("core: reveal round trip: %w", err)
+	}
+	if len(resp.Ints) != k*m {
+		return nil, fmt.Errorf("%w: reveal reply has %d ints, want %d", ErrBadFrame, len(resp.Ints), k*m)
+	}
+	for j := 0; j < k; j++ {
+		res.Masked = append(res.Masked, resp.Ints[j*m:(j+1)*m])
+	}
+	return res, nil
+}

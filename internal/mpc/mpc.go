@@ -36,6 +36,12 @@ const (
 // trivial.
 type Message struct {
 	Op Op
+	// Tag identifies the logical session a frame belongs to when several
+	// protocol sessions multiplex one physical connection (see
+	// Multiplexer). Tag 0 is the untagged/link-level stream; responders
+	// must echo the request's tag in the reply so the requester side can
+	// route interleaved replies back to their sessions.
+	Tag uint64
 	// Ints is the payload. Receivers must treat elements as read-only;
 	// transports may share the backing values with the sender.
 	Ints []*big.Int
@@ -46,7 +52,7 @@ type Message struct {
 // Clone deep-copies a message, used by the channel transport so the two
 // parties never alias mutable big.Int values.
 func (m *Message) Clone() *Message {
-	c := &Message{Op: m.Op, Err: m.Err}
+	c := &Message{Op: m.Op, Tag: m.Tag, Err: m.Err}
 	if m.Ints != nil {
 		c.Ints = make([]*big.Int, len(m.Ints))
 		for i, v := range m.Ints {
@@ -64,6 +70,9 @@ func (m *Message) Clone() *Message {
 // this; the channel transport uses it directly for accounting.
 func (m *Message) wireSize() int {
 	n := 2 + 4 + len(m.Err)
+	if m.Tag != 0 {
+		n += 8
+	}
 	for _, v := range m.Ints {
 		n += 4
 		if v != nil {

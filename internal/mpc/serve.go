@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Handler answers a single request frame. Returning an error sends an
@@ -66,7 +67,8 @@ func (m *Mux) Handle(req *Message) (*Message, error) {
 // Serve runs the responder loop: receive a request, dispatch, reply.
 // It returns nil when the peer sends OpClose or cleanly closes the
 // connection, and the first transport error otherwise. This is C2's main
-// loop in both SkNN protocols.
+// loop in both SkNN protocols. Replies echo the request's session tag,
+// so a serial loop can still answer a multiplexing peer correctly.
 func Serve(conn Conn, h Handler) error {
 	for {
 		req, err := conn.Recv()
@@ -80,11 +82,7 @@ func Serve(conn Conn, h Handler) error {
 			return nil
 		}
 		resp, herr := h.Handle(req)
-		if herr != nil {
-			resp = &Message{Op: OpError, Err: herr.Error()}
-		} else if resp == nil {
-			resp = &Message{Op: req.Op}
-		}
+		resp = buildReply(req, resp, herr)
 		if err := conn.Send(resp); err != nil {
 			if errors.Is(err, ErrConnClosed) {
 				return nil
@@ -92,6 +90,82 @@ func Serve(conn Conn, h Handler) error {
 			return fmt.Errorf("mpc: serve send: %w", err)
 		}
 	}
+}
+
+// buildReply shapes a handler outcome into the wire reply: errors become
+// OpError frames, a nil response defaults to an empty ack, and every
+// reply echoes the request's session tag. Shared by Serve and
+// ServeConcurrent so the serial and concurrent paths cannot diverge.
+func buildReply(req, resp *Message, herr error) *Message {
+	if herr != nil {
+		resp = &Message{Op: OpError, Err: herr.Error()}
+	} else if resp == nil {
+		resp = &Message{Op: req.Op}
+	}
+	resp.Tag = req.Tag
+	return resp
+}
+
+// ServeConcurrent is Serve with up to maxInflight requests dispatched to
+// handler goroutines at once, for links carrying several multiplexed
+// sessions: one session's long-running step no longer blocks the
+// others' replies. Replies may leave out of arrival order, which is safe
+// because each carries its request's session tag and every session has
+// at most one request outstanding. The handler must be safe for
+// concurrent use (Mux over stateless handlers is). On shutdown — OpClose,
+// peer closure, or a transport error — in-flight handlers are drained,
+// not dropped, before the call returns.
+func ServeConcurrent(conn Conn, h Handler, maxInflight int) error {
+	if maxInflight < 2 {
+		return Serve(conn, h)
+	}
+	var (
+		wg       sync.WaitGroup
+		sendMu   sync.Mutex
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	failed := func() bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return firstErr != nil
+	}
+	sem := make(chan struct{}, maxInflight)
+	for !failed() {
+		req, err := conn.Recv()
+		if err != nil {
+			if !errors.Is(err, ErrConnClosed) {
+				fail(fmt.Errorf("mpc: serve recv: %w", err))
+			}
+			break
+		}
+		if req.Op == OpClose {
+			break
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(req *Message) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			resp, herr := h.Handle(req)
+			resp = buildReply(req, resp, herr)
+			sendMu.Lock()
+			err := conn.Send(resp)
+			sendMu.Unlock()
+			if err != nil && !errors.Is(err, ErrConnClosed) {
+				fail(fmt.Errorf("mpc: serve send: %w", err))
+			}
+		}(req)
+	}
+	wg.Wait()
+	return firstErr
 }
 
 // SendClose tells the responder to stop serving. Errors are reported but

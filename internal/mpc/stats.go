@@ -14,19 +14,34 @@ type Stats struct {
 	bytesSent atomic.Int64
 	bytesRecv atomic.Int64
 	rounds    atomic.Int64
+
+	// parent, when set, receives a mirror of every update — how a
+	// session's counters roll up into its link's aggregate.
+	parent *Stats
 }
 
 func (s *Stats) addSend(n int) {
 	s.msgsSent.Add(1)
 	s.bytesSent.Add(int64(n))
+	if s.parent != nil {
+		s.parent.addSend(n)
+	}
 }
 
 func (s *Stats) addRecv(n int) {
 	s.msgsRecv.Add(1)
 	s.bytesRecv.Add(int64(n))
+	if s.parent != nil {
+		s.parent.addRecv(n)
+	}
 }
 
-func (s *Stats) addRound() { s.rounds.Add(1) }
+func (s *Stats) addRound() {
+	s.rounds.Add(1)
+	if s.parent != nil {
+		s.parent.addRound()
+	}
+}
 
 // MessagesSent reports the number of frames sent.
 func (s *Stats) MessagesSent() int64 { return s.msgsSent.Load() }

@@ -45,15 +45,32 @@ type (
 	SecureMetrics = core.SecureMetrics
 )
 
+// c2ServeInflight is how many interleaved requests each C2 serve loop
+// handles at once when query sessions share a link.
+const c2ServeInflight = 4
+
 // Config tunes System construction.
 type Config struct {
 	// KeyBits is the Paillier modulus size; the paper evaluates 512 and
 	// 1024. Default 512.
 	KeyBits int
-	// Workers is the number of parallel C1↔C2 sessions (the paper's
-	// Section 5.3 parallelization). Default 1 (serial).
+	// Workers is the number of parallel C1↔C2 connections (the paper's
+	// Section 5.3 parallelization). The pool is shared by all in-flight
+	// queries: one query can fan out across it, or many queries can run
+	// one connection each. Default 1 (serial).
 	Workers int
+	// PerQueryWorkers caps how many pooled connections a single query
+	// may span. 0 (the default) lets the scheduler decide: a query
+	// arriving on an idle system spans every connection (lowest
+	// latency, the paper's parallel variant), while queries arriving
+	// under concurrent load get an even share of the pool so throughput
+	// scales with concurrency instead. Set to 1 to always favor
+	// throughput, or to Workers to always favor latency.
+	PerQueryWorkers int
 	// Random overrides the randomness source (default crypto/rand).
+	// Queries run concurrently, so the reader is shared across
+	// goroutines; New wraps it in a mutex so any io.Reader is safe,
+	// at the cost of serializing draws from it.
 	Random io.Reader
 	// Key reuses an existing Paillier key instead of generating one —
 	// key generation dominates setup time, so benchmarks share keys.
@@ -74,26 +91,44 @@ type Config struct {
 // ErrClosed is returned by queries on a closed System.
 var ErrClosed = errors.New("sknn: system closed")
 
+// lockedReader serializes a user-supplied randomness source shared by
+// concurrent query sessions.
+type lockedReader struct {
+	mu sync.Mutex
+	r  io.Reader
+}
+
+func (l *lockedReader) Read(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Read(p)
+}
+
 // System wires every party of the paper in one process: Alice encrypts
 // and outsources, C1 and C2 form the federated cloud (connected by
 // in-process pipes), and Bob issues queries. It is the quickstart
 // entry point; distributed deployments compose the internal packages
 // instead.
 //
-// A System is safe for sequential queries; concurrent Query calls must
-// be externally serialized (the underlying protocol connections are
-// stateful streams).
+// A System is safe for concurrent use: any number of Query and
+// QueryBatch calls may be in flight at once. Each query runs in its own
+// session multiplexed over the Workers connections to C2, so concurrent
+// queries share the pool instead of serializing behind a global lock.
 type System struct {
 	sk         *paillier.PrivateKey
 	c1         *core.CloudC1
 	client     *core.Client
 	domainBits int
 	n, m       int
+	perQuery   int
 
-	mu      sync.Mutex
-	closed  bool
-	serveWG sync.WaitGroup
-	pool    *paillier.RandomizerPool // non-nil when Config.UseNoncePool
+	mu        sync.Mutex
+	closed    bool
+	closeDone chan struct{} // closed when teardown has fully finished
+	closeErr  error         // valid once closeDone is closed
+	inflight  sync.WaitGroup // in-flight Query/QueryBatch calls
+	serveWG   sync.WaitGroup
+	pool      *paillier.RandomizerPool // non-nil when Config.UseNoncePool
 }
 
 // New builds a System over the given plaintext table: rows of uint64
@@ -114,6 +149,11 @@ func New(rows [][]uint64, attrBits int, cfg Config) (*System, error) {
 	random := cfg.Random
 	if random == nil {
 		random = rand.Reader
+	} else {
+		// Sessions, serve loops, and setup all draw from this reader
+		// concurrently; crypto/rand.Reader is safe but a user-supplied
+		// source (e.g. a deterministic stream) need not be.
+		random = &lockedReader{r: random}
 	}
 	sk := cfg.Key
 	if sk == nil {
@@ -143,6 +183,8 @@ func New(rows [][]uint64, attrBits int, cfg Config) (*System, error) {
 		domainBits: dataset.DomainBits(attrBits, featureM),
 		n:          tbl.N(),
 		m:          tbl.M(),
+		perQuery:   cfg.PerQueryWorkers,
+		closeDone:  make(chan struct{}),
 	}
 	c2 := core.NewCloudC2(sk, random)
 	if cfg.UseNoncePool {
@@ -161,14 +203,18 @@ func New(rows [][]uint64, attrBits int, cfg Config) (*System, error) {
 		sys.serveWG.Add(1)
 		go func(conn mpc.Conn) {
 			defer sys.serveWG.Done()
-			// Serve returns nil on orderly shutdown; any other error is a
-			// protocol bug surfaced to the requester as a broken round
-			// trip, so it is not separately reported here.
-			_ = c2.Serve(conn)
+			// ServeConcurrent returns nil on orderly shutdown; any other
+			// error is a protocol bug surfaced to the requester as a
+			// broken round trip, so it is not separately reported here.
+			_ = c2.ServeConcurrent(conn, c2ServeInflight)
 		}(c2Side)
 	}
 	sys.c1, err = core.NewCloudC1(encTable, conns, random)
 	if err != nil {
+		sys.serveWG.Wait()
+		if sys.pool != nil {
+			sys.pool.Close()
+		}
 		return nil, fmt.Errorf("sknn: wiring clouds: %w", err)
 	}
 	return sys, nil
@@ -193,25 +239,37 @@ func (s *System) Workers() int { return s.c1.Workers() }
 // CommStats reports cumulative C1↔C2 traffic.
 func (s *System) CommStats() mpc.StatsSnapshot { return s.c1.CommStats() }
 
-// Query runs a k-nearest-neighbor query end-to-end: Bob encrypts q, the
-// clouds execute the selected protocol, and Bob unmasks and returns the
-// k closest records (each a full attribute row).
-func (s *System) Query(q []uint64, k int, mode Mode) ([][]uint64, error) {
+// begin registers an in-flight query so Close can drain instead of
+// dropping it.
+func (s *System) begin() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return nil, ErrClosed
+		return ErrClosed
 	}
+	s.inflight.Add(1)
+	return nil
+}
+
+func (s *System) end() { s.inflight.Done() }
+
+// run answers one query inside a session spanning width connections.
+func (s *System) run(q []uint64, k int, mode Mode, width int) ([][]uint64, error) {
 	eq, err := s.client.EncryptQuery(q)
 	if err != nil {
 		return nil, err
 	}
+	sess, err := s.c1.NewSession(width)
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
 	var res *core.MaskedResult
 	switch mode {
 	case ModeBasic:
-		res, err = s.c1.BasicQuery(eq, k)
+		res, err = sess.BasicQuery(eq, k)
 	case ModeSecure:
-		res, err = s.c1.SecureQuery(eq, k, s.domainBits)
+		res, err = sess.SecureQuery(eq, k, s.domainBits)
 	default:
 		return nil, fmt.Errorf("sknn: unknown mode %d", int(mode))
 	}
@@ -221,18 +279,86 @@ func (s *System) Query(q []uint64, k int, mode Mode) ([][]uint64, error) {
 	return s.client.Unmask(res)
 }
 
+// Query runs a k-nearest-neighbor query end-to-end: Bob encrypts q, the
+// clouds execute the selected protocol, and Bob unmasks and returns the
+// k closest records (each a full attribute row). Concurrent calls are
+// multiplexed over the connection pool.
+func (s *System) Query(q []uint64, k int, mode Mode) ([][]uint64, error) {
+	if err := s.begin(); err != nil {
+		return nil, err
+	}
+	defer s.end()
+	return s.run(q, k, mode, s.perQuery)
+}
+
+// QueryBatch answers len(queries) k-nearest-neighbor queries
+// concurrently over the shared connection pool and returns the result
+// rows in query order. Each query runs in its own protocol session;
+// with b queries over w Workers the scheduler gives each session
+// ⌊w/b⌋ connections (at least one), so batches trade single-query
+// latency for aggregate throughput. Config.PerQueryWorkers, when set,
+// overrides that width. On error the first failure is returned and the
+// result slice holds nil for every failed query.
+func (s *System) QueryBatch(queries [][]uint64, k int, mode Mode) ([][][]uint64, error) {
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	if err := s.begin(); err != nil {
+		return nil, err
+	}
+	defer s.end()
+
+	width := s.perQuery
+	if width == 0 {
+		width = s.c1.Workers() / len(queries)
+		if width < 1 {
+			width = 1
+		}
+	}
+	// Bound in-flight sessions: more than 2× the pool size only piles
+	// queued frames onto the links without adding throughput.
+	maxInflight := 2 * s.c1.Workers()
+	if maxInflight > len(queries) {
+		maxInflight = len(queries)
+	}
+	sem := make(chan struct{}, maxInflight)
+	results := make([][][]uint64, len(queries))
+	errs := make([]error, len(queries))
+	var wg sync.WaitGroup
+	for i, q := range queries {
+		wg.Add(1)
+		go func(i int, q []uint64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = s.run(q, k, mode, width)
+		}(i, q)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
 // QueryBasicMetered runs SkNNb and returns the phase breakdown.
 func (s *System) QueryBasicMetered(q []uint64, k int) ([][]uint64, *BasicMetrics, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return nil, nil, ErrClosed
+	if err := s.begin(); err != nil {
+		return nil, nil, err
 	}
+	defer s.end()
 	eq, err := s.client.EncryptQuery(q)
 	if err != nil {
 		return nil, nil, err
 	}
-	res, metrics, err := s.c1.BasicQueryMetered(eq, k)
+	sess, err := s.c1.NewSession(s.perQuery)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer sess.Close()
+	res, metrics, err := sess.BasicQueryMetered(eq, k)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -242,16 +368,20 @@ func (s *System) QueryBasicMetered(q []uint64, k int) ([][]uint64, *BasicMetrics
 
 // QuerySecureMetered runs SkNNm and returns the phase breakdown.
 func (s *System) QuerySecureMetered(q []uint64, k int) ([][]uint64, *SecureMetrics, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return nil, nil, ErrClosed
+	if err := s.begin(); err != nil {
+		return nil, nil, err
 	}
+	defer s.end()
 	eq, err := s.client.EncryptQuery(q)
 	if err != nil {
 		return nil, nil, err
 	}
-	res, metrics, err := s.c1.SecureQueryMetered(eq, k, s.domainBits)
+	sess, err := s.c1.NewSession(s.perQuery)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer sess.Close()
+	res, metrics, err := sess.SecureQueryMetered(eq, k, s.domainBits)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -259,18 +389,26 @@ func (s *System) QuerySecureMetered(q []uint64, k int) ([][]uint64, *SecureMetri
 	return rows, metrics, err
 }
 
-// Close shuts down the federated cloud and waits for its serve loops.
+// Close shuts down the federated cloud: new queries are refused with
+// ErrClosed, in-flight queries are drained to completion (not dropped),
+// and only then are the connections and serve loops torn down. Every
+// Close call — including concurrent and repeated ones — returns only
+// after teardown has fully finished.
 func (s *System) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
-		return nil
+		s.mu.Unlock()
+		<-s.closeDone
+		return s.closeErr
 	}
 	s.closed = true
-	err := s.c1.Close()
+	s.mu.Unlock()
+	s.inflight.Wait()
+	s.closeErr = s.c1.Close()
 	s.serveWG.Wait()
 	if s.pool != nil {
 		s.pool.Close()
 	}
-	return err
+	close(s.closeDone)
+	return s.closeErr
 }
