@@ -6,8 +6,10 @@
 //	sknnquery -data data.csv -bits 8 -q 17,201,90,44,3,250 -k 5 -mode secure
 //
 // -mode basic selects SkNNb (fast, leaks to the clouds); -mode secure
-// selects SkNNm (full protection). -verify cross-checks the result
-// against the plaintext oracle.
+// selects SkNNm (full protection). -index clustered prunes SkNNm with
+// the clustered secure index (faster, leaks which clusters the query
+// touches; -clusters and -coverage tune it). -verify cross-checks the
+// result against the plaintext oracle.
 package main
 
 import (
@@ -32,14 +34,57 @@ func main() {
 		queryStr = flag.String("q", "", "comma-separated query attributes (required)")
 		k        = flag.Int("k", 5, "number of neighbors")
 		mode     = flag.String("mode", "secure", `protocol: "basic" (SkNNb) or "secure" (SkNNm)`)
+		index    = flag.String("index", "none", `SkNNm scan strategy: "none" (full scan) or "clustered" (partition-pruned)`)
+		clusters = flag.Int("clusters", 0, "cluster count for -index clustered (0 = ⌈√n⌉)")
+		coverage = flag.Float64("coverage", 0, "candidate-pool factor for -index clustered (0 = default)")
 		keyBits  = flag.Int("keybits", 512, "Paillier key size")
 		workers  = flag.Int("workers", 1, "parallel C1↔C2 sessions")
 		verify   = flag.Bool("verify", false, "cross-check against the plaintext oracle")
 	)
 	flag.Parse()
+
+	// Validate every flag before the expensive dataset load and key
+	// generation, so a typo costs milliseconds instead of a setup run.
 	if *dataPath == "" || *queryStr == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	var protocolMode sknn.Mode
+	switch *mode {
+	case "basic":
+		protocolMode = sknn.ModeBasic
+	case "secure":
+		protocolMode = sknn.ModeSecure
+	default:
+		log.Fatalf(`unknown -mode %q (want "basic" or "secure")`, *mode)
+	}
+	var indexMode sknn.IndexMode
+	switch *index {
+	case "none":
+		indexMode = sknn.IndexNone
+	case "clustered":
+		indexMode = sknn.IndexClustered
+	default:
+		log.Fatalf(`unknown -index %q (want "none" or "clustered")`, *index)
+	}
+	if protocolMode == sknn.ModeBasic && indexMode == sknn.IndexClustered {
+		log.Fatal(`-index clustered only applies to -mode secure (SkNNb ignores the index)`)
+	}
+	if *k < 1 {
+		log.Fatalf("-k must be ≥ 1, got %d", *k)
+	}
+	if *workers < 1 {
+		log.Fatalf("-workers must be ≥ 1, got %d", *workers)
+	}
+	if *clusters < 0 {
+		log.Fatalf("-clusters must be ≥ 0, got %d", *clusters)
+	}
+	if *coverage < 0 {
+		log.Fatalf("-coverage must be ≥ 0, got %g", *coverage)
+	}
+	q, err := parseQuery(*queryStr)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	f, err := os.Open(*dataPath)
@@ -51,28 +96,19 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	q, err := parseQuery(*queryStr)
-	if err != nil {
-		log.Fatal(err)
-	}
 	if len(q) != tbl.M() {
 		log.Fatalf("query has %d attributes, table has %d", len(q), tbl.M())
 	}
 
-	var protocolMode sknn.Mode
-	switch *mode {
-	case "basic":
-		protocolMode = sknn.ModeBasic
-	case "secure":
-		protocolMode = sknn.ModeSecure
-	default:
-		log.Fatalf("unknown -mode %q", *mode)
-	}
-
-	fmt.Fprintf(os.Stderr, "outsourcing %d×%d table (K=%d bits, %d workers)...\n",
-		tbl.N(), tbl.M(), *keyBits, *workers)
-	sys, err := sknn.New(tbl.Rows, tbl.AttrBits, sknn.Config{KeyBits: *keyBits, Workers: *workers})
+	fmt.Fprintf(os.Stderr, "outsourcing %d×%d table (K=%d bits, %d workers, index %s)...\n",
+		tbl.N(), tbl.M(), *keyBits, *workers, indexMode)
+	sys, err := sknn.New(tbl.Rows, tbl.AttrBits, sknn.Config{
+		KeyBits:  *keyBits,
+		Workers:  *workers,
+		Index:    indexMode,
+		Clusters: *clusters,
+		Coverage: *coverage,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -96,8 +132,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "done in %v (SMINn share %.0f%%), traffic %s\n",
-			metrics.Total.Round(1e6), 100*metrics.SMINnShare(), metrics.Comm)
+		fmt.Fprintf(os.Stderr, "done in %v (SMINn share %.0f%%, %d SMINs), traffic %s\n",
+			metrics.Total.Round(1e6), 100*metrics.SMINnShare(), metrics.SMINCount, metrics.Comm)
+		if indexMode == sknn.IndexClustered {
+			fmt.Fprintf(os.Stderr, "index: scanned %d/%d records across %d/%d clusters (full scan: %d SMINs)\n",
+				metrics.Candidates, sys.N(), metrics.ClustersProbed, sys.Clusters(), *k*(sys.N()-1))
+		}
 	}
 
 	for i, row := range rows {

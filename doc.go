@@ -31,6 +31,16 @@
 // Config.PerQueryWorkers tunes that trade-off. Close drains in-flight
 // queries before tearing the cloud down.
 //
+// SkNNm's O(k·n) SMIN cost can be cut below linear with the clustered
+// secure index: Config.Index = IndexClustered k-means-partitions the
+// table at outsourcing time, ranks the encrypted cluster centroids
+// obliviously at query time, and runs the per-record protocol over only
+// the nearest clusters' records. The price is a documented leak — C1
+// learns which clusters (never which records) a query touches — the
+// partition-based relaxation of the secure-Voronoi line of work. See
+// README.md's "Index modes and leakage" for the exact tradeoff;
+// IndexNone (the default) remains the paper-faithful full scan.
+//
 // For a real two-machine deployment, use the building blocks directly
 // (internal/core, internal/mpc with the TCP transport) the way
 // cmd/sknnd does.

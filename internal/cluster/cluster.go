@@ -1,0 +1,226 @@
+// Package cluster provides the plaintext k-means partitioning a data
+// owner runs at outsourcing time to build the clustered secure index
+// (sknn.IndexClustered). This is the partition-based escape hatch of
+// the SVD line of work (Yao, Li, Xiao — "Secure nearest neighbor
+// revisited", ICDE 2013, the paper's reference [31]): prune to a
+// candidate set before running the expensive per-record protocol.
+//
+// Clustering happens strictly on the owner's side, where the plaintext
+// is legitimately held; only the centroids — encrypted under the same
+// Paillier key as the records — and the (public-by-design) cluster
+// membership lists ever reach the cloud. The membership lists are the
+// documented leakage of the clustered index: C1 learns which clusters a
+// query touches, never which records inside them answer it.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	mrand "math/rand"
+)
+
+// Errors returned by this package.
+var (
+	ErrEmptyInput  = errors.New("cluster: empty input")
+	ErrRagged      = errors.New("cluster: rows have differing dimensions")
+	ErrBadClusters = errors.New("cluster: cluster count must be ≥ 1")
+)
+
+// maxIterations bounds Lloyd's algorithm; k-means on bounded integer
+// data converges long before this in practice.
+const maxIterations = 50
+
+// Partition is the outcome of k-means: c centroids (rounded back into
+// the attribute domain so they encrypt exactly like records) and the
+// membership lists assigning every row to exactly one cluster. Clusters
+// are never empty.
+type Partition struct {
+	// Centroids holds the c cluster centers, one row of the same
+	// dimension as the input rows each. Values are rounded means, so
+	// they stay inside the input's attribute domain.
+	Centroids [][]uint64
+	// Members maps each cluster to the indices of its rows; every row
+	// index in [0,n) appears in exactly one list, in ascending order.
+	Members [][]int
+}
+
+// Clusters returns the number of clusters.
+func (p *Partition) Clusters() int { return len(p.Centroids) }
+
+// DefaultClusters is the rule of thumb for the cluster count when the
+// caller does not choose one: ⌈√n⌉ balances the two phases of a pruned
+// query (ranking c centroids vs scanning ~n/c candidate records per
+// probed cluster).
+func DefaultClusters(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return int(math.Ceil(math.Sqrt(float64(n))))
+}
+
+// KMeans partitions rows into c clusters with Lloyd's algorithm,
+// deterministically in seed (greedy farthest-point seeding, stable
+// tie-breaks), so a re-outsourced table gets the same layout. c is
+// clamped to n — with one row per cluster the partition is exact.
+func KMeans(rows [][]uint64, c int, seed int64) (*Partition, error) {
+	n := len(rows)
+	if n == 0 || len(rows[0]) == 0 {
+		return nil, ErrEmptyInput
+	}
+	m := len(rows[0])
+	for i, row := range rows {
+		if len(row) != m {
+			return nil, fmt.Errorf("%w: row %d has %d, row 0 has %d", ErrRagged, i, len(row), m)
+		}
+	}
+	if c < 1 {
+		return nil, fmt.Errorf("%w: %d", ErrBadClusters, c)
+	}
+	if c > n {
+		c = n
+	}
+	rng := mrand.New(mrand.NewSource(seed))
+
+	// Convert once: every phase below measures float distances.
+	points := make([][]float64, n)
+	for i, row := range rows {
+		points[i] = toFloat(row)
+	}
+
+	// Farthest-point ("k-means++ without the dice") seeding: first
+	// center random, each next center the row farthest from all chosen
+	// centers. Deterministic given the seed and robust to duplicates.
+	centers := make([][]float64, 0, c)
+	centers = append(centers, append([]float64(nil), points[rng.Intn(n)]...))
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = dist2(points[i], centers[0])
+	}
+	for len(centers) < c {
+		best, bestD := 0, -1.0
+		for i, d := range minDist {
+			if d > bestD {
+				best, bestD = i, d
+			}
+		}
+		next := append([]float64(nil), points[best]...)
+		centers = append(centers, next)
+		for i := range minDist {
+			if d := dist2(points[i], next); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	for iter := 0; iter < maxIterations; iter++ {
+		changed := false
+		for i := range rows {
+			p := points[i]
+			best, bestD := 0, math.Inf(1)
+			for j, cent := range centers {
+				if d := dist2(p, cent); d < bestD {
+					best, bestD = j, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centers; repair empty clusters by stealing the row
+		// farthest from its current center (splitting the loosest
+		// cluster rather than leaving a dead centroid).
+		sums := make([][]float64, c)
+		counts := make([]int, c)
+		for j := range sums {
+			sums[j] = make([]float64, m)
+		}
+		for i, row := range rows {
+			j := assign[i]
+			counts[j]++
+			for h, v := range row {
+				sums[j][h] += float64(v)
+			}
+		}
+		for j := 0; j < c; j++ {
+			if counts[j] == 0 {
+				far, farD := -1, -1.0
+				for i := range rows {
+					if counts[assign[i]] <= 1 {
+						continue
+					}
+					if d := dist2(points[i], centers[assign[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				if far < 0 {
+					continue // n < c leftovers; cluster stays empty and is dropped below
+				}
+				old := assign[far]
+				counts[old]--
+				for h, v := range rows[far] {
+					sums[old][h] -= float64(v)
+				}
+				assign[far] = j
+				counts[j] = 1
+				for h, v := range rows[far] {
+					sums[j][h] = float64(v)
+				}
+			}
+			if counts[j] > 0 {
+				for h := range centers[j] {
+					centers[j][h] = sums[j][h] / float64(counts[j])
+				}
+			}
+		}
+	}
+
+	// Materialize the partition, dropping any cluster that ended empty
+	// (possible only when rows are duplicated heavily).
+	members := make([][]int, c)
+	for i, j := range assign {
+		members[j] = append(members[j], i)
+	}
+	p := &Partition{}
+	for j, mem := range members {
+		if len(mem) == 0 {
+			continue
+		}
+		cent := make([]uint64, m)
+		for h, v := range centers[j] {
+			r := math.Round(v)
+			if r < 0 {
+				r = 0
+			}
+			cent[h] = uint64(r)
+		}
+		p.Centroids = append(p.Centroids, cent)
+		p.Members = append(p.Members, mem)
+	}
+	return p, nil
+}
+
+func toFloat(row []uint64) []float64 {
+	out := make([]float64, len(row))
+	for i, v := range row {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+func dist2(a, b []float64) float64 {
+	var sum float64
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return sum
+}

@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+
+	"sknn/internal/dataset"
+)
+
+// checkPartition asserts the structural invariants: every row in
+// exactly one cluster, no empty clusters, centroid dimensions match.
+func checkPartition(t *testing.T, p *Partition, n, m int) {
+	t.Helper()
+	if len(p.Centroids) != len(p.Members) {
+		t.Fatalf("centroids %d vs members %d", len(p.Centroids), len(p.Members))
+	}
+	seen := make([]bool, n)
+	for j, mem := range p.Members {
+		if len(mem) == 0 {
+			t.Fatalf("cluster %d empty", j)
+		}
+		if len(p.Centroids[j]) != m {
+			t.Fatalf("centroid %d has dim %d, want %d", j, len(p.Centroids[j]), m)
+		}
+		prev := -1
+		for _, i := range mem {
+			if i < 0 || i >= n {
+				t.Fatalf("cluster %d member %d out of range", j, i)
+			}
+			if seen[i] {
+				t.Fatalf("row %d in two clusters", i)
+			}
+			if i <= prev {
+				t.Fatalf("cluster %d members not ascending", j)
+			}
+			seen[i] = true
+			prev = i
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("row %d unassigned", i)
+		}
+	}
+}
+
+func TestKMeansPartitionInvariants(t *testing.T) {
+	tbl, _ := dataset.Generate(5, 200, 4, 8)
+	p, err := KMeans(tbl.Rows, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Clusters() < 2 || p.Clusters() > 16 {
+		t.Fatalf("clusters = %d", p.Clusters())
+	}
+	checkPartition(t, p, 200, 4)
+	// Centroids stay inside the attribute domain.
+	for _, cent := range p.Centroids {
+		for _, v := range cent {
+			if v >= 256 {
+				t.Fatalf("centroid value %d outside 8-bit domain", v)
+			}
+		}
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	tbl, _ := dataset.Generate(6, 100, 3, 8)
+	a, err := KMeans(tbl.Rows, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(tbl.Rows, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Members) != len(b.Members) {
+		t.Fatal("same seed, different cluster counts")
+	}
+	for j := range a.Members {
+		if len(a.Members[j]) != len(b.Members[j]) {
+			t.Fatal("same seed, different memberships")
+		}
+		for i := range a.Members[j] {
+			if a.Members[j][i] != b.Members[j][i] {
+				t.Fatal("same seed, different memberships")
+			}
+		}
+	}
+}
+
+func TestKMeansRecoversSeparatedBlobs(t *testing.T) {
+	// Four tight, well-separated 2-D blobs: k-means must put each blob
+	// in its own cluster.
+	corners := [][]uint64{{10, 10}, {10, 240}, {240, 10}, {240, 240}}
+	var rows [][]uint64
+	for _, c := range corners {
+		for d := uint64(0); d < 5; d++ {
+			rows = append(rows, []uint64{c[0] + d, c[1] + d})
+		}
+	}
+	p, err := KMeans(rows, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Clusters() != 4 {
+		t.Fatalf("clusters = %d, want 4", p.Clusters())
+	}
+	checkPartition(t, p, len(rows), 2)
+	for j, mem := range p.Members {
+		if len(mem) != 5 {
+			t.Fatalf("cluster %d has %d rows, want 5", j, len(mem))
+		}
+		blob := mem[0] / 5
+		for _, i := range mem {
+			if i/5 != blob {
+				t.Fatalf("cluster %d mixes blobs: %v", j, mem)
+			}
+		}
+	}
+}
+
+func TestKMeansClampsAndSingletons(t *testing.T) {
+	rows := [][]uint64{{1, 1}, {2, 2}, {3, 3}}
+	p, err := KMeans(rows, 10, 1) // c > n: clamp to n singletons
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Clusters() != 3 {
+		t.Fatalf("clusters = %d, want 3", p.Clusters())
+	}
+	checkPartition(t, p, 3, 2)
+
+	p, err = KMeans(rows, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Clusters() != 1 || len(p.Members[0]) != 3 {
+		t.Fatalf("single cluster = %+v", p)
+	}
+}
+
+func TestKMeansDuplicateRows(t *testing.T) {
+	// All rows identical: however many clusters are requested, the
+	// result must remain a valid partition with no empty cluster.
+	rows := [][]uint64{{7, 7}, {7, 7}, {7, 7}, {7, 7}}
+	p, err := KMeans(rows, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartition(t, p, 4, 2)
+}
+
+func TestKMeansValidation(t *testing.T) {
+	if _, err := KMeans(nil, 2, 1); !errors.Is(err, ErrEmptyInput) {
+		t.Errorf("nil rows error = %v", err)
+	}
+	if _, err := KMeans([][]uint64{{1}, {1, 2}}, 2, 1); !errors.Is(err, ErrRagged) {
+		t.Errorf("ragged error = %v", err)
+	}
+	if _, err := KMeans([][]uint64{{1}}, 0, 1); !errors.Is(err, ErrBadClusters) {
+		t.Errorf("c=0 error = %v", err)
+	}
+}
+
+func TestDefaultClusters(t *testing.T) {
+	cases := []struct{ n, want int }{{0, 1}, {1, 1}, {4, 2}, {100, 10}, {1000, 32}}
+	for _, c := range cases {
+		if got := DefaultClusters(c.n); got != c.want {
+			t.Errorf("DefaultClusters(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}

@@ -232,3 +232,23 @@ func (c *CloudC1) SecureQueryMetered(q EncryptedQuery, k, domainBits int) (*Mask
 	defer s.Close()
 	return s.SecureQueryMetered(q, k, domainBits)
 }
+
+// SecureQueryClustered runs the partition-pruned SkNNm variant in a
+// session leased for this one call. The table must carry a cluster
+// index (EncryptedTable.WithClusterIndex); target is the minimum
+// candidate-pool size, see QuerySession.SecureQueryClustered.
+func (c *CloudC1) SecureQueryClustered(q EncryptedQuery, k, domainBits, target int) (*MaskedResult, error) {
+	res, _, err := c.SecureQueryClusteredMetered(q, k, domainBits, target)
+	return res, err
+}
+
+// SecureQueryClusteredMetered is SecureQueryClustered plus phase
+// timings, traffic counts, and pruning counters.
+func (c *CloudC1) SecureQueryClusteredMetered(q EncryptedQuery, k, domainBits, target int) (*MaskedResult, *SecureMetrics, error) {
+	s, err := c.NewSession(0)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer s.Close()
+	return s.SecureQueryClusteredMetered(q, k, domainBits, target)
+}

@@ -56,6 +56,7 @@ func (c *CloudC2) Mux() *mpc.Mux {
 	mux.Register(OpRank, mpc.HandlerFunc(c.handleRank))
 	mux.Register(OpReveal, mpc.HandlerFunc(c.handleReveal))
 	mux.Register(OpMinSelect, mpc.HandlerFunc(c.handleMinSelect))
+	mux.Register(OpMinIndex, mpc.HandlerFunc(c.handleMinIndex))
 	mux.Register(OpHello, mpc.HandlerFunc(c.handleHello))
 	return mux
 }
@@ -162,31 +163,10 @@ func (c *CloudC2) handleReveal(req *mpc.Message) (*mpc.Message, error) {
 // [U₁,…,U_n].
 func (c *CloudC2) handleMinSelect(req *mpc.Message) (*mpc.Message, error) {
 	n := len(req.Ints)
-	if n == 0 {
-		return nil, fmt.Errorf("%w: empty min-select payload", ErrBadFrame)
-	}
-	var zeros []int
-	for i, v := range req.Ints {
-		ct, err := c.sk.FromRaw(v)
-		if err != nil {
-			return nil, fmt.Errorf("core: min-select β[%d]: %w", i, err)
-		}
-		m, err := c.sk.Decrypt(ct)
-		if err != nil {
-			return nil, fmt.Errorf("core: min-select decrypt[%d]: %w", i, err)
-		}
-		if m.Sign() == 0 {
-			zeros = append(zeros, i)
-		}
-	}
-	if len(zeros) == 0 {
-		return nil, ErrNoZeroInBeta
-	}
-	pickBig, err := rand.Int(c.random, big.NewInt(int64(len(zeros))))
+	chosen, err := c.argminOfBlinded(req.Ints)
 	if err != nil {
-		return nil, fmt.Errorf("core: min-select choice: %w", err)
+		return nil, err
 	}
-	chosen := zeros[pickBig.Int64()]
 
 	out := make([]*big.Int, n)
 	for i := 0; i < n; i++ {
@@ -201,4 +181,53 @@ func (c *CloudC2) handleMinSelect(req *mpc.Message) (*mpc.Message, error) {
 		out[i] = ct.Raw()
 	}
 	return &mpc.Message{Op: OpMinSelect, Ints: out}, nil
+}
+
+// handleMinIndex is the clustered-index variant of min-select: same
+// blinded, permuted payload, but the reply is the argmin *position in
+// the clear* instead of an encrypted one-hot vector. C1 inverse-permutes
+// the position to learn which cluster centroid is nearest — the
+// deliberate, documented leakage the clustered index trades for pruning
+// (C1 must know which clusters to scan). C2's view is unchanged from
+// min-select: a fresh uniform permutation per round means the position
+// it reports reveals nothing about which cluster it was. Payload:
+// [β₁,…,β_c]; reply: [i] (0-based position, plaintext).
+func (c *CloudC2) handleMinIndex(req *mpc.Message) (*mpc.Message, error) {
+	chosen, err := c.argminOfBlinded(req.Ints)
+	if err != nil {
+		return nil, err
+	}
+	return &mpc.Message{Op: OpMinIndex, Ints: []*big.Int{big.NewInt(int64(chosen))}}, nil
+}
+
+// argminOfBlinded decrypts a blinded-difference vector β (βᵢ =
+// rᵢ·(dmin−dᵢ), so exactly the minima decrypt to zero) and returns one
+// zero position chosen uniformly at random — the tie-break rule the
+// paper prescribes for step 3(c).
+func (c *CloudC2) argminOfBlinded(ints []*big.Int) (int, error) {
+	if len(ints) == 0 {
+		return 0, fmt.Errorf("%w: empty min-select payload", ErrBadFrame)
+	}
+	var zeros []int
+	for i, v := range ints {
+		ct, err := c.sk.FromRaw(v)
+		if err != nil {
+			return 0, fmt.Errorf("core: min-select β[%d]: %w", i, err)
+		}
+		m, err := c.sk.Decrypt(ct)
+		if err != nil {
+			return 0, fmt.Errorf("core: min-select decrypt[%d]: %w", i, err)
+		}
+		if m.Sign() == 0 {
+			zeros = append(zeros, i)
+		}
+	}
+	if len(zeros) == 0 {
+		return 0, ErrNoZeroInBeta
+	}
+	pickBig, err := rand.Int(c.random, big.NewInt(int64(len(zeros))))
+	if err != nil {
+		return 0, fmt.Errorf("core: min-select choice: %w", err)
+	}
+	return zeros[pickBig.Int64()], nil
 }

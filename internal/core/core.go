@@ -36,6 +36,7 @@ const (
 	OpReveal    mpc.Op = 65 // both: decrypt masked result attributes γ → γ′
 	OpMinSelect mpc.Op = 66 // SkNNm: decrypt blinded β, return one-hot U
 	OpHello     mpc.Op = 67 // session handshake: verify both clouds share one key
+	OpMinIndex  mpc.Op = 68 // clustered index: decrypt blinded β, return argmin position in the clear
 )
 
 // Errors returned by the protocols.
@@ -49,6 +50,7 @@ var (
 	ErrCloudClosed   = errors.New("core: cloud closed")
 	ErrDomainBits    = errors.New("core: domain size l out of range")
 	ErrHello         = errors.New("core: key mismatch between C1 and C2")
+	ErrNotClustered  = errors.New("core: table has no cluster index")
 )
 
 func validateK(k, n int) error {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/big"
+	"sort"
 	"sync"
 	"time"
 
@@ -13,17 +14,32 @@ import (
 
 // SecureMetrics breaks down one SkNNm run. The paper reports that SMINn
 // dominates (≥69.7% of the total at k=5, growing with k); SMINnShare
-// lets the harness reproduce that number.
+// lets the harness reproduce that number. Candidates/ClustersProbed/
+// SMINCount quantify what the clustered index saves: a full scan has
+// Candidates = n and SMINCount = k·(n−1), a pruned query proportionally
+// less.
 type SecureMetrics struct {
 	Total    time.Duration
-	Distance time.Duration // SSED over all records
-	BitDecom time.Duration // SBD of all distances
+	Centroid time.Duration // clustered index only: oblivious cluster ranking
+	Distance time.Duration // SSED over the candidate records
+	BitDecom time.Duration // SBD of all candidate distances
 	SMINn    time.Duration // sum over the k SMINn invocations
 	Select   time.Duration // τ/β blinding + C2 one-hot (step 3(b)-(c))
 	Extract  time.Duration // oblivious record extraction (step 3(d))
 	Exclude  time.Duration // SBOR disqualification (step 3(e))
 	Reveal   time.Duration // masked result delivery
 	Comm     mpc.StatsSnapshot
+
+	// SMINCount is the number of SMIN invocations this query spent —
+	// the protocol's dominant cost unit — including any cluster-ranking
+	// tournaments.
+	SMINCount int
+	// Candidates is how many records the per-record loop scanned: n for
+	// a full scan, the candidate-pool size for a pruned query.
+	Candidates int
+	// ClustersProbed is how many clusters contributed candidates (0 for
+	// a full scan).
+	ClustersProbed int
 }
 
 // SMINnShare is SMINn's fraction of total wall-clock time.
@@ -39,8 +55,9 @@ func (m *SecureMetrics) SMINnShare() float64 {
 // clouds.
 //
 // domainBits is l, the bit length of the squared-distance domain: all
-// |Q−tᵢ|² must be < 2^l. dataset.DomainBits derives it from the
-// attribute domain and dimension.
+// |Q−tᵢ|² must be strictly below 2^l − 1 (the all-ones disqualification
+// sentinel of step 3(e)). dataset.DomainBits derives it — including the
+// sentinel headroom bit — from the attribute domain and dimension.
 func (s *QuerySession) SecureQuery(q EncryptedQuery, k, domainBits int) (*MaskedResult, error) {
 	res, _, err := s.SecureQueryMetered(q, k, domainBits)
 	return res, err
@@ -50,26 +67,218 @@ func (s *QuerySession) SecureQuery(q EncryptedQuery, k, domainBits int) (*Masked
 // counts, both scoped to this session's streams.
 func (s *QuerySession) SecureQueryMetered(q EncryptedQuery, k, domainBits int) (*MaskedResult, *SecureMetrics, error) {
 	c := s.c
-	if err := c.checkQuery(q); err != nil {
-		return nil, nil, err
-	}
 	n := c.table.N()
-	if err := validateK(k, n); err != nil {
+	if err := s.checkSecureArgs(q, k, domainBits); err != nil {
 		return nil, nil, err
 	}
-	if domainBits < 1 || domainBits > 512 {
-		return nil, nil, fmt.Errorf("%w: l=%d", ErrDomainBits, domainBits)
+	metrics := &SecureMetrics{Candidates: n}
+	comm0 := s.CommStats()
+	start := time.Now()
+
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
 	}
-	pk := c.table.pk
+	res, err := s.secureScan(q, k, domainBits, idx, metrics)
+	if err != nil {
+		return nil, nil, err
+	}
+	metrics.Total = time.Since(start)
+	metrics.Comm = s.CommStats().Sub(comm0)
+	return res, metrics, nil
+}
+
+// SecureQueryClustered runs the partition-pruned SkNNm variant over a
+// table with a cluster index: C1 obliviously ranks the encrypted
+// centroids with the same SSED+SBD+SMINn machinery, selects nearest
+// clusters until their members hold at least max(k, target) records,
+// and runs the unchanged per-record protocol over only those clusters'
+// records.
+//
+// This trades a documented leak for the pruning: C1 learns which
+// clusters (not which records) a query touches — the SVD-style
+// relaxation of access-pattern hiding. C2's view is unchanged.
+func (s *QuerySession) SecureQueryClustered(q EncryptedQuery, k, domainBits, target int) (*MaskedResult, error) {
+	res, _, err := s.SecureQueryClusteredMetered(q, k, domainBits, target)
+	return res, err
+}
+
+// SecureQueryClusteredMetered is SecureQueryClustered plus phase
+// timings, traffic counts, and pruning counters.
+func (s *QuerySession) SecureQueryClusteredMetered(q EncryptedQuery, k, domainBits, target int) (*MaskedResult, *SecureMetrics, error) {
+	c := s.c
+	if !c.table.Clustered() {
+		return nil, nil, ErrNotClustered
+	}
+	if err := s.checkSecureArgs(q, k, domainBits); err != nil {
+		return nil, nil, err
+	}
+	if target < k {
+		target = k
+	}
 	metrics := &SecureMetrics{}
 	comm0 := s.CommStats()
 	start := time.Now()
 
-	// Step 2a: E(dᵢ) for every record.
 	phase := time.Now()
-	ds, err := s.distances(q)
+	clusters, err := s.rankClusters(q, domainBits, target, metrics)
 	if err != nil {
 		return nil, nil, err
+	}
+	metrics.Centroid = time.Since(phase)
+
+	var idx []int
+	for _, j := range clusters {
+		idx = append(idx, c.table.ClusterMembers(j)...)
+	}
+	// Sort so the candidate order carries no information about the
+	// cluster ranking into later phases (they permute freshly anyway).
+	sort.Ints(idx)
+	metrics.Candidates = len(idx)
+	metrics.ClustersProbed = len(clusters)
+
+	res, err := s.secureScan(q, k, domainBits, idx, metrics)
+	if err != nil {
+		return nil, nil, err
+	}
+	metrics.Total = time.Since(start)
+	metrics.Comm = s.CommStats().Sub(comm0)
+	return res, metrics, nil
+}
+
+// checkSecureArgs is the shared validation of both SkNNm entry points.
+func (s *QuerySession) checkSecureArgs(q EncryptedQuery, k, domainBits int) error {
+	if err := s.c.checkQuery(q); err != nil {
+		return err
+	}
+	if err := validateK(k, s.c.table.N()); err != nil {
+		return err
+	}
+	if domainBits < 1 || domainBits > 512 {
+		return fmt.Errorf("%w: l=%d", ErrDomainBits, domainBits)
+	}
+	return nil
+}
+
+// rankClusters is the clustered index's query-time phase: an oblivious
+// top-p selection over the encrypted centroids. Each round runs SMINn
+// over the still-live centroid distances, blinds and permutes the
+// differences exactly like step 3(b)-(c), and asks C2 for the argmin
+// *position* (OpMinIndex) instead of a one-hot vector; C1
+// inverse-permutes the position into a cluster id — the index's
+// documented leakage — removes that cluster from the live set in
+// plaintext (no SBOR needed once the winner is known), and repeats
+// until the chosen clusters hold at least target records.
+func (s *QuerySession) rankClusters(q EncryptedQuery, domainBits, target int, metrics *SecureMetrics) ([]int, error) {
+	c := s.c
+	pk := c.table.pk
+	cents := c.table.centroids2D()
+	nc := len(cents)
+
+	ds, err := s.distancesOf(q, cents)
+	if err != nil {
+		return nil, fmt.Errorf("core: centroid SSED: %w", err)
+	}
+	bits := make([][]*paillier.Ciphertext, nc)
+	err = s.parallelOverRecords(nc, func(rq *smc.Requester, lo, hi int) error {
+		bs, err := rq.SBDBatch(ds[lo:hi], domainBits)
+		if err != nil {
+			return fmt.Errorf("core: centroid SBD chunk [%d,%d): %w", lo, hi, err)
+		}
+		copy(bits[lo:hi], bs)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	live := make([]int, nc)
+	for i := range live {
+		live[i] = i
+	}
+	var chosen []int
+	pool := 0
+	for pool < target && len(live) > 0 {
+		var winner int
+		if len(live) == 1 {
+			winner = live[0]
+		} else {
+			liveBits := make([][]*paillier.Ciphertext, len(live))
+			for i, j := range live {
+				liveBits[i] = bits[j]
+			}
+			minBits, err := s.sminnParallel(liveBits)
+			if err != nil {
+				return nil, fmt.Errorf("core: centroid SMINn (round %d): %w", len(chosen)+1, err)
+			}
+			metrics.SMINCount += len(live) - 1
+			encMin := smc.Recompose(pk, minBits)
+
+			perm, err := smc.NewPermutation(s.primary().Rand(), len(live))
+			if err != nil {
+				return nil, fmt.Errorf("core: centroid permutation: %w", err)
+			}
+			tauP := make([]*big.Int, len(live))
+			for i := range live {
+				src := live[perm[i]]
+				tau := pk.Sub(encMin, ds[src])
+				r, err := pk.RandomNonzeroZN(s.primary().Rand())
+				if err != nil {
+					return nil, fmt.Errorf("core: centroid blind: %w", err)
+				}
+				tauP[i] = pk.ScalarMul(tau, r).Raw()
+			}
+			resp, err := mpc.RoundTrip(s.primary().Conn(), &mpc.Message{Op: OpMinIndex, Ints: tauP})
+			if err != nil {
+				return nil, fmt.Errorf("core: centroid min-index: %w", err)
+			}
+			if len(resp.Ints) != 1 || !resp.Ints[0].IsInt64() {
+				return nil, fmt.Errorf("%w: min-index reply", ErrBadFrame)
+			}
+			pos := int(resp.Ints[0].Int64())
+			if pos < 0 || pos >= len(live) {
+				return nil, fmt.Errorf("%w: min-index position %d of %d", ErrBadFrame, pos, len(live))
+			}
+			winner = live[perm[pos]]
+		}
+		chosen = append(chosen, winner)
+		pool += len(c.table.ClusterMembers(winner))
+		for i, j := range live {
+			if j == winner {
+				live = append(live[:i], live[i+1:]...)
+				break
+			}
+		}
+	}
+	return chosen, nil
+}
+
+// secureScan is the body of Algorithm 6 over the candidate records idx:
+// SSED + SBD over the candidates, then k rounds of SMINn / min-select /
+// oblivious extraction / SBOR disqualification, and the masked reveal.
+// A full scan passes idx = [0,n); the pruned path passes the probed
+// clusters' members.
+func (s *QuerySession) secureScan(q EncryptedQuery, k, domainBits int, idx []int, metrics *SecureMetrics) (*MaskedResult, error) {
+	c := s.c
+	pk := c.table.pk
+	n := len(idx)
+	if err := validateK(k, n); err != nil {
+		return nil, err
+	}
+	m := c.table.m
+	feat := make([][]*paillier.Ciphertext, n)
+	records := make([][]*paillier.Ciphertext, n)
+	for i, id := range idx {
+		rec := c.table.records[id]
+		feat[i] = rec[:c.table.featureM]
+		records[i] = rec
+	}
+
+	// Step 2a: E(dᵢ) for every candidate record.
+	phase := time.Now()
+	ds, err := s.distancesOf(q, feat)
+	if err != nil {
+		return nil, err
 	}
 	metrics.Distance = time.Since(phase)
 
@@ -85,21 +294,20 @@ func (s *QuerySession) SecureQueryMetered(q EncryptedQuery, k, domainBits int) (
 		return nil
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	metrics.BitDecom = time.Since(phase)
 
 	selected := make([]EncryptedRecord, 0, k)
-	records := c.table.records2D()
-	m := c.table.m
 
 	for iter := 0; iter < k; iter++ {
 		// Step 3(a): [dmin] = SMINn([d₁],…,[d_n]).
 		phase = time.Now()
 		minBits, err := s.sminnParallel(bits)
 		if err != nil {
-			return nil, nil, fmt.Errorf("core: iteration %d SMINn: %w", iter+1, err)
+			return nil, fmt.Errorf("core: iteration %d SMINn: %w", iter+1, err)
 		}
+		metrics.SMINCount += n - 1
 		metrics.SMINn += time.Since(phase)
 
 		// Step 3(b): recompose E(dmin) and, from the second iteration on,
@@ -118,23 +326,23 @@ func (s *QuerySession) SecureQueryMetered(q EncryptedQuery, k, domainBits int) (
 		tauP := make([]*big.Int, n)
 		perm, err := smc.NewPermutation(s.primary().Rand(), n)
 		if err != nil {
-			return nil, nil, fmt.Errorf("core: iteration %d permutation: %w", iter+1, err)
+			return nil, fmt.Errorf("core: iteration %d permutation: %w", iter+1, err)
 		}
 		for i := 0; i < n; i++ {
 			src := perm[i]
 			tau := pk.Sub(encMin, ds[src])
 			r, err := pk.RandomNonzeroZN(s.primary().Rand())
 			if err != nil {
-				return nil, nil, fmt.Errorf("core: iteration %d blind: %w", iter+1, err)
+				return nil, fmt.Errorf("core: iteration %d blind: %w", iter+1, err)
 			}
 			tauP[i] = pk.ScalarMul(tau, r).Raw()
 		}
 		resp, err := mpc.RoundTrip(s.primary().Conn(), &mpc.Message{Op: OpMinSelect, Ints: tauP})
 		if err != nil {
-			return nil, nil, fmt.Errorf("core: iteration %d min-select: %w", iter+1, err)
+			return nil, fmt.Errorf("core: iteration %d min-select: %w", iter+1, err)
 		}
 		if len(resp.Ints) != n {
-			return nil, nil, fmt.Errorf("%w: min-select reply has %d ints, want %d",
+			return nil, fmt.Errorf("%w: min-select reply has %d ints, want %d",
 				ErrBadFrame, len(resp.Ints), n)
 		}
 		// V = π⁻¹(U).
@@ -142,7 +350,7 @@ func (s *QuerySession) SecureQueryMetered(q EncryptedQuery, k, domainBits int) (
 		for i := 0; i < n; i++ {
 			ct, err := pk.FromRaw(resp.Ints[i])
 			if err != nil {
-				return nil, nil, fmt.Errorf("core: iteration %d U[%d]: %w", iter+1, i, err)
+				return nil, fmt.Errorf("core: iteration %d U[%d]: %w", iter+1, i, err)
 			}
 			v[perm[i]] = ct
 		}
@@ -180,7 +388,7 @@ func (s *QuerySession) SecureQueryMetered(q EncryptedQuery, k, domainBits int) (
 			return nil
 		})
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		record := make(EncryptedRecord, m)
 		for _, cols := range partials {
@@ -199,8 +407,9 @@ func (s *QuerySession) SecureQueryMetered(q EncryptedQuery, k, domainBits int) (
 		metrics.Extract += time.Since(phase)
 
 		// Step 3(e): oblivious disqualification — OR Vᵢ into every bit of
-		// [dᵢ], driving the winner's distance to 2^l − 1. Skipped after
-		// the final iteration (nothing consumes the update).
+		// [dᵢ], driving the winner's distance to 2^l − 1 (strictly above
+		// any real distance thanks to the DomainBits headroom bit).
+		// Skipped after the final iteration (nothing consumes the update).
 		if iter == k-1 {
 			break
 		}
@@ -224,7 +433,7 @@ func (s *QuerySession) SecureQueryMetered(q EncryptedQuery, k, domainBits int) (
 			return nil
 		})
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		metrics.Exclude += time.Since(phase)
 	}
@@ -233,13 +442,10 @@ func (s *QuerySession) SecureQueryMetered(q EncryptedQuery, k, domainBits int) (
 	phase = time.Now()
 	res, err := s.reveal(selected)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	metrics.Reveal = time.Since(phase)
-
-	metrics.Total = time.Since(start)
-	metrics.Comm = s.CommStats().Sub(comm0)
-	return res, metrics, nil
+	return res, nil
 }
 
 // workerIndex maps a requester back to its slot (for per-worker result

@@ -113,11 +113,16 @@ func (s *QuerySession) parallelOverRecords(n int, fn func(rq *smc.Requester, lo,
 // algorithms), chunked across the session's workers. Only the feature
 // prefix of each record participates.
 func (s *QuerySession) distances(q EncryptedQuery) ([]*paillier.Ciphertext, error) {
-	n := s.c.table.N()
-	out := make([]*paillier.Ciphertext, n)
-	records := s.c.table.featureRecords2D()
-	err := s.parallelOverRecords(n, func(rq *smc.Requester, lo, hi int) error {
-		ds, err := rq.SSEDMany(q, records[lo:hi])
+	return s.distancesOf(q, s.c.table.featureRecords2D())
+}
+
+// distancesOf computes E(|Q−rᵢ|²) for an arbitrary list of encrypted
+// feature vectors — the table's records, a candidate subset of them, or
+// the cluster centroids — chunked across the session's workers.
+func (s *QuerySession) distancesOf(q EncryptedQuery, rows [][]*paillier.Ciphertext) ([]*paillier.Ciphertext, error) {
+	out := make([]*paillier.Ciphertext, len(rows))
+	err := s.parallelOverRecords(len(rows), func(rq *smc.Requester, lo, hi int) error {
+		ds, err := rq.SSEDMany(q, rows[lo:hi])
 		if err != nil {
 			return fmt.Errorf("core: SSED chunk [%d,%d): %w", lo, hi, err)
 		}

@@ -26,6 +26,18 @@ type EncryptedTable struct {
 	records  []EncryptedRecord
 	m        int
 	featureM int
+	index    *clusterIndex // non-nil when a clustered layout is attached
+}
+
+// clusterIndex is the partitioned layout behind the clustered secure
+// index: per-cluster encrypted centroids plus the plaintext membership
+// lists. The memberships are public by design — which records form a
+// cluster is exactly the structural information the index trades away
+// (C1 learns which clusters a query touches); the centroids themselves
+// stay encrypted like any record.
+type clusterIndex struct {
+	centroids []EncryptedRecord // c encrypted centroid vectors, featureM attributes each
+	members   [][]int           // cluster -> ascending record indices; a partition of [0,n)
 }
 
 // EncryptTable is Alice's one-time setup (Section 1.1): she encrypts her
@@ -74,14 +86,96 @@ func NewEncryptedTable(pk *paillier.PublicKey, records []EncryptedRecord) (*Encr
 // WithFeatureColumns returns a view of the table whose first f columns
 // are the distance features; the remaining m−f columns are opaque
 // payload (labels, identifiers) still delivered with results. The
-// ciphertexts are shared with the receiver, not copied.
+// ciphertexts are shared with the receiver, not copied. Any attached
+// cluster index is dropped (its centroids are sized to the feature
+// prefix): attach the index after choosing feature columns.
 func (t *EncryptedTable) WithFeatureColumns(f int) (*EncryptedTable, error) {
 	if f < 1 || f > t.m {
 		return nil, fmt.Errorf("core: feature columns %d out of range [1,%d]", f, t.m)
 	}
 	view := *t
 	view.featureM = f
+	view.index = nil
 	return &view, nil
+}
+
+// WithClusterIndex attaches a partitioned layout to the table: the
+// plaintext centroids (one per cluster, featureM attributes each, as
+// produced by internal/cluster at outsourcing time where the data owner
+// holds plaintext) are encrypted under the table's key, and members
+// records the partition of row indices. The receiver's records are
+// shared, not copied.
+func (t *EncryptedTable) WithClusterIndex(random io.Reader, centroids [][]uint64, members [][]int) (*EncryptedTable, error) {
+	if len(centroids) == 0 || len(centroids) != len(members) {
+		return nil, fmt.Errorf("core: cluster index with %d centroids, %d member lists",
+			len(centroids), len(members))
+	}
+	n := len(t.records)
+	seen := make([]bool, n)
+	for j, mem := range members {
+		if len(mem) == 0 {
+			return nil, fmt.Errorf("core: cluster %d is empty", j)
+		}
+		if len(centroids[j]) != t.featureM {
+			return nil, fmt.Errorf("core: centroid %d has %d attributes, want %d feature columns",
+				j, len(centroids[j]), t.featureM)
+		}
+		for _, i := range mem {
+			if i < 0 || i >= n {
+				return nil, fmt.Errorf("core: cluster %d member %d out of range [0,%d)", j, i, n)
+			}
+			if seen[i] {
+				return nil, fmt.Errorf("core: record %d in more than one cluster", i)
+			}
+			seen[i] = true
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("core: record %d not in any cluster", i)
+		}
+	}
+	idx := &clusterIndex{
+		centroids: make([]EncryptedRecord, len(centroids)),
+		members:   make([][]int, len(members)),
+	}
+	for j, cent := range centroids {
+		rec, err := t.pk.EncryptUint64Vector(random, cent)
+		if err != nil {
+			return nil, fmt.Errorf("core: encrypting centroid %d: %w", j, err)
+		}
+		idx.centroids[j] = rec
+	}
+	for j, mem := range members {
+		idx.members[j] = append([]int(nil), mem...)
+	}
+	view := *t
+	view.index = idx
+	return &view, nil
+}
+
+// Clustered reports whether a cluster index is attached.
+func (t *EncryptedTable) Clustered() bool { return t.index != nil }
+
+// Clusters returns the number of clusters (0 without an index).
+func (t *EncryptedTable) Clusters() int {
+	if t.index == nil {
+		return 0
+	}
+	return len(t.index.centroids)
+}
+
+// ClusterMembers returns cluster j's record indices (shared, read-only).
+func (t *EncryptedTable) ClusterMembers(j int) []int { return t.index.members[j] }
+
+// centroids2D exposes the encrypted centroids in the [][]*Ciphertext
+// shape the smc batch calls expect.
+func (t *EncryptedTable) centroids2D() [][]*paillier.Ciphertext {
+	out := make([][]*paillier.Ciphertext, len(t.index.centroids))
+	for i, r := range t.index.centroids {
+		out[i] = r
+	}
+	return out
 }
 
 // N returns the number of records.

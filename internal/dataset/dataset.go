@@ -73,21 +73,29 @@ func (t *Table) Validate() error {
 	return nil
 }
 
-// DomainBits returns l for the table: the bit length of the largest
-// possible squared Euclidean distance, m·(2^b−1)², which is what SkNNm's
-// bit decomposition must accommodate.
+// DomainBits returns l for the table: one more than the bit length of
+// the largest possible squared Euclidean distance, m·(2^b−1)², which is
+// what SkNNm's bit decomposition must accommodate.
 func (t *Table) DomainBits() int {
 	return DomainBits(t.AttrBits, t.M())
 }
 
-// DomainBits computes l = bitlen(m · (2^b − 1)²) for attribute domain b
-// and dimension m.
+// DomainBits computes l = bitlen(m · (2^b − 1)²) + 1 for attribute
+// domain b and dimension m.
+//
+// The extra bit is load-bearing: SkNNm's step 3(e) disqualifies an
+// already-selected record by SBOR-ing its distance bits to all-ones,
+// i.e. to the sentinel value 2^l − 1. Every real distance must therefore
+// be *strictly below* the sentinel, not merely representable in l bits —
+// at l = bitlen(max distance) a record whose distance is exactly 2^l − 1
+// (reachable at attrBits=1, or m=3·b=1) collides with the sentinel and
+// can be spuriously re-selected or wrongly excluded.
 func DomainBits(attrBits, m int) int {
 	maxAttr := uint64(1)<<attrBits - 1
 	maxSq := maxAttr * maxAttr
 	// bits.Len64 of m*maxSq could overflow uint64 for extreme b; domain
 	// is capped at MaxAttrBits so m up to 2^14 is safe.
-	return bits.Len64(uint64(m) * maxSq)
+	return bits.Len64(uint64(m)*maxSq) + 1
 }
 
 // Generate produces a synthetic table with uniform attribute values, the
@@ -109,6 +117,56 @@ func Generate(seed int64, n, m, attrBits int) (*Table, error) {
 		row := make([]uint64, m)
 		for j := range row {
 			row[j] = uint64(rng.Int63n(int64(limit)))
+		}
+		rows[i] = row
+	}
+	return &Table{Rows: rows, AttrBits: attrBits}, nil
+}
+
+// GenerateClustered produces a synthetic table whose rows form
+// `centers` Gaussian-ish blobs in the attribute domain — the workload a
+// clustered secure index is built for (uniform data, Generate's output,
+// is its adversarial counterpart). Each row is a blob center plus
+// bounded noise, clamped to [0, 2^attrBits). Deterministic in seed.
+func GenerateClustered(seed int64, n, m, attrBits, centers int) (*Table, error) {
+	if n <= 0 || m <= 0 {
+		return nil, ErrEmptyTable
+	}
+	if attrBits < 1 || attrBits > MaxAttrBits {
+		return nil, fmt.Errorf("%w: %d", ErrBadAttrBits, attrBits)
+	}
+	if centers < 1 {
+		return nil, fmt.Errorf("dataset: centers must be ≥ 1, got %d", centers)
+	}
+	rng := mrand.New(mrand.NewSource(seed))
+	limit := int64(1) << attrBits
+	// Spread of each blob: a small fraction of the domain so blobs stay
+	// separated once the domain has a few bits to spare.
+	spread := limit / 8
+	if spread < 1 {
+		spread = 1
+	}
+	cents := make([][]int64, centers)
+	for c := range cents {
+		cent := make([]int64, m)
+		for j := range cent {
+			cent[j] = rng.Int63n(limit)
+		}
+		cents[c] = cent
+	}
+	rows := make([][]uint64, n)
+	for i := range rows {
+		cent := cents[rng.Intn(centers)]
+		row := make([]uint64, m)
+		for j := range row {
+			v := cent[j] + rng.Int63n(2*spread+1) - spread
+			if v < 0 {
+				v = 0
+			}
+			if v >= limit {
+				v = limit - 1
+			}
+			row[j] = uint64(v)
 		}
 		rows[i] = row
 	}

@@ -97,16 +97,19 @@ func TestValidateCatchesRaggedAndOverflow(t *testing.T) {
 }
 
 func TestDomainBits(t *testing.T) {
+	// Expected values are bitlen(max distance) + 1: the headroom bit
+	// keeps every real distance strictly below the 2^l−1 disqualification
+	// sentinel (see TestDomainBitsSentinelHeadroom).
 	cases := []struct {
 		attrBits, m, want int
 	}{
-		// m=1, b=1: max diff 1, squared 1 -> 1 bit.
-		{1, 1, 1},
-		// b=3 (max 7): 49 per dim; m=2 -> 98 -> 7 bits.
-		{3, 2, 7},
+		// m=1, b=1: max diff 1, squared 1 -> 1 bit + headroom.
+		{1, 1, 2},
+		// b=3 (max 7): 49 per dim; m=2 -> 98 -> 7 bits + headroom.
+		{3, 2, 8},
 		// Paper-style: b=9 (heart data, max 511), m=10:
-		// 10*511² = 2612121 -> 22 bits.
-		{9, 10, 22},
+		// 10*511² = 2612121 -> 22 bits + headroom.
+		{9, 10, 23},
 	}
 	for _, c := range cases {
 		if got := DomainBits(c.attrBits, c.m); got != c.want {
@@ -115,19 +118,81 @@ func TestDomainBits(t *testing.T) {
 	}
 }
 
-func TestDomainBitsIsSufficient(t *testing.T) {
-	// Any pair of in-domain vectors must have squared distance < 2^l.
-	tbl, _ := Generate(3, 50, 5, 8)
-	l := tbl.DomainBits()
-	limit := uint64(1) << l
-	for i := 0; i < tbl.N()-1; i++ {
-		var sum uint64
-		for j := 0; j < tbl.M(); j++ {
-			d := int64(tbl.Rows[i][j]) - int64(tbl.Rows[i+1][j])
-			sum += uint64(d * d)
+// TestDomainBitsSentinelHeadroom is the regression test for the
+// disqualification-sentinel collision: at every small domain — including
+// the ones that used to collide, attrBits=1 (any m where m·1 = 2^j−1)
+// and m=3·b=1 — the largest reachable squared distance m·(2^b−1)² must
+// be strictly below 2^l − 1, the all-ones value SkNNm's step 3(e) drives
+// disqualified records to.
+func TestDomainBitsSentinelHeadroom(t *testing.T) {
+	for attrBits := 1; attrBits <= 10; attrBits++ {
+		for m := 1; m <= 16; m++ {
+			l := DomainBits(attrBits, m)
+			maxAttr := uint64(1)<<attrBits - 1
+			maxDist := uint64(m) * maxAttr * maxAttr
+			sentinel := uint64(1)<<l - 1
+			if maxDist >= sentinel {
+				t.Errorf("DomainBits(%d,%d)=%d: max distance %d not below sentinel %d",
+					attrBits, m, l, maxDist, sentinel)
+			}
 		}
-		if sum >= limit {
-			t.Fatalf("distance %d ≥ 2^%d", sum, l)
+	}
+}
+
+func TestGenerateClustered(t *testing.T) {
+	tbl, err := GenerateClustered(9, 120, 3, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.N() != 120 || tbl.M() != 3 {
+		t.Fatalf("shape = %dx%d, want 120x3", tbl.N(), tbl.M())
+	}
+	if err := tbl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := GenerateClustered(9, 120, 3, 8, 4)
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if a.Rows[i][j] != tbl.Rows[i][j] {
+				t.Fatal("same seed produced different tables")
+			}
+		}
+	}
+	if _, err := GenerateClustered(9, 120, 3, 8, 0); err == nil {
+		t.Error("centers=0 accepted")
+	}
+	if _, err := GenerateClustered(9, 0, 3, 8, 2); !errors.Is(err, ErrEmptyTable) {
+		t.Errorf("n=0 error = %v", err)
+	}
+}
+
+func TestDomainBitsIsSufficient(t *testing.T) {
+	// Any pair of in-domain vectors must have squared distance strictly
+	// below the disqualification sentinel 2^l − 1, not merely below 2^l:
+	// a distance equal to the sentinel would be indistinguishable from a
+	// disqualified record. Checked over several generated tables,
+	// including the tiny domains that used to collide.
+	for _, p := range []struct{ n, m, attrBits int }{
+		{50, 5, 8}, {40, 3, 1}, {40, 1, 1}, {30, 7, 2},
+	} {
+		tbl, err := Generate(3, p.n, p.m, p.attrBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := tbl.DomainBits()
+		sentinel := uint64(1)<<l - 1
+		for i := 0; i < tbl.N(); i++ {
+			for x := i + 1; x < tbl.N(); x++ {
+				var sum uint64
+				for j := 0; j < tbl.M(); j++ {
+					d := int64(tbl.Rows[i][j]) - int64(tbl.Rows[x][j])
+					sum += uint64(d * d)
+				}
+				if sum >= sentinel {
+					t.Fatalf("m=%d b=%d: distance %d not below sentinel 2^%d−1",
+						p.m, p.attrBits, sum, l)
+				}
+			}
 		}
 	}
 }

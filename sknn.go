@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sync"
 
+	"sknn/internal/cluster"
 	"sknn/internal/core"
 	"sknn/internal/dataset"
 	"sknn/internal/mpc"
@@ -35,6 +37,44 @@ func (m Mode) String() string {
 		return fmt.Sprintf("Mode(%d)", int(m))
 	}
 }
+
+// IndexMode selects how SkNNm scans the table.
+type IndexMode int
+
+const (
+	// IndexNone is the paper-faithful full scan: every query ranks all n
+	// records, so nothing about the data distribution leaks — the
+	// default.
+	IndexNone IndexMode = iota
+	// IndexClustered prunes with a clustered secure index: the data
+	// owner k-means-partitions the rows at outsourcing time
+	// (internal/cluster), the centroids ride along encrypted, and each
+	// SkNNm query first obliviously ranks the centroids, then runs the
+	// per-record protocol over only the nearest clusters' records. Cost
+	// becomes proportional to the candidate set instead of n, in
+	// exchange for a documented leak: C1 learns which clusters (never
+	// which records) each query touches — the SVD-style access-pattern
+	// relaxation (Yao, Li, Xiao, ICDE 2013). Results are exact whenever
+	// the true k neighbors live in the probed clusters; Config.Coverage
+	// sizes the candidate pool to make that hold on clusterable data.
+	IndexClustered
+)
+
+func (m IndexMode) String() string {
+	switch m {
+	case IndexNone:
+		return "none"
+	case IndexClustered:
+		return "clustered"
+	default:
+		return fmt.Sprintf("IndexMode(%d)", int(m))
+	}
+}
+
+// DefaultCoverage is the default candidate-pool sizing factor for
+// IndexClustered: a query's probed clusters must together hold at least
+// max(k, DefaultCoverage·k) records.
+const DefaultCoverage = 4.0
 
 // Metric aliases so facade users can consume phase breakdowns without
 // importing internal packages.
@@ -86,6 +126,21 @@ type Config struct {
 	// for much cheaper reply encryption. Off by default so benchmark
 	// numbers reflect the paper's unassisted protocol cost.
 	UseNoncePool bool
+	// Index selects SkNNm's scan strategy: IndexNone (default, paper-
+	// faithful full scan) or IndexClustered (partition-pruned; see the
+	// IndexMode docs for the leakage tradeoff). ModeBasic ignores the
+	// index — SkNNb already reveals access patterns, and its C2-side
+	// rank step is not the bottleneck the index exists to cut.
+	Index IndexMode
+	// Clusters is the k-means cell count for IndexClustered. 0 picks
+	// ⌈√n⌉ (cluster.DefaultClusters), which balances centroid ranking
+	// against per-cluster scanning.
+	Clusters int
+	// Coverage sizes IndexClustered's candidate pool: clusters are
+	// probed until they hold at least max(k, Coverage·k) records. 0
+	// means DefaultCoverage. Larger values trade SMIN savings for
+	// recall on badly clusterable (e.g. uniform) data.
+	Coverage float64
 }
 
 // ErrClosed is returned by queries on a closed System.
@@ -121,6 +176,9 @@ type System struct {
 	domainBits int
 	n, m       int
 	perQuery   int
+	index      IndexMode
+	clusters   int     // cluster count when index == IndexClustered
+	coverage   float64 // candidate-pool factor when index == IndexClustered
 
 	mu        sync.Mutex
 	closed    bool
@@ -145,6 +203,17 @@ func New(rows [][]uint64, attrBits int, cfg Config) (*System, error) {
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
+	}
+	// Reject bad index configuration before the expensive key generation
+	// and table encryption below.
+	if cfg.Index != IndexNone && cfg.Index != IndexClustered {
+		return nil, fmt.Errorf("sknn: unknown index mode %d", int(cfg.Index))
+	}
+	if cfg.Coverage < 0 {
+		return nil, fmt.Errorf("sknn: negative coverage factor %g", cfg.Coverage)
+	}
+	if cfg.Coverage == 0 {
+		cfg.Coverage = DefaultCoverage
 	}
 	random := cfg.Random
 	if random == nil {
@@ -176,6 +245,34 @@ func New(rows [][]uint64, attrBits int, cfg Config) (*System, error) {
 		}
 		featureM = cfg.FeatureColumns
 	}
+	clusters := 0
+	if cfg.Index == IndexClustered {
+		// Alice-side partitioning: she still holds the plaintext here, so
+		// clustering leaks nothing beyond the index layout it produces.
+		// Only the feature prefix participates (payload columns carry no
+		// distance information). Deterministic seed: a re-outsourced
+		// table gets the same layout.
+		featureRows := tbl.Rows
+		if featureM < tbl.M() {
+			featureRows = make([][]uint64, len(tbl.Rows))
+			for i, row := range tbl.Rows {
+				featureRows[i] = row[:featureM]
+			}
+		}
+		c := cfg.Clusters
+		if c == 0 {
+			c = cluster.DefaultClusters(tbl.N())
+		}
+		part, err := cluster.KMeans(featureRows, c, 1)
+		if err != nil {
+			return nil, fmt.Errorf("sknn: clustering table: %w", err)
+		}
+		encTable, err = encTable.WithClusterIndex(random, part.Centroids, part.Members)
+		if err != nil {
+			return nil, fmt.Errorf("sknn: attaching cluster index: %w", err)
+		}
+		clusters = part.Clusters()
+	}
 
 	sys := &System{
 		sk:         sk,
@@ -184,6 +281,9 @@ func New(rows [][]uint64, attrBits int, cfg Config) (*System, error) {
 		n:          tbl.N(),
 		m:          tbl.M(),
 		perQuery:   cfg.PerQueryWorkers,
+		index:      cfg.Index,
+		clusters:   clusters,
+		coverage:   cfg.Coverage,
 		closeDone:  make(chan struct{}),
 	}
 	c2 := core.NewCloudC2(sk, random)
@@ -236,6 +336,23 @@ func (s *System) PublicKey() *paillier.PublicKey { return &s.sk.PublicKey }
 // Workers reports the configured parallelism.
 func (s *System) Workers() int { return s.c1.Workers() }
 
+// Index reports the configured SkNNm scan strategy.
+func (s *System) Index() IndexMode { return s.index }
+
+// Clusters reports the cluster count of the clustered index (0 when
+// Index is IndexNone).
+func (s *System) Clusters() int { return s.clusters }
+
+// coverageTarget is the candidate-pool floor for a pruned query:
+// max(k, ⌈Coverage·k⌉).
+func (s *System) coverageTarget(k int) int {
+	target := int(math.Ceil(s.coverage * float64(k)))
+	if target < k {
+		target = k
+	}
+	return target
+}
+
 // CommStats reports cumulative C1↔C2 traffic.
 func (s *System) CommStats() mpc.StatsSnapshot { return s.c1.CommStats() }
 
@@ -269,7 +386,11 @@ func (s *System) run(q []uint64, k int, mode Mode, width int) ([][]uint64, error
 	case ModeBasic:
 		res, err = sess.BasicQuery(eq, k)
 	case ModeSecure:
-		res, err = sess.SecureQuery(eq, k, s.domainBits)
+		if s.index == IndexClustered {
+			res, err = sess.SecureQueryClustered(eq, k, s.domainBits, s.coverageTarget(k))
+		} else {
+			res, err = sess.SecureQuery(eq, k, s.domainBits)
+		}
 	default:
 		return nil, fmt.Errorf("sknn: unknown mode %d", int(mode))
 	}
@@ -297,8 +418,10 @@ func (s *System) Query(q []uint64, k int, mode Mode) ([][]uint64, error) {
 // with b queries over w Workers the scheduler gives each session
 // ⌊w/b⌋ connections (at least one), so batches trade single-query
 // latency for aggregate throughput. Config.PerQueryWorkers, when set,
-// overrides that width. On error the first failure is returned and the
-// result slice holds nil for every failed query.
+// overrides that width. On failure the result slice holds nil for
+// every failed query and the error is the errors.Join of all per-query
+// failures, so callers can tell which queries failed and why
+// (errors.Is/As see through the join).
 func (s *System) QueryBatch(queries [][]uint64, k int, mode Mode) ([][][]uint64, error) {
 	if len(queries) == 0 {
 		return nil, nil
@@ -335,10 +458,8 @@ func (s *System) QueryBatch(queries [][]uint64, k int, mode Mode) ([][][]uint64,
 		}(i, q)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return results, err
-		}
+	if err := errors.Join(errs...); err != nil {
+		return results, err
 	}
 	return results, nil
 }
@@ -366,7 +487,9 @@ func (s *System) QueryBasicMetered(q []uint64, k int) ([][]uint64, *BasicMetrics
 	return rows, metrics, err
 }
 
-// QuerySecureMetered runs SkNNm and returns the phase breakdown.
+// QuerySecureMetered runs SkNNm and returns the phase breakdown. With
+// IndexClustered configured it runs the pruned variant, and the metrics
+// report the pruning (Candidates, ClustersProbed, SMINCount).
 func (s *System) QuerySecureMetered(q []uint64, k int) ([][]uint64, *SecureMetrics, error) {
 	if err := s.begin(); err != nil {
 		return nil, nil, err
@@ -381,7 +504,15 @@ func (s *System) QuerySecureMetered(q []uint64, k int) ([][]uint64, *SecureMetri
 		return nil, nil, err
 	}
 	defer sess.Close()
-	res, metrics, err := sess.SecureQueryMetered(eq, k, s.domainBits)
+	var (
+		res     *core.MaskedResult
+		metrics *SecureMetrics
+	)
+	if s.index == IndexClustered {
+		res, metrics, err = sess.SecureQueryClusteredMetered(eq, k, s.domainBits, s.coverageTarget(k))
+	} else {
+		res, metrics, err = sess.SecureQueryMetered(eq, k, s.domainBits)
+	}
 	if err != nil {
 		return nil, nil, err
 	}

@@ -217,6 +217,142 @@ func TestSystemNoncePool(t *testing.T) {
 	}
 }
 
+// queryDistances runs one query and returns the sorted squared
+// distances of the returned records to q (feature prefix fq).
+func queryDistances(t *testing.T, sys *System, q []uint64, k int, mode Mode) []uint64 {
+	t.Helper()
+	got, err := sys.Query(q, k, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := make([]uint64, len(got))
+	for i, row := range got {
+		ds[i], _ = plainknn.SquaredDistance(row[:len(q)], q)
+	}
+	sort.Slice(ds, func(a, b int) bool { return ds[a] < ds[b] })
+	return ds
+}
+
+// TestSystemClusteredIndexMatchesOracle: IndexClustered on clusterable
+// data returns exactly the oracle's k-distance multiset at the default
+// coverage factor, while actually pruning.
+func TestSystemClusteredIndexMatchesOracle(t *testing.T) {
+	tbl, err := dataset.GenerateClustered(201, 120, 2, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(tbl.Rows, 8, Config{Key: facadeKey(), Index: IndexClustered, Clusters: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if sys.Index() != IndexClustered || sys.Clusters() != 8 {
+		t.Fatalf("index = %v with %d clusters", sys.Index(), sys.Clusters())
+	}
+	q := tbl.Rows[42]
+	k := 3
+	got := queryDistances(t, sys, q, k, ModeSecure)
+	want, _ := plainknn.KDistances(tbl.Rows, q, k)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("distances = %v, want %v", got, want)
+		}
+	}
+	// The metered path must agree and show the pruning.
+	_, metrics, err := sys.QuerySecureMetered(q, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics.Candidates >= tbl.N() || metrics.ClustersProbed == 0 {
+		t.Errorf("no pruning: %d candidates, %d clusters probed", metrics.Candidates, metrics.ClustersProbed)
+	}
+	if metrics.Candidates < k {
+		t.Errorf("candidate pool %d below k=%d", metrics.Candidates, k)
+	}
+}
+
+// TestSystemClusteredIndexUniformData: adversarially uniform rows with
+// a generous coverage factor still match the oracle exactly — recall 1.0
+// when the candidate pool is sufficient (deterministic instance).
+func TestSystemClusteredIndexUniformData(t *testing.T) {
+	tbl, _ := dataset.Generate(211, 64, 2, 8)
+	sys, err := New(tbl.Rows, 8, Config{
+		Key: facadeKey(), Index: IndexClustered, Clusters: 8, Coverage: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	q, _ := dataset.GenerateQuery(212, 2, 8)
+	k := 2
+	got := queryDistances(t, sys, q, k, ModeSecure)
+	want, _ := plainknn.KDistances(tbl.Rows, q, k)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("distances = %v, want %v", got, want)
+		}
+	}
+	// ModeBasic ignores the index and must also stay exact.
+	got = queryDistances(t, sys, q, k, ModeBasic)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("basic distances = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSystemIndexValidation(t *testing.T) {
+	tbl, _ := dataset.Generate(221, 8, 2, 4)
+	if _, err := New(tbl.Rows, 4, Config{Key: facadeKey(), Index: IndexMode(7)}); err == nil {
+		t.Error("unknown index mode accepted")
+	}
+	if _, err := New(tbl.Rows, 4, Config{Key: facadeKey(), Coverage: -1}); err == nil {
+		t.Error("negative coverage accepted")
+	}
+	if IndexNone.String() != "none" || IndexClustered.String() != "clustered" || IndexMode(7).String() == "" {
+		t.Error("IndexMode.String wrong")
+	}
+	// Default cluster count is ⌈√n⌉.
+	sys, err := New(tbl.Rows, 4, Config{Key: facadeKey(), Index: IndexClustered})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if sys.Clusters() != 3 {
+		t.Errorf("default clusters = %d, want ⌈√8⌉ = 3", sys.Clusters())
+	}
+}
+
+// TestQueryBatchJoinsAllErrors: the batch error is the errors.Join of
+// every per-query failure, not just the first one.
+func TestQueryBatchJoinsAllErrors(t *testing.T) {
+	tbl, _ := dataset.Generate(231, 6, 2, 3)
+	sys := newTestSystem(t, tbl.Rows, 3, 2)
+	queries := [][]uint64{
+		{1, 2},    // fine
+		{1, 2, 3}, // wrong dimension
+		{3, 4},    // fine
+		{9},       // wrong dimension too
+	}
+	results, err := sys.QueryBatch(queries, 1, ModeBasic)
+	if err == nil {
+		t.Fatal("mixed batch returned no error")
+	}
+	if results[0] == nil || results[2] == nil {
+		t.Error("successful queries lost their results")
+	}
+	if results[1] != nil || results[3] != nil {
+		t.Error("failed queries returned rows")
+	}
+	var joined interface{ Unwrap() []error }
+	if !errors.As(err, &joined) {
+		t.Fatalf("error %v is not a joined error", err)
+	}
+	if got := len(joined.Unwrap()); got != 2 {
+		t.Errorf("joined %d errors, want 2: %v", got, err)
+	}
+}
+
 func TestSystemParallelMatchesSerial(t *testing.T) {
 	tbl, _ := dataset.Generate(161, 16, 2, 4)
 	q, _ := dataset.GenerateQuery(162, 2, 4)
