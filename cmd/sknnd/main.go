@@ -5,31 +5,35 @@
 //	sknnd keygen  -bits 512 -out alice.key
 //	    Alice generates her Paillier key pair.
 //
-//	sknnd encrypt -key alice.key -data data.csv -bits 8 -out table.enc
-//	    Alice encrypts her table attribute-wise for outsourcing.
+//	sknnd encrypt -key alice.key -data data.csv -bits 8 -out table.snap [-clusters 16]
+//	    Alice encrypts her table attribute-wise for outsourcing, writing
+//	    the internal/store snapshot format; -clusters attaches the
+//	    clustered secure index at outsourcing time.
 //
 //	sknnd c2 -key alice.key -listen :7002 [-inflight 4]
 //	    The key cloud C2: holds the secret key, serves protocol requests.
 //	    Each connection's interleaved session frames are handled
 //	    concurrently (-inflight at a time).
 //
-//	sknnd c1 -table table.enc -connect host:7002 -q 1,2,3 -k 5 -mode secure [-workers 4]
+//	sknnd c1 -table table.snap -connect host:7002 -q 1,2,3 -k 5 -mode secure [-workers 4]
 //	    The data cloud C1: holds the encrypted table, runs the protocol,
 //	    and (playing Bob as well, for CLI convenience) encrypts the query
 //	    and unmasks the result. Multiple queries — ';'-separated in -q or
 //	    one per line in -qfile — are answered concurrently, each in its
-//	    own session multiplexed over the -workers connections.
+//	    own session multiplexed over the -workers connections. A
+//	    clustered snapshot is queried through the partition-pruned SkNNm
+//	    variant (-coverage tunes the candidate pool).
 //
 // The table file never contains plaintext or the secret key; C1 learns
-// nothing it wouldn't in the paper's model.
+// nothing it wouldn't in the paper's model — the snapshot is exactly
+// C1's legitimate artifact (ciphertexts, public key, index layout).
 package main
 
 import (
-	"encoding/gob"
 	"flag"
 	"fmt"
 	"log"
-	"math/big"
+	"math"
 	"net"
 	"os"
 	"strconv"
@@ -37,23 +41,16 @@ import (
 	"sync"
 	"time"
 
+	"sknn/internal/cluster"
 	"sknn/internal/core"
 	"sknn/internal/dataset"
 	"sknn/internal/mpc"
 	"sknn/internal/paillier"
 	"sknn/internal/plainknn"
+	"sknn/internal/store"
 
 	"crypto/rand"
 )
-
-// tableFile is the serialized outsourced database: the public key and
-// the attribute-wise ciphertexts, plus the metadata C1 needs to run
-// SkNNm (attribute domain for l).
-type tableFile struct {
-	PublicKey []byte
-	Rows      [][]*big.Int
-	AttrBits  int
-}
 
 func main() {
 	log.SetFlags(0)
@@ -90,26 +87,18 @@ func cmdKeygen(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	data, err := sk.MarshalBinary()
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := os.WriteFile(*out, data, 0o600); err != nil {
+	if err := store.WriteKeyFile(*out, sk); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d-bit private key to %s\n", *bits, *out)
 }
 
 func loadKey(path string) *paillier.PrivateKey {
-	data, err := os.ReadFile(path)
+	sk, err := store.ReadKeyFile(path)
 	if err != nil {
 		log.Fatal(err)
 	}
-	var sk paillier.PrivateKey
-	if err := sk.UnmarshalBinary(data); err != nil {
-		log.Fatal(err)
-	}
-	return &sk
+	return sk
 }
 
 func cmdEncrypt(args []string) {
@@ -117,7 +106,8 @@ func cmdEncrypt(args []string) {
 	keyPath := fs.String("key", "alice.key", "Alice's private key")
 	dataPath := fs.String("data", "", "plaintext CSV table (required)")
 	bits := fs.Int("bits", 8, "attribute domain size in bits")
-	out := fs.String("out", "table.enc", "encrypted table output file")
+	out := fs.String("out", "table.snap", "encrypted table snapshot output file")
+	clusters := fs.Int("clusters", 0, "attach a clustered secure index with this many cells (0 = no index)")
 	fs.Parse(args)
 	if *dataPath == "" {
 		fs.Usage()
@@ -138,23 +128,24 @@ func cmdEncrypt(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	pkBytes, err := sk.PublicKey.MarshalBinary()
+	if *clusters > 0 {
+		// Owner-side partitioning: Alice still holds the plaintext here.
+		part, err := cluster.KMeans(tbl.Rows, *clusters, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		enc, err = enc.WithClusterIndex(rand.Reader, part.Centroids, part.Members)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	err = store.WriteFile(*out, &sk.PublicKey, enc.Snapshot(), tbl.AttrBits,
+		dataset.DomainBits(tbl.AttrBits, tbl.M()))
 	if err != nil {
 		log.Fatal(err)
 	}
-	of, err := os.Create(*out)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer of.Close()
-	if err := gob.NewEncoder(of).Encode(tableFile{
-		PublicKey: pkBytes,
-		Rows:      enc.MarshalRecords(),
-		AttrBits:  tbl.AttrBits,
-	}); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Fprintf(os.Stderr, "encrypted %d×%d table to %s\n", tbl.N(), tbl.M(), *out)
+	fmt.Fprintf(os.Stderr, "encrypted %d×%d table to %s (%d clusters)\n",
+		tbl.N(), tbl.M(), *out, enc.Clusters())
 }
 
 func cmdC2(args []string) {
@@ -189,7 +180,7 @@ func cmdC2(args []string) {
 
 func cmdC1(args []string) {
 	fs := flag.NewFlagSet("c1", flag.ExitOnError)
-	tablePath := fs.String("table", "table.enc", "encrypted table file")
+	tablePath := fs.String("table", "table.snap", "encrypted table snapshot file")
 	connect := fs.String("connect", "127.0.0.1:7002", "C2 address")
 	queryStr := fs.String("q", "", "query attributes, comma-separated; separate multiple queries with ';'")
 	queryFile := fs.String("qfile", "", "file with one comma-separated query per line (alternative to -q)")
@@ -197,6 +188,7 @@ func cmdC1(args []string) {
 	mode := fs.String("mode", "secure", `protocol: "basic" or "secure"`)
 	workers := fs.Int("workers", 1, "parallel connections to C2")
 	concurrency := fs.Int("concurrency", 0, "queries in flight at once (0 = all at once)")
+	coverage := fs.Float64("coverage", 4, "candidate-pool factor when the snapshot carries a cluster index")
 	fs.Parse(args)
 	queries, err := collectQueries(*queryStr, *queryFile)
 	if err != nil {
@@ -207,8 +199,12 @@ func cmdC1(args []string) {
 		os.Exit(2)
 	}
 
-	tf, pk := loadTable(*tablePath)
-	table, err := core.UnmarshalRecords(pk, tf.Rows)
+	snap, err := store.ReadFile(*tablePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pk := snap.PK
+	table, err := core.RestoreTable(pk, snap.Table)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -227,7 +223,13 @@ func cmdC1(args []string) {
 	}
 	defer c1.Close()
 	bob := core.NewClient(pk, nil)
-	l := dataset.DomainBits(tf.AttrBits, table.M())
+	l := snap.DomainBits
+	target := 0
+	if table.Clustered() {
+		target = int(math.Ceil(*coverage * float64(*k)))
+		fmt.Fprintf(os.Stderr, "clustered snapshot: pruned SkNNm over %d clusters (pool ≥ %d)\n",
+			table.Clusters(), max(target, *k))
+	}
 
 	// Answer all queries concurrently: each leases its own session from
 	// the pool, so they multiplex over the -workers connections.
@@ -246,7 +248,7 @@ func cmdC1(args []string) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			rows[i], errs[i] = runQuery(c1, bob, q, *k, *mode, l)
+			rows[i], errs[i] = runQuery(c1, bob, q, *k, *mode, l, target)
 		}(i, q)
 	}
 	wg.Wait()
@@ -269,8 +271,10 @@ func cmdC1(args []string) {
 		float64(len(queries))/elapsed.Seconds(), c1.CommStats())
 }
 
-// runQuery answers one query in its own pool session and unmasks it.
-func runQuery(c1 *core.CloudC1, bob *core.Client, q []uint64, k int, mode string, l int) ([][]uint64, error) {
+// runQuery answers one query in its own pool session and unmasks it. A
+// positive target selects the partition-pruned SkNNm variant (the table
+// must carry a cluster index).
+func runQuery(c1 *core.CloudC1, bob *core.Client, q []uint64, k int, mode string, l, target int) ([][]uint64, error) {
 	eq, err := bob.EncryptQuery(q)
 	if err != nil {
 		return nil, err
@@ -285,7 +289,11 @@ func runQuery(c1 *core.CloudC1, bob *core.Client, q []uint64, k int, mode string
 	case "basic":
 		res, err = sess.BasicQuery(eq, k)
 	case "secure":
-		res, err = sess.SecureQuery(eq, k, l)
+		if target > 0 {
+			res, err = sess.SecureQueryClustered(eq, k, l, target)
+		} else {
+			res, err = sess.SecureQuery(eq, k, l)
+		}
 	default:
 		return nil, fmt.Errorf("unknown -mode %q", mode)
 	}
@@ -328,23 +336,6 @@ func collectQueries(queryStr, queryFile string) ([][]uint64, error) {
 		}
 	}
 	return out, nil
-}
-
-func loadTable(path string) (*tableFile, *paillier.PublicKey) {
-	f, err := os.Open(path)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer f.Close()
-	var tf tableFile
-	if err := gob.NewDecoder(f).Decode(&tf); err != nil {
-		log.Fatal(err)
-	}
-	var pk paillier.PublicKey
-	if err := pk.UnmarshalBinary(tf.PublicKey); err != nil {
-		log.Fatal(err)
-	}
-	return &tf, &pk
 }
 
 func parseQuery(s string) ([]uint64, error) {

@@ -1,15 +1,28 @@
-// Command sknnquery runs one end-to-end secure kNN query over a CSV
-// dataset, standing up the whole federated cloud in-process. It is the
-// interactive face of the library:
+// Command sknnquery runs end-to-end secure kNN queries, standing up the
+// whole federated cloud in-process. It is the interactive face of the
+// library and speaks both table formats:
 //
 //	sknngen -n 200 -m 6 -bits 8 -o data.csv
 //	sknnquery -data data.csv -bits 8 -q 17,201,90,44,3,250 -k 5 -mode secure
+//
+//	sknngen -n 200 -m 6 -bits 8 -out t.snap -index clustered
+//	sknnquery -table t.snap -q 17,201,90,44,3,250 -k 5
+//
+// -data re-runs Alice's setup (key generation + attribute-wise
+// encryption) every time; -table loads a snapshot written by sknngen
+// -out or a previous -save, skipping both — encrypt once, query many.
+//
+// The table is live: -delete tombstones records by stable id and
+// -insert appends freshly encrypted rows (routed obliviously to their
+// nearest cluster on an indexed table) before any query runs; -save
+// persists the mutated table for the next run.
 //
 // -mode basic selects SkNNb (fast, leaks to the clouds); -mode secure
 // selects SkNNm (full protection). -index clustered prunes SkNNm with
 // the clustered secure index (faster, leaks which clusters the query
 // touches; -clusters and -coverage tune it). -verify cross-checks the
-// result against the plaintext oracle.
+// result against the plaintext oracle (reconstructed by owner-side
+// decryption, so it works on snapshots too).
 package main
 
 import (
@@ -23,29 +36,41 @@ import (
 	"sknn"
 	"sknn/internal/dataset"
 	"sknn/internal/plainknn"
+	"sknn/internal/store"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sknnquery: ")
 	var (
-		dataPath = flag.String("data", "", "CSV dataset (required)")
-		bits     = flag.Int("bits", 8, "attribute domain size in bits")
-		queryStr = flag.String("q", "", "comma-separated query attributes (required)")
-		k        = flag.Int("k", 5, "number of neighbors")
-		mode     = flag.String("mode", "secure", `protocol: "basic" (SkNNb) or "secure" (SkNNm)`)
-		index    = flag.String("index", "none", `SkNNm scan strategy: "none" (full scan) or "clustered" (partition-pruned)`)
-		clusters = flag.Int("clusters", 0, "cluster count for -index clustered (0 = ⌈√n⌉)")
-		coverage = flag.Float64("coverage", 0, "candidate-pool factor for -index clustered (0 = default)")
-		keyBits  = flag.Int("keybits", 512, "Paillier key size")
-		workers  = flag.Int("workers", 1, "parallel C1↔C2 sessions")
-		verify   = flag.Bool("verify", false, "cross-check against the plaintext oracle")
+		dataPath  = flag.String("data", "", "CSV dataset (encrypts from scratch; mutually exclusive with -table)")
+		tablePath = flag.String("table", "", "encrypted table snapshot from sknngen -out or -save (skips re-encryption)")
+		keyPath   = flag.String("key", "", "private key file for -table (default: <table>.key)")
+		bits      = flag.Int("bits", 8, "attribute domain size in bits (-data only; snapshots carry their own)")
+		queryStr  = flag.String("q", "", "comma-separated query attributes (optional when only mutating with -save)")
+		k         = flag.Int("k", 5, "number of neighbors")
+		mode      = flag.String("mode", "secure", `protocol: "basic" (SkNNb) or "secure" (SkNNm)`)
+		index     = flag.String("index", "", `SkNNm scan strategy: "none" (full scan) or "clustered" (partition-pruned); default "none" for -data, the snapshot's own index for -table`)
+		clusters  = flag.Int("clusters", 0, "cluster count for -index clustered (0 = ⌈√n⌉)")
+		coverage  = flag.Float64("coverage", 0, "candidate-pool factor for -index clustered (0 = default)")
+		keyBits   = flag.Int("keybits", 512, "Paillier key size (-data only)")
+		workers   = flag.Int("workers", 1, "parallel C1↔C2 sessions")
+		insertStr = flag.String("insert", "", "rows to insert before querying: 'a,b,c;d,e,f'")
+		deleteStr = flag.String("delete", "", "stable record ids to delete before querying: '0,5,9'")
+		savePath  = flag.String("save", "", "write the (possibly mutated) table snapshot here before exiting")
+		verify    = flag.Bool("verify", false, "cross-check against the plaintext oracle")
 	)
 	flag.Parse()
 
 	// Validate every flag before the expensive dataset load and key
 	// generation, so a typo costs milliseconds instead of a setup run.
-	if *dataPath == "" || *queryStr == "" {
+	if (*dataPath == "") == (*tablePath == "") {
+		fmt.Fprintln(os.Stderr, "exactly one of -data or -table is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *queryStr == "" && *savePath == "" {
+		fmt.Fprintln(os.Stderr, "nothing to do: give -q, or mutate with -insert/-delete and -save")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -58,10 +83,9 @@ func main() {
 	default:
 		log.Fatalf(`unknown -mode %q (want "basic" or "secure")`, *mode)
 	}
-	var indexMode sknn.IndexMode
+	indexMode := sknn.IndexNone
 	switch *index {
-	case "none":
-		indexMode = sknn.IndexNone
+	case "", "none":
 	case "clustered":
 		indexMode = sknn.IndexClustered
 	default:
@@ -82,44 +106,131 @@ func main() {
 	if *coverage < 0 {
 		log.Fatalf("-coverage must be ≥ 0, got %g", *coverage)
 	}
-	q, err := parseQuery(*queryStr)
+	var q []uint64
+	if *queryStr != "" {
+		var err error
+		q, err = parseQuery(*queryStr)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	inserts, err := parseRows(*insertStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	deletes, err := parseIDs(*deleteStr)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	f, err := os.Open(*dataPath)
-	if err != nil {
-		log.Fatal(err)
-	}
-	tbl, err := dataset.ReadCSV(f, *bits)
-	f.Close()
-	if err != nil {
-		log.Fatal(err)
-	}
-	if len(q) != tbl.M() {
-		log.Fatalf("query has %d attributes, table has %d", len(q), tbl.M())
-	}
-
-	fmt.Fprintf(os.Stderr, "outsourcing %d×%d table (K=%d bits, %d workers, index %s)...\n",
-		tbl.N(), tbl.M(), *keyBits, *workers, indexMode)
-	sys, err := sknn.New(tbl.Rows, tbl.AttrBits, sknn.Config{
+	cfg := sknn.Config{
 		KeyBits:  *keyBits,
 		Workers:  *workers,
 		Index:    indexMode,
 		Clusters: *clusters,
 		Coverage: *coverage,
-	})
-	if err != nil {
-		log.Fatal(err)
+	}
+	var sys *sknn.System
+	if *tablePath != "" {
+		kp := *keyPath
+		if kp == "" {
+			kp = *tablePath + ".key"
+		}
+		sk, err := store.ReadKeyFile(kp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Open(*tablePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys, err = sknn.LoadTable(f, sk, cfg)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The index rides in the file; an explicit contradiction is a
+		// privacy decision we must not silently override (the pruned path
+		// leaks query-to-cluster linkage a full scan would not).
+		if *index == "none" && sys.Index() == sknn.IndexClustered {
+			log.Fatal("-index none requested but the snapshot carries a cluster index; " +
+				"clustered snapshots are always queried pruned — re-encrypt from CSV " +
+				"(sknnquery -data, or sknngen -out without -index) for a full-scan table")
+		}
+		fmt.Fprintf(os.Stderr, "loaded %d×%d snapshot (no re-encryption, index %s)\n",
+			sys.N(), sys.M(), sys.Index())
+	} else {
+		f, err := os.Open(*dataPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tbl, err := dataset.ReadCSV(f, *bits)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "outsourcing %d×%d table (K=%d bits, %d workers, index %s)...\n",
+			tbl.N(), tbl.M(), *keyBits, *workers, indexMode)
+		sys, err = sknn.New(tbl.Rows, tbl.AttrBits, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	defer sys.Close()
+	if q != nil && len(q) != sys.M() {
+		log.Fatalf("query has %d attributes, table has %d", len(q), sys.M())
+	}
 
-	fmt.Fprintf(os.Stderr, "running %s query, k=%d...\n", protocolMode, *k)
+	// Mutations: deletes first (ids are stable, so order only matters
+	// when deleting a row inserted in the same run).
+	for _, id := range deletes {
+		if err := sys.Delete(id); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, row := range inserts {
+		id, err := sys.Insert(row)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "inserted record id %d\n", id)
+	}
+	if len(deletes) > 0 {
+		fmt.Fprintf(os.Stderr, "deleted %d records (dirty fraction now %.2f)\n",
+			len(deletes), sys.DirtyFraction())
+	}
+
+	if q != nil {
+		runQuery(sys, q, *k, protocolMode, *verify)
+	}
+
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.SaveTable(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "saved %d-record table to %s\n", sys.N(), *savePath)
+	}
+}
+
+// runQuery answers one query, prints the neighbors, and optionally
+// verifies them against the plaintext oracle reconstructed by
+// owner-side decryption (which makes -verify independent of any CSV).
+func runQuery(sys *sknn.System, q []uint64, k int, protocolMode sknn.Mode, verify bool) {
+	fmt.Fprintf(os.Stderr, "running %s query, k=%d...\n", protocolMode, k)
 	var rows [][]uint64
+	var err error
 	switch protocolMode {
 	case sknn.ModeBasic:
 		var metrics *sknn.BasicMetrics
-		rows, metrics, err = sys.QueryBasicMetered(q, *k)
+		rows, metrics, err = sys.QueryBasicMetered(q, k)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -128,15 +239,15 @@ func main() {
 			metrics.Rank.Round(1e6), metrics.Reveal.Round(1e6), metrics.Comm)
 	case sknn.ModeSecure:
 		var metrics *sknn.SecureMetrics
-		rows, metrics, err = sys.QuerySecureMetered(q, *k)
+		rows, metrics, err = sys.QuerySecureMetered(q, k)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "done in %v (SMINn share %.0f%%, %d SMINs), traffic %s\n",
 			metrics.Total.Round(1e6), 100*metrics.SMINnShare(), metrics.SMINCount, metrics.Comm)
-		if indexMode == sknn.IndexClustered {
+		if sys.Index() == sknn.IndexClustered {
 			fmt.Fprintf(os.Stderr, "index: scanned %d/%d records across %d/%d clusters (full scan: %d SMINs)\n",
-				metrics.Candidates, sys.N(), metrics.ClustersProbed, sys.Clusters(), *k*(sys.N()-1))
+				metrics.Candidates, sys.N(), metrics.ClustersProbed, sys.Clusters(), k*(sys.N()-1))
 		}
 	}
 
@@ -148,8 +259,12 @@ func main() {
 		fmt.Printf("#%d dist²=%d %v\n", i+1, d, row)
 	}
 
-	if *verify {
-		want, err := plainknn.KDistances(tbl.Rows, q, *k)
+	if verify {
+		oracle, err := sys.DecryptTable()
+		if err != nil {
+			log.Fatal(err)
+		}
+		want, err := plainknn.KDistances(oracle, q, k)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -181,6 +296,44 @@ func parseQuery(s string) ([]uint64, error) {
 			return nil, fmt.Errorf("query attribute %d: %w", i, err)
 		}
 		out[i] = v
+	}
+	return out, nil
+}
+
+// parseRows parses ';'-separated comma-lists into rows to insert.
+func parseRows(s string) ([][]uint64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out [][]uint64
+	for _, part := range strings.Split(s, ";") {
+		if strings.TrimSpace(part) == "" {
+			continue
+		}
+		row, err := parseQuery(part)
+		if err != nil {
+			return nil, fmt.Errorf("-insert: %w", err)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// parseIDs parses a comma-list of stable record ids.
+func parseIDs(s string) ([]uint64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []uint64
+	for _, part := range strings.Split(s, ",") {
+		if strings.TrimSpace(part) == "" {
+			continue
+		}
+		v, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-delete: %w", err)
+		}
+		out = append(out, v)
 	}
 	return out, nil
 }

@@ -41,10 +41,27 @@
 // README.md's "Index modes and leakage" for the exact tradeoff;
 // IndexNone (the default) remains the paper-faithful full scan.
 //
+// The outsourced table is live and durable. Insert appends
+// owner-encrypted records (obliviously routed to their nearest cluster
+// on an indexed table), Delete tombstones them by stable id, and
+// Compact reclaims storage and re-clusters when churn passes
+// Config.CompactThreshold; queries never block on mutations because
+// every query session pins an immutable view of the table. SaveTable
+// writes the versioned snapshot format of internal/store — ciphertexts,
+// index, tombstones, domain metadata, key fingerprint — and LoadTable
+// rebuilds a System from it with zero Paillier encryptions, so
+// encrypt-once/query-many across restarts is the normal workflow:
+//
+//	sys.SaveTable(f)                              // C1's artifact: no plaintext, no key
+//	sys2, err := sknn.LoadTable(f, sk, sknn.Config{})
+//	id, err := sys2.Insert(row)
+//	err = sys2.Delete(id)
+//
 // For a real two-machine deployment, use the building blocks directly
 // (internal/core, internal/mpc with the TCP transport) the way
 // cmd/sknnd does.
 //
-// See README.md for the module layout and concurrency architecture, and
+// See README.md for the module layout and concurrency architecture,
+// docs/ARCHITECTURE.md and docs/PROTOCOLS.md for the deep dives, and
 // cmd/sknnbench for the reproduction of the paper's evaluation.
 package sknn

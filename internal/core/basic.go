@@ -34,11 +34,13 @@ func (s *QuerySession) BasicQuery(q EncryptedQuery, k int) (*MaskedResult, error
 // The Comm field covers this session's streams only, so concurrent
 // queries on other sessions never pollute the numbers.
 func (s *QuerySession) BasicQueryMetered(q EncryptedQuery, k int) (*MaskedResult, *BasicMetrics, error) {
-	c := s.c
-	if err := c.checkQuery(q); err != nil {
+	if err := s.checkQuery(q); err != nil {
 		return nil, nil, err
 	}
-	if err := validateK(k, c.table.N()); err != nil {
+	// The candidate list is the session view's live records: tombstoned
+	// rows are invisible to queries opened after their Delete.
+	cands := s.tbl.liveIdx
+	if err := validateK(k, len(cands)); err != nil {
 		return nil, nil, err
 	}
 	metrics := &BasicMetrics{}
@@ -47,7 +49,7 @@ func (s *QuerySession) BasicQueryMetered(q EncryptedQuery, k int) (*MaskedResult
 
 	// Step 2: dᵢ = |Q−tᵢ|² under encryption.
 	phase := time.Now()
-	ds, err := s.distances(q)
+	ds, err := s.distancesOf(q, s.tbl.featureRows(cands))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -69,10 +71,12 @@ func (s *QuerySession) BasicQueryMetered(q EncryptedQuery, k int) (*MaskedResult
 	}
 	selected := make([]EncryptedRecord, k)
 	for j, idx := range resp.Ints {
-		if !idx.IsInt64() || idx.Int64() < 0 || idx.Int64() >= int64(c.table.N()) {
+		// C2's indices address the candidate list it ranked, which maps
+		// back to record positions through the session view.
+		if !idx.IsInt64() || idx.Int64() < 0 || idx.Int64() >= int64(len(cands)) {
 			return nil, nil, fmt.Errorf("%w: rank index %v out of range", ErrBadFrame, idx)
 		}
-		selected[j] = c.table.Record(int(idx.Int64()))
+		selected[j] = s.tbl.records[cands[int(idx.Int64())]]
 	}
 	metrics.Rank = time.Since(phase)
 

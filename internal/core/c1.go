@@ -130,7 +130,9 @@ func (c *CloudC1) NewSession(width int) (*QuerySession, error) {
 	c.drain.Add(1)
 	c.mu.Unlock()
 
-	s := &QuerySession{c: c, slots: slots}
+	// Capture the table view outside c.mu (view takes the table's own
+	// read lock); the session pins this state for its whole lifetime.
+	s := &QuerySession{c: c, tbl: c.table.view(), slots: slots}
 	for _, i := range slots {
 		conn, err := c.links[i].Open()
 		if err != nil {
@@ -192,11 +194,11 @@ func (c *CloudC1) Close() error {
 	return first
 }
 
-// checkQuery validates Bob's query against the table's feature columns.
-func (c *CloudC1) checkQuery(q EncryptedQuery) error {
-	if len(q) != c.table.featureM {
+// checkQuery validates Bob's query against the view's feature columns.
+func (s *QuerySession) checkQuery(q EncryptedQuery) error {
+	if len(q) != s.tbl.featureM {
 		return fmt.Errorf("%w: query has %d attributes, table has %d feature columns",
-			ErrDimension, len(q), c.table.featureM)
+			ErrDimension, len(q), s.tbl.featureM)
 	}
 	return nil
 }

@@ -66,19 +66,16 @@ func (s *QuerySession) SecureQuery(q EncryptedQuery, k, domainBits int) (*Masked
 // SecureQueryMetered is SecureQuery plus phase timings and traffic
 // counts, both scoped to this session's streams.
 func (s *QuerySession) SecureQueryMetered(q EncryptedQuery, k, domainBits int) (*MaskedResult, *SecureMetrics, error) {
-	c := s.c
-	n := c.table.N()
 	if err := s.checkSecureArgs(q, k, domainBits); err != nil {
 		return nil, nil, err
 	}
-	metrics := &SecureMetrics{Candidates: n}
+	// Full scan over the session view's live records; tombstoned rows
+	// are invisible to queries opened after their Delete.
+	idx := s.tbl.liveIdx
+	metrics := &SecureMetrics{Candidates: len(idx)}
 	comm0 := s.CommStats()
 	start := time.Now()
 
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
 	res, err := s.secureScan(q, k, domainBits, idx, metrics)
 	if err != nil {
 		return nil, nil, err
@@ -106,8 +103,7 @@ func (s *QuerySession) SecureQueryClustered(q EncryptedQuery, k, domainBits, tar
 // SecureQueryClusteredMetered is SecureQueryClustered plus phase
 // timings, traffic counts, and pruning counters.
 func (s *QuerySession) SecureQueryClusteredMetered(q EncryptedQuery, k, domainBits, target int) (*MaskedResult, *SecureMetrics, error) {
-	c := s.c
-	if !c.table.Clustered() {
+	if !s.tbl.Clustered() {
 		return nil, nil, ErrNotClustered
 	}
 	if err := s.checkSecureArgs(q, k, domainBits); err != nil {
@@ -129,7 +125,7 @@ func (s *QuerySession) SecureQueryClusteredMetered(q EncryptedQuery, k, domainBi
 
 	var idx []int
 	for _, j := range clusters {
-		idx = append(idx, c.table.ClusterMembers(j)...)
+		idx = append(idx, s.tbl.liveMembers(j)...)
 	}
 	// Sort so the candidate order carries no information about the
 	// cluster ranking into later phases (they permute freshly anyway).
@@ -146,12 +142,45 @@ func (s *QuerySession) SecureQueryClusteredMetered(q EncryptedQuery, k, domainBi
 	return res, metrics, nil
 }
 
+// NearestCluster obliviously routes a point to its closest cluster:
+// the same SSED + SBD + SMINn centroid ranking a pruned query runs,
+// stopped after the first winner. It is the secure half of a clustered
+// Insert — the data owner encrypts the new record's feature vector like
+// a query, C1 and C2 rank the encrypted centroids, and only the winning
+// cluster id surfaces (to C1). That id is exactly the clustered index's
+// documented leakage class: C1 learns which cluster the new record
+// joins, never its attribute values. The plaintext alternative — the
+// owner retains the centroids and assigns locally — leaks nothing at
+// insert time but requires owner-side state; see docs/PROTOCOLS.md.
+func (s *QuerySession) NearestCluster(q EncryptedQuery, domainBits int) (int, error) {
+	if !s.tbl.Clustered() {
+		return 0, ErrNotClustered
+	}
+	if err := s.checkQuery(q); err != nil {
+		return 0, err
+	}
+	if domainBits < 1 || domainBits > 512 {
+		return 0, fmt.Errorf("%w: l=%d", ErrDomainBits, domainBits)
+	}
+	// target=1 stops after the first cluster able to hold a record; the
+	// rank order makes chosen[0] the nearest centroid even when earlier
+	// winners were hollowed out by deletes.
+	chosen, err := s.rankClusters(q, domainBits, 1, &SecureMetrics{})
+	if err != nil {
+		return 0, err
+	}
+	if len(chosen) == 0 {
+		return 0, fmt.Errorf("core: cluster ranking chose nothing")
+	}
+	return chosen[0], nil
+}
+
 // checkSecureArgs is the shared validation of both SkNNm entry points.
 func (s *QuerySession) checkSecureArgs(q EncryptedQuery, k, domainBits int) error {
-	if err := s.c.checkQuery(q); err != nil {
+	if err := s.checkQuery(q); err != nil {
 		return err
 	}
-	if err := validateK(k, s.c.table.N()); err != nil {
+	if err := validateK(k, s.tbl.N()); err != nil {
 		return err
 	}
 	if domainBits < 1 || domainBits > 512 {
@@ -170,9 +199,8 @@ func (s *QuerySession) checkSecureArgs(q EncryptedQuery, k, domainBits int) erro
 // plaintext (no SBOR needed once the winner is known), and repeats
 // until the chosen clusters hold at least target records.
 func (s *QuerySession) rankClusters(q EncryptedQuery, domainBits, target int, metrics *SecureMetrics) ([]int, error) {
-	c := s.c
-	pk := c.table.pk
-	cents := c.table.centroids2D()
+	pk := s.tbl.pk
+	cents := s.tbl.centroids2D()
 	nc := len(cents)
 
 	ds, err := s.distancesOf(q, cents)
@@ -242,7 +270,9 @@ func (s *QuerySession) rankClusters(q EncryptedQuery, domainBits, target int, me
 			winner = live[perm[pos]]
 		}
 		chosen = append(chosen, winner)
-		pool += len(c.table.ClusterMembers(winner))
+		// Only live members fill the candidate pool: a cluster hollowed
+		// out by deletes contributes what it actually still holds.
+		pool += len(s.tbl.liveMembers(winner))
 		for i, j := range live {
 			if j == winner {
 				live = append(live[:i], live[i+1:]...)
@@ -259,18 +289,17 @@ func (s *QuerySession) rankClusters(q EncryptedQuery, domainBits, target int, me
 // A full scan passes idx = [0,n); the pruned path passes the probed
 // clusters' members.
 func (s *QuerySession) secureScan(q EncryptedQuery, k, domainBits int, idx []int, metrics *SecureMetrics) (*MaskedResult, error) {
-	c := s.c
-	pk := c.table.pk
+	pk := s.tbl.pk
 	n := len(idx)
 	if err := validateK(k, n); err != nil {
 		return nil, err
 	}
-	m := c.table.m
+	m := s.tbl.m
 	feat := make([][]*paillier.Ciphertext, n)
 	records := make([][]*paillier.Ciphertext, n)
 	for i, id := range idx {
-		rec := c.table.records[id]
-		feat[i] = rec[:c.table.featureM]
+		rec := s.tbl.records[id]
+		feat[i] = rec[:s.tbl.featureM]
 		records[i] = rec
 	}
 

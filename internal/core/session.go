@@ -17,10 +17,16 @@ import (
 // scoped here, never on the shared CloudC1, which is what lets sessions
 // interleave on the same links without crossing streams.
 //
+// The session also pins the table state: tbl is an immutable view
+// captured when the session opened, so a query runs against one
+// consistent table no matter which Inserts, Deletes, or Compacts land
+// on the live table while it executes.
+//
 // A session answers queries one at a time; run concurrent queries in
 // concurrent sessions. Close returns the leased capacity to the pool.
 type QuerySession struct {
 	c     *CloudC1
+	tbl   *tableView       // table state observed at session open
 	slots []int            // leased link indices
 	conns []mpc.Conn       // logical streams, one per slot
 	rqs   []*smc.Requester // primitive drivers, one per stream
@@ -31,7 +37,7 @@ type QuerySession struct {
 // attach wires one opened logical stream into the session.
 func (s *QuerySession) attach(conn mpc.Conn) {
 	s.conns = append(s.conns, conn)
-	s.rqs = append(s.rqs, smc.NewRequester(s.c.table.pk, conn, s.c.random))
+	s.rqs = append(s.rqs, smc.NewRequester(s.tbl.pk, conn, s.c.random))
 }
 
 // Close ends the session's logical streams and releases its links back
@@ -109,13 +115,6 @@ func (s *QuerySession) parallelOverRecords(n int, fn func(rq *smc.Requester, lo,
 	return nil
 }
 
-// distances computes E(dᵢ) = E(|Q−tᵢ|²) for every record (step 2 of both
-// algorithms), chunked across the session's workers. Only the feature
-// prefix of each record participates.
-func (s *QuerySession) distances(q EncryptedQuery) ([]*paillier.Ciphertext, error) {
-	return s.distancesOf(q, s.c.table.featureRecords2D())
-}
-
 // distancesOf computes E(|Q−rᵢ|²) for an arbitrary list of encrypted
 // feature vectors — the table's records, a candidate subset of them, or
 // the cluster centroids — chunked across the session's workers.
@@ -140,9 +139,9 @@ func (s *QuerySession) distancesOf(q EncryptedQuery, rows [][]*paillier.Cipherte
 // record with fresh randomness, C2 decrypts the masked values, and the
 // two shares travel to Bob.
 func (s *QuerySession) reveal(selected []EncryptedRecord) (*MaskedResult, error) {
-	pk := s.c.table.pk
+	pk := s.tbl.pk
 	k := len(selected)
-	m := s.c.table.m
+	m := s.tbl.m
 	res := &MaskedResult{K: k, M: m, n: pk.N}
 	payload := make([]*big.Int, 0, k*m)
 	for j := 0; j < k; j++ {

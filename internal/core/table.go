@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sync"
 
 	"sknn/internal/paillier"
 )
@@ -12,9 +13,16 @@ import (
 // attribute-wise: ⟨E(t_{i,1}),…,E(t_{i,m})⟩.
 type EncryptedRecord []*paillier.Ciphertext
 
-// EncryptedTable is Alice's outsourced database E(T): n records of m
-// attributes, all encrypted under her Paillier public key. The table is
-// immutable once built and safe to share across parallel workers.
+// EncryptedTable is Alice's outsourced database E(T): records of m
+// attributes, all encrypted under her Paillier public key. Since PR 3
+// the table is *live*: the data owner can Insert freshly encrypted
+// records, Delete existing ones (C1-side tombstones), and Compact the
+// storage; queries stay safe under concurrent mutation because every
+// QuerySession captures an immutable view of the table at session open.
+//
+// Every record carries a stable uint64 id: the n records present at
+// construction get ids 0..n−1 in row order, and each Insert returns the
+// next id. Ids survive Compact (which renumbers positions, not ids).
 //
 // featureM ≤ m marks how many leading attributes participate in
 // distance computation; trailing columns (e.g. a class label) ride
@@ -23,10 +31,19 @@ type EncryptedRecord []*paillier.Ciphertext
 // Section 2.1 points at classification as a direct application).
 type EncryptedTable struct {
 	pk       *paillier.PublicKey
-	records  []EncryptedRecord
 	m        int
 	featureM int
+
+	mu       sync.RWMutex
+	records  []EncryptedRecord
+	ids      []uint64       // position -> stable record id
+	byID     map[uint64]int // stable record id -> position
+	nextID   uint64
+	dead     []bool // position -> tombstoned
+	deadN    int
+	inserted int           // inserts since construction/last Compact (dirty tracking)
 	index    *clusterIndex // non-nil when a clustered layout is attached
+	cached   *tableView    // memoized immutable view; nil after any mutation
 }
 
 // clusterIndex is the partitioned layout behind the clustered secure
@@ -34,10 +51,30 @@ type EncryptedTable struct {
 // lists. The memberships are public by design — which records form a
 // cluster is exactly the structural information the index trades away
 // (C1 learns which clusters a query touches); the centroids themselves
-// stay encrypted like any record.
+// stay encrypted like any record. Membership lists may reference
+// tombstoned positions; readers filter through the dead bitmap.
 type clusterIndex struct {
 	centroids []EncryptedRecord // c encrypted centroid vectors, featureM attributes each
-	members   [][]int           // cluster -> ascending record indices; a partition of [0,n)
+	members   [][]int           // cluster -> ascending record positions; a partition of [0,n)
+}
+
+// newTable wires the bookkeeping every construction path shares.
+func newTable(pk *paillier.PublicKey, records []EncryptedRecord, m int) *EncryptedTable {
+	t := &EncryptedTable{
+		pk:       pk,
+		m:        m,
+		featureM: m,
+		records:  records,
+		ids:      make([]uint64, len(records)),
+		byID:     make(map[uint64]int, len(records)),
+		dead:     make([]bool, len(records)),
+		nextID:   uint64(len(records)),
+	}
+	for i := range records {
+		t.ids[i] = uint64(i)
+		t.byID[uint64(i)] = i
+	}
+	return t
 }
 
 // EncryptTable is Alice's one-time setup (Section 1.1): she encrypts her
@@ -49,7 +86,7 @@ func EncryptTable(random io.Reader, pk *paillier.PublicKey, rows [][]uint64) (*E
 		return nil, fmt.Errorf("core: empty table")
 	}
 	m := len(rows[0])
-	t := &EncryptedTable{pk: pk, m: m, featureM: m, records: make([]EncryptedRecord, len(rows))}
+	records := make([]EncryptedRecord, len(rows))
 	for i, row := range rows {
 		if len(row) != m {
 			return nil, fmt.Errorf("core: row %d has %d attributes, want %d", i, len(row), m)
@@ -58,9 +95,9 @@ func EncryptTable(random io.Reader, pk *paillier.PublicKey, rows [][]uint64) (*E
 		if err != nil {
 			return nil, fmt.Errorf("core: encrypting row %d: %w", i, err)
 		}
-		t.records[i] = rec
+		records[i] = rec
 	}
-	return t, nil
+	return newTable(pk, records, m), nil
 }
 
 // NewEncryptedTable wraps already-encrypted records (e.g. loaded from
@@ -80,7 +117,32 @@ func NewEncryptedTable(pk *paillier.PublicKey, records []EncryptedRecord) (*Encr
 			}
 		}
 	}
-	return &EncryptedTable{pk: pk, m: m, featureM: m, records: records}, nil
+	return newTable(pk, records, m), nil
+}
+
+// derive builds a construction-time variant of t sharing its ciphertexts.
+// Slices that later mutation writes *into* (dead, byID) are copied so the
+// derived table and the original cannot corrupt each other; append-only
+// slices (records, ids, members) are shared by header. Deriving from a
+// table is only defined before either table is mutated.
+func (t *EncryptedTable) derive() *EncryptedTable {
+	d := &EncryptedTable{
+		pk:       t.pk,
+		m:        t.m,
+		featureM: t.featureM,
+		records:  t.records,
+		ids:      t.ids,
+		byID:     make(map[uint64]int, len(t.byID)),
+		nextID:   t.nextID,
+		dead:     append([]bool(nil), t.dead...),
+		deadN:    t.deadN,
+		inserted: t.inserted,
+		index:    t.index,
+	}
+	for id, pos := range t.byID {
+		d.byID[id] = pos
+	}
+	return d
 }
 
 // WithFeatureColumns returns a view of the table whose first f columns
@@ -88,24 +150,59 @@ func NewEncryptedTable(pk *paillier.PublicKey, records []EncryptedRecord) (*Encr
 // payload (labels, identifiers) still delivered with results. The
 // ciphertexts are shared with the receiver, not copied. Any attached
 // cluster index is dropped (its centroids are sized to the feature
-// prefix): attach the index after choosing feature columns.
+// prefix): attach the index after choosing feature columns. This is a
+// construction-time operation — derive views before mutating either
+// table, and keep mutating only one of them.
 func (t *EncryptedTable) WithFeatureColumns(f int) (*EncryptedTable, error) {
 	if f < 1 || f > t.m {
 		return nil, fmt.Errorf("core: feature columns %d out of range [1,%d]", f, t.m)
 	}
-	view := *t
+	view := t.derive()
 	view.featureM = f
 	view.index = nil
-	return &view, nil
+	return view, nil
 }
 
 // WithClusterIndex attaches a partitioned layout to the table: the
 // plaintext centroids (one per cluster, featureM attributes each, as
 // produced by internal/cluster at outsourcing time where the data owner
 // holds plaintext) are encrypted under the table's key, and members
-// records the partition of row indices. The receiver's records are
-// shared, not copied.
+// records the partition of row positions. The receiver's records are
+// shared, not copied. Like WithFeatureColumns this is a
+// construction-time operation; to replace the index of a live table use
+// SetClusterIndex.
 func (t *EncryptedTable) WithClusterIndex(random io.Reader, centroids [][]uint64, members [][]int) (*EncryptedTable, error) {
+	idx, err := t.buildIndex(random, centroids, members)
+	if err != nil {
+		return nil, err
+	}
+	view := t.derive()
+	view.index = idx
+	return view, nil
+}
+
+// SetClusterIndex replaces the table's cluster index in place — the
+// owner-side re-cluster step of Compact-style maintenance. The table
+// must be tombstone-free (Compact first): membership positions are
+// validated against the current physical layout.
+func (t *EncryptedTable) SetClusterIndex(random io.Reader, centroids [][]uint64, members [][]int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.deadN != 0 {
+		return fmt.Errorf("core: cannot rebuild cluster index with %d tombstones (Compact first)", t.deadN)
+	}
+	idx, err := t.buildIndex(random, centroids, members)
+	if err != nil {
+		return err
+	}
+	t.invalidateViewLocked()
+	t.index = idx
+	t.inserted = 0
+	return nil
+}
+
+// buildIndex validates the partition and encrypts the centroids.
+func (t *EncryptedTable) buildIndex(random io.Reader, centroids [][]uint64, members [][]int) (*clusterIndex, error) {
 	if len(centroids) == 0 || len(centroids) != len(members) {
 		return nil, fmt.Errorf("core: cluster index with %d centroids, %d member lists",
 			len(centroids), len(members))
@@ -149,37 +246,177 @@ func (t *EncryptedTable) WithClusterIndex(random io.Reader, centroids [][]uint64
 	for j, mem := range members {
 		idx.members[j] = append([]int(nil), mem...)
 	}
-	view := *t
-	view.index = idx
-	return &view, nil
+	return idx, nil
+}
+
+// Errors returned by the live-table mutation API.
+var (
+	ErrNoSuchRecord = fmt.Errorf("core: no live record with that id")
+	ErrNeedCluster  = fmt.Errorf("core: clustered table insert needs a cluster assignment")
+)
+
+// Insert appends an already-encrypted record (data-owner-side
+// encryption, C1-side append) and returns its stable id. For a clustered
+// table the caller must route the record to a cluster first — either
+// obliviously via QuerySession.NearestCluster or owner-side in
+// plaintext — and pass that cluster's id; unclustered tables take
+// cluster = -1. Queries in flight keep the view they opened with and do
+// not see the new record.
+func (t *EncryptedTable) Insert(rec EncryptedRecord, cluster int) (uint64, error) {
+	if len(rec) != t.m {
+		return 0, fmt.Errorf("core: inserting record with %d attributes, want %d", len(rec), t.m)
+	}
+	for j, ct := range rec {
+		if ct == nil {
+			return 0, fmt.Errorf("core: inserted record attribute %d is nil", j)
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.index != nil {
+		if cluster < 0 || cluster >= len(t.index.centroids) {
+			return 0, fmt.Errorf("%w: cluster %d of %d", ErrNeedCluster, cluster, len(t.index.centroids))
+		}
+	}
+	t.invalidateViewLocked()
+	pos := len(t.records)
+	id := t.nextID
+	t.nextID++
+	t.records = append(t.records, rec)
+	t.ids = append(t.ids, id)
+	t.dead = append(t.dead, false)
+	t.byID[id] = pos
+	t.inserted++
+	if t.index != nil {
+		t.index.members[cluster] = append(t.index.members[cluster], pos)
+	}
+	return id, nil
+}
+
+// Delete tombstones the record with the given stable id. The ciphertext
+// stays in storage (and in any membership list) until Compact; queries
+// opened after the delete skip it. Deleting an unknown or already
+// deleted id returns ErrNoSuchRecord.
+func (t *EncryptedTable) Delete(id uint64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pos, ok := t.byID[id]
+	if !ok || t.dead[pos] {
+		return fmt.Errorf("%w: id %d", ErrNoSuchRecord, id)
+	}
+	t.invalidateViewLocked()
+	t.dead[pos] = true
+	t.deadN++
+	return nil
+}
+
+// Compact physically removes tombstoned records, renumbering positions
+// (stable ids are preserved) and rewriting the cluster membership lists.
+// Centroids are NOT recomputed — that is owner-side maintenance (see
+// sknn.System.Compact, which re-clusters with the key it legitimately
+// holds). Returns how many records were removed. Queries in flight keep
+// their pre-compaction view.
+func (t *EncryptedTable) Compact() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.deadN == 0 {
+		t.inserted = 0
+		return 0
+	}
+	t.invalidateViewLocked()
+	removed := t.deadN
+	remap := make([]int, len(t.records)) // old position -> new position
+	records := make([]EncryptedRecord, 0, len(t.records)-t.deadN)
+	ids := make([]uint64, 0, len(t.records)-t.deadN)
+	for i, rec := range t.records {
+		if t.dead[i] {
+			remap[i] = -1
+			delete(t.byID, t.ids[i])
+			continue
+		}
+		remap[i] = len(records)
+		t.byID[t.ids[i]] = len(records)
+		records = append(records, rec)
+		ids = append(ids, t.ids[i])
+	}
+	t.records = records
+	t.ids = ids
+	t.dead = make([]bool, len(records))
+	t.deadN = 0
+	t.inserted = 0
+	if t.index != nil {
+		// Replace the index wholesale (never edit shared slices in place:
+		// open query views still reference the old members).
+		idx := &clusterIndex{
+			centroids: t.index.centroids,
+			members:   make([][]int, len(t.index.members)),
+		}
+		for j, mem := range t.index.members {
+			kept := make([]int, 0, len(mem))
+			for _, i := range mem {
+				if remap[i] >= 0 {
+					kept = append(kept, remap[i])
+				}
+			}
+			idx.members[j] = kept
+		}
+		t.index = idx
+	}
+	return removed
+}
+
+// DirtyFraction reports how far the table has drifted from its last
+// clean build: (tombstones + inserts since construction or Compact) /
+// total stored records. sknn.System uses it to trigger threshold
+// compaction and owner-side re-clustering.
+func (t *EncryptedTable) DirtyFraction() float64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if len(t.records) == 0 {
+		return 0
+	}
+	return float64(t.deadN+t.inserted) / float64(len(t.records))
 }
 
 // Clustered reports whether a cluster index is attached.
-func (t *EncryptedTable) Clustered() bool { return t.index != nil }
+func (t *EncryptedTable) Clustered() bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.index != nil
+}
 
 // Clusters returns the number of clusters (0 without an index).
 func (t *EncryptedTable) Clusters() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	if t.index == nil {
 		return 0
 	}
 	return len(t.index.centroids)
 }
 
-// ClusterMembers returns cluster j's record indices (shared, read-only).
-func (t *EncryptedTable) ClusterMembers(j int) []int { return t.index.members[j] }
-
-// centroids2D exposes the encrypted centroids in the [][]*Ciphertext
-// shape the smc batch calls expect.
-func (t *EncryptedTable) centroids2D() [][]*paillier.Ciphertext {
-	out := make([][]*paillier.Ciphertext, len(t.index.centroids))
-	for i, r := range t.index.centroids {
-		out[i] = r
-	}
-	return out
+// ClusterMembers returns a copy of cluster j's record positions,
+// including any tombstoned ones.
+func (t *EncryptedTable) ClusterMembers(j int) []int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([]int(nil), t.index.members[j]...)
 }
 
-// N returns the number of records.
-func (t *EncryptedTable) N() int { return len(t.records) }
+// N returns the number of live (non-tombstoned) records.
+func (t *EncryptedTable) N() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.records) - t.deadN
+}
+
+// Stored returns the number of stored records including tombstones —
+// the table's physical size until the next Compact.
+func (t *EncryptedTable) Stored() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.records)
+}
 
 // M returns the number of attributes.
 func (t *EncryptedTable) M() int { return t.m }
@@ -187,33 +424,263 @@ func (t *EncryptedTable) M() int { return t.m }
 // FeatureM returns the number of leading attributes used for distance.
 func (t *EncryptedTable) FeatureM() int { return t.featureM }
 
-// featureRecords2D exposes the distance-relevant prefix of each record.
-func (t *EncryptedTable) featureRecords2D() [][]*paillier.Ciphertext {
-	out := make([][]*paillier.Ciphertext, len(t.records))
-	for i, r := range t.records {
-		out[i] = r[:t.featureM]
+// PK returns the public key the table is encrypted under.
+func (t *EncryptedTable) PK() *paillier.PublicKey { return t.pk }
+
+// Record returns the record stored at position i (shared, read-only).
+// Positions are unstable across Compact; use ids for durable handles.
+func (t *EncryptedTable) Record(i int) EncryptedRecord {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.records[i]
+}
+
+// RecordID returns the stable id of the record at position i.
+func (t *EncryptedTable) RecordID(i int) uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.ids[i]
+}
+
+// IsDeleted reports whether the record at position i is tombstoned.
+func (t *EncryptedTable) IsDeleted(i int) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.dead[i]
+}
+
+// tableView is the immutable per-query snapshot of the table's state:
+// slice headers captured under the read lock, plus a copy of the dead
+// bitmap (the only state mutated in place). A QuerySession takes one at
+// open; every protocol phase reads the view, so a query observes a
+// single consistent table state no matter how many Inserts, Deletes, or
+// Compacts land while it runs.
+type tableView struct {
+	pk        *paillier.PublicKey
+	m         int
+	featureM  int
+	records   []EncryptedRecord
+	dead      []bool
+	liveIdx   []int             // live positions, ascending
+	centroids []EncryptedRecord // nil when unclustered
+	members   [][]int           // positions incl tombstones; filter via dead
+}
+
+// view returns the immutable snapshot of the current table state for
+// one query session. The view is memoized: building it is O(n), so an
+// unmutated table hands the same shared view to every session and only
+// the first open after an Insert/Delete/Compact pays the rebuild.
+func (t *EncryptedTable) view() *tableView {
+	t.mu.RLock()
+	v := t.cached
+	t.mu.RUnlock()
+	if v != nil {
+		return v
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cached == nil {
+		t.cached = t.buildViewLocked()
+	}
+	return t.cached
+}
+
+// buildViewLocked materializes the view. Caller holds t.mu (write).
+func (t *EncryptedTable) buildViewLocked() *tableView {
+	v := &tableView{
+		pk:       t.pk,
+		m:        t.m,
+		featureM: t.featureM,
+		records:  t.records,
+		dead:     append([]bool(nil), t.dead...),
+	}
+	v.liveIdx = make([]int, 0, len(t.records)-t.deadN)
+	for i := range t.records {
+		if !t.dead[i] {
+			v.liveIdx = append(v.liveIdx, i)
+		}
+	}
+	if t.index != nil {
+		v.centroids = t.index.centroids
+		v.members = append([][]int(nil), t.index.members...)
+	}
+	return v
+}
+
+// invalidateViewLocked drops the memoized view before a mutation.
+// Caller holds t.mu (write). Views already handed out stay valid —
+// they own copies of everything the mutation writes into.
+func (t *EncryptedTable) invalidateViewLocked() { t.cached = nil }
+
+// N is the number of live records in the view.
+func (v *tableView) N() int { return len(v.liveIdx) }
+
+// Clustered reports whether the view carries a cluster index.
+func (v *tableView) Clustered() bool { return v.centroids != nil }
+
+// liveMembers returns cluster j's live record positions.
+func (v *tableView) liveMembers(j int) []int {
+	out := make([]int, 0, len(v.members[j]))
+	for _, i := range v.members[j] {
+		if !v.dead[i] {
+			out = append(out, i)
+		}
 	}
 	return out
 }
 
-// PK returns the public key the table is encrypted under.
-func (t *EncryptedTable) PK() *paillier.PublicKey { return t.pk }
-
-// Record returns row i (shared, read-only).
-func (t *EncryptedTable) Record(i int) EncryptedRecord { return t.records[i] }
-
-// records2D exposes the raw [][]*Ciphertext shape smc batch calls expect.
-func (t *EncryptedTable) records2D() [][]*paillier.Ciphertext {
-	out := make([][]*paillier.Ciphertext, len(t.records))
-	for i, r := range t.records {
+// centroids2D exposes the encrypted centroids in the [][]*Ciphertext
+// shape the smc batch calls expect.
+func (v *tableView) centroids2D() [][]*paillier.Ciphertext {
+	out := make([][]*paillier.Ciphertext, len(v.centroids))
+	for i, r := range v.centroids {
 		out[i] = r
 	}
 	return out
 }
 
-// MarshalRecords serializes the table's ciphertexts as raw big.Ints
-// (row-major), the format cmd/sknnd ships tables in.
+// featureRows exposes the distance-relevant prefix of the records at the
+// given positions.
+func (v *tableView) featureRows(idx []int) [][]*paillier.Ciphertext {
+	out := make([][]*paillier.Ciphertext, len(idx))
+	for i, id := range idx {
+		out[i] = v.records[id][:v.featureM]
+	}
+	return out
+}
+
+// TableSnapshot is the portable state of an EncryptedTable: everything
+// internal/store needs to serialize a live table and RestoreTable needs
+// to rebuild one, with ciphertexts shared (not copied). Dead and IDs
+// run parallel to Records; Centroids/Members are nil/empty when no
+// cluster index is attached.
+type TableSnapshot struct {
+	M, FeatureM int
+	NextID      uint64
+	Records     []EncryptedRecord
+	IDs         []uint64
+	Dead        []bool
+	Centroids   []EncryptedRecord
+	Members     [][]int
+}
+
+// Snapshot captures the table's full state under the read lock. The
+// returned snapshot shares ciphertext pointers with the live table (they
+// are immutable) but owns its slices, so a concurrent mutation cannot
+// tear a Save in progress.
+func (t *EncryptedTable) Snapshot() *TableSnapshot {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	s := &TableSnapshot{
+		M:        t.m,
+		FeatureM: t.featureM,
+		NextID:   t.nextID,
+		Records:  append([]EncryptedRecord(nil), t.records...),
+		IDs:      append([]uint64(nil), t.ids...),
+		Dead:     append([]bool(nil), t.dead...),
+	}
+	if t.index != nil {
+		s.Centroids = append([]EncryptedRecord(nil), t.index.centroids...)
+		s.Members = make([][]int, len(t.index.members))
+		for j, mem := range t.index.members {
+			s.Members[j] = append([]int(nil), mem...)
+		}
+	}
+	return s
+}
+
+// RestoreTable rebuilds an EncryptedTable from a snapshot (the load half
+// of internal/store). No encryption happens here — ciphertexts are
+// adopted as-is — which is what makes snapshot reload encrypt-free.
+func RestoreTable(pk *paillier.PublicKey, snap *TableSnapshot) (*EncryptedTable, error) {
+	if snap == nil || len(snap.Records) == 0 {
+		return nil, fmt.Errorf("core: empty snapshot")
+	}
+	n := len(snap.Records)
+	if len(snap.IDs) != n || len(snap.Dead) != n {
+		return nil, fmt.Errorf("core: snapshot ids/dead length %d/%d, want %d",
+			len(snap.IDs), len(snap.Dead), n)
+	}
+	if snap.M < 1 || snap.FeatureM < 1 || snap.FeatureM > snap.M {
+		return nil, fmt.Errorf("core: snapshot feature columns %d of %d", snap.FeatureM, snap.M)
+	}
+	t := &EncryptedTable{
+		pk:       pk,
+		m:        snap.M,
+		featureM: snap.FeatureM,
+		records:  snap.Records,
+		ids:      snap.IDs,
+		byID:     make(map[uint64]int, n),
+		nextID:   snap.NextID,
+		dead:     snap.Dead,
+	}
+	for i, rec := range snap.Records {
+		if len(rec) != snap.M {
+			return nil, fmt.Errorf("core: snapshot record %d has %d attributes, want %d", i, len(rec), snap.M)
+		}
+		for j, ct := range rec {
+			if ct == nil {
+				return nil, fmt.Errorf("core: snapshot record %d attribute %d is nil", i, j)
+			}
+		}
+		id := snap.IDs[i]
+		if id >= snap.NextID {
+			return nil, fmt.Errorf("core: snapshot record %d id %d ≥ next id %d", i, id, snap.NextID)
+		}
+		if _, dup := t.byID[id]; dup {
+			return nil, fmt.Errorf("core: snapshot duplicates record id %d", id)
+		}
+		t.byID[id] = i
+		if snap.Dead[i] {
+			t.deadN++
+		}
+	}
+	if t.deadN == n {
+		return nil, fmt.Errorf("core: snapshot has no live records")
+	}
+	if len(snap.Centroids) > 0 || len(snap.Members) > 0 {
+		if len(snap.Centroids) == 0 || len(snap.Centroids) != len(snap.Members) {
+			return nil, fmt.Errorf("core: snapshot index with %d centroids, %d member lists",
+				len(snap.Centroids), len(snap.Members))
+		}
+		seen := make([]bool, n)
+		for j, cent := range snap.Centroids {
+			if len(cent) != snap.FeatureM {
+				return nil, fmt.Errorf("core: snapshot centroid %d has %d attributes, want %d",
+					j, len(cent), snap.FeatureM)
+			}
+			for h, ct := range cent {
+				if ct == nil {
+					return nil, fmt.Errorf("core: snapshot centroid %d attribute %d is nil", j, h)
+				}
+			}
+			for _, i := range snap.Members[j] {
+				if i < 0 || i >= n {
+					return nil, fmt.Errorf("core: snapshot cluster %d member %d out of range [0,%d)", j, i, n)
+				}
+				if seen[i] {
+					return nil, fmt.Errorf("core: snapshot record %d in more than one cluster", i)
+				}
+				seen[i] = true
+			}
+		}
+		for i, ok := range seen {
+			if !ok {
+				return nil, fmt.Errorf("core: snapshot record %d not in any cluster", i)
+			}
+		}
+		t.index = &clusterIndex{centroids: snap.Centroids, members: snap.Members}
+	}
+	return t, nil
+}
+
+// MarshalRecords serializes the table's stored ciphertexts as raw
+// big.Ints (row-major, tombstones included). Kept for the legacy gob
+// interchange; the snapshot format in internal/store is the durable
+// serialization and also carries ids, tombstones, and the index.
 func (t *EncryptedTable) MarshalRecords() [][]*big.Int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	out := make([][]*big.Int, len(t.records))
 	for i, rec := range t.records {
 		row := make([]*big.Int, len(rec))

@@ -81,6 +81,182 @@ func TestTableMarshalRoundTrip(t *testing.T) {
 	}
 }
 
+func TestLiveTableBookkeeping(t *testing.T) {
+	sk := testKey()
+	tbl, err := EncryptTable(rand.Reader, &sk.PublicKey, [][]uint64{{1}, {2}, {3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed rows carry ids 0..2; inserts continue the sequence.
+	rec, err := sk.PublicKey.EncryptUint64Vector(rand.Reader, []uint64{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := tbl.Insert(rec, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 3 || tbl.N() != 4 || tbl.Stored() != 4 {
+		t.Fatalf("after insert: id=%d N=%d Stored=%d", id, tbl.N(), tbl.Stored())
+	}
+	if err := tbl.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.N() != 3 || tbl.Stored() != 4 || !tbl.IsDeleted(1) {
+		t.Fatalf("after delete: N=%d Stored=%d dead(1)=%v", tbl.N(), tbl.Stored(), tbl.IsDeleted(1))
+	}
+	if err := tbl.Delete(1); err == nil {
+		t.Error("double delete accepted")
+	}
+	if err := tbl.Delete(99); err == nil {
+		t.Error("delete of unknown id accepted")
+	}
+	if got := tbl.DirtyFraction(); got != 0.5 { // 1 tombstone + 1 insert over 4 stored
+		t.Errorf("DirtyFraction = %v, want 0.5", got)
+	}
+	if removed := tbl.Compact(); removed != 1 {
+		t.Fatalf("Compact removed %d, want 1", removed)
+	}
+	if tbl.N() != 3 || tbl.Stored() != 3 || tbl.DirtyFraction() != 0 {
+		t.Fatalf("after compact: N=%d Stored=%d dirty=%v", tbl.N(), tbl.Stored(), tbl.DirtyFraction())
+	}
+	// Ids survive compaction: positions renumber, handles do not.
+	wantIDs := []uint64{0, 2, 3}
+	wantVals := []uint64{1, 3, 4}
+	for i := range wantIDs {
+		if tbl.RecordID(i) != wantIDs[i] {
+			t.Errorf("position %d id = %d, want %d", i, tbl.RecordID(i), wantIDs[i])
+		}
+		v, err := sk.Decrypt(tbl.Record(i)[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Uint64() != wantVals[i] {
+			t.Errorf("position %d value = %v, want %d", i, v, wantVals[i])
+		}
+	}
+	// Deleting a surviving id still works after renumbering.
+	if err := tbl.Delete(3); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.N() != 2 {
+		t.Fatalf("N = %d after deleting id 3, want 2", tbl.N())
+	}
+}
+
+func TestLiveTableClusteredMutation(t *testing.T) {
+	sk := testKey()
+	tbl, err := EncryptTable(rand.Reader, &sk.PublicKey, [][]uint64{{1, 1}, {2, 2}, {30, 30}, {31, 31}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err = tbl.WithClusterIndex(rand.Reader,
+		[][]uint64{{1, 1}, {30, 30}}, [][]int{{0, 1}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := sk.PublicKey.EncryptUint64Vector(rand.Reader, []uint64{29, 29})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Insert(rec, -1); err == nil {
+		t.Error("clustered insert without cluster assignment accepted")
+	}
+	if _, err := tbl.Insert(rec, 5); err == nil {
+		t.Error("clustered insert with out-of-range cluster accepted")
+	}
+	id, err := tbl.Insert(rec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.ClusterMembers(1); len(got) != 3 || got[2] != 4 {
+		t.Fatalf("cluster 1 members = %v, want [2 3 4]", got)
+	}
+	// Delete a member, Compact, and the membership lists renumber.
+	if err := tbl.Delete(2); err != nil {
+		t.Fatal(err)
+	}
+	tbl.Compact()
+	if got := tbl.ClusterMembers(1); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("cluster 1 members after compact = %v, want [2 3]", got)
+	}
+	if tbl.N() != 4 {
+		t.Fatalf("N = %d, want 4", tbl.N())
+	}
+	// SetClusterIndex replaces the layout in place on a clean table.
+	if err := tbl.SetClusterIndex(rand.Reader,
+		[][]uint64{{1, 1}, {30, 30}}, [][]int{{0, 1}, {2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.SetClusterIndex(rand.Reader,
+		[][]uint64{{1, 1}}, [][]int{{0, 1, 2, 3}}); err == nil {
+		t.Error("SetClusterIndex accepted a table with tombstones")
+	}
+	_ = id
+}
+
+func TestViewMemoization(t *testing.T) {
+	sk := testKey()
+	tbl, err := EncryptTable(rand.Reader, &sk.PublicKey, [][]uint64{{1}, {2}, {3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := tbl.view()
+	if v2 := tbl.view(); v2 != v1 {
+		t.Error("unmutated table rebuilt its view")
+	}
+	if err := tbl.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	v3 := tbl.view()
+	if v3 == v1 {
+		t.Error("mutation did not invalidate the memoized view")
+	}
+	// The old view is frozen at its capture point.
+	if v1.N() != 3 || v3.N() != 2 {
+		t.Errorf("view N = %d/%d, want 3/2", v1.N(), v3.N())
+	}
+	if v4 := tbl.view(); v4 != v3 {
+		t.Error("view not memoized after rebuild")
+	}
+}
+
+func TestSnapshotRestoreRejectsBadState(t *testing.T) {
+	sk := testKey()
+	tbl, err := EncryptTable(rand.Reader, &sk.PublicKey, [][]uint64{{1}, {2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := tbl.Snapshot()
+	if _, err := RestoreTable(&sk.PublicKey, good); err != nil {
+		t.Fatal(err)
+	}
+	dupIDs := tbl.Snapshot()
+	dupIDs.IDs[1] = dupIDs.IDs[0]
+	if _, err := RestoreTable(&sk.PublicKey, dupIDs); err == nil {
+		t.Error("duplicate ids accepted")
+	}
+	staleNext := tbl.Snapshot()
+	staleNext.NextID = 1
+	if _, err := RestoreTable(&sk.PublicKey, staleNext); err == nil {
+		t.Error("id ≥ NextID accepted")
+	}
+	allDead := tbl.Snapshot()
+	allDead.Dead[0], allDead.Dead[1] = true, true
+	if _, err := RestoreTable(&sk.PublicKey, allDead); err == nil {
+		t.Error("fully tombstoned snapshot accepted")
+	}
+	badPartition := tbl.Snapshot()
+	badPartition.Centroids = []EncryptedRecord{tbl.Record(0)}
+	badPartition.Members = [][]int{{0}} // record 1 missing from the partition
+	if _, err := RestoreTable(&sk.PublicKey, badPartition); err == nil {
+		t.Error("incomplete cluster partition accepted")
+	}
+}
+
 func TestUnmarshalRecordsRejectsGarbage(t *testing.T) {
 	sk := testKey()
 	// Zero is outside the ciphertext group (0, N²).

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sync/atomic"
 )
 
 var (
@@ -209,9 +210,20 @@ func (pk *PublicKey) EncryptUint64(random io.Reader, m uint64) (*Ciphertext, err
 	return pk.Encrypt(random, new(big.Int).SetUint64(m))
 }
 
+// encryptCalls counts every fresh encryption performed by this process.
+// It backs EncryptCalls, the metering hook persistence tests use to
+// prove that loading a snapshot never re-encrypts.
+var encryptCalls atomic.Uint64
+
+// EncryptCalls reports how many Paillier encryptions (any Encrypt*
+// entry point) this process has performed. Monotonic; compare deltas
+// around an operation to assert its encryption cost.
+func EncryptCalls() uint64 { return encryptCalls.Load() }
+
 // encryptWithNonce computes (1+mN) * r^N mod N². Exposed only to tests
 // (deterministic vectors) via export_test.go.
 func (pk *PublicKey) encryptWithNonce(m, r *big.Int) *Ciphertext {
+	encryptCalls.Add(1)
 	mm := pk.reduceMessage(m)
 	// g^m = (N+1)^m = 1 + m*N (mod N²), avoiding one exponentiation.
 	gm := new(big.Int).Mul(mm, pk.N)

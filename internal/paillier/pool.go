@@ -109,6 +109,7 @@ func (p *RandomizerPool) Encrypt(m *big.Int) (*Ciphertext, error) {
 	if err != nil {
 		return nil, err
 	}
+	encryptCalls.Add(1)
 	gm := new(big.Int).Mul(p.pk.reduceMessage(m), p.pk.N)
 	gm.Add(gm, one)
 	gm.Mod(gm, p.pk.NSquared)

@@ -1,0 +1,576 @@
+// Package store is the persistence layer for outsourced tables: a
+// versioned binary snapshot format that serializes a core.EncryptedTable
+// — ciphertext matrix, attached cluster index (encrypted centroids +
+// membership lists), tombstones and stable record ids, domain-bit
+// metadata, and the public key (with its SHA-256 fingerprint as the
+// wrong-key check value) — plus the private-key file the data owner and
+// C2 keep beside it.
+//
+// The format is streaming on both sides: the writer emits one ciphertext
+// at a time and the reader parses the same way, so a table the size of
+// the disk file loads without ever materializing an intermediate
+// [][]*big.Int copy (ciphertext pointers are shared with the table, the
+// only per-record overhead is slice headers). Every file ends in a
+// CRC-32C trailer, so corruption and truncation are detected before any
+// half-built table escapes: Read fails with ErrChecksum or ErrTruncated
+// instead of returning plausible garbage.
+//
+// A snapshot contains no plaintext and no secret key — it is exactly
+// the artifact the paper's C1 is allowed to hold, which is why the
+// public key rides along in full (C1 needs it to run the protocols) but
+// the private key never does.
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math/big"
+	"os"
+
+	"sknn/internal/core"
+	"sknn/internal/paillier"
+)
+
+// Version is the current snapshot format version. Readers reject files
+// from a newer format instead of guessing.
+const Version = 1
+
+var (
+	tableMagic = [8]byte{'S', 'K', 'N', 'N', 'S', 'N', 'P', 0}
+	keyMagic   = [8]byte{'S', 'K', 'N', 'N', 'K', 'E', 'Y', 0}
+)
+
+// Errors returned by this package. Read and ReadKey wrap them, so test
+// with errors.Is.
+var (
+	ErrMagic       = errors.New("store: unrecognized file format")
+	ErrVersion     = errors.New("store: unsupported snapshot version")
+	ErrChecksum    = errors.New("store: snapshot checksum mismatch (file corrupted)")
+	ErrTruncated   = errors.New("store: snapshot truncated")
+	ErrFormat      = errors.New("store: malformed snapshot")
+	ErrKeyMismatch = errors.New("store: snapshot was written under a different key")
+)
+
+// crcTable is Castagnoli, the polynomial with hardware support on both
+// amd64 and arm64.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// flag bits of the header.
+const flagClustered = 1 << 0
+
+// Snapshot is one parsed table file: the public key it is encrypted
+// under, the attribute/domain metadata queries need, and the full table
+// state ready for core.RestoreTable.
+type Snapshot struct {
+	PK         *paillier.PublicKey
+	AttrBits   int // per-attribute domain size in bits
+	DomainBits int // l, the squared-distance domain for SkNNm's SBD
+	Table      *core.TableSnapshot
+}
+
+// Fingerprint is the snapshot's key check value: SHA-256 over the
+// big-endian bytes of the public modulus N.
+func Fingerprint(pk *paillier.PublicKey) [32]byte {
+	return sha256.Sum256(pk.N.Bytes())
+}
+
+// VerifyKey checks that the snapshot was written under the given public
+// key, returning ErrKeyMismatch (with both fingerprints) otherwise.
+func (s *Snapshot) VerifyKey(pk *paillier.PublicKey) error {
+	want, got := Fingerprint(pk), Fingerprint(s.PK)
+	if want != got {
+		return fmt.Errorf("%w: file %x…, key %x…", ErrKeyMismatch, got[:6], want[:6])
+	}
+	return nil
+}
+
+// Write serializes the table state to w in snapshot format Version.
+// attrBits and domainBits are the dataset metadata a loader needs to
+// validate inserts and run SkNNm without re-deriving them.
+func Write(w io.Writer, pk *paillier.PublicKey, tbl *core.TableSnapshot, attrBits, domainBits int) error {
+	if pk == nil || tbl == nil {
+		return fmt.Errorf("%w: nil key or table", ErrFormat)
+	}
+	n := len(tbl.Records)
+	if n == 0 || len(tbl.IDs) != n || len(tbl.Dead) != n {
+		return fmt.Errorf("%w: inconsistent table snapshot (%d records, %d ids, %d dead)",
+			ErrFormat, n, len(tbl.IDs), len(tbl.Dead))
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	h := crc32.New(crcTable)
+	out := &sectionWriter{w: io.MultiWriter(bw, h)}
+
+	out.bytes(tableMagic[:])
+	out.u16(Version)
+	var flags uint16
+	if len(tbl.Centroids) > 0 {
+		flags |= flagClustered
+	}
+	out.u16(flags)
+	out.u32(uint32(tbl.M))
+	out.u32(uint32(tbl.FeatureM))
+	out.u32(uint32(attrBits))
+	out.u32(uint32(domainBits))
+	out.u64(uint64(n))
+	out.u64(tbl.NextID)
+	nBytes := pk.N.Bytes()
+	out.uvarint(uint64(len(nBytes)))
+	out.bytes(nBytes)
+	fp := Fingerprint(pk)
+	out.bytes(fp[:])
+
+	// Tombstone bitmap, LSB-first within each byte.
+	bitmap := make([]byte, (n+7)/8)
+	for i, d := range tbl.Dead {
+		if d {
+			bitmap[i/8] |= 1 << (i % 8)
+		}
+	}
+	out.bytes(bitmap)
+	for _, id := range tbl.IDs {
+		out.uvarint(id)
+	}
+	for i, rec := range tbl.Records {
+		if len(rec) != tbl.M {
+			return fmt.Errorf("%w: record %d has %d attributes, want %d", ErrFormat, i, len(rec), tbl.M)
+		}
+		for _, ct := range rec {
+			out.bigInt(ct.Raw())
+		}
+	}
+	if flags&flagClustered != 0 {
+		if len(tbl.Centroids) != len(tbl.Members) {
+			return fmt.Errorf("%w: %d centroids, %d member lists",
+				ErrFormat, len(tbl.Centroids), len(tbl.Members))
+		}
+		out.u32(uint32(len(tbl.Centroids)))
+		for j, cent := range tbl.Centroids {
+			if len(cent) != tbl.FeatureM {
+				return fmt.Errorf("%w: centroid %d has %d attributes, want %d",
+					ErrFormat, j, len(cent), tbl.FeatureM)
+			}
+			for _, ct := range cent {
+				out.bigInt(ct.Raw())
+			}
+		}
+		for j, mem := range tbl.Members {
+			out.uvarint(uint64(len(mem)))
+			prev := -1
+			for _, pos := range mem {
+				if pos <= prev {
+					return fmt.Errorf("%w: cluster %d members not strictly ascending", ErrFormat, j)
+				}
+				out.uvarint(uint64(pos - prev)) // delta ≥ 1
+				prev = pos
+			}
+		}
+	}
+	if out.err != nil {
+		return fmt.Errorf("store: writing snapshot: %w", out.err)
+	}
+	// Trailer: CRC over everything above, written outside the hash.
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], h.Sum32())
+	if _, err := bw.Write(crc[:]); err != nil {
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Read parses one snapshot, validating the magic, version, checksum,
+// and structural invariants. The caller still owes a VerifyKey against
+// the key it intends to use and a core.RestoreTable (which re-validates
+// the cluster partition) before querying.
+func Read(r io.Reader) (*Snapshot, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	h := crc32.New(crcTable)
+	in := &sectionReader{r: io.TeeReader(br, h)}
+
+	var magic [8]byte
+	in.bytes(magic[:])
+	if in.err != nil || magic != tableMagic {
+		return nil, fmt.Errorf("%w: not a sknn table snapshot", ErrMagic)
+	}
+	version := in.u16()
+	if in.err == nil && version != Version {
+		return nil, fmt.Errorf("%w: file is v%d, this build reads v%d", ErrVersion, version, Version)
+	}
+	flags := in.u16()
+	m := int(in.u32())
+	featureM := int(in.u32())
+	attrBits := int(in.u32())
+	domainBits := int(in.u32())
+	n64 := in.u64()
+	nextID := in.u64()
+	if in.err != nil {
+		return nil, in.fail("header")
+	}
+	const maxN, maxM = 1 << 40, 1 << 16
+	if m < 1 || m > maxM || featureM < 1 || featureM > m {
+		return nil, fmt.Errorf("%w: %d attributes, %d feature columns", ErrFormat, m, featureM)
+	}
+	if attrBits < 1 || attrBits > 64 || domainBits < 1 || domainBits > 512 {
+		return nil, fmt.Errorf("%w: attrBits=%d domainBits=%d", ErrFormat, attrBits, domainBits)
+	}
+	if n64 < 1 || n64 > maxN {
+		return nil, fmt.Errorf("%w: %d records", ErrFormat, n64)
+	}
+	n := int(n64)
+
+	nLen := in.uvarint()
+	if in.err == nil && (nLen < 8 || nLen > 1<<16) {
+		return nil, fmt.Errorf("%w: public modulus of %d bytes", ErrFormat, nLen)
+	}
+	nBytes := make([]byte, nLen)
+	in.bytes(nBytes)
+	var fp [32]byte
+	in.bytes(fp[:])
+	if in.err != nil {
+		return nil, in.fail("public key")
+	}
+	N := new(big.Int).SetBytes(nBytes)
+	if N.Sign() <= 0 || N.BitLen() < 64 {
+		return nil, fmt.Errorf("%w: implausible public modulus", ErrFormat)
+	}
+	pk := &paillier.PublicKey{N: N, NSquared: new(big.Int).Mul(N, N)}
+	if Fingerprint(pk) != fp {
+		return nil, fmt.Errorf("%w: embedded key fingerprint does not match embedded key", ErrFormat)
+	}
+	// Each ciphertext lives in (0, N²): cap the length prefix we will
+	// allocate for.
+	maxCT := len(nBytes)*2 + 1
+
+	tbl := &core.TableSnapshot{
+		M:        m,
+		FeatureM: featureM,
+		NextID:   nextID,
+		IDs:      make([]uint64, n),
+		Dead:     make([]bool, n),
+	}
+	bitmap := make([]byte, (n+7)/8)
+	in.bytes(bitmap)
+	for i := range tbl.Dead {
+		tbl.Dead[i] = bitmap[i/8]&(1<<(i%8)) != 0
+	}
+	for i := range tbl.IDs {
+		tbl.IDs[i] = in.uvarint()
+	}
+	if in.err != nil {
+		return nil, in.fail("record ids")
+	}
+	tbl.Records = make([]core.EncryptedRecord, n)
+	for i := range tbl.Records {
+		rec := make(core.EncryptedRecord, m)
+		for j := range rec {
+			ct, err := in.ciphertext(pk, maxCT)
+			if err != nil {
+				return nil, fmt.Errorf("record %d attribute %d: %w", i, j, err)
+			}
+			rec[j] = ct
+		}
+		tbl.Records[i] = rec
+	}
+	if flags&flagClustered != 0 {
+		c := int(in.u32())
+		if in.err != nil {
+			return nil, in.fail("cluster count")
+		}
+		if c < 1 || c > n {
+			return nil, fmt.Errorf("%w: %d clusters over %d records", ErrFormat, c, n)
+		}
+		tbl.Centroids = make([]core.EncryptedRecord, c)
+		for j := range tbl.Centroids {
+			cent := make(core.EncryptedRecord, featureM)
+			for hh := range cent {
+				ct, err := in.ciphertext(pk, maxCT)
+				if err != nil {
+					return nil, fmt.Errorf("centroid %d attribute %d: %w", j, hh, err)
+				}
+				cent[hh] = ct
+			}
+			tbl.Centroids[j] = cent
+		}
+		tbl.Members = make([][]int, c)
+		for j := range tbl.Members {
+			count := in.uvarint()
+			if in.err != nil {
+				return nil, in.fail("membership list")
+			}
+			if count > uint64(n) {
+				return nil, fmt.Errorf("%w: cluster %d claims %d members of %d records", ErrFormat, j, count, n)
+			}
+			mem := make([]int, count)
+			pos := -1
+			for i := range mem {
+				delta := in.uvarint()
+				if in.err != nil {
+					return nil, in.fail("membership list")
+				}
+				if delta < 1 || delta > uint64(n) || pos+int(delta) >= n {
+					return nil, fmt.Errorf("%w: cluster %d member delta %d out of range", ErrFormat, j, delta)
+				}
+				pos += int(delta)
+				mem[i] = pos
+			}
+			tbl.Members[j] = mem
+		}
+	}
+	if in.err != nil {
+		return nil, in.fail("table body")
+	}
+
+	// Trailer: the stored CRC is read outside the hashing tee.
+	want := h.Sum32()
+	var crc [4]byte
+	if _, err := io.ReadFull(br, crc[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing checksum trailer", ErrTruncated)
+	}
+	if binary.LittleEndian.Uint32(crc[:]) != want {
+		return nil, ErrChecksum
+	}
+	return &Snapshot{PK: pk, AttrBits: attrBits, DomainBits: domainBits, Table: tbl}, nil
+}
+
+// WriteFile writes a snapshot to path (0644), fsync-free; callers that
+// need durability order their own syncs.
+func WriteFile(path string, pk *paillier.PublicKey, tbl *core.TableSnapshot, attrBits, domainBits int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, pk, tbl, attrBits, domainBits); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a snapshot from path.
+func ReadFile(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// WriteKey serializes a private key with the same magic/version/CRC
+// armor as table snapshots, so a truncated or swapped key file fails
+// loudly instead of producing a key that cannot decrypt.
+func WriteKey(w io.Writer, sk *paillier.PrivateKey) error {
+	blob, err := sk.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	h := crc32.New(crcTable)
+	out := &sectionWriter{w: io.MultiWriter(&buf, h)}
+	out.bytes(keyMagic[:])
+	out.u16(Version)
+	out.uvarint(uint64(len(blob)))
+	out.bytes(blob)
+	if out.err != nil {
+		return out.err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], h.Sum32())
+	buf.Write(crc[:])
+	_, err = w.Write(buf.Bytes())
+	return err
+}
+
+// ReadKey parses a private-key file written by WriteKey.
+func ReadKey(r io.Reader) (*paillier.PrivateKey, error) {
+	br := bufio.NewReader(r)
+	h := crc32.New(crcTable)
+	in := &sectionReader{r: io.TeeReader(br, h)}
+	var magic [8]byte
+	in.bytes(magic[:])
+	if in.err != nil || magic != keyMagic {
+		return nil, fmt.Errorf("%w: not a sknn key file", ErrMagic)
+	}
+	version := in.u16()
+	if in.err == nil && version != Version {
+		return nil, fmt.Errorf("%w: key file is v%d", ErrVersion, version)
+	}
+	blobLen := in.uvarint()
+	if in.err == nil && blobLen > 1<<20 {
+		return nil, fmt.Errorf("%w: key blob of %d bytes", ErrFormat, blobLen)
+	}
+	blob := make([]byte, blobLen)
+	in.bytes(blob)
+	if in.err != nil {
+		return nil, in.fail("key blob")
+	}
+	want := h.Sum32()
+	var crc [4]byte
+	if _, err := io.ReadFull(br, crc[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing checksum trailer", ErrTruncated)
+	}
+	if binary.LittleEndian.Uint32(crc[:]) != want {
+		return nil, ErrChecksum
+	}
+	sk := new(paillier.PrivateKey)
+	if err := sk.UnmarshalBinary(blob); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	return sk, nil
+}
+
+// WriteKeyFile writes the private key to path with 0600 permissions.
+func WriteKeyFile(path string, sk *paillier.PrivateKey) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return err
+	}
+	if err := WriteKey(f, sk); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadKeyFile reads a private key from path.
+func ReadKeyFile(path string) (*paillier.PrivateKey, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadKey(f)
+}
+
+// sectionWriter batches little-endian primitives with sticky errors so
+// the encoder body stays linear.
+type sectionWriter struct {
+	w   io.Writer
+	err error
+	buf [binary.MaxVarintLen64]byte
+}
+
+func (s *sectionWriter) bytes(b []byte) {
+	if s.err != nil {
+		return
+	}
+	_, s.err = s.w.Write(b)
+}
+
+func (s *sectionWriter) u16(v uint16) {
+	binary.LittleEndian.PutUint16(s.buf[:2], v)
+	s.bytes(s.buf[:2])
+}
+
+func (s *sectionWriter) u32(v uint32) {
+	binary.LittleEndian.PutUint32(s.buf[:4], v)
+	s.bytes(s.buf[:4])
+}
+
+func (s *sectionWriter) u64(v uint64) {
+	binary.LittleEndian.PutUint64(s.buf[:8], v)
+	s.bytes(s.buf[:8])
+}
+
+func (s *sectionWriter) uvarint(v uint64) {
+	n := binary.PutUvarint(s.buf[:], v)
+	s.bytes(s.buf[:n])
+}
+
+func (s *sectionWriter) bigInt(v *big.Int) {
+	b := v.Bytes()
+	s.uvarint(uint64(len(b)))
+	s.bytes(b)
+}
+
+// sectionReader is the decoding mirror of sectionWriter: sticky errors,
+// EOFs normalized to ErrTruncated.
+type sectionReader struct {
+	r   io.Reader
+	err error
+	buf [8]byte
+}
+
+func (s *sectionReader) bytes(b []byte) {
+	if s.err != nil {
+		return
+	}
+	if _, err := io.ReadFull(s.r, b); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			err = fmt.Errorf("%w: %v", ErrTruncated, err)
+		}
+		s.err = err
+	}
+}
+
+func (s *sectionReader) u16() uint16 {
+	s.bytes(s.buf[:2])
+	return binary.LittleEndian.Uint16(s.buf[:2])
+}
+
+func (s *sectionReader) u32() uint32 {
+	s.bytes(s.buf[:4])
+	return binary.LittleEndian.Uint32(s.buf[:4])
+}
+
+func (s *sectionReader) u64() uint64 {
+	s.bytes(s.buf[:8])
+	return binary.LittleEndian.Uint64(s.buf[:8])
+}
+
+func (s *sectionReader) uvarint() uint64 {
+	if s.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(byteReader{s})
+	if err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			err = fmt.Errorf("%w: %v", ErrTruncated, err)
+		}
+		s.err = err
+	}
+	return v
+}
+
+// ciphertext reads one length-prefixed ciphertext, validating it against
+// the public key's range.
+func (s *sectionReader) ciphertext(pk *paillier.PublicKey, maxLen int) (*paillier.Ciphertext, error) {
+	l := s.uvarint()
+	if s.err != nil {
+		return nil, s.err
+	}
+	if l == 0 || l > uint64(maxLen) {
+		return nil, fmt.Errorf("%w: ciphertext of %d bytes", ErrFormat, l)
+	}
+	b := make([]byte, l)
+	s.bytes(b)
+	if s.err != nil {
+		return nil, s.err
+	}
+	ct, err := pk.FromRaw(new(big.Int).SetBytes(b))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	return ct, nil
+}
+
+// fail wraps the sticky error with the section that was being parsed.
+func (s *sectionReader) fail(section string) error {
+	return fmt.Errorf("store: reading %s: %w", section, s.err)
+}
+
+// byteReader adapts sectionReader to io.ByteReader for ReadUvarint.
+type byteReader struct{ s *sectionReader }
+
+func (b byteReader) ReadByte() (byte, error) {
+	var one [1]byte
+	if _, err := io.ReadFull(b.s.r, one[:]); err != nil {
+		return 0, err
+	}
+	return one[0], nil
+}

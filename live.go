@@ -1,0 +1,209 @@
+package sknn
+
+import (
+	"fmt"
+
+	"sknn/internal/cluster"
+)
+
+// This file is the live half of the table lifecycle: Insert, Delete,
+// and Compact, the mutations that turn the paper's static outsourced
+// relation into a dataset that changes over time. The trust story per
+// operation:
+//
+//   - Insert: the data owner encrypts the new row under her key (C1
+//     never sees plaintext) and C1 appends it. On a clustered system the
+//     record is first routed to its nearest centroid with the same
+//     oblivious SSED+SBD+SMINn machinery a pruned query uses, so C1
+//     learns only which cluster the record joins — the index's existing
+//     leakage class, nothing new. (The alternative, owner-side plaintext
+//     assignment, trades that leak for owner-side centroid state; see
+//     docs/PROTOCOLS.md for the comparison.)
+//   - Delete: an owner-announced tombstone. C1 necessarily learns which
+//     stored row was retired; it still never learns its contents.
+//   - Compact: C1-side physical removal of tombstones plus, on a
+//     clustered system, the owner-side re-cluster that refreshes the
+//     centroids (this facade plays the owner too, so it legitimately
+//     holds the key it decrypts with).
+//
+// Mutations are serialized with each other but never block queries:
+// every query session pins an immutable view of the table at open, so
+// in-flight queries finish on the state they started with.
+
+// Insert encrypts row under the system key (data-owner-side) and
+// appends it to the outsourced table (C1-side), returning the record's
+// stable id — the handle Delete takes. The initial table's rows hold
+// ids 0..n−1 in row order. Values must fit the attribute domain the
+// system was built with. On a clustered system the record is routed
+// obliviously to its nearest centroid, which costs one centroid-ranking
+// round (c−1 SMINs); unclustered inserts are pure appends.
+//
+// When the accumulated churn passes Config.CompactThreshold the insert
+// also triggers Compact; amortized over many mutations that keeps the
+// table clean without the caller scheduling maintenance.
+func (s *System) Insert(row []uint64) (uint64, error) {
+	if err := s.begin(); err != nil {
+		return 0, err
+	}
+	defer s.end()
+	if len(row) != s.m {
+		return 0, fmt.Errorf("sknn: inserting row with %d attributes, table has %d", len(row), s.m)
+	}
+	limit := uint64(1) << s.attrBits
+	for j, v := range row {
+		if v >= limit {
+			return 0, fmt.Errorf("sknn: inserted attribute %d value %d ≥ 2^%d", j, v, s.attrBits)
+		}
+	}
+	// Owner-side encryption: the only party seeing plaintext is the one
+	// that legitimately holds it.
+	rec, err := s.sk.PublicKey.EncryptUint64Vector(s.random, row)
+	if err != nil {
+		return 0, fmt.Errorf("sknn: encrypting inserted row: %w", err)
+	}
+
+	// Serialize with other mutations: routing must target the index the
+	// append lands in (a concurrent Compact could swap it out).
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	tbl := s.c1.Table()
+	clusterID := -1
+	if tbl.Clustered() {
+		featureM := tbl.FeatureM()
+		eq, err := s.client.EncryptQuery(row[:featureM])
+		if err != nil {
+			return 0, fmt.Errorf("sknn: encrypting insert routing query: %w", err)
+		}
+		sess, err := s.c1.NewSession(s.perQuery)
+		if err != nil {
+			return 0, err
+		}
+		clusterID, err = sess.NearestCluster(eq, s.domainBits)
+		sess.Close()
+		if err != nil {
+			return 0, fmt.Errorf("sknn: routing insert: %w", err)
+		}
+	}
+	id, err := tbl.Insert(rec, clusterID)
+	if err != nil {
+		return 0, fmt.Errorf("sknn: %w", err)
+	}
+	s.maybeCompactLocked()
+	return id, nil
+}
+
+// Delete tombstones the record with the given stable id: queries opened
+// after the call no longer see it, the ciphertext is physically removed
+// at the next Compact. Deleting an unknown or already-deleted id
+// returns an error wrapping core.ErrNoSuchRecord.
+func (s *System) Delete(id uint64) error {
+	if err := s.begin(); err != nil {
+		return err
+	}
+	defer s.end()
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	if err := s.c1.Table().Delete(id); err != nil {
+		return fmt.Errorf("sknn: %w", err)
+	}
+	s.maybeCompactLocked()
+	return nil
+}
+
+// Compact removes tombstoned ciphertexts from storage and, on a
+// clustered system, re-clusters: the owner decrypts the feature columns
+// (this facade holds her key by construction), runs k-means afresh, and
+// installs new encrypted centroids and membership lists — the
+// "re-outsource the index" maintenance the paper's static setting never
+// needs. Queries in flight keep their pre-compaction view; record ids
+// survive. Automatic when churn passes Config.CompactThreshold, public
+// for callers that schedule their own maintenance windows.
+func (s *System) Compact() error {
+	if err := s.begin(); err != nil {
+		return err
+	}
+	defer s.end()
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	return s.compactLocked()
+}
+
+// DirtyFraction reports the live table's churn since its last clean
+// build — the value compared against Config.CompactThreshold.
+func (s *System) DirtyFraction() float64 { return s.c1.Table().DirtyFraction() }
+
+// maybeCompactLocked runs threshold compaction. Caller holds writeMu.
+func (s *System) maybeCompactLocked() {
+	if s.compactAt < 0 || s.c1.Table().DirtyFraction() <= s.compactAt {
+		return
+	}
+	// Best-effort: a failed rebuild leaves the tombstone-free table with
+	// its previous centroids, which is correct (just less fresh), so the
+	// error is not worth failing the triggering mutation for.
+	_ = s.compactLocked()
+}
+
+// compactLocked is Compact's body. Caller holds writeMu.
+func (s *System) compactLocked() error {
+	tbl := s.c1.Table()
+	tbl.Compact()
+	if !tbl.Clustered() {
+		return nil
+	}
+	rows, err := s.decryptRows(tbl.FeatureM())
+	if err != nil {
+		return fmt.Errorf("sknn: compact: %w", err)
+	}
+	c := s.cfgClusters
+	if c == 0 {
+		c = cluster.DefaultClusters(len(rows))
+	}
+	part, err := cluster.KMeans(rows, c, 1)
+	if err != nil {
+		return fmt.Errorf("sknn: compact re-cluster: %w", err)
+	}
+	if err := tbl.SetClusterIndex(s.random, part.Centroids, part.Members); err != nil {
+		return fmt.Errorf("sknn: compact re-cluster: %w", err)
+	}
+	return nil
+}
+
+// DecryptTable decrypts every live record with the owner's key and
+// returns the plaintext rows in storage order. This is an owner-side
+// utility — the facade plays Alice, who may of course read her own
+// table — used for oracle verification (cmd/sknnquery -verify on a
+// snapshot) and by Compact's re-cluster step. It is not part of any
+// cloud's view.
+func (s *System) DecryptTable() ([][]uint64, error) {
+	if err := s.begin(); err != nil {
+		return nil, err
+	}
+	defer s.end()
+	return s.decryptRows(s.m)
+}
+
+// decryptRows decrypts the first cols attributes of every live record,
+// working from a consistent table snapshot so concurrent mutation
+// cannot tear the result.
+func (s *System) decryptRows(cols int) ([][]uint64, error) {
+	snap := s.c1.Table().Snapshot()
+	out := make([][]uint64, 0, len(snap.Records))
+	for i, rec := range snap.Records {
+		if snap.Dead[i] {
+			continue
+		}
+		row := make([]uint64, cols)
+		for j := 0; j < cols; j++ {
+			v, err := s.sk.Decrypt(rec[j])
+			if err != nil {
+				return nil, fmt.Errorf("decrypting record %d attribute %d: %w", i, j, err)
+			}
+			if !v.IsUint64() {
+				return nil, fmt.Errorf("record %d attribute %d does not fit uint64", i, j)
+			}
+			row[j] = v.Uint64()
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}

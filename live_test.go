@@ -1,0 +1,383 @@
+package sknn
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	"sync"
+	"testing"
+
+	"sknn/internal/dataset"
+	"sknn/internal/paillier"
+	"sknn/internal/plainknn"
+	"sknn/internal/store"
+)
+
+// otherKey is a second cached key for wrong-key paths.
+var otherKey = sync.OnceValue(func() *paillier.PrivateKey {
+	sk, err := paillier.GenerateKey(rand.Reader, 256)
+	if err != nil {
+		panic(err)
+	}
+	return sk
+})
+
+// oracleCheck compares one protocol result against the plaintext kNN
+// over the live rows, by sorted squared distance (SkNNm returns ties in
+// random order).
+func oracleCheck(t *testing.T, rows [][]uint64, got [][]uint64, q []uint64, k int) {
+	t.Helper()
+	want, err := plainknn.KDistances(rows, q, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != k {
+		t.Fatalf("got %d neighbors, want %d", len(got), k)
+	}
+	ds := make([]uint64, len(got))
+	for i, row := range got {
+		ds[i], err = plainknn.SquaredDistance(row[:len(q)], q)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && ds[j] < ds[j-1]; j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+	for i := range want {
+		if ds[i] != want[i] {
+			t.Fatalf("neighbor distances %v, oracle %v (query %v)", ds, want, q)
+		}
+	}
+}
+
+// TestLiveTableMutationsMatchOracle is the PR's acceptance scenario: a
+// clustered table takes 100 inserts and 100 deletes (auto-compaction
+// and owner-side re-clustering fire along the way), is saved, reloaded
+// — with zero Paillier encryptions on the load path — and still answers
+// exact oracle kNN in IndexClustered mode.
+func TestLiveTableMutationsMatchOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hundreds of protocol rounds; skipped in -short")
+	}
+	const (
+		attrBits = 6
+		k        = 3
+	)
+	tbl, err := dataset.GenerateClustered(901, 120, 2, attrBits, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(tbl.Rows, attrBits, Config{
+		Key:      facadeKey(),
+		Index:    IndexClustered,
+		Clusters: 6,
+		Coverage: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	// Plaintext mirror: stable id -> row, the oracle's view of the table.
+	mirror := make(map[uint64][]uint64, 220)
+	for i, row := range tbl.Rows {
+		mirror[uint64(i)] = row
+	}
+
+	// 100 inserts, obliviously routed to their nearest centroids.
+	insData, err := dataset.GenerateClustered(902, 100, 2, attrBits, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var insertedIDs []uint64
+	for _, row := range insData.Rows {
+		id, err := sys.Insert(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, dup := mirror[id]; dup {
+			t.Fatalf("Insert returned duplicate id %d", id)
+		}
+		mirror[id] = row
+		insertedIDs = append(insertedIDs, id)
+	}
+
+	// 100 deletes: 60 seed records and 40 of the fresh inserts.
+	var deletions []uint64
+	for id := uint64(0); id < 120; id += 2 {
+		deletions = append(deletions, id)
+	}
+	deletions = append(deletions, insertedIDs[:40]...)
+	for _, id := range deletions {
+		if err := sys.Delete(id); err != nil {
+			t.Fatalf("Delete(%d): %v", id, err)
+		}
+		delete(mirror, id)
+	}
+	if sys.N() != len(mirror) {
+		t.Fatalf("live N = %d, mirror has %d", sys.N(), len(mirror))
+	}
+
+	liveRows := make([][]uint64, 0, len(mirror))
+	for _, row := range mirror {
+		liveRows = append(liveRows, row)
+	}
+	queries := [][]uint64{insData.Rows[60], tbl.Rows[1], {13, 47}}
+
+	for _, q := range queries {
+		got, err := sys.Query(q, k, ModeSecure)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracleCheck(t, liveRows, got, q, k)
+	}
+
+	// Save the mutated table and reload it: the load path must perform
+	// zero Paillier encryptions (that is the entire point of snapshot
+	// persistence). Root-package tests run serially, so the global
+	// counter is not perturbed by concurrent encryption.
+	var buf bytes.Buffer
+	if err := sys.SaveTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	before := paillier.EncryptCalls()
+	loaded, err := LoadTable(&buf, facadeKey(), Config{Coverage: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	if after := paillier.EncryptCalls(); after != before {
+		t.Fatalf("load path performed %d Paillier encryptions, want 0", after-before)
+	}
+	if loaded.Index() != IndexClustered {
+		t.Fatalf("loaded index = %v, want IndexClustered", loaded.Index())
+	}
+	if loaded.N() != len(mirror) {
+		t.Fatalf("loaded N = %d, want %d", loaded.N(), len(mirror))
+	}
+
+	for _, q := range queries {
+		got, err := loaded.Query(q, k, ModeSecure)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracleCheck(t, liveRows, got, q, k)
+	}
+
+	// The reloaded table is still live: a post-reload insert/delete pair
+	// keeps answering the (updated) oracle.
+	extra := []uint64{9, 9}
+	id, err := loaded.Insert(extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mirror[id] = extra
+	if err := loaded.Delete(insertedIDs[50]); err != nil {
+		t.Fatal(err)
+	}
+	delete(mirror, insertedIDs[50])
+	liveRows = liveRows[:0]
+	for _, row := range mirror {
+		liveRows = append(liveRows, row)
+	}
+	got, err := loaded.Query(extra, k, ModeSecure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracleCheck(t, liveRows, got, extra, k)
+}
+
+// TestLiveTableFullScanMutations covers the same mutate-then-query
+// contract in IndexNone mode, where correctness is unconditional (every
+// live record is scanned).
+func TestLiveTableFullScanMutations(t *testing.T) {
+	tbl, err := dataset.Generate(911, 16, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(tbl.Rows, 4, Config{Key: facadeKey()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	mirror := make(map[uint64][]uint64)
+	for i, row := range tbl.Rows {
+		mirror[uint64(i)] = row
+	}
+	for _, row := range [][]uint64{{1, 2}, {14, 3}, {7, 7}} {
+		id, err := sys.Insert(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mirror[id] = row
+	}
+	for _, id := range []uint64{0, 3, 16} {
+		if err := sys.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+		delete(mirror, id)
+	}
+	liveRows := make([][]uint64, 0, len(mirror))
+	for _, row := range mirror {
+		liveRows = append(liveRows, row)
+	}
+	q := []uint64{7, 6}
+	for _, mode := range []Mode{ModeBasic, ModeSecure} {
+		got, err := sys.Query(q, 3, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracleCheck(t, liveRows, got, q, 3)
+	}
+
+	// Save → load → same answers, still encrypt-free.
+	var buf bytes.Buffer
+	if err := sys.SaveTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	before := paillier.EncryptCalls()
+	loaded, err := LoadTable(&buf, facadeKey(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	if after := paillier.EncryptCalls(); after != before {
+		t.Fatalf("load path performed %d Paillier encryptions, want 0", after-before)
+	}
+	for _, mode := range []Mode{ModeBasic, ModeSecure} {
+		got, err := loaded.Query(q, 3, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracleCheck(t, liveRows, got, q, 3)
+	}
+}
+
+// TestSaveLoadQueryEquality is the snapshot round-trip property: for
+// several seeds and both index modes, Save→Load→Query answers exactly
+// what the in-memory system answers.
+func TestSaveLoadQueryEquality(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		for _, index := range []IndexMode{IndexNone, IndexClustered} {
+			tbl, err := dataset.GenerateClustered(seed, 30, 2, 5, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys, err := New(tbl.Rows, 5, Config{Key: facadeKey(), Index: index, Clusters: 4, Coverage: 6})
+			if err != nil {
+				t.Fatal(err)
+			}
+			q, _ := dataset.GenerateQuery(seed+100, 2, 5)
+			inMem, err := sys.Query(q, 2, ModeSecure)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := sys.SaveTable(&buf); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := LoadTable(&buf, facadeKey(), Config{Coverage: 6})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fromDisk, err := loaded.Query(q, 2, ModeSecure)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oracleCheck(t, tbl.Rows, inMem, q, 2)
+			oracleCheck(t, tbl.Rows, fromDisk, q, 2)
+			if loaded.Index() != index || loaded.N() != sys.N() || loaded.M() != sys.M() ||
+				loaded.DomainBits() != sys.DomainBits() {
+				t.Fatalf("seed %d index %v: loaded system shape diverged", seed, index)
+			}
+			sys.Close()
+			loaded.Close()
+		}
+	}
+}
+
+func TestLoadTableErrors(t *testing.T) {
+	tbl, _ := dataset.Generate(31, 8, 2, 4)
+	sys, err := New(tbl.Rows, 4, Config{Key: facadeKey()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	var buf bytes.Buffer
+	if err := sys.SaveTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snapshot := buf.Bytes()
+
+	if _, err := LoadTable(bytes.NewReader(snapshot), nil, Config{}); err == nil {
+		t.Error("nil key accepted")
+	}
+	other := otherKey()
+	if _, err := LoadTable(bytes.NewReader(snapshot), other, Config{}); !errors.Is(err, store.ErrKeyMismatch) {
+		t.Errorf("wrong key: err = %v, want store.ErrKeyMismatch", err)
+	}
+	if _, err := LoadTable(bytes.NewReader(snapshot), facadeKey(), Config{Index: IndexClustered}); err == nil {
+		t.Error("IndexClustered accepted for an unclustered snapshot")
+	}
+	if _, err := LoadTable(bytes.NewReader([]byte("junk")), facadeKey(), Config{}); !errors.Is(err, store.ErrMagic) {
+		t.Errorf("garbage: err = %v, want store.ErrMagic", err)
+	}
+	truncated := snapshot[:len(snapshot)/2]
+	if _, err := LoadTable(bytes.NewReader(truncated), facadeKey(), Config{}); !errors.Is(err, store.ErrTruncated) {
+		t.Errorf("truncated: err = %v, want store.ErrTruncated", err)
+	}
+
+	// Metadata the engine's invariants forbid: attrBits beyond
+	// dataset.MaxAttrBits (would overflow the Insert domain guard) and a
+	// domain size l that disagrees with DomainBits (would re-expose the
+	// step 3(e) sentinel collision).
+	snap, err := store.Read(bytes.NewReader(snapshot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var badBits bytes.Buffer
+	if err := store.Write(&badBits, &facadeKey().PublicKey, snap.Table, 30, snap.DomainBits); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTable(&badBits, facadeKey(), Config{}); err == nil {
+		t.Error("attrBits=30 snapshot accepted (MaxAttrBits is 24)")
+	}
+	var badL bytes.Buffer
+	if err := store.Write(&badL, &facadeKey().PublicKey, snap.Table, snap.AttrBits, snap.DomainBits-1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTable(&badL, facadeKey(), Config{}); err == nil {
+		t.Error("snapshot with understated domain size l accepted")
+	}
+}
+
+func TestInsertDeleteValidation(t *testing.T) {
+	tbl, _ := dataset.Generate(41, 6, 2, 4)
+	sys, err := New(tbl.Rows, 4, Config{Key: facadeKey()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if _, err := sys.Insert([]uint64{1}); err == nil {
+		t.Error("wrong-arity insert accepted")
+	}
+	if _, err := sys.Insert([]uint64{1, 16}); err == nil {
+		t.Error("out-of-domain insert accepted (16 ≥ 2^4)")
+	}
+	if err := sys.Delete(99); err == nil {
+		t.Error("delete of unknown id accepted")
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Insert([]uint64{1, 2}); !errors.Is(err, ErrClosed) {
+		t.Errorf("insert on closed system: err = %v, want ErrClosed", err)
+	}
+	if err := sys.Delete(0); !errors.Is(err, ErrClosed) {
+		t.Errorf("delete on closed system: err = %v, want ErrClosed", err)
+	}
+}

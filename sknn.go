@@ -141,7 +141,19 @@ type Config struct {
 	// means DefaultCoverage. Larger values trade SMIN savings for
 	// recall on badly clusterable (e.g. uniform) data.
 	Coverage float64
+	// CompactThreshold is the dirty-fraction bound of the live table:
+	// when (tombstones + inserts since the last clean build) exceeds
+	// this fraction of stored records, the next Insert or Delete
+	// triggers Compact — physical tombstone removal plus, on a
+	// clustered system, the owner-side re-cluster that refreshes the
+	// centroids. 0 means DefaultCompactThreshold; negative disables
+	// automatic compaction (call Compact yourself).
+	CompactThreshold float64
 }
+
+// DefaultCompactThreshold is the default dirty-fraction bound that
+// triggers automatic Compact on a mutated table.
+const DefaultCompactThreshold = 0.25
 
 // ErrClosed is returned by queries on a closed System.
 var ErrClosed = errors.New("sknn: system closed")
@@ -170,21 +182,29 @@ func (l *lockedReader) Read(p []byte) (int, error) {
 // session multiplexed over the Workers connections to C2, so concurrent
 // queries share the pool instead of serializing behind a global lock.
 type System struct {
-	sk         *paillier.PrivateKey
-	c1         *core.CloudC1
-	client     *core.Client
-	domainBits int
-	n, m       int
-	perQuery   int
-	index      IndexMode
-	clusters   int     // cluster count when index == IndexClustered
-	coverage   float64 // candidate-pool factor when index == IndexClustered
+	sk          *paillier.PrivateKey
+	c1          *core.CloudC1
+	client      *core.Client
+	random      io.Reader // shared, lock-wrapped randomness source
+	domainBits  int
+	attrBits    int // per-attribute domain, bounds Insert values
+	m           int
+	perQuery    int
+	index       IndexMode
+	cfgClusters int     // requested cluster count (0 = ⌈√n⌉), reused by Compact rebuilds
+	coverage    float64 // candidate-pool factor when index == IndexClustered
+	compactAt   float64 // dirty-fraction bound; <0 disables auto-compact
+
+	// writeMu serializes table mutations (Insert, Delete, Compact):
+	// writers are rare next to queries, which stay fully concurrent on
+	// their session views.
+	writeMu sync.Mutex
 
 	mu        sync.Mutex
 	closed    bool
-	closeDone chan struct{} // closed when teardown has fully finished
-	closeErr  error         // valid once closeDone is closed
-	inflight  sync.WaitGroup // in-flight Query/QueryBatch calls
+	closeDone chan struct{}  // closed when teardown has fully finished
+	closeErr  error          // valid once closeDone is closed
+	inflight  sync.WaitGroup // in-flight Query/QueryBatch/mutation calls
 	serveWG   sync.WaitGroup
 	pool      *paillier.RandomizerPool // non-nil when Config.UseNoncePool
 }
@@ -198,32 +218,12 @@ func New(rows [][]uint64, attrBits int, cfg Config) (*System, error) {
 	if err := tbl.Validate(); err != nil {
 		return nil, fmt.Errorf("sknn: %w", err)
 	}
-	if cfg.KeyBits == 0 {
-		cfg.KeyBits = 512
+	// Reject bad configuration before the expensive key generation and
+	// table encryption below.
+	if err := normalizeConfig(&cfg); err != nil {
+		return nil, err
 	}
-	if cfg.Workers <= 0 {
-		cfg.Workers = 1
-	}
-	// Reject bad index configuration before the expensive key generation
-	// and table encryption below.
-	if cfg.Index != IndexNone && cfg.Index != IndexClustered {
-		return nil, fmt.Errorf("sknn: unknown index mode %d", int(cfg.Index))
-	}
-	if cfg.Coverage < 0 {
-		return nil, fmt.Errorf("sknn: negative coverage factor %g", cfg.Coverage)
-	}
-	if cfg.Coverage == 0 {
-		cfg.Coverage = DefaultCoverage
-	}
-	random := cfg.Random
-	if random == nil {
-		random = rand.Reader
-	} else {
-		// Sessions, serve loops, and setup all draw from this reader
-		// concurrently; crypto/rand.Reader is safe but a user-supplied
-		// source (e.g. a deterministic stream) need not be.
-		random = &lockedReader{r: random}
-	}
+	random := wrapRandom(cfg.Random)
 	sk := cfg.Key
 	if sk == nil {
 		var err error
@@ -245,7 +245,6 @@ func New(rows [][]uint64, attrBits int, cfg Config) (*System, error) {
 		}
 		featureM = cfg.FeatureColumns
 	}
-	clusters := 0
 	if cfg.Index == IndexClustered {
 		// Alice-side partitioning: she still holds the plaintext here, so
 		// clustering leaks nothing beyond the index layout it produces.
@@ -271,20 +270,67 @@ func New(rows [][]uint64, attrBits int, cfg Config) (*System, error) {
 		if err != nil {
 			return nil, fmt.Errorf("sknn: attaching cluster index: %w", err)
 		}
-		clusters = part.Clusters()
 	}
+	return assemble(sk, encTable, attrBits, dataset.DomainBits(attrBits, featureM), cfg, random)
+}
 
+// normalizeConfig applies defaults and rejects invalid settings. Shared
+// by New and LoadTable.
+func normalizeConfig(cfg *Config) error {
+	if cfg.KeyBits == 0 {
+		cfg.KeyBits = 512
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Index != IndexNone && cfg.Index != IndexClustered {
+		return fmt.Errorf("sknn: unknown index mode %d", int(cfg.Index))
+	}
+	if cfg.Coverage < 0 {
+		return fmt.Errorf("sknn: negative coverage factor %g", cfg.Coverage)
+	}
+	if cfg.Coverage == 0 {
+		cfg.Coverage = DefaultCoverage
+	}
+	if cfg.CompactThreshold == 0 {
+		cfg.CompactThreshold = DefaultCompactThreshold
+	}
+	return nil
+}
+
+// wrapRandom makes the configured randomness source safe for the
+// concurrent draws of sessions, serve loops, and setup.
+func wrapRandom(r io.Reader) io.Reader {
+	if r == nil {
+		// crypto/rand.Reader is already safe for concurrent use.
+		return rand.Reader
+	}
+	// A user-supplied source (e.g. a deterministic stream) need not be.
+	return &lockedReader{r: r}
+}
+
+// assemble stands up the federated cloud around an already-encrypted
+// table: the shared back half of New (fresh encryption) and LoadTable
+// (snapshot reload — note no encryption happens here, which is what
+// keeps the load path encrypt-free).
+func assemble(sk *paillier.PrivateKey, encTable *core.EncryptedTable, attrBits, domainBits int, cfg Config, random io.Reader) (*System, error) {
+	index := IndexNone
+	if encTable.Clustered() {
+		index = IndexClustered
+	}
 	sys := &System{
-		sk:         sk,
-		client:     core.NewClient(&sk.PublicKey, random),
-		domainBits: dataset.DomainBits(attrBits, featureM),
-		n:          tbl.N(),
-		m:          tbl.M(),
-		perQuery:   cfg.PerQueryWorkers,
-		index:      cfg.Index,
-		clusters:   clusters,
-		coverage:   cfg.Coverage,
-		closeDone:  make(chan struct{}),
+		sk:          sk,
+		client:      core.NewClient(&sk.PublicKey, random),
+		random:      random,
+		domainBits:  domainBits,
+		attrBits:    attrBits,
+		m:           encTable.M(),
+		perQuery:    cfg.PerQueryWorkers,
+		index:       index,
+		cfgClusters: cfg.Clusters,
+		coverage:    cfg.Coverage,
+		compactAt:   cfg.CompactThreshold,
+		closeDone:   make(chan struct{}),
 	}
 	c2 := core.NewCloudC2(sk, random)
 	if cfg.UseNoncePool {
@@ -309,6 +355,7 @@ func New(rows [][]uint64, attrBits int, cfg Config) (*System, error) {
 			_ = c2.ServeConcurrent(conn, c2ServeInflight)
 		}(c2Side)
 	}
+	var err error
 	sys.c1, err = core.NewCloudC1(encTable, conns, random)
 	if err != nil {
 		sys.serveWG.Wait()
@@ -320,8 +367,10 @@ func New(rows [][]uint64, attrBits int, cfg Config) (*System, error) {
 	return sys, nil
 }
 
-// N returns the number of outsourced records.
-func (s *System) N() int { return s.n }
+// N returns the number of live outsourced records: the initial table
+// plus Inserts, minus Deletes. Tombstoned rows awaiting Compact are not
+// counted.
+func (s *System) N() int { return s.c1.Table().N() }
 
 // M returns the number of attributes.
 func (s *System) M() int { return s.m }
@@ -340,8 +389,9 @@ func (s *System) Workers() int { return s.c1.Workers() }
 func (s *System) Index() IndexMode { return s.index }
 
 // Clusters reports the cluster count of the clustered index (0 when
-// Index is IndexNone).
-func (s *System) Clusters() int { return s.clusters }
+// Index is IndexNone). Compact may rebuild the index with a different
+// count as the table grows or shrinks.
+func (s *System) Clusters() int { return s.c1.Table().Clusters() }
 
 // coverageTarget is the candidate-pool floor for a pruned query:
 // max(k, ⌈Coverage·k⌉).
