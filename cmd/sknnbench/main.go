@@ -14,11 +14,12 @@
 //	sknnbench -fig 2a -scale medium     # closer to paper sizes
 //	sknnbench -fig 2d -scale paper      # the paper's exact parameters (hours!)
 //
-// Figures: 2a 2b 2c 2d 2e 2f 3 qps index sminn bob comm baselines all
+// Figures: 2a 2b 2c 2d 2e 2f 3 qps index shard sminn bob comm baselines all
 //
-// "qps" (multi-query throughput) and "index" (clustered secure index vs
-// full scan: QPS, recall, SMIN reduction) are extensions beyond the
-// paper's evaluation.
+// "qps" (multi-query throughput), "index" (clustered secure index vs
+// full scan: QPS, recall, SMIN reduction), and "shard" (scatter-gather
+// SkNNm across S shard workers: per-shard scan cost, merge overhead,
+// recall) are extensions beyond the paper's evaluation.
 package main
 
 import (
@@ -111,7 +112,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sknnbench: ")
 	var (
-		figFlag     = flag.String("fig", "all", "figure to regenerate: 2a 2b 2c 2d 2e 2f 3 qps index sminn bob comm baselines all")
+		figFlag     = flag.String("fig", "all", "figure to regenerate: 2a 2b 2c 2d 2e 2f 3 qps index shard sminn bob comm baselines all")
 		scaleFlag   = flag.String("scale", "small", "sweep preset: small | medium | paper")
 		workersFlag = flag.Int("workers", 0, "override Figure 3 / QPS worker count (0 = min(6, NumCPU))")
 		jsonFlag    = flag.String("json", "", "also write machine-readable BENCH_<fig>.json files into this directory")
@@ -142,12 +143,13 @@ func main() {
 		"3":         b.fig3,
 		"qps":       b.qps,
 		"index":     b.index,
+		"shard":     b.shard,
 		"sminn":     b.sminnShare,
 		"bob":       b.bobCost,
 		"comm":      b.comm,
 		"baselines": b.baselines,
 	}
-	order := []string{"2a", "2b", "2c", "2d", "2e", "2f", "3", "qps", "index", "sminn", "bob", "comm", "baselines"}
+	order := []string{"2a", "2b", "2c", "2d", "2e", "2f", "3", "qps", "index", "shard", "sminn", "bob", "comm", "baselines"}
 
 	if *figFlag == "all" {
 		for _, name := range order {
@@ -518,6 +520,79 @@ func recallOf(rows [][]uint64, q []uint64, oracle []uint64) float64 {
 		}
 	}
 	return float64(hits) / float64(len(oracle))
+}
+
+// shard is the PR 4 extension: the sharded scatter-gather SkNNm versus
+// the single engine, sweeping the shard count S ∈ {1, 2, 4, 8} at fixed
+// n. Five series per S:
+//
+//   - "SkNNm QPS": end-to-end queries per second;
+//   - "stage-1 per shard (s)": the mean per-shard SSED+SBD wall time —
+//     the data-parallel bulk the scatter divides. On a machine with ≥S
+//     cores this is the near-linear speedup axis; on fewer cores the
+//     shards time-slice one another and the series stays flat while
+//     "candidates per shard" still shows the exact-linear work split;
+//   - "candidates per shard": records each shard scans (n/S);
+//   - "merge (s)": the coordinator's secure SMINn merge over the s·k
+//     gathered candidates — the price of the gather, growing with S·k
+//     and independent of n;
+//   - "recall": against the plaintext oracle (exactness target: 1.0 at
+//     every S — the merge re-runs the selection protocol, it never
+//     approximates).
+func (b *bench) shard() error {
+	const m, attrBits, k = 2, 4, 3
+	ns := map[string]int{"small": 48, "medium": 120, "paper": 240}
+	n := ns[b.sc.name]
+	tbl, err := dataset.Generate(int64(n*43+5), n, m, attrBits)
+	if err != nil {
+		return err
+	}
+	q := tbl.Rows[n/3]
+	oracle, err := plainknn.KDistances(tbl.Rows, q, k)
+	if err != nil {
+		return err
+	}
+	fig := benchkit.NewFigure(
+		fmt.Sprintf("Shard: scatter-gather SkNNm, n=%d, m=%d, k=%d, K=512 [scale=%s]",
+			n, m, k, b.sc.name),
+		"shards", "QPS / s / candidates / recall (per series)")
+	qps := fig.NewSeries("SkNNm QPS")
+	stage1 := fig.NewSeries("stage-1 per shard (s)")
+	cands := fig.NewSeries("candidates per shard")
+	merge := fig.NewSeries("merge (s)")
+	recall := fig.NewSeries("recall")
+	for _, s := range []int{1, 2, 4, 8} {
+		sys, err := sknn.New(tbl.Rows, attrBits, sknn.Config{Key: b.key(512), Shards: s})
+		if err != nil {
+			return err
+		}
+		var sm *sknn.SecureMetrics
+		var rows [][]uint64
+		d, err := benchkit.Timed(func() error {
+			var err error
+			rows, sm, err = sys.QuerySecureMetered(q, k)
+			return err
+		})
+		sys.Close()
+		if err != nil {
+			return err
+		}
+		shards := sm.Shards
+		if shards == 0 {
+			shards = 1 // unsharded engine: the whole scan is "one shard"
+		}
+		qps.Add(float64(s), 1/d.Seconds())
+		stage1.Add(float64(s), benchkit.Seconds(sm.Distance+sm.BitDecom)/float64(shards))
+		cands.Add(float64(s), float64(sm.Candidates)/float64(shards))
+		merge.Add(float64(s), benchkit.Seconds(sm.Merge))
+		recall.Add(float64(s), recallOf(rows, q, oracle))
+	}
+	if err := b.emit(fig, "shard"); err != nil {
+		return err
+	}
+	fmt.Printf("(target: stage-1 per-shard time shrinks ~linearly in S on ≥S cores — %d CPUs here;\n", runtime.NumCPU())
+	fmt.Println(" candidates/shard shows the exact n/S work split either way; recall must be 1.0)")
+	return nil
 }
 
 func (b *bench) sminnShare() error {

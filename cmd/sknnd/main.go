@@ -24,16 +24,34 @@
 //	    clustered snapshot is queried through the partition-pruned SkNNm
 //	    variant (-coverage tunes the candidate pool).
 //
+// Three more subcommands deploy the sharded scatter-gather topology —
+// S shard workers, one C2, one coordinator, all over TCP:
+//
+//	sknnd split -table table.snap -shards 2
+//	    Partition a snapshot into table.snap.s0, table.snap.s1 (record
+//	    id mod S; pure ciphertext shuffling, no re-encryption).
+//
+//	sknnd shard -table table.snap.s0 -connect host:7002 -listen :7101 [-workers 4]
+//	    One C1 shard worker: holds its partition, scans it with its own
+//	    link pool to C2, and serves shard-local encrypted top-k lists to
+//	    coordinators.
+//
+//	sknnd coord -shards host:7101,host:7102 -connect host:7002 -q 1,2,3 -k 5 [-mode secure]
+//	    The scatter-gather coordinator (playing Bob as well): scatters
+//	    each query to every shard, securely merges the s·k encrypted
+//	    candidates over its own C2 links, and unmasks the exact global
+//	    top-k.
+//
 // The table file never contains plaintext or the secret key; C1 learns
 // nothing it wouldn't in the paper's model — the snapshot is exactly
-// C1's legitimate artifact (ciphertexts, public key, index layout).
+// C1's legitimate artifact (ciphertexts, public key, index layout), and
+// a shard file is exactly one worker's slice of it.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
-	"math"
 	"net"
 	"os"
 	"strconv"
@@ -67,13 +85,19 @@ func main() {
 		cmdC2(os.Args[2:])
 	case "c1":
 		cmdC1(os.Args[2:])
+	case "split":
+		cmdSplit(os.Args[2:])
+	case "shard":
+		cmdShard(os.Args[2:])
+	case "coord":
+		cmdCoord(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sknnd {keygen|encrypt|c2|c1} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: sknnd {keygen|encrypt|c2|c1|split|shard|coord} [flags]")
 	os.Exit(2)
 }
 
@@ -226,9 +250,9 @@ func cmdC1(args []string) {
 	l := snap.DomainBits
 	target := 0
 	if table.Clustered() {
-		target = int(math.Ceil(*coverage * float64(*k)))
+		target = core.CoverageTarget(*coverage, *k)
 		fmt.Fprintf(os.Stderr, "clustered snapshot: pruned SkNNm over %d clusters (pool ≥ %d)\n",
-			table.Clusters(), max(target, *k))
+			table.Clusters(), target)
 	}
 
 	// Answer all queries concurrently: each leases its own session from
@@ -294,6 +318,210 @@ func runQuery(c1 *core.CloudC1, bob *core.Client, q []uint64, k int, mode string
 		} else {
 			res, err = sess.SecureQuery(eq, k, l)
 		}
+	default:
+		return nil, fmt.Errorf("unknown -mode %q", mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return bob.Unmask(res)
+}
+
+// cmdSplit partitions a whole-table snapshot into shard files — the
+// owner-side resharding step, no re-encryption involved.
+func cmdSplit(args []string) {
+	fs := flag.NewFlagSet("split", flag.ExitOnError)
+	tablePath := fs.String("table", "table.snap", "whole-table snapshot to partition")
+	shards := fs.Int("shards", 2, "number of shard files to produce")
+	outBase := fs.String("out", "", "output base path (default: the -table path; shard i lands at <base>.s<i>)")
+	fs.Parse(args)
+	if *shards < 1 {
+		log.Fatalf("-shards must be ≥ 1, got %d", *shards)
+	}
+	base := *outBase
+	if base == "" {
+		base = *tablePath
+	}
+	paths, err := store.SplitFile(*tablePath, base, *shards)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, path := range paths {
+		fmt.Fprintf(os.Stderr, "wrote shard %d/%d to %s\n", i, *shards, path)
+	}
+}
+
+// cmdShard runs one C1 shard worker: it owns one partition file, scans
+// it against C2 over its own link pool, and serves encrypted top-k
+// candidate lists to any number of coordinators.
+func cmdShard(args []string) {
+	fs := flag.NewFlagSet("shard", flag.ExitOnError)
+	tablePath := fs.String("table", "", "shard snapshot file from sknnd split (required)")
+	connect := fs.String("connect", "127.0.0.1:7002", "C2 address")
+	listen := fs.String("listen", ":7101", "TCP listen address for coordinators")
+	workers := fs.Int("workers", 1, "parallel connections to C2")
+	fs.Parse(args)
+	if *tablePath == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	snap, err := store.ReadFile(*tablePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !snap.Sharded() {
+		log.Fatalf("%s is a whole-table snapshot; run sknnd split first (or serve it with sknnd c1)", *tablePath)
+	}
+	table, err := core.RestoreTable(snap.PK, snap.Table)
+	if err != nil {
+		log.Fatal(err)
+	}
+	conns := make([]mpc.Conn, *workers)
+	for i := range conns {
+		if conns[i], err = mpc.Dial(*connect); err != nil {
+			log.Fatal(err)
+		}
+	}
+	c1, err := core.NewCloudC1(table, conns, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c1.Close()
+	srv, err := core.NewShardServer(c1, snap.ShardIndex, snap.ShardCount, snap.AttrBits, snap.DomainBits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "shard %d/%d (%d records, index clustered=%v) serving on %s, C2 at %s\n",
+		snap.ShardIndex, snap.ShardCount, table.N(), table.Clustered(), ln.Addr(), *connect)
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Fatal(err)
+		}
+		go func(conn net.Conn) {
+			defer conn.Close()
+			if err := srv.Serve(mpc.WrapNet(conn)); err != nil {
+				log.Printf("coordinator session from %s: %v", conn.RemoteAddr(), err)
+			}
+		}(conn)
+	}
+}
+
+// cmdCoord runs the scatter-gather coordinator: it dials every shard
+// worker and C2, fans each query out, merges the encrypted candidates
+// securely, and (playing Bob for CLI convenience) unmasks the results.
+func cmdCoord(args []string) {
+	fs := flag.NewFlagSet("coord", flag.ExitOnError)
+	shardsStr := fs.String("shards", "", "comma-separated shard worker addresses (required)")
+	connect := fs.String("connect", "127.0.0.1:7002", "C2 address (for the merge phase)")
+	queryStr := fs.String("q", "", "query attributes, comma-separated; separate multiple queries with ';'")
+	queryFile := fs.String("qfile", "", "file with one comma-separated query per line (alternative to -q)")
+	k := fs.Int("k", 5, "number of neighbors")
+	mode := fs.String("mode", "secure", `protocol: "basic" or "secure"`)
+	workers := fs.Int("workers", 1, "parallel merge connections to C2")
+	coverage := fs.Float64("coverage", 4, "per-shard candidate-pool factor on clustered shards")
+	fs.Parse(args)
+	queries, err := collectQueries(*queryStr, *queryFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *shardsStr == "" || len(queries) == 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	var shards []core.Shard
+	var remotes []*core.RemoteShard
+	for _, addr := range strings.Split(*shardsStr, ",") {
+		conn, err := mpc.Dial(strings.TrimSpace(addr))
+		if err != nil {
+			log.Fatal(err)
+		}
+		rs, err := core.DialShard(conn)
+		if err != nil {
+			log.Fatalf("shard %s: %v", addr, err)
+		}
+		shards = append(shards, rs)
+		remotes = append(remotes, rs)
+	}
+	pk := remotes[0].PK()
+	l := remotes[0].DomainBits()
+	clustered := false
+	for i, rs := range remotes {
+		if rs.PK().N.Cmp(pk.N) != 0 {
+			log.Fatalf("shard %d serves a different public key", i)
+		}
+		if rs.DomainBits() != l {
+			log.Fatalf("shard %d disagrees on the distance domain (l=%d vs %d)", i, rs.DomainBits(), l)
+		}
+		if rs.Info().Clustered {
+			clustered = true
+		}
+	}
+	mergeConns := make([]mpc.Conn, *workers)
+	for i := range mergeConns {
+		if mergeConns[i], err = mpc.Dial(*connect); err != nil {
+			log.Fatal(err)
+		}
+	}
+	coord, err := core.NewShardedC1(shards, mergeConns, pk, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer coord.Close()
+	bob := core.NewClient(pk, nil)
+	target := 0
+	if clustered {
+		target = core.CoverageTarget(*coverage, *k)
+		fmt.Fprintf(os.Stderr, "clustered shards: per-shard pruned SkNNm (pool ≥ %d each)\n", target)
+	}
+
+	start := time.Now()
+	rows := make([][][]uint64, len(queries))
+	errs := make([]error, len(queries))
+	var wg sync.WaitGroup
+	for i, q := range queries {
+		wg.Add(1)
+		go func(i int, q []uint64) {
+			defer wg.Done()
+			rows[i], errs[i] = runCoordQuery(coord, bob, q, *k, *mode, l, target)
+		}(i, q)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for i, q := range queries {
+		if errs[i] != nil {
+			log.Fatalf("query %d %v: %v", i+1, q, errs[i])
+		}
+		if len(queries) > 1 {
+			fmt.Printf("query %d: %v\n", i+1, q)
+		}
+		for j, row := range rows[i] {
+			d, _ := plainknn.SquaredDistance(row, q)
+			fmt.Printf("#%d dist²=%d %v\n", j+1, d, row)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "%d %s queries over %d shards in %v (%.2f QPS), merge traffic %s\n",
+		len(queries), *mode, coord.Shards(), elapsed.Round(1e6),
+		float64(len(queries))/elapsed.Seconds(), coord.CommStats())
+}
+
+// runCoordQuery answers one query through the scatter-gather engine.
+func runCoordQuery(coord *core.ShardedC1, bob *core.Client, q []uint64, k int, mode string, l, target int) ([][]uint64, error) {
+	eq, err := bob.EncryptQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	var res *core.MaskedResult
+	switch mode {
+	case "basic":
+		res, err = coord.BasicQuery(eq, k)
+	case "secure":
+		res, err = coord.SecureQuery(eq, k, l, target)
 	default:
 		return nil, fmt.Errorf("unknown -mode %q", mode)
 	}

@@ -46,6 +46,7 @@ func main() {
 		keyBits  = flag.Int("keybits", 512, "Paillier key size for -out")
 		index    = flag.String("index", "none", `index to attach to the snapshot: "none" or "clustered"`)
 		clusters = flag.Int("clusters", 0, "cluster count for -index clustered (0 = ⌈√n⌉)")
+		shards   = flag.Int("shards", 0, "also split the snapshot into this many shard files <out>.s<i> (0 = none)")
 	)
 	flag.Parse()
 
@@ -60,6 +61,9 @@ func main() {
 	}
 	if indexMode == sknn.IndexClustered && *snapOut == "" {
 		log.Fatal("-index clustered only applies to snapshot output (-out)")
+	}
+	if *shards < 0 || (*shards > 0 && *snapOut == "") {
+		log.Fatal("-shards only applies to snapshot output (-out)")
 	}
 
 	var (
@@ -137,4 +141,14 @@ func main() {
 	fp := store.Fingerprint(&sk.PublicKey)
 	fmt.Fprintf(os.Stderr, "wrote snapshot %s (key fingerprint %x…) and key %s\n",
 		*snapOut, fp[:6], keyPath)
+
+	if *shards > 0 {
+		paths, err := store.SplitFile(*snapOut, *snapOut, *shards)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, path := range paths {
+			fmt.Fprintf(os.Stderr, "wrote shard %d/%d to %s\n", i, *shards, path)
+		}
+	}
 }

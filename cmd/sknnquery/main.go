@@ -54,7 +54,8 @@ func main() {
 		clusters  = flag.Int("clusters", 0, "cluster count for -index clustered (0 = ⌈√n⌉)")
 		coverage  = flag.Float64("coverage", 0, "candidate-pool factor for -index clustered (0 = default)")
 		keyBits   = flag.Int("keybits", 512, "Paillier key size (-data only)")
-		workers   = flag.Int("workers", 1, "parallel C1↔C2 sessions")
+		workers   = flag.Int("workers", 1, "parallel C1↔C2 connections per link pool")
+		shards    = flag.Int("shards", 0, "split the table across this many in-process shard workers (scatter-gather queries; 0 = unsharded)")
 		insertStr = flag.String("insert", "", "rows to insert before querying: 'a,b,c;d,e,f'")
 		deleteStr = flag.String("delete", "", "stable record ids to delete before querying: '0,5,9'")
 		savePath  = flag.String("save", "", "write the (possibly mutated) table snapshot here before exiting")
@@ -103,6 +104,9 @@ func main() {
 	if *clusters < 0 {
 		log.Fatalf("-clusters must be ≥ 0, got %d", *clusters)
 	}
+	if *shards < 0 {
+		log.Fatalf("-shards must be ≥ 0, got %d", *shards)
+	}
 	if *coverage < 0 {
 		log.Fatalf("-coverage must be ≥ 0, got %g", *coverage)
 	}
@@ -126,6 +130,7 @@ func main() {
 	cfg := sknn.Config{
 		KeyBits:  *keyBits,
 		Workers:  *workers,
+		Shards:   *shards,
 		Index:    indexMode,
 		Clusters: *clusters,
 		Coverage: *coverage,
@@ -245,6 +250,10 @@ func runQuery(sys *sknn.System, q []uint64, k int, protocolMode sknn.Mode, verif
 		}
 		fmt.Fprintf(os.Stderr, "done in %v (SMINn share %.0f%%, %d SMINs), traffic %s\n",
 			metrics.Total.Round(1e6), 100*metrics.SMINnShare(), metrics.SMINCount, metrics.Comm)
+		if metrics.Shards > 0 {
+			fmt.Fprintf(os.Stderr, "sharded: scattered to %d shards (%v), secure merge %v\n",
+				metrics.Shards, metrics.Scatter.Round(1e6), metrics.Merge.Round(1e6))
+		}
 		if sys.Index() == sknn.IndexClustered {
 			fmt.Fprintf(os.Stderr, "index: scanned %d/%d records across %d/%d clusters (full scan: %d SMINs)\n",
 				metrics.Candidates, sys.N(), metrics.ClustersProbed, sys.Clusters(), k*(sys.N()-1))

@@ -57,9 +57,23 @@
 //	id, err := sys2.Insert(row)
 //	err = sys2.Delete(id)
 //
-// For a real two-machine deployment, use the building blocks directly
+// Config.Shards > 1 partitions the table across independent C1 shard
+// workers (record id mod S, pure ciphertext shuffling) and plans every
+// query as scatter-gather: each shard runs the existing pruned or full
+// secure scan over its partition producing an encrypted shard-local
+// top-k, and a coordinator merges the s·k candidates with the same
+// SMINn selection protocol the shards ran — the exact global top-k, at
+// the same leakage class as a single-shard query. Mutations route to
+// the owning shard; SaveTable writes the merged whole table, and
+// LoadTable reshards it at any Config.Shards:
+//
+//	sys, err := sknn.New(rows, attrBits, sknn.Config{Shards: 4, Workers: 2})
+//
+// For a real multi-machine deployment, use the building blocks directly
 // (internal/core, internal/mpc with the TCP transport) the way
-// cmd/sknnd does.
+// cmd/sknnd does — its shard/coord subcommands run the same
+// scatter-gather across S shard processes, one C2, and a coordinator
+// over TCP.
 //
 // See README.md for the module layout and concurrency architecture,
 // docs/ARCHITECTURE.md and docs/PROTOCOLS.md for the deep dives, and

@@ -37,21 +37,49 @@ func (s *QuerySession) BasicQueryMetered(q EncryptedQuery, k int) (*MaskedResult
 	if err := s.checkQuery(q); err != nil {
 		return nil, nil, err
 	}
-	// The candidate list is the session view's live records: tombstoned
-	// rows are invisible to queries opened after their Delete.
-	cands := s.tbl.liveIdx
-	if err := validateK(k, len(cands)); err != nil {
+	if err := validateK(k, s.tbl.N()); err != nil {
 		return nil, nil, err
 	}
 	metrics := &BasicMetrics{}
 	comm0 := s.CommStats()
 	start := time.Now()
 
+	cands, err := s.basicScan(q, k, metrics)
+	if err != nil {
+		return nil, nil, err
+	}
+	selected := make([]EncryptedRecord, len(cands))
+	for j, c := range cands {
+		selected[j] = c.Rec
+	}
+
+	// Steps 4–6: masked reveal to Bob.
+	phase := time.Now()
+	res, err := s.reveal(selected)
+	if err != nil {
+		return nil, nil, err
+	}
+	metrics.Reveal = time.Since(phase)
+
+	metrics.Total = time.Since(start)
+	metrics.Comm = s.CommStats().Sub(comm0)
+	return res, metrics, nil
+}
+
+// basicScan is the body of Algorithm 5 before the reveal: SSED over the
+// live records (step 2), C2's decrypt-and-rank (step 3), and the
+// selection of the winning records — returned with their encrypted
+// distances so a shard can ship them to a coordinator for a rank merge.
+func (s *QuerySession) basicScan(q EncryptedQuery, k int, metrics *BasicMetrics) ([]Candidate, error) {
+	// The candidate list is the session view's live records: tombstoned
+	// rows are invisible to queries opened after their Delete.
+	cands := s.tbl.liveIdx
+
 	// Step 2: dᵢ = |Q−tᵢ|² under encryption.
 	phase := time.Now()
 	ds, err := s.distancesOf(q, s.tbl.featureRows(cands))
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	metrics.Distance = time.Since(phase)
 
@@ -64,31 +92,74 @@ func (s *QuerySession) BasicQueryMetered(q EncryptedQuery, k int) (*MaskedResult
 	}
 	resp, err := mpc.RoundTrip(s.primary().Conn(), &mpc.Message{Op: OpRank, Ints: payload})
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: rank round trip: %w", err)
+		return nil, fmt.Errorf("core: rank round trip: %w", err)
 	}
 	if len(resp.Ints) != k {
-		return nil, nil, fmt.Errorf("%w: rank reply has %d indices, want %d", ErrBadFrame, len(resp.Ints), k)
+		return nil, fmt.Errorf("%w: rank reply has %d indices, want %d", ErrBadFrame, len(resp.Ints), k)
 	}
-	selected := make([]EncryptedRecord, k)
+	selected := make([]Candidate, k)
 	for j, idx := range resp.Ints {
 		// C2's indices address the candidate list it ranked, which maps
 		// back to record positions through the session view.
 		if !idx.IsInt64() || idx.Int64() < 0 || idx.Int64() >= int64(len(cands)) {
-			return nil, nil, fmt.Errorf("%w: rank index %v out of range", ErrBadFrame, idx)
+			return nil, fmt.Errorf("%w: rank index %v out of range", ErrBadFrame, idx)
 		}
-		selected[j] = s.tbl.records[cands[int(idx.Int64())]]
+		i := int(idx.Int64())
+		selected[j] = Candidate{Dist: ds[i], Rec: s.tbl.records[cands[i]]}
 	}
 	metrics.Rank = time.Since(phase)
+	return selected, nil
+}
 
-	// Steps 4–6: masked reveal to Bob.
-	phase = time.Now()
-	res, err := s.reveal(selected)
+// basicTopK is TopK's SkNNb arm: the shard-local scan-and-rank without
+// the reveal. The timings land in the SecureMetrics shape the
+// coordinator aggregates (Distance and Total; SkNNb has no SMINs).
+func (s *QuerySession) basicTopK(q EncryptedQuery, k int) ([]Candidate, *SecureMetrics, error) {
+	bm := &BasicMetrics{}
+	comm0 := s.CommStats()
+	start := time.Now()
+	cands, err := s.basicScan(q, k, bm)
 	if err != nil {
 		return nil, nil, err
 	}
-	metrics.Reveal = time.Since(phase)
+	metrics := &SecureMetrics{
+		Distance:   bm.Distance,
+		Candidates: s.tbl.N(),
+		Total:      time.Since(start),
+		Comm:       s.CommStats().Sub(comm0),
+	}
+	return cands, metrics, nil
+}
 
-	metrics.Total = time.Since(start)
-	metrics.Comm = s.CommStats().Sub(comm0)
-	return res, metrics, nil
+// rankCandidates is the coordinator's SkNNb merge: one more OpRank round
+// over the gathered candidates' encrypted distances, selecting the
+// global top-k. Leakage class is unchanged from SkNNb itself — C2
+// decrypts distances either way, and both clouds see access patterns.
+func (s *QuerySession) rankCandidates(cands []Candidate, k int) ([]EncryptedRecord, error) {
+	if err := validateK(k, len(cands)); err != nil {
+		return nil, err
+	}
+	payload := make([]*big.Int, 0, len(cands)+1)
+	payload = append(payload, big.NewInt(int64(k)))
+	for i, c := range cands {
+		if c.Dist == nil {
+			return nil, fmt.Errorf("%w: candidate %d has no encrypted distance", ErrBadFrame, i)
+		}
+		payload = append(payload, c.Dist.Raw())
+	}
+	resp, err := mpc.RoundTrip(s.primary().Conn(), &mpc.Message{Op: OpRank, Ints: payload})
+	if err != nil {
+		return nil, fmt.Errorf("core: merge rank round trip: %w", err)
+	}
+	if len(resp.Ints) != k {
+		return nil, fmt.Errorf("%w: merge rank reply has %d indices, want %d", ErrBadFrame, len(resp.Ints), k)
+	}
+	selected := make([]EncryptedRecord, k)
+	for j, idx := range resp.Ints {
+		if !idx.IsInt64() || idx.Int64() < 0 || idx.Int64() >= int64(len(cands)) {
+			return nil, fmt.Errorf("%w: merge rank index %v out of range", ErrBadFrame, idx)
+		}
+		selected[j] = cands[int(idx.Int64())].Rec
+	}
+	return selected, nil
 }

@@ -3,54 +3,40 @@ package core
 import (
 	"fmt"
 	"io"
-	"math/big"
-	"sort"
-	"sync"
+	"math"
 
 	"sknn/internal/mpc"
 )
 
 // CloudC1 is the data cloud: it stores Alice's encrypted table and owns
-// the pool of connections (links) to C2. Queries do not run on CloudC1
+// a pool of connections (links) to C2. Queries do not run on CloudC1
 // directly; each runs inside a QuerySession leased from the pool, so any
 // number of queries can be in flight at once. A session spanning w links
 // runs its per-record phases on w parallel workers (the paper's Section
 // 5.3 OpenMP parallelization, expressed as goroutines); the scheduler
 // multiplexes concurrent sessions over the links via tagged streams
 // (mpc.Multiplexer), so sharing a link never crosses replies.
+//
+// In a sharded deployment a CloudC1 is one shard worker: it owns one
+// partition of the table and its own link pool, and the ShardedC1
+// coordinator scatters per-shard top-k scans across workers before a
+// secure merge (see shard.go).
 type CloudC1 struct {
-	table  *EncryptedTable
-	random io.Reader
-
-	mu        sync.Mutex
-	links     []*mpc.Multiplexer
-	load      []int // open sessions per link, for least-loaded placement
-	active    int   // open query sessions
-	closed    bool
-	closeDone chan struct{}  // closed when teardown has fully finished
-	closeErr  error          // valid once closeDone is closed
-	drain     sync.WaitGroup // one unit per open session
+	table *EncryptedTable
+	pool  *linkPool
 }
 
 // NewCloudC1 wires the data cloud to C2 over the given connections.
 // Every connection must be served by the same CloudC2 (its handlers are
 // stateless, so any number of serve loops can share one CloudC2).
 func NewCloudC1(table *EncryptedTable, conns []mpc.Conn, random io.Reader) (*CloudC1, error) {
-	if len(conns) == 0 {
-		return nil, ErrNoConnections
+	pool, err := newLinkPool(conns, random)
+	if err != nil {
+		return nil, err
 	}
-	c := &CloudC1{
-		table:     table,
-		random:    random,
-		links:     make([]*mpc.Multiplexer, len(conns)),
-		load:      make([]int, len(conns)),
-		closeDone: make(chan struct{}),
-	}
-	for i, conn := range conns {
-		c.links[i] = mpc.NewMultiplexer(conn)
-	}
-	if err := c.handshake(); err != nil {
-		for _, link := range c.links {
+	c := &CloudC1{table: table, pool: pool}
+	if err := pool.handshake(table.pk.N); err != nil {
+		for _, link := range pool.links {
 			link.Close()
 		}
 		return nil, err
@@ -58,41 +44,14 @@ func NewCloudC1(table *EncryptedTable, conns []mpc.Conn, random io.Reader) (*Clo
 	return c, nil
 }
 
-// handshake verifies on every link that C2 holds the secret key matching
-// this table's public key (OpHello), failing fast on mis-deployment.
-func (c *CloudC1) handshake() error {
-	for i, link := range c.links {
-		conn, err := link.Open()
-		if err != nil {
-			return fmt.Errorf("core: hello on connection %d: %w", i, err)
-		}
-		req := &mpc.Message{Op: OpHello, Ints: []*big.Int{new(big.Int).Set(c.table.pk.N)}}
-		resp, err := mpc.RoundTrip(conn, req)
-		conn.Close()
-		if err != nil {
-			return fmt.Errorf("core: hello on connection %d: %w", i, err)
-		}
-		if len(resp.Ints) != 1 || resp.Ints[0].Cmp(c.table.pk.N) != 0 {
-			return fmt.Errorf("%w: connection %d", ErrHello, i)
-		}
-	}
-	return nil
-}
-
 // Table returns the outsourced encrypted table.
 func (c *CloudC1) Table() *EncryptedTable { return c.table }
 
 // Workers reports the parallelism degree (number of C2 links).
-func (c *CloudC1) Workers() int { return len(c.links) }
+func (c *CloudC1) Workers() int { return c.pool.workers() }
 
 // CommStats aggregates traffic over all links and their sessions.
-func (c *CloudC1) CommStats() mpc.StatsSnapshot {
-	var total mpc.StatsSnapshot
-	for _, link := range c.links {
-		total = total.Add(link.Agg())
-	}
-	return total
-}
+func (c *CloudC1) CommStats() mpc.StatsSnapshot { return c.pool.commStats() }
 
 // NewSession leases a QuerySession spanning width links. width <= 0 asks
 // the scheduler to decide: a session opened on an idle pool spans every
@@ -103,102 +62,21 @@ func (c *CloudC1) CommStats() mpc.StatsSnapshot {
 // safely — streams are tagged — and the session must be Closed to return
 // its capacity.
 func (c *CloudC1) NewSession(width int) (*QuerySession, error) {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return nil, ErrCloudClosed
-	}
-	w := len(c.links)
-	if width > 0 {
-		if width < w {
-			w = width
-		}
-	} else {
-		// Auto width: split the pool evenly over the sessions that would
-		// be open, so an idle pool gives one query full fan-out while
-		// arrivals under load narrow toward one link per query.
-		w = len(c.links) / (c.active + 1)
-		if w < 1 {
-			w = 1
-		}
-	}
-	slots := c.leastLoaded(w)
-	for _, i := range slots {
-		c.load[i]++
-	}
-	c.active++
-	c.drain.Add(1)
-	c.mu.Unlock()
-
-	// Capture the table view outside c.mu (view takes the table's own
-	// read lock); the session pins this state for its whole lifetime.
-	s := &QuerySession{c: c, tbl: c.table.view(), slots: slots}
-	for _, i := range slots {
-		conn, err := c.links[i].Open()
-		if err != nil {
-			s.Close()
-			return nil, fmt.Errorf("core: opening session stream: %w", err)
-		}
-		s.attach(conn)
-	}
-	return s, nil
+	// Capture the table view outside the pool lock (view takes the
+	// table's own read lock); the session pins this state for its whole
+	// lifetime.
+	return newSession(c.pool, width, c.table.view())
 }
 
-// leastLoaded picks the w least-loaded link indices (ties by index, so
-// placement is deterministic). Caller holds c.mu.
-func (c *CloudC1) leastLoaded(w int) []int {
-	idx := make([]int, len(c.links))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.SliceStable(idx, func(a, b int) bool { return c.load[idx[a]] < c.load[idx[b]] })
-	return idx[:w]
-}
+// Close drains every in-flight session, then tears the link pool down.
+// Queries issued after Close fail with ErrCloudClosed.
+func (c *CloudC1) Close() error { return c.pool.Close() }
 
-// release returns a session's capacity to the pool.
-func (c *CloudC1) release(slots []int) {
-	c.mu.Lock()
-	for _, i := range slots {
-		c.load[i]--
-	}
-	c.active--
-	c.mu.Unlock()
-	c.drain.Done()
-}
-
-// Close drains every in-flight session, then sends a close frame on
-// every link and tears the pool down. Queries issued after Close fail
-// with ErrCloudClosed. Every Close call — including concurrent and
-// repeated ones — returns only after teardown has fully finished.
-func (c *CloudC1) Close() error {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		<-c.closeDone
-		return c.closeErr
-	}
-	c.closed = true
-	c.mu.Unlock()
-	c.drain.Wait()
-	var first error
-	for _, link := range c.links {
-		if err := mpc.SendClose(link.Conn()); err != nil && first == nil {
-			first = err
-		}
-		if err := link.Close(); err != nil && first == nil {
-			first = err
-		}
-	}
-	c.closeErr = first
-	close(c.closeDone)
-	return first
-}
-
-// checkQuery validates Bob's query against the view's feature columns.
+// checkQuery validates Bob's query against the session's feature columns.
 func (s *QuerySession) checkQuery(q EncryptedQuery) error {
-	if len(q) != s.tbl.featureM {
+	if len(q) != s.featureM {
 		return fmt.Errorf("%w: query has %d attributes, table has %d feature columns",
-			ErrDimension, len(q), s.tbl.featureM)
+			ErrDimension, len(q), s.featureM)
 	}
 	return nil
 }
@@ -253,4 +131,31 @@ func (c *CloudC1) SecureQueryClusteredMetered(q EncryptedQuery, k, domainBits, t
 	}
 	defer s.Close()
 	return s.SecureQueryClusteredMetered(q, k, domainBits, target)
+}
+
+// TopK runs the shard-local half of a scatter-gather query in a session
+// leased for this one call: the same scan a standalone query performs —
+// pruned when the table carries a cluster index and target > 0, full
+// otherwise — stopped before the masked reveal, so the encrypted top-k
+// candidates can travel to a coordinator for the secure merge. k is
+// clamped to the shard's live record count (a shard smaller than k
+// contributes everything it has).
+func (c *CloudC1) TopK(q EncryptedQuery, k, domainBits, target int, secure bool) ([]Candidate, *SecureMetrics, error) {
+	s, err := c.NewSession(0)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer s.Close()
+	return s.TopK(q, k, domainBits, target, secure)
+}
+
+// CoverageTarget converts a candidate-pool factor into the per-query
+// pool floor max(k, ceil(coverage*k)) shared by the facade and the
+// shard CLI.
+func CoverageTarget(coverage float64, k int) int {
+	target := int(math.Ceil(coverage * float64(k)))
+	if target < k {
+		target = k
+	}
+	return target
 }

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+	"sort"
+	"sync"
+
+	"sknn/internal/mpc"
+)
+
+// linkPool owns a set of multiplexed connections to C2 and schedules
+// query sessions over them. It is the transport half of what CloudC1
+// used to be: CloudC1 is now a linkPool plus the encrypted table it
+// serves, and the sharded coordinator (ShardedC1) is a linkPool plus a
+// set of shard workers — both lease the same kind of QuerySession from
+// their pool, which is what lets the shard-local scan and the
+// coordinator's merge run on the identical protocol engine.
+type linkPool struct {
+	random io.Reader
+
+	mu        sync.Mutex
+	links     []*mpc.Multiplexer
+	load      []int // open sessions per link, for least-loaded placement
+	active    int   // open query sessions
+	closed    bool
+	closeDone chan struct{}  // closed when teardown has fully finished
+	closeErr  error          // valid once closeDone is closed
+	drain     sync.WaitGroup // one unit per open session
+}
+
+// newLinkPool wraps the connections in tagged-stream multiplexers.
+func newLinkPool(conns []mpc.Conn, random io.Reader) (*linkPool, error) {
+	if len(conns) == 0 {
+		return nil, ErrNoConnections
+	}
+	p := &linkPool{
+		random:    random,
+		links:     make([]*mpc.Multiplexer, len(conns)),
+		load:      make([]int, len(conns)),
+		closeDone: make(chan struct{}),
+	}
+	for i, conn := range conns {
+		p.links[i] = mpc.NewMultiplexer(conn)
+	}
+	return p, nil
+}
+
+// handshake verifies on every link that C2 holds the secret key matching
+// the given public modulus (OpHello), failing fast on mis-deployment.
+func (p *linkPool) handshake(n *big.Int) error {
+	for i, link := range p.links {
+		conn, err := link.Open()
+		if err != nil {
+			return fmt.Errorf("core: hello on connection %d: %w", i, err)
+		}
+		req := &mpc.Message{Op: OpHello, Ints: []*big.Int{new(big.Int).Set(n)}}
+		resp, err := mpc.RoundTrip(conn, req)
+		conn.Close()
+		if err != nil {
+			return fmt.Errorf("core: hello on connection %d: %w", i, err)
+		}
+		if len(resp.Ints) != 1 || resp.Ints[0].Cmp(n) != 0 {
+			return fmt.Errorf("%w: connection %d", ErrHello, i)
+		}
+	}
+	return nil
+}
+
+// workers reports the parallelism degree (number of C2 links).
+func (p *linkPool) workers() int { return len(p.links) }
+
+// commStats aggregates traffic over all links and their sessions.
+func (p *linkPool) commStats() mpc.StatsSnapshot {
+	var total mpc.StatsSnapshot
+	for _, link := range p.links {
+		total = total.Add(link.Agg())
+	}
+	return total
+}
+
+// lease reserves width link slots (width <= 0 lets the scheduler decide:
+// a session opened on an idle pool spans every link, sessions opened
+// under concurrent load get an even share). The caller owes a release.
+func (p *linkPool) lease(width int) ([]int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrCloudClosed
+	}
+	w := len(p.links)
+	if width > 0 {
+		if width < w {
+			w = width
+		}
+	} else {
+		// Auto width: split the pool evenly over the sessions that would
+		// be open, so an idle pool gives one query full fan-out while
+		// arrivals under load narrow toward one link per query.
+		w = len(p.links) / (p.active + 1)
+		if w < 1 {
+			w = 1
+		}
+	}
+	slots := p.leastLoaded(w)
+	for _, i := range slots {
+		p.load[i]++
+	}
+	p.active++
+	p.drain.Add(1)
+	return slots, nil
+}
+
+// leastLoaded picks the w least-loaded link indices (ties by index, so
+// placement is deterministic). Caller holds p.mu.
+func (p *linkPool) leastLoaded(w int) []int {
+	idx := make([]int, len(p.links))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return p.load[idx[a]] < p.load[idx[b]] })
+	return idx[:w]
+}
+
+// open opens one tagged stream on link slot i.
+func (p *linkPool) open(i int) (mpc.Conn, error) {
+	return p.links[i].Open()
+}
+
+// release returns a session's capacity to the pool.
+func (p *linkPool) release(slots []int) {
+	p.mu.Lock()
+	for _, i := range slots {
+		p.load[i]--
+	}
+	p.active--
+	p.mu.Unlock()
+	p.drain.Done()
+}
+
+// Close drains every in-flight session, then sends a close frame on
+// every link and tears the pool down. Leases after Close fail with
+// ErrCloudClosed. Every Close call — including concurrent and repeated
+// ones — returns only after teardown has fully finished.
+func (p *linkPool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		<-p.closeDone
+		return p.closeErr
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.drain.Wait()
+	var first error
+	for _, link := range p.links {
+		if err := mpc.SendClose(link.Conn()); err != nil && first == nil {
+			first = err
+		}
+		if err := link.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	p.closeErr = first
+	close(p.closeDone)
+	return first
+}

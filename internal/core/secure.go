@@ -17,7 +17,9 @@ import (
 // lets the harness reproduce that number. Candidates/ClustersProbed/
 // SMINCount quantify what the clustered index saves: a full scan has
 // Candidates = n and SMINCount = k·(n−1), a pruned query proportionally
-// less.
+// less. On a sharded system the counters aggregate over every shard's
+// scan plus the coordinator's merge, and Scatter/Merge split the wall
+// clock between the two phases.
 type SecureMetrics struct {
 	Total    time.Duration
 	Centroid time.Duration // clustered index only: oblivious cluster ranking
@@ -32,14 +34,23 @@ type SecureMetrics struct {
 
 	// SMINCount is the number of SMIN invocations this query spent —
 	// the protocol's dominant cost unit — including any cluster-ranking
-	// tournaments.
+	// tournaments and, on a sharded system, the coordinator's merge.
 	SMINCount int
 	// Candidates is how many records the per-record loop scanned: n for
-	// a full scan, the candidate-pool size for a pruned query.
+	// a full scan, the candidate-pool size for a pruned query, the sum
+	// over shards for a scatter-gather query.
 	Candidates int
 	// ClustersProbed is how many clusters contributed candidates (0 for
 	// a full scan).
 	ClustersProbed int
+
+	// Sharded scatter-gather only (zero otherwise): how many shards the
+	// query scattered to, the wall time of the scatter phase (bounded by
+	// the slowest shard scan) and of the secure merge over the gathered
+	// s·k candidates.
+	Shards  int
+	Scatter time.Duration
+	Merge   time.Duration
 }
 
 // SMINnShare is SMINn's fraction of total wall-clock time.
@@ -48,6 +59,22 @@ func (m *SecureMetrics) SMINnShare() float64 {
 		return 0
 	}
 	return float64(m.SMINn) / float64(m.Total)
+}
+
+// add folds another scan's counters into m (used by the sharded
+// coordinator to aggregate per-shard metrics).
+func (m *SecureMetrics) add(o *SecureMetrics) {
+	m.Centroid += o.Centroid
+	m.Distance += o.Distance
+	m.BitDecom += o.BitDecom
+	m.SMINn += o.SMINn
+	m.Select += o.Select
+	m.Extract += o.Extract
+	m.Exclude += o.Exclude
+	m.Comm = m.Comm.Add(o.Comm)
+	m.SMINCount += o.SMINCount
+	m.Candidates += o.Candidates
+	m.ClustersProbed += o.ClustersProbed
 }
 
 // SecureQuery runs SkNNm (Algorithm 6), the fully secure protocol: data
@@ -109,17 +136,35 @@ func (s *QuerySession) SecureQueryClusteredMetered(q EncryptedQuery, k, domainBi
 	if err := s.checkSecureArgs(q, k, domainBits); err != nil {
 		return nil, nil, err
 	}
-	if target < k {
-		target = k
-	}
 	metrics := &SecureMetrics{}
 	comm0 := s.CommStats()
 	start := time.Now()
 
+	idx, err := s.prunedCandidates(q, k, domainBits, target, metrics)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	res, err := s.secureScan(q, k, domainBits, idx, metrics)
+	if err != nil {
+		return nil, nil, err
+	}
+	metrics.Total = time.Since(start)
+	metrics.Comm = s.CommStats().Sub(comm0)
+	return res, metrics, nil
+}
+
+// prunedCandidates is the query-time index phase shared by the local
+// pruned query and the shard-local pruned scan: rank the encrypted
+// centroids obliviously, then pool the probed clusters' live members.
+func (s *QuerySession) prunedCandidates(q EncryptedQuery, k, domainBits, target int, metrics *SecureMetrics) ([]int, error) {
+	if target < k {
+		target = k
+	}
 	phase := time.Now()
 	clusters, err := s.rankClusters(q, domainBits, target, metrics)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	metrics.Centroid = time.Since(phase)
 
@@ -132,14 +177,7 @@ func (s *QuerySession) SecureQueryClusteredMetered(q EncryptedQuery, k, domainBi
 	sort.Ints(idx)
 	metrics.Candidates = len(idx)
 	metrics.ClustersProbed = len(clusters)
-
-	res, err := s.secureScan(q, k, domainBits, idx, metrics)
-	if err != nil {
-		return nil, nil, err
-	}
-	metrics.Total = time.Since(start)
-	metrics.Comm = s.CommStats().Sub(comm0)
-	return res, metrics, nil
+	return idx, nil
 }
 
 // NearestCluster obliviously routes a point to its closest cluster:
@@ -199,7 +237,7 @@ func (s *QuerySession) checkSecureArgs(q EncryptedQuery, k, domainBits int) erro
 // plaintext (no SBOR needed once the winner is known), and repeats
 // until the chosen clusters hold at least target records.
 func (s *QuerySession) rankClusters(q EncryptedQuery, domainBits, target int, metrics *SecureMetrics) ([]int, error) {
-	pk := s.tbl.pk
+	pk := s.pk
 	cents := s.tbl.centroids2D()
 	nc := len(cents)
 
@@ -284,30 +322,59 @@ func (s *QuerySession) rankClusters(q EncryptedQuery, domainBits, target int, me
 }
 
 // secureScan is the body of Algorithm 6 over the candidate records idx:
-// SSED + SBD over the candidates, then k rounds of SMINn / min-select /
-// oblivious extraction / SBOR disqualification, and the masked reveal.
-// A full scan passes idx = [0,n); the pruned path passes the probed
-// clusters' members.
+// SSED + SBD over the candidates (candidateBits), the k selection
+// rounds (selectTopK), and the masked reveal. A full scan passes
+// idx = [0,n); the pruned path passes the probed clusters' members.
 func (s *QuerySession) secureScan(q EncryptedQuery, k, domainBits int, idx []int, metrics *SecureMetrics) (*MaskedResult, error) {
-	pk := s.tbl.pk
 	n := len(idx)
 	if err := validateK(k, n); err != nil {
 		return nil, err
 	}
-	m := s.tbl.m
-	feat := make([][]*paillier.Ciphertext, n)
 	records := make([][]*paillier.Ciphertext, n)
 	for i, id := range idx {
-		rec := s.tbl.records[id]
-		feat[i] = rec[:s.tbl.featureM]
-		records[i] = rec
+		records[i] = s.tbl.records[id]
+	}
+	ds, bits, err := s.candidateBits(q, domainBits, idx, metrics)
+	if err != nil {
+		return nil, err
+	}
+	cands, err := s.selectTopK(bits, records, ds, k, domainBits, metrics)
+	if err != nil {
+		return nil, err
+	}
+	selected := make([]EncryptedRecord, len(cands))
+	for i, c := range cands {
+		selected[i] = c.Rec
+	}
+
+	// Steps 4–6 of Algorithm 5: masked reveal.
+	phase := time.Now()
+	res, err := s.reveal(selected)
+	if err != nil {
+		return nil, err
+	}
+	metrics.Reveal = time.Since(phase)
+	return res, nil
+}
+
+// candidateBits is Stage 1 of Algorithm 6 over the candidate records
+// idx: SSED (step 2a) then SBD (step 2b) for every candidate, chunked
+// across the session's workers. This — not the k selection rounds — is
+// the data-parallel bulk a sharded deployment scatters. Both forms of
+// each distance are returned: E(dᵢ) seeds selectTopK's first round so
+// the local path never recomposes what SSED already produced.
+func (s *QuerySession) candidateBits(q EncryptedQuery, domainBits int, idx []int, metrics *SecureMetrics) ([]*paillier.Ciphertext, [][]*paillier.Ciphertext, error) {
+	n := len(idx)
+	feat := make([][]*paillier.Ciphertext, n)
+	for i, id := range idx {
+		feat[i] = s.tbl.records[id][:s.featureM]
 	}
 
 	// Step 2a: E(dᵢ) for every candidate record.
 	phase := time.Now()
 	ds, err := s.distancesOf(q, feat)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	metrics.Distance = time.Since(phase)
 
@@ -323,15 +390,49 @@ func (s *QuerySession) secureScan(q EncryptedQuery, k, domainBits int, idx []int
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	metrics.BitDecom = time.Since(phase)
+	return ds, bits, nil
+}
 
-	selected := make([]EncryptedRecord, 0, k)
+// selectTopK is the k-round selection loop of Algorithm 6 (steps 3(a)
+// through 3(e)) over pre-computed candidate distance bits: SMINn,
+// blinded min-select, oblivious record extraction, SBOR
+// disqualification. It is deliberately table-agnostic — candidates are
+// (distance bits, record) pairs — so the same engine selects from a
+// shard's scanned records and, at the coordinator, from the s·k
+// encrypted candidates the shards return: the secure merge is exactly
+// this loop over the gathered candidates' bits.
+//
+// Each returned Candidate carries the round's [dmin] alongside the
+// extracted record, which is what lets a shard ship rank-ordered
+// encrypted candidates upward without ever decrypting a distance. bits
+// is mutated in place (the disqualification of step 3(e)); pass a copy
+// to keep the originals. seed, when non-nil, is E(dᵢ) for every
+// candidate (SSED's output) and saves the first round's recompositions;
+// callers without composed distances (the coordinator's merge) pass
+// nil and round 1 recomposes from the bit vectors.
+func (s *QuerySession) selectTopK(bits [][]*paillier.Ciphertext, records [][]*paillier.Ciphertext, seed []*paillier.Ciphertext, k, domainBits int, metrics *SecureMetrics) ([]Candidate, error) {
+	pk := s.pk
+	n := len(bits)
+	if len(records) != n {
+		return nil, fmt.Errorf("core: %d candidate bit vectors, %d records", n, len(records))
+	}
+	if seed != nil && len(seed) != n {
+		return nil, fmt.Errorf("core: %d candidate distances, %d records", len(seed), n)
+	}
+	if err := validateK(k, n); err != nil {
+		return nil, err
+	}
+	m := s.m
+	ds := make([]*paillier.Ciphertext, n)
+
+	selected := make([]Candidate, 0, k)
 
 	for iter := 0; iter < k; iter++ {
 		// Step 3(a): [dmin] = SMINn([d₁],…,[d_n]).
-		phase = time.Now()
+		phase := time.Now()
 		minBits, err := s.sminnParallel(bits)
 		if err != nil {
 			return nil, fmt.Errorf("core: iteration %d SMINn: %w", iter+1, err)
@@ -339,11 +440,13 @@ func (s *QuerySession) secureScan(q EncryptedQuery, k, domainBits int, idx []int
 		metrics.SMINCount += n - 1
 		metrics.SMINn += time.Since(phase)
 
-		// Step 3(b): recompose E(dmin) and, from the second iteration on,
-		// E(dᵢ) from the updated bit vectors.
+		// Step 3(b): recompose E(dmin) and, when no seed covers the
+		// round, E(dᵢ) from the (possibly SBOR-updated) bit vectors.
 		phase = time.Now()
 		encMin := smc.Recompose(pk, minBits)
-		if iter != 0 {
+		if iter == 0 && seed != nil {
+			copy(ds, seed)
+		} else {
 			for i := 0; i < n; i++ {
 				ds[i] = smc.Recompose(pk, bits[i])
 			}
@@ -432,7 +535,7 @@ func (s *QuerySession) secureScan(q EncryptedQuery, k, domainBits int, idx []int
 				}
 			}
 		}
-		selected = append(selected, record)
+		selected = append(selected, Candidate{Bits: minBits, Rec: record})
 		metrics.Extract += time.Since(phase)
 
 		// Step 3(e): oblivious disqualification — OR Vᵢ into every bit of
@@ -467,14 +570,63 @@ func (s *QuerySession) secureScan(q EncryptedQuery, k, domainBits int, idx []int
 		metrics.Exclude += time.Since(phase)
 	}
 
-	// Steps 4–6 of Algorithm 5: masked reveal.
-	phase = time.Now()
-	res, err := s.reveal(selected)
-	if err != nil {
-		return nil, err
+	return selected, nil
+}
+
+// TopK is the shard-local half of a scatter-gather query: the same scan
+// a standalone query runs — pruned when the session's table carries a
+// cluster index and target > 0, full otherwise — stopped before the
+// masked reveal, returning the top-k candidates still encrypted
+// (rank-ordered [dmin] bits plus the obliviously extracted record for
+// SkNNm; E(d) plus the record for SkNNb). k is clamped to the shard's
+// live record count: a shard smaller than k contributes everything it
+// has, and an empty shard contributes nothing.
+func (s *QuerySession) TopK(q EncryptedQuery, k, domainBits, target int, secure bool) ([]Candidate, *SecureMetrics, error) {
+	if err := s.checkQuery(q); err != nil {
+		return nil, nil, err
 	}
-	metrics.Reveal = time.Since(phase)
-	return res, nil
+	if k > s.tbl.N() {
+		k = s.tbl.N()
+	}
+	if k == 0 {
+		return nil, &SecureMetrics{}, nil
+	}
+	if !secure {
+		return s.basicTopK(q, k)
+	}
+	if domainBits < 1 || domainBits > 512 {
+		return nil, nil, fmt.Errorf("%w: l=%d", ErrDomainBits, domainBits)
+	}
+	metrics := &SecureMetrics{}
+	comm0 := s.CommStats()
+	start := time.Now()
+
+	var idx []int
+	var err error
+	if s.tbl.Clustered() && target > 0 {
+		idx, err = s.prunedCandidates(q, k, domainBits, target, metrics)
+		if err != nil {
+			return nil, nil, err
+		}
+	} else {
+		idx = s.tbl.liveIdx
+		metrics.Candidates = len(idx)
+	}
+	records := make([][]*paillier.Ciphertext, len(idx))
+	for i, id := range idx {
+		records[i] = s.tbl.records[id]
+	}
+	ds, bits, err := s.candidateBits(q, domainBits, idx, metrics)
+	if err != nil {
+		return nil, nil, err
+	}
+	cands, err := s.selectTopK(bits, records, ds, k, domainBits, metrics)
+	if err != nil {
+		return nil, nil, err
+	}
+	metrics.Total = time.Since(start)
+	metrics.Comm = s.CommStats().Sub(comm0)
+	return cands, metrics, nil
 }
 
 // workerIndex maps a requester back to its slot (for per-worker result

@@ -14,30 +14,63 @@ import (
 // stream (and one smc.Requester driving it) per leased link. All
 // protocol state that lives for the duration of a query — blinding
 // permutations, SMINn tournament state, per-phase traffic counters — is
-// scoped here, never on the shared CloudC1, which is what lets sessions
-// interleave on the same links without crossing streams.
+// scoped here, never on the shared link pool, which is what lets
+// sessions interleave on the same links without crossing streams.
 //
 // The session also pins the table state: tbl is an immutable view
 // captured when the session opened, so a query runs against one
 // consistent table no matter which Inserts, Deletes, or Compacts land
-// on the live table while it executes.
+// on the live table while it executes. A coordinator's merge session
+// has no table at all (tbl == nil): it operates on encrypted candidates
+// gathered from the shards, needing only the key and record arity.
 //
 // A session answers queries one at a time; run concurrent queries in
 // concurrent sessions. Close returns the leased capacity to the pool.
 type QuerySession struct {
-	c     *CloudC1
-	tbl   *tableView       // table state observed at session open
-	slots []int            // leased link indices
-	conns []mpc.Conn       // logical streams, one per slot
-	rqs   []*smc.Requester // primitive drivers, one per stream
+	pool     *linkPool
+	pk       *paillier.PublicKey
+	m        int              // record arity the session operates on
+	featureM int              // distance-relevant prefix
+	tbl      *tableView       // table state observed at session open; nil for merge sessions
+	slots    []int            // leased link indices
+	conns    []mpc.Conn       // logical streams, one per slot
+	rqs      []*smc.Requester // primitive drivers, one per stream
 
 	once sync.Once
+}
+
+// newSession leases width links from the pool and pins the given table
+// view (which also supplies the key and record arity).
+func newSession(pool *linkPool, width int, view *tableView) (*QuerySession, error) {
+	return openSession(pool, width, view, view.pk, view.m, view.featureM)
+}
+
+// openSession is the shared constructor behind table-backed sessions
+// (newSession) and the coordinator's table-less merge sessions
+// (ShardedC1.mergeSession): lease the slots, open one tagged stream per
+// slot, attach a requester to each. view may be nil — the selection
+// engine then runs on caller-supplied candidates only.
+func openSession(pool *linkPool, width int, view *tableView, pk *paillier.PublicKey, m, featureM int) (*QuerySession, error) {
+	slots, err := pool.lease(width)
+	if err != nil {
+		return nil, err
+	}
+	s := &QuerySession{pool: pool, pk: pk, m: m, featureM: featureM, tbl: view, slots: slots}
+	for _, i := range slots {
+		conn, err := pool.open(i)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("core: opening session stream: %w", err)
+		}
+		s.attach(conn)
+	}
+	return s, nil
 }
 
 // attach wires one opened logical stream into the session.
 func (s *QuerySession) attach(conn mpc.Conn) {
 	s.conns = append(s.conns, conn)
-	s.rqs = append(s.rqs, smc.NewRequester(s.tbl.pk, conn, s.c.random))
+	s.rqs = append(s.rqs, smc.NewRequester(s.pk, conn, s.pool.random))
 }
 
 // Close ends the session's logical streams and releases its links back
@@ -48,7 +81,7 @@ func (s *QuerySession) Close() {
 		for _, conn := range s.conns {
 			conn.Close()
 		}
-		s.c.release(s.slots)
+		s.pool.release(s.slots)
 	})
 }
 
@@ -139,9 +172,9 @@ func (s *QuerySession) distancesOf(q EncryptedQuery, rows [][]*paillier.Cipherte
 // record with fresh randomness, C2 decrypts the masked values, and the
 // two shares travel to Bob.
 func (s *QuerySession) reveal(selected []EncryptedRecord) (*MaskedResult, error) {
-	pk := s.tbl.pk
+	pk := s.pk
 	k := len(selected)
-	m := s.tbl.m
+	m := s.m
 	res := &MaskedResult{K: k, M: m, n: pk.N}
 	payload := make([]*big.Int, 0, k*m)
 	for j := 0; j < k; j++ {

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+	"time"
+
+	"sknn/internal/mpc"
+	"sknn/internal/paillier"
+)
+
+// This file is the coordinator↔shard wire protocol: RemoteShard is the
+// coordinator's client half (a Shard implementation over an mpc.Conn),
+// ServeShard the worker's server half wrapped around its CloudC1. Both
+// ends exchange only what the coordinator is entitled to see — the
+// public key, partition lineage, live counts, and encrypted candidates
+// — so a shard worker's wire peer learns exactly what an in-process
+// coordinator would.
+//
+// Frame layouts (all values big.Ints in Message.Ints):
+//
+//	OpShardHello  req: []
+//	              rep: [N, index, count, n, m, featureM, clustered,
+//	                    attrBits, domainBits]
+//	OpShardTopK   req: [k, l, target, secure, q₁…q_f]   (qᵢ encrypted)
+//	              rep: [n, count, sminCount, candidates, clustersProbed,
+//	                    totalNanos, then per candidate:
+//	                    secure → l distance bits, m record attributes
+//	                    basic  → E(d), m record attributes]
+
+// RemoteShard drives one shard worker over a connection. It implements
+// Shard; the static shape is cached from the dial-time hello and the
+// live count refreshed from every TopK reply, so Info stays cheap.
+// RoundTrips serialize on the connection: concurrent coordinator
+// queries queue per shard link.
+type RemoteShard struct {
+	conn       mpc.Conn
+	pk         *paillier.PublicKey
+	attrBits   int
+	domainBits int
+
+	mu   sync.Mutex
+	info ShardInfo
+}
+
+// DialShard performs the hello handshake on conn and returns the
+// remote worker as a Shard plus the public key it serves under (the
+// coordinator, holding no table of its own, learns pk from its shards).
+func DialShard(conn mpc.Conn) (*RemoteShard, error) {
+	resp, err := mpc.RoundTrip(conn, &mpc.Message{Op: OpShardHello})
+	if err != nil {
+		return nil, fmt.Errorf("core: shard hello: %w", err)
+	}
+	if len(resp.Ints) != 9 {
+		return nil, fmt.Errorf("%w: shard hello reply has %d ints, want 9", ErrBadFrame, len(resp.Ints))
+	}
+	n := resp.Ints[0]
+	if n == nil || n.Sign() <= 0 || n.BitLen() < 64 {
+		return nil, fmt.Errorf("%w: implausible shard public modulus", ErrBadFrame)
+	}
+	vals := make([]int, 8)
+	for i := 1; i < 9; i++ {
+		if !resp.Ints[i].IsInt64() {
+			return nil, fmt.Errorf("%w: shard hello field %d", ErrBadFrame, i)
+		}
+		vals[i-1] = int(resp.Ints[i].Int64())
+	}
+	info := ShardInfo{
+		Index:     vals[0],
+		Count:     vals[1],
+		N:         vals[2],
+		M:         vals[3],
+		FeatureM:  vals[4],
+		Clustered: vals[5] != 0,
+	}
+	if info.Count < 1 || info.Index < 0 || info.Index >= info.Count ||
+		info.M < 1 || info.FeatureM < 1 || info.FeatureM > info.M || info.N < 0 {
+		return nil, fmt.Errorf("%w: shard hello describes index %d of %d, table %d/%d",
+			ErrBadFrame, info.Index, info.Count, info.M, info.FeatureM)
+	}
+	pk := &paillier.PublicKey{N: n, NSquared: new(big.Int).Mul(n, n)}
+	return &RemoteShard{conn: conn, pk: pk, info: info, attrBits: vals[6], domainBits: vals[7]}, nil
+}
+
+// PK returns the public key the shard's table is encrypted under.
+func (r *RemoteShard) PK() *paillier.PublicKey { return r.pk }
+
+// AttrBits reports the shard table's per-attribute domain size.
+func (r *RemoteShard) AttrBits() int { return r.attrBits }
+
+// DomainBits reports l, the squared-distance domain the shard's SkNNm
+// scans decompose to.
+func (r *RemoteShard) DomainBits() int { return r.domainBits }
+
+// Info reports the shard's shape (live count as of the last exchange).
+func (r *RemoteShard) Info() ShardInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.info
+}
+
+// Close closes the coordinator→shard connection.
+func (r *RemoteShard) Close() error { return r.conn.Close() }
+
+// TopK runs the shard-local scan remotely and decodes the encrypted
+// candidates. Ciphertexts are range-validated against the shard's key
+// on the way in, exactly like snapshot loading.
+func (r *RemoteShard) TopK(q EncryptedQuery, k, domainBits, target int, secure bool) ([]Candidate, *SecureMetrics, error) {
+	sec := int64(0)
+	if secure {
+		sec = 1
+	}
+	payload := make([]*big.Int, 0, 4+len(q))
+	payload = append(payload,
+		big.NewInt(int64(k)), big.NewInt(int64(domainBits)),
+		big.NewInt(int64(target)), big.NewInt(sec))
+	for _, ct := range q {
+		payload = append(payload, ct.Raw())
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	resp, err := mpc.RoundTrip(r.conn, &mpc.Message{Op: OpShardTopK, Ints: payload})
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: shard %d top-k: %w", r.info.Index, err)
+	}
+	const head = 6
+	if len(resp.Ints) < head {
+		return nil, nil, fmt.Errorf("%w: shard top-k reply has %d ints", ErrBadFrame, len(resp.Ints))
+	}
+	for i := 0; i < head; i++ {
+		if !resp.Ints[i].IsInt64() {
+			return nil, nil, fmt.Errorf("%w: shard top-k header field %d", ErrBadFrame, i)
+		}
+	}
+	liveN := int(resp.Ints[0].Int64())
+	count := int(resp.Ints[1].Int64())
+	metrics := &SecureMetrics{
+		SMINCount:      int(resp.Ints[2].Int64()),
+		Candidates:     int(resp.Ints[3].Int64()),
+		ClustersProbed: int(resp.Ints[4].Int64()),
+	}
+	metrics.Total = time.Duration(resp.Ints[5].Int64())
+	if liveN >= 0 {
+		r.info.N = liveN
+	}
+	per := r.info.M + 1 // E(d) + record
+	if secure {
+		per = r.info.M + domainBits // [d] bits + record
+	}
+	// Bound count by the k we asked for before any arithmetic on it: a
+	// lying reply must fail with ErrBadFrame, never overflow count*per
+	// or reach a huge make().
+	if count < 0 || count > k || len(resp.Ints) != head+count*per {
+		return nil, nil, fmt.Errorf("%w: shard top-k reply: %d candidates but %d payload ints",
+			ErrBadFrame, count, len(resp.Ints)-head)
+	}
+	cands := make([]Candidate, count)
+	pos := head
+	for i := range cands {
+		if secure {
+			bits := make([]*paillier.Ciphertext, domainBits)
+			for g := range bits {
+				if bits[g], err = r.pk.FromRaw(resp.Ints[pos]); err != nil {
+					return nil, nil, fmt.Errorf("core: shard candidate %d bit %d: %w", i, g, err)
+				}
+				pos++
+			}
+			cands[i].Bits = bits
+		} else {
+			if cands[i].Dist, err = r.pk.FromRaw(resp.Ints[pos]); err != nil {
+				return nil, nil, fmt.Errorf("core: shard candidate %d distance: %w", i, err)
+			}
+			pos++
+		}
+		rec := make(EncryptedRecord, r.info.M)
+		for j := range rec {
+			if rec[j], err = r.pk.FromRaw(resp.Ints[pos]); err != nil {
+				return nil, nil, fmt.Errorf("core: shard candidate %d attribute %d: %w", i, j, err)
+			}
+			pos++
+		}
+		cands[i].Rec = rec
+	}
+	return cands, metrics, nil
+}
+
+// ShardServer answers a coordinator's frames for one shard worker.
+type ShardServer struct {
+	c1         *CloudC1
+	index      int
+	count      int
+	attrBits   int
+	domainBits int
+}
+
+// NewShardServer wraps a shard worker's CloudC1 with its partition
+// lineage (records with id ≡ index mod count live here) and the domain
+// metadata the coordinator needs to plan queries.
+func NewShardServer(c1 *CloudC1, index, count, attrBits, domainBits int) (*ShardServer, error) {
+	if count < 1 || index < 0 || index >= count {
+		return nil, fmt.Errorf("%w: shard %d of %d", ErrShardTopology, index, count)
+	}
+	return &ShardServer{c1: c1, index: index, count: count, attrBits: attrBits, domainBits: domainBits}, nil
+}
+
+// Mux returns the coordinator-facing dispatcher.
+func (s *ShardServer) Mux() *mpc.Mux {
+	mux := mpc.NewMux()
+	mux.Register(OpShardHello, mpc.HandlerFunc(s.handleHello))
+	mux.Register(OpShardTopK, mpc.HandlerFunc(s.handleTopK))
+	return mux
+}
+
+// Serve answers coordinator frames on conn until the peer closes.
+func (s *ShardServer) Serve(conn mpc.Conn) error { return mpc.Serve(conn, s.Mux()) }
+
+func (s *ShardServer) handleHello(*mpc.Message) (*mpc.Message, error) {
+	t := s.c1.Table()
+	clustered := int64(0)
+	if t.Clustered() {
+		clustered = 1
+	}
+	return &mpc.Message{Op: OpShardHello, Ints: []*big.Int{
+		new(big.Int).Set(t.PK().N),
+		big.NewInt(int64(s.index)), big.NewInt(int64(s.count)),
+		big.NewInt(int64(t.N())), big.NewInt(int64(t.M())),
+		big.NewInt(int64(t.FeatureM())), big.NewInt(clustered),
+		big.NewInt(int64(s.attrBits)), big.NewInt(int64(s.domainBits)),
+	}}, nil
+}
+
+func (s *ShardServer) handleTopK(req *mpc.Message) (*mpc.Message, error) {
+	t := s.c1.Table()
+	featM := t.FeatureM()
+	if len(req.Ints) != 4+featM {
+		return nil, fmt.Errorf("%w: shard top-k request has %d ints, want %d",
+			ErrBadFrame, len(req.Ints), 4+featM)
+	}
+	for i := 0; i < 4; i++ {
+		if !req.Ints[i].IsInt64() {
+			return nil, fmt.Errorf("%w: shard top-k header field %d", ErrBadFrame, i)
+		}
+	}
+	k := int(req.Ints[0].Int64())
+	domainBits := int(req.Ints[1].Int64())
+	target := int(req.Ints[2].Int64())
+	secure := req.Ints[3].Int64() != 0
+	if k < 1 {
+		return nil, fmt.Errorf("%w: k=%d", ErrBadK, k)
+	}
+	q := make(EncryptedQuery, featM)
+	var err error
+	for i := range q {
+		if q[i], err = t.PK().FromRaw(req.Ints[4+i]); err != nil {
+			return nil, fmt.Errorf("core: shard top-k query attribute %d: %w", i, err)
+		}
+	}
+	cands, metrics, err := s.c1.TopK(q, k, domainBits, target, secure)
+	if err != nil {
+		return nil, err
+	}
+	per := t.M() + 1
+	if secure {
+		per = t.M() + domainBits
+	}
+	out := make([]*big.Int, 0, 6+len(cands)*per)
+	out = append(out,
+		big.NewInt(int64(t.N())), big.NewInt(int64(len(cands))),
+		big.NewInt(int64(metrics.SMINCount)), big.NewInt(int64(metrics.Candidates)),
+		big.NewInt(int64(metrics.ClustersProbed)), big.NewInt(metrics.Total.Nanoseconds()))
+	for _, c := range cands {
+		if secure {
+			for _, b := range c.Bits {
+				out = append(out, b.Raw())
+			}
+		} else {
+			out = append(out, c.Dist.Raw())
+		}
+		for _, ct := range c.Rec {
+			out = append(out, ct.Raw())
+		}
+	}
+	return &mpc.Message{Op: OpShardTopK, Ints: out}, nil
+}

@@ -263,25 +263,48 @@ var (
 // cluster = -1. Queries in flight keep the view they opened with and do
 // not see the new record.
 func (t *EncryptedTable) Insert(rec EncryptedRecord, cluster int) (uint64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := t.nextID
+	if err := t.insertLocked(id, rec, cluster); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// InsertWithID is Insert with a caller-chosen stable id — the sharded
+// path, where the coordinator owns the global id sequence and routes
+// each record to shard id mod S. The id must be at or above the
+// table's high-water mark, so ids are never reused; the mark advances
+// to id+1.
+func (t *EncryptedTable) InsertWithID(id uint64, rec EncryptedRecord, cluster int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id < t.nextID {
+		return fmt.Errorf("core: inserting id %d below high-water mark %d", id, t.nextID)
+	}
+	return t.insertLocked(id, rec, cluster)
+}
+
+// insertLocked appends one record under the write lock, advancing the
+// id high-water mark past id.
+func (t *EncryptedTable) insertLocked(id uint64, rec EncryptedRecord, cluster int) error {
 	if len(rec) != t.m {
-		return 0, fmt.Errorf("core: inserting record with %d attributes, want %d", len(rec), t.m)
+		return fmt.Errorf("core: inserting record with %d attributes, want %d", len(rec), t.m)
 	}
 	for j, ct := range rec {
 		if ct == nil {
-			return 0, fmt.Errorf("core: inserted record attribute %d is nil", j)
+			return fmt.Errorf("core: inserted record attribute %d is nil", j)
 		}
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	if t.index != nil {
 		if cluster < 0 || cluster >= len(t.index.centroids) {
-			return 0, fmt.Errorf("%w: cluster %d of %d", ErrNeedCluster, cluster, len(t.index.centroids))
+			return fmt.Errorf("%w: cluster %d of %d", ErrNeedCluster, cluster, len(t.index.centroids))
 		}
 	}
 	t.invalidateViewLocked()
 	pos := len(t.records)
-	id := t.nextID
-	t.nextID++
+	t.nextID = id + 1
 	t.records = append(t.records, rec)
 	t.ids = append(t.ids, id)
 	t.dead = append(t.dead, false)
@@ -290,7 +313,7 @@ func (t *EncryptedTable) Insert(rec EncryptedRecord, cluster int) (uint64, error
 	if t.index != nil {
 		t.index.members[cluster] = append(t.index.members[cluster], pos)
 	}
-	return id, nil
+	return nil
 }
 
 // Delete tombstones the record with the given stable id. The ciphertext
@@ -416,6 +439,16 @@ func (t *EncryptedTable) Stored() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	return len(t.records)
+}
+
+// NextID returns the stable-id high-water mark: the id the next
+// locally-assigned Insert would take. On a shard it is a global bound —
+// every shard starts from the whole table's mark and only the owning
+// shard advances past it — so max over shards recovers the sequence.
+func (t *EncryptedTable) NextID() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.nextID
 }
 
 // M returns the number of attributes.

@@ -38,8 +38,18 @@ import (
 )
 
 // Version is the current snapshot format version. Readers reject files
-// from a newer format instead of guessing.
-const Version = 1
+// from a newer format instead of guessing. v2 added the shard-lineage
+// header fields (present only when flagSharded is set), so v1 files —
+// which never carry the flag — read under the same decoder. (The v2
+// decoder also tightened the sanity caps on claimed attribute count
+// and modulus size to 2^12 attributes / 2^13 modulus bytes; files this
+// engine actually writes sit orders of magnitude below both, but a v1
+// file hand-crafted beyond them now fails ErrFormat instead of
+// parsing.)
+const Version = 2
+
+// minVersion is the oldest format this build still reads.
+const minVersion = 1
 
 var (
 	tableMagic = [8]byte{'S', 'K', 'N', 'N', 'S', 'N', 'P', 0}
@@ -61,18 +71,36 @@ var (
 // amd64 and arm64.
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
 // flag bits of the header.
-const flagClustered = 1 << 0
+const (
+	flagClustered = 1 << 0
+	flagSharded   = 1 << 1 // v2+: header carries shard lineage
+)
 
 // Snapshot is one parsed table file: the public key it is encrypted
 // under, the attribute/domain metadata queries need, and the full table
-// state ready for core.RestoreTable.
+// state ready for core.RestoreTable. A shard snapshot (written by
+// Split) additionally records its partition lineage: this file holds
+// the records with stable id ≡ ShardIndex mod ShardCount. ShardCount 0
+// means an unsharded (whole-table) snapshot.
 type Snapshot struct {
 	PK         *paillier.PublicKey
 	AttrBits   int // per-attribute domain size in bits
 	DomainBits int // l, the squared-distance domain for SkNNm's SBD
+	ShardIndex int // partition lineage; meaningful when ShardCount > 0
+	ShardCount int // 0 = whole table
 	Table      *core.TableSnapshot
 }
+
+// Sharded reports whether this snapshot is one shard of a partition.
+func (s *Snapshot) Sharded() bool { return s.ShardCount > 0 }
 
 // Fingerprint is the snapshot's key check value: SHA-256 over the
 // big-endian bytes of the public modulus N.
@@ -90,12 +118,26 @@ func (s *Snapshot) VerifyKey(pk *paillier.PublicKey) error {
 	return nil
 }
 
-// Write serializes the table state to w in snapshot format Version.
-// attrBits and domainBits are the dataset metadata a loader needs to
-// validate inserts and run SkNNm without re-deriving them.
+// Write serializes an unsharded table state to w in snapshot format
+// Version. attrBits and domainBits are the dataset metadata a loader
+// needs to validate inserts and run SkNNm without re-deriving them.
 func Write(w io.Writer, pk *paillier.PublicKey, tbl *core.TableSnapshot, attrBits, domainBits int) error {
+	return WriteSnapshot(w, &Snapshot{PK: pk, AttrBits: attrBits, DomainBits: domainBits, Table: tbl})
+}
+
+// WriteSnapshot serializes snap — including its shard lineage, when it
+// is one shard of a partition — in snapshot format Version.
+func WriteSnapshot(w io.Writer, snap *Snapshot) error {
+	if snap == nil {
+		return fmt.Errorf("%w: nil snapshot", ErrFormat)
+	}
+	pk, tbl, attrBits, domainBits := snap.PK, snap.Table, snap.AttrBits, snap.DomainBits
 	if pk == nil || tbl == nil {
 		return fmt.Errorf("%w: nil key or table", ErrFormat)
+	}
+	if snap.ShardCount < 0 || (snap.ShardCount > 0 &&
+		(snap.ShardIndex < 0 || snap.ShardIndex >= snap.ShardCount)) {
+		return fmt.Errorf("%w: shard %d of %d", ErrFormat, snap.ShardIndex, snap.ShardCount)
 	}
 	n := len(tbl.Records)
 	if n == 0 || len(tbl.IDs) != n || len(tbl.Dead) != n {
@@ -112,6 +154,9 @@ func Write(w io.Writer, pk *paillier.PublicKey, tbl *core.TableSnapshot, attrBit
 	if len(tbl.Centroids) > 0 {
 		flags |= flagClustered
 	}
+	if snap.ShardCount > 0 {
+		flags |= flagSharded
+	}
 	out.u16(flags)
 	out.u32(uint32(tbl.M))
 	out.u32(uint32(tbl.FeatureM))
@@ -119,6 +164,10 @@ func Write(w io.Writer, pk *paillier.PublicKey, tbl *core.TableSnapshot, attrBit
 	out.u32(uint32(domainBits))
 	out.u64(uint64(n))
 	out.u64(tbl.NextID)
+	if flags&flagSharded != 0 {
+		out.u32(uint32(snap.ShardIndex))
+		out.u32(uint32(snap.ShardCount))
+	}
 	nBytes := pk.N.Bytes()
 	out.uvarint(uint64(len(nBytes)))
 	out.bytes(nBytes)
@@ -198,8 +247,8 @@ func Read(r io.Reader) (*Snapshot, error) {
 		return nil, fmt.Errorf("%w: not a sknn table snapshot", ErrMagic)
 	}
 	version := in.u16()
-	if in.err == nil && version != Version {
-		return nil, fmt.Errorf("%w: file is v%d, this build reads v%d", ErrVersion, version, Version)
+	if in.err == nil && (version < minVersion || version > Version) {
+		return nil, fmt.Errorf("%w: file is v%d, this build reads v%d–v%d", ErrVersion, version, minVersion, Version)
 	}
 	flags := in.u16()
 	m := int(in.u32())
@@ -208,10 +257,18 @@ func Read(r io.Reader) (*Snapshot, error) {
 	domainBits := int(in.u32())
 	n64 := in.u64()
 	nextID := in.u64()
+	shardIndex, shardCount := 0, 0
+	if version >= 2 && flags&flagSharded != 0 {
+		shardIndex = int(in.u32())
+		shardCount = int(in.u32())
+	}
 	if in.err != nil {
 		return nil, in.fail("header")
 	}
-	const maxN, maxM = 1 << 40, 1 << 16
+	if flags&flagSharded != 0 && (shardCount < 1 || shardIndex < 0 || shardIndex >= shardCount) {
+		return nil, fmt.Errorf("%w: shard %d of %d", ErrFormat, shardIndex, shardCount)
+	}
+	const maxN, maxM = 1 << 40, 1 << 12
 	if m < 1 || m > maxM || featureM < 1 || featureM > m {
 		return nil, fmt.Errorf("%w: %d attributes, %d feature columns", ErrFormat, m, featureM)
 	}
@@ -223,8 +280,16 @@ func Read(r io.Reader) (*Snapshot, error) {
 	}
 	n := int(n64)
 
+	// 2^13 bytes = a 65536-bit modulus, far beyond any real key size.
+	// The error check must precede the length check: a truncated uvarint
+	// leaves a garbage partial value that must never reach make()
+	// (found by FuzzSnapshotRead — the original ordering panicked with
+	// "makeslice: len out of range" on crafted input).
 	nLen := in.uvarint()
-	if in.err == nil && (nLen < 8 || nLen > 1<<16) {
+	if in.err != nil {
+		return nil, in.fail("public key")
+	}
+	if nLen < 8 || nLen > 1<<13 {
 		return nil, fmt.Errorf("%w: public modulus of %d bytes", ErrFormat, nLen)
 	}
 	nBytes := make([]byte, nLen)
@@ -246,35 +311,51 @@ func Read(r io.Reader) (*Snapshot, error) {
 	// allocate for.
 	maxCT := len(nBytes)*2 + 1
 
+	// Allocations below grow with the bytes actually read, never with
+	// the header's claimed sizes alone: a crafted header declaring 2^40
+	// records against a 100-byte file must fail with ErrTruncated after
+	// kilobytes, not commit terabytes. preallocN caps every
+	// n-proportional make; record/centroid rows append as ciphertexts
+	// actually arrive.
+	preallocN := minInt(n, 1<<12)
 	tbl := &core.TableSnapshot{
 		M:        m,
 		FeatureM: featureM,
 		NextID:   nextID,
-		IDs:      make([]uint64, n),
-		Dead:     make([]bool, n),
+		IDs:      make([]uint64, 0, preallocN),
+		Dead:     make([]bool, 0, preallocN),
 	}
-	bitmap := make([]byte, (n+7)/8)
-	in.bytes(bitmap)
-	for i := range tbl.Dead {
-		tbl.Dead[i] = bitmap[i/8]&(1<<(i%8)) != 0
+	bitmapLen := (n + 7) / 8
+	bitmap := make([]byte, 0, minInt(bitmapLen, 1<<12))
+	for read := 0; read < bitmapLen; {
+		chunk := minInt(bitmapLen-read, 1<<12)
+		bitmap = append(bitmap, make([]byte, chunk)...)
+		in.bytes(bitmap[read : read+chunk])
+		if in.err != nil {
+			return nil, in.fail("tombstone bitmap")
+		}
+		read += chunk
 	}
-	for i := range tbl.IDs {
-		tbl.IDs[i] = in.uvarint()
+	for i := 0; i < n; i++ {
+		tbl.Dead = append(tbl.Dead, bitmap[i/8]&(1<<(i%8)) != 0)
 	}
-	if in.err != nil {
-		return nil, in.fail("record ids")
+	for i := 0; i < n; i++ {
+		tbl.IDs = append(tbl.IDs, in.uvarint())
+		if in.err != nil {
+			return nil, in.fail("record ids")
+		}
 	}
-	tbl.Records = make([]core.EncryptedRecord, n)
-	for i := range tbl.Records {
-		rec := make(core.EncryptedRecord, m)
-		for j := range rec {
+	tbl.Records = make([]core.EncryptedRecord, 0, preallocN)
+	for i := 0; i < n; i++ {
+		rec := make(core.EncryptedRecord, 0, minInt(m, 64))
+		for j := 0; j < m; j++ {
 			ct, err := in.ciphertext(pk, maxCT)
 			if err != nil {
 				return nil, fmt.Errorf("record %d attribute %d: %w", i, j, err)
 			}
-			rec[j] = ct
+			rec = append(rec, ct)
 		}
-		tbl.Records[i] = rec
+		tbl.Records = append(tbl.Records, rec)
 	}
 	if flags&flagClustered != 0 {
 		c := int(in.u32())
@@ -284,20 +365,21 @@ func Read(r io.Reader) (*Snapshot, error) {
 		if c < 1 || c > n {
 			return nil, fmt.Errorf("%w: %d clusters over %d records", ErrFormat, c, n)
 		}
-		tbl.Centroids = make([]core.EncryptedRecord, c)
-		for j := range tbl.Centroids {
-			cent := make(core.EncryptedRecord, featureM)
-			for hh := range cent {
+		preallocC := minInt(c, 1<<12)
+		tbl.Centroids = make([]core.EncryptedRecord, 0, preallocC)
+		for j := 0; j < c; j++ {
+			cent := make(core.EncryptedRecord, 0, minInt(featureM, 64))
+			for hh := 0; hh < featureM; hh++ {
 				ct, err := in.ciphertext(pk, maxCT)
 				if err != nil {
 					return nil, fmt.Errorf("centroid %d attribute %d: %w", j, hh, err)
 				}
-				cent[hh] = ct
+				cent = append(cent, ct)
 			}
-			tbl.Centroids[j] = cent
+			tbl.Centroids = append(tbl.Centroids, cent)
 		}
-		tbl.Members = make([][]int, c)
-		for j := range tbl.Members {
+		tbl.Members = make([][]int, 0, preallocC)
+		for j := 0; j < c; j++ {
 			count := in.uvarint()
 			if in.err != nil {
 				return nil, in.fail("membership list")
@@ -305,9 +387,9 @@ func Read(r io.Reader) (*Snapshot, error) {
 			if count > uint64(n) {
 				return nil, fmt.Errorf("%w: cluster %d claims %d members of %d records", ErrFormat, j, count, n)
 			}
-			mem := make([]int, count)
+			mem := make([]int, 0, minInt(int(count), 1<<12))
 			pos := -1
-			for i := range mem {
+			for i := 0; i < int(count); i++ {
 				delta := in.uvarint()
 				if in.err != nil {
 					return nil, in.fail("membership list")
@@ -316,9 +398,9 @@ func Read(r io.Reader) (*Snapshot, error) {
 					return nil, fmt.Errorf("%w: cluster %d member delta %d out of range", ErrFormat, j, delta)
 				}
 				pos += int(delta)
-				mem[i] = pos
+				mem = append(mem, pos)
 			}
-			tbl.Members[j] = mem
+			tbl.Members = append(tbl.Members, mem)
 		}
 	}
 	if in.err != nil {
@@ -334,7 +416,100 @@ func Read(r io.Reader) (*Snapshot, error) {
 	if binary.LittleEndian.Uint32(crc[:]) != want {
 		return nil, ErrChecksum
 	}
-	return &Snapshot{PK: pk, AttrBits: attrBits, DomainBits: domainBits, Table: tbl}, nil
+	return &Snapshot{
+		PK: pk, AttrBits: attrBits, DomainBits: domainBits,
+		ShardIndex: shardIndex, ShardCount: shardCount, Table: tbl,
+	}, nil
+}
+
+// Split partitions a whole-table snapshot into shards shard snapshots
+// (record id mod shards — see core.TableSnapshot.Split), stamping each
+// with its lineage. No re-encryption happens: ciphertexts are shared
+// with the input. Splitting an already-split shard is rejected —
+// re-Merge first, so lineage always describes one level of partition.
+func Split(snap *Snapshot, shards int) ([]*Snapshot, error) {
+	if snap.Sharded() {
+		return nil, fmt.Errorf("%w: splitting shard %d of %d (Merge first)",
+			ErrFormat, snap.ShardIndex, snap.ShardCount)
+	}
+	parts, err := snap.Table.Split(shards)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Snapshot, len(parts))
+	for i, p := range parts {
+		out[i] = &Snapshot{
+			PK: snap.PK, AttrBits: snap.AttrBits, DomainBits: snap.DomainBits,
+			ShardIndex: i, ShardCount: shards, Table: p,
+		}
+	}
+	return out, nil
+}
+
+// Merge reassembles the shards of one partition — in any order — into a
+// whole-table snapshot. It validates that the parts form exactly one
+// partition (same count, indices 0..S−1 once each, one key, matching
+// domain metadata) before handing the tables to
+// core.MergeTableSnapshots.
+func Merge(parts []*Snapshot) (*Snapshot, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("%w: merging zero shards", ErrFormat)
+	}
+	first := parts[0]
+	if !first.Sharded() && len(parts) == 1 {
+		return first, nil
+	}
+	fp := Fingerprint(first.PK)
+	ordered := make([]*core.TableSnapshot, len(parts))
+	for _, p := range parts {
+		if p.ShardCount != len(parts) {
+			return nil, fmt.Errorf("%w: shard says the partition has %d shards, got %d files",
+				ErrFormat, p.ShardCount, len(parts))
+		}
+		if p.ShardIndex < 0 || p.ShardIndex >= len(parts) || ordered[p.ShardIndex] != nil {
+			return nil, fmt.Errorf("%w: shard index %d duplicated or out of range", ErrFormat, p.ShardIndex)
+		}
+		if Fingerprint(p.PK) != fp {
+			return nil, fmt.Errorf("%w: shard %d under a different key", ErrKeyMismatch, p.ShardIndex)
+		}
+		if p.AttrBits != first.AttrBits || p.DomainBits != first.DomainBits {
+			return nil, fmt.Errorf("%w: shard %d domain metadata disagrees", ErrFormat, p.ShardIndex)
+		}
+		ordered[p.ShardIndex] = p.Table
+	}
+	tbl, err := core.MergeTableSnapshots(ordered)
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{PK: first.PK, AttrBits: first.AttrBits, DomainBits: first.DomainBits, Table: tbl}, nil
+}
+
+// ShardPath is the conventional file name of shard i split from the
+// snapshot at path: "<path>.s<i>". sknngen, sknnd split, and the CI
+// smoke topology all agree on it.
+func ShardPath(path string, i int) string { return fmt.Sprintf("%s.s%d", path, i) }
+
+// SplitFile reads the whole-table snapshot at path, splits it into
+// shards partitions, writes each to ShardPath(base, i), and returns
+// the written paths — the one split-to-disk sequence sknngen -shards
+// and sknnd split share.
+func SplitFile(path, base string, shards int) ([]string, error) {
+	snap, err := ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	parts, err := Split(snap, shards)
+	if err != nil {
+		return nil, err
+	}
+	paths := make([]string, len(parts))
+	for i, part := range parts {
+		paths[i] = ShardPath(base, i)
+		if err := WriteSnapshotFile(paths[i], part); err != nil {
+			return nil, err
+		}
+	}
+	return paths, nil
 }
 
 // WriteFile writes a snapshot to path (0644), fsync-free; callers that
@@ -345,6 +520,19 @@ func WriteFile(path string, pk *paillier.PublicKey, tbl *core.TableSnapshot, att
 		return err
 	}
 	if err := Write(f, pk, tbl, attrBits, domainBits); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteSnapshotFile writes snap (shard lineage included) to path (0644).
+func WriteSnapshotFile(path string, snap *Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteSnapshot(f, snap); err != nil {
 		f.Close()
 		return err
 	}
@@ -397,11 +585,14 @@ func ReadKey(r io.Reader) (*paillier.PrivateKey, error) {
 		return nil, fmt.Errorf("%w: not a sknn key file", ErrMagic)
 	}
 	version := in.u16()
-	if in.err == nil && version != Version {
+	if in.err == nil && (version < minVersion || version > Version) {
 		return nil, fmt.Errorf("%w: key file is v%d", ErrVersion, version)
 	}
 	blobLen := in.uvarint()
-	if in.err == nil && blobLen > 1<<20 {
+	if in.err != nil {
+		return nil, in.fail("key blob")
+	}
+	if blobLen > 1<<20 {
 		return nil, fmt.Errorf("%w: key blob of %d bytes", ErrFormat, blobLen)
 	}
 	blob := make([]byte, blobLen)

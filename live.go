@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"sknn/internal/cluster"
+	"sknn/internal/core"
+	"sknn/internal/paillier"
 )
 
 // This file is the live half of the table lifecycle: Insert, Delete,
@@ -26,6 +28,12 @@ import (
 //     centroids (this facade plays the owner too, so it legitimately
 //     holds the key it decrypts with).
 //
+// On a sharded system every mutation routes to the owning shard by
+// stable id (id mod Shards): the insert's oblivious routing ranks only
+// that shard's centroids, the delete tombstones only that shard's
+// storage, and threshold compaction fires shard by shard — churn on one
+// shard never touches another's layout.
+//
 // Mutations are serialized with each other but never block queries:
 // every query session pins an immutable view of the table at open, so
 // in-flight queries finish on the state they started with.
@@ -36,7 +44,9 @@ import (
 // ids 0..n−1 in row order. Values must fit the attribute domain the
 // system was built with. On a clustered system the record is routed
 // obliviously to its nearest centroid, which costs one centroid-ranking
-// round (c−1 SMINs); unclustered inserts are pure appends.
+// round (c−1 SMINs); unclustered inserts are pure appends. Sharded, the
+// id is drawn from the global sequence and the record lands on shard
+// id mod Shards, ranked against that shard's centroids only.
 //
 // When the accumulated churn passes Config.CompactThreshold the insert
 // also triggers Compact; amortized over many mutations that keeps the
@@ -63,10 +73,13 @@ func (s *System) Insert(row []uint64) (uint64, error) {
 	}
 
 	// Serialize with other mutations: routing must target the index the
-	// append lands in (a concurrent Compact could swap it out).
+	// append lands in (a concurrent Compact could swap it out), and the
+	// global id sequence must advance atomically.
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
-	tbl := s.c1.Table()
+	id := s.nextIDLocked()
+	owner := s.shardFor(id)
+	tbl := owner.Table()
 	clusterID := -1
 	if tbl.Clustered() {
 		featureM := tbl.FeatureM()
@@ -74,7 +87,7 @@ func (s *System) Insert(row []uint64) (uint64, error) {
 		if err != nil {
 			return 0, fmt.Errorf("sknn: encrypting insert routing query: %w", err)
 		}
-		sess, err := s.c1.NewSession(s.perQuery)
+		sess, err := owner.NewSession(s.perQuery)
 		if err != nil {
 			return 0, err
 		}
@@ -84,18 +97,32 @@ func (s *System) Insert(row []uint64) (uint64, error) {
 			return 0, fmt.Errorf("sknn: routing insert: %w", err)
 		}
 	}
-	id, err := tbl.Insert(rec, clusterID)
-	if err != nil {
+	if err := tbl.InsertWithID(id, rec, clusterID); err != nil {
 		return 0, fmt.Errorf("sknn: %w", err)
 	}
-	s.maybeCompactLocked()
+	s.maybeCompactLocked(owner)
 	return id, nil
+}
+
+// nextIDLocked draws the next global stable id: the maximum high-water
+// mark over every shard's table (a split copies the mark to every
+// shard, and each insert advances only its owner's). Caller holds
+// writeMu.
+func (s *System) nextIDLocked() uint64 {
+	var next uint64
+	for _, t := range s.tables() {
+		if n := t.NextID(); n > next {
+			next = n
+		}
+	}
+	return next
 }
 
 // Delete tombstones the record with the given stable id: queries opened
 // after the call no longer see it, the ciphertext is physically removed
-// at the next Compact. Deleting an unknown or already-deleted id
-// returns an error wrapping core.ErrNoSuchRecord.
+// at the next Compact. Sharded, the tombstone lands on the owning shard
+// (id mod Shards). Deleting an unknown or already-deleted id returns an
+// error wrapping core.ErrNoSuchRecord.
 func (s *System) Delete(id uint64) error {
 	if err := s.begin(); err != nil {
 		return err
@@ -103,10 +130,11 @@ func (s *System) Delete(id uint64) error {
 	defer s.end()
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
-	if err := s.c1.Table().Delete(id); err != nil {
+	owner := s.shardFor(id)
+	if err := owner.Table().Delete(id); err != nil {
 		return fmt.Errorf("sknn: %w", err)
 	}
-	s.maybeCompactLocked()
+	s.maybeCompactLocked(owner)
 	return nil
 }
 
@@ -115,9 +143,11 @@ func (s *System) Delete(id uint64) error {
 // (this facade holds her key by construction), runs k-means afresh, and
 // installs new encrypted centroids and membership lists — the
 // "re-outsource the index" maintenance the paper's static setting never
-// needs. Queries in flight keep their pre-compaction view; record ids
-// survive. Automatic when churn passes Config.CompactThreshold, public
-// for callers that schedule their own maintenance windows.
+// needs. Sharded, every shard is compacted and re-clustered
+// independently. Queries in flight keep their pre-compaction view;
+// record ids survive. Automatic per shard when churn passes
+// Config.CompactThreshold, public for callers that schedule their own
+// maintenance windows.
 func (s *System) Compact() error {
 	if err := s.begin(); err != nil {
 		return err
@@ -125,39 +155,57 @@ func (s *System) Compact() error {
 	defer s.end()
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
-	return s.compactLocked()
+	var first error
+	if s.c1 != nil {
+		return s.compactShardLocked(s.c1)
+	}
+	for _, sh := range s.shards {
+		if err := s.compactShardLocked(sh); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // DirtyFraction reports the live table's churn since its last clean
-// build — the value compared against Config.CompactThreshold.
-func (s *System) DirtyFraction() float64 { return s.c1.Table().DirtyFraction() }
+// build — the value compared against Config.CompactThreshold. Sharded,
+// it reports the dirtiest shard (the one closest to triggering
+// compaction).
+func (s *System) DirtyFraction() float64 {
+	worst := 0.0
+	for _, t := range s.tables() {
+		if d := t.DirtyFraction(); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
 
-// maybeCompactLocked runs threshold compaction. Caller holds writeMu.
-func (s *System) maybeCompactLocked() {
-	if s.compactAt < 0 || s.c1.Table().DirtyFraction() <= s.compactAt {
+// maybeCompactLocked runs threshold compaction on the shard a mutation
+// just landed on. Caller holds writeMu.
+func (s *System) maybeCompactLocked(owner *core.CloudC1) {
+	if s.compactAt < 0 || owner.Table().DirtyFraction() <= s.compactAt {
 		return
 	}
 	// Best-effort: a failed rebuild leaves the tombstone-free table with
 	// its previous centroids, which is correct (just less fresh), so the
 	// error is not worth failing the triggering mutation for.
-	_ = s.compactLocked()
+	_ = s.compactShardLocked(owner)
 }
 
-// compactLocked is Compact's body. Caller holds writeMu.
-func (s *System) compactLocked() error {
-	tbl := s.c1.Table()
+// compactShardLocked compacts one worker's table and, when clustered,
+// re-clusters it from owner-side decryption. Caller holds writeMu.
+func (s *System) compactShardLocked(owner *core.CloudC1) error {
+	tbl := owner.Table()
 	tbl.Compact()
 	if !tbl.Clustered() {
 		return nil
 	}
-	rows, err := s.decryptRows(tbl.FeatureM())
+	rows, err := decryptTableRows(s.sk, tbl, tbl.FeatureM())
 	if err != nil {
 		return fmt.Errorf("sknn: compact: %w", err)
 	}
-	c := s.cfgClusters
-	if c == 0 {
-		c = cluster.DefaultClusters(len(rows))
-	}
+	c := s.shardClusters(len(rows))
 	part, err := cluster.KMeans(rows, c, 1)
 	if err != nil {
 		return fmt.Errorf("sknn: compact re-cluster: %w", err)
@@ -168,12 +216,26 @@ func (s *System) compactLocked() error {
 	return nil
 }
 
+// shardClusters sizes one worker's rebuilt index: the configured count
+// scaled down to the shard's share of the table (at least one cell), or
+// ⌈√n⌉ over the shard's own size when unconfigured.
+func (s *System) shardClusters(n int) int {
+	if s.cfgClusters == 0 {
+		return cluster.DefaultClusters(n)
+	}
+	c := s.cfgClusters / s.Shards()
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
 // DecryptTable decrypts every live record with the owner's key and
-// returns the plaintext rows in storage order. This is an owner-side
-// utility — the facade plays Alice, who may of course read her own
-// table — used for oracle verification (cmd/sknnquery -verify on a
-// snapshot) and by Compact's re-cluster step. It is not part of any
-// cloud's view.
+// returns the plaintext rows in ascending stable-id order. This is an
+// owner-side utility — the facade plays Alice, who may of course read
+// her own table — used for oracle verification (cmd/sknnquery -verify
+// on a snapshot) and by Compact's re-cluster step. It is not part of
+// any cloud's view.
 func (s *System) DecryptTable() ([][]uint64, error) {
 	if err := s.begin(); err != nil {
 		return nil, err
@@ -183,10 +245,25 @@ func (s *System) DecryptTable() ([][]uint64, error) {
 }
 
 // decryptRows decrypts the first cols attributes of every live record,
-// working from a consistent table snapshot so concurrent mutation
-// cannot tear the result.
+// working from a consistent merged snapshot so concurrent mutation
+// cannot tear the result and sharding cannot change the order.
 func (s *System) decryptRows(cols int) ([][]uint64, error) {
-	snap := s.c1.Table().Snapshot()
+	snap, err := s.snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return decryptSnapshotRows(s.sk, snap, cols)
+}
+
+// decryptTableRows decrypts one table's live feature rows from its own
+// snapshot (the shard-local re-cluster input).
+func decryptTableRows(sk *paillier.PrivateKey, tbl *core.EncryptedTable, cols int) ([][]uint64, error) {
+	return decryptSnapshotRows(sk, tbl.Snapshot(), cols)
+}
+
+// decryptSnapshotRows decrypts the first cols attributes of a
+// snapshot's live records, in snapshot order.
+func decryptSnapshotRows(sk *paillier.PrivateKey, snap *core.TableSnapshot, cols int) ([][]uint64, error) {
 	out := make([][]uint64, 0, len(snap.Records))
 	for i, rec := range snap.Records {
 		if snap.Dead[i] {
@@ -194,7 +271,7 @@ func (s *System) decryptRows(cols int) ([][]uint64, error) {
 		}
 		row := make([]uint64, cols)
 		for j := 0; j < cols; j++ {
-			v, err := s.sk.Decrypt(rec[j])
+			v, err := sk.Decrypt(rec[j])
 			if err != nil {
 				return nil, fmt.Errorf("decrypting record %d attribute %d: %w", i, j, err)
 			}
@@ -206,4 +283,25 @@ func (s *System) decryptRows(cols int) ([][]uint64, error) {
 		out = append(out, row)
 	}
 	return out, nil
+}
+
+// snapshot captures one consistent whole-table snapshot: the single
+// table's, or the shard snapshots merged back into canonical ascending-
+// id order. Mutations are serialized against the capture via writeMu on
+// the sharded path so the per-shard snapshots cohere.
+func (s *System) snapshot() (*core.TableSnapshot, error) {
+	if s.c1 != nil {
+		return s.c1.Table().Snapshot(), nil
+	}
+	s.writeMu.Lock()
+	parts := make([]*core.TableSnapshot, len(s.shards))
+	for i, sh := range s.shards {
+		parts[i] = sh.Table().Snapshot()
+	}
+	s.writeMu.Unlock()
+	snap, err := core.MergeTableSnapshots(parts)
+	if err != nil {
+		return nil, fmt.Errorf("sknn: merging shard snapshots: %w", err)
+	}
+	return snap, nil
 }

@@ -22,7 +22,14 @@ func (s *System) SaveTable(w io.Writer) error {
 		return err
 	}
 	defer s.end()
-	snap := s.c1.Table().Snapshot()
+	// A sharded system saves the merged whole table (canonical ascending-
+	// id order), so the on-disk artifact is shard-count independent: load
+	// it back with any Config.Shards, or store.Split it for a
+	// multi-process topology.
+	snap, err := s.snapshot()
+	if err != nil {
+		return err
+	}
 	if err := store.Write(w, &s.sk.PublicKey, snap, s.attrBits, s.domainBits); err != nil {
 		return fmt.Errorf("sknn: %w", err)
 	}
@@ -43,6 +50,11 @@ func (s *System) SaveTable(w io.Writer) error {
 // deliberately does not contain — rebuild via System.Compact after
 // loading instead). Config.Key, KeyBits, and FeatureColumns are ignored:
 // the key arrives explicitly and the feature split rides in the file.
+//
+// Config.Shards, by contrast, is free: the snapshot is a whole table,
+// and the load path (re)shards it in memory without re-encryption —
+// saving at S shards and loading at S′ is how an owner re-balances a
+// deployment.
 func LoadTable(r io.Reader, sk *paillier.PrivateKey, cfg Config) (*System, error) {
 	if sk == nil {
 		return nil, fmt.Errorf("sknn: LoadTable needs the private key")
@@ -53,6 +65,10 @@ func LoadTable(r io.Reader, sk *paillier.PrivateKey, cfg Config) (*System, error
 	snap, err := store.Read(r)
 	if err != nil {
 		return nil, fmt.Errorf("sknn: %w", err)
+	}
+	if snap.Sharded() {
+		return nil, fmt.Errorf("sknn: file is shard %d of %d, not a whole table — store.Merge the partition first (or serve it with sknnd shard)",
+			snap.ShardIndex, snap.ShardCount)
 	}
 	if err := snap.VerifyKey(&sk.PublicKey); err != nil {
 		return nil, fmt.Errorf("sknn: %w", err)

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math"
 	"sync"
 
 	"sknn/internal/cluster"
@@ -81,9 +80,21 @@ const DefaultCoverage = 4.0
 type (
 	// BasicMetrics is the phase breakdown of one SkNNb query.
 	BasicMetrics = core.BasicMetrics
-	// SecureMetrics is the phase breakdown of one SkNNm query.
+	// SecureMetrics is the phase breakdown of one SkNNm query (and, on
+	// a sharded system, the coordinator's aggregate for either mode).
 	SecureMetrics = core.SecureMetrics
 )
+
+// QueryMetrics is the per-query phase breakdown attached to one
+// QueryBatchMetered entry (and the shared shape behind the single-query
+// metered calls). Basic is set for ModeBasic queries, Secure for
+// ModeSecure; on a sharded system Secure is additionally set for
+// ModeBasic, carrying the coordinator's aggregate (scatter/merge split,
+// summed shard counters, merge traffic).
+type QueryMetrics struct {
+	Basic  *BasicMetrics
+	Secure *SecureMetrics
+}
 
 // c2ServeInflight is how many interleaved requests each C2 serve loop
 // handles at once when query sessions share a link.
@@ -94,10 +105,11 @@ type Config struct {
 	// KeyBits is the Paillier modulus size; the paper evaluates 512 and
 	// 1024. Default 512.
 	KeyBits int
-	// Workers is the number of parallel C1↔C2 connections (the paper's
-	// Section 5.3 parallelization). The pool is shared by all in-flight
-	// queries: one query can fan out across it, or many queries can run
-	// one connection each. Default 1 (serial).
+	// Workers is the number of parallel C1↔C2 connections per link pool
+	// (the paper's Section 5.3 parallelization). Unsharded, this is the
+	// single pool all queries share; sharded, every shard worker gets
+	// its own pool of this width and the coordinator another for the
+	// merge phase. Default 1 (serial).
 	Workers int
 	// PerQueryWorkers caps how many pooled connections a single query
 	// may span. 0 (the default) lets the scheduler decide: a query
@@ -105,8 +117,20 @@ type Config struct {
 	// latency, the paper's parallel variant), while queries arriving
 	// under concurrent load get an even share of the pool so throughput
 	// scales with concurrency instead. Set to 1 to always favor
-	// throughput, or to Workers to always favor latency.
+	// throughput, or to Workers to always favor latency. Applies to the
+	// unsharded engine only: sharded queries open one auto-sized
+	// session per shard pool (plus one on the coordinator's), so the
+	// scheduler's load-based split governs them throughout.
 	PerQueryWorkers int
+	// Shards splits the encrypted table into this many partitions, each
+	// owned by an independent C1 shard worker with its own link pool to
+	// C2, and plans every query as scatter (each shard runs the
+	// existing pruned or full secure scan over its partition, producing
+	// an encrypted shard-local top-k) then gather (a secure SMINn-based
+	// merge over the s·k candidates yields the exact global top-k).
+	// Records are partitioned by stable id mod Shards; mutations route
+	// to the owning shard. 0 or 1 = unsharded. Requires Shards ≤ n.
+	Shards int
 	// Random overrides the randomness source (default crypto/rand).
 	// Queries run concurrently, so the reader is shared across
 	// goroutines; New wraps it in a mutex so any io.Reader is safe,
@@ -134,20 +158,25 @@ type Config struct {
 	Index IndexMode
 	// Clusters is the k-means cell count for IndexClustered. 0 picks
 	// ⌈√n⌉ (cluster.DefaultClusters), which balances centroid ranking
-	// against per-cluster scanning.
+	// against per-cluster scanning. On a sharded system the clustering
+	// happens before the split, so each shard inherits its slice of the
+	// global cells.
 	Clusters int
 	// Coverage sizes IndexClustered's candidate pool: clusters are
 	// probed until they hold at least max(k, Coverage·k) records. 0
 	// means DefaultCoverage. Larger values trade SMIN savings for
-	// recall on badly clusterable (e.g. uniform) data.
+	// recall on badly clusterable (e.g. uniform) data. Sharded, the
+	// floor applies per shard scan.
 	Coverage float64
 	// CompactThreshold is the dirty-fraction bound of the live table:
 	// when (tombstones + inserts since the last clean build) exceeds
 	// this fraction of stored records, the next Insert or Delete
 	// triggers Compact — physical tombstone removal plus, on a
 	// clustered system, the owner-side re-cluster that refreshes the
-	// centroids. 0 means DefaultCompactThreshold; negative disables
-	// automatic compaction (call Compact yourself).
+	// centroids. On a sharded system the bound applies shard by shard:
+	// compacting one shard never disturbs the others. 0 means
+	// DefaultCompactThreshold; negative disables automatic compaction
+	// (call Compact yourself).
 	CompactThreshold float64
 }
 
@@ -181,9 +210,16 @@ func (l *lockedReader) Read(p []byte) (int, error) {
 // QueryBatch calls may be in flight at once. Each query runs in its own
 // session multiplexed over the Workers connections to C2, so concurrent
 // queries share the pool instead of serializing behind a global lock.
+//
+// With Config.Shards > 1 the table is partitioned across independent
+// shard workers and every query runs scatter-gather: shard-local secure
+// scans in parallel, then a secure merge at the coordinator. Results
+// are exactly the unsharded results in both index modes.
 type System struct {
 	sk          *paillier.PrivateKey
-	c1          *core.CloudC1
+	c1          *core.CloudC1   // unsharded engine (nil when sharded)
+	coord       *core.ShardedC1 // sharded coordinator (nil when unsharded)
+	shards      []*core.CloudC1 // shard workers behind coord
 	client      *core.Client
 	random      io.Reader // shared, lock-wrapped randomness source
 	domainBits  int
@@ -283,6 +319,12 @@ func normalizeConfig(cfg *Config) error {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
 	}
+	if cfg.Shards < 0 {
+		return fmt.Errorf("sknn: negative shard count %d", cfg.Shards)
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
 	if cfg.Index != IndexNone && cfg.Index != IndexClustered {
 		return fmt.Errorf("sknn: unknown index mode %d", int(cfg.Index))
 	}
@@ -312,7 +354,9 @@ func wrapRandom(r io.Reader) io.Reader {
 // assemble stands up the federated cloud around an already-encrypted
 // table: the shared back half of New (fresh encryption) and LoadTable
 // (snapshot reload — note no encryption happens here, which is what
-// keeps the load path encrypt-free).
+// keeps the load path encrypt-free). With cfg.Shards > 1 the table is
+// split by stable id mod Shards — pure ciphertext-pointer shuffling —
+// and a scatter-gather coordinator stood up over the shard workers.
 func assemble(sk *paillier.PrivateKey, encTable *core.EncryptedTable, attrBits, domainBits int, cfg Config, random io.Reader) (*System, error) {
 	index := IndexNone
 	if encTable.Clustered() {
@@ -342,35 +386,98 @@ func assemble(sk *paillier.PrivateKey, encTable *core.EncryptedTable, attrBits, 
 		c2.UsePool(pool)
 		sys.pool = pool
 	}
-	conns := make([]mpc.Conn, cfg.Workers)
-	for i := range conns {
-		c1Side, c2Side := mpc.ChanPipe()
-		conns[i] = c1Side
-		sys.serveWG.Add(1)
-		go func(conn mpc.Conn) {
-			defer sys.serveWG.Done()
-			// ServeConcurrent returns nil on orderly shutdown; any other
-			// error is a protocol bug surfaced to the requester as a
-			// broken round trip, so it is not separately reported here.
-			_ = c2.ServeConcurrent(conn, c2ServeInflight)
-		}(c2Side)
+	// One in-process C2 serves every link — shard pools and the
+	// coordinator's merge pool alike (its handlers are stateless).
+	newConns := func(n int) []mpc.Conn {
+		conns := make([]mpc.Conn, n)
+		for i := range conns {
+			c1Side, c2Side := mpc.ChanPipe()
+			conns[i] = c1Side
+			sys.serveWG.Add(1)
+			go func(conn mpc.Conn) {
+				defer sys.serveWG.Done()
+				// ServeConcurrent returns nil on orderly shutdown; any other
+				// error is a protocol bug surfaced to the requester as a
+				// broken round trip, so it is not separately reported here.
+				_ = c2.ServeConcurrent(conn, c2ServeInflight)
+			}(c2Side)
+		}
+		return conns
 	}
-	var err error
-	sys.c1, err = core.NewCloudC1(encTable, conns, random)
-	if err != nil {
+	fail := func(err error) (*System, error) {
+		for _, sh := range sys.shards {
+			sh.Close()
+		}
 		sys.serveWG.Wait()
 		if sys.pool != nil {
 			sys.pool.Close()
 		}
-		return nil, fmt.Errorf("sknn: wiring clouds: %w", err)
+		return nil, err
+	}
+
+	if cfg.Shards <= 1 {
+		var err error
+		sys.c1, err = core.NewCloudC1(encTable, newConns(cfg.Workers), random)
+		if err != nil {
+			return fail(fmt.Errorf("sknn: wiring clouds: %w", err))
+		}
+		return sys, nil
+	}
+
+	parts, err := encTable.Snapshot().Split(cfg.Shards)
+	if err != nil {
+		return fail(fmt.Errorf("sknn: sharding table: %w", err))
+	}
+	workers := make([]core.Shard, cfg.Shards)
+	for i, part := range parts {
+		shardTable, err := core.RestoreTable(&sk.PublicKey, part)
+		if err != nil {
+			return fail(fmt.Errorf("sknn: shard %d table: %w", i, err))
+		}
+		c1, err := core.NewCloudC1(shardTable, newConns(cfg.Workers), random)
+		if err != nil {
+			return fail(fmt.Errorf("sknn: wiring shard %d: %w", i, err))
+		}
+		sys.shards = append(sys.shards, c1)
+		workers[i] = &core.LocalShard{C1: c1, Index: i, Count: cfg.Shards}
+	}
+	sys.coord, err = core.NewShardedC1(workers, newConns(cfg.Workers), &sk.PublicKey, random)
+	if err != nil {
+		return fail(fmt.Errorf("sknn: wiring coordinator: %w", err))
 	}
 	return sys, nil
+}
+
+// tables lists the live table(s): one unsharded, or one per shard.
+func (s *System) tables() []*core.EncryptedTable {
+	if s.c1 != nil {
+		return []*core.EncryptedTable{s.c1.Table()}
+	}
+	out := make([]*core.EncryptedTable, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.Table()
+	}
+	return out
+}
+
+// shardFor routes a stable record id to its owning worker (id mod S).
+func (s *System) shardFor(id uint64) *core.CloudC1 {
+	if s.c1 != nil {
+		return s.c1
+	}
+	return s.shards[id%uint64(len(s.shards))]
 }
 
 // N returns the number of live outsourced records: the initial table
 // plus Inserts, minus Deletes. Tombstoned rows awaiting Compact are not
 // counted.
-func (s *System) N() int { return s.c1.Table().N() }
+func (s *System) N() int {
+	n := 0
+	for _, t := range s.tables() {
+		n += t.N()
+	}
+	return n
+}
 
 // M returns the number of attributes.
 func (s *System) M() int { return s.m }
@@ -382,29 +489,55 @@ func (s *System) DomainBits() int { return s.domainBits }
 // additional data under the same system).
 func (s *System) PublicKey() *paillier.PublicKey { return &s.sk.PublicKey }
 
-// Workers reports the configured parallelism.
-func (s *System) Workers() int { return s.c1.Workers() }
+// Workers reports the configured parallelism per link pool.
+func (s *System) Workers() int {
+	if s.c1 != nil {
+		return s.c1.Workers()
+	}
+	return s.shards[0].Workers()
+}
+
+// Shards reports the partition width: 1 unsharded, Config.Shards
+// otherwise.
+func (s *System) Shards() int {
+	if s.c1 != nil {
+		return 1
+	}
+	return len(s.shards)
+}
 
 // Index reports the configured SkNNm scan strategy.
 func (s *System) Index() IndexMode { return s.index }
 
-// Clusters reports the cluster count of the clustered index (0 when
-// Index is IndexNone). Compact may rebuild the index with a different
-// count as the table grows or shrinks.
-func (s *System) Clusters() int { return s.c1.Table().Clusters() }
+// Clusters reports the total cluster count of the clustered index (0
+// when Index is IndexNone; summed over shards when sharded). Compact
+// may rebuild with a different count as the table grows or shrinks.
+func (s *System) Clusters() int {
+	c := 0
+	for _, t := range s.tables() {
+		c += t.Clusters()
+	}
+	return c
+}
 
 // coverageTarget is the candidate-pool floor for a pruned query:
 // max(k, ⌈Coverage·k⌉).
 func (s *System) coverageTarget(k int) int {
-	target := int(math.Ceil(s.coverage * float64(k)))
-	if target < k {
-		target = k
-	}
-	return target
+	return core.CoverageTarget(s.coverage, k)
 }
 
-// CommStats reports cumulative C1↔C2 traffic.
-func (s *System) CommStats() mpc.StatsSnapshot { return s.c1.CommStats() }
+// CommStats reports cumulative C1↔C2 traffic over every link pool
+// (shard workers and coordinator included).
+func (s *System) CommStats() mpc.StatsSnapshot {
+	if s.c1 != nil {
+		return s.c1.CommStats()
+	}
+	total := s.coord.CommStats()
+	for _, sh := range s.shards {
+		total = total.Add(sh.CommStats())
+	}
+	return total
+}
 
 // begin registers an in-flight query so Close can drain instead of
 // dropping it.
@@ -420,34 +553,60 @@ func (s *System) begin() error {
 
 func (s *System) end() { s.inflight.Done() }
 
-// run answers one query inside a session spanning width connections.
-func (s *System) run(q []uint64, k int, mode Mode, width int) ([][]uint64, error) {
+// runMetered answers one query inside a session spanning width
+// connections (unsharded) or through the scatter-gather coordinator
+// (sharded), returning the rows and the mode-matched metrics.
+func (s *System) runMetered(q []uint64, k int, mode Mode, width int) ([][]uint64, *QueryMetrics, error) {
 	eq, err := s.client.EncryptQuery(q)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	sess, err := s.c1.NewSession(width)
-	if err != nil {
-		return nil, err
-	}
-	defer sess.Close()
-	var res *core.MaskedResult
+	var (
+		res *core.MaskedResult
+		qm  = &QueryMetrics{}
+	)
 	switch mode {
-	case ModeBasic:
-		res, err = sess.BasicQuery(eq, k)
-	case ModeSecure:
-		if s.index == IndexClustered {
-			res, err = sess.SecureQueryClustered(eq, k, s.domainBits, s.coverageTarget(k))
-		} else {
-			res, err = sess.SecureQuery(eq, k, s.domainBits)
-		}
+	case ModeBasic, ModeSecure:
 	default:
-		return nil, fmt.Errorf("sknn: unknown mode %d", int(mode))
+		return nil, nil, fmt.Errorf("sknn: unknown mode %d", int(mode))
+	}
+	if s.coord != nil {
+		var sm *SecureMetrics
+		if mode == ModeBasic {
+			res, sm, err = s.coord.BasicQueryMetered(eq, k)
+			if err == nil {
+				qm.Basic = &BasicMetrics{Total: sm.Total, Distance: sm.Distance, Comm: sm.Comm}
+			}
+		} else {
+			target := 0
+			if s.index == IndexClustered {
+				target = s.coverageTarget(k)
+			}
+			res, sm, err = s.coord.SecureQueryMetered(eq, k, s.domainBits, target)
+		}
+		qm.Secure = sm
+	} else {
+		sess, serr := s.c1.NewSession(width)
+		if serr != nil {
+			return nil, nil, serr
+		}
+		defer sess.Close()
+		switch mode {
+		case ModeBasic:
+			res, qm.Basic, err = sess.BasicQueryMetered(eq, k)
+		case ModeSecure:
+			if s.index == IndexClustered {
+				res, qm.Secure, err = sess.SecureQueryClusteredMetered(eq, k, s.domainBits, s.coverageTarget(k))
+			} else {
+				res, qm.Secure, err = sess.SecureQueryMetered(eq, k, s.domainBits)
+			}
+		}
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return s.client.Unmask(res)
+	rows, err := s.client.Unmask(res)
+	return rows, qm, err
 }
 
 // Query runs a k-nearest-neighbor query end-to-end: Bob encrypts q, the
@@ -459,7 +618,8 @@ func (s *System) Query(q []uint64, k int, mode Mode) ([][]uint64, error) {
 		return nil, err
 	}
 	defer s.end()
-	return s.run(q, k, mode, s.perQuery)
+	rows, _, err := s.runMetered(q, k, mode, s.perQuery)
+	return rows, err
 }
 
 // QueryBatch answers len(queries) k-nearest-neighbor queries
@@ -473,29 +633,40 @@ func (s *System) Query(q []uint64, k int, mode Mode) ([][]uint64, error) {
 // failures, so callers can tell which queries failed and why
 // (errors.Is/As see through the join).
 func (s *System) QueryBatch(queries [][]uint64, k int, mode Mode) ([][][]uint64, error) {
+	rows, _, err := s.QueryBatchMetered(queries, k, mode)
+	return rows, err
+}
+
+// QueryBatchMetered is QueryBatch plus a per-query phase breakdown —
+// candidates scanned, SMIN invocations, traffic, scatter/merge split on
+// a sharded system — so batch harnesses and the bench report per-query
+// cost instead of discarding it. metrics[i] is nil exactly when
+// queries[i] failed.
+func (s *System) QueryBatchMetered(queries [][]uint64, k int, mode Mode) ([][][]uint64, []*QueryMetrics, error) {
 	if len(queries) == 0 {
-		return nil, nil
+		return nil, nil, nil
 	}
 	if err := s.begin(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer s.end()
 
 	width := s.perQuery
 	if width == 0 {
-		width = s.c1.Workers() / len(queries)
+		width = s.Workers() / len(queries)
 		if width < 1 {
 			width = 1
 		}
 	}
 	// Bound in-flight sessions: more than 2× the pool size only piles
 	// queued frames onto the links without adding throughput.
-	maxInflight := 2 * s.c1.Workers()
+	maxInflight := 2 * s.Workers()
 	if maxInflight > len(queries) {
 		maxInflight = len(queries)
 	}
 	sem := make(chan struct{}, maxInflight)
 	results := make([][][]uint64, len(queries))
+	metrics := make([]*QueryMetrics, len(queries))
 	errs := make([]error, len(queries))
 	var wg sync.WaitGroup
 	for i, q := range queries {
@@ -504,14 +675,14 @@ func (s *System) QueryBatch(queries [][]uint64, k int, mode Mode) ([][][]uint64,
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i], errs[i] = s.run(q, k, mode, width)
+			results[i], metrics[i], errs[i] = s.runMetered(q, k, mode, width)
 		}(i, q)
 	}
 	wg.Wait()
 	if err := errors.Join(errs...); err != nil {
-		return results, err
+		return results, metrics, err
 	}
-	return results, nil
+	return results, metrics, nil
 }
 
 // QueryBasicMetered runs SkNNb and returns the phase breakdown.
@@ -520,54 +691,27 @@ func (s *System) QueryBasicMetered(q []uint64, k int) ([][]uint64, *BasicMetrics
 		return nil, nil, err
 	}
 	defer s.end()
-	eq, err := s.client.EncryptQuery(q)
+	rows, qm, err := s.runMetered(q, k, ModeBasic, s.perQuery)
 	if err != nil {
 		return nil, nil, err
 	}
-	sess, err := s.c1.NewSession(s.perQuery)
-	if err != nil {
-		return nil, nil, err
-	}
-	defer sess.Close()
-	res, metrics, err := sess.BasicQueryMetered(eq, k)
-	if err != nil {
-		return nil, nil, err
-	}
-	rows, err := s.client.Unmask(res)
-	return rows, metrics, err
+	return rows, qm.Basic, nil
 }
 
 // QuerySecureMetered runs SkNNm and returns the phase breakdown. With
 // IndexClustered configured it runs the pruned variant, and the metrics
-// report the pruning (Candidates, ClustersProbed, SMINCount).
+// report the pruning (Candidates, ClustersProbed, SMINCount); on a
+// sharded system they aggregate every shard scan plus the merge.
 func (s *System) QuerySecureMetered(q []uint64, k int) ([][]uint64, *SecureMetrics, error) {
 	if err := s.begin(); err != nil {
 		return nil, nil, err
 	}
 	defer s.end()
-	eq, err := s.client.EncryptQuery(q)
+	rows, qm, err := s.runMetered(q, k, ModeSecure, s.perQuery)
 	if err != nil {
 		return nil, nil, err
 	}
-	sess, err := s.c1.NewSession(s.perQuery)
-	if err != nil {
-		return nil, nil, err
-	}
-	defer sess.Close()
-	var (
-		res     *core.MaskedResult
-		metrics *SecureMetrics
-	)
-	if s.index == IndexClustered {
-		res, metrics, err = sess.SecureQueryClusteredMetered(eq, k, s.domainBits, s.coverageTarget(k))
-	} else {
-		res, metrics, err = sess.SecureQueryMetered(eq, k, s.domainBits)
-	}
-	if err != nil {
-		return nil, nil, err
-	}
-	rows, err := s.client.Unmask(res)
-	return rows, metrics, err
+	return rows, qm.Secure, nil
 }
 
 // Close shuts down the federated cloud: new queries are refused with
@@ -585,7 +729,21 @@ func (s *System) Close() error {
 	s.closed = true
 	s.mu.Unlock()
 	s.inflight.Wait()
-	s.closeErr = s.c1.Close()
+	var first error
+	if s.coord != nil {
+		first = s.coord.Close()
+	}
+	if s.c1 != nil {
+		if err := s.c1.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, sh := range s.shards {
+		if err := sh.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.closeErr = first
 	s.serveWG.Wait()
 	if s.pool != nil {
 		s.pool.Close()
