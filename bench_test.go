@@ -71,7 +71,7 @@ func BenchmarkFig2a_SkNNbVaryNM(b *testing.B) {
 				sys, q := benchSystem(b, n, m, 8, 512, 1)
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if _, err := sys.Query(q, 5, ModeBasic); err != nil {
+					if _, err := queryRows(sys, q, 5, ModeBasic); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -89,7 +89,7 @@ func BenchmarkFig2b_SkNNbKey1024(b *testing.B) {
 				sys, q := benchSystem(b, n, m, 8, 1024, 1)
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if _, err := sys.Query(q, 5, ModeBasic); err != nil {
+					if _, err := queryRows(sys, q, 5, ModeBasic); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -106,7 +106,7 @@ func BenchmarkFig2c_SkNNbVaryK(b *testing.B) {
 			sys, q := benchSystem(b, 50, 6, 8, 512, 1)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := sys.Query(q, k, ModeBasic); err != nil {
+				if _, err := queryRows(sys, q, k, ModeBasic); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -126,7 +126,7 @@ func benchSecure(b *testing.B, n, m, k, l, keyBits int) {
 	sys, q := benchSystem(b, n, m, attrBits, keyBits, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sys.Query(q, k, ModeSecure); err != nil {
+		if _, err := queryRows(sys, q, k, ModeSecure); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -161,7 +161,7 @@ func BenchmarkFig2f_Compare(b *testing.B) {
 			sys, q := benchSystem(b, n, m, 2, 512, 1)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := sys.Query(q, k, ModeBasic); err != nil {
+				if _, err := queryRows(sys, q, k, ModeBasic); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -181,7 +181,7 @@ func BenchmarkFig3_ParallelVsSerial(b *testing.B) {
 				sys, q := benchSystem(b, n, 6, 8, 512, workers)
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if _, err := sys.Query(q, 5, ModeBasic); err != nil {
+					if _, err := queryRows(sys, q, 5, ModeBasic); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -240,7 +240,7 @@ func benchThroughput(b *testing.B, mode Mode, n, m, attrBits, k int, workerCount
 		b.Run(fmt.Sprintf("serial/workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				for _, q := range queries {
-					if _, err := sys.Query(q, k, mode); err != nil {
+					if _, err := queryRows(sys, q, k, mode); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -249,7 +249,7 @@ func benchThroughput(b *testing.B, mode Mode, n, m, attrBits, k int, workerCount
 		})
 		b.Run(fmt.Sprintf("batch%d/workers=%d", batch, workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := sys.QueryBatch(queries, k, mode); err != nil {
+				if _, err := queryBatchRows(sys, queries, k, mode); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -304,7 +304,7 @@ func BenchmarkBobUnmask(b *testing.B) {
 	// encryption bench above isolates the other half.
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sys.Query(q, 5, ModeBasic); err != nil {
+		if _, err := queryRows(sys, q, 5, ModeBasic); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -109,13 +109,13 @@ func (b *bench) baselines() error {
 	}
 	defer sys.Close()
 	start = time.Now()
-	if _, err := sys.Query(q, k, sknn.ModeBasic); err != nil {
+	if err := runQuery(sys, q, k, sknn.ModeBasic); err != nil {
 		return err
 	}
 	fmt.Printf("%-10s  %11v  data+query private; leaks distances+patterns to clouds\n",
 		"SkNNb", time.Since(start).Round(time.Millisecond))
 	start = time.Now()
-	if _, err := sys.Query(q, k, sknn.ModeSecure); err != nil {
+	if err := runQuery(sys, q, k, sknn.ModeSecure); err != nil {
 		return err
 	}
 	fmt.Printf("%-10s  %11v  full: data, query, and access patterns hidden\n",

@@ -23,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -90,6 +91,49 @@ type bench struct {
 	jsonDir string
 }
 
+// benchTimeout is the -timeout per-query deadline (0 = none), shared by
+// every figure's query loop.
+var benchTimeout time.Duration
+
+// queryCtx arms one query's context under -timeout.
+func queryCtx() (context.Context, context.CancelFunc) {
+	if benchTimeout > 0 {
+		return context.WithTimeout(context.Background(), benchTimeout)
+	}
+	return context.Background(), func() {}
+}
+
+// runQuery answers one throwaway benchmark query through the v2 API,
+// honoring -timeout and skipping the metrics the caller would discard.
+func runQuery(sys *sknn.System, q []uint64, k int, mode sknn.Mode) error {
+	ctx, cancel := queryCtx()
+	defer cancel()
+	_, err := sys.Query(ctx, q, sknn.WithK(k), sknn.WithMode(mode), sknn.WithoutMetrics())
+	return err
+}
+
+// queryBasicMetered is the v1 metered call shape over the v2 API.
+func queryBasicMetered(sys *sknn.System, q []uint64, k int) ([][]uint64, *sknn.BasicMetrics, error) {
+	ctx, cancel := queryCtx()
+	defer cancel()
+	res, err := sys.Query(ctx, q, sknn.WithK(k), sknn.WithMode(sknn.ModeBasic))
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Rows, res.Metrics.Basic, nil
+}
+
+// querySecureMetered is queryBasicMetered's SkNNm sibling.
+func querySecureMetered(sys *sknn.System, q []uint64, k int) ([][]uint64, *sknn.SecureMetrics, error) {
+	ctx, cancel := queryCtx()
+	defer cancel()
+	res, err := sys.Query(ctx, q, sknn.WithK(k), sknn.WithMode(sknn.ModeSecure))
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Rows, res.Metrics.Secure, nil
+}
+
 // emit renders fig to stdout and, when -json is set, also writes
 // BENCH_<name>.json so later PRs can diff the perf trajectory without
 // scraping tables.
@@ -116,8 +160,10 @@ func main() {
 		scaleFlag   = flag.String("scale", "small", "sweep preset: small | medium | paper")
 		workersFlag = flag.Int("workers", 0, "override Figure 3 / QPS worker count (0 = min(6, NumCPU))")
 		jsonFlag    = flag.String("json", "", "also write machine-readable BENCH_<fig>.json files into this directory")
+		timeoutFlag = flag.Duration("timeout", 0, "per-query deadline; 0 = none. A stuck point aborts within one protocol round instead of hanging the sweep")
 	)
 	flag.Parse()
+	benchTimeout = *timeoutFlag
 
 	sc, ok := scales[*scaleFlag]
 	if !ok {
@@ -206,7 +252,7 @@ func (b *bench) basicTime(n, m, k, keyBits, workers int) (time.Duration, error) 
 		return 0, err
 	}
 	defer sys.Close()
-	_, metrics, err := sys.QueryBasicMetered(q, k)
+	_, metrics, err := queryBasicMetered(sys, q, k)
 	if err != nil {
 		return 0, err
 	}
@@ -227,7 +273,7 @@ func (b *bench) secureMetrics(n, m, k, l, keyBits int) (*sknn.SecureMetrics, err
 		return nil, err
 	}
 	defer sys.Close()
-	_, metrics, err := sys.QuerySecureMetered(q, k)
+	_, metrics, err := querySecureMetered(sys, q, k)
 	if err != nil {
 		return nil, err
 	}
@@ -378,7 +424,7 @@ func (b *bench) qps() error {
 		}
 		d, err := benchkit.Timed(func() error {
 			for _, q := range queries {
-				if _, err := sys.Query(q, k, sknn.ModeBasic); err != nil {
+				if err := runQuery(sys, q, k, sknn.ModeBasic); err != nil {
 					return err
 				}
 			}
@@ -389,7 +435,9 @@ func (b *bench) qps() error {
 		}
 		serial.Add(float64(c), float64(c)/d.Seconds())
 		d, err = benchkit.Timed(func() error {
-			_, err := sys.QueryBatch(queries, k, sknn.ModeBasic)
+			ctx, cancel := queryCtx()
+			defer cancel()
+			_, err := sys.QueryBatch(ctx, queries, sknn.WithK(k), sknn.WithMode(sknn.ModeBasic))
 			return err
 		})
 		if err != nil {
@@ -457,7 +505,7 @@ func (b *bench) index() error {
 				return err
 			}
 			d, err := benchkit.Timed(func() error {
-				_, _, err := sys.QuerySecureMetered(q, k)
+				_, _, err := querySecureMetered(sys, q, k)
 				return err
 			})
 			sys.Close()
@@ -477,7 +525,7 @@ func (b *bench) index() error {
 			var rows [][]uint64
 			d, err := benchkit.Timed(func() error {
 				var err error
-				rows, sm, err = sys.QuerySecureMetered(q, k)
+				rows, sm, err = querySecureMetered(sys, q, k)
 				return err
 			})
 			sys.Close()
@@ -570,7 +618,7 @@ func (b *bench) shard() error {
 		var rows [][]uint64
 		d, err := benchkit.Timed(func() error {
 			var err error
-			rows, sm, err = sys.QuerySecureMetered(q, k)
+			rows, sm, err = querySecureMetered(sys, q, k)
 			return err
 		})
 		sys.Close()
@@ -627,7 +675,7 @@ func (b *bench) bobCost() error {
 		const reps = 10
 		start := time.Now()
 		for i := 0; i < reps; i++ {
-			if _, err := sys.Query(q, 1, sknn.ModeBasic); err != nil {
+			if err := runQuery(sys, q, 1, sknn.ModeBasic); err != nil {
 				sys.Close()
 				return err
 			}
@@ -663,11 +711,11 @@ func (b *bench) comm() error {
 		return err
 	}
 	defer sys.Close()
-	_, bm, err := sys.QueryBasicMetered(q, k)
+	_, bm, err := queryBasicMetered(sys, q, k)
 	if err != nil {
 		return err
 	}
-	_, sm, err := sys.QuerySecureMetered(q, k)
+	_, sm, err := querySecureMetered(sys, q, k)
 	if err != nil {
 		return err
 	}

@@ -49,6 +49,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -213,6 +215,7 @@ func cmdC1(args []string) {
 	workers := fs.Int("workers", 1, "parallel connections to C2")
 	concurrency := fs.Int("concurrency", 0, "queries in flight at once (0 = all at once)")
 	coverage := fs.Float64("coverage", 4, "candidate-pool factor when the snapshot carries a cluster index")
+	timeout := fs.Duration("timeout", 0, "per-query deadline; 0 = none")
 	fs.Parse(args)
 	queries, err := collectQueries(*queryStr, *queryFile)
 	if err != nil {
@@ -272,7 +275,7 @@ func cmdC1(args []string) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			rows[i], errs[i] = runQuery(c1, bob, q, *k, *mode, l, target)
+			rows[i], errs[i] = runQuery(c1, bob, q, *k, *mode, l, target, *timeout)
 		}(i, q)
 	}
 	wg.Wait()
@@ -280,7 +283,7 @@ func cmdC1(args []string) {
 
 	for i, q := range queries {
 		if errs[i] != nil {
-			log.Fatalf("query %d %v: %v", i+1, q, errs[i])
+			fatalQueryErr(i+1, q, errs[i])
 		}
 		if len(queries) > 1 {
 			fmt.Printf("query %d: %v\n", i+1, q)
@@ -297,13 +300,16 @@ func cmdC1(args []string) {
 
 // runQuery answers one query in its own pool session and unmasks it. A
 // positive target selects the partition-pruned SkNNm variant (the table
-// must carry a cluster index).
-func runQuery(c1 *core.CloudC1, bob *core.Client, q []uint64, k int, mode string, l, target int) ([][]uint64, error) {
+// must carry a cluster index); a positive timeout bounds the protocol
+// run — the session aborts within one round of the deadline.
+func runQuery(c1 *core.CloudC1, bob *core.Client, q []uint64, k int, mode string, l, target int, timeout time.Duration) ([][]uint64, error) {
 	eq, err := bob.EncryptQuery(q)
 	if err != nil {
 		return nil, err
 	}
-	sess, err := c1.NewSession(0)
+	ctx, cancel := queryContext(timeout)
+	defer cancel()
+	sess, err := c1.NewSession(ctx, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -325,6 +331,27 @@ func runQuery(c1 *core.CloudC1, bob *core.Client, q []uint64, k int, mode string
 		return nil, err
 	}
 	return bob.Unmask(res)
+}
+
+// queryContext arms a per-query deadline (0 = unbounded).
+func queryContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout > 0 {
+		return context.WithTimeout(context.Background(), timeout)
+	}
+	return context.Background(), func() {}
+}
+
+// fatalQueryErr names the typed error class of a failed query instead
+// of echoing an opaque string.
+func fatalQueryErr(i int, q []uint64, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		log.Fatalf("query %d %v aborted: core.ErrCanceled (context.DeadlineExceeded, -timeout elapsed)", i, q)
+	case errors.Is(err, core.ErrCanceled):
+		log.Fatalf("query %d %v aborted: core.ErrCanceled (%v)", i, q, err)
+	default:
+		log.Fatalf("query %d %v: %v", i, q, err)
+	}
 }
 
 // cmdSplit partitions a whole-table snapshot into shard files — the
@@ -424,6 +451,7 @@ func cmdCoord(args []string) {
 	mode := fs.String("mode", "secure", `protocol: "basic" or "secure"`)
 	workers := fs.Int("workers", 1, "parallel merge connections to C2")
 	coverage := fs.Float64("coverage", 4, "per-shard candidate-pool factor on clustered shards")
+	timeout := fs.Duration("timeout", 0, "per-query deadline; 0 = none. Expiry cancels every outstanding shard scan")
 	fs.Parse(args)
 	queries, err := collectQueries(*queryStr, *queryFile)
 	if err != nil {
@@ -488,14 +516,14 @@ func cmdCoord(args []string) {
 		wg.Add(1)
 		go func(i int, q []uint64) {
 			defer wg.Done()
-			rows[i], errs[i] = runCoordQuery(coord, bob, q, *k, *mode, l, target)
+			rows[i], errs[i] = runCoordQuery(coord, bob, q, *k, *mode, l, target, *timeout)
 		}(i, q)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 	for i, q := range queries {
 		if errs[i] != nil {
-			log.Fatalf("query %d %v: %v", i+1, q, errs[i])
+			fatalQueryErr(i+1, q, errs[i])
 		}
 		if len(queries) > 1 {
 			fmt.Printf("query %d: %v\n", i+1, q)
@@ -510,18 +538,22 @@ func cmdCoord(args []string) {
 		float64(len(queries))/elapsed.Seconds(), coord.CommStats())
 }
 
-// runCoordQuery answers one query through the scatter-gather engine.
-func runCoordQuery(coord *core.ShardedC1, bob *core.Client, q []uint64, k int, mode string, l, target int) ([][]uint64, error) {
+// runCoordQuery answers one query through the scatter-gather engine. A
+// positive timeout bounds the whole scatter+merge; expiry cancels every
+// outstanding shard scan.
+func runCoordQuery(coord *core.ShardedC1, bob *core.Client, q []uint64, k int, mode string, l, target int, timeout time.Duration) ([][]uint64, error) {
 	eq, err := bob.EncryptQuery(q)
 	if err != nil {
 		return nil, err
 	}
+	ctx, cancel := queryContext(timeout)
+	defer cancel()
 	var res *core.MaskedResult
 	switch mode {
 	case "basic":
-		res, err = coord.BasicQuery(eq, k)
+		res, err = coord.BasicQuery(ctx, eq, k)
 	case "secure":
-		res, err = coord.SecureQuery(eq, k, l, target)
+		res, err = coord.SecureQuery(ctx, eq, k, l, target)
 	default:
 		return nil, fmt.Errorf("unknown -mode %q", mode)
 	}

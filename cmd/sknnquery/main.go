@@ -26,12 +26,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"sknn"
 	"sknn/internal/dataset"
@@ -60,6 +63,7 @@ func main() {
 		deleteStr = flag.String("delete", "", "stable record ids to delete before querying: '0,5,9'")
 		savePath  = flag.String("save", "", "write the (possibly mutated) table snapshot here before exiting")
 		verify    = flag.Bool("verify", false, "cross-check against the plaintext oracle")
+		timeout   = flag.Duration("timeout", 0, "per-query deadline (e.g. 30s); 0 = none. On expiry the query aborts within one protocol round")
 	)
 	flag.Parse()
 
@@ -109,6 +113,9 @@ func main() {
 	}
 	if *coverage < 0 {
 		log.Fatalf("-coverage must be ≥ 0, got %g", *coverage)
+	}
+	if *timeout < 0 {
+		log.Fatalf("-timeout must be ≥ 0, got %v", *timeout)
 	}
 	var q []uint64
 	if *queryStr != "" {
@@ -182,8 +189,8 @@ func main() {
 		}
 	}
 	defer sys.Close()
-	if q != nil && len(q) != sys.M() {
-		log.Fatalf("query has %d attributes, table has %d", len(q), sys.M())
+	if q != nil && len(q) != sys.FeatureM() {
+		log.Fatalf("query has %d attributes, table has %d feature columns", len(q), sys.FeatureM())
 	}
 
 	// Mutations: deletes first (ids are stable, so order only matters
@@ -206,7 +213,7 @@ func main() {
 	}
 
 	if q != nil {
-		runQuery(sys, q, *k, protocolMode, *verify)
+		runQuery(sys, q, *k, protocolMode, *verify, *timeout)
 	}
 
 	if *savePath != "" {
@@ -225,29 +232,34 @@ func main() {
 	}
 }
 
-// runQuery answers one query, prints the neighbors, and optionally
-// verifies them against the plaintext oracle reconstructed by
-// owner-side decryption (which makes -verify independent of any CSV).
-func runQuery(sys *sknn.System, q []uint64, k int, protocolMode sknn.Mode, verify bool) {
+// runQuery answers one query through the v2 context API, prints the
+// neighbors, and optionally verifies them against the plaintext oracle
+// reconstructed by owner-side decryption (which makes -verify
+// independent of any CSV). A positive timeout arms a deadline; on
+// expiry the error class is reported by name (sknn.ErrCanceled /
+// context.DeadlineExceeded) rather than as an opaque string.
+func runQuery(sys *sknn.System, q []uint64, k int, protocolMode sknn.Mode, verify bool, timeout time.Duration) {
 	fmt.Fprintf(os.Stderr, "running %s query, k=%d...\n", protocolMode, k)
-	var rows [][]uint64
-	var err error
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	res, err := sys.Query(ctx, q, sknn.WithK(k), sknn.WithMode(protocolMode))
+	if err != nil {
+		fatalQueryErr(err, timeout)
+	}
+	rows := res.Rows
 	switch protocolMode {
 	case sknn.ModeBasic:
-		var metrics *sknn.BasicMetrics
-		rows, metrics, err = sys.QueryBasicMetered(q, k)
-		if err != nil {
-			log.Fatal(err)
-		}
+		metrics := res.Metrics.Basic
 		fmt.Fprintf(os.Stderr, "done in %v (distance %v, rank %v, reveal %v), traffic %s\n",
 			metrics.Total.Round(1e6), metrics.Distance.Round(1e6),
 			metrics.Rank.Round(1e6), metrics.Reveal.Round(1e6), metrics.Comm)
+		fmt.Fprintf(os.Stderr, "record ids: %v\n", res.IDs)
 	case sknn.ModeSecure:
-		var metrics *sknn.SecureMetrics
-		rows, metrics, err = sys.QuerySecureMetered(q, k)
-		if err != nil {
-			log.Fatal(err)
-		}
+		metrics := res.Metrics.Secure
 		fmt.Fprintf(os.Stderr, "done in %v (SMINn share %.0f%%, %d SMINs), traffic %s\n",
 			metrics.Total.Round(1e6), 100*metrics.SMINnShare(), metrics.SMINCount, metrics.Comm)
 		if metrics.Shards > 0 {
@@ -293,6 +305,22 @@ func runQuery(sys *sknn.System, q []uint64, k int, protocolMode sknn.Mode, verif
 			log.Fatalf("VERIFY FAILED: distances %v, oracle %v", got, want)
 		}
 		fmt.Fprintln(os.Stderr, "verify: matches plaintext oracle")
+	}
+}
+
+// fatalQueryErr reports a failed query, naming the typed error class
+// when the failure was a cancellation or a bad request instead of
+// echoing an opaque string.
+func fatalQueryErr(err error, timeout time.Duration) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		log.Fatalf("query aborted: sknn.ErrCanceled (context.DeadlineExceeded after -timeout %v)", timeout)
+	case errors.Is(err, sknn.ErrCanceled):
+		log.Fatalf("query aborted: sknn.ErrCanceled (%v)", err)
+	case errors.Is(err, sknn.ErrBadQuery):
+		log.Fatalf("query rejected: sknn.ErrBadQuery (%v)", err)
+	default:
+		log.Fatal(err)
 	}
 }
 

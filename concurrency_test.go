@@ -81,7 +81,7 @@ func TestConcurrentQueriesMatchOracle(t *testing.T) {
 			wg.Add(1)
 			go func(i int, q []uint64) {
 				defer wg.Done()
-				got, err := sys.Query(q, 3, ModeBasic)
+				got, err := queryRows(sys, q, 3, ModeBasic)
 				if err != nil {
 					t.Errorf("query %d: %v", i, err)
 					return
@@ -104,7 +104,7 @@ func TestConcurrentQueriesMatchOracle(t *testing.T) {
 			wg.Add(1)
 			go func(i int, q []uint64) {
 				defer wg.Done()
-				got, err := sys.Query(q, 2, ModeSecure)
+				got, err := queryRows(sys, q, 2, ModeSecure)
 				if err != nil {
 					t.Errorf("query %d: %v", i, err)
 					return
@@ -125,7 +125,7 @@ func TestQueryBatchMatchesOracle(t *testing.T) {
 		for i := range queries {
 			queries[i], _ = dataset.GenerateQuery(int64(350+i), 2, 4)
 		}
-		results, err := sys.QueryBatch(queries, 3, ModeBasic)
+		results, err := queryBatchRows(sys, queries, 3, ModeBasic)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -144,7 +144,7 @@ func TestQueryBatchMatchesOracle(t *testing.T) {
 		for i := range queries {
 			queries[i], _ = dataset.GenerateQuery(int64(370+i), 2, 3)
 		}
-		results, err := sys.QueryBatch(queries, 2, ModeSecure)
+		results, err := queryBatchRows(sys, queries, 2, ModeSecure)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -159,18 +159,18 @@ func TestQueryBatchValidation(t *testing.T) {
 	tbl, _ := dataset.Generate(381, 8, 2, 3)
 	sys := newTestSystem(t, tbl.Rows, 3, 2)
 
-	if res, err := sys.QueryBatch(nil, 1, ModeBasic); err != nil || res != nil {
+	if res, err := queryBatchRows(sys, nil, 1, ModeBasic); err != nil || res != nil {
 		t.Errorf("empty batch = %v, %v", res, err)
 	}
 	queries := [][]uint64{{1, 2}, {3}} // second query has the wrong dimension
-	results, err := sys.QueryBatch(queries, 1, ModeBasic)
+	results, err := queryBatchRows(sys, queries, 1, ModeBasic)
 	if err == nil {
 		t.Fatal("dimension error not surfaced")
 	}
 	if len(results) != 2 || results[0] == nil || results[1] != nil {
 		t.Errorf("partial results = %v", results)
 	}
-	if _, err := sys.QueryBatch([][]uint64{{1, 2}}, 1, Mode(42)); err == nil {
+	if _, err := queryBatchRows(sys, [][]uint64{{1, 2}}, 1, Mode(42)); err == nil {
 		t.Error("unknown mode accepted")
 	}
 }
@@ -188,7 +188,7 @@ func TestPerQueryWorkersCap(t *testing.T) {
 	for i := range queries {
 		queries[i], _ = dataset.GenerateQuery(int64(395+i), 2, 4)
 	}
-	results, err := sys.QueryBatch(queries, 2, ModeBasic)
+	results, err := queryBatchRows(sys, queries, 2, ModeBasic)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +217,7 @@ func TestCloseDrainsInflightQueries(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			started <- struct{}{}
-			got, err := sys.Query(q, 2, ModeBasic)
+			got, err := queryRows(sys, q, 2, ModeBasic)
 			if errors.Is(err, ErrClosed) {
 				return // lost the race with Close before starting: fine
 			}
@@ -236,7 +236,7 @@ func TestCloseDrainsInflightQueries(t *testing.T) {
 		t.Fatalf("Close: %v", err)
 	}
 	wg.Wait()
-	if _, err := sys.Query(q, 2, ModeBasic); !errors.Is(err, ErrClosed) {
+	if _, err := queryRows(sys, q, 2, ModeBasic); !errors.Is(err, ErrClosed) {
 		t.Errorf("query after close = %v, want ErrClosed", err)
 	}
 }
@@ -254,7 +254,7 @@ func TestConcurrentClose(t *testing.T) {
 	queryDone := make(chan struct{})
 	go func() {
 		defer close(queryDone)
-		if _, err := sys.Query(q, 2, ModeBasic); err != nil && !errors.Is(err, ErrClosed) {
+		if _, err := queryRows(sys, q, 2, ModeBasic); err != nil && !errors.Is(err, ErrClosed) {
 			t.Errorf("in-flight query: %v", err)
 		}
 	}()
@@ -267,7 +267,7 @@ func TestConcurrentClose(t *testing.T) {
 				t.Errorf("Close: %v", err)
 			}
 			// Teardown is complete by the time any Close returns.
-			if _, err := sys.Query(q, 1, ModeBasic); !errors.Is(err, ErrClosed) {
+			if _, err := queryRows(sys, q, 1, ModeBasic); !errors.Is(err, ErrClosed) {
 				t.Errorf("query after Close = %v, want ErrClosed", err)
 			}
 		}()
@@ -288,7 +288,7 @@ func TestMixedModeConcurrency(t *testing.T) {
 	wg.Add(3)
 	go func() {
 		defer wg.Done()
-		got, err := sys.Query(q1, 2, ModeSecure)
+		got, err := queryRows(sys, q1, 2, ModeSecure)
 		if err != nil {
 			t.Errorf("secure: %v", err)
 			return
@@ -298,7 +298,7 @@ func TestMixedModeConcurrency(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < 3; i++ {
-			got, err := sys.Query(q2, 3, ModeBasic)
+			got, err := queryRows(sys, q2, 3, ModeBasic)
 			if err != nil {
 				t.Errorf("basic %d: %v", i, err)
 				return
@@ -308,7 +308,7 @@ func TestMixedModeConcurrency(t *testing.T) {
 	}()
 	go func() {
 		defer wg.Done()
-		results, err := sys.QueryBatch([][]uint64{q1, q2}, 2, ModeBasic)
+		results, err := queryBatchRows(sys, [][]uint64{q1, q2}, 2, ModeBasic)
 		if err != nil {
 			t.Errorf("batch: %v", err)
 			return

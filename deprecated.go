@@ -1,0 +1,69 @@
+package sknn
+
+import "context"
+
+// This file keeps the v1 metered query methods alive as thin wrappers
+// over the v2 path (query.go) so existing callers migrate on their own
+// schedule. They run without a deadline (context.Background()) and
+// cannot be canceled — exactly the v1 behavior. New code should call
+// Query/QueryBatch with a real context; see docs/API.md for the
+// complete v1→v2 migration table.
+//
+// The v1 positional Query(q, k, mode) and QueryBatch(queries, k, mode)
+// could not be kept alongside their v2 replacements (Go has no method
+// overloading); their one-line migrations are
+//
+//	sys.Query(ctx, q, sknn.WithK(k), sknn.WithMode(mode))
+//	sys.QueryBatch(ctx, queries, sknn.WithK(k), sknn.WithMode(mode))
+
+// QueryBasicMetered runs SkNNb and returns the phase breakdown.
+//
+// Deprecated: use Query with WithMode(ModeBasic); the breakdown is
+// Result.Metrics.Basic and the context makes the query cancelable.
+func (s *System) QueryBasicMetered(q []uint64, k int) ([][]uint64, *BasicMetrics, error) {
+	res, err := s.Query(context.Background(), q, WithK(k), WithMode(ModeBasic))
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Rows, res.Metrics.Basic, nil
+}
+
+// QuerySecureMetered runs SkNNm and returns the phase breakdown. With
+// IndexClustered configured it runs the pruned variant, and the metrics
+// report the pruning (Candidates, ClustersProbed, SMINCount); on a
+// sharded system they aggregate every shard scan plus the merge.
+//
+// Deprecated: use Query (ModeSecure is the default); the breakdown is
+// Result.Metrics.Secure and the context makes the query cancelable.
+func (s *System) QuerySecureMetered(q []uint64, k int) ([][]uint64, *SecureMetrics, error) {
+	res, err := s.Query(context.Background(), q, WithK(k), WithMode(ModeSecure))
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Rows, res.Metrics.Secure, nil
+}
+
+// QueryBatchMetered answers a batch and returns per-query rows and
+// phase breakdowns; metrics[i] is nil exactly when queries[i] failed.
+//
+// Deprecated: use QueryBatch; each Result carries its rows and metrics
+// together, and the context cancels the whole batch.
+func (s *System) QueryBatchMetered(queries [][]uint64, k int, mode Mode) ([][][]uint64, []*QueryMetrics, error) {
+	if len(queries) == 0 {
+		return nil, nil, nil
+	}
+	results, err := s.QueryBatch(context.Background(), queries, WithK(k), WithMode(mode))
+	if results == nil {
+		return nil, nil, err
+	}
+	rows := make([][][]uint64, len(queries))
+	metrics := make([]*QueryMetrics, len(queries))
+	for i, res := range results {
+		if res == nil {
+			continue
+		}
+		rows[i] = res.Rows
+		metrics[i] = res.Metrics
+	}
+	return rows, metrics, err
+}

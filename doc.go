@@ -13,23 +13,38 @@
 //     patterns from both clouds, at a much higher computational cost.
 //
 // The top-level System type wires all parties in-process for
-// single-machine use and experimentation:
+// single-machine use and experimentation. Queries go through one
+// context-aware, options-based entry point (k defaults to 1, the mode
+// to ModeSecure):
 //
 //	sys, err := sknn.New(rows, attrBits, sknn.Config{KeyBits: 512, Workers: 4})
 //	defer sys.Close()
-//	neighbors, err := sys.Query(query, 5, sknn.ModeSecure)
+//	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+//	defer cancel()
+//	res, err := sys.Query(ctx, query, sknn.WithK(5))
+//	// res.Rows, res.Metrics.Secure; res.IDs on ModeBasic
+//
+// The context governs the whole multi-round protocol: cancel it (or
+// let its deadline pass) and the query aborts within one protocol
+// round, releases its pooled links, and returns an error satisfying
+// errors.Is(err, sknn.ErrCanceled) as well as errors.Is against the
+// context's own error. Bad requests fail fast with sknn.ErrBadQuery
+// before any Paillier work. See docs/API.md for the options
+// (WithK/WithMode/WithCoverage/WithWorkers/WithoutMetrics) and the
+// v1→v2 migration table.
 //
 // A System is safe for concurrent use. Each query runs in its own
 // protocol session multiplexed over the Config.Workers C1↔C2
 // connections, so any number of Query calls may be in flight at once,
 // and QueryBatch answers a whole slice of queries concurrently:
 //
-//	results, err := sys.QueryBatch(queries, 5, sknn.ModeBasic)
+//	results, err := sys.QueryBatch(ctx, queries, sknn.WithK(5), sknn.WithMode(sknn.ModeBasic))
 //
 // A lone query fans out across the idle connection pool (the paper's
 // Section 5.3 parallel variant); concurrent queries share the pool —
-// Config.PerQueryWorkers tunes that trade-off. Close drains in-flight
-// queries before tearing the cloud down.
+// Config.PerQueryWorkers (or the per-query WithWorkers) tunes that
+// trade-off. Close drains in-flight queries before tearing the cloud
+// down.
 //
 // SkNNm's O(k·n) SMIN cost can be cut below linear with the clustered
 // secure index: Config.Index = IndexClustered k-means-partitions the

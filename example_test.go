@@ -1,6 +1,7 @@
 package sknn_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,12 +27,14 @@ func Example() {
 	defer sys.Close()
 
 	// Bob asks for the 2 records nearest to (2, 1). Neither cloud learns
-	// the query, the data, or which records matched.
-	neighbors, err := sys.Query([]uint64{2, 1}, 2, sknn.ModeSecure)
+	// the query, the data, or which records matched. The context governs
+	// the whole protocol run (pass a deadline to bound it); ModeSecure
+	// is the default.
+	res, err := sys.Query(context.Background(), []uint64{2, 1}, sknn.WithK(2))
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, rec := range neighbors {
+	for _, rec := range res.Rows {
 		fmt.Println(rec)
 	}
 	// Output:

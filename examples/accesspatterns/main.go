@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"crypto/rand"
 	"fmt"
 	"log"
@@ -83,7 +84,7 @@ func main() {
 	}
 
 	// --- SkNNb ---
-	if _, err := c1.BasicQuery(eq, k); err != nil {
+	if _, err := c1.BasicQuery(context.Background(), eq, k); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("=== SkNNb (basic protocol) ===")
@@ -95,7 +96,7 @@ func main() {
 	// --- SkNNm ---
 	leakedIndices = nil
 	opCount = map[mpc.Op]int{}
-	if _, err := c1.SecureQuery(eq, k, tbl.DomainBits()); err != nil {
+	if _, err := c1.SecureQuery(context.Background(), eq, k, tbl.DomainBits()); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\n=== SkNNm (fully secure protocol) ===")

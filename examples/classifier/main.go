@@ -15,8 +15,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"sknn"
 	"sknn/internal/dataset"
@@ -37,11 +39,16 @@ func main() {
 	}
 	defer sys.Close()
 
+	// A diagnosis query that takes longer than a minute is worth more
+	// dead than late: the deadline aborts it within one protocol round.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
 	const k = 3
-	rows, err := sys.Query(query, k, sknn.ModeSecure)
+	res, err := sys.Query(ctx, query, sknn.WithK(k)) // ModeSecure is the default
 	if err != nil {
 		log.Fatal(err)
 	}
+	rows := res.Rows
 
 	fmt.Printf("new patient: %v\n", query)
 	fmt.Printf("%d nearest diagnosed patients (SkNNm, diagnosis column included):\n", k)

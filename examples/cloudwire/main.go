@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"crypto/rand"
 	"fmt"
 	"log"
@@ -80,7 +81,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, bm, err := c1.BasicQueryMetered(eq, 3)
+	res, bm, err := c1.BasicQueryMetered(context.Background(), eq, 3)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func main() {
 	fmt.Printf("\nSkNNb over TCP: %v\n", rows)
 	fmt.Printf("  time %v, traffic %s\n", bm.Total.Round(1e6), bm.Comm)
 
-	res, sm, err := c1.SecureQueryMetered(eq, 2, tbl.DomainBits())
+	res, sm, err := c1.SecureQueryMetered(context.Background(), eq, 2, tbl.DomainBits())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -48,10 +49,11 @@ func main() {
 	defer sys.Close()
 
 	const k = 2
-	rows, metrics, err := sys.QuerySecureMetered(query, k)
+	res, err := sys.Query(context.Background(), query, sknn.WithK(k))
 	if err != nil {
 		log.Fatal(err)
 	}
+	rows, metrics := res.Rows, res.Metrics.Secure
 
 	fmt.Printf("\nSkNNm returned the %d most similar patients:\n", k)
 	for i, row := range rows {

@@ -7,8 +7,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"sknn"
 	"sknn/internal/dataset"
@@ -37,21 +39,26 @@ func main() {
 	fmt.Printf("table: %d records × %d attributes, query %v, k=%d\n\n",
 		sys.N(), sys.M(), query, k)
 
-	basic, err := sys.Query(query, k, sknn.ModeBasic)
+	// Every query takes a context: cancel it (or let a deadline pass)
+	// and the multi-round protocol aborts within one round.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	basic, err := sys.Query(ctx, query, sknn.WithK(k), sknn.WithMode(sknn.ModeBasic))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("SkNNb (basic protocol — leaks distances and access patterns):")
-	for i, row := range basic {
-		fmt.Printf("  #%d %v\n", i+1, row)
+	for i, row := range basic.Rows {
+		fmt.Printf("  #%d id=%d %v\n", i+1, basic.IDs[i], row)
 	}
 
-	secure, err := sys.Query(query, k, sknn.ModeSecure)
+	secure, err := sys.Query(ctx, query, sknn.WithK(k)) // ModeSecure is the default
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("\nSkNNm (fully secure protocol — clouds learn nothing):")
-	for i, row := range secure {
+	fmt.Println("\nSkNNm (fully secure protocol — clouds learn nothing, so no ids either):")
+	for i, row := range secure.Rows {
 		fmt.Printf("  #%d %v\n", i+1, row)
 	}
 

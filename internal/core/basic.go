@@ -49,8 +49,10 @@ func (s *QuerySession) BasicQueryMetered(q EncryptedQuery, k int) (*MaskedResult
 		return nil, nil, err
 	}
 	selected := make([]EncryptedRecord, len(cands))
+	ids := make([]uint64, len(cands))
 	for j, c := range cands {
 		selected[j] = c.Rec
+		ids[j] = c.ID
 	}
 
 	// Steps 4–6: masked reveal to Bob.
@@ -59,6 +61,10 @@ func (s *QuerySession) BasicQueryMetered(q EncryptedQuery, k int) (*MaskedResult
 	if err != nil {
 		return nil, nil, err
 	}
+	// SkNNb already reveals access patterns to both clouds, so handing
+	// Bob the stable ids of his neighbors costs nothing extra; SkNNm
+	// deliberately cannot do this (ids are what it hides).
+	res.IDs = ids
 	metrics.Reveal = time.Since(phase)
 
 	metrics.Total = time.Since(start)
@@ -71,6 +77,10 @@ func (s *QuerySession) BasicQueryMetered(q EncryptedQuery, k int) (*MaskedResult
 // selection of the winning records — returned with their encrypted
 // distances so a shard can ship them to a coordinator for a rank merge.
 func (s *QuerySession) basicScan(q EncryptedQuery, k int, metrics *BasicMetrics) ([]Candidate, error) {
+	// Round boundary: a canceled query never starts the scan.
+	if err := s.ctxErr(); err != nil {
+		return nil, err
+	}
 	// The candidate list is the session view's live records: tombstoned
 	// rows are invisible to queries opened after their Delete.
 	cands := s.tbl.liveIdx
@@ -82,6 +92,9 @@ func (s *QuerySession) basicScan(q EncryptedQuery, k int, metrics *BasicMetrics)
 		return nil, err
 	}
 	metrics.Distance = time.Since(phase)
+	if err := s.ctxErr(); err != nil {
+		return nil, err
+	}
 
 	// Step 3: C2 decrypts and returns the top-k index list δ.
 	phase = time.Now()
@@ -105,7 +118,7 @@ func (s *QuerySession) basicScan(q EncryptedQuery, k int, metrics *BasicMetrics)
 			return nil, fmt.Errorf("%w: rank index %v out of range", ErrBadFrame, idx)
 		}
 		i := int(idx.Int64())
-		selected[j] = Candidate{Dist: ds[i], Rec: s.tbl.records[cands[i]]}
+		selected[j] = Candidate{Dist: ds[i], Rec: s.tbl.records[cands[i]], ID: s.tbl.ids[cands[i]]}
 	}
 	metrics.Rank = time.Since(phase)
 	return selected, nil
@@ -133,9 +146,13 @@ func (s *QuerySession) basicTopK(q EncryptedQuery, k int) ([]Candidate, *SecureM
 
 // rankCandidates is the coordinator's SkNNb merge: one more OpRank round
 // over the gathered candidates' encrypted distances, selecting the
-// global top-k. Leakage class is unchanged from SkNNb itself — C2
+// global top-k (returned as full candidates so the stable ids survive
+// the merge). Leakage class is unchanged from SkNNb itself — C2
 // decrypts distances either way, and both clouds see access patterns.
-func (s *QuerySession) rankCandidates(cands []Candidate, k int) ([]EncryptedRecord, error) {
+func (s *QuerySession) rankCandidates(cands []Candidate, k int) ([]Candidate, error) {
+	if err := s.ctxErr(); err != nil {
+		return nil, err
+	}
 	if err := validateK(k, len(cands)); err != nil {
 		return nil, err
 	}
@@ -154,12 +171,12 @@ func (s *QuerySession) rankCandidates(cands []Candidate, k int) ([]EncryptedReco
 	if len(resp.Ints) != k {
 		return nil, fmt.Errorf("%w: merge rank reply has %d indices, want %d", ErrBadFrame, len(resp.Ints), k)
 	}
-	selected := make([]EncryptedRecord, k)
+	selected := make([]Candidate, k)
 	for j, idx := range resp.Ints {
 		if !idx.IsInt64() || idx.Int64() < 0 || idx.Int64() >= int64(len(cands)) {
 			return nil, fmt.Errorf("%w: merge rank index %v out of range", ErrBadFrame, idx)
 		}
-		selected[j] = cands[int(idx.Int64())].Rec
+		selected[j] = cands[int(idx.Int64())]
 	}
 	return selected, nil
 }

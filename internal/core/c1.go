@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -53,19 +54,20 @@ func (c *CloudC1) Workers() int { return c.pool.workers() }
 // CommStats aggregates traffic over all links and their sessions.
 func (c *CloudC1) CommStats() mpc.StatsSnapshot { return c.pool.commStats() }
 
-// NewSession leases a QuerySession spanning width links. width <= 0 asks
-// the scheduler to decide: a session opened on an idle pool spans every
-// link (lowest single-query latency, the paper's parallel variant),
-// while sessions opened under concurrent load get an even share of the
-// pool, narrowing toward one link per query so throughput scales with
-// in-flight queries instead. Sessions placed on busy links interleave
-// safely — streams are tagged — and the session must be Closed to return
-// its capacity.
-func (c *CloudC1) NewSession(width int) (*QuerySession, error) {
+// NewSession leases a QuerySession spanning width links, bound to ctx
+// for the session's whole lifetime (cancel the context to abort the
+// query it runs). width <= 0 asks the scheduler to decide: a session
+// opened on an idle pool spans every link (lowest single-query latency,
+// the paper's parallel variant), while sessions opened under concurrent
+// load get an even share of the pool, narrowing toward one link per
+// query so throughput scales with in-flight queries instead. Sessions
+// placed on busy links interleave safely — streams are tagged — and the
+// session must be Closed to return its capacity.
+func (c *CloudC1) NewSession(ctx context.Context, width int) (*QuerySession, error) {
 	// Capture the table view outside the pool lock (view takes the
 	// table's own read lock); the session pins this state for its whole
 	// lifetime.
-	return newSession(c.pool, width, c.table.view())
+	return newSession(ctx, c.pool, width, c.table.view())
 }
 
 // Close drains every in-flight session, then tears the link pool down.
@@ -82,14 +84,14 @@ func (s *QuerySession) checkQuery(q EncryptedQuery) error {
 }
 
 // BasicQuery runs SkNNb in a session leased for this one call.
-func (c *CloudC1) BasicQuery(q EncryptedQuery, k int) (*MaskedResult, error) {
-	res, _, err := c.BasicQueryMetered(q, k)
+func (c *CloudC1) BasicQuery(ctx context.Context, q EncryptedQuery, k int) (*MaskedResult, error) {
+	res, _, err := c.BasicQueryMetered(ctx, q, k)
 	return res, err
 }
 
 // BasicQueryMetered is BasicQuery plus phase timings and traffic counts.
-func (c *CloudC1) BasicQueryMetered(q EncryptedQuery, k int) (*MaskedResult, *BasicMetrics, error) {
-	s, err := c.NewSession(0)
+func (c *CloudC1) BasicQueryMetered(ctx context.Context, q EncryptedQuery, k int) (*MaskedResult, *BasicMetrics, error) {
+	s, err := c.NewSession(ctx, 0)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -98,14 +100,14 @@ func (c *CloudC1) BasicQueryMetered(q EncryptedQuery, k int) (*MaskedResult, *Ba
 }
 
 // SecureQuery runs SkNNm in a session leased for this one call.
-func (c *CloudC1) SecureQuery(q EncryptedQuery, k, domainBits int) (*MaskedResult, error) {
-	res, _, err := c.SecureQueryMetered(q, k, domainBits)
+func (c *CloudC1) SecureQuery(ctx context.Context, q EncryptedQuery, k, domainBits int) (*MaskedResult, error) {
+	res, _, err := c.SecureQueryMetered(ctx, q, k, domainBits)
 	return res, err
 }
 
 // SecureQueryMetered is SecureQuery plus phase timings and traffic counts.
-func (c *CloudC1) SecureQueryMetered(q EncryptedQuery, k, domainBits int) (*MaskedResult, *SecureMetrics, error) {
-	s, err := c.NewSession(0)
+func (c *CloudC1) SecureQueryMetered(ctx context.Context, q EncryptedQuery, k, domainBits int) (*MaskedResult, *SecureMetrics, error) {
+	s, err := c.NewSession(ctx, 0)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -117,15 +119,15 @@ func (c *CloudC1) SecureQueryMetered(q EncryptedQuery, k, domainBits int) (*Mask
 // session leased for this one call. The table must carry a cluster
 // index (EncryptedTable.WithClusterIndex); target is the minimum
 // candidate-pool size, see QuerySession.SecureQueryClustered.
-func (c *CloudC1) SecureQueryClustered(q EncryptedQuery, k, domainBits, target int) (*MaskedResult, error) {
-	res, _, err := c.SecureQueryClusteredMetered(q, k, domainBits, target)
+func (c *CloudC1) SecureQueryClustered(ctx context.Context, q EncryptedQuery, k, domainBits, target int) (*MaskedResult, error) {
+	res, _, err := c.SecureQueryClusteredMetered(ctx, q, k, domainBits, target)
 	return res, err
 }
 
 // SecureQueryClusteredMetered is SecureQueryClustered plus phase
 // timings, traffic counts, and pruning counters.
-func (c *CloudC1) SecureQueryClusteredMetered(q EncryptedQuery, k, domainBits, target int) (*MaskedResult, *SecureMetrics, error) {
-	s, err := c.NewSession(0)
+func (c *CloudC1) SecureQueryClusteredMetered(ctx context.Context, q EncryptedQuery, k, domainBits, target int) (*MaskedResult, *SecureMetrics, error) {
+	s, err := c.NewSession(ctx, 0)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -139,9 +141,10 @@ func (c *CloudC1) SecureQueryClusteredMetered(q EncryptedQuery, k, domainBits, t
 // otherwise — stopped before the masked reveal, so the encrypted top-k
 // candidates can travel to a coordinator for the secure merge. k is
 // clamped to the shard's live record count (a shard smaller than k
-// contributes everything it has).
-func (c *CloudC1) TopK(q EncryptedQuery, k, domainBits, target int, secure bool) ([]Candidate, *SecureMetrics, error) {
-	s, err := c.NewSession(0)
+// contributes everything it has). ctx cancels the scan between rounds —
+// the coordinator aborts every shard of a canceled scatter this way.
+func (c *CloudC1) TopK(ctx context.Context, q EncryptedQuery, k, domainBits, target int, secure bool) ([]Candidate, *SecureMetrics, error) {
+	s, err := c.NewSession(ctx, 0)
 	if err != nil {
 		return nil, nil, err
 	}

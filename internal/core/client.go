@@ -52,6 +52,12 @@ type MaskedResult struct {
 	Masks  [][]*big.Int // from C1: r_{j,h}
 	Masked [][]*big.Int // from C2: γ′_{j,h}
 	n      *big.Int     // modulus for unmasking
+	// IDs holds the stable record ids of the k results, in result
+	// order. Populated by SkNNb paths only: that protocol already
+	// reveals data access patterns to both clouds, so naming the rows
+	// for Bob adds no leakage. SkNNm leaves it nil by design — hiding
+	// which records answered the query is the property it pays for.
+	IDs []uint64
 }
 
 // Unmask recovers the k nearest records: t′_{j,h} = γ′_{j,h} − r_{j,h}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"crypto/rand"
 	"errors"
 	"sort"
@@ -72,7 +73,7 @@ func secureClusteredDistances(t *testing.T, c1 *CloudC1, bob *Client, q []uint64
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, metrics, err := c1.SecureQueryClusteredMetered(eq, k, l, target)
+	res, metrics, err := c1.SecureQueryClusteredMetered(context.Background(), eq, k, l, target)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestSecureClusteredRequiresIndex(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c1.SecureQueryClustered(eq, 2, tbl.DomainBits(), 4); !errors.Is(err, ErrNotClustered) {
+	if _, err := c1.SecureQueryClustered(context.Background(), eq, 2, tbl.DomainBits(), 4); !errors.Is(err, ErrNotClustered) {
 		t.Errorf("error = %v, want ErrNotClustered", err)
 	}
 }
@@ -223,7 +224,7 @@ func TestSecureScanCounters(t *testing.T) {
 		t.Fatal(err)
 	}
 	k := 3
-	_, metrics, err := c1.SecureQueryMetered(eq, k, tbl.DomainBits())
+	_, metrics, err := c1.SecureQueryMetered(context.Background(), eq, k, tbl.DomainBits())
 	if err != nil {
 		t.Fatal(err)
 	}

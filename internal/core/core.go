@@ -24,6 +24,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -57,6 +58,26 @@ var (
 	ErrHello         = errors.New("core: key mismatch between C1 and C2")
 	ErrNotClustered  = errors.New("core: table has no cluster index")
 )
+
+// ErrCanceled marks a query aborted by its context. It is the same
+// sentinel value the transport layer uses (mpc.ErrCanceled), so
+// errors.Is(err, ErrCanceled) holds no matter which layer noticed the
+// cancellation first; every wrapping error also carries ctx.Err(), so
+// errors.Is against context.Canceled / context.DeadlineExceeded holds
+// too.
+var ErrCanceled = mpc.ErrCanceled
+
+// ctxErr converts a done context into the typed cancellation error the
+// protocol loops return between rounds; nil contexts never cancel.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	return nil
+}
 
 func validateK(k, n int) error {
 	if k < 1 || k > n {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"crypto/rand"
 	"sync"
 	"testing"
@@ -65,10 +66,10 @@ func TestFeatureColumnsIgnoreLabels(t *testing.T) {
 			t.Fatal(err)
 		}
 		if mode == "basic" {
-			res, err = c1.BasicQuery(eq, 1)
+			res, err = c1.BasicQuery(context.Background(), eq, 1)
 		} else {
 			l := dataset.DomainBits(4, 2)
-			res, err = c1.SecureQuery(eq, 1, l)
+			res, err = c1.SecureQuery(context.Background(), eq, 1, l)
 		}
 		if err != nil {
 			t.Fatalf("%s: %v", mode, err)
@@ -91,7 +92,7 @@ func TestFeatureColumnsQueryDimension(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c1.BasicQuery(eq, 1); err == nil {
+	if _, err := c1.BasicQuery(context.Background(), eq, 1); err == nil {
 		t.Error("full-width query accepted against feature view")
 	}
 }

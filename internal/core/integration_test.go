@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"testing"
 
@@ -174,7 +175,7 @@ func TestBasicMetrics(t *testing.T) {
 	q, _ := dataset.GenerateQuery(52, 3, 4)
 	c1, bob := newSystem(t, tbl, 1)
 	eq, _ := bob.EncryptQuery(q)
-	_, m, err := c1.BasicQueryMetered(eq, 2)
+	_, m, err := c1.BasicQueryMetered(context.Background(), eq, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +195,7 @@ func TestSecureMetrics(t *testing.T) {
 	q, _ := dataset.GenerateQuery(62, 2, 3)
 	c1, bob := newSystem(t, tbl, 1)
 	eq, _ := bob.EncryptQuery(q)
-	_, m, err := c1.SecureQueryMetered(eq, 2, tbl.DomainBits())
+	_, m, err := c1.SecureQueryMetered(context.Background(), eq, 2, tbl.DomainBits())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,17 +219,17 @@ func TestQueryValidation(t *testing.T) {
 	q, _ := dataset.GenerateQuery(72, 3, 4)
 	eq, _ := bob.EncryptQuery(q)
 
-	if _, err := c1.BasicQuery(eq, 0); err == nil {
+	if _, err := c1.BasicQuery(context.Background(), eq, 0); err == nil {
 		t.Error("k=0 accepted")
 	}
-	if _, err := c1.BasicQuery(eq, 6); err == nil {
+	if _, err := c1.BasicQuery(context.Background(), eq, 6); err == nil {
 		t.Error("k>n accepted")
 	}
-	if _, err := c1.SecureQuery(eq, 2, 0); err == nil {
+	if _, err := c1.SecureQuery(context.Background(), eq, 2, 0); err == nil {
 		t.Error("l=0 accepted")
 	}
 	short := eq[:2]
-	if _, err := c1.BasicQuery(short, 1); err == nil {
+	if _, err := c1.BasicQuery(context.Background(), short, 1); err == nil {
 		t.Error("dimension mismatch accepted")
 	}
 	if _, err := bob.EncryptQuery(nil); err == nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/big"
@@ -83,7 +84,16 @@ func (p *linkPool) commStats() mpc.StatsSnapshot {
 // lease reserves width link slots (width <= 0 lets the scheduler decide:
 // a session opened on an idle pool spans every link, sessions opened
 // under concurrent load get an even share). The caller owes a release.
-func (p *linkPool) lease(width int) ([]int, error) {
+//
+// Acquisition itself never blocks — the scheduler narrows the width
+// instead of queueing — but a query whose ctx is already done must not
+// take capacity at all: it gives up here with ErrCanceled before any
+// stream opens, so canceled queries release the pool to live ones
+// immediately.
+func (p *linkPool) lease(ctx context.Context, width int) ([]int, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
@@ -123,9 +133,10 @@ func (p *linkPool) leastLoaded(w int) []int {
 	return idx[:w]
 }
 
-// open opens one tagged stream on link slot i.
-func (p *linkPool) open(i int) (mpc.Conn, error) {
-	return p.links[i].Open()
+// open opens one tagged stream on link slot i, bound to the session's
+// context so every round trip on the stream honors cancellation.
+func (p *linkPool) open(ctx context.Context, i int) (mpc.Conn, error) {
+	return p.links[i].OpenContext(ctx)
 }
 
 // release returns a session's capacity to the pool.

@@ -265,6 +265,9 @@ func (s *QuerySession) rankClusters(q EncryptedQuery, domainBits, target int, me
 	var chosen []int
 	pool := 0
 	for pool < target && len(live) > 0 {
+		if err := s.ctxErr(); err != nil {
+			return nil, err
+		}
 		var winner int
 		if len(live) == 1 {
 			winner = live[0]
@@ -364,6 +367,11 @@ func (s *QuerySession) secureScan(q EncryptedQuery, k, domainBits int, idx []int
 // each distance are returned: E(dᵢ) seeds selectTopK's first round so
 // the local path never recomposes what SSED already produced.
 func (s *QuerySession) candidateBits(q EncryptedQuery, domainBits int, idx []int, metrics *SecureMetrics) ([]*paillier.Ciphertext, [][]*paillier.Ciphertext, error) {
+	// Stage boundary: a canceled query stops before SSED rather than
+	// paying for a scan nobody will read.
+	if err := s.ctxErr(); err != nil {
+		return nil, nil, err
+	}
 	n := len(idx)
 	feat := make([][]*paillier.Ciphertext, n)
 	for i, id := range idx {
@@ -377,6 +385,9 @@ func (s *QuerySession) candidateBits(q EncryptedQuery, domainBits int, idx []int
 		return nil, nil, err
 	}
 	metrics.Distance = time.Since(phase)
+	if err := s.ctxErr(); err != nil {
+		return nil, nil, err
+	}
 
 	// Step 2b: [dᵢ] — bit decomposition of every distance (chunked).
 	phase = time.Now()
@@ -431,6 +442,12 @@ func (s *QuerySession) selectTopK(bits [][]*paillier.Ciphertext, records [][]*pa
 	selected := make([]Candidate, 0, k)
 
 	for iter := 0; iter < k; iter++ {
+		// Round boundary: a canceled query abandons the remaining
+		// selection rounds (the transport also enforces this mid-round,
+		// frame by frame).
+		if err := s.ctxErr(); err != nil {
+			return nil, err
+		}
 		// Step 3(a): [dmin] = SMINn([d₁],…,[d_n]).
 		phase := time.Now()
 		minBits, err := s.sminnParallel(bits)

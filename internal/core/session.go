@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"sync"
@@ -26,8 +27,14 @@ import (
 //
 // A session answers queries one at a time; run concurrent queries in
 // concurrent sessions. Close returns the leased capacity to the pool.
+//
+// Like http.Request, a session is request-scoped and carries the
+// query's context: bound once at open, checked by every protocol loop
+// between rounds, and enforced by the transport on every frame, so
+// canceling the context aborts the query within one protocol round.
 type QuerySession struct {
 	pool     *linkPool
+	ctx      context.Context // the query's context; never nil
 	pk       *paillier.PublicKey
 	m        int              // record arity the session operates on
 	featureM int              // distance-relevant prefix
@@ -41,23 +48,27 @@ type QuerySession struct {
 
 // newSession leases width links from the pool and pins the given table
 // view (which also supplies the key and record arity).
-func newSession(pool *linkPool, width int, view *tableView) (*QuerySession, error) {
-	return openSession(pool, width, view, view.pk, view.m, view.featureM)
+func newSession(ctx context.Context, pool *linkPool, width int, view *tableView) (*QuerySession, error) {
+	return openSession(ctx, pool, width, view, view.pk, view.m, view.featureM)
 }
 
 // openSession is the shared constructor behind table-backed sessions
 // (newSession) and the coordinator's table-less merge sessions
 // (ShardedC1.mergeSession): lease the slots, open one tagged stream per
-// slot, attach a requester to each. view may be nil — the selection
-// engine then runs on caller-supplied candidates only.
-func openSession(pool *linkPool, width int, view *tableView, pk *paillier.PublicKey, m, featureM int) (*QuerySession, error) {
-	slots, err := pool.lease(width)
+// slot — each bound to ctx — and attach a requester to each. view may
+// be nil — the selection engine then runs on caller-supplied candidates
+// only.
+func openSession(ctx context.Context, pool *linkPool, width int, view *tableView, pk *paillier.PublicKey, m, featureM int) (*QuerySession, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	slots, err := pool.lease(ctx, width)
 	if err != nil {
 		return nil, err
 	}
-	s := &QuerySession{pool: pool, pk: pk, m: m, featureM: featureM, tbl: view, slots: slots}
+	s := &QuerySession{pool: pool, ctx: ctx, pk: pk, m: m, featureM: featureM, tbl: view, slots: slots}
 	for _, i := range slots {
-		conn, err := pool.open(i)
+		conn, err := pool.open(ctx, i)
 		if err != nil {
 			s.Close()
 			return nil, fmt.Errorf("core: opening session stream: %w", err)
@@ -66,6 +77,14 @@ func openSession(pool *linkPool, width int, view *tableView, pk *paillier.Public
 	}
 	return s, nil
 }
+
+// Context returns the context the session was opened under.
+func (s *QuerySession) Context() context.Context { return s.ctx }
+
+// ctxErr reports the session's cancellation state — the between-rounds
+// check every protocol loop runs so a canceled query stops scheduling
+// new work instead of finishing the scan it started.
+func (s *QuerySession) ctxErr() error { return ctxErr(s.ctx) }
 
 // attach wires one opened logical stream into the session.
 func (s *QuerySession) attach(conn mpc.Conn) {

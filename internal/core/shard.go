@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -21,6 +23,11 @@ type Candidate struct {
 	Bits []*paillier.Ciphertext // [d], length l — SkNNm candidates
 	Dist *paillier.Ciphertext   // E(d) — SkNNb candidates
 	Rec  EncryptedRecord
+	// ID is the stable record id — meaningful on SkNNb candidates only,
+	// where the protocol already reveals which records were selected.
+	// SkNNm candidates are obliviously extracted, so no party (including
+	// this code) knows which record one holds; the field stays zero.
+	ID uint64
 }
 
 // ShardInfo describes one shard worker to the coordinator: its position
@@ -43,7 +50,10 @@ type ShardInfo struct {
 // mutation.
 type Shard interface {
 	Info() ShardInfo
-	TopK(q EncryptedQuery, k, domainBits, target int, secure bool) ([]Candidate, *SecureMetrics, error)
+	// TopK honors ctx between protocol rounds: the coordinator cancels
+	// every outstanding shard scan the moment one shard fails or the
+	// query's own context is done.
+	TopK(ctx context.Context, q EncryptedQuery, k, domainBits, target int, secure bool) ([]Candidate, *SecureMetrics, error)
 }
 
 // LocalShard adapts an in-process CloudC1 worker to the Shard interface.
@@ -67,9 +77,9 @@ func (s *LocalShard) Info() ShardInfo {
 }
 
 // TopK runs the shard-local scan in a session leased from the shard's
-// own link pool.
-func (s *LocalShard) TopK(q EncryptedQuery, k, domainBits, target int, secure bool) ([]Candidate, *SecureMetrics, error) {
-	return s.C1.TopK(q, k, domainBits, target, secure)
+// own link pool, bound to ctx.
+func (s *LocalShard) TopK(ctx context.Context, q EncryptedQuery, k, domainBits, target int, secure bool) ([]Candidate, *SecureMetrics, error) {
+	return s.C1.TopK(ctx, q, k, domainBits, target, secure)
 }
 
 // ErrShardTopology is returned when a set of shards does not form one
@@ -180,20 +190,26 @@ func (c *ShardedC1) Close() error { return c.pool.Close() }
 // mergeSession leases a table-less session from the coordinator's pool:
 // the selection engine (selectTopK / rankCandidates / reveal) runs on
 // gathered candidates, needing only the key and record arity.
-func (c *ShardedC1) mergeSession() (*QuerySession, error) {
-	return openSession(c.pool, 0, nil, c.pk, c.m, c.featM)
+func (c *ShardedC1) mergeSession(ctx context.Context) (*QuerySession, error) {
+	return openSession(ctx, c.pool, 0, nil, c.pk, c.m, c.featM)
 }
 
 // scatter fans the query out to every shard concurrently and returns
 // the gathered candidates plus the aggregated shard metrics. Every
 // shard is probed on every query — the scatter itself is
-// data-independent, so shard choice leaks nothing.
-func (c *ShardedC1) scatter(q EncryptedQuery, k, domainBits, target int, secure bool, metrics *SecureMetrics) ([]Candidate, error) {
+// data-independent, so shard choice leaks nothing. All shard scans run
+// under one child context: the first failure (or the caller's own
+// cancellation) cancels every outstanding scan, so a doomed scatter
+// stops burning SMIN rounds on shards whose results will be discarded,
+// and the merge never starts.
+func (c *ShardedC1) scatter(ctx context.Context, q EncryptedQuery, k, domainBits, target int, secure bool, metrics *SecureMetrics) ([]Candidate, error) {
 	type shardOut struct {
 		cands []Candidate
 		sm    *SecureMetrics
 		err   error
 	}
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	outs := make([]shardOut, len(c.shards))
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -201,8 +217,11 @@ func (c *ShardedC1) scatter(q EncryptedQuery, k, domainBits, target int, secure 
 		wg.Add(1)
 		go func(i int, sh Shard) {
 			defer wg.Done()
-			cands, sm, err := sh.TopK(q, k, domainBits, target, secure)
+			cands, sm, err := sh.TopK(sctx, q, k, domainBits, target, secure)
 			outs[i] = shardOut{cands: cands, sm: sm, err: err}
+			if err != nil {
+				cancel() // one failed shard aborts the whole scatter
+			}
 		}(i, sh)
 	}
 	wg.Wait()
@@ -210,14 +229,25 @@ func (c *ShardedC1) scatter(q EncryptedQuery, k, domainBits, target int, secure 
 	metrics.Shards = len(c.shards)
 
 	var all []Candidate
+	var firstErr error
 	for i, out := range outs {
 		if out.err != nil {
-			return nil, fmt.Errorf("core: shard %d scan: %w", i, out.err)
+			// Prefer a real shard failure over the knock-on ErrCanceled
+			// the surviving shards report after the scatter-wide cancel
+			// (when the caller itself canceled, every error is an
+			// ErrCanceled and the first one wins).
+			if firstErr == nil || (errors.Is(firstErr, ErrCanceled) && !errors.Is(out.err, ErrCanceled)) {
+				firstErr = fmt.Errorf("core: shard %d scan: %w", i, out.err)
+			}
+			continue
 		}
 		if out.sm != nil {
 			metrics.add(out.sm)
 		}
 		all = append(all, out.cands...)
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	if err := validateK(k, len(all)); err != nil {
 		return nil, fmt.Errorf("core: %d candidates gathered from %d shards: %w", len(all), len(c.shards), err)
@@ -228,16 +258,17 @@ func (c *ShardedC1) scatter(q EncryptedQuery, k, domainBits, target int, secure 
 // SecureQuery runs the scatter-gather SkNNm: shard-local secure scans,
 // then the secure top-k merge. target > 0 selects the pruned scan on
 // clustered shards (the per-shard candidate-pool floor); pass 0 for
-// full shard scans.
-func (c *ShardedC1) SecureQuery(q EncryptedQuery, k, domainBits, target int) (*MaskedResult, error) {
-	res, _, err := c.SecureQueryMetered(q, k, domainBits, target)
+// full shard scans. Canceling ctx cancels every outstanding shard scan
+// and aborts the merge.
+func (c *ShardedC1) SecureQuery(ctx context.Context, q EncryptedQuery, k, domainBits, target int) (*MaskedResult, error) {
+	res, _, err := c.SecureQueryMetered(ctx, q, k, domainBits, target)
 	return res, err
 }
 
 // SecureQueryMetered is SecureQuery plus the aggregated phase metrics:
 // per-shard counters summed, Scatter/Merge wall-clock split, and the
 // coordinator's merge traffic in Comm (on top of the shard scans').
-func (c *ShardedC1) SecureQueryMetered(q EncryptedQuery, k, domainBits, target int) (*MaskedResult, *SecureMetrics, error) {
+func (c *ShardedC1) SecureQueryMetered(ctx context.Context, q EncryptedQuery, k, domainBits, target int) (*MaskedResult, *SecureMetrics, error) {
 	if len(q) != c.featM {
 		return nil, nil, fmt.Errorf("%w: query has %d attributes, table has %d feature columns",
 			ErrDimension, len(q), c.featM)
@@ -250,7 +281,7 @@ func (c *ShardedC1) SecureQueryMetered(q EncryptedQuery, k, domainBits, target i
 	}
 	metrics := &SecureMetrics{}
 	start := time.Now()
-	cands, err := c.scatter(q, k, domainBits, target, true, metrics)
+	cands, err := c.scatter(ctx, q, k, domainBits, target, true, metrics)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -260,7 +291,7 @@ func (c *ShardedC1) SecureQueryMetered(q EncryptedQuery, k, domainBits, target i
 	// by the masked reveal. The SBOR disqualification mutates the
 	// gathered bit vectors, which are exclusively ours.
 	mergeStart := time.Now()
-	s, err := c.mergeSession()
+	s, err := c.mergeSession(ctx)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -309,16 +340,17 @@ func (c *ShardedC1) SecureQueryMetered(q EncryptedQuery, k, domainBits, target i
 // BasicQuery runs the scatter-gather SkNNb: shard-local scan-and-rank,
 // then one more rank round over the gathered s·k encrypted distances.
 // Same leakage class as single-shard SkNNb (C2 sees plaintext
-// distances, both clouds see access patterns).
-func (c *ShardedC1) BasicQuery(q EncryptedQuery, k int) (*MaskedResult, error) {
-	res, _, err := c.BasicQueryMetered(q, k)
+// distances, both clouds see access patterns). Canceling ctx cancels
+// every outstanding shard scan and aborts the merge.
+func (c *ShardedC1) BasicQuery(ctx context.Context, q EncryptedQuery, k int) (*MaskedResult, error) {
+	res, _, err := c.BasicQueryMetered(ctx, q, k)
 	return res, err
 }
 
 // BasicQueryMetered is BasicQuery plus aggregated metrics (in the
 // SecureMetrics shape the coordinator shares with SkNNm: Distance is
 // the summed shard SSED time, Scatter/Merge the wall-clock split).
-func (c *ShardedC1) BasicQueryMetered(q EncryptedQuery, k int) (*MaskedResult, *SecureMetrics, error) {
+func (c *ShardedC1) BasicQueryMetered(ctx context.Context, q EncryptedQuery, k int) (*MaskedResult, *SecureMetrics, error) {
 	if len(q) != c.featM {
 		return nil, nil, fmt.Errorf("%w: query has %d attributes, table has %d feature columns",
 			ErrDimension, len(q), c.featM)
@@ -328,12 +360,12 @@ func (c *ShardedC1) BasicQueryMetered(q EncryptedQuery, k int) (*MaskedResult, *
 	}
 	metrics := &SecureMetrics{}
 	start := time.Now()
-	cands, err := c.scatter(q, k, 0, 0, false, metrics)
+	cands, err := c.scatter(ctx, q, k, 0, 0, false, metrics)
 	if err != nil {
 		return nil, nil, err
 	}
 	mergeStart := time.Now()
-	s, err := c.mergeSession()
+	s, err := c.mergeSession(ctx)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -342,10 +374,17 @@ func (c *ShardedC1) BasicQueryMetered(q EncryptedQuery, k int) (*MaskedResult, *
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: merge: %w", err)
 	}
-	res, err := s.reveal(selected)
+	rows := make([]EncryptedRecord, len(selected))
+	ids := make([]uint64, len(selected))
+	for i, cand := range selected {
+		rows[i] = cand.Rec
+		ids[i] = cand.ID
+	}
+	res, err := s.reveal(rows)
 	if err != nil {
 		return nil, nil, err
 	}
+	res.IDs = ids
 	metrics.Merge = time.Since(mergeStart)
 	metrics.Total = time.Since(start)
 	metrics.Comm = metrics.Comm.Add(s.CommStats())

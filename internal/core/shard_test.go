@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"crypto/rand"
 	"sort"
 	"sync"
@@ -147,7 +148,7 @@ func TestShardedSecureMatchesOracle(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, metrics, err := coord.SecureQueryMetered(eq, k, l, 0)
+		res, metrics, err := coord.SecureQueryMetered(context.Background(), eq, k, l, 0)
 		if err != nil {
 			t.Fatalf("shards=%d: %v", shards, err)
 		}
@@ -188,7 +189,7 @@ func TestShardedSecureRemoteWire(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := coord.SecureQuery(eq, k, l, 0)
+		res, err := coord.SecureQuery(context.Background(), eq, k, l, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -203,7 +204,7 @@ func TestShardedSecureRemoteWire(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := coord.BasicQuery(eq, k)
+	res, err := coord.BasicQuery(context.Background(), eq, k)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,6 +213,21 @@ func TestShardedSecureRemoteWire(t *testing.T) {
 		t.Fatal(err)
 	}
 	shardOracleCheck(t, tbl.Rows, rows, []uint64{5, 5}, k)
+	// Basic candidates carry stable ids across the wire; each decoded id
+	// must name the row that came back (initial ids are row order).
+	if len(res.IDs) != k {
+		t.Fatalf("basic wire result has %d ids, want %d", len(res.IDs), k)
+	}
+	for i, id := range res.IDs {
+		if int(id) >= len(tbl.Rows) {
+			t.Fatalf("id %d out of range", id)
+		}
+		for j, v := range rows[i] {
+			if tbl.Rows[id][j] != v {
+				t.Fatalf("id %d names row %v, result row is %v", id, tbl.Rows[id], rows[i])
+			}
+		}
+	}
 }
 
 // TestShardedBasicMatchesOracle pins the SkNNb rank-merge path.
@@ -227,7 +243,7 @@ func TestShardedBasicMatchesOracle(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := coord.BasicQuery(eq, k)
+		res, err := coord.BasicQuery(context.Background(), eq, k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -255,7 +271,7 @@ func TestShardedSmallShards(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := coord.SecureQuery(eq, k, l, 0)
+	res, err := coord.SecureQuery(context.Background(), eq, k, l, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +281,7 @@ func TestShardedSmallShards(t *testing.T) {
 	}
 	shardOracleCheck(t, tbl.Rows, rows, q, k)
 	// k above the whole table is still rejected.
-	if _, err := coord.SecureQuery(eq, n+1, l, 0); err == nil {
+	if _, err := coord.SecureQuery(context.Background(), eq, n+1, l, 0); err == nil {
 		t.Error("k > n accepted by sharded query")
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"sync"
@@ -27,7 +28,12 @@ import (
 //	              rep: [n, count, sminCount, candidates, clustersProbed,
 //	                    totalNanos, then per candidate:
 //	                    secure → l distance bits, m record attributes
-//	                    basic  → E(d), m record attributes]
+//	                    basic  → id, E(d), m record attributes]
+//
+// Basic candidates carry their stable record id (SkNNb reveals access
+// patterns anyway; the id lets the coordinator name the merged results
+// for Bob). Secure candidates are obliviously extracted — not even the
+// shard knows which record one holds — so no id travels.
 
 // RemoteShard drives one shard worker over a connection. It implements
 // Shard; the static shape is cached from the dial-time hello and the
@@ -106,7 +112,17 @@ func (r *RemoteShard) Close() error { return r.conn.Close() }
 // TopK runs the shard-local scan remotely and decodes the encrypted
 // candidates. Ciphertexts are range-validated against the shard's key
 // on the way in, exactly like snapshot loading.
-func (r *RemoteShard) TopK(q EncryptedQuery, k, domainBits, target int, secure bool) ([]Candidate, *SecureMetrics, error) {
+//
+// Cancellation is coordinator-side: the scan travels as one frame, so a
+// ctx done before the round trip refuses to send, and a ctx done while
+// the frame is in flight lets the worker finish its scan (the wire
+// protocol has no abort frame) but discards the reply and returns
+// ErrCanceled — the coordinator moves on within one exchange either
+// way.
+func (r *RemoteShard) TopK(ctx context.Context, q EncryptedQuery, k, domainBits, target int, secure bool) ([]Candidate, *SecureMetrics, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, nil, err
+	}
 	sec := int64(0)
 	if secure {
 		sec = 1
@@ -123,6 +139,9 @@ func (r *RemoteShard) TopK(q EncryptedQuery, k, domainBits, target int, secure b
 	resp, err := mpc.RoundTrip(r.conn, &mpc.Message{Op: OpShardTopK, Ints: payload})
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: shard %d top-k: %w", r.info.Index, err)
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, nil, err
 	}
 	const head = 6
 	if len(resp.Ints) < head {
@@ -144,7 +163,7 @@ func (r *RemoteShard) TopK(q EncryptedQuery, k, domainBits, target int, secure b
 	if liveN >= 0 {
 		r.info.N = liveN
 	}
-	per := r.info.M + 1 // E(d) + record
+	per := r.info.M + 2 // id + E(d) + record
 	if secure {
 		per = r.info.M + domainBits // [d] bits + record
 	}
@@ -168,6 +187,11 @@ func (r *RemoteShard) TopK(q EncryptedQuery, k, domainBits, target int, secure b
 			}
 			cands[i].Bits = bits
 		} else {
+			if !resp.Ints[pos].IsUint64() {
+				return nil, nil, fmt.Errorf("%w: shard candidate %d record id", ErrBadFrame, i)
+			}
+			cands[i].ID = resp.Ints[pos].Uint64()
+			pos++
 			if cands[i].Dist, err = r.pk.FromRaw(resp.Ints[pos]); err != nil {
 				return nil, nil, fmt.Errorf("core: shard candidate %d distance: %w", i, err)
 			}
@@ -256,11 +280,15 @@ func (s *ShardServer) handleTopK(req *mpc.Message) (*mpc.Message, error) {
 			return nil, fmt.Errorf("core: shard top-k query attribute %d: %w", i, err)
 		}
 	}
-	cands, metrics, err := s.c1.TopK(q, k, domainBits, target, secure)
+	// The wire protocol has no abort frame, so a worker-side scan runs
+	// to completion once started; cancellation lives on the coordinator
+	// (RemoteShard discards the reply). Background keeps the worker's
+	// session unbound.
+	cands, metrics, err := s.c1.TopK(context.Background(), q, k, domainBits, target, secure)
 	if err != nil {
 		return nil, err
 	}
-	per := t.M() + 1
+	per := t.M() + 2
 	if secure {
 		per = t.M() + domainBits
 	}
@@ -275,7 +303,7 @@ func (s *ShardServer) handleTopK(req *mpc.Message) (*mpc.Message, error) {
 				out = append(out, b.Raw())
 			}
 		} else {
-			out = append(out, c.Dist.Raw())
+			out = append(out, new(big.Int).SetUint64(c.ID), c.Dist.Raw())
 		}
 		for _, ct := range c.Rec {
 			out = append(out, ct.Raw())

@@ -493,6 +493,7 @@ type tableView struct {
 	m         int
 	featureM  int
 	records   []EncryptedRecord
+	ids       []uint64 // position -> stable record id
 	dead      []bool
 	liveIdx   []int             // live positions, ascending
 	centroids []EncryptedRecord // nil when unclustered
@@ -525,6 +526,7 @@ func (t *EncryptedTable) buildViewLocked() *tableView {
 		m:        t.m,
 		featureM: t.featureM,
 		records:  t.records,
+		ids:      t.ids,
 		dead:     append([]bool(nil), t.dead...),
 	}
 	v.liveIdx = make([]int, 0, len(t.records)-t.deadN)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"crypto/rand"
 	"net"
 	"testing"
@@ -66,7 +67,7 @@ func TestProtocolsOverTCP(t *testing.T) {
 	}
 
 	// SkNNb over the wire.
-	res, err := c1.BasicQuery(eq, 3)
+	res, err := c1.BasicQuery(context.Background(), eq, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestProtocolsOverTCP(t *testing.T) {
 	assertMatchesOracle(t, tbl, q, 3, rows)
 
 	// SkNNm over the wire.
-	res, err = c1.SecureQuery(eq, 2, tbl.DomainBits())
+	res, err = c1.SecureQuery(context.Background(), eq, 2, tbl.DomainBits())
 	if err != nil {
 		t.Fatal(err)
 	}

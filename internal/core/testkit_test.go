@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"crypto/rand"
 	"sync"
 	"testing"
@@ -66,7 +67,7 @@ func runBasic(t *testing.T, c1 *CloudC1, bob *Client, q []uint64, k int) [][]uin
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := c1.BasicQuery(eq, k)
+	res, err := c1.BasicQuery(context.Background(), eq, k)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func runSecure(t *testing.T, c1 *CloudC1, bob *Client, q []uint64, k, l int) [][
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := c1.SecureQuery(eq, k, l)
+	res, err := c1.SecureQuery(context.Background(), eq, k, l)
 	if err != nil {
 		t.Fatal(err)
 	}

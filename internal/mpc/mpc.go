@@ -101,6 +101,15 @@ var (
 	ErrBadResponse = errors.New("mpc: unexpected response opcode")
 )
 
+// ErrCanceled is returned once a canceled or expired context stops a
+// protocol exchange: the frame in flight is allowed to finish, every
+// subsequent round aborts. Errors carrying it always wrap the context's
+// own error as well, so both errors.Is(err, ErrCanceled) and
+// errors.Is(err, context.Canceled) (or context.DeadlineExceeded) hold.
+// Higher layers (internal/core, the sknn facade) re-export this same
+// sentinel, so a cancellation is recognizable wherever it surfaces.
+var ErrCanceled = errors.New("mpc: exchange canceled")
+
 // RemoteError is an error that occurred on the responder and was carried
 // back over the wire in an OpError frame.
 type RemoteError struct {

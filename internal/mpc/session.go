@@ -1,6 +1,10 @@
 package mpc
 
-import "sync"
+import (
+	"context"
+	"fmt"
+	"sync"
+)
 
 // sessionBuf bounds how many routed-but-unread frames one session may
 // hold. Under the request/response discipline a session never has more
@@ -83,6 +87,21 @@ func (m *Multiplexer) fail(err error) {
 
 // Open starts a new logical session stream on the link.
 func (m *Multiplexer) Open() (Conn, error) {
+	return m.OpenContext(context.Background())
+}
+
+// OpenContext starts a new logical session stream bound to ctx: once ctx
+// is done, the stream's Send refuses to start another round and a
+// blocked Recv gives up waiting (the frame in flight still finishes on
+// the responder; its late reply is dropped when the stream closes). Both
+// return an error wrapping ErrCanceled and ctx.Err(). This is the
+// transport-level half of query cancellation — every protocol round
+// trip crosses a Send/Recv pair, so a canceled query aborts within one
+// round no matter which primitive it is inside.
+func (m *Multiplexer) OpenContext(ctx context.Context) (Conn, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.err != nil {
@@ -92,6 +111,7 @@ func (m *Multiplexer) Open() (Conn, error) {
 	s := &sessionConn{
 		mux:    m,
 		tag:    m.nextTag,
+		ctx:    ctx,
 		recv:   make(chan *Message, sessionBuf),
 		closed: make(chan struct{}),
 	}
@@ -128,11 +148,20 @@ func (m *Multiplexer) Close() error {
 type sessionConn struct {
 	mux   *Multiplexer
 	tag   uint64
+	ctx   context.Context // never nil; Background() for unbound streams
 	recv  chan *Message
 	stats Stats
 
 	closeOnce sync.Once
 	closed    chan struct{}
+}
+
+// ctxErr reports the stream's cancellation state as the typed error.
+func (s *sessionConn) ctxErr() error {
+	if err := s.ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	return nil
 }
 
 func (s *sessionConn) Send(msg *Message) error {
@@ -141,6 +170,8 @@ func (s *sessionConn) Send(msg *Message) error {
 		return ErrConnClosed
 	case <-s.mux.done:
 		return ErrConnClosed
+	case <-s.ctx.Done():
+		return s.ctxErr()
 	default:
 	}
 	msg.Tag = s.tag
@@ -155,12 +186,24 @@ func (s *sessionConn) Send(msg *Message) error {
 }
 
 func (s *sessionConn) Recv() (*Message, error) {
+	// Prefer a reply that already arrived: a race between routing and
+	// cancellation should not discard a completed round.
+	select {
+	case msg := <-s.recv:
+		s.stats.addRecv(msg.wireSize())
+		return msg, nil
+	default:
+	}
 	select {
 	case msg := <-s.recv:
 		s.stats.addRecv(msg.wireSize())
 		return msg, nil
 	case <-s.closed:
 		return nil, ErrConnClosed
+	case <-s.ctx.Done():
+		// Give up waiting; the responder finishes the in-flight frame and
+		// its late reply is dropped once the stream closes.
+		return nil, s.ctxErr()
 	case <-s.mux.done:
 		// Drain a reply that was routed before the link died.
 		select {

@@ -1,6 +1,7 @@
 package mpc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/big"
@@ -295,6 +296,109 @@ func TestSessionStatsScoping(t *testing.T) {
 	if agg.BytesSent != s1.Stats().BytesSent()+s2.Stats().BytesSent() {
 		t.Errorf("aggregate bytes %d != session sum", agg.BytesSent)
 	}
+	SendClose(mux.Conn())
+	mux.Close()
+}
+
+// TestOpenContextCancellation pins the transport half of query
+// cancellation: a ctx-bound stream refuses new sends once the context
+// dies, a blocked Recv gives up, and both report ErrCanceled wrapping
+// the context's own error. A sibling stream on the same link is
+// unaffected.
+func TestOpenContextCancellation(t *testing.T) {
+	a, b := ChanPipe()
+	release := make(chan struct{})
+	serveDone := make(chan error, 1)
+	go func() {
+		serveDone <- Serve(b, echoMux(func(m *Message) time.Duration {
+			if len(m.Ints) > 0 && m.Ints[0].Int64() == 99 {
+				<-release // stall this request until the test releases it
+			}
+			return 0
+		}))
+	}()
+	mux := NewMultiplexer(a)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	bound, err := mux.OpenContext(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := mux.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Park the bound stream on a stalled request, then cancel: Recv must
+	// give up without waiting for the responder.
+	if err := bound.Send(&Message{Op: OpPing, Ints: []*big.Int{big.NewInt(99)}}); err != nil {
+		t.Fatal(err)
+	}
+	recvErr := make(chan error, 1)
+	go func() {
+		_, err := bound.Recv()
+		recvErr <- err
+	}()
+	cancel()
+	select {
+	case err := <-recvErr:
+		if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+			t.Fatalf("Recv after cancel = %v, want ErrCanceled wrapping context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv ignored the canceled context")
+	}
+	// New rounds on the bound stream must refuse to start.
+	if err := bound.Send(&Message{Op: OpPing}); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Send after cancel = %v, want ErrCanceled", err)
+	}
+
+	// Release the stalled handler (the serial serve loop processes one
+	// request at a time); its late reply is dropped, and the sibling
+	// stream — whose context is alive — still round-trips fine:
+	// cancellation is per session, not per link.
+	close(release)
+	if _, err := RoundTrip(free, &Message{Op: OpPing, Ints: []*big.Int{big.NewInt(1)}}); err != nil {
+		t.Fatalf("sibling stream broken by cancellation: %v", err)
+	}
+
+	bound.Close()
+	free.Close()
+	SendClose(mux.Conn())
+	if err := mux.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-serveDone
+}
+
+// TestOpenContextDeliversReadyReply checks the race preference: a reply
+// already routed to the session is delivered even if the context died
+// in the meantime — a completed round is never thrown away.
+func TestOpenContextDeliversReadyReply(t *testing.T) {
+	a, b := ChanPipe()
+	go func() { _ = Serve(b, echoMux(nil)) }()
+	mux := NewMultiplexer(a)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	conn, err := mux.OpenContext(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Send(&Message{Op: OpPing, Ints: []*big.Int{big.NewInt(7)}}); err != nil {
+		t.Fatal(err)
+	}
+	// Give the echo time to route the reply into the session buffer,
+	// then cancel before Recv.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	msg, err := conn.Recv()
+	if err != nil {
+		t.Fatalf("Recv = %v, want the already-routed reply", err)
+	}
+	if len(msg.Ints) != 1 || msg.Ints[0].Int64() != 7 {
+		t.Fatalf("reply payload = %v", msg.Ints)
+	}
+	conn.Close()
 	SendClose(mux.Conn())
 	mux.Close()
 }

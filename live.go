@@ -1,6 +1,7 @@
 package sknn
 
 import (
+	"context"
 	"fmt"
 
 	"sknn/internal/cluster"
@@ -87,7 +88,9 @@ func (s *System) Insert(row []uint64) (uint64, error) {
 		if err != nil {
 			return 0, fmt.Errorf("sknn: encrypting insert routing query: %w", err)
 		}
-		sess, err := owner.NewSession(s.perQuery)
+		// Mutations are not cancelable (a half-routed insert helps no
+		// one), so the routing session runs unbound.
+		sess, err := owner.NewSession(context.Background(), s.perQuery)
 		if err != nil {
 			return 0, err
 		}

@@ -128,7 +128,7 @@ func TestLiveTableMutationsMatchOracle(t *testing.T) {
 	queries := [][]uint64{insData.Rows[60], tbl.Rows[1], {13, 47}}
 
 	for _, q := range queries {
-		got, err := sys.Query(q, k, ModeSecure)
+		got, err := queryRows(sys, q, k, ModeSecure)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -160,7 +160,7 @@ func TestLiveTableMutationsMatchOracle(t *testing.T) {
 	}
 
 	for _, q := range queries {
-		got, err := loaded.Query(q, k, ModeSecure)
+		got, err := queryRows(loaded, q, k, ModeSecure)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -183,7 +183,7 @@ func TestLiveTableMutationsMatchOracle(t *testing.T) {
 	for _, row := range mirror {
 		liveRows = append(liveRows, row)
 	}
-	got, err := loaded.Query(extra, k, ModeSecure)
+	got, err := queryRows(loaded, extra, k, ModeSecure)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +227,7 @@ func TestLiveTableFullScanMutations(t *testing.T) {
 	}
 	q := []uint64{7, 6}
 	for _, mode := range []Mode{ModeBasic, ModeSecure} {
-		got, err := sys.Query(q, 3, mode)
+		got, err := queryRows(sys, q, 3, mode)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -249,7 +249,7 @@ func TestLiveTableFullScanMutations(t *testing.T) {
 		t.Fatalf("load path performed %d Paillier encryptions, want 0", after-before)
 	}
 	for _, mode := range []Mode{ModeBasic, ModeSecure} {
-		got, err := loaded.Query(q, 3, mode)
+		got, err := queryRows(loaded, q, 3, mode)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -272,7 +272,7 @@ func TestSaveLoadQueryEquality(t *testing.T) {
 				t.Fatal(err)
 			}
 			q, _ := dataset.GenerateQuery(seed+100, 2, 5)
-			inMem, err := sys.Query(q, 2, ModeSecure)
+			inMem, err := queryRows(sys, q, 2, ModeSecure)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -284,7 +284,7 @@ func TestSaveLoadQueryEquality(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			fromDisk, err := loaded.Query(q, 2, ModeSecure)
+			fromDisk, err := queryRows(loaded, q, 2, ModeSecure)
 			if err != nil {
 				t.Fatal(err)
 			}

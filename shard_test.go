@@ -35,7 +35,7 @@ func TestShardedQueryMatchesOracle(t *testing.T) {
 			}
 			for _, q := range queries {
 				for _, mode := range []Mode{ModeBasic, ModeSecure} {
-					got, err := sys.Query(q, k, mode)
+					got, err := queryRows(sys, q, k, mode)
 					if err != nil {
 						t.Fatalf("index %v shards %d mode %v: %v", index, shards, mode, err)
 					}
@@ -139,7 +139,7 @@ func TestShardedMutationRouting(t *testing.T) {
 	for _, row := range mirror {
 		liveRows = append(liveRows, row)
 	}
-	got, err := sys.Query([]uint64{7, 7}, 3, ModeSecure)
+	got, err := queryRows(sys, []uint64{7, 7}, 3, ModeSecure)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +181,7 @@ func TestShardedCompactionIsolation(t *testing.T) {
 			liveRows = append(liveRows, row)
 		}
 	}
-	got, err := sys.Query([]uint64{3, 12}, 2, ModeSecure)
+	got, err := queryRows(sys, []uint64{3, 12}, 2, ModeSecure)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +235,7 @@ func TestShardedConcurrentMutationsAndQueries(t *testing.T) {
 	// net table identical between its insert/delete pairs, but a query
 	// may open between them).
 	for i := 0; i < 4; i++ {
-		rows, err := sys.Query([]uint64{2, 11}, k, ModeSecure)
+		rows, err := queryRows(sys, []uint64{2, 11}, k, ModeSecure)
 		if err != nil {
 			t.Fatalf("query under churn: %v", err)
 		}
@@ -247,7 +247,7 @@ func TestShardedConcurrentMutationsAndQueries(t *testing.T) {
 	wg.Wait()
 
 	// Quiesced: answers are exact again.
-	got, err := sys.Query([]uint64{2, 11}, k, ModeSecure)
+	got, err := queryRows(sys, []uint64{2, 11}, k, ModeSecure)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,7 +272,7 @@ func TestShardedSaveLoadEquality(t *testing.T) {
 	}
 	defer sys.Close()
 	q := tbl.Rows[7]
-	want, err := sys.Query(q, k, ModeSecure)
+	want, err := queryRows(sys, q, k, ModeSecure)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +290,7 @@ func TestShardedSaveLoadEquality(t *testing.T) {
 		if err != nil {
 			t.Fatalf("load at %d shards: %v", shards, err)
 		}
-		got, err := loaded.Query(q, k, ModeSecure)
+		got, err := queryRows(loaded, q, k, ModeSecure)
 		if err != nil {
 			t.Fatalf("query at %d shards: %v", shards, err)
 		}
@@ -328,7 +328,7 @@ func TestShardedSaveLoadEquality(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer loaded.Close()
-	got, err := loaded.Query(q, k, ModeSecure)
+	got, err := queryRows(loaded, q, k, ModeSecure)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -85,12 +85,12 @@ type (
 	SecureMetrics = core.SecureMetrics
 )
 
-// QueryMetrics is the per-query phase breakdown attached to one
-// QueryBatchMetered entry (and the shared shape behind the single-query
-// metered calls). Basic is set for ModeBasic queries, Secure for
-// ModeSecure; on a sharded system Secure is additionally set for
-// ModeBasic, carrying the coordinator's aggregate (scatter/merge split,
-// summed shard counters, merge traffic).
+// QueryMetrics is the per-query phase breakdown attached to every
+// Result (unless the query ran WithoutMetrics). Basic is set for
+// ModeBasic queries, Secure for ModeSecure; on a sharded system Secure
+// is additionally set for ModeBasic, carrying the coordinator's
+// aggregate (scatter/merge split, summed shard counters, merge
+// traffic).
 type QueryMetrics struct {
 	Basic  *BasicMetrics
 	Secure *SecureMetrics
@@ -210,6 +210,8 @@ func (l *lockedReader) Read(p []byte) (int, error) {
 // QueryBatch calls may be in flight at once. Each query runs in its own
 // session multiplexed over the Workers connections to C2, so concurrent
 // queries share the pool instead of serializing behind a global lock.
+// Every query takes a context.Context; canceling it aborts the query
+// within one protocol round and releases its pooled links (see Query).
 //
 // With Config.Shards > 1 the table is partitioned across independent
 // shard workers and every query runs scatter-gather: shard-local secure
@@ -225,6 +227,7 @@ type System struct {
 	domainBits  int
 	attrBits    int // per-attribute domain, bounds Insert values
 	m           int
+	featureM    int // distance-relevant prefix; queries carry this many attributes
 	perQuery    int
 	index       IndexMode
 	cfgClusters int     // requested cluster count (0 = ⌈√n⌉), reused by Compact rebuilds
@@ -369,6 +372,7 @@ func assemble(sk *paillier.PrivateKey, encTable *core.EncryptedTable, attrBits, 
 		domainBits:  domainBits,
 		attrBits:    attrBits,
 		m:           encTable.M(),
+		featureM:    encTable.FeatureM(),
 		perQuery:    cfg.PerQueryWorkers,
 		index:       index,
 		cfgClusters: cfg.Clusters,
@@ -520,11 +524,10 @@ func (s *System) Clusters() int {
 	return c
 }
 
-// coverageTarget is the candidate-pool floor for a pruned query:
-// max(k, ⌈Coverage·k⌉).
-func (s *System) coverageTarget(k int) int {
-	return core.CoverageTarget(s.coverage, k)
-}
+// FeatureM returns how many leading attributes participate in distance
+// computation — the dimension a query vector must have (equal to M
+// unless Config.FeatureColumns narrowed it).
+func (s *System) FeatureM() int { return s.featureM }
 
 // CommStats reports cumulative C1↔C2 traffic over every link pool
 // (shard workers and coordinator included).
@@ -552,167 +555,6 @@ func (s *System) begin() error {
 }
 
 func (s *System) end() { s.inflight.Done() }
-
-// runMetered answers one query inside a session spanning width
-// connections (unsharded) or through the scatter-gather coordinator
-// (sharded), returning the rows and the mode-matched metrics.
-func (s *System) runMetered(q []uint64, k int, mode Mode, width int) ([][]uint64, *QueryMetrics, error) {
-	eq, err := s.client.EncryptQuery(q)
-	if err != nil {
-		return nil, nil, err
-	}
-	var (
-		res *core.MaskedResult
-		qm  = &QueryMetrics{}
-	)
-	switch mode {
-	case ModeBasic, ModeSecure:
-	default:
-		return nil, nil, fmt.Errorf("sknn: unknown mode %d", int(mode))
-	}
-	if s.coord != nil {
-		var sm *SecureMetrics
-		if mode == ModeBasic {
-			res, sm, err = s.coord.BasicQueryMetered(eq, k)
-			if err == nil {
-				qm.Basic = &BasicMetrics{Total: sm.Total, Distance: sm.Distance, Comm: sm.Comm}
-			}
-		} else {
-			target := 0
-			if s.index == IndexClustered {
-				target = s.coverageTarget(k)
-			}
-			res, sm, err = s.coord.SecureQueryMetered(eq, k, s.domainBits, target)
-		}
-		qm.Secure = sm
-	} else {
-		sess, serr := s.c1.NewSession(width)
-		if serr != nil {
-			return nil, nil, serr
-		}
-		defer sess.Close()
-		switch mode {
-		case ModeBasic:
-			res, qm.Basic, err = sess.BasicQueryMetered(eq, k)
-		case ModeSecure:
-			if s.index == IndexClustered {
-				res, qm.Secure, err = sess.SecureQueryClusteredMetered(eq, k, s.domainBits, s.coverageTarget(k))
-			} else {
-				res, qm.Secure, err = sess.SecureQueryMetered(eq, k, s.domainBits)
-			}
-		}
-	}
-	if err != nil {
-		return nil, nil, err
-	}
-	rows, err := s.client.Unmask(res)
-	return rows, qm, err
-}
-
-// Query runs a k-nearest-neighbor query end-to-end: Bob encrypts q, the
-// clouds execute the selected protocol, and Bob unmasks and returns the
-// k closest records (each a full attribute row). Concurrent calls are
-// multiplexed over the connection pool.
-func (s *System) Query(q []uint64, k int, mode Mode) ([][]uint64, error) {
-	if err := s.begin(); err != nil {
-		return nil, err
-	}
-	defer s.end()
-	rows, _, err := s.runMetered(q, k, mode, s.perQuery)
-	return rows, err
-}
-
-// QueryBatch answers len(queries) k-nearest-neighbor queries
-// concurrently over the shared connection pool and returns the result
-// rows in query order. Each query runs in its own protocol session;
-// with b queries over w Workers the scheduler gives each session
-// ⌊w/b⌋ connections (at least one), so batches trade single-query
-// latency for aggregate throughput. Config.PerQueryWorkers, when set,
-// overrides that width. On failure the result slice holds nil for
-// every failed query and the error is the errors.Join of all per-query
-// failures, so callers can tell which queries failed and why
-// (errors.Is/As see through the join).
-func (s *System) QueryBatch(queries [][]uint64, k int, mode Mode) ([][][]uint64, error) {
-	rows, _, err := s.QueryBatchMetered(queries, k, mode)
-	return rows, err
-}
-
-// QueryBatchMetered is QueryBatch plus a per-query phase breakdown —
-// candidates scanned, SMIN invocations, traffic, scatter/merge split on
-// a sharded system — so batch harnesses and the bench report per-query
-// cost instead of discarding it. metrics[i] is nil exactly when
-// queries[i] failed.
-func (s *System) QueryBatchMetered(queries [][]uint64, k int, mode Mode) ([][][]uint64, []*QueryMetrics, error) {
-	if len(queries) == 0 {
-		return nil, nil, nil
-	}
-	if err := s.begin(); err != nil {
-		return nil, nil, err
-	}
-	defer s.end()
-
-	width := s.perQuery
-	if width == 0 {
-		width = s.Workers() / len(queries)
-		if width < 1 {
-			width = 1
-		}
-	}
-	// Bound in-flight sessions: more than 2× the pool size only piles
-	// queued frames onto the links without adding throughput.
-	maxInflight := 2 * s.Workers()
-	if maxInflight > len(queries) {
-		maxInflight = len(queries)
-	}
-	sem := make(chan struct{}, maxInflight)
-	results := make([][][]uint64, len(queries))
-	metrics := make([]*QueryMetrics, len(queries))
-	errs := make([]error, len(queries))
-	var wg sync.WaitGroup
-	for i, q := range queries {
-		wg.Add(1)
-		go func(i int, q []uint64) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i], metrics[i], errs[i] = s.runMetered(q, k, mode, width)
-		}(i, q)
-	}
-	wg.Wait()
-	if err := errors.Join(errs...); err != nil {
-		return results, metrics, err
-	}
-	return results, metrics, nil
-}
-
-// QueryBasicMetered runs SkNNb and returns the phase breakdown.
-func (s *System) QueryBasicMetered(q []uint64, k int) ([][]uint64, *BasicMetrics, error) {
-	if err := s.begin(); err != nil {
-		return nil, nil, err
-	}
-	defer s.end()
-	rows, qm, err := s.runMetered(q, k, ModeBasic, s.perQuery)
-	if err != nil {
-		return nil, nil, err
-	}
-	return rows, qm.Basic, nil
-}
-
-// QuerySecureMetered runs SkNNm and returns the phase breakdown. With
-// IndexClustered configured it runs the pruned variant, and the metrics
-// report the pruning (Candidates, ClustersProbed, SMINCount); on a
-// sharded system they aggregate every shard scan plus the merge.
-func (s *System) QuerySecureMetered(q []uint64, k int) ([][]uint64, *SecureMetrics, error) {
-	if err := s.begin(); err != nil {
-		return nil, nil, err
-	}
-	defer s.end()
-	rows, qm, err := s.runMetered(q, k, ModeSecure, s.perQuery)
-	if err != nil {
-		return nil, nil, err
-	}
-	return rows, qm.Secure, nil
-}
 
 // Close shuts down the federated cloud: new queries are refused with
 // ErrClosed, in-flight queries are drained to completion (not dropped),

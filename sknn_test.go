@@ -39,7 +39,7 @@ func TestSystemBasicQuery(t *testing.T) {
 	tbl, _ := dataset.Generate(101, 20, 3, 4)
 	sys := newTestSystem(t, tbl.Rows, 4, 1)
 	q, _ := dataset.GenerateQuery(102, 3, 4)
-	got, err := sys.Query(q, 3, ModeBasic)
+	got, err := queryRows(sys, q, 3, ModeBasic)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +57,7 @@ func TestSystemSecureQuery(t *testing.T) {
 	tbl, _ := dataset.Generate(111, 8, 2, 3)
 	sys := newTestSystem(t, tbl.Rows, 3, 1)
 	q, _ := dataset.GenerateQuery(112, 2, 3)
-	got, err := sys.Query(q, 2, ModeSecure)
+	got, err := queryRows(sys, q, 2, ModeSecure)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,13 +128,13 @@ func TestSystemValidation(t *testing.T) {
 	tbl, _ := dataset.Generate(141, 4, 2, 3)
 	sys := newTestSystem(t, tbl.Rows, 3, 1)
 	q, _ := dataset.GenerateQuery(142, 2, 3)
-	if _, err := sys.Query(q, 0, ModeBasic); err == nil {
+	if _, err := queryRows(sys, q, 0, ModeBasic); err == nil {
 		t.Error("k=0 accepted")
 	}
-	if _, err := sys.Query(q, 1, Mode(42)); err == nil {
+	if _, err := queryRows(sys, q, 1, Mode(42)); err == nil {
 		t.Error("unknown mode accepted")
 	}
-	if _, err := sys.Query([]uint64{1}, 1, ModeBasic); err == nil {
+	if _, err := queryRows(sys, []uint64{1}, 1, ModeBasic); err == nil {
 		t.Error("wrong-dimension query accepted")
 	}
 }
@@ -152,7 +152,7 @@ func TestSystemFeatureColumns(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer sys.Close()
-	got, err := sys.Query([]uint64{0, 0}, 1, ModeSecure)
+	got, err := queryRows(sys, []uint64{0, 0}, 1, ModeSecure)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +181,7 @@ func TestSystemClose(t *testing.T) {
 		t.Errorf("second Close: %v", err)
 	}
 	q, _ := dataset.GenerateQuery(152, 2, 3)
-	if _, err := sys.Query(q, 1, ModeBasic); !errors.Is(err, ErrClosed) {
+	if _, err := queryRows(sys, q, 1, ModeBasic); !errors.Is(err, ErrClosed) {
 		t.Errorf("query after close = %v, want ErrClosed", err)
 	}
 	if _, _, err := sys.QueryBasicMetered(q, 1); !errors.Is(err, ErrClosed) {
@@ -200,7 +200,7 @@ func TestSystemNoncePool(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer sys.Close()
-	got, err := sys.Query(q, 2, ModeSecure)
+	got, err := queryRows(sys, q, 2, ModeSecure)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +221,7 @@ func TestSystemNoncePool(t *testing.T) {
 // distances of the returned records to q (feature prefix fq).
 func queryDistances(t *testing.T, sys *System, q []uint64, k int, mode Mode) []uint64 {
 	t.Helper()
-	got, err := sys.Query(q, k, mode)
+	got, err := queryRows(sys, q, k, mode)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -334,7 +334,7 @@ func TestQueryBatchJoinsAllErrors(t *testing.T) {
 		{3, 4},    // fine
 		{9},       // wrong dimension too
 	}
-	results, err := sys.QueryBatch(queries, 1, ModeBasic)
+	results, err := queryBatchRows(sys, queries, 1, ModeBasic)
 	if err == nil {
 		t.Fatal("mixed batch returned no error")
 	}
@@ -358,11 +358,11 @@ func TestSystemParallelMatchesSerial(t *testing.T) {
 	q, _ := dataset.GenerateQuery(162, 2, 4)
 	serial := newTestSystem(t, tbl.Rows, 4, 1)
 	parallel := newTestSystem(t, tbl.Rows, 4, 3)
-	a, err := serial.Query(q, 4, ModeBasic)
+	a, err := queryRows(serial, q, 4, ModeBasic)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := parallel.Query(q, 4, ModeBasic)
+	b, err := queryRows(parallel, q, 4, ModeBasic)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,30 @@
+package sknn
+
+import "context"
+
+// queryRows drives the v2 Query API in the v1 call shape — rows only,
+// no deadline — so the pre-existing suites keep their assertions while
+// exercising the one query path everything now funnels through.
+func queryRows(s *System, q []uint64, k int, mode Mode) ([][]uint64, error) {
+	res, err := s.Query(context.Background(), q, WithK(k), WithMode(mode))
+	if err != nil {
+		return nil, err
+	}
+	return res.Rows, nil
+}
+
+// queryBatchRows is queryRows for batches: results[i] is nil exactly
+// when queries[i] failed, like the v1 QueryBatch.
+func queryBatchRows(s *System, queries [][]uint64, k int, mode Mode) ([][][]uint64, error) {
+	results, err := s.QueryBatch(context.Background(), queries, WithK(k), WithMode(mode))
+	if results == nil {
+		return nil, err
+	}
+	rows := make([][][]uint64, len(results))
+	for i, r := range results {
+		if r != nil {
+			rows[i] = r.Rows
+		}
+	}
+	return rows, err
+}
