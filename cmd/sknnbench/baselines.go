@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	//sknnlint:allow cryptorand -- fixed-seed benchmark data so baseline runs are comparable; nothing here blinds protocol values
 	mrand "math/rand"
 	"time"
 

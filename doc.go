@@ -91,6 +91,8 @@
 // over TCP.
 //
 // See README.md for the module layout and concurrency architecture,
-// docs/ARCHITECTURE.md and docs/PROTOCOLS.md for the deep dives, and
-// cmd/sknnbench for the reproduction of the paper's evaluation.
+// docs/ARCHITECTURE.md and docs/PROTOCOLS.md for the deep dives,
+// docs/INVARIANTS.md for the invariant rules the in-tree sknnlint
+// analyzer suite enforces over this codebase, and cmd/sknnbench for
+// the reproduction of the paper's evaluation.
 package sknn

@@ -14,6 +14,7 @@ package main
 import (
 	"fmt"
 	"log"
+	//sknnlint:allow cryptorand -- fixed-seed demo of the known-plaintext attack; determinism makes the walkthrough reproducible
 	mrand "math/rand"
 
 	"sknn/internal/aspe"

@@ -29,6 +29,7 @@ package aspe
 import (
 	"errors"
 	"fmt"
+	//sknnlint:allow cryptorand -- this package IS the insecure baseline: ASPE falls to the known-plaintext attack below with any rng, and determinism keeps that demonstration reproducible
 	mrand "math/rand"
 	"sort"
 

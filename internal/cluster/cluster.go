@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	//sknnlint:allow cryptorand -- seeded k-means makes index builds reproducible; cluster assignment is revealed to C1 by the protocol anyway
 	mrand "math/rand"
 )
 

@@ -50,6 +50,87 @@ type RemoteShard struct {
 	info ShardInfo
 }
 
+// Sanity caps on the shape a shard may declare about itself. The hello
+// reply sizes later allocations — M attributes per candidate record,
+// domainBits ciphertexts per secure candidate — so every field that
+// feeds a make() is bounded here, mirroring internal/store's snapshot
+// caps: a lying peer must fail with ErrBadFrame at the handshake, never
+// reach an allocation.
+const (
+	maxShardN          = 1 << 40 // records per shard (matches store's maxN)
+	maxShardM          = 1 << 12 // attributes per record (matches store's maxM)
+	maxShardCount      = 1 << 16 // shards in a topology
+	maxShardAttrBits   = 1 << 10 // per-attribute domain bits
+	maxShardDomainBits = 1 << 10 // squared-distance domain bits
+)
+
+// shardHello is the decoded handshake reply.
+type shardHello struct {
+	pk         *paillier.PublicKey
+	info       ShardInfo
+	attrBits   int
+	domainBits int
+}
+
+// encodeHello lays out the handshake reply frame.
+func encodeHello(pkN *big.Int, info ShardInfo, attrBits, domainBits int) *mpc.Message {
+	clustered := int64(0)
+	if info.Clustered {
+		clustered = 1
+	}
+	return &mpc.Message{Op: OpShardHello, Ints: []*big.Int{
+		new(big.Int).Set(pkN),
+		big.NewInt(int64(info.Index)), big.NewInt(int64(info.Count)),
+		big.NewInt(int64(info.N)), big.NewInt(int64(info.M)),
+		big.NewInt(int64(info.FeatureM)), big.NewInt(clustered),
+		big.NewInt(int64(attrBits)), big.NewInt(int64(domainBits)),
+	}}
+}
+
+// decodeHello validates and unpacks a handshake reply. Shape fields are
+// both range- and sanity-checked: they parameterize every allocation
+// the coordinator makes for this shard's candidates.
+func decodeHello(resp *mpc.Message) (shardHello, error) {
+	var h shardHello
+	if len(resp.Ints) != 9 {
+		return h, fmt.Errorf("%w: shard hello reply has %d ints, want 9", ErrBadFrame, len(resp.Ints))
+	}
+	n := resp.Ints[0]
+	if n == nil || n.Sign() <= 0 || n.BitLen() < 64 {
+		return h, fmt.Errorf("%w: implausible shard public modulus", ErrBadFrame)
+	}
+	vals := make([]int, 8)
+	for i := 1; i < 9; i++ {
+		if resp.Ints[i] == nil || !resp.Ints[i].IsInt64() {
+			return h, fmt.Errorf("%w: shard hello field %d", ErrBadFrame, i)
+		}
+		vals[i-1] = int(resp.Ints[i].Int64())
+	}
+	h.info = ShardInfo{
+		Index:     vals[0],
+		Count:     vals[1],
+		N:         vals[2],
+		M:         vals[3],
+		FeatureM:  vals[4],
+		Clustered: vals[5] != 0,
+	}
+	h.attrBits, h.domainBits = vals[6], vals[7]
+	info := h.info
+	if info.Count < 1 || info.Count > maxShardCount || info.Index < 0 || info.Index >= info.Count ||
+		info.M < 1 || info.M > maxShardM || info.FeatureM < 1 || info.FeatureM > info.M ||
+		info.N < 0 || info.N > maxShardN {
+		return h, fmt.Errorf("%w: shard hello describes index %d of %d, table %d/%d, n=%d",
+			ErrBadFrame, info.Index, info.Count, info.M, info.FeatureM, info.N)
+	}
+	if h.attrBits < 0 || h.attrBits > maxShardAttrBits ||
+		h.domainBits < 0 || h.domainBits > maxShardDomainBits {
+		return h, fmt.Errorf("%w: shard hello declares attrBits=%d domainBits=%d",
+			ErrBadFrame, h.attrBits, h.domainBits)
+	}
+	h.pk = &paillier.PublicKey{N: n, NSquared: new(big.Int).Mul(n, n)}
+	return h, nil
+}
+
 // DialShard performs the hello handshake on conn and returns the
 // remote worker as a Shard plus the public key it serves under (the
 // coordinator, holding no table of its own, learns pk from its shards).
@@ -58,35 +139,11 @@ func DialShard(conn mpc.Conn) (*RemoteShard, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: shard hello: %w", err)
 	}
-	if len(resp.Ints) != 9 {
-		return nil, fmt.Errorf("%w: shard hello reply has %d ints, want 9", ErrBadFrame, len(resp.Ints))
+	h, err := decodeHello(resp)
+	if err != nil {
+		return nil, err
 	}
-	n := resp.Ints[0]
-	if n == nil || n.Sign() <= 0 || n.BitLen() < 64 {
-		return nil, fmt.Errorf("%w: implausible shard public modulus", ErrBadFrame)
-	}
-	vals := make([]int, 8)
-	for i := 1; i < 9; i++ {
-		if !resp.Ints[i].IsInt64() {
-			return nil, fmt.Errorf("%w: shard hello field %d", ErrBadFrame, i)
-		}
-		vals[i-1] = int(resp.Ints[i].Int64())
-	}
-	info := ShardInfo{
-		Index:     vals[0],
-		Count:     vals[1],
-		N:         vals[2],
-		M:         vals[3],
-		FeatureM:  vals[4],
-		Clustered: vals[5] != 0,
-	}
-	if info.Count < 1 || info.Index < 0 || info.Index >= info.Count ||
-		info.M < 1 || info.FeatureM < 1 || info.FeatureM > info.M || info.N < 0 {
-		return nil, fmt.Errorf("%w: shard hello describes index %d of %d, table %d/%d",
-			ErrBadFrame, info.Index, info.Count, info.M, info.FeatureM)
-	}
-	pk := &paillier.PublicKey{N: n, NSquared: new(big.Int).Mul(n, n)}
-	return &RemoteShard{conn: conn, pk: pk, info: info, attrBits: vals[6], domainBits: vals[7]}, nil
+	return &RemoteShard{conn: conn, pk: h.pk, info: h.info, attrBits: h.attrBits, domainBits: h.domainBits}, nil
 }
 
 // PK returns the public key the shard's table is encrypted under.
@@ -143,70 +200,81 @@ func (r *RemoteShard) TopK(ctx context.Context, q EncryptedQuery, k, domainBits,
 	if err := ctxErr(ctx); err != nil {
 		return nil, nil, err
 	}
+	liveN, cands, metrics, err := decodeTopKReply(r.pk, r.info.M, resp, k, domainBits, secure)
+	if err != nil {
+		return nil, nil, err
+	}
+	if liveN >= 0 {
+		r.info.N = liveN
+	}
+	return cands, metrics, nil
+}
+
+// decodeTopKReply validates and unpacks a shard's top-k reply against
+// the query the coordinator actually sent: m is the shard's (already
+// bounded) record width, k and domainBits the request parameters. The
+// candidate count is bounded by k before any arithmetic on it, so a
+// lying reply fails with ErrBadFrame instead of overflowing count*per
+// or reaching a huge make().
+func decodeTopKReply(pk *paillier.PublicKey, m int, resp *mpc.Message, k, domainBits int, secure bool) (liveN int, cands []Candidate, metrics *SecureMetrics, err error) {
 	const head = 6
 	if len(resp.Ints) < head {
-		return nil, nil, fmt.Errorf("%w: shard top-k reply has %d ints", ErrBadFrame, len(resp.Ints))
+		return 0, nil, nil, fmt.Errorf("%w: shard top-k reply has %d ints", ErrBadFrame, len(resp.Ints))
 	}
 	for i := 0; i < head; i++ {
-		if !resp.Ints[i].IsInt64() {
-			return nil, nil, fmt.Errorf("%w: shard top-k header field %d", ErrBadFrame, i)
+		if resp.Ints[i] == nil || !resp.Ints[i].IsInt64() {
+			return 0, nil, nil, fmt.Errorf("%w: shard top-k header field %d", ErrBadFrame, i)
 		}
 	}
-	liveN := int(resp.Ints[0].Int64())
+	liveN = int(resp.Ints[0].Int64())
 	count := int(resp.Ints[1].Int64())
-	metrics := &SecureMetrics{
+	metrics = &SecureMetrics{
 		SMINCount:      int(resp.Ints[2].Int64()),
 		Candidates:     int(resp.Ints[3].Int64()),
 		ClustersProbed: int(resp.Ints[4].Int64()),
 	}
 	metrics.Total = time.Duration(resp.Ints[5].Int64())
-	if liveN >= 0 {
-		r.info.N = liveN
-	}
-	per := r.info.M + 2 // id + E(d) + record
+	per := m + 2 // id + E(d) + record
 	if secure {
-		per = r.info.M + domainBits // [d] bits + record
+		per = m + domainBits // [d] bits + record
 	}
-	// Bound count by the k we asked for before any arithmetic on it: a
-	// lying reply must fail with ErrBadFrame, never overflow count*per
-	// or reach a huge make().
 	if count < 0 || count > k || len(resp.Ints) != head+count*per {
-		return nil, nil, fmt.Errorf("%w: shard top-k reply: %d candidates but %d payload ints",
+		return 0, nil, nil, fmt.Errorf("%w: shard top-k reply: %d candidates but %d payload ints",
 			ErrBadFrame, count, len(resp.Ints)-head)
 	}
-	cands := make([]Candidate, count)
+	cands = make([]Candidate, count)
 	pos := head
 	for i := range cands {
 		if secure {
 			bits := make([]*paillier.Ciphertext, domainBits)
 			for g := range bits {
-				if bits[g], err = r.pk.FromRaw(resp.Ints[pos]); err != nil {
-					return nil, nil, fmt.Errorf("core: shard candidate %d bit %d: %w", i, g, err)
+				if bits[g], err = pk.FromRaw(resp.Ints[pos]); err != nil {
+					return 0, nil, nil, fmt.Errorf("core: shard candidate %d bit %d: %w", i, g, err)
 				}
 				pos++
 			}
 			cands[i].Bits = bits
 		} else {
-			if !resp.Ints[pos].IsUint64() {
-				return nil, nil, fmt.Errorf("%w: shard candidate %d record id", ErrBadFrame, i)
+			if resp.Ints[pos] == nil || !resp.Ints[pos].IsUint64() {
+				return 0, nil, nil, fmt.Errorf("%w: shard candidate %d record id", ErrBadFrame, i)
 			}
 			cands[i].ID = resp.Ints[pos].Uint64()
 			pos++
-			if cands[i].Dist, err = r.pk.FromRaw(resp.Ints[pos]); err != nil {
-				return nil, nil, fmt.Errorf("core: shard candidate %d distance: %w", i, err)
+			if cands[i].Dist, err = pk.FromRaw(resp.Ints[pos]); err != nil {
+				return 0, nil, nil, fmt.Errorf("core: shard candidate %d distance: %w", i, err)
 			}
 			pos++
 		}
-		rec := make(EncryptedRecord, r.info.M)
+		rec := make(EncryptedRecord, m)
 		for j := range rec {
-			if rec[j], err = r.pk.FromRaw(resp.Ints[pos]); err != nil {
-				return nil, nil, fmt.Errorf("core: shard candidate %d attribute %d: %w", i, j, err)
+			if rec[j], err = pk.FromRaw(resp.Ints[pos]); err != nil {
+				return 0, nil, nil, fmt.Errorf("core: shard candidate %d attribute %d: %w", i, j, err)
 			}
 			pos++
 		}
 		cands[i].Rec = rec
 	}
-	return cands, metrics, nil
+	return liveN, cands, metrics, nil
 }
 
 // ShardServer answers a coordinator's frames for one shard worker.
@@ -241,17 +309,14 @@ func (s *ShardServer) Serve(conn mpc.Conn) error { return mpc.Serve(conn, s.Mux(
 
 func (s *ShardServer) handleHello(*mpc.Message) (*mpc.Message, error) {
 	t := s.c1.Table()
-	clustered := int64(0)
-	if t.Clustered() {
-		clustered = 1
-	}
-	return &mpc.Message{Op: OpShardHello, Ints: []*big.Int{
-		new(big.Int).Set(t.PK().N),
-		big.NewInt(int64(s.index)), big.NewInt(int64(s.count)),
-		big.NewInt(int64(t.N())), big.NewInt(int64(t.M())),
-		big.NewInt(int64(t.FeatureM())), big.NewInt(clustered),
-		big.NewInt(int64(s.attrBits)), big.NewInt(int64(s.domainBits)),
-	}}, nil
+	return encodeHello(t.PK().N, ShardInfo{
+		Index:     s.index,
+		Count:     s.count,
+		N:         t.N(),
+		M:         t.M(),
+		FeatureM:  t.FeatureM(),
+		Clustered: t.Clustered(),
+	}, s.attrBits, s.domainBits), nil
 }
 
 func (s *ShardServer) handleTopK(req *mpc.Message) (*mpc.Message, error) {
@@ -288,13 +353,19 @@ func (s *ShardServer) handleTopK(req *mpc.Message) (*mpc.Message, error) {
 	if err != nil {
 		return nil, err
 	}
-	per := t.M() + 2
+	return encodeTopKReply(t.N(), t.M(), cands, metrics, secure, domainBits), nil
+}
+
+// encodeTopKReply lays out a top-k reply frame: the metrics header
+// followed by each candidate's payload.
+func encodeTopKReply(liveN, m int, cands []Candidate, metrics *SecureMetrics, secure bool, domainBits int) *mpc.Message {
+	per := m + 2
 	if secure {
-		per = t.M() + domainBits
+		per = m + domainBits
 	}
 	out := make([]*big.Int, 0, 6+len(cands)*per)
 	out = append(out,
-		big.NewInt(int64(t.N())), big.NewInt(int64(len(cands))),
+		big.NewInt(int64(liveN)), big.NewInt(int64(len(cands))),
 		big.NewInt(int64(metrics.SMINCount)), big.NewInt(int64(metrics.Candidates)),
 		big.NewInt(int64(metrics.ClustersProbed)), big.NewInt(metrics.Total.Nanoseconds()))
 	for _, c := range cands {
@@ -309,5 +380,5 @@ func (s *ShardServer) handleTopK(req *mpc.Message) (*mpc.Message, error) {
 			out = append(out, ct.Raw())
 		}
 	}
-	return &mpc.Message{Op: OpShardTopK, Ints: out}, nil
+	return &mpc.Message{Op: OpShardTopK, Ints: out}
 }

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+
+	"sknn/internal/mpc"
+)
+
+// helloReply builds a hello frame with the given shape fields, using a
+// plausible modulus.
+func helloReply(index, count, n, m, featureM, clustered, attrBits, domainBits int64) *mpc.Message {
+	mod := new(big.Int).Lsh(big.NewInt(1), 1024)
+	return &mpc.Message{Op: OpShardHello, Ints: []*big.Int{
+		mod,
+		big.NewInt(index), big.NewInt(count), big.NewInt(n), big.NewInt(m),
+		big.NewInt(featureM), big.NewInt(clustered),
+		big.NewInt(attrBits), big.NewInt(domainBits),
+	}}
+}
+
+// TestDecodeHelloBounds is the regression test for the unbounded hello:
+// shape fields feed candidate allocations, so a reply declaring an
+// absurd M, N, count, or domainBits must fail with ErrBadFrame at the
+// handshake instead of parameterizing a later make().
+func TestDecodeHelloBounds(t *testing.T) {
+	cases := []struct {
+		name string
+		msg  *mpc.Message
+	}{
+		{"huge M", helloReply(0, 1, 10, maxShardM+1, 2, 0, 32, 96)},
+		{"huge N", helloReply(0, 1, maxShardN+1, 4, 2, 0, 32, 96)},
+		{"huge count", helloReply(0, maxShardCount+1, 10, 4, 2, 0, 32, 96)},
+		{"huge attrBits", helloReply(0, 1, 10, 4, 2, 0, maxShardAttrBits+1, 96)},
+		{"huge domainBits", helloReply(0, 1, 10, 4, 2, 0, 32, maxShardDomainBits+1)},
+		{"negative attrBits", helloReply(0, 1, 10, 4, 2, 0, -1, 96)},
+		{"negative domainBits", helloReply(0, 1, 10, 4, 2, 0, 32, -1)},
+		{"featureM over M", helloReply(0, 1, 10, 4, 5, 0, 32, 96)},
+		{"index out of range", helloReply(3, 2, 10, 4, 2, 0, 32, 96)},
+		{"nil field", &mpc.Message{Op: OpShardHello, Ints: make([]*big.Int, 9)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := decodeHello(tc.msg); !errors.Is(err, ErrBadFrame) {
+				t.Fatalf("decodeHello: err = %v, want ErrBadFrame", err)
+			}
+		})
+	}
+}
+
+// TestDecodeHelloAccepts pins the valid path so the bounds stay bounds,
+// not rejections of legitimate shards.
+func TestDecodeHelloAccepts(t *testing.T) {
+	h, err := decodeHello(helloReply(1, 3, 1000, 6, 2, 1, 32, 96))
+	if err != nil {
+		t.Fatalf("decodeHello: %v", err)
+	}
+	if h.info.Index != 1 || h.info.Count != 3 || h.info.N != 1000 ||
+		h.info.M != 6 || h.info.FeatureM != 2 || !h.info.Clustered ||
+		h.attrBits != 32 || h.domainBits != 96 {
+		t.Fatalf("decodeHello = %+v", h)
+	}
+	if h.pk == nil || h.pk.NSquared.BitLen() < 2048 {
+		t.Fatal("decodeHello did not derive the public key")
+	}
+}
+
+// TestDecodeTopKReplyLyingCount: a reply claiming more candidates than
+// the k requested (or a payload length that disagrees with its own
+// count) must fail with ErrBadFrame before any candidate allocation.
+func TestDecodeTopKReplyLyingCount(t *testing.T) {
+	h, err := decodeHello(helloReply(0, 1, 10, 4, 2, 0, 32, 96))
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := []*big.Int{
+		big.NewInt(10), big.NewInt(1 << 40), // liveN, lying count
+		big.NewInt(0), big.NewInt(0), big.NewInt(0), big.NewInt(0),
+	}
+	if _, _, _, err := decodeTopKReply(h.pk, h.info.M, &mpc.Message{Op: OpShardTopK, Ints: head}, 2, 96, true); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("lying count: err = %v, want ErrBadFrame", err)
+	}
+	// Count within k but payload missing.
+	head[1] = big.NewInt(2)
+	if _, _, _, err := decodeTopKReply(h.pk, h.info.M, &mpc.Message{Op: OpShardTopK, Ints: head}, 2, 96, true); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("short payload: err = %v, want ErrBadFrame", err)
+	}
+	// Truncated header.
+	if _, _, _, err := decodeTopKReply(h.pk, h.info.M, &mpc.Message{Op: OpShardTopK, Ints: head[:3]}, 2, 96, true); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("short header: err = %v, want ErrBadFrame", err)
+	}
+}
+
+// FuzzShardFrame drives the two shard-frame decoders with adversarial
+// Ints payloads assembled from raw fuzz bytes: neither may panic, and
+// whatever decodeHello accepts must satisfy the declared bounds.
+func FuzzShardFrame(f *testing.F) {
+	ok := helloReply(1, 3, 1000, 6, 2, 1, 32, 96)
+	seed := make([]byte, 0, 64)
+	for _, v := range ok.Ints {
+		b := v.Bytes()
+		seed = append(seed, byte(len(b)))
+		seed = append(seed, b...)
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{9, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Reassemble data into a length-prefixed []*big.Int payload.
+		var ints []*big.Int
+		for len(data) > 0 && len(ints) < 64 {
+			n := int(data[0])
+			data = data[1:]
+			if n > len(data) {
+				n = len(data)
+			}
+			v := new(big.Int).SetBytes(data[:n])
+			if n > 0 && data[0] == 0 {
+				v = nil // exercise nil elements a hostile gob stream can carry
+			}
+			data = data[n:]
+			ints = append(ints, v)
+		}
+		msg := &mpc.Message{Op: OpShardHello, Ints: ints}
+		if h, err := decodeHello(msg); err == nil {
+			if h.info.M < 1 || h.info.M > maxShardM || h.info.N > maxShardN ||
+				h.info.Count > maxShardCount || h.domainBits > maxShardDomainBits {
+				t.Fatalf("decodeHello accepted out-of-bounds shape: %+v", h.info)
+			}
+			// Feed the same adversarial ints through the reply decoder
+			// under the shape it just accepted.
+			reply := &mpc.Message{Op: OpShardTopK, Ints: ints}
+			_, cands, _, err := decodeTopKReply(h.pk, h.info.M, reply, 3, h.domainBits, true)
+			if err == nil && len(cands) > 3 {
+				t.Fatalf("decodeTopKReply returned %d candidates for k=3", len(cands))
+			}
+		}
+	})
+}

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	//sknnlint:allow cryptorand -- synthetic owner-side test data generated from a caller-chosen seed; not protocol randomness
 	mrand "math/rand"
 )
 

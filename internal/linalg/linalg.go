@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	//sknnlint:allow cryptorand -- feeds the deliberately-broken ASPE baseline (see internal/aspe); the attack succeeds regardless of rng quality
 	mrand "math/rand"
 )
 

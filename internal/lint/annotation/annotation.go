@@ -1,0 +1,37 @@
+// Package annotation keeps the //sknnlint:allow escape hatch itself
+// honest: an annotation naming no rule, or naming a rule no analyzer
+// owns, is a finding. Without this check a typo ("cryptrand") would
+// silently disable the exemption it was meant to scope, and the
+// forbidden import next to it would look annotated to a reviewer while
+// the analyzer still ignores it — or worse, the reverse once the rule
+// set changes.
+package annotation
+
+import (
+	"sknn/internal/lint/allow"
+	"sknn/internal/lint/analysis"
+)
+
+// Analyzer validates //sknnlint:allow annotations.
+var Analyzer = &analysis.Analyzer{
+	Name: "annotation",
+	Doc:  "every //sknnlint:allow must name a known rule",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, a := range allow.Scan(pass.Fset, f) {
+			switch {
+			case a.Rule == "":
+				pass.Reportf(a.Pos, "%s names no rule: write %s <rule> -- <justification>", allow.Prefix, allow.Prefix)
+			case !allow.KnownRules[a.Rule]:
+				pass.Reportf(a.Pos, "%s names unknown rule %q (known: bigintalias, boundedmake, cryptorand, ctxround, wireop)", allow.Prefix, a.Rule)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package annotation_test
+
+import (
+	"testing"
+
+	"sknn/internal/lint/annotation"
+	"sknn/internal/lint/linttest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, annotation.Analyzer, "testdata/bad")
+}

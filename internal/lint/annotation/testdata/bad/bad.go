@@ -1,0 +1,14 @@
+// Package fixture exercises annotation validation: an allow comment
+// must name a rule some analyzer actually owns.
+package fixture
+
+//sknnlint:allow // want `names no rule`
+var a = 1
+
+//sknnlint:allow cryptrand -- typo in the rule name // want `unknown rule "cryptrand"`
+var b = 2
+
+//sknnlint:allow cryptorand -- a well-formed annotation is not reported here
+var c = 3
+
+var _ = a + b + c

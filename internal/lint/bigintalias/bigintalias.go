@@ -1,0 +1,199 @@
+// Package bigintalias enforces the aliasing contract on shared big.Int
+// values: ciphertexts and wire messages hand out *big.Int pointers that
+// other goroutines and the table itself still hold, so mutating one in
+// place (c.Add(c, x), v.SetBytes(...)) corrupts state at a distance.
+// The contract is written at both sources — paillier.Ciphertext
+// ("treat the returned value as read-only") and mpc.Message.Ints
+// ("Receivers must treat elements as read-only") — and this analyzer
+// makes it mechanical.
+//
+// A finding is a call to a mutating big.Int method (Set*, Add, Sub,
+// Mul, Mod, Exp, ... — anything that writes through the receiver)
+// whose receiver provenance traces to protected storage:
+//
+//   - a field selected from a value whose type is named Ciphertext;
+//   - an element of the Ints field of a value whose type is named
+//     Message (indexed, or a range variable over it);
+//   - a variable previously bound from either of the above.
+//
+// Fresh allocation is the sanctioned idiom: new(big.Int).Add(a, b)
+// reads a and b without writing either. Matching is by local type name
+// so fixture packages stay self-contained.
+package bigintalias
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sknn/internal/lint/allow"
+	"sknn/internal/lint/analysis"
+)
+
+// Analyzer is the big.Int aliasing checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "bigintalias",
+	Doc:  "big.Int values owned by Ciphertexts or wire Messages must not be mutated in place",
+	Run:  run,
+}
+
+// mutators is the set of big.Int methods that write through the
+// receiver. Everything in math/big that modifies z.
+var mutators = map[string]bool{
+	"Abs": true, "Add": true, "And": true, "AndNot": true, "Binomial": true,
+	"Div": true, "DivMod": true, "Exp": true, "ExpMod": true, "GCD": true,
+	"Lsh": true, "Mod": true, "ModInverse": true, "ModSqrt": true,
+	"Mul": true, "MulRange": true, "Neg": true, "Not": true, "Or": true,
+	"Quo": true, "QuoRem": true, "Rand": true, "Rem": true, "Rsh": true,
+	"Scan": true, "Set": true, "SetBit": true, "SetBits": true,
+	"SetBytes": true, "SetInt64": true, "SetString": true, "SetUint64": true,
+	"Sqrt": true, "Sub": true, "UnmarshalJSON": true, "UnmarshalText": true,
+	"Xor": true, "GobDecode": true,
+}
+
+// protectedOwners are the local type names whose big.Int contents are
+// shared, read-only storage.
+var protectedOwners = map[string]bool{
+	"Ciphertext": true,
+	"Message":    true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, f, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, file *ast.File, fn *ast.FuncDecl) {
+	// protected tracks local variables bound from protected storage.
+	protected := make(map[types.Object]string)
+
+	// Seed: range variables over a protected []*big.Int (for _, v :=
+	// range msg.Ints) and assignment bindings (v := msg.Ints[i],
+	// c := ct.c) are collected in a first sweep; source order is good
+	// enough because a finding only needs the binding to exist.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.RangeStmt:
+			if src, ok := protectedSource(pass, s.X); ok {
+				if id, ok := s.Value.(*ast.Ident); ok && id.Name != "_" {
+					if obj := pass.TypesInfo.Defs[id]; obj != nil {
+						protected[obj] = src
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				if i >= len(s.Lhs) {
+					break
+				}
+				src, ok := protectedSource(pass, rhs)
+				if !ok {
+					continue
+				}
+				id, isIdent := s.Lhs[i].(*ast.Ident)
+				if !isIdent || id.Name == "_" {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				if obj != nil {
+					protected[obj] = src
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !mutators[sel.Sel.Name] {
+			return true
+		}
+		if !isBigInt(pass.TypesInfo.TypeOf(sel.X)) {
+			return true
+		}
+		src, prot := protectedSource(pass, sel.X)
+		if !prot {
+			if id, ok := unwrap(sel.X).(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					src, prot = protected[obj], protected[obj] != ""
+				}
+			}
+		}
+		if !prot {
+			return true
+		}
+		if _, ok := allow.Covering(pass.Fset, file, fn, call.Pos(), "bigintalias"); ok {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"%s mutates a big.Int owned by a %s in place; these values are shared read-only — allocate with new(big.Int) and write there instead",
+			sel.Sel.Name, src)
+		return true
+	})
+}
+
+// protectedSource reports whether e denotes protected big.Int storage
+// and names the owner type for the diagnostic.
+func protectedSource(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	switch x := unwrap(e).(type) {
+	case *ast.SelectorExpr:
+		// ct.c / msg.Ints — field on a protected owner.
+		if name := ownerName(pass, x.X); name != "" {
+			return name, true
+		}
+	case *ast.IndexExpr:
+		// msg.Ints[i] — element of a protected slice field.
+		if sel, ok := unwrap(x.X).(*ast.SelectorExpr); ok {
+			if name := ownerName(pass, sel.X); name != "" {
+				return name, true
+			}
+		}
+	}
+	return "", false
+}
+
+// ownerName returns the protected owner's type name if e has one.
+func ownerName(pass *analysis.Pass, e ast.Expr) string {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return ""
+	}
+	name := analysis.LocalTypeName(t)
+	if protectedOwners[name] {
+		return name
+	}
+	return ""
+}
+
+// isBigInt reports whether t is *math/big.Int or math/big.Int.
+func isBigInt(t types.Type) bool {
+	return t != nil && analysis.TypeName(t) == "math/big.Int"
+}
+
+// unwrap strips parens.
+func unwrap(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

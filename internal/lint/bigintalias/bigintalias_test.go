@@ -1,0 +1,12 @@
+package bigintalias_test
+
+import (
+	"testing"
+
+	"sknn/internal/lint/bigintalias"
+	"sknn/internal/lint/linttest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, bigintalias.Analyzer, "testdata/alias")
+}

@@ -1,0 +1,58 @@
+// Package fixture exercises the bigintalias analyzer: big.Int values
+// owned by a Ciphertext or a wire Message are shared read-only storage.
+package fixture
+
+import "math/big"
+
+// Ciphertext mirrors paillier.Ciphertext's shape.
+type Ciphertext struct {
+	c *big.Int
+}
+
+// Message mirrors mpc.Message's shape.
+type Message struct {
+	Ints []*big.Int
+}
+
+var one = big.NewInt(1)
+
+// mutateField writes through a ciphertext's payload in place.
+func mutateField(ct *Ciphertext, x *big.Int) {
+	ct.c.Add(ct.c, x) // want `Add mutates a big.Int owned by a Ciphertext`
+}
+
+// mutateElement writes through a wire message element.
+func mutateElement(msg *Message) {
+	msg.Ints[0].SetInt64(7) // want `SetInt64 mutates a big.Int owned by a Message`
+}
+
+// mutateRange writes through a range variable over message elements.
+func mutateRange(msg *Message) {
+	for _, v := range msg.Ints {
+		v.Add(v, one) // want `Add mutates a big.Int owned by a Message`
+	}
+}
+
+// mutateBinding writes through a local alias of an element.
+func mutateBinding(msg *Message, m *big.Int) {
+	w := msg.Ints[1]
+	w.Mod(w, m) // want `Mod mutates a big.Int owned by a Message`
+}
+
+// freshResult is the sanctioned idiom: read shared values, write into a
+// new allocation.
+func freshResult(ct *Ciphertext, x *big.Int) *big.Int {
+	return new(big.Int).Add(ct.c, x)
+}
+
+// readOnly methods on shared values are fine.
+func readOnly(ct *Ciphertext, x *big.Int) int {
+	return ct.c.Cmp(x)
+}
+
+// allowed opts out with an annotated justification.
+//
+//sknnlint:allow bigintalias -- builder owns this ciphertext until Freeze returns it
+func allowed(ct *Ciphertext) {
+	ct.c.SetInt64(0)
+}

@@ -1,0 +1,12 @@
+package boundedmake_test
+
+import (
+	"testing"
+
+	"sknn/internal/lint/boundedmake"
+	"sknn/internal/lint/linttest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, boundedmake.Analyzer, "testdata/decode")
+}

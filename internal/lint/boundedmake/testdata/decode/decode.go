@@ -1,0 +1,78 @@
+// Package fixture exercises the boundedmake analyzer: wire-read
+// lengths must be bound-checked before they size an allocation.
+package fixture
+
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) uvarint() uint64             { return 0 }
+func (r *reader) u32() uint64                 { return 0 }
+func (r *reader) readUint32() (uint64, error) { return 0, nil }
+
+const maxLen = 1 << 12
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// unbounded allocates straight from the wire length.
+func unbounded(r *reader) []byte {
+	n := r.uvarint()
+	return make([]byte, n) // want `without a dominating bound check`
+}
+
+// inline feeds a length read directly into make.
+func inline(r *reader) []byte {
+	return make([]byte, r.u32()) // want `u32\(\) inline`
+}
+
+// propagated taints the derived size, not just the raw read.
+func propagated(r *reader) []int {
+	n := r.uvarint()
+	total := int(n) * 8
+	return make([]int, total) // want `without a dominating bound check`
+}
+
+// checked is the sanctioned idiom: error, then bound, then allocate.
+func checked(r *reader) []byte {
+	n, err := r.readUint32()
+	if err != nil {
+		return nil
+	}
+	if n > maxLen {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// clamped bounds the size by construction instead of by branch.
+func clamped(r *reader) []byte {
+	n := r.uvarint()
+	return make([]byte, 0, minInt(int(n), maxLen))
+}
+
+// loopBound accepts a for-condition comparison as the check.
+func loopBound(r *reader) []byte {
+	n := r.uvarint()
+	for n > maxLen {
+		n /= 2
+	}
+	return make([]byte, n)
+}
+
+// allowed opts out with an annotated justification.
+func allowed(r *reader) []byte {
+	n := r.uvarint()
+	//sknnlint:allow boundedmake -- trusted local snapshot header, size pre-validated by caller
+	return make([]byte, n)
+}
+
+// fixedSize never touches a wire length and is not a finding.
+func fixedSize(r *reader) []byte {
+	return make([]byte, len(r.buf))
+}

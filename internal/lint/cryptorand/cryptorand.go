@@ -1,0 +1,72 @@
+// Package cryptorand enforces the protocol stack's randomness
+// invariant: blinding factors, permutations, masks, and nonces must be
+// unpredictable to the adversary, so shipped code must draw from
+// crypto/rand — a math/rand import anywhere in a non-test file is a
+// finding.
+//
+// The paper's simulation argument (Section 4) collapses if any blinding
+// value is predictable: C2 sees β = r·(dmin−dᵢ) and learns the real
+// distance the moment r can be guessed. Owner-side tooling that
+// legitimately wants deterministic data (dataset generators, benchmark
+// baselines, attack simulations) opts out per import with
+//
+//	//sknnlint:allow cryptorand -- <why this randomness is not secret>
+//
+// and the analyzer verifies the justification is present.
+package cryptorand
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+
+	"sknn/internal/lint/allow"
+	"sknn/internal/lint/analysis"
+)
+
+// Analyzer is the cryptorand invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "cryptorand",
+	Doc:  "protocol randomness must come from crypto/rand; math/rand needs a justified //sknnlint:allow annotation",
+	Run:  run,
+}
+
+// forbidden are the predictable-randomness packages.
+var forbidden = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.IMPORT {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				imp := spec.(*ast.ImportSpec)
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil || !forbidden[path] {
+					continue
+				}
+				a, ok := allow.ForImport(pass.Fset, gd, imp, "cryptorand")
+				if !ok {
+					pass.Reportf(imp.Pos(),
+						"import of %s: protocol randomness must come from crypto/rand (annotate the import with %s cryptorand -- <why> if this is owner-side data generation)",
+						path, allow.Prefix)
+					continue
+				}
+				if a.Justification == "" {
+					pass.Reportf(a.Pos,
+						"%s cryptorand annotation lacks a justification: write %s cryptorand -- <why this randomness is not security-relevant>",
+						allow.Prefix, allow.Prefix)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package cryptorand_test
+
+import (
+	"testing"
+
+	"sknn/internal/lint/cryptorand"
+	"sknn/internal/lint/linttest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, cryptorand.Analyzer, "testdata/bad", "testdata/allowed")
+}

@@ -1,0 +1,17 @@
+// Package fixture exercises the annotation escape hatch: a justified
+// annotation silences the finding, an unjustified one is itself a
+// finding.
+package fixture
+
+import (
+	//sknnlint:allow cryptorand -- deterministic fixture data for benchmarks, not protocol randomness
+	mrand "math/rand"
+
+	//sknnlint:allow cryptorand // want `annotation lacks a justification`
+	mrandv2 "math/rand/v2"
+)
+
+var (
+	_ = mrand.Int
+	_ = mrandv2.Int64
+)

@@ -1,0 +1,15 @@
+// Package fixture exercises the cryptorand analyzer's findings: any
+// math/rand import in a non-test file without an annotation.
+package fixture
+
+import (
+	crand "crypto/rand"
+	"math/rand"            // want `import of math/rand: protocol randomness must come from crypto/rand`
+	mrandv2 "math/rand/v2" // want `import of math/rand/v2: protocol randomness must come from crypto/rand`
+)
+
+var (
+	_ = crand.Reader
+	_ = rand.Int
+	_ = mrandv2.Int64
+)

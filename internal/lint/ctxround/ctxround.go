@@ -1,0 +1,191 @@
+// Package ctxround enforces the cancellation contract the v2 query API
+// established (PR 5, docs/API.md): a multi-round protocol loop must
+// observe its query context between rounds, so a canceled query stops
+// scheduling work within one round instead of finishing the scan it
+// started.
+//
+// The rule: inside a function that has a context available — a
+// context.Context parameter, or a receiver whose struct carries a
+// context.Context field (the QuerySession/sessionConn shape) — every
+// for/range loop that drives wire rounds (calls to Send, Recv,
+// RoundTrip, or roundTrip outside nested function literals) must also
+// contain a cancellation check: a ctx.Err() call, a ctxErr() helper
+// call, or a <-ctx.Done() receive.
+//
+// Functions with no reachable context are exempt on purpose: the smc
+// primitives and the mpc serve loops run unbound by design, with
+// cancellation enforced one layer down by the session stream's Send and
+// Recv (internal/mpc/session.go). The analyzer encodes exactly the
+// layering docs/API.md promises.
+package ctxround
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sknn/internal/lint/allow"
+	"sknn/internal/lint/analysis"
+)
+
+// Analyzer is the cancellation-contract checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxround",
+	Doc:  "protocol loops over Send/Recv rounds must check the query context between rounds",
+	Run:  run,
+}
+
+// roundCalls are the method and function names that advance a protocol
+// round on the wire.
+var roundCalls = map[string]bool{
+	"Send":      true,
+	"Recv":      true,
+	"RoundTrip": true,
+	"roundTrip": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !hasContext(pass, fn) {
+				continue
+			}
+			checkLoops(pass, f, fn, fn.Body)
+		}
+	}
+	return nil
+}
+
+// hasContext reports whether fn can reach a context: a parameter of
+// type context.Context, or a receiver whose struct holds one.
+func hasContext(pass *analysis.Pass, fn *ast.FuncDecl) bool {
+	if fn.Type.Params != nil {
+		for _, field := range fn.Type.Params.List {
+			if isContextType(pass.TypesInfo.TypeOf(field.Type)) {
+				return true
+			}
+		}
+	}
+	if fn.Recv != nil {
+		for _, field := range fn.Recv.List {
+			t := pass.TypesInfo.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if ptr, ok := t.(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			st, ok := t.Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if isContextType(st.Field(i).Type()) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	return t != nil && analysis.TypeName(t) == "context.Context"
+}
+
+// checkLoops walks every for/range statement under n and reports round
+// loops lacking a cancellation check.
+func checkLoops(pass *analysis.Pass, file *ast.File, fn *ast.FuncDecl, n ast.Node) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		var body *ast.BlockStmt
+		switch loop := node.(type) {
+		case *ast.ForStmt:
+			body = loop.Body
+		case *ast.RangeStmt:
+			body = loop.Body
+		default:
+			return true
+		}
+		if !drivesRounds(body) {
+			return true
+		}
+		if hasCancellationCheck(pass, body) {
+			return true
+		}
+		if _, ok := allow.Covering(pass.Fset, file, fn, node.Pos(), "ctxround"); ok {
+			return true
+		}
+		pass.Reportf(node.Pos(),
+			"loop drives protocol rounds (Send/Recv/RoundTrip) without checking the query context; call ctx.Err()/ctxErr() between rounds so a canceled query aborts within one round")
+		return true
+	})
+}
+
+// drivesRounds reports whether the loop body directly (outside nested
+// function literals, whose scheduling is the worker pool's concern)
+// calls a wire-round function.
+func drivesRounds(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			if roundCalls[fun.Sel.Name] {
+				found = true
+			}
+		case *ast.Ident:
+			if roundCalls[fun.Name] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// hasCancellationCheck reports whether the loop body contains any of
+// the accepted between-round checks.
+func hasCancellationCheck(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			switch fun := e.Fun.(type) {
+			case *ast.SelectorExpr:
+				// ctx.Err() on a context value, or a ctxErr helper.
+				if fun.Sel.Name == "Err" && isContextType(pass.TypesInfo.TypeOf(fun.X)) {
+					found = true
+				}
+				if fun.Sel.Name == "ctxErr" || fun.Sel.Name == "CtxErr" {
+					found = true
+				}
+			case *ast.Ident:
+				if fun.Name == "ctxErr" || fun.Name == "CtxErr" {
+					found = true
+				}
+			}
+		case *ast.UnaryExpr:
+			// <-ctx.Done() (typically inside a select).
+			if call, ok := e.X.(*ast.CallExpr); ok {
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok &&
+					sel.Sel.Name == "Done" && isContextType(pass.TypesInfo.TypeOf(sel.X)) {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

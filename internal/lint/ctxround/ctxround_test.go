@@ -1,0 +1,12 @@
+package ctxround_test
+
+import (
+	"testing"
+
+	"sknn/internal/lint/ctxround"
+	"sknn/internal/lint/linttest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, ctxround.Analyzer, "testdata/loops")
+}

@@ -1,0 +1,116 @@
+// Package fixture exercises the ctxround analyzer: loops that drive
+// wire rounds must check the query context when one is reachable.
+package fixture
+
+import "context"
+
+type conn struct{}
+
+func (conn) Send(v int) error             { return nil }
+func (conn) Recv() (int, error)           { return 0, nil }
+func (conn) RoundTrip(v int) (int, error) { return v, nil }
+
+type session struct {
+	ctx context.Context
+	c   conn
+}
+
+func (s *session) ctxErr() error { return s.ctx.Err() }
+
+// unchecked has a context parameter and loops over rounds without
+// looking at it.
+func unchecked(ctx context.Context, c conn) error {
+	for i := 0; i < 8; i++ { // want `without checking the query context`
+		if err := c.Send(i); err != nil {
+			return err
+		}
+	}
+	_ = ctx
+	return nil
+}
+
+// checked observes ctx.Err() between rounds.
+func checked(ctx context.Context, c conn) error {
+	for i := 0; i < 8; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if _, err := c.RoundTrip(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// method loops over rounds; the receiver carries the context, so the
+// contract applies even with no ctx parameter.
+func (s *session) method(vals []int) error {
+	for _, v := range vals { // want `without checking the query context`
+		if err := s.c.Send(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// methodChecked satisfies the contract through the ctxErr helper.
+func (s *session) methodChecked(vals []int) error {
+	for _, v := range vals {
+		if err := s.ctxErr(); err != nil {
+			return err
+		}
+		if err := s.c.Send(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// selecting satisfies the contract with a Done receive.
+func selecting(ctx context.Context, c conn, in <-chan int) error {
+	for v := range in {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		if err := c.Send(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// noContext has no context anywhere in scope; cancellation is the
+// caller's job and the loop is exempt.
+func noContext(c conn, vals []int) error {
+	for _, v := range vals {
+		if err := c.Send(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// spawning only touches the wire inside a function literal the loop
+// hands elsewhere; the literal's scheduling is not this loop's round
+// cadence.
+func spawning(ctx context.Context, c conn, run func(func())) {
+	for i := 0; i < 4; i++ {
+		i := i
+		run(func() { _ = c.Send(i) })
+	}
+	_ = ctx
+}
+
+// allowed opts out with an annotated justification.
+func allowed(ctx context.Context, c conn) error {
+	//sknnlint:allow ctxround -- drain loop after cancel: must flush pending frames
+	for i := 0; i < 2; i++ {
+		if err := c.Send(i); err != nil {
+			return err
+		}
+	}
+	_ = ctx
+	return nil
+}

@@ -1,0 +1,175 @@
+// Package linttest runs an analyzer over fixture packages and compares
+// the diagnostics against expectations written in the fixtures — the
+// in-tree equivalent of golang.org/x/tools/go/analysis/analysistest.
+//
+// Expectations are `// want` comments on the offending line, holding one
+// quoted regular expression per expected diagnostic:
+//
+//	v := mrand.Int() // want `math/rand`
+//	n := make([]byte, l) // want "unbounded" "second finding"
+//
+// Every diagnostic must match a want on its line and every want must be
+// claimed, so fixtures pin both the positives and the negatives.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"sknn/internal/lint/analysis"
+	"sknn/internal/lint/loader"
+)
+
+// sharedUniverse amortizes standard-library type-checking across every
+// fixture package of a test binary. Guarded: go/types checking is not
+// concurrent-safe over a shared importer.
+var (
+	universeMu sync.Mutex
+	universe   = loader.NewUniverse()
+)
+
+// want is one expected diagnostic.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	claimed bool
+}
+
+var wantRE = regexp.MustCompile("//\\s*want\\b(.*)$")
+var wantArgRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// Run analyzes each fixture directory (relative to the test's working
+// directory, conventionally under testdata/) and reports mismatches
+// between produced diagnostics and // want expectations.
+func Run(t *testing.T, a *analysis.Analyzer, dirs ...string) {
+	t.Helper()
+	for _, dir := range dirs {
+		dir := dir
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			t.Helper()
+			runDir(t, a, dir)
+		})
+	}
+}
+
+func runDir(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	universeMu.Lock()
+	defer universeMu.Unlock()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	fset := universe.Fset()
+	var files []*ast.File
+	var wants []*want
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatalf("fixture dir %s holds no .go files", dir)
+	}
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing fixture %s: %v", path, err)
+		}
+		files = append(files, f)
+		ws, err := collectWants(fset, f)
+		if err != nil {
+			t.Fatalf("fixture %s: %v", path, err)
+		}
+		wants = append(wants, ws...)
+	}
+
+	info := loader.NewInfo()
+	pkg, err := universe.CheckFiles("fixture/"+filepath.ToSlash(dir), files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", dir, err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if !claim(wants, filepath.Base(pos.Filename), pos.Line, d.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", filepath.Base(pos.Filename), pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.claimed {
+			t.Errorf("%s:%d: no diagnostic matched want %s", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// claim marks the first unclaimed want matching (file, line, message).
+func claim(wants []*want, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.claimed && w.file == file && w.line == line && w.re.MatchString(msg) {
+			w.claimed = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants extracts // want expectations from one fixture file.
+func collectWants(fset *token.FileSet, f *ast.File) ([]*want, error) {
+	var out []*want
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRE.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			args := wantArgRE.FindAllString(m[1], -1)
+			if len(args) == 0 {
+				return nil, fmt.Errorf("%s:%d: want comment holds no quoted pattern", pos.Filename, pos.Line)
+			}
+			for _, arg := range args {
+				pat, err := strconv.Unquote(arg)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, arg, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want regexp %s: %v", pos.Filename, pos.Line, arg, err)
+				}
+				out = append(out, &want{file: filepath.Base(pos.Filename), line: pos.Line, re: re, raw: arg})
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,233 @@
+// Package loader turns `go list` output into parsed, type-checked
+// packages for the sknnlint analyzers — the standard-library-only stand-in
+// for golang.org/x/tools/go/packages.
+//
+// `go list -deps -json` emits every package in dependency post-order, so
+// one linear pass can type-check the whole closure (standard library
+// included, from source) with a map-backed importer and no export data.
+// That costs a few seconds per invocation and needs no network, no
+// GOPATH layout, and no pre-built .a files — the properties that matter
+// for an offline CI gate.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded package: syntax plus types.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+	// Module reports whether the package belongs to the module under
+	// analysis (as opposed to the standard library): the set analyzers
+	// run over.
+	Module bool
+	// Err records a parse or type-check failure. Packages with a non-nil
+	// Err carry whatever syntax was recoverable and no type info.
+	Err error
+}
+
+// listPackage is the subset of `go list -json` output the loader reads.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	Goroot     bool
+	GoFiles    []string
+	// ImportMap maps import paths as written in source to the resolved
+	// package path (identity entries omitted) — how the standard
+	// library's vendored x/ dependencies are reached.
+	ImportMap map[string]string
+	Module    *struct{ Path string }
+}
+
+// Load lists patterns (plus their full dependency closure) from dir and
+// returns the type-checked packages belonging to the module, in
+// dependency order. The standard library is type-checked too — it has
+// to be, to type the module against — but not returned.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	u := newUniverse()
+	listed, err := u.list(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, lp := range listed {
+		pkg := u.check(lp)
+		if pkg.Module {
+			out = append(out, pkg)
+		}
+	}
+	return out, nil
+}
+
+// Universe incrementally type-checks packages by import path, caching
+// results. One Universe amortizes the standard-library type-check across
+// many fixture loads (see internal/lint/linttest).
+type Universe struct {
+	fset    *token.FileSet
+	byPath  map[string]*Package
+	listDir string
+}
+
+func newUniverse() *Universe {
+	return &Universe{fset: token.NewFileSet(), byPath: make(map[string]*Package)}
+}
+
+// NewUniverse returns an empty incremental loader.
+func NewUniverse() *Universe { return newUniverse() }
+
+// Fset returns the file set all packages of this universe share.
+func (u *Universe) Fset() *token.FileSet { return u.fset }
+
+// list runs `go list -deps -json` and records every listed package,
+// returning them in the dependency post-order go list guarantees.
+func (u *Universe) list(dir string, patterns ...string) ([]*listPackage, error) {
+	args := append([]string{"list", "-deps", "-json=ImportPath,Dir,Standard,Goroot,GoFiles,ImportMap,Module"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	// CGO_ENABLED=0 keeps GoFiles free of cgo so the whole closure is
+	// checkable from pure Go source.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("loader: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var listed []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("loader: decoding go list output: %v", err)
+		}
+		listed = append(listed, &lp)
+	}
+	return listed, nil
+}
+
+// check parses and type-checks one listed package, assuming (as go list
+// -deps guarantees) that its dependencies were checked first.
+func (u *Universe) check(lp *listPackage) *Package {
+	if got, ok := u.byPath[lp.ImportPath]; ok {
+		return got
+	}
+	pkg := &Package{
+		PkgPath: lp.ImportPath,
+		Dir:     lp.Dir,
+		Fset:    u.fset,
+		Module:  !lp.Standard && !lp.Goroot && lp.Module != nil,
+	}
+	u.byPath[lp.ImportPath] = pkg
+	if lp.ImportPath == "unsafe" {
+		pkg.Types = types.Unsafe
+		return pkg
+	}
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(u.fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			pkg.Err = err
+			continue
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	if pkg.Err != nil {
+		return pkg
+	}
+	pkg.Info = NewInfo()
+	conf := &types.Config{
+		Importer: &pkgImporter{u: u, importMap: lp.ImportMap},
+		Error:    func(error) {}, // collect the first error via Check's return
+	}
+	tpkg, err := conf.Check(lp.ImportPath, u.fset, pkg.Files, pkg.Info)
+	pkg.Types = tpkg
+	if err != nil {
+		pkg.Err = fmt.Errorf("loader: type-checking %s: %v", lp.ImportPath, err)
+		pkg.Info = nil
+	}
+	return pkg
+}
+
+// CheckFiles type-checks caller-supplied syntax (fixture files) against
+// this universe, resolving imports through it on demand.
+func (u *Universe) CheckFiles(path string, files []*ast.File, info *types.Info) (*types.Package, error) {
+	conf := &types.Config{
+		Importer: &pkgImporter{u: u},
+		Error:    func(error) {},
+	}
+	return conf.Check(path, u.fset, files, info)
+}
+
+// pkgImporter resolves one package's imports: through its ImportMap
+// (vendor redirections) first, then against the universe, listing and
+// checking missing packages on demand (the linttest path, where fixture
+// imports arrive one at a time instead of via -deps).
+type pkgImporter struct {
+	u         *Universe
+	importMap map[string]string
+}
+
+func (pi *pkgImporter) Import(path string) (*types.Package, error) {
+	u := pi.u
+	if mapped, ok := pi.importMap[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if got, ok := u.byPath[path]; ok {
+		if got.Err != nil {
+			return nil, got.Err
+		}
+		return got.Types, nil
+	}
+	listed, err := u.list(u.listDir, path)
+	if err != nil {
+		return nil, err
+	}
+	var want *Package
+	for _, lp := range listed {
+		pkg := u.check(lp)
+		if lp.ImportPath == path {
+			want = pkg
+		}
+	}
+	if want == nil {
+		return nil, fmt.Errorf("loader: go list did not return %q", path)
+	}
+	if want.Err != nil {
+		return nil, want.Err
+	}
+	return want.Types, nil
+}
+
+// NewInfo allocates a types.Info with every map analyzers read.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}

@@ -1,0 +1,102 @@
+package loader
+
+import (
+	"go/ast"
+	"go/parser"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// repoRoot resolves the module root so tests work from any package dir.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+	if err != nil {
+		t.Fatalf("go list -m: %v", err)
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// TestLoadRepo type-checks the whole module, standard-library closure
+// included — the exact path the standalone sknnlint binary takes.
+func TestLoadRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the full std closure")
+	}
+	pkgs, err := Load(repoRoot(t), "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded %d module packages, expected the full tree", len(pkgs))
+	}
+	var sawCore, sawMPC bool
+	for _, p := range pkgs {
+		if p.Err != nil {
+			t.Errorf("package %s failed to load: %v", p.PkgPath, p.Err)
+			continue
+		}
+		if p.Types == nil || p.Info == nil {
+			t.Errorf("package %s has no type information", p.PkgPath)
+		}
+		switch p.PkgPath {
+		case "sknn/internal/core":
+			sawCore = true
+		case "sknn/internal/mpc":
+			sawMPC = true
+		}
+	}
+	if !sawCore || !sawMPC {
+		t.Errorf("protocol packages missing from load (core=%v mpc=%v)", sawCore, sawMPC)
+	}
+}
+
+// TestLoadDependencyOrder asserts the property the one-pass type-check
+// relies on: dependencies precede dependents in go list -deps output.
+func TestLoadDependencyOrder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the full std closure")
+	}
+	pkgs, err := Load(repoRoot(t), "./internal/core")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	pos := make(map[string]int, len(pkgs))
+	for i, p := range pkgs {
+		pos[p.PkgPath] = i
+	}
+	if pos["sknn/internal/core"] < pos["sknn/internal/mpc"] {
+		t.Errorf("core listed before its dependency mpc")
+	}
+}
+
+// TestUniverseFixtureCheck exercises the linttest path: type-check
+// loose files against an incrementally grown universe.
+func TestUniverseFixtureCheck(t *testing.T) {
+	u := NewUniverse()
+	src := `package fixture
+
+import (
+	"math/big"
+	mrand "math/rand"
+)
+
+func F() *big.Int { return big.NewInt(int64(mrand.Int())) }
+`
+	f, err := parser.ParseFile(u.Fset(), "fixture.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := NewInfo()
+	pkg, err := u.CheckFiles("fixture", []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("CheckFiles: %v", err)
+	}
+	if pkg.Name() != "fixture" {
+		t.Errorf("checked package %q, want fixture", pkg.Name())
+	}
+	if len(info.Uses) == 0 {
+		t.Errorf("no uses recorded")
+	}
+}

@@ -1,0 +1,42 @@
+package sknnlint_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+
+	"sknn/internal/lint/loader"
+	"sknn/internal/lint/sknnlint"
+)
+
+// TestRepoClean holds the whole module at zero sknnlint diagnostics:
+// every invariant violation is either fixed or carries a justified
+// //sknnlint:allow annotation. New findings fail `go test ./...`
+// directly, with no separate tool invocation to forget.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the full dependency closure")
+	}
+	out, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+	root := strings.TrimSpace(string(out))
+	pkgs, err := loader.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d module packages; loader is not seeing the tree", len(pkgs))
+	}
+	diags, errs := sknnlint.RunPackages(pkgs)
+	for _, err := range errs {
+		t.Errorf("load/analysis error: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Logf("fix the finding or annotate it: //sknnlint:allow <rule> -- <justification> (see docs/INVARIANTS.md)")
+	}
+}

@@ -1,0 +1,102 @@
+// Package sknnlint assembles the repo's analyzer suite and runs it over
+// loaded packages. It is the shared core of the cmd/sknnlint binary
+// (standalone and go vet -vettool modes) and the repo-cleanliness test
+// that keeps the tree at zero diagnostics.
+package sknnlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"sknn/internal/lint/analysis"
+	"sknn/internal/lint/annotation"
+	"sknn/internal/lint/bigintalias"
+	"sknn/internal/lint/boundedmake"
+	"sknn/internal/lint/cryptorand"
+	"sknn/internal/lint/ctxround"
+	"sknn/internal/lint/loader"
+	"sknn/internal/lint/wireop"
+)
+
+// Analyzers is the full suite, in reporting order.
+var Analyzers = []*analysis.Analyzer{
+	annotation.Analyzer,
+	bigintalias.Analyzer,
+	boundedmake.Analyzer,
+	cryptorand.Analyzer,
+	ctxround.Analyzer,
+	wireop.Analyzer,
+}
+
+// Diagnostic is one finding, positioned and attributed to its analyzer.
+type Diagnostic struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Position, d.Message, d.Analyzer)
+}
+
+// Run applies the whole suite to one type-checked package.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, a := range Analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d analysis.Diagnostic) {
+				out = append(out, Diagnostic{
+					Analyzer: a.Name,
+					Position: fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return out, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+	sortDiagnostics(out)
+	return out, nil
+}
+
+// RunPackages applies the suite to every successfully loaded package
+// and returns all findings plus any load failures.
+func RunPackages(pkgs []*loader.Package) ([]Diagnostic, []error) {
+	var out []Diagnostic
+	var errs []error
+	for _, pkg := range pkgs {
+		if pkg.Err != nil {
+			errs = append(errs, pkg.Err)
+			continue
+		}
+		diags, err := Run(pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+		if err != nil {
+			errs = append(errs, err)
+		}
+		out = append(out, diags...)
+	}
+	sortDiagnostics(out)
+	return out, errs
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i].Position, ds[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+}

@@ -1,0 +1,29 @@
+// Package fixture exercises the wireop analyzer's dispatch rule: every
+// Op constant must reach a Register call, a switch case, or a
+// comparison.
+package fixture
+
+// Op identifies a wire operation, mirroring mpc.Op.
+type Op uint16
+
+const (
+	OpSwitched   Op = 1
+	OpCompared   Op = 2
+	OpRegistered Op = 3
+	OpOrphan     Op = 4 // want `OpOrphan is never dispatched`
+	//sknnlint:allow wireop -- reserved for the next protocol rev, wired up behind a feature gate
+	OpReserved Op = 5
+)
+
+type mux struct{}
+
+func (mux) Register(op Op, h func()) {}
+
+func dispatch(m mux, op Op) bool {
+	m.Register(OpRegistered, func() {})
+	switch op {
+	case OpSwitched:
+		return true
+	}
+	return op == OpCompared
+}

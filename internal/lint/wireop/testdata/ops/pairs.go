@@ -1,0 +1,26 @@
+// Frame helpers exercising the encode/decode pairing rule.
+package fixture
+
+func encodeHello(b []byte) []byte { return b }
+func decodeHello(b []byte) []byte { return b }
+
+func encodeOrphanFrame(b []byte) []byte { return b } // want `encodeOrphanFrame has no matching decodeOrphanFrame`
+
+func decodeLonely(b []byte) []byte { return b } // want `decodeLonely has no matching encodeLonely`
+
+// encoder's lowercase continuation keeps it out of the pairing rule.
+func encoder() {}
+
+// encodeLegacyFrame kept for old snapshots; writing is retired.
+//
+//sknnlint:allow wireop -- read-only compatibility path, encoder intentionally deleted
+func decodeLegacyFrame(b []byte) []byte { return b }
+
+var (
+	_ = encodeHello
+	_ = decodeHello
+	_ = encodeOrphanFrame
+	_ = decodeLonely
+	_ = encoder
+	_ = decodeLegacyFrame
+)

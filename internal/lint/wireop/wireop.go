@@ -1,0 +1,208 @@
+// Package wireop keeps the wire protocol total: every Op constant a
+// package declares must be dispatched somewhere in that package, and
+// every encodeX must have a matching decodeX (and vice versa).
+//
+// The two halves catch the two ways the protocol drifts. An Op constant
+// that nothing handles is a request the responder will answer with
+// "unknown op" in production only — the compiler has no opinion about
+// an uint16 nobody switches on. An encoder whose decoder was never
+// written (or was renamed away) is a frame that can be produced but not
+// parsed; the pair rule forces the two directions of each frame format
+// to live and change together, which is also what makes them fuzzable
+// as a round-trip.
+//
+// "Dispatched" means the constant appears in the declaring package as a
+// Register(...) argument, in a switch case, or in an == / != comparison.
+// Matching is by the constant's type having local name "Op", so fixture
+// packages stay self-contained.
+package wireop
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"sknn/internal/lint/allow"
+	"sknn/internal/lint/analysis"
+)
+
+// Analyzer is the wire-protocol totality checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "wireop",
+	Doc:  "every Op constant must be dispatched; encode/decode frame helpers must come in pairs",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	type opDecl struct {
+		obj  types.Object
+		pos  token.Pos
+		file *ast.File
+	}
+	var ops []opDecl
+	handled := make(map[types.Object]bool)
+	type fnDecl struct {
+		pos  token.Pos
+		file *ast.File
+		fn   *ast.FuncDecl
+	}
+	encoders := make(map[string]fnDecl)
+	decoders := make(map[string]fnDecl)
+
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				if d.Tok != token.CONST {
+					continue
+				}
+				for _, spec := range d.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						obj := pass.TypesInfo.Defs[name]
+						if obj == nil || !isOpType(obj.Type()) {
+							continue
+						}
+						ops = append(ops, opDecl{obj: obj, pos: name.Pos(), file: f})
+					}
+				}
+			case *ast.FuncDecl:
+				if d.Recv != nil || d.Body == nil {
+					continue
+				}
+				name := d.Name.Name
+				if suffix, ok := cutPrefixFold(name, "encode"); ok {
+					encoders[suffix] = fnDecl{pos: d.Name.Pos(), file: f, fn: d}
+				} else if suffix, ok := cutPrefixFold(name, "decode"); ok {
+					decoders[suffix] = fnDecl{pos: d.Name.Pos(), file: f, fn: d}
+				}
+			}
+		}
+	}
+
+	// Sweep for dispatch sites. Test files count here: a frame whose
+	// only exhaustive dispatch lives in a test would still be a gap in
+	// production, so they don't — skip them like everywhere else.
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				if calleeName(e) == "Register" {
+					for _, arg := range e.Args {
+						markUses(pass, arg, handled)
+					}
+				}
+			case *ast.CaseClause:
+				for _, expr := range e.List {
+					markUses(pass, expr, handled)
+				}
+			case *ast.BinaryExpr:
+				if e.Op == token.EQL || e.Op == token.NEQ {
+					markUses(pass, e.X, handled)
+					markUses(pass, e.Y, handled)
+				}
+			}
+			return true
+		})
+	}
+
+	for _, op := range ops {
+		if handled[op.obj] {
+			continue
+		}
+		if _, ok := allow.Covering(pass.Fset, op.file, nil, op.pos, "wireop"); ok {
+			continue
+		}
+		pass.Reportf(op.pos,
+			"Op constant %s is never dispatched in this package (no Register argument, switch case, or ==/!= comparison); an op nothing handles fails only at runtime as an unknown-op error", op.obj.Name())
+	}
+
+	var suffixes []string
+	for s := range encoders {
+		suffixes = append(suffixes, s)
+	}
+	for s := range decoders {
+		if _, ok := encoders[s]; !ok {
+			suffixes = append(suffixes, s)
+		}
+	}
+	sort.Strings(suffixes)
+	for _, s := range suffixes {
+		enc, hasEnc := encoders[s]
+		dec, hasDec := decoders[s]
+		switch {
+		case hasEnc && !hasDec:
+			if _, ok := allow.Covering(pass.Fset, enc.file, enc.fn, enc.pos, "wireop"); ok {
+				continue
+			}
+			pass.Reportf(enc.pos,
+				"encode%s has no matching decode%s in this package; frame encoders and decoders must come in pairs so the formats evolve together", s, s)
+		case hasDec && !hasEnc:
+			if _, ok := allow.Covering(pass.Fset, dec.file, dec.fn, dec.pos, "wireop"); ok {
+				continue
+			}
+			pass.Reportf(dec.pos,
+				"decode%s has no matching encode%s in this package; frame encoders and decoders must come in pairs so the formats evolve together", s, s)
+		}
+	}
+	return nil
+}
+
+// isOpType reports whether t's local name is Op (e.g. mpc.Op).
+func isOpType(t types.Type) bool {
+	return t != nil && analysis.LocalTypeName(t) == "Op"
+}
+
+// markUses marks every Op-typed constant referenced inside e as handled.
+func markUses(pass *analysis.Pass, e ast.Expr, handled map[types.Object]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if _, isConst := obj.(*types.Const); isConst && isOpType(obj.Type()) {
+			handled[obj] = true
+		}
+		return true
+	})
+}
+
+// cutPrefixFold strips an encode/decode prefix case-insensitively on
+// its first letter and requires an exported-style remainder, so
+// "encodeHello" and "EncodeHello" pair but "encoder" does not.
+func cutPrefixFold(name, prefix string) (string, bool) {
+	upper := strings.ToUpper(prefix[:1]) + prefix[1:]
+	for _, p := range []string{prefix, upper} {
+		rest, ok := strings.CutPrefix(name, p)
+		if ok && rest != "" && rest[0] >= 'A' && rest[0] <= 'Z' {
+			return rest, true
+		}
+	}
+	return "", false
+}
+
+// calleeName extracts the called function or method name.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}

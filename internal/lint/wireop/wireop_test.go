@@ -1,0 +1,12 @@
+package wireop_test
+
+import (
+	"testing"
+
+	"sknn/internal/lint/linttest"
+	"sknn/internal/lint/wireop"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, wireop.Analyzer, "testdata/ops")
+}

@@ -1,20 +1,103 @@
 package mpc
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
+	"fmt"
 	"io"
 	"net"
 	"sync"
 )
 
-// netConn is the wire transport: gob-encoded Message frames over any
-// io.ReadWriteCloser (in practice a *net.TCPConn). It is what cmd/sknnd
-// and the cloudwire example use to run C1 and C2 in separate processes.
+// Wire framing: each Message travels as a 4-byte big-endian payload
+// length followed by a self-contained gob encoding of the Message.
+//
+// The frame boundary is what makes the transport safe against a lying
+// peer: the header is validated against maxFrameBytes before any
+// payload allocation, and the payload buffer grows chunk by chunk as
+// bytes actually arrive, so a header promising gigabytes costs the
+// receiver nothing. Streaming gob (the previous transport) had neither
+// property — its internal length prefix let a hostile header drive an
+// allocation of up to 1 GiB before the first payload byte was read.
+// Self-contained frames are also independently decodable, which is what
+// makes FuzzFrameDecode possible.
+
+// maxFrameBytes caps a frame payload. The largest legitimate frames
+// carry O(k·m + domainBits) ciphertexts of ~256 bytes each; 16 MiB is
+// two orders of magnitude above that while still denying a liar any
+// meaningful allocation.
+const maxFrameBytes = 16 << 20
+
+// frameHeaderLen is the byte width of the length prefix.
+const frameHeaderLen = 4
+
+// Frame-boundary errors.
+var (
+	// ErrFrameTooBig reports a frame whose declared or encoded payload
+	// exceeds maxFrameBytes.
+	ErrFrameTooBig = errors.New("mpc: frame exceeds size cap")
+	// errEmptyFrame reports a zero-length frame, which no Message
+	// encodes to.
+	errEmptyFrame = errors.New("mpc: empty frame")
+)
+
+// encodeFrame serializes m into a complete frame: header plus payload.
+func encodeFrame(m *Message) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write(make([]byte, frameHeaderLen))
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return nil, err
+	}
+	payload := buf.Len() - frameHeaderLen
+	if payload > maxFrameBytes {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooBig, payload)
+	}
+	frame := buf.Bytes()
+	binary.BigEndian.PutUint32(frame[:frameHeaderLen], uint32(payload))
+	return frame, nil
+}
+
+// decodeFrame deserializes one frame payload (header already stripped
+// and validated) into a Message.
+func decodeFrame(payload []byte) (*Message, error) {
+	if len(payload) == 0 {
+		return nil, errEmptyFrame
+	}
+	if len(payload) > maxFrameBytes {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooBig, len(payload))
+	}
+	var m Message
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// readPayload reads exactly n bytes, growing the buffer in chunks so
+// the allocation is proportional to what the peer actually sends, not
+// to what its header promises.
+func readPayload(r io.Reader, n int) ([]byte, error) {
+	const chunk = 64 << 10
+	buf := make([]byte, 0, min(n, chunk))
+	for len(buf) < n {
+		step := min(n-len(buf), chunk)
+		start := len(buf)
+		buf = append(buf, make([]byte, step)...)
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// netConn is the wire transport: length-prefixed gob Message frames
+// over any io.ReadWriteCloser (in practice a *net.TCPConn). It is what
+// cmd/sknnd and the cloudwire example use to run C1 and C2 in separate
+// processes.
 type netConn struct {
 	rwc   io.ReadWriteCloser
-	enc   *gob.Encoder
-	dec   *gob.Decoder
 	sendM sync.Mutex
 	recvM sync.Mutex
 	stats Stats
@@ -23,11 +106,7 @@ type netConn struct {
 // WrapNet turns a byte stream into a message Conn. The returned Conn owns
 // rwc and closes it on Close.
 func WrapNet(rwc io.ReadWriteCloser) Conn {
-	return &netConn{
-		rwc: rwc,
-		enc: gob.NewEncoder(rwc),
-		dec: gob.NewDecoder(rwc),
-	}
+	return &netConn{rwc: rwc}
 }
 
 // Dial connects to a listening peer (C2's daemon) over TCP.
@@ -40,9 +119,13 @@ func Dial(addr string) (Conn, error) {
 }
 
 func (c *netConn) Send(m *Message) error {
+	frame, err := encodeFrame(m)
+	if err != nil {
+		return err
+	}
 	c.sendM.Lock()
 	defer c.sendM.Unlock()
-	if err := c.enc.Encode(m); err != nil {
+	if _, err := c.rwc.Write(frame); err != nil {
 		if errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) {
 			return ErrConnClosed
 		}
@@ -55,16 +138,35 @@ func (c *netConn) Send(m *Message) error {
 func (c *netConn) Recv() (*Message, error) {
 	c.recvM.Lock()
 	defer c.recvM.Unlock()
-	var m Message
-	if err := c.dec.Decode(&m); err != nil {
-		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
-			errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) {
-			return nil, ErrConnClosed
-		}
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(c.rwc, hdr[:]); err != nil {
+		return nil, recvErr(err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrameBytes {
+		// The stream is desynchronized beyond repair; the caller must
+		// drop the connection.
+		return nil, fmt.Errorf("%w: header declares %d bytes", ErrFrameTooBig, n)
+	}
+	payload, err := readPayload(c.rwc, int(n))
+	if err != nil {
+		return nil, recvErr(err)
+	}
+	m, err := decodeFrame(payload)
+	if err != nil {
 		return nil, err
 	}
 	c.stats.addRecv(m.wireSize())
-	return &m, nil
+	return m, nil
+}
+
+// recvErr folds the stream-teardown error family into ErrConnClosed.
+func recvErr(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) {
+		return ErrConnClosed
+	}
+	return err
 }
 
 func (c *netConn) Close() error  { return c.rwc.Close() }

@@ -1,0 +1,142 @@
+package mpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/big"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestFrameRoundTrip pins the frame format: encodeFrame's output,
+// stripped of its header, decodes back to an equal message.
+func TestFrameRoundTrip(t *testing.T) {
+	msgs := []*Message{
+		{Op: OpPing, Tag: 7},
+		{Op: Op(64), Tag: 1, Ints: []*big.Int{big.NewInt(42), new(big.Int).Lsh(big.NewInt(1), 2048)}},
+		{Op: OpError, Err: "boom"},
+	}
+	for _, m := range msgs {
+		frame, err := encodeFrame(m)
+		if err != nil {
+			t.Fatalf("encodeFrame: %v", err)
+		}
+		n := binary.BigEndian.Uint32(frame[:frameHeaderLen])
+		if int(n) != len(frame)-frameHeaderLen {
+			t.Fatalf("header declares %d bytes, frame carries %d", n, len(frame)-frameHeaderLen)
+		}
+		got, err := decodeFrame(frame[frameHeaderLen:])
+		if err != nil {
+			t.Fatalf("decodeFrame: %v", err)
+		}
+		if got.Op != m.Op || got.Tag != m.Tag || got.Err != m.Err || len(got.Ints) != len(m.Ints) {
+			t.Fatalf("round trip: got %+v, want %+v", got, m)
+		}
+		for i := range m.Ints {
+			if got.Ints[i].Cmp(m.Ints[i]) != 0 {
+				t.Fatalf("Ints[%d]: got %v, want %v", i, got.Ints[i], m.Ints[i])
+			}
+		}
+	}
+}
+
+// TestRecvRejectsLyingHeader is the regression test for the unbounded
+// streaming-gob transport: a header promising far more than
+// maxFrameBytes must fail fast, before any payload-sized allocation.
+func TestRecvRejectsLyingHeader(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	conn := WrapNet(client)
+	defer conn.Close()
+
+	var hdr [frameHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[:], 1<<31) // 2 GiB claim, no payload
+	errc := make(chan error, 1)
+	go func() {
+		_, err := conn.Recv()
+		errc <- err
+	}()
+	if _, err := server.Write(hdr[:]); err != nil {
+		t.Fatalf("writing forged header: %v", err)
+	}
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrFrameTooBig) {
+			t.Fatalf("Recv with lying header: err = %v, want ErrFrameTooBig", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv did not reject the lying header (still reading?)")
+	}
+}
+
+// TestRecvRejectsEmptyFrame: a zero-length header is protocol noise and
+// must not be treated as a message.
+func TestRecvRejectsEmptyFrame(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	conn := WrapNet(client)
+	defer conn.Close()
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := conn.Recv()
+		errc <- err
+	}()
+	if _, err := server.Write(make([]byte, frameHeaderLen)); err != nil {
+		t.Fatalf("writing empty header: %v", err)
+	}
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrFrameTooBig) {
+			t.Fatalf("Recv with empty frame: err = %v, want ErrFrameTooBig", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv did not reject the empty frame")
+	}
+}
+
+// TestDecodeFrameTruncated: arbitrary truncations of a valid frame must
+// error, never panic — the property FuzzFrameDecode then explores.
+func TestDecodeFrameTruncated(t *testing.T) {
+	frame, err := encodeFrame(&Message{Op: Op(64), Ints: []*big.Int{big.NewInt(5)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := frame[frameHeaderLen:]
+	for cut := 0; cut < len(payload); cut++ {
+		if _, err := decodeFrame(payload[:cut]); err == nil {
+			t.Fatalf("decodeFrame accepted a frame truncated to %d/%d bytes", cut, len(payload))
+		}
+	}
+}
+
+// FuzzFrameDecode drives decodeFrame with arbitrary payloads: it must
+// never panic, and anything it accepts must survive a re-encode/decode
+// round trip.
+func FuzzFrameDecode(f *testing.F) {
+	seed, err := encodeFrame(&Message{Op: Op(64), Tag: 3, Ints: []*big.Int{big.NewInt(12345)}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed[frameHeaderLen:])
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := decodeFrame(data)
+		if err != nil {
+			return
+		}
+		frame, err := encodeFrame(m)
+		if err != nil {
+			t.Fatalf("re-encoding accepted message: %v", err)
+		}
+		m2, err := decodeFrame(frame[frameHeaderLen:])
+		if err != nil {
+			t.Fatalf("re-decoding own encoding: %v", err)
+		}
+		if m2.Op != m.Op || m2.Tag != m.Tag || m2.Err != m.Err || len(m2.Ints) != len(m.Ints) {
+			t.Fatalf("round trip drifted: %+v vs %+v", m, m2)
+		}
+	})
+}

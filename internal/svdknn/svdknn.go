@@ -347,7 +347,10 @@ func decodeCandidates(plain []byte) ([]Candidate, error) {
 		return nil, ErrTampered
 	}
 	n := binary.BigEndian.Uint64(plain[:8])
-	if uint64(len(plain)-8) != n*24 || n == 0 {
+	rest := uint64(len(plain) - 8)
+	// Divide before multiplying: n*24 wraps for n near 2^64/24, which
+	// would let a forged count pass an equality check and panic make.
+	if n == 0 || n > rest/24 || n*24 != rest {
 		return nil, ErrTampered
 	}
 	out := make([]Candidate, n)

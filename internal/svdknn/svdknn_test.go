@@ -2,6 +2,7 @@ package svdknn
 
 import (
 	"crypto/rand"
+	"encoding/binary"
 	"errors"
 	mrand "math/rand"
 	"testing"
@@ -198,6 +199,19 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 	}
 	if _, err := decodeCandidates(make([]byte, 9)); !errors.Is(err, ErrTampered) {
 		t.Errorf("bad length error = %v", err)
+	}
+}
+
+// TestDecodeRejectsOverflowingCount: a forged count n with n*24
+// wrapping uint64 used to pass the equality check and panic make().
+// The payload here is 8 header bytes + 24 body bytes with
+// n = 2^61 + 1, so n*24 ≡ 24 (mod 2^64) matches the body length.
+func TestDecodeRejectsOverflowingCount(t *testing.T) {
+	plain := make([]byte, 8+24)
+	n := uint64(1)<<61 + 1
+	binary.BigEndian.PutUint64(plain[:8], n)
+	if _, err := decodeCandidates(plain); !errors.Is(err, ErrTampered) {
+		t.Errorf("overflowing count error = %v, want ErrTampered", err)
 	}
 }
 
