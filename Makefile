@@ -6,7 +6,7 @@ GOVULNCHECK_VERSION := v1.1.3
 
 GOBIN := $(shell go env GOPATH)/bin
 
-.PHONY: all build test race lint sknnlint staticcheck govulncheck fuzz-smoke tools clean
+.PHONY: all build test race lint sknnlint sknnlint-json lint-fixtures staticcheck govulncheck fuzz-smoke tools clean
 
 all: build test lint
 
@@ -31,6 +31,19 @@ lint: sknnlint staticcheck
 sknnlint:
 	go install ./cmd/sknnlint
 	go vet -vettool=$(GOBIN)/sknnlint ./...
+
+# sknnlint-json emits the suite's findings as a JSON array on stdout
+# (analyzer/file/line/col/message), for dashboards or editor tooling;
+# CI's inline annotations instead use the plain-text form through
+# .github/sknnlint-problem-matcher.json.
+sknnlint-json:
+	go run ./cmd/sknnlint -json ./...
+
+# lint-fixtures is the fast inner loop for analyzer authors: every
+# analyzer's // want fixture suite plus the cfg/dataflow engine tests,
+# no repo-wide package loading.
+lint-fixtures:
+	go test ./internal/lint/...
 
 staticcheck: $(GOBIN)/staticcheck
 	$(GOBIN)/staticcheck ./...

@@ -1,10 +1,12 @@
 // Command sknnlint runs the repo's invariant analyzers: the crypto,
-// cancellation, aliasing, and wire-safety rules that the type system
-// cannot express (see docs/INVARIANTS.md).
+// cancellation, aliasing, wire-safety, party-boundary, lock-discipline,
+// and error-flow rules that the type system cannot express (see
+// docs/INVARIANTS.md).
 //
 // Standalone, it loads and checks package patterns itself:
 //
 //	sknnlint ./...
+//	sknnlint -json ./...   # findings as a JSON array on stdout
 //
 // It also speaks the go vet unitchecker protocol, so CI can run it
 // through the build cache with per-package granularity:
@@ -52,11 +54,20 @@ func main() {
 	if len(args) > 0 && strings.HasSuffix(args[len(args)-1], ".cfg") {
 		os.Exit(runVet(args[len(args)-1]))
 	}
-	os.Exit(runStandalone(args))
+	asJSON := false
+	patterns := args[:0:0]
+	for _, a := range args {
+		if a == "-json" || a == "--json" {
+			asJSON = true
+			continue
+		}
+		patterns = append(patterns, a)
+	}
+	os.Exit(runStandalone(patterns, asJSON))
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintf(w, "usage: sknnlint [packages]\n       go vet -vettool=$(command -v sknnlint) [packages]\n\nanalyzers:\n")
+	fmt.Fprintf(w, "usage: sknnlint [-json] [packages]\n       go vet -vettool=$(command -v sknnlint) [packages]\n\nanalyzers:\n")
 	for _, a := range sknnlint.Analyzers {
 		fmt.Fprintf(w, "  %-12s %s\n", a.Name, a.Doc)
 	}
@@ -75,9 +86,21 @@ func printVersion() {
 	fmt.Printf("%s version devel buildID=%s\n", name, id)
 }
 
+// jsonDiagnostic is the machine-readable finding shape behind -json:
+// one object per diagnostic, a JSON array overall. CI feeds this (or
+// the plain-text form, via .github/sknnlint-problem-matcher.json) into
+// inline PR annotations.
+type jsonDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
 // runStandalone loads the patterns with the in-tree loader and checks
 // every module package.
-func runStandalone(patterns []string) int {
+func runStandalone(patterns []string, asJSON bool) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -90,8 +113,27 @@ func runStandalone(patterns []string) int {
 	for _, err := range errs {
 		fmt.Fprintln(os.Stderr, err)
 	}
-	for _, d := range diags {
-		fmt.Fprintln(os.Stderr, d)
+	if asJSON {
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiagnostic{
+				Analyzer: d.Analyzer,
+				File:     d.Position.Filename,
+				Line:     d.Position.Line,
+				Col:      d.Position.Column,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
 	}
 	switch {
 	case len(errs) > 0:

@@ -1,0 +1,220 @@
+package main_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"sknn/internal/lint/sknnlint"
+)
+
+// scratchModule is a throwaway module with exactly one violation per
+// analyzer, each in its own package so the triggers cannot interfere.
+// The parity test drives the same binary over it twice — standalone
+// and through go vet's unitchecker protocol — and requires identical
+// diagnostics: the two drivers must be interchangeable gates.
+var scratchModule = map[string]string{
+	"go.mod": "module scratch\n\ngo 1.22\n",
+
+	"annot/annot.go": `package annot
+
+//sknnlint:allow nosuchrule -- testing the unknown-rule report
+func F() {}
+`,
+
+	"alias/alias.go": `package alias
+
+import "math/big"
+
+type Ciphertext struct{ c *big.Int }
+
+func Mutate(ct *Ciphertext, x *big.Int) {
+	ct.c.Add(ct.c, x)
+}
+`,
+
+	"bounded/bounded.go": `package bounded
+
+type reader struct{}
+
+func (r *reader) uvarint() uint64 { return 0 }
+
+func Alloc(r *reader) []byte {
+	n := r.uvarint()
+	return make([]byte, n)
+}
+`,
+
+	"randsrc/randsrc.go": `package randsrc
+
+import "math/rand"
+
+var _ = rand.Int
+`,
+
+	"rounds/rounds.go": `package rounds
+
+import "context"
+
+type conn struct{}
+
+func (conn) Send(v int) error { return nil }
+
+func Drive(ctx context.Context, c conn) error {
+	for i := 0; i < 8; i++ {
+		if err := c.Send(i); err != nil {
+			return err
+		}
+	}
+	_ = ctx
+	return nil
+}
+`,
+
+	"wireerr/wireerr.go": `package wireerr
+
+type conn struct{}
+
+func (conn) Send(v int) error { return nil }
+
+func Fire(c conn) {
+	c.Send(1)
+}
+`,
+
+	"locks/locks.go": `package locks
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (b *box) Bump() {
+	b.n++
+}
+`,
+
+	"party/c2.go": `//sknnlint:role c2
+
+package party
+
+type PrivateKey struct{ N int }
+
+func (k *PrivateKey) Decrypt(c int) int { return c }
+`,
+
+	"party/c1.go": `//sknnlint:role c1
+
+package party
+
+func GrabsKey(k *PrivateKey, c int) int {
+	return c
+}
+`,
+
+	"ops/ops.go": `package ops
+
+type Op uint16
+
+const (
+	OpUsed   Op = 1
+	OpOrphan Op = 2
+)
+
+func Dispatch(op Op) bool { return op == OpUsed }
+`,
+}
+
+// diagRE matches one rendered diagnostic, in both drivers' output.
+var diagRE = regexp.MustCompile(`([^\s/]+\.go):(\d+):(\d+): (.*) \[([a-z]+)\]$`)
+
+// normalize extracts diagnostics from driver output, keyed by file
+// basename so absolute (vet) and relative (standalone) paths compare
+// equal, and sorts them.
+func normalize(out string) []string {
+	var diags []string
+	for _, line := range strings.Split(out, "\n") {
+		if m := diagRE.FindStringSubmatch(line); m != nil {
+			diags = append(diags, m[1]+":"+m[2]+":"+m[3]+": "+m[4]+" ["+m[5]+"]")
+		}
+	}
+	sort.Strings(diags)
+	return diags
+}
+
+func TestDriverParity(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	dir := t.TempDir()
+
+	tool := filepath.Join(dir, "sknnlint")
+	build := exec.Command("go", "build", "-o", tool, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building sknnlint: %v\n%s", err, out)
+	}
+
+	scratch := filepath.Join(dir, "scratch")
+	for name, src := range scratchModule {
+		path := filepath.Join(scratch, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	standalone := exec.Command(tool, "./...")
+	standalone.Dir = scratch
+	saOut, saErr := standalone.CombinedOutput()
+	if code := exitCode(saErr); code != 2 {
+		t.Fatalf("standalone exit code = %d, want 2 (findings)\n%s", code, saOut)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	vet.Dir = scratch
+	vetOut, vetErr := vet.CombinedOutput()
+	if vetErr == nil {
+		t.Fatalf("go vet -vettool reported no failure\n%s", vetOut)
+	}
+
+	saDiags := normalize(string(saOut))
+	vetDiags := normalize(string(vetOut))
+	if strings.Join(saDiags, "\n") != strings.Join(vetDiags, "\n") {
+		t.Errorf("standalone and go vet disagree\nstandalone:\n  %s\nvet:\n  %s",
+			strings.Join(saDiags, "\n  "), strings.Join(vetDiags, "\n  "))
+	}
+
+	// Every analyzer in the suite must have fired exactly once over the
+	// scratch module — this is what keeps the parity check honest as
+	// rules are added: a new analyzer without a scratch violation fails
+	// here, not silently.
+	fired := make(map[string]int)
+	for _, d := range saDiags {
+		open := strings.LastIndex(d, "[")
+		fired[strings.TrimSuffix(d[open+1:], "]")]++
+	}
+	for _, a := range sknnlint.Analyzers {
+		if fired[a.Name] != 1 {
+			t.Errorf("analyzer %s fired %d times over the scratch module, want exactly 1\nall: %v",
+				a.Name, fired[a.Name], saDiags)
+		}
+	}
+}
+
+func exitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.ExitCode()
+	}
+	return -1
+}

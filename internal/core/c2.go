@@ -129,6 +129,7 @@ func (c *CloudC2) handleRank(req *mpc.Message) (*mpc.Message, error) {
 	for j := 0; j < k; j++ {
 		out[j] = big.NewInt(int64(ds[j].idx))
 	}
+	//sknnlint:allow partyflow -- SkNNb's documented leak (Section 3.1): C2 learns and returns the k rank *positions* of blinded distances, not the distances or records themselves; SkNNm exists precisely to close this channel
 	return &mpc.Message{Op: OpRank, Ints: out}, nil
 }
 
@@ -152,6 +153,7 @@ func (c *CloudC2) handleReveal(req *mpc.Message) (*mpc.Message, error) {
 		}
 		out[i] = m
 	}
+	//sknnlint:allow partyflow -- Algorithm 5 step 5: the revealed γ′ are uniformly random because C1 added one-time masks r_{j,h} before sending; only Bob, who receives γ′ and the masks, can unmask the true attributes
 	return &mpc.Message{Op: OpReveal, Ints: out}, nil
 }
 
@@ -197,6 +199,7 @@ func (c *CloudC2) handleMinIndex(req *mpc.Message) (*mpc.Message, error) {
 	if err != nil {
 		return nil, err
 	}
+	//sknnlint:allow partyflow -- the clustered index's documented trade (docs/INVARIANTS.md): C1 must learn which centroid is nearest to prune clusters, and C1's fresh per-round permutation makes the plaintext position meaningless to C2
 	return &mpc.Message{Op: OpMinIndex, Ints: []*big.Int{big.NewInt(int64(chosen))}}, nil
 }
 

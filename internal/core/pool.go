@@ -23,9 +23,9 @@ type linkPool struct {
 
 	mu        sync.Mutex
 	links     []*mpc.Multiplexer
-	load      []int // open sessions per link, for least-loaded placement
-	active    int   // open query sessions
-	closed    bool
+	load      []int          // guarded by mu; open sessions per link, for least-loaded placement
+	active    int            // guarded by mu; open query sessions
+	closed    bool           // guarded by mu
 	closeDone chan struct{}  // closed when teardown has fully finished
 	closeErr  error          // valid once closeDone is closed
 	drain     sync.WaitGroup // one unit per open session
@@ -113,7 +113,7 @@ func (p *linkPool) lease(ctx context.Context, width int) ([]int, error) {
 			w = 1
 		}
 	}
-	slots := p.leastLoaded(w)
+	slots := p.leastLoadedLocked(w)
 	for _, i := range slots {
 		p.load[i]++
 	}
@@ -122,9 +122,9 @@ func (p *linkPool) lease(ctx context.Context, width int) ([]int, error) {
 	return slots, nil
 }
 
-// leastLoaded picks the w least-loaded link indices (ties by index, so
+// leastLoadedLocked picks the w least-loaded link indices (ties by index, so
 // placement is deterministic). Caller holds p.mu.
-func (p *linkPool) leastLoaded(w int) []int {
+func (p *linkPool) leastLoadedLocked(w int) []int {
 	idx := make([]int, len(p.links))
 	for i := range idx {
 		idx[i] = i

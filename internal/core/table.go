@@ -35,15 +35,15 @@ type EncryptedTable struct {
 	featureM int
 
 	mu       sync.RWMutex
-	records  []EncryptedRecord
-	ids      []uint64       // position -> stable record id
-	byID     map[uint64]int // stable record id -> position
-	nextID   uint64
-	dead     []bool // position -> tombstoned
-	deadN    int
-	inserted int           // inserts since construction/last Compact (dirty tracking)
-	index    *clusterIndex // non-nil when a clustered layout is attached
-	cached   *tableView    // memoized immutable view; nil after any mutation
+	records  []EncryptedRecord // guarded by mu
+	ids      []uint64          // guarded by mu; position -> stable record id
+	byID     map[uint64]int    // guarded by mu; stable record id -> position
+	nextID   uint64            // guarded by mu
+	dead     []bool            // guarded by mu; position -> tombstoned
+	deadN    int               // guarded by mu
+	inserted int               // guarded by mu; inserts since construction/last Compact (dirty tracking)
+	index    *clusterIndex     // guarded by mu; non-nil when a clustered layout is attached
+	cached   *tableView        // guarded by mu; memoized immutable view; nil after any mutation
 }
 
 // clusterIndex is the partitioned layout behind the clustered secure
@@ -125,6 +125,8 @@ func NewEncryptedTable(pk *paillier.PublicKey, records []EncryptedRecord) (*Encr
 // derived table and the original cannot corrupt each other; append-only
 // slices (records, ids, members) are shared by header. Deriving from a
 // table is only defined before either table is mutated.
+//
+//sknnlint:allow lockguard -- construction-time by documented contract: derive runs before either table is published to a second goroutine, so no lock is needed (or possible: the result shares no mutex with t)
 func (t *EncryptedTable) derive() *EncryptedTable {
 	d := &EncryptedTable{
 		pk:       t.pk,
@@ -159,6 +161,7 @@ func (t *EncryptedTable) WithFeatureColumns(f int) (*EncryptedTable, error) {
 	}
 	view := t.derive()
 	view.featureM = f
+	//sknnlint:allow lockguard -- view is construction-time fresh from derive: unpublished, so its mutex cannot be contended yet
 	view.index = nil
 	return view, nil
 }
@@ -177,6 +180,7 @@ func (t *EncryptedTable) WithClusterIndex(random io.Reader, centroids [][]uint64
 		return nil, err
 	}
 	view := t.derive()
+	//sknnlint:allow lockguard -- view is construction-time fresh from derive: unpublished, so its mutex cannot be contended yet
 	view.index = idx
 	return view, nil
 }
@@ -201,7 +205,11 @@ func (t *EncryptedTable) SetClusterIndex(random io.Reader, centroids [][]uint64,
 	return nil
 }
 
-// buildIndex validates the partition and encrypts the centroids.
+// buildIndex validates the partition and encrypts the centroids. The
+// caller guarantees exclusive access to t: SetClusterIndex holds t.mu,
+// WithClusterIndex runs at construction time before t is published.
+//
+//sknnlint:allow lockguard -- caller guarantees exclusion: SetClusterIndex holds t.mu, WithClusterIndex is construction-time on an unpublished table
 func (t *EncryptedTable) buildIndex(random io.Reader, centroids [][]uint64, members [][]int) (*clusterIndex, error) {
 	if len(centroids) == 0 || len(centroids) != len(members) {
 		return nil, fmt.Errorf("core: cluster index with %d centroids, %d member lists",

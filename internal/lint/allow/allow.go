@@ -29,6 +29,9 @@ var KnownRules = map[string]bool{
 	"boundedmake": true,
 	"bigintalias": true,
 	"wireop":      true,
+	"partyflow":   true,
+	"lockguard":   true,
+	"errwire":     true,
 }
 
 // Allowance is one parsed annotation.

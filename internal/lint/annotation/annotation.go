@@ -29,7 +29,7 @@ func run(pass *analysis.Pass) error {
 			case a.Rule == "":
 				pass.Reportf(a.Pos, "%s names no rule: write %s <rule> -- <justification>", allow.Prefix, allow.Prefix)
 			case !allow.KnownRules[a.Rule]:
-				pass.Reportf(a.Pos, "%s names unknown rule %q (known: bigintalias, boundedmake, cryptorand, ctxround, wireop)", allow.Prefix, a.Rule)
+				pass.Reportf(a.Pos, "%s names unknown rule %q (known: bigintalias, boundedmake, cryptorand, ctxround, errwire, lockguard, partyflow, wireop)", allow.Prefix, a.Rule)
 			}
 		}
 	}

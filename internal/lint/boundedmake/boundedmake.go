@@ -7,32 +7,34 @@
 // a lying peer can drive in any frame decoder: a few header bytes
 // promising gigabytes.
 //
-// The analysis is a per-function, source-order taint pass:
+// The analysis is a forward taint problem over the per-function CFG
+// (internal/lint/cfg + internal/lint/dataflow):
 //
 //   - a variable assigned from a length-read call (uvarint, ReadUvarint,
 //     u16/u32/u64, readUint*, …) becomes tainted;
 //   - taint propagates through assignments, conversions, and arithmetic
-//     that mention a tainted variable;
-//   - an if condition comparing a tainted variable (<, >, <=, >=)
-//     clears it from that point on — the early-return bound check
-//     idiom every decoder in internal/store uses;
-//   - a make() length or capacity argument that still mentions a
-//     tainted variable, or that calls a length read inline, is a
-//     finding. Arguments clamped through min()/minInt() are accepted.
+//     that mention a tainted variable, and around loop back edges — a
+//     length re-read inside a loop re-taints the next iteration;
+//   - a relational comparison (<, >, <=, >=) mentioning a tainted
+//     variable clears it along the paths that pass through the check —
+//     the early-return bound-check idiom every decoder in
+//     internal/store uses. A check sitting on one branch does not
+//     launder the other branch, and a check a continue can skip does
+//     not launder the path around it;
+//   - a make() length or capacity argument that is tainted where the
+//     make executes (union over all paths reaching it) is a finding.
+//     Arguments clamped through min()/minInt() are accepted.
 //
-// Source order approximates dominance; decoders are straight-line
-// enough that the approximation is exact in practice, and an
-// intentional exception can carry //sknnlint:allow boundedmake.
+// An intentional exception carries //sknnlint:allow boundedmake.
 package boundedmake
 
 import (
 	"go/ast"
-	"go/token"
-	"go/types"
-	"sort"
 
 	"sknn/internal/lint/allow"
 	"sknn/internal/lint/analysis"
+	"sknn/internal/lint/cfg"
+	"sknn/internal/lint/dataflow"
 )
 
 // Analyzer is the input-proportional-decoding checker.
@@ -78,210 +80,97 @@ func run(pass *analysis.Pass) error {
 			if !ok || fn.Body == nil {
 				continue
 			}
-			checkFunc(pass, f, fn)
+			checkBody(pass, f, fn, fn.Body)
+			// Function literals get their own graphs; closures over
+			// outer length variables do not occur in the decoders.
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkBody(pass, f, fn, lit.Body)
+				}
+				return true
+			})
 		}
 	}
 	return nil
 }
 
-// event is one taint-relevant statement, replayed in source order.
-type event struct {
-	pos token.Pos
-	// exactly one of the below is set
-	assign *ast.AssignStmt
-	cond   ast.Expr // if condition that may clear taint
-	make_  *ast.CallExpr
-}
-
-func checkFunc(pass *analysis.Pass, file *ast.File, fn *ast.FuncDecl) {
-	var events []event
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
-		switch s := n.(type) {
-		case *ast.AssignStmt:
-			events = append(events, event{pos: s.Pos(), assign: s})
-		case *ast.IfStmt:
-			events = append(events, event{pos: s.Cond.Pos(), cond: s.Cond})
-		case *ast.ForStmt:
-			if s.Cond != nil {
-				events = append(events, event{pos: s.Cond.Pos(), cond: s.Cond})
+func checkBody(pass *analysis.Pass, file *ast.File, fn *ast.FuncDecl, body *ast.BlockStmt) {
+	g := cfg.New(body)
+	taint := &dataflow.Taint{
+		Info: pass.TypesInfo,
+		Source: func(call *ast.CallExpr) bool {
+			return lengthReads[dataflow.CalleeName(call)]
+		},
+		Sanitizer: func(call *ast.CallExpr) bool {
+			return clampCalls[dataflow.CalleeName(call)]
+		},
+		ClearOnCompare: true,
+	}
+	res := dataflow.Solve(g, &dataflow.Analysis{Meet: dataflow.May, Transfer: taint.Transfer})
+	res.Replay(func(n ast.Node, f dataflow.Facts) {
+		cfg.Inspect(n, func(m ast.Node) bool {
+			if _, ok := m.(*ast.FuncLit); ok {
+				return false // analyzed as its own graph
 			}
-		case *ast.CallExpr:
-			if id, ok := s.Fun.(*ast.Ident); ok && id.Name == "make" && len(s.Args) >= 2 {
-				events = append(events, event{pos: s.Pos(), make_: s})
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
 			}
-		}
-		return true
-	})
-	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
-
-	tainted := make(map[types.Object]bool)
-	for _, ev := range events {
-		switch {
-		case ev.assign != nil:
-			replayAssign(pass, ev.assign, tainted)
-		case ev.cond != nil:
-			clearChecked(pass, ev.cond, tainted)
-		case ev.make_ != nil:
-			for _, arg := range ev.make_.Args[1:] {
-				if reason, bad := unboundedArg(pass, arg, tainted); bad {
-					if _, ok := allow.Covering(pass.Fset, file, fn, ev.make_.Pos(), "boundedmake"); ok {
-						continue
-					}
-					pass.Reportf(ev.make_.Pos(),
-						"make() size %s comes from a wire-read length field without a dominating bound check; a lying header must fail before allocation (see internal/store's decoder idiom)", reason)
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "make" || len(call.Args) < 2 {
+				return true
+			}
+			for _, arg := range call.Args[1:] {
+				why, bad := unboundedArg(pass, taint, arg, f)
+				if !bad {
+					continue
+				}
+				if _, ok := allow.Covering(pass.Fset, file, fn, call.Pos(), "boundedmake"); ok {
 					break
 				}
+				pass.Reportf(call.Pos(),
+					"make() size %s comes from a wire-read length field without a dominating bound check; a lying header must fail before allocation (see internal/store's decoder idiom)", why)
+				break
 			}
-		}
-	}
-}
-
-// replayAssign updates taint for one assignment.
-func replayAssign(pass *analysis.Pass, s *ast.AssignStmt, tainted map[types.Object]bool) {
-	rhsTainted := false
-	for _, rhs := range s.Rhs {
-		if exprTainted(pass, rhs, tainted) || isLengthRead(rhs) {
-			rhsTainted = true
-		}
-	}
-	// An op-assign (n /= 2) reads its LHS: keep existing taint.
-	if s.Tok != token.ASSIGN && s.Tok != token.DEFINE && !rhsTainted {
-		for _, lhs := range s.Lhs {
-			if exprTainted(pass, lhs, tainted) {
-				rhsTainted = true
-			}
-		}
-	}
-	// Only the value positions of a `v, err := read()` pair carry the
-	// length; conservatively taint every non-error LHS variable.
-	for _, lhs := range s.Lhs {
-		id, ok := lhs.(*ast.Ident)
-		if !ok || id.Name == "_" {
-			continue
-		}
-		obj := pass.TypesInfo.Defs[id]
-		if obj == nil {
-			obj = pass.TypesInfo.Uses[id]
-		}
-		if obj == nil {
-			continue
-		}
-		if isErrorVar(obj) {
-			continue
-		}
-		tainted[obj] = rhsTainted
-	}
-}
-
-// clearChecked clears taint for variables compared in cond — the bound
-// check. Any relational comparison counts; the check's adequacy is the
-// reviewer's job, its existence is the analyzer's.
-func clearChecked(pass *analysis.Pass, cond ast.Expr, tainted map[types.Object]bool) {
-	ast.Inspect(cond, func(n ast.Node) bool {
-		be, ok := n.(*ast.BinaryExpr)
-		if !ok {
 			return true
-		}
-		switch be.Op {
-		case token.LSS, token.GTR, token.LEQ, token.GEQ:
-		default:
-			return true
-		}
-		for _, side := range []ast.Expr{be.X, be.Y} {
-			ast.Inspect(side, func(m ast.Node) bool {
-				if id, ok := m.(*ast.Ident); ok {
-					if obj := pass.TypesInfo.Uses[id]; obj != nil && tainted[obj] {
-						tainted[obj] = false
-					}
-				}
-				return true
-			})
-		}
-		return true
+		})
 	})
 }
 
-// unboundedArg reports whether a make size argument is tainted, naming
-// the offending variable or call.
-func unboundedArg(pass *analysis.Pass, arg ast.Expr, tainted map[types.Object]bool) (string, bool) {
-	// A clamp call bounds whatever is inside it.
-	if call, ok := arg.(*ast.CallExpr); ok {
-		if name := calleeName(call); clampCalls[name] {
-			return "", false
-		}
+// unboundedArg reports whether a make size argument is tainted where
+// it executes, naming the offending variable or inline call.
+func unboundedArg(pass *analysis.Pass, taint *dataflow.Taint, arg ast.Expr, f dataflow.Facts) (string, bool) {
+	if !taint.Tainted(arg, f) {
+		return "", false
 	}
-	if isLengthRead(arg) {
-		return "(" + calleeOf(arg) + "() inline)", true
-	}
-	var reason string
-	found := false
+	why := ""
 	ast.Inspect(arg, func(n ast.Node) bool {
-		if found {
+		if why != "" {
 			return false
 		}
-		if call, ok := n.(*ast.CallExpr); ok {
-			if name := calleeName(call); clampCalls[name] {
-				return false // clamped subexpression
-			}
-			if isLengthRead(call) {
-				reason, found = "("+calleeName(call)+"() inline)", true
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if clampCalls[dataflow.CalleeName(x)] {
 				return false
 			}
-		}
-		if id, ok := n.(*ast.Ident); ok {
-			if obj := pass.TypesInfo.Uses[id]; obj != nil && tainted[obj] {
-				reason, found = "("+id.Name+")", true
+			if lengthReads[dataflow.CalleeName(x)] {
+				why = "(" + dataflow.CalleeName(x) + "() inline)"
 				return false
+			}
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[x]; obj != nil {
+				if _, tainted := f[obj]; tainted {
+					why = "(" + x.Name + ")"
+					return false
+				}
 			}
 		}
 		return true
 	})
-	return reason, found
-}
-
-// exprTainted reports whether e mentions a tainted variable.
-func exprTainted(pass *analysis.Pass, e ast.Expr, tainted map[types.Object]bool) bool {
-	found := false
-	ast.Inspect(e, func(n ast.Node) bool {
-		if id, ok := n.(*ast.Ident); ok {
-			if obj := pass.TypesInfo.Uses[id]; obj != nil && tainted[obj] {
-				found = true
-			}
-		}
-		return true
-	})
-	return found
-}
-
-// isLengthRead reports whether e is a call to a length-read function.
-func isLengthRead(e ast.Expr) bool {
-	call, ok := e.(*ast.CallExpr)
-	if !ok {
-		return false
+	if why == "" {
+		why = "(wire length)"
 	}
-	return lengthReads[calleeName(call)]
-}
-
-// calleeName extracts the called function or method name.
-func calleeName(call *ast.CallExpr) string {
-	switch fun := call.Fun.(type) {
-	case *ast.Ident:
-		return fun.Name
-	case *ast.SelectorExpr:
-		return fun.Sel.Name
-	}
-	return ""
-}
-
-func calleeOf(e ast.Expr) string {
-	if call, ok := e.(*ast.CallExpr); ok {
-		return calleeName(call)
-	}
-	return ""
-}
-
-// isErrorVar reports whether obj has type error.
-func isErrorVar(obj types.Object) bool {
-	t := obj.Type()
-	return t != nil && t.String() == "error"
+	return why, true
 }

@@ -8,5 +8,5 @@ import (
 )
 
 func TestAnalyzer(t *testing.T) {
-	linttest.Run(t, boundedmake.Analyzer, "testdata/decode")
+	linttest.Run(t, boundedmake.Analyzer, "testdata/decode", "testdata/flow")
 }

@@ -1,0 +1,72 @@
+// Package fixture exercises the CFG-based boundedmake pass on shapes
+// the old source-order approximation provably missed: a bound check
+// that covers only one branch, a loop that re-reads the length after
+// the check, and a check sitting on a path a continue skips.
+package fixture
+
+type reader struct{ buf []byte }
+
+func (r *reader) uvarint() uint64 { return 0 }
+
+const maxLen = 1 << 12
+
+// branchOnly checks the bound on the strict path only. The old pass
+// cleared the taint at the first comparison it saw in source order and
+// missed the unchecked fall-through entirely.
+func branchOnly(r *reader, strict bool) []byte {
+	n := r.uvarint()
+	if strict {
+		if n > maxLen {
+			return nil
+		}
+		return make([]byte, n)
+	}
+	return make([]byte, n) // want `without a dominating bound check`
+}
+
+// loopRetaint checks the first length, then re-reads inside the loop:
+// the back edge carries fresh taint to an allocation that sits earlier
+// in the source than the re-read.
+func loopRetaint(r *reader) [][]byte {
+	var out [][]byte
+	n := r.uvarint()
+	if n > maxLen {
+		return nil
+	}
+	for i := 0; i < 4; i++ {
+		out = append(out, make([]byte, n)) // want `without a dominating bound check`
+		n = r.uvarint()
+	}
+	return out
+}
+
+// continueSkips places the only bound check on the legacy path, which
+// ends in a continue — the non-legacy path allocates unchecked, even
+// though the check appears earlier in the source.
+func continueSkips(r *reader, hdrs []bool) []byte {
+	n := r.uvarint()
+	for _, legacy := range hdrs {
+		if legacy {
+			if n > maxLen {
+				return nil
+			}
+			continue
+		}
+		return make([]byte, n) // want `without a dominating bound check`
+	}
+	return nil
+}
+
+// checkedEachRound re-validates every iteration's fresh read before
+// allocating with it; the per-iteration check dominates the make.
+func checkedEachRound(r *reader) [][]byte {
+	var out [][]byte
+	for i := 0; i < 4; i++ {
+		n := r.uvarint()
+		if n > maxLen {
+			return nil
+		}
+		out = append(out, make([]byte, n))
+	}
+	return out
+}

@@ -1,0 +1,601 @@
+// Package cfg builds per-function control-flow graphs over go/ast,
+// the foundation sknnlint's dataflow analyzers share. A Graph is a set
+// of basic blocks — straight-line runs of statements and condition
+// leaves — connected by edges that model if/for/range/switch/select,
+// break/continue (labeled included), fallthrough, return, panic, and
+// defer. Short-circuit conditions are decomposed: `a && b` produces a
+// block evaluating `a` with an edge that skips `b`, so a check hiding
+// on one arm of a condition does not pretend to cover the other.
+//
+// Deferred calls are collected during the build and replayed, last in
+// first out, in the dedicated exit block wrapped in a Deferred node:
+// `defer mu.Unlock()` releases on every path out of the function but
+// on none of the paths through it, which is exactly what the exit
+// block placement expresses.
+//
+// The package also computes dominators (the iterative Cooper–Harvey–
+// Kennedy algorithm over a reverse postorder), because "a bound check
+// dominates the allocation" — not "appears earlier in the source" —
+// is the property the security arguments actually need.
+//
+// Limitations, deliberate for a lint engine over this tree: goto is
+// treated as leaving the function (none exists in-tree), and function
+// literals are opaque — a caller analyzes their bodies as separate
+// graphs.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one straight-line run. Nodes holds statements in execution
+// order; a condition leaf appears as a bare ast.Expr, and a deferred
+// call replayed at function exit appears as *Deferred.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// Deferred wraps a deferred call for replay in the exit block.
+type Deferred struct{ Call *ast.CallExpr }
+
+// Pos implements ast.Node.
+func (d *Deferred) Pos() token.Pos { return d.Call.Pos() }
+
+// End implements ast.Node.
+func (d *Deferred) End() token.Pos { return d.Call.End() }
+
+// RangeHeader marks the per-iteration key/value assignment of a range
+// loop. It stands in for the RangeStmt in the header block so that the
+// loop body — which lives in its own blocks — is not also nested
+// inside a header node.
+type RangeHeader struct{ Range *ast.RangeStmt }
+
+// Pos implements ast.Node.
+func (r *RangeHeader) Pos() token.Pos { return r.Range.Pos() }
+
+// End implements ast.Node.
+func (r *RangeHeader) End() token.Pos { return r.Range.X.End() }
+
+// Inspect is ast.Inspect extended to the package's wrapper nodes: a
+// Deferred visits its call, a RangeHeader visits the key, value, and
+// ranged expressions (not the loop body). Every Replay visitor should
+// use it instead of ast.Inspect, which panics on foreign node types.
+func Inspect(n ast.Node, fn func(ast.Node) bool) {
+	switch x := n.(type) {
+	case *Deferred:
+		ast.Inspect(x.Call, fn)
+	case *RangeHeader:
+		if x.Range.Key != nil {
+			ast.Inspect(x.Range.Key, fn)
+		}
+		if x.Range.Value != nil {
+			ast.Inspect(x.Range.Value, fn)
+		}
+		ast.Inspect(x.Range.X, fn)
+	default:
+		ast.Inspect(n, fn)
+	}
+}
+
+// Loop records a for/range statement and the header block its back
+// edges target.
+type Loop struct {
+	Stmt   ast.Stmt // *ast.ForStmt or *ast.RangeStmt
+	Header *Block
+}
+
+// Graph is one function body's control-flow graph. Blocks[0] is the
+// entry, Blocks[1] the sole exit; every return, panic, and fallen-off
+// end reaches the exit block, where deferred calls replay.
+type Graph struct {
+	Blocks []*Block
+	Loops  []*Loop
+
+	blockOf map[ast.Node]*Block
+	rpo     []*Block
+	rpoNum  map[*Block]int
+	idom    map[*Block]*Block
+}
+
+// Entry returns the function entry block.
+func (g *Graph) Entry() *Block { return g.Blocks[0] }
+
+// Exit returns the function exit block.
+func (g *Graph) Exit() *Block { return g.Blocks[1] }
+
+// BlockOf returns the block a top-level statement or condition leaf
+// was placed in, or nil for nodes nested inside one (walk the block's
+// Nodes for those).
+func (g *Graph) BlockOf(n ast.Node) *Block { return g.blockOf[n] }
+
+// RPO returns the reachable blocks in reverse postorder from entry.
+func (g *Graph) RPO() []*Block { return g.rpo }
+
+// Reachable reports whether blk is reachable from the entry block.
+func (g *Graph) Reachable(blk *Block) bool {
+	_, ok := g.rpoNum[blk]
+	return ok
+}
+
+// Dominates reports whether a dominates b: every path from entry to b
+// passes through a. A block dominates itself. Unreachable blocks are
+// dominated by nothing but themselves.
+func (g *Graph) Dominates(a, b *Block) bool {
+	if a == b {
+		return true
+	}
+	for {
+		d, ok := g.idom[b]
+		if !ok || d == b {
+			return false
+		}
+		if d == a {
+			return true
+		}
+		b = d
+	}
+}
+
+// BackEdgeSources returns the blocks inside l whose edge to the header
+// closes the loop (preds of the header dominated by the header).
+func (g *Graph) BackEdgeSources(l *Loop) []*Block {
+	var out []*Block
+	for _, p := range l.Header.Preds {
+		if g.Reachable(p) && g.Dominates(l.Header, p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// New builds the graph for one function body.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{blockOf: make(map[ast.Node]*Block)}
+	b := &builder{g: g}
+	entry := b.newBlock()
+	b.exit = b.newBlock()
+	b.cur = entry
+	b.stmtList(body.List)
+	b.jump(b.exit)
+	for i := len(b.defers) - 1; i >= 0; i-- {
+		d := &Deferred{Call: b.defers[i]}
+		b.exit.Nodes = append(b.exit.Nodes, d)
+		g.blockOf[d] = b.exit
+	}
+	g.computeOrder()
+	g.computeDoms()
+	return g
+}
+
+// ctrl is one enclosing breakable construct (loop, switch, or select).
+type ctrl struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block // nil for switch/select
+}
+
+type builder struct {
+	g            *Graph
+	cur          *Block // nil after a terminator
+	exit         *Block
+	ctrls        []ctrl
+	defers       []*ast.CallExpr
+	pendingLabel string
+	fallTo       *Block // next case clause, for fallthrough
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// ensure gives statements after a terminator an (unreachable) block so
+// their nodes still map somewhere.
+func (b *builder) ensure() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+func (b *builder) add(n ast.Node) {
+	blk := b.ensure()
+	blk.Nodes = append(blk.Nodes, n)
+	b.g.blockOf[n] = blk
+}
+
+// jump closes the current block with an edge to to.
+func (b *builder) jump(to *Block) {
+	if b.cur != nil {
+		edge(b.cur, to)
+		b.cur = nil
+	}
+}
+
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.LabeledStmt:
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.switchStmt(s)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.exit)
+	case *ast.BranchStmt:
+		b.branch(s)
+	case *ast.DeferStmt:
+		b.add(s)
+		b.defers = append(b.defers, s.Call)
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanic(s.X) {
+			b.jump(b.exit)
+		}
+	case *ast.EmptyStmt:
+	default:
+		// DeclStmt, AssignStmt, IncDecStmt, GoStmt, SendStmt, …
+		b.add(s)
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.ensure()
+	after := b.newBlock()
+	then := b.newBlock()
+	els := after
+	if s.Else != nil {
+		els = b.newBlock()
+	}
+	b.cond(s.Cond, then, els)
+	b.cur = then
+	b.stmt(s.Body)
+	b.jump(after)
+	if s.Else != nil {
+		b.cur = els
+		b.stmt(s.Else)
+		b.jump(after)
+	}
+	b.cur = after
+}
+
+// cond decomposes a branch condition: short-circuit operators become
+// edges, and each atomic leaf lands in a block as a bare expression
+// with one edge per outcome.
+func (b *builder) cond(e ast.Expr, t, f *Block) {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		b.cond(x.X, t, f)
+		return
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND:
+			right := b.newBlock()
+			b.cond(x.X, right, f)
+			b.cur = right
+			b.cond(x.Y, t, f)
+			return
+		case token.LOR:
+			right := b.newBlock()
+			b.cond(x.X, t, right)
+			b.cur = right
+			b.cond(x.Y, t, f)
+			return
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			b.cond(x.X, f, t)
+			return
+		}
+	}
+	blk := b.ensure()
+	blk.Nodes = append(blk.Nodes, e)
+	b.g.blockOf[e] = blk
+	edge(blk, t)
+	edge(blk, f)
+	b.cur = nil
+}
+
+func (b *builder) forStmt(s *ast.ForStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	header := b.newBlock()
+	b.ensure()
+	b.jump(header)
+	b.cur = header
+	b.g.blockOf[s] = header
+	b.g.Loops = append(b.g.Loops, &Loop{Stmt: s, Header: header})
+	body := b.newBlock()
+	after := b.newBlock()
+	contTo := header
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock()
+		contTo = post
+	}
+	if s.Cond != nil {
+		b.cond(s.Cond, body, after)
+	} else {
+		edge(header, body)
+		b.cur = nil
+	}
+	b.ctrls = append(b.ctrls, ctrl{label, after, contTo})
+	b.cur = body
+	b.stmt(s.Body)
+	b.ctrls = b.ctrls[:len(b.ctrls)-1]
+	b.jump(contTo)
+	if post != nil {
+		b.cur = post
+		b.stmt(s.Post)
+		b.jump(header)
+	}
+	b.cur = after
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt) {
+	label := b.takeLabel()
+	header := b.newBlock()
+	b.ensure()
+	b.jump(header)
+	hdr := &RangeHeader{Range: s}
+	header.Nodes = append(header.Nodes, hdr)
+	b.g.blockOf[s] = header
+	b.g.blockOf[hdr] = header
+	b.g.Loops = append(b.g.Loops, &Loop{Stmt: s, Header: header})
+	body := b.newBlock()
+	after := b.newBlock()
+	edge(header, body)
+	edge(header, after)
+	b.ctrls = append(b.ctrls, ctrl{label, after, header})
+	b.cur = body
+	b.stmt(s.Body)
+	b.ctrls = b.ctrls[:len(b.ctrls)-1]
+	b.jump(header)
+	b.cur = after
+}
+
+func (b *builder) switchStmt(s *ast.SwitchStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	header := b.ensure()
+	if s.Tag != nil {
+		header.Nodes = append(header.Nodes, s.Tag)
+		b.g.blockOf[s.Tag] = header
+	}
+	b.caseClauses(s.Body, header, label)
+}
+
+func (b *builder) typeSwitchStmt(s *ast.TypeSwitchStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	header := b.ensure()
+	header.Nodes = append(header.Nodes, s.Assign)
+	b.g.blockOf[s.Assign] = header
+	b.caseClauses(s.Body, header, label)
+}
+
+func (b *builder) caseClauses(body *ast.BlockStmt, header *Block, label string) {
+	after := b.newBlock()
+	var clauses []*ast.CaseClause
+	hasDefault := false
+	for _, st := range body.List {
+		cc := st.(*ast.CaseClause)
+		clauses = append(clauses, cc)
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	blocks := make([]*Block, len(clauses))
+	for i := range clauses {
+		blocks[i] = b.newBlock()
+		edge(header, blocks[i])
+	}
+	if !hasDefault {
+		edge(header, after)
+	}
+	b.ctrls = append(b.ctrls, ctrl{label, after, nil})
+	savedFall := b.fallTo
+	for i, cc := range clauses {
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			blocks[i].Nodes = append(blocks[i].Nodes, e)
+			b.g.blockOf[e] = blocks[i]
+		}
+		if i+1 < len(blocks) {
+			b.fallTo = blocks[i+1]
+		} else {
+			b.fallTo = nil
+		}
+		b.stmtList(cc.Body)
+		b.jump(after)
+	}
+	b.fallTo = savedFall
+	b.ctrls = b.ctrls[:len(b.ctrls)-1]
+	b.cur = after
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt) {
+	label := b.takeLabel()
+	header := b.ensure()
+	b.g.blockOf[s] = header
+	after := b.newBlock()
+	b.ctrls = append(b.ctrls, ctrl{label, after, nil})
+	for _, st := range s.Body.List {
+		cc := st.(*ast.CommClause)
+		blk := b.newBlock()
+		edge(header, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.jump(after)
+	}
+	b.ctrls = b.ctrls[:len(b.ctrls)-1]
+	b.cur = after
+}
+
+func (b *builder) branch(s *ast.BranchStmt) {
+	b.add(s)
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(b.ctrls) - 1; i >= 0; i-- {
+			c := b.ctrls[i]
+			if s.Label == nil || c.label == s.Label.Name {
+				b.jump(c.breakTo)
+				return
+			}
+		}
+		b.cur = nil
+	case token.CONTINUE:
+		for i := len(b.ctrls) - 1; i >= 0; i-- {
+			c := b.ctrls[i]
+			if c.continueTo == nil {
+				continue // switch/select: not a continue target
+			}
+			if s.Label == nil || c.label == s.Label.Name {
+				b.jump(c.continueTo)
+				return
+			}
+		}
+		b.cur = nil
+	case token.FALLTHROUGH:
+		if b.fallTo != nil {
+			b.jump(b.fallTo)
+		} else {
+			b.cur = nil
+		}
+	case token.GOTO:
+		// Conservative: none in-tree; treat as leaving the function.
+		b.jump(b.exit)
+	}
+}
+
+func isPanic(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+func (g *Graph) computeOrder() {
+	seen := make(map[*Block]bool)
+	var post []*Block
+	var dfs func(*Block)
+	dfs = func(blk *Block) {
+		seen[blk] = true
+		for _, s := range blk.Succs {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, blk)
+	}
+	dfs(g.Blocks[0])
+	g.rpo = make([]*Block, len(post))
+	g.rpoNum = make(map[*Block]int, len(post))
+	for i, blk := range post {
+		j := len(post) - 1 - i
+		g.rpo[j] = blk
+		g.rpoNum[blk] = j
+	}
+}
+
+// computeDoms runs the iterative Cooper–Harvey–Kennedy dominator
+// algorithm over the reverse postorder.
+func (g *Graph) computeDoms() {
+	n := len(g.rpo)
+	idom := make([]*Block, n)
+	if n > 0 {
+		idom[0] = g.rpo[0]
+	}
+	intersect := func(a, b *Block) *Block {
+		for a != b {
+			for g.rpoNum[a] > g.rpoNum[b] {
+				a = idom[g.rpoNum[a]]
+			}
+			for g.rpoNum[b] > g.rpoNum[a] {
+				b = idom[g.rpoNum[b]]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 1; i < n; i++ {
+			var newIdom *Block
+			for _, p := range g.rpo[i].Preds {
+				pi, ok := g.rpoNum[p]
+				if !ok || idom[pi] == nil {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && idom[i] != newIdom {
+				idom[i] = newIdom
+				changed = true
+			}
+		}
+	}
+	g.idom = make(map[*Block]*Block, n)
+	for i := 1; i < n; i++ {
+		if idom[i] != nil {
+			g.idom[g.rpo[i]] = idom[i]
+		}
+	}
+}

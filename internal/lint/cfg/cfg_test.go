@@ -1,0 +1,258 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// graphFor parses src (a file body with one function f) and builds f's
+// graph.
+func graphFor(t *testing.T, src string) *Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "x.go", "package x\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok && fn.Name.Name == "f" {
+			return New(fn.Body)
+		}
+	}
+	t.Fatalf("no func f in %q", src)
+	return nil
+}
+
+// blockWith returns the first block containing a node matching pred.
+func blockWith(t *testing.T, g *Graph, what string, pred func(ast.Node) bool) *Block {
+	t.Helper()
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if pred(n) {
+				return blk
+			}
+		}
+	}
+	t.Fatalf("no block contains %s", what)
+	return nil
+}
+
+func identLeaf(name string) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		return ok && id.Name == name
+	}
+}
+
+// callTo matches the expression statement `name()` itself — not a
+// compound statement (loop, if) whose subtree happens to contain one.
+func callTo(name string) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == name
+	}
+}
+
+func TestBranchDominance(t *testing.T) {
+	g := graphFor(t, `
+func f(a bool) {
+	if a {
+		then()
+	} else {
+		other()
+	}
+	after()
+}
+func then() {}; func other() {}; func after() {}`)
+	cond := blockWith(t, g, "cond leaf a", identLeaf("a"))
+	thenB := blockWith(t, g, "then()", callTo("then"))
+	elseB := blockWith(t, g, "other()", callTo("other"))
+	afterB := blockWith(t, g, "after()", callTo("after"))
+	if !g.Dominates(cond, afterB) {
+		t.Errorf("condition block must dominate the join")
+	}
+	if g.Dominates(thenB, afterB) || g.Dominates(elseB, afterB) {
+		t.Errorf("neither arm dominates the join")
+	}
+	if len(cond.Succs) != 2 {
+		t.Errorf("condition leaf has %d successors, want 2", len(cond.Succs))
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// a && b: b only evaluates when a is true, so a's block dominates
+	// b's; the then-arm is reached only through b.
+	g := graphFor(t, `
+func f(a, b bool) {
+	if a && b {
+		then()
+	}
+	after()
+}
+func then() {}; func after() {}`)
+	aB := blockWith(t, g, "leaf a", identLeaf("a"))
+	bB := blockWith(t, g, "leaf b", identLeaf("b"))
+	thenB := blockWith(t, g, "then()", callTo("then"))
+	if aB == bB {
+		t.Fatalf("&& operands must land in separate blocks")
+	}
+	if !g.Dominates(aB, bB) || !g.Dominates(bB, thenB) {
+		t.Errorf("a must dominate b, b must dominate then")
+	}
+
+	// a || b: the then-arm has two predecessors, so b does NOT
+	// dominate it.
+	g = graphFor(t, `
+func f(a, b bool) {
+	if a || b {
+		then()
+	}
+}
+func then() {}`)
+	bB = blockWith(t, g, "leaf b", identLeaf("b"))
+	thenB = blockWith(t, g, "then()", callTo("then"))
+	if g.Dominates(bB, thenB) {
+		t.Errorf("with ||, the second operand must not dominate the then-arm")
+	}
+}
+
+func TestLoopBackEdge(t *testing.T) {
+	g := graphFor(t, `
+func f(n int) {
+	for i := 0; i < n; i++ {
+		body()
+	}
+	after()
+}
+func body() {}; func after() {}`)
+	if len(g.Loops) != 1 {
+		t.Fatalf("got %d loops, want 1", len(g.Loops))
+	}
+	srcs := g.BackEdgeSources(g.Loops[0])
+	if len(srcs) == 0 {
+		t.Fatalf("loop has no back edge")
+	}
+	header := g.Loops[0].Header
+	bodyB := blockWith(t, g, "body()", callTo("body"))
+	afterB := blockWith(t, g, "after()", callTo("after"))
+	if !g.Dominates(header, bodyB) {
+		t.Errorf("loop header must dominate the body")
+	}
+	if g.Dominates(bodyB, afterB) {
+		t.Errorf("the body must not dominate the loop exit (zero-trip path)")
+	}
+}
+
+func TestContinueSkipsTail(t *testing.T) {
+	// The tail check does not dominate the back edge when a continue
+	// can skip it — the exact shape ctxround's dominator rule exists
+	// to catch.
+	g := graphFor(t, `
+func f(xs []int) {
+	for i := range xs {
+		body()
+		if i > 2 {
+			continue
+		}
+		tail()
+	}
+}
+func body() {}; func tail() {}`)
+	tailB := blockWith(t, g, "tail()", callTo("tail"))
+	for _, src := range g.BackEdgeSources(g.Loops[0]) {
+		if g.Dominates(tailB, src) && src != tailB {
+			continue
+		}
+		if src != tailB {
+			return // found a back-edge source the tail does not dominate
+		}
+	}
+	t.Errorf("continue must create a back edge bypassing the tail block")
+}
+
+func TestDeferReplaysAtExit(t *testing.T) {
+	g := graphFor(t, `
+func f() {
+	setup()
+	defer cleanup()
+	body()
+}
+func setup() {}; func cleanup() {}; func body() {}`)
+	var deferred *Deferred
+	for _, n := range g.Exit().Nodes {
+		if d, ok := n.(*Deferred); ok {
+			deferred = d
+		}
+	}
+	if deferred == nil {
+		t.Fatalf("exit block holds no Deferred node")
+	}
+	bodyB := blockWith(t, g, "body()", callTo("body"))
+	for _, n := range bodyB.Nodes {
+		if _, ok := n.(*Deferred); ok {
+			t.Errorf("Deferred node must only appear in the exit block")
+		}
+	}
+	if !g.Dominates(bodyB, g.Exit()) {
+		t.Errorf("straight-line body must dominate exit")
+	}
+}
+
+func TestReturnReachesExit(t *testing.T) {
+	g := graphFor(t, `
+func f(a bool) int {
+	if a {
+		return 1
+	}
+	return 2
+}`)
+	exit := g.Exit()
+	if len(exit.Preds) != 2 {
+		t.Errorf("exit has %d preds, want 2 (one per return)", len(exit.Preds))
+	}
+	if !g.Reachable(exit) {
+		t.Errorf("exit must be reachable")
+	}
+}
+
+func TestSwitchAndSelect(t *testing.T) {
+	g := graphFor(t, `
+func f(op int, ch chan int) {
+	switch op {
+	case 1:
+		one()
+	case 2:
+		two()
+	}
+	select {
+	case <-ch:
+		recv()
+	default:
+		dflt()
+	}
+	after()
+}
+func one() {}; func two() {}; func recv() {}; func dflt() {}; func after() {}`)
+	oneB := blockWith(t, g, "one()", callTo("one"))
+	twoB := blockWith(t, g, "two()", callTo("two"))
+	recvB := blockWith(t, g, "recv()", callTo("recv"))
+	afterB := blockWith(t, g, "after()", callTo("after"))
+	for name, blk := range map[string]*Block{"case 1": oneB, "case 2": twoB, "select recv": recvB} {
+		if g.Dominates(blk, afterB) {
+			t.Errorf("%s must not dominate the code after (other arms exist)", name)
+		}
+	}
+	if !g.Reachable(afterB) {
+		t.Errorf("fallthrough path must keep after() reachable")
+	}
+}

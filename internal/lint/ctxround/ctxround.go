@@ -4,13 +4,23 @@
 // scheduling work within one round instead of finishing the scan it
 // started.
 //
-// The rule: inside a function that has a context available — a
-// context.Context parameter, or a receiver whose struct carries a
-// context.Context field (the QuerySession/sessionConn shape) — every
-// for/range loop that drives wire rounds (calls to Send, Recv,
-// RoundTrip, or roundTrip outside nested function literals) must also
-// contain a cancellation check: a ctx.Err() call, a ctxErr() helper
-// call, or a <-ctx.Done() receive.
+// The rule, stated over the per-function CFG (internal/lint/cfg):
+// inside a function that has a context available — a context.Context
+// parameter, or a receiver whose struct carries a context.Context
+// field (the QuerySession/sessionConn shape) — every for/range loop
+// that drives wire rounds (calls to Send, Recv, RoundTrip, or
+// roundTrip outside nested function literals) must place a
+// cancellation check where it actually guards the rounds: a check
+// block must dominate every round call in the loop (check-then-send),
+// or dominate every back edge (send-then-check-at-tail), so that no
+// iteration sequence does two rounds without a check in between. A
+// check that merely appears somewhere in the body — behind a debug
+// flag, or on a path a continue skips — no longer counts.
+//
+// Accepted checks: a ctx.Err() call, a ctxErr()/CtxErr() helper call,
+// a <-ctx.Done() receive, or a select statement with a <-ctx.Done()
+// clause (the select's header is the check point: a canceled context
+// makes that clause ready).
 //
 // Functions with no reachable context are exempt on purpose: the smc
 // primitives and the mpc serve loops run unbound by design, with
@@ -25,6 +35,7 @@ import (
 
 	"sknn/internal/lint/allow"
 	"sknn/internal/lint/analysis"
+	"sknn/internal/lint/cfg"
 )
 
 // Analyzer is the cancellation-contract checker.
@@ -57,6 +68,15 @@ func run(pass *analysis.Pass) error {
 				continue
 			}
 			checkLoops(pass, f, fn, fn.Body)
+			// A loop inside a function literal (worker goroutines)
+			// answers to the same contract; each literal gets its own
+			// graph.
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkLoops(pass, f, fn, lit.Body)
+				}
+				return true
+			})
 		}
 	}
 	return nil
@@ -99,93 +119,191 @@ func isContextType(t types.Type) bool {
 	return t != nil && analysis.TypeName(t) == "context.Context"
 }
 
-// checkLoops walks every for/range statement under n and reports round
-// loops lacking a cancellation check.
-func checkLoops(pass *analysis.Pass, file *ast.File, fn *ast.FuncDecl, n ast.Node) {
-	ast.Inspect(n, func(node ast.Node) bool {
-		var body *ast.BlockStmt
-		switch loop := node.(type) {
-		case *ast.ForStmt:
-			body = loop.Body
-		case *ast.RangeStmt:
-			body = loop.Body
-		default:
-			return true
+// checkLoops builds body's CFG and applies the dominator rule to every
+// round-driving loop.
+func checkLoops(pass *analysis.Pass, file *ast.File, fn *ast.FuncDecl, body *ast.BlockStmt) {
+	g := cfg.New(body)
+	rounds := blocksContaining(g, isRoundCall)
+	checks := checkBlocks(pass, g, body)
+	for _, loop := range g.Loops {
+		body := loopBlocks(g, loop)
+		var loopRounds []*cfg.Block
+		for blk := range rounds {
+			if body[blk] {
+				loopRounds = append(loopRounds, blk)
+			}
 		}
-		if !drivesRounds(body) {
-			return true
+		if len(loopRounds) == 0 {
+			continue
 		}
-		if hasCancellationCheck(pass, body) {
-			return true
+		if guarded(g, loop, body, loopRounds, checks) {
+			continue
 		}
-		if _, ok := allow.Covering(pass.Fset, file, fn, node.Pos(), "ctxround"); ok {
-			return true
+		if _, ok := allow.Covering(pass.Fset, file, fn, loop.Stmt.Pos(), "ctxround"); ok {
+			continue
 		}
-		pass.Reportf(node.Pos(),
-			"loop drives protocol rounds (Send/Recv/RoundTrip) without checking the query context; call ctx.Err()/ctxErr() between rounds so a canceled query aborts within one round")
-		return true
-	})
+		pass.Reportf(loop.Stmt.Pos(),
+			"loop drives protocol rounds (Send/Recv/RoundTrip) without checking the query context; a ctx.Err()/ctxErr() check must dominate the rounds or the loop's back edge so a canceled query aborts within one round")
+	}
 }
 
-// drivesRounds reports whether the loop body directly (outside nested
-// function literals, whose scheduling is the worker pool's concern)
-// calls a wire-round function.
-func drivesRounds(body *ast.BlockStmt) bool {
-	found := false
+// guarded reports whether some check block dominates every round call
+// in the loop (check-then-send) or every back edge (tail check).
+func guarded(g *cfg.Graph, loop *cfg.Loop, body map[*cfg.Block]bool, rounds []*cfg.Block, checks map[*cfg.Block]bool) bool {
+	dominatesAll := func(targets []*cfg.Block) bool {
+		for cb := range checks {
+			if !body[cb] {
+				continue
+			}
+			all := true
+			for _, t := range targets {
+				if !g.Dominates(cb, t) {
+					all = false
+					break
+				}
+			}
+			if all {
+				return true
+			}
+		}
+		return false
+	}
+	if dominatesAll(rounds) {
+		return true
+	}
+	backs := g.BackEdgeSources(loop)
+	if len(backs) == 0 {
+		return false
+	}
+	return dominatesAll(backs)
+}
+
+// loopBlocks returns the natural loop of the header: the header plus
+// every block that reaches a back edge without passing the header.
+func loopBlocks(g *cfg.Graph, loop *cfg.Loop) map[*cfg.Block]bool {
+	body := map[*cfg.Block]bool{loop.Header: true}
+	stack := append([]*cfg.Block(nil), g.BackEdgeSources(loop)...)
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if body[blk] {
+			continue
+		}
+		body[blk] = true
+		stack = append(stack, blk.Preds...)
+	}
+	return body
+}
+
+// blocksContaining returns the blocks with a node matching pred,
+// ignoring nested function literals.
+func blocksContaining(g *cfg.Graph, pred func(ast.Node) bool) map[*cfg.Block]bool {
+	out := make(map[*cfg.Block]bool)
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			found := false
+			cfg.Inspect(n, func(m ast.Node) bool {
+				if _, ok := m.(*ast.FuncLit); ok {
+					return false
+				}
+				if pred(m) {
+					found = true
+				}
+				return true
+			})
+			if found {
+				out[blk] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+func isRoundCall(n ast.Node) bool {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		return roundCalls[fun.Sel.Name]
+	case *ast.Ident:
+		return roundCalls[fun.Name]
+	}
+	return false
+}
+
+// checkBlocks returns every block holding an accepted cancellation
+// check, crediting a select statement's header when one of its clauses
+// receives from ctx.Done().
+func checkBlocks(pass *analysis.Pass, g *cfg.Graph, body *ast.BlockStmt) map[*cfg.Block]bool {
+	out := blocksContaining(g, func(n ast.Node) bool { return isCheck(pass, n) })
 	ast.Inspect(body, func(n ast.Node) bool {
 		if _, ok := n.(*ast.FuncLit); ok {
 			return false
 		}
-		call, ok := n.(*ast.CallExpr)
+		sel, ok := n.(*ast.SelectStmt)
 		if !ok {
 			return true
 		}
-		switch fun := call.Fun.(type) {
-		case *ast.SelectorExpr:
-			if roundCalls[fun.Sel.Name] {
-				found = true
+		for _, st := range sel.Body.List {
+			cc := st.(*ast.CommClause)
+			if cc.Comm == nil {
+				continue
 			}
-		case *ast.Ident:
-			if roundCalls[fun.Name] {
-				found = true
+			hasDone := false
+			ast.Inspect(cc.Comm, func(m ast.Node) bool {
+				if isDoneRecv(pass, m) {
+					hasDone = true
+				}
+				return true
+			})
+			if hasDone {
+				if hdr := g.BlockOf(sel); hdr != nil {
+					out[hdr] = true
+				}
+				break
 			}
 		}
 		return true
 	})
-	return found
+	return out
 }
 
-// hasCancellationCheck reports whether the loop body contains any of
-// the accepted between-round checks.
-func hasCancellationCheck(pass *analysis.Pass, body *ast.BlockStmt) bool {
-	found := false
-	ast.Inspect(body, func(n ast.Node) bool {
-		switch e := n.(type) {
-		case *ast.CallExpr:
-			switch fun := e.Fun.(type) {
-			case *ast.SelectorExpr:
-				// ctx.Err() on a context value, or a ctxErr helper.
-				if fun.Sel.Name == "Err" && isContextType(pass.TypesInfo.TypeOf(fun.X)) {
-					found = true
-				}
-				if fun.Sel.Name == "ctxErr" || fun.Sel.Name == "CtxErr" {
-					found = true
-				}
-			case *ast.Ident:
-				if fun.Name == "ctxErr" || fun.Name == "CtxErr" {
-					found = true
-				}
+func isCheck(pass *analysis.Pass, n ast.Node) bool {
+	switch e := n.(type) {
+	case *ast.CallExpr:
+		switch fun := e.Fun.(type) {
+		case *ast.SelectorExpr:
+			// ctx.Err() on a context value, or a ctxErr helper.
+			if fun.Sel.Name == "Err" && isContextType(pass.TypesInfo.TypeOf(fun.X)) {
+				return true
 			}
-		case *ast.UnaryExpr:
-			// <-ctx.Done() (typically inside a select).
-			if call, ok := e.X.(*ast.CallExpr); ok {
-				if sel, ok := call.Fun.(*ast.SelectorExpr); ok &&
-					sel.Sel.Name == "Done" && isContextType(pass.TypesInfo.TypeOf(sel.X)) {
-					found = true
-				}
+			if fun.Sel.Name == "ctxErr" || fun.Sel.Name == "CtxErr" {
+				return true
+			}
+		case *ast.Ident:
+			if fun.Name == "ctxErr" || fun.Name == "CtxErr" {
+				return true
 			}
 		}
-		return true
-	})
-	return found
+	case *ast.UnaryExpr:
+		return isDoneRecv(pass, e)
+	}
+	return false
+}
+
+// isDoneRecv matches a <-ctx.Done() receive.
+func isDoneRecv(pass *analysis.Pass, n ast.Node) bool {
+	ue, ok := n.(*ast.UnaryExpr)
+	if !ok {
+		return false
+	}
+	call, ok := ue.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Done" && isContextType(pass.TypesInfo.TypeOf(sel.X))
 }

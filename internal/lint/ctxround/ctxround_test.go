@@ -8,5 +8,5 @@ import (
 )
 
 func TestAnalyzer(t *testing.T) {
-	linttest.Run(t, ctxround.Analyzer, "testdata/loops")
+	linttest.Run(t, ctxround.Analyzer, "testdata/loops", "testdata/dominance")
 }

@@ -1,0 +1,93 @@
+// Package fixture exercises the dominator-based ctxround rule on
+// shapes the old contains-a-check heuristic provably missed: a check
+// behind a debug flag, a check skipped by a continue, and a check on
+// one branch while both branches drive rounds. A tail check that
+// dominates the back edge stays accepted.
+package fixture
+
+import "context"
+
+type conn struct{}
+
+func (conn) Send(v int) error             { return nil }
+func (conn) RoundTrip(v int) (int, error) { return v, nil }
+
+var debug bool
+
+// debugOnly hides its only cancellation check behind a flag; with
+// debug off, the loop never observes the context. The old pass saw "a
+// check somewhere in the body" and accepted it.
+func debugOnly(ctx context.Context, c conn) error {
+	for i := 0; i < 8; i++ { // want `must dominate the rounds or the loop's back edge`
+		if debug {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		if _, err := c.RoundTrip(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// continueSkipsCheck sends, then continues past the tail check on the
+// fast path: consecutive fast iterations do two rounds with no check
+// in between.
+func continueSkipsCheck(ctx context.Context, c conn, fast []bool) error {
+	for i := 0; i < len(fast); i++ { // want `must dominate the rounds or the loop's back edge`
+		if err := c.Send(i); err != nil {
+			return err
+		}
+		if fast[i] {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// branchOnlyCheck checks the context on the slow branch but rounds on
+// both; the fast branch's Send is never guarded.
+func branchOnlyCheck(ctx context.Context, c conn, slow bool) error {
+	for i := 0; i < 8; i++ { // want `must dominate the rounds or the loop's back edge`
+		if slow {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := c.Send(i); err != nil {
+				return err
+			}
+		} else if err := c.Send(-i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// tailChecked rounds first and checks at the loop tail with no way
+// around it: the check dominates the back edge, so no two rounds ever
+// run without a check in between.
+func tailChecked(ctx context.Context, c conn) error {
+	for i := 0; i < 8; i++ {
+		if _, err := c.RoundTrip(i); err != nil {
+			return err
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// workerLoop drives rounds from a goroutine literal; the literal's own
+// loop answers to the same contract.
+func workerLoop(ctx context.Context, c conn, spawn func(func())) {
+	spawn(func() {
+		for i := 0; i < 4; i++ { // want `must dominate the rounds or the loop's back edge`
+			_ = c.Send(i)
+		}
+	})
+}

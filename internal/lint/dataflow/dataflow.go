@@ -1,0 +1,172 @@
+// Package dataflow runs forward dataflow analyses over the CFGs built
+// by internal/lint/cfg. An Analysis supplies a transfer function over
+// the fact map; the solver iterates to a fixpoint with either a may
+// (union) or must (intersection) meet, then Replay hands every node to
+// a visitor together with the facts that hold immediately before it —
+// which is where analyzers raise their findings.
+//
+// Facts are a flat map from an analyzer-chosen key (typically a
+// types.Object, or a small comparable struct for field paths) to a
+// comparable value. The must meet intersects keys and joins values
+// through the analysis's Join hook (a block reached holding a write
+// lock on one path and a read lock on the other holds, at the join,
+// only a read lock).
+package dataflow
+
+import (
+	"go/ast"
+
+	"sknn/internal/lint/cfg"
+)
+
+// Facts is the lattice element: present key = fact holds.
+type Facts map[any]any
+
+// Clone returns an independent copy.
+func (f Facts) Clone() Facts {
+	out := make(Facts, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+func (f Facts) equal(other Facts) bool {
+	if len(f) != len(other) {
+		return false
+	}
+	for k, v := range f {
+		if ov, ok := other[k]; !ok || ov != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Meet selects how facts combine where paths join.
+type Meet int
+
+const (
+	// May keeps a fact if it holds on any incoming path (union).
+	May Meet = iota
+	// Must keeps a fact only if it holds on every incoming path
+	// (intersection).
+	Must
+)
+
+// Analysis is one forward dataflow problem.
+type Analysis struct {
+	Meet Meet
+	// Transfer updates facts in place for one node. Nodes are the
+	// cfg.Block node kinds: statements, bare condition-leaf
+	// expressions, and *cfg.Deferred wrappers.
+	Transfer func(n ast.Node, f Facts)
+	// Join reconciles two values for the same key at a meet point
+	// (Must only; nil keeps the value when both sides agree and drops
+	// the key otherwise).
+	Join func(a, b any) any
+	// Entry seeds the entry block (nil for no initial facts).
+	Entry Facts
+}
+
+// Result holds the fixpoint solution.
+type Result struct {
+	graph    *cfg.Graph
+	analysis *Analysis
+	in       map[*cfg.Block]Facts
+}
+
+// Solve iterates the analysis over g to a fixpoint.
+func Solve(g *cfg.Graph, a *Analysis) *Result {
+	r := &Result{graph: g, analysis: a, in: make(map[*cfg.Block]Facts)}
+	out := make(map[*cfg.Block]Facts)
+	rpo := g.RPO()
+	if len(rpo) == 0 {
+		return r
+	}
+	for changed := true; changed; {
+		changed = false
+		for i, blk := range rpo {
+			var in Facts
+			if i == 0 {
+				if a.Entry != nil {
+					in = a.Entry.Clone()
+				} else {
+					in = make(Facts)
+				}
+			} else {
+				in = r.meetPreds(blk, out)
+			}
+			r.in[blk] = in
+			o := in.Clone()
+			for _, n := range blk.Nodes {
+				a.Transfer(n, o)
+			}
+			if prev, ok := out[blk]; !ok || !prev.equal(o) {
+				out[blk] = o
+				changed = true
+			}
+		}
+	}
+	return r
+}
+
+// meetPreds combines predecessor out-facts. Predecessors not yet
+// processed (back edges on the first sweep, unreachable blocks) are
+// skipped — the standard optimistic iteration, safe because the
+// framework is monotone and the solver runs to fixpoint.
+func (r *Result) meetPreds(blk *cfg.Block, out map[*cfg.Block]Facts) Facts {
+	var acc Facts
+	for _, p := range blk.Preds {
+		po, ok := out[p]
+		if !ok {
+			continue
+		}
+		if acc == nil {
+			acc = po.Clone()
+			continue
+		}
+		if r.analysis.Meet == May {
+			for k, v := range po {
+				if _, exists := acc[k]; !exists {
+					acc[k] = v
+				}
+			}
+		} else {
+			for k, v := range acc {
+				pv, exists := po[k]
+				switch {
+				case !exists:
+					delete(acc, k)
+				case pv != v:
+					if r.analysis.Join != nil {
+						acc[k] = r.analysis.Join(v, pv)
+					} else {
+						delete(acc, k)
+					}
+				}
+			}
+		}
+	}
+	if acc == nil {
+		acc = make(Facts)
+	}
+	return acc
+}
+
+// In returns the facts holding at entry to blk (nil for unreachable
+// blocks).
+func (r *Result) In(blk *cfg.Block) Facts { return r.in[blk] }
+
+// Replay visits every node of every reachable block in reverse
+// postorder, passing the facts that hold immediately before the node
+// executes, then applies the transfer function to advance them.
+func (r *Result) Replay(visit func(n ast.Node, f Facts)) {
+	for _, blk := range r.graph.RPO() {
+		f := r.in[blk].Clone()
+		for _, n := range blk.Nodes {
+			visit(n, f)
+			r.analysis.Transfer(n, f)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"sknn/internal/lint/cfg"
+)
+
+// funcGraph type-checks src (one package with func f plus helpers) and
+// returns f's graph and the type info.
+func funcGraph(t *testing.T, src string) (*cfg.Graph, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "x.go", "package x\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+		Types: make(map[ast.Expr]types.TypeAndValue),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("x", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("type check: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok && fn.Name.Name == "f" {
+			return cfg.New(fn.Body), info
+		}
+	}
+	t.Fatalf("no func f")
+	return nil, nil
+}
+
+// taintAtSink solves a read()-taint problem and reports whether the
+// argument of the call to sink() is tainted where it executes.
+func taintAtSink(t *testing.T, src string) bool {
+	t.Helper()
+	g, info := funcGraph(t, src)
+	taint := &Taint{
+		Info: info,
+		Source: func(call *ast.CallExpr) bool {
+			return CalleeName(call) == "read"
+		},
+		ClearOnCompare: true,
+	}
+	res := Solve(g, &Analysis{Meet: May, Transfer: taint.Transfer})
+	tainted := false
+	res.Replay(func(n ast.Node, f Facts) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok || CalleeName(call) != "sink" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if taint.Tainted(arg, f) {
+					tainted = true
+				}
+			}
+			return true
+		})
+	})
+	return tainted
+}
+
+const helpers = `
+func read() int { return 0 }
+func sink(int)  {}
+`
+
+func TestTaintBranchOnlyCheck(t *testing.T) {
+	// The check covers only the then-arm; the else path reaches the
+	// sink unchecked, so the union meet must keep the taint.
+	if !taintAtSink(t, `
+func f(a bool) {
+	n := read()
+	if a {
+		if n > 10 {
+			return
+		}
+		sink(n)
+	} else {
+		sink(n)
+	}
+}`+helpers) {
+		t.Errorf("taint must survive on the unchecked branch")
+	}
+}
+
+func TestTaintDominatingCheck(t *testing.T) {
+	if taintAtSink(t, `
+func f() {
+	n := read()
+	if n > 10 {
+		return
+	}
+	sink(n)
+}`+helpers) {
+		t.Errorf("a dominating bound check must clear the taint")
+	}
+}
+
+func TestTaintLoopCarried(t *testing.T) {
+	// The pre-loop check clears n, but the loop body re-reads it; the
+	// back edge carries fresh taint to the sink at the loop top.
+	if !taintAtSink(t, `
+func f() {
+	n := read()
+	if n > 10 {
+		return
+	}
+	for i := 0; i < 3; i++ {
+		sink(n)
+		n = read()
+	}
+}`+helpers) {
+		t.Errorf("back edge must carry the re-read taint to the sink")
+	}
+}
+
+func TestTaintShortCircuitCheck(t *testing.T) {
+	// n > 10 guards the sink through && — the sink only runs when the
+	// comparison executed.
+	if taintAtSink(t, `
+func f(a bool) {
+	n := read()
+	if a && n < 10 {
+		sink(n)
+	}
+}`+helpers) {
+		t.Errorf("a short-circuit bound check still dominates its then-arm")
+	}
+}
+
+func TestMustMeetWithJoin(t *testing.T) {
+	// Mini lockguard: Lock() sets the fact to "w", RLock() to "r",
+	// Unlock-style calls kill it. At the join of a w-path and an
+	// r-path the must meet with Join keeps "r".
+	src := `
+func f(a bool) {
+	if a {
+		lock()
+	} else {
+		rlock()
+	}
+	use()
+	unlock()
+	after()
+}
+func lock() {}; func rlock() {}; func unlock() {}; func use() {}; func after() {}`
+	g, _ := funcGraph(t, src)
+	key := "mu"
+	an := &Analysis{
+		Meet: Must,
+		Join: func(a, b any) any {
+			if a == "r" || b == "r" {
+				return "r"
+			}
+			return a
+		},
+		Transfer: func(n ast.Node, f Facts) {
+			ast.Inspect(n, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch CalleeName(call) {
+				case "lock":
+					f[key] = "w"
+				case "rlock":
+					f[key] = "r"
+				case "unlock":
+					delete(f, key)
+				}
+				return true
+			})
+		},
+	}
+	res := Solve(g, an)
+	got := map[string]any{}
+	res.Replay(func(n ast.Node, f Facts) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				name := CalleeName(call)
+				if name == "use" || name == "after" {
+					got[name] = f[key]
+				}
+			}
+			return true
+		})
+	})
+	if got["use"] != "r" {
+		t.Errorf("at use(): fact = %v, want %q (w ⊓ r)", got["use"], "r")
+	}
+	if got["after"] != nil {
+		t.Errorf("at after(): fact = %v, want released", got["after"])
+	}
+}
+
+func TestDeferKillsOnlyAtExit(t *testing.T) {
+	// A deferred unlock releases at function exit, not where the defer
+	// statement sits — the fact must still hold at use().
+	src := `
+func f() {
+	lock()
+	defer unlock()
+	use()
+}
+func lock() {}; func unlock() {}; func use() {}`
+	g, _ := funcGraph(t, src)
+	key := "mu"
+	transfer := func(n ast.Node, f Facts) {
+		if d, ok := n.(*cfg.Deferred); ok {
+			if CalleeName(d.Call) == "unlock" {
+				delete(f, key)
+			}
+			return
+		}
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return // runs at exit, not here
+		}
+		ast.Inspect(n, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok && CalleeName(call) == "lock" {
+				f[key] = "w"
+			}
+			return true
+		})
+	}
+	res := Solve(g, &Analysis{Meet: Must, Transfer: transfer})
+	held := false
+	res.Replay(func(n ast.Node, f Facts) {
+		if _, ok := n.(*cfg.Deferred); ok {
+			return // not an ast.Walk-able node
+		}
+		ast.Inspect(n, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok && CalleeName(call) == "use" {
+				_, held = f[key]
+			}
+			return true
+		})
+	})
+	if !held {
+		t.Errorf("deferred unlock must not release the lock before exit")
+	}
+}

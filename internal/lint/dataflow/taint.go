@@ -1,0 +1,222 @@
+// Taint is the shared source→sanitizer→sink vocabulary layered on the
+// solver. boundedmake (wire lengths must be bound-checked before they
+// size a make) and partyflow (decrypted plaintexts must be blinded
+// before they reach a wire sink) are both instances of it.
+
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"sknn/internal/lint/cfg"
+)
+
+// Taint tracks which variables hold values derived from a source call
+// that no sanitizer has laundered yet. Fact keys are types.Objects,
+// values are true.
+type Taint struct {
+	Info *types.Info
+	// Source reports calls whose results are tainted.
+	Source func(call *ast.CallExpr) bool
+	// Sanitizer reports calls whose results are clean regardless of
+	// their arguments (blinding, clamping, fresh encryption).
+	Sanitizer func(call *ast.CallExpr) bool
+	// ClearOnCompare drops taint from variables mentioned in a
+	// relational comparison (<, >, <=, >=) — the bound-check idiom.
+	ClearOnCompare bool
+}
+
+// Transfer is the Analysis.Transfer for a taint problem.
+func (t *Taint) Transfer(n ast.Node, f Facts) {
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		t.assign(s, f)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				tainted := false
+				for _, v := range vs.Values {
+					if t.Tainted(v, f) {
+						tainted = true
+					}
+				}
+				for _, name := range vs.Names {
+					t.setIdent(name, tainted, f)
+				}
+			}
+		}
+	case *cfg.RangeHeader:
+		if t.Tainted(s.Range.X, f) {
+			for _, e := range []ast.Expr{s.Range.Key, s.Range.Value} {
+				if id, ok := e.(*ast.Ident); ok {
+					t.setIdent(id, true, f)
+				}
+			}
+		}
+	case ast.Expr:
+		// A condition leaf. Relational comparisons launder the
+		// variables they mention on both outgoing edges: the check's
+		// adequacy is the reviewer's job, its existence and placement
+		// are the analyzer's.
+		if t.ClearOnCompare {
+			t.clearCompared(s, f)
+		}
+	}
+}
+
+func (t *Taint) assign(s *ast.AssignStmt, f Facts) {
+	rhsTainted := false
+	for _, rhs := range s.Rhs {
+		if t.Tainted(rhs, f) {
+			rhsTainted = true
+		}
+	}
+	// An op-assign (n /= 2, n += x) reads its LHS: keep existing taint.
+	if s.Tok != token.ASSIGN && s.Tok != token.DEFINE && !rhsTainted {
+		for _, lhs := range s.Lhs {
+			if t.Tainted(lhs, f) {
+				rhsTainted = true
+			}
+		}
+	}
+	for _, lhs := range s.Lhs {
+		switch target := lhs.(type) {
+		case *ast.Ident:
+			t.setIdent(target, rhsTainted, f)
+		case *ast.IndexExpr, *ast.SelectorExpr:
+			// Storing a tainted value into a slot taints the whole
+			// container (out[i] = m taints out); a clean store does
+			// not launder it.
+			if rhsTainted {
+				if root := rootIdent(target); root != nil {
+					t.setIdent(root, true, f)
+				}
+			}
+		}
+	}
+}
+
+func (t *Taint) setIdent(id *ast.Ident, tainted bool, f Facts) {
+	if id == nil || id.Name == "_" {
+		return
+	}
+	obj := t.Info.Defs[id]
+	if obj == nil {
+		obj = t.Info.Uses[id]
+	}
+	if obj == nil || isErrorObj(obj) {
+		return
+	}
+	if tainted {
+		f[obj] = true
+	} else {
+		delete(f, obj)
+	}
+}
+
+// Tainted reports whether evaluating e can yield a tainted value: it
+// mentions a tainted variable or calls a source, outside any sanitizer
+// call and outside nested function literals.
+func (t *Taint) Tainted(e ast.Expr, f Facts) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if t.Sanitizer != nil && t.Sanitizer(x) {
+				return false // clean by construction, whatever is inside
+			}
+			if t.Source != nil && t.Source(x) {
+				found = true
+				return false
+			}
+		case *ast.Ident:
+			if obj := t.Info.Uses[x]; obj != nil {
+				if _, ok := f[obj]; ok {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// clearCompared drops taint from every variable mentioned on either
+// side of a relational comparison within the condition leaf.
+func (t *Taint) clearCompared(cond ast.Expr, f Facts) {
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ:
+		default:
+			return true
+		}
+		for _, side := range []ast.Expr{be.X, be.Y} {
+			ast.Inspect(side, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if obj := t.Info.Uses[id]; obj != nil {
+						delete(f, obj)
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+}
+
+// rootIdent returns the base identifier of a selector/index chain
+// (out[i] → out, m.Ints → m), or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isErrorObj(obj types.Object) bool {
+	t := obj.Type()
+	return t != nil && t.String() == "error"
+}
+
+// CalleeName extracts the called function or method name from a call
+// expression ("" when the callee is not a named function or method).
+func CalleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}

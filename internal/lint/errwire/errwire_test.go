@@ -1,0 +1,12 @@
+package errwire_test
+
+import (
+	"testing"
+
+	"sknn/internal/lint/errwire"
+	"sknn/internal/lint/linttest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, errwire.Analyzer, "testdata/flow")
+}

@@ -1,0 +1,139 @@
+// Package fixture exercises errwire: wire-operation errors must be
+// checked, not discarded, overwritten, or dropped on a return path.
+package fixture
+
+// Conn stands in for mpc.Conn.
+type Conn struct{}
+
+func (c *Conn) Send(m int) error             { return nil }
+func (c *Conn) Recv() (int, error)           { return 0, nil }
+func (c *Conn) RoundTrip(m int) (int, error) { return 0, nil }
+func (c *Conn) Close() error                 { return nil }
+
+func encodeFrame(v int) error   { return nil }
+func decodeFrame() (int, error) { return 0, nil }
+func use(v int)                 {}
+
+// checked is the canonical clean shape.
+func checked(c *Conn) error {
+	if err := c.Send(1); err != nil {
+		return err
+	}
+	v, err := c.Recv()
+	if err != nil {
+		return err
+	}
+	use(v)
+	return encodeFrame(v)
+}
+
+// discarded drops the Send error on the floor.
+func discarded(c *Conn) {
+	c.Send(1) // want `error from Send\(\) is discarded`
+}
+
+// discardedEncode exercises the codec-prefix family.
+func discardedEncode() {
+	encodeFrame(7) // want `error from encodeFrame\(\) is discarded`
+}
+
+// deferredDiscard defers a wire call whose error nobody will see.
+func deferredDiscard(c *Conn) {
+	defer c.Send(0) // want `error from Send\(\) is discarded`
+	use(1)
+}
+
+// blanked throws the error away by name.
+func blanked(c *Conn) int {
+	v, _ := c.Recv() // want `error from Recv\(\) is assigned to _`
+	return v
+}
+
+// blankedLater launders the discard through a variable.
+func blankedLater(c *Conn) {
+	err := c.Send(1)
+	_ = err // want `error from Send\(\) is discarded via _`
+}
+
+// overwritten fires a second round before examining the first failure.
+func overwritten(c *Conn) error {
+	err := c.Send(1)
+	err = c.Send(2) // want `overwrites the unchecked error from Send\(\)`
+	return err
+}
+
+// overwrittenMulti is the multi-value flavor.
+func overwrittenMulti(c *Conn) error {
+	v, err := c.Recv()
+	use(v)
+	v, err = c.Recv() // want `overwrites the unchecked error from Recv\(\)`
+	use(v)
+	return err
+}
+
+// wrapped consumes the first error by using it in the second's
+// construction, which is not an overwrite.
+func wrapped(c *Conn) error {
+	err := c.Send(1)
+	if err != nil {
+		err = encodeFrame(2)
+	}
+	return err
+}
+
+// escapes lets the error reach a return unchecked on the b path.
+func escapes(c *Conn, b bool) error {
+	err := c.Send(1) // want `error from Send\(\) can reach a return without being checked`
+	if b {
+		return nil
+	}
+	return err
+}
+
+// shadowed checks an inner err while the outer one is still pending.
+func shadowed(c *Conn, b bool) error {
+	err := c.Send(1) // want `error from Send\(\) can reach a return without being checked`
+	if b {
+		v, err := c.Recv()
+		if err != nil {
+			return err
+		}
+		use(v)
+		return nil
+	}
+	return err
+}
+
+// bareReturn hands the named result to the caller; a bare return is a
+// check by transfer of responsibility.
+func bareReturn(c *Conn) (err error) {
+	err = c.Send(1)
+	return
+}
+
+// loopChecked consumes every round's error inside the loop.
+func loopChecked(c *Conn, n int) error {
+	for i := 0; i < n; i++ {
+		if err := c.Send(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// allowedDiscard is a sanctioned best-effort frame with justification.
+func allowedDiscard(c *Conn) {
+	//sknnlint:allow errwire -- best-effort goodbye on an already-failed link; the caller is tearing the conn down
+	c.Send(99)
+}
+
+// unjustified has the annotation but no reason.
+func unjustified(c *Conn) {
+	//sknnlint:allow errwire // want `lacks a justification`
+	c.Send(99)
+}
+
+// notWire ignores non-wire calls entirely.
+func notWire(c *Conn) {
+	c.Close()
+}

@@ -1,0 +1,472 @@
+// Package lockguard enforces the repo's "// guarded by <mu>" field
+// contracts: a struct field annotated with a guarding mutex may only be
+// read in blocks where that mutex is provably held (Lock or RLock on
+// every incoming path), and only written where the exclusive Lock is
+// held. The proof is a must dataflow analysis over the function's CFG —
+// Lock/RLock generate a held fact, Unlock/RUnlock kill it, deferred
+// releases replay at function exit, and a block reached with Lock on
+// one path and RLock on another holds, at the join, only the read lock.
+//
+// Escapes, in order of preference:
+//
+//   - a "Locked" name suffix marks a helper whose caller holds the
+//     mutex (pool.go's leastLoadedLocked idiom);
+//   - objects constructed in the same function (composite literal or
+//     new) are fresh — nothing else can see them yet, so their fields
+//     are lock-free until the function publishes them;
+//   - //sknnlint:allow lockguard -- <why> for deliberate unguarded
+//     access (e.g. a racy metrics snapshot).
+//
+// Function literals are analyzed as separate functions with no locks
+// held at entry: a goroutine body does not inherit the spawning
+// function's critical section.
+package lockguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"sknn/internal/lint/allow"
+	"sknn/internal/lint/analysis"
+	"sknn/internal/lint/cfg"
+	"sknn/internal/lint/dataflow"
+)
+
+// Analyzer rejects guarded-field accesses outside the guarding mutex's
+// critical section.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc:  "fields annotated `// guarded by <mu>` are only accessed with <mu> held (writes need the exclusive Lock)",
+	Run:  run,
+}
+
+var guardRE = regexp.MustCompile(`guarded by (\w+)`)
+
+// guard is one annotated field's contract.
+type guard struct {
+	mu    string // sibling field naming the mutex
+	owner string // struct type name, for messages
+	field string
+}
+
+// lockKey identifies one mutex instance relative to a root variable:
+// {t, "mu"} for t.mu, {s, "mux.mu"} for s.mux.mu. Field accesses
+// compute the key the guarding mutex would have and look it up in the
+// fact map; values are "w" (Lock) or "r" (RLock).
+type lockKey struct {
+	root types.Object
+	path string
+}
+
+func run(pass *analysis.Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if len(f.Decls) > 0 && pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fn.Name.Name, "Locked") {
+				continue
+			}
+			c := &checker{pass: pass, file: f, fn: fn, guards: guards}
+			c.checkBody(fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					c.checkBody(lit.Body)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// collectGuards parses every struct declaration's field comments for
+// "guarded by <mu>" contracts, validating that <mu> names a sibling
+// field.
+func collectGuards(pass *analysis.Pass) map[*types.Var]guard {
+	guards := make(map[*types.Var]guard)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			siblings := make(map[string]bool)
+			for _, fld := range st.Fields.List {
+				for _, name := range fld.Names {
+					siblings[name.Name] = true
+				}
+			}
+			for _, fld := range st.Fields.List {
+				mu := guardName(fld)
+				if mu == "" {
+					continue
+				}
+				if !siblings[mu] {
+					pass.Reportf(fld.Pos(),
+						"field %s.%s is marked guarded by %s, but %s names no sibling field of the struct",
+						ts.Name.Name, fieldLabel(fld), mu, mu)
+					continue
+				}
+				for _, name := range fld.Names {
+					obj, ok := pass.TypesInfo.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					guards[obj] = guard{mu: mu, owner: ts.Name.Name, field: name.Name}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+func guardName(fld *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardRE.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+func fieldLabel(fld *ast.Field) string {
+	if len(fld.Names) > 0 {
+		return fld.Names[0].Name
+	}
+	return "(embedded)"
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	file   *ast.File
+	fn     *ast.FuncDecl
+	guards map[*types.Var]guard
+}
+
+// checkBody solves the lock-held analysis over one function (or
+// function literal) body and reports guarded accesses outside the
+// critical section.
+func (c *checker) checkBody(body *ast.BlockStmt) {
+	g := cfg.New(body)
+	fresh := c.freshObjects(body)
+	an := &dataflow.Analysis{
+		Meet:     dataflow.Must,
+		Transfer: c.transfer,
+		Join: func(a, b any) any {
+			if a == "w" && b == "w" {
+				return "w"
+			}
+			return "r" // write lock on one path, read on the other: only reads are safe
+		},
+	}
+	res := dataflow.Solve(g, an)
+	res.Replay(func(n ast.Node, f dataflow.Facts) {
+		c.checkNode(n, f, fresh)
+	})
+}
+
+// transfer updates the held-locks map for one CFG node. Deferred
+// releases arrive as *cfg.Deferred wrappers in the exit block, so a
+// `defer mu.Unlock()` keeps the lock held through the body; the
+// DeferStmt at its original position is skipped.
+func (c *checker) transfer(n ast.Node, f dataflow.Facts) {
+	cfg.Inspect(n, func(x ast.Node) bool {
+		switch x.(type) {
+		case *ast.FuncLit, *ast.DeferStmt:
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		key, method, ok := c.lockCall(call)
+		if !ok {
+			return true
+		}
+		switch method {
+		case "Lock":
+			f[key] = "w"
+		case "RLock":
+			f[key] = "r"
+		case "Unlock", "RUnlock":
+			delete(f, key)
+		}
+		return true
+	})
+}
+
+// lockCall recognizes <chain>.<mu>.Lock/RLock/Unlock/RUnlock on a sync
+// mutex and returns the mutex's lockKey.
+func (c *checker) lockCall(call *ast.CallExpr) (lockKey, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockKey{}, "", false
+	}
+	method := sel.Sel.Name
+	switch method {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return lockKey{}, "", false
+	}
+	switch analysis.TypeName(c.pass.TypesInfo.TypeOf(sel.X)) {
+	case "sync.Mutex", "sync.RWMutex":
+	default:
+		return lockKey{}, "", false
+	}
+	key, ok := chainKey(c.pass.TypesInfo, sel.X)
+	if !ok {
+		return lockKey{}, "", false
+	}
+	return key, method, true
+}
+
+// chainKey renders a pure ident/selector chain (t.mu, s.mux.mu) as a
+// root object plus dotted path. Chains through calls or indexing are
+// not trackable.
+func chainKey(info *types.Info, e ast.Expr) (lockKey, bool) {
+	var parts []string
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			parts = append([]string{x.Sel.Name}, parts...)
+			e = x.X
+		case *ast.Ident:
+			obj := info.ObjectOf(x)
+			if obj == nil {
+				return lockKey{}, false
+			}
+			return lockKey{root: obj, path: strings.Join(parts, ".")}, true
+		default:
+			return lockKey{}, false
+		}
+	}
+}
+
+// freshObjects finds variables bound to objects constructed inside this
+// body — composite literals, &composites, or new() — which no other
+// goroutine can reach yet.
+func (c *checker) freshObjects(body *ast.BlockStmt) map[types.Object]bool {
+	fresh := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, l := range as.Lhs {
+			id, ok := l.(*ast.Ident)
+			if !ok || !isFreshExpr(as.Rhs[i]) {
+				continue
+			}
+			if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+				fresh[obj] = true
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+func isFreshExpr(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			_, ok := x.X.(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "new" {
+			return true
+		}
+	}
+	return false
+}
+
+// access is one guarded-field touch found in a node.
+type access struct {
+	sel   *ast.SelectorExpr
+	g     guard
+	key   lockKey
+	write bool
+}
+
+// checkNode reports guarded accesses in one replayed node against the
+// locks held immediately before it, one finding per field per node
+// (an append that reads and rewrites the same slice is one violation,
+// not two).
+func (c *checker) checkNode(n ast.Node, f dataflow.Facts, fresh map[types.Object]bool) {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return // the deferred call replays at exit
+	}
+	type fieldID struct {
+		root  types.Object
+		field string
+	}
+	accs := c.accesses(n, fresh)
+	worst := make(map[*ast.SelectorExpr]access)
+	byField := make(map[fieldID]*ast.SelectorExpr)
+	for _, a := range accs {
+		id := fieldID{a.key.root, a.g.field}
+		first, seen := byField[id]
+		if !seen {
+			byField[id] = a.sel
+			worst[a.sel] = a
+			continue
+		}
+		if a.write && !worst[first].write {
+			prev := worst[first]
+			prev.write = true
+			worst[first] = prev
+		}
+	}
+	for _, a := range worst {
+		held, ok := f[a.key]
+		switch {
+		case !ok:
+			c.report(a.sel.Pos(),
+				"%s of %s.%s is reachable with %s unheld: the field's \"guarded by %s\" contract requires the mutex across every access (or a Locked-suffix helper)",
+				rw(a.write), a.g.owner, a.g.field, a.key.muLabel(), a.g.mu)
+		case a.write && held != "w":
+			c.report(a.sel.Pos(),
+				"write to %s.%s holds only %s.RLock on some path; writes need the exclusive Lock",
+				a.g.owner, a.g.field, a.key.muLabel())
+		}
+	}
+}
+
+func rw(write bool) string {
+	if write {
+		return "write"
+	}
+	return "read"
+}
+
+// muLabel renders the mutex chain for messages: "t.mu", "s.mux.mu".
+func (k lockKey) muLabel() string {
+	if k.path == "" {
+		return k.root.Name()
+	}
+	return k.root.Name() + "." + k.path
+}
+
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	if a, ok := allow.Covering(c.pass.Fset, c.file, c.fn, pos, "lockguard"); ok {
+		if a.Justification == "" {
+			c.pass.Reportf(a.Pos,
+				"%s lockguard annotation lacks a justification: write %s lockguard -- <why unguarded access is safe here>",
+				allow.Prefix, allow.Prefix)
+		}
+		return
+	}
+	c.pass.Reportf(pos, format, args...)
+}
+
+// accesses collects every guarded-field selector in n, classified as
+// read or write. Write positions are assignment targets, IncDec
+// operands, and address-taken expressions (a caller holding &t.records
+// can write through it).
+func (c *checker) accesses(n ast.Node, fresh map[types.Object]bool) []access {
+	writes := make(map[ast.Expr]bool)
+	cfg.Inspect(n, func(x ast.Node) bool {
+		switch s := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, l := range s.Lhs {
+				markWrite(l, writes)
+			}
+		case *ast.IncDecStmt:
+			markWrite(s.X, writes)
+		case *ast.UnaryExpr:
+			if s.Op == token.AND {
+				markWrite(s.X, writes)
+			}
+		}
+		return true
+	})
+	var out []access
+	cfg.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		sel, ok := x.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := c.pass.TypesInfo.Selections[sel]
+		if !ok {
+			return true
+		}
+		fieldObj, ok := selection.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		g, guarded := c.guards[fieldObj]
+		if !guarded {
+			return true
+		}
+		base, ok := chainKey(c.pass.TypesInfo, sel.X)
+		if !ok || fresh[base.root] {
+			return true
+		}
+		muPath := g.mu
+		if base.path != "" {
+			muPath = base.path + "." + g.mu
+		}
+		out = append(out, access{
+			sel:   sel,
+			g:     g,
+			key:   lockKey{root: base.root, path: muPath},
+			write: writes[sel],
+		})
+		return true
+	})
+	return out
+}
+
+// markWrite peels indexing, parens, and stars off a write target down
+// to the selector actually stored through.
+func markWrite(e ast.Expr, writes map[ast.Expr]bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			writes[x] = true
+			return
+		default:
+			return
+		}
+	}
+}

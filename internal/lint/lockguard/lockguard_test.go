@@ -1,0 +1,12 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"sknn/internal/lint/linttest"
+	"sknn/internal/lint/lockguard"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, lockguard.Analyzer, "testdata/guard")
+}

@@ -1,0 +1,177 @@
+// Package fixture exercises lockguard: "// guarded by <mu>" field
+// contracts checked by must-dominance of Lock/RLock over every access.
+package fixture
+
+import "sync"
+
+// Table mirrors core.EncryptedTable's locking shape.
+type Table struct {
+	mu      sync.RWMutex
+	records []int // guarded by mu
+	n       int   // guarded by mu
+	name    string
+}
+
+// Counter exercises a plain (non-RW) mutex.
+type Counter struct {
+	mu sync.Mutex
+	v  int // guarded by mu
+}
+
+// Bad carries an annotation pointing at a nonexistent sibling.
+type Bad struct {
+	x int // guarded by nosuch // want `names no sibling field`
+}
+
+// Outer exercises nested mutex paths (o.t.mu guards o.t.n).
+type Outer struct {
+	t Table
+}
+
+func use(v int) {}
+
+// Add is the canonical correct shape: Lock, deferred Unlock, mutate.
+func (t *Table) Add(v int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.records = append(t.records, v)
+	t.n++
+}
+
+// Len reads under the read lock.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.n
+}
+
+// appendLocked is exempt by name: its caller holds t.mu.
+func (t *Table) appendLocked(v int) {
+	t.records = append(t.records, v)
+}
+
+// Racy mutates with no lock at all.
+func (t *Table) Racy(v int) {
+	t.records = append(t.records, v) // want `write of Table.records is reachable with t.mu unheld`
+}
+
+// WriteUnderRLock holds the wrong lock strength for a mutation.
+func (t *Table) WriteUnderRLock() {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.n++ // want `write to Table.n holds only t.mu.RLock`
+}
+
+// EarlyUnlock releases before the guarded read.
+func (t *Table) EarlyUnlock() int {
+	t.mu.Lock()
+	t.mu.Unlock()
+	return t.n // want `read of Table.n is reachable with t.mu unheld`
+}
+
+// BranchyLock only locks on one path, so the access is not dominated.
+func (t *Table) BranchyLock(b bool) {
+	if b {
+		t.mu.Lock()
+	}
+	t.n++ // want `write of Table.n is reachable with t.mu unheld`
+	if b {
+		t.mu.Unlock()
+	}
+}
+
+// JoinDowngrade holds Lock on one path and RLock on the other; at the
+// join only the read lock is guaranteed, so the write is a finding.
+func (t *Table) JoinDowngrade(b bool) {
+	if b {
+		t.mu.Lock()
+	} else {
+		t.mu.RLock()
+	}
+	t.n = 1 // want `write to Table.n holds only t.mu.RLock`
+	if b {
+		t.mu.Unlock()
+	} else {
+		t.mu.RUnlock()
+	}
+}
+
+// JoinRead is the same shape but reading, which either lock permits.
+func (t *Table) JoinRead(b bool) int {
+	if b {
+		t.mu.Lock()
+	} else {
+		t.mu.RLock()
+	}
+	v := t.n
+	if b {
+		t.mu.Unlock()
+	} else {
+		t.mu.RUnlock()
+	}
+	return v
+}
+
+// NewTable touches a fresh object no other goroutine can reach.
+func NewTable(vs []int) *Table {
+	t := &Table{}
+	t.records = append(t.records, vs...)
+	t.n = len(t.records)
+	return t
+}
+
+// Plain exercises the sync.Mutex path (Lock only, no RLock).
+func (c *Counter) Plain() {
+	c.mu.Lock()
+	c.v++
+	c.mu.Unlock()
+}
+
+// PlainRacy reads v outside the critical section.
+func (c *Counter) PlainRacy() int {
+	return c.v // want `read of Counter.v is reachable with c.mu unheld`
+}
+
+// Nested locks the inner struct's mutex through a selector chain.
+func (o *Outer) Nested() {
+	o.t.mu.Lock()
+	o.t.n++
+	o.t.mu.Unlock()
+}
+
+// NestedWrongLock holds a different root's mutex than the one guarding
+// the accessed field.
+func (o *Outer) NestedWrongLock(other *Table) {
+	other.mu.Lock()
+	defer other.mu.Unlock()
+	o.t.n++ // want `write of Table.n is reachable with o.t.mu unheld`
+}
+
+// Goroutine bodies start with no locks held, whatever the spawner does.
+func (t *Table) Spawn() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	go func() {
+		t.n++ // want `write of Table.n is reachable with t.mu unheld`
+	}()
+	t.records = nil
+}
+
+// Peek is a sanctioned racy read with its justification.
+//
+//sknnlint:allow lockguard -- approximate metrics snapshot; staleness is acceptable and the int read is atomic on all supported platforms
+func (t *Table) Peek() int {
+	return t.n
+}
+
+// Unjustified has the annotation but no reason, which is itself a
+// finding.
+func (t *Table) Unjustified() int {
+	//sknnlint:allow lockguard // want `lacks a justification`
+	return t.n
+}
+
+// Unguarded fields stay free.
+func (t *Table) Rename(s string) {
+	t.name = s
+}

@@ -1,0 +1,12 @@
+package partyflow_test
+
+import (
+	"testing"
+
+	"sknn/internal/lint/linttest"
+	"sknn/internal/lint/partyflow"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, partyflow.Analyzer, "testdata/roles")
+}

@@ -1,0 +1,8 @@
+//sknnlint:role charlie // want `unknown party role "charlie"`
+
+// A third party does not exist in the protocol; a typo'd role must not
+// silently exempt the file.
+
+package fixture
+
+func thirdParty(v int) int { return v * 2 }

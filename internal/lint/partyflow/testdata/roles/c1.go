@@ -1,0 +1,37 @@
+//sknnlint:role c1
+
+// A C1-role file: the data cloud never holds key material, so any
+// reference to the PrivateKey type or a Decrypt call is a finding.
+
+package fixture
+
+// scan ships ciphertexts to C2 and is exactly what C1 should do.
+func scan(cts []int) *Message {
+	return &Message{Op: 1, Ints: cts}
+}
+
+// grabsKey takes the private key as a parameter — already a breach,
+// before any call happens.
+func grabsKey(k *PrivateKey, c int) int { // want `c1-role file references the PrivateKey type`
+	return c
+}
+
+// decrypts calls the decryption through an interface-ish wrapper; the
+// call itself is banned regardless of how the key arrived.
+func decrypts(k any, c int) int {
+	type opener interface{ Decrypt(int) int }
+	return k.(opener).Decrypt(c) // want `c1-role file references Decrypt\(\)`
+}
+
+// allowedRef documents a sanctioned exception (e.g. the in-process
+// facade wiring all parties together for tests); the doc-comment
+// annotation covers the whole function.
+//
+//sknnlint:allow partyflow -- fixture stand-in for in-process facade wiring
+func allowedRef(c int) int {
+	var k *PrivateKey
+	if k == nil {
+		return c
+	}
+	return k.Decrypt(c)
+}

@@ -1,0 +1,98 @@
+//sknnlint:role c2
+
+// Package fixture exercises partyflow's taint rules in a C2-role file:
+// decrypted plaintext must be blinded or re-encrypted before any wire
+// sink, with per-package summaries extending the reach through helper
+// calls.
+package fixture
+
+// PrivateKey stands in for paillier.PrivateKey.
+type PrivateKey struct{ N int }
+
+func (k *PrivateKey) Decrypt(c int) int { return c }
+func (k *PrivateKey) Encrypt(m int) int { return m }
+
+// Message stands in for mpc.Message.
+type Message struct {
+	Op   int
+	Ints []int
+}
+
+func Send(m *Message) error   { return nil }
+func blind(v int) int         { return v }
+func encodeReply(vs ...int)   {}
+func use(v int)               {}
+func helper(vals []int) []int { return vals }
+
+// leakComposite ships a raw plaintext in a reply message.
+func leakComposite(k *PrivateKey, c int) *Message {
+	d := k.Decrypt(c)
+	return &Message{Op: 1, Ints: []int{d}} // want `reaches wire sink Message.Ints`
+}
+
+// leakSend passes decrypted data to Send.
+func leakSend(k *PrivateKey, c int) error {
+	d := k.Decrypt(c)
+	m := &Message{Op: 1}
+	m.Ints = []int{d} // want `reaches wire sink Message.Ints`
+	return Send(m)    // want `reaches wire sink Send\(\)`
+}
+
+// leakEncode reaches an encode sink through derived arithmetic.
+func leakEncode(k *PrivateKey, c int) {
+	d := k.Decrypt(c) * 2
+	encodeReply(d) // want `reaches wire sink encodeReply\(\)`
+}
+
+// reencrypted launders the plaintext through a fresh encryption — the
+// sanctioned idiom.
+func reencrypted(k *PrivateKey, c int) *Message {
+	d := k.Decrypt(c)
+	return &Message{Op: 1, Ints: []int{k.Encrypt(d)}}
+}
+
+// blinded launders through the blinding sanitizer.
+func blinded(k *PrivateKey, c int) *Message {
+	d := k.Decrypt(c)
+	u := blind(d)
+	return &Message{Op: 1, Ints: []int{u}}
+}
+
+// argmin returns a position that is control-dependent on decrypted
+// values: no data flows, but the summary still marks it
+// decrypt-derived.
+func argmin(k *PrivateKey, cs []int) int {
+	best := 0
+	for i, c := range cs {
+		if k.Decrypt(c) == 0 {
+			best = i
+		}
+	}
+	return best
+}
+
+// leakViaSummary sinks the helper's control-dependent result.
+func leakViaSummary(k *PrivateKey, cs []int) *Message {
+	pos := argmin(k, cs)
+	return &Message{Op: 2, Ints: []int{pos}} // want `reaches wire sink Message.Ints`
+}
+
+// allowedLeak is a documented protocol leak with its justification.
+func allowedLeak(k *PrivateKey, c int) *Message {
+	d := k.Decrypt(c)
+	//sknnlint:allow partyflow -- fixture stand-in for the paper's documented reveal step
+	return &Message{Op: 3, Ints: []int{d}}
+}
+
+// unjustified has the annotation but no reason, which is itself a
+// finding.
+func unjustified(k *PrivateKey, c int) *Message {
+	d := k.Decrypt(c)
+	//sknnlint:allow partyflow // want `lacks a justification`
+	return &Message{Op: 3, Ints: []int{d}}
+}
+
+// cleanTraffic never decrypts; arbitrary ints may flow to the wire.
+func cleanTraffic(vals []int) *Message {
+	return &Message{Op: 4, Ints: helper(vals)}
+}

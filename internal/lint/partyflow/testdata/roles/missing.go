@@ -1,0 +1,7 @@
+// This file deliberately carries no role pragma: in a party-scoped
+// package every non-test file must be assigned, so the omission itself
+// is the finding.
+
+package fixture // want `file has no party role`
+
+func anotherHelper(v int) int { return v + 1 }

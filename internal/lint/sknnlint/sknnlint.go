@@ -17,7 +17,10 @@ import (
 	"sknn/internal/lint/boundedmake"
 	"sknn/internal/lint/cryptorand"
 	"sknn/internal/lint/ctxround"
+	"sknn/internal/lint/errwire"
 	"sknn/internal/lint/loader"
+	"sknn/internal/lint/lockguard"
+	"sknn/internal/lint/partyflow"
 	"sknn/internal/lint/wireop"
 )
 
@@ -28,6 +31,9 @@ var Analyzers = []*analysis.Analyzer{
 	boundedmake.Analyzer,
 	cryptorand.Analyzer,
 	ctxround.Analyzer,
+	errwire.Analyzer,
+	lockguard.Analyzer,
+	partyflow.Analyzer,
 	wireop.Analyzer,
 }
 

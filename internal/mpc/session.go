@@ -28,9 +28,9 @@ type Multiplexer struct {
 	sendMu sync.Mutex // serializes writers on the shared link
 
 	mu       sync.Mutex
-	sessions map[uint64]*sessionConn
-	nextTag  uint64
-	err      error
+	sessions map[uint64]*sessionConn // guarded by mu
+	nextTag  uint64                  // guarded by mu
+	err      error                   // guarded by mu; first link failure, sticky
 
 	agg      Stats // session traffic summed over the link's lifetime
 	failOnce sync.Once
