@@ -67,6 +67,8 @@ fuzz-smoke:
 	go test -fuzz=FuzzKeyRead -fuzztime=15s ./internal/store
 	go test -fuzz=FuzzFrameDecode -fuzztime=20s ./internal/mpc
 	go test -fuzz=FuzzShardFrame -fuzztime=20s ./internal/core
+	go test -fuzz=FuzzPackDecode -fuzztime=20s ./internal/paillier
+	go test -fuzz=FuzzFixedBaseExp -fuzztime=20s ./internal/paillier
 
 clean:
 	go clean ./...

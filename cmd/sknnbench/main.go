@@ -14,12 +14,14 @@
 //	sknnbench -fig 2a -scale medium     # closer to paper sizes
 //	sknnbench -fig 2d -scale paper      # the paper's exact parameters (hours!)
 //
-// Figures: 2a 2b 2c 2d 2e 2f 3 qps index shard sminn bob comm baselines all
+// Figures: 2a 2b 2c 2d 2e 2f 3 qps index shard pack sminn bob comm baselines all
 //
 // "qps" (multi-query throughput), "index" (clustered secure index vs
-// full scan: QPS, recall, SMIN reduction), and "shard" (scatter-gather
+// full scan: QPS, recall, SMIN reduction), "shard" (scatter-gather
 // SkNNm across S shard workers: per-shard scan cost, merge overhead,
-// recall) are extensions beyond the paper's evaluation.
+// recall), and "pack" (2×2 ablation of ciphertext packing and
+// fixed-base exponentiation on a single SkNNm query) are extensions
+// beyond the paper's evaluation.
 package main
 
 import (
@@ -156,7 +158,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sknnbench: ")
 	var (
-		figFlag     = flag.String("fig", "all", "figure to regenerate: 2a 2b 2c 2d 2e 2f 3 qps index shard sminn bob comm baselines all")
+		figFlag     = flag.String("fig", "all", "figure to regenerate: 2a 2b 2c 2d 2e 2f 3 qps index shard pack sminn bob comm baselines all")
 		scaleFlag   = flag.String("scale", "small", "sweep preset: small | medium | paper")
 		workersFlag = flag.Int("workers", 0, "override Figure 3 / QPS worker count (0 = min(6, NumCPU))")
 		jsonFlag    = flag.String("json", "", "also write machine-readable BENCH_<fig>.json files into this directory")
@@ -190,12 +192,13 @@ func main() {
 		"qps":       b.qps,
 		"index":     b.index,
 		"shard":     b.shard,
+		"pack":      b.pack,
 		"sminn":     b.sminnShare,
 		"bob":       b.bobCost,
 		"comm":      b.comm,
 		"baselines": b.baselines,
 	}
-	order := []string{"2a", "2b", "2c", "2d", "2e", "2f", "3", "qps", "index", "shard", "sminn", "bob", "comm", "baselines"}
+	order := []string{"2a", "2b", "2c", "2d", "2e", "2f", "3", "qps", "index", "shard", "pack", "sminn", "bob", "comm", "baselines"}
 
 	if *figFlag == "all" {
 		for _, name := range order {
@@ -640,6 +643,80 @@ func (b *bench) shard() error {
 	}
 	fmt.Printf("(target: stage-1 per-shard time shrinks ~linearly in S on ≥S cores — %d CPUs here;\n", runtime.NumCPU())
 	fmt.Println(" candidates/shard shows the exact n/S work split either way; recall must be 1.0)")
+	return nil
+}
+
+// pack: 2×2 ablation of this repo's two protocol-level optimizations —
+// ciphertext packing (slotted uplinks + short statistical blinds) and
+// fixed-base exponentiation (windowed h^N randomizers, CRT-split at C2)
+// — on one SkNNm query. Both knobs off is the paper's wire format; both
+// on is the production default.
+func (b *bench) pack() error {
+	const m, attrBits, k, keyBits = 6, 4, 3, 512
+	ns := map[string]int{"small": 24, "medium": 64, "paper": 200}
+	n := ns[b.sc.name]
+	tbl, err := dataset.Generate(int64(n*53+9), n, m, attrBits)
+	if err != nil {
+		return err
+	}
+	q := tbl.Rows[n/3]
+	oracle, err := plainknn.KDistances(tbl.Rows, q, k)
+	if err != nil {
+		return err
+	}
+	fig := benchkit.NewFigure(
+		fmt.Sprintf("Pack: SkNNm ablation, n=%d, m=%d, k=%d, K=%d [scale=%s]",
+			n, m, k, keyBits, b.sc.name),
+		"variant (0=classic 1=pack 2=fixed-base 3=both)", "time (s) / QPS / recall (per series)")
+	secs := fig.NewSeries("query time (s)")
+	qps := fig.NewSeries("QPS")
+	recall := fig.NewSeries("recall")
+	// EnableFixedBase mutates the shared cached key and cannot be
+	// undone, so the fixed-base-off variants must run first.
+	variants := []struct {
+		name               string
+		disablePack, disFB bool
+	}{
+		{"classic (paper wire format)", true, true},
+		{"packing only", false, true},
+		{"fixed-base only", true, false},
+		{"packing + fixed-base (default)", false, false},
+	}
+	var classic, both float64
+	for i, v := range variants {
+		sys, err := sknn.New(tbl.Rows, attrBits, sknn.Config{
+			Key: b.key(keyBits), DisablePacking: v.disablePack, DisableFixedBase: v.disFB,
+		})
+		if err != nil {
+			return err
+		}
+		var rows [][]uint64
+		d, err := benchkit.Timed(func() error {
+			var err error
+			rows, _, err = querySecureMetered(sys, q, k)
+			return err
+		})
+		sys.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", v.name, err)
+		}
+		x := float64(i)
+		secs.Add(x, d.Seconds())
+		qps.Add(x, 1/d.Seconds())
+		recall.Add(x, recallOf(rows, q, oracle))
+		fmt.Printf("  %-32s %8.2fs  recall %.2f\n", v.name, d.Seconds(), recallOf(rows, q, oracle))
+		switch {
+		case v.disablePack && v.disFB:
+			classic = d.Seconds()
+		case !v.disablePack && !v.disFB:
+			both = d.Seconds()
+		}
+	}
+	if err := b.emit(fig, "pack"); err != nil {
+		return err
+	}
+	fmt.Printf("(speedup packing+fixed-base over classic: %.1f×; recall must be 1.0 in every cell)\n",
+		classic/both)
 	return nil
 }
 

@@ -87,7 +87,7 @@ func (s *QuerySession) basicScan(q EncryptedQuery, k int, metrics *BasicMetrics)
 
 	// Step 2: dᵢ = |Q−tᵢ|² under encryption.
 	phase := time.Now()
-	ds, err := s.distancesOf(q, s.tbl.featureRows(cands))
+	ds, err := s.distancesOf(q, s.tbl.featureRows(cands), nil)
 	if err != nil {
 		return nil, err
 	}

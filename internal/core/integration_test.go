@@ -199,9 +199,15 @@ func TestSecureMetrics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m.Total <= 0 || m.Distance <= 0 || m.BitDecom <= 0 || m.SMINn <= 0 ||
+	if m.Total <= 0 || m.Distance <= 0 || m.SMINn <= 0 ||
 		m.Select <= 0 || m.Extract <= 0 || m.Exclude <= 0 || m.Reveal <= 0 {
 		t.Errorf("phase timings not populated: %+v", m)
+	}
+	// Default (packed) sessions run the value-domain tournament, which
+	// never bit-decomposes the candidates — the whole SBD stage is
+	// skipped, so its timing must stay zero.
+	if m.BitDecom != 0 {
+		t.Errorf("BitDecom = %v on a value-domain session, want 0", m.BitDecom)
 	}
 	share := m.SMINnShare()
 	if share <= 0 || share >= 1 {

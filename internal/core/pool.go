@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"sknn/internal/mpc"
+	"sknn/internal/smc"
 )
 
 // linkPool owns a set of multiplexed connections to C2 and schedules
@@ -20,6 +21,10 @@ import (
 // coordinator's merge run on the identical protocol engine.
 type linkPool struct {
 	random io.Reader
+	// tuning is the smc protocol variant every session's requesters run
+	// with. Set once at construction (or via setTuning before queries
+	// start); sessions copy it at attach time.
+	tuning smc.Tuning
 
 	mu        sync.Mutex
 	links     []*mpc.Multiplexer
@@ -38,6 +43,7 @@ func newLinkPool(conns []mpc.Conn, random io.Reader) (*linkPool, error) {
 	}
 	p := &linkPool{
 		random:    random,
+		tuning:    smc.DefaultTuning(),
 		links:     make([]*mpc.Multiplexer, len(conns)),
 		load:      make([]int, len(conns)),
 		closeDone: make(chan struct{}),

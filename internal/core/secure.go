@@ -227,6 +227,16 @@ func (s *QuerySession) checkSecureArgs(q EncryptedQuery, k, domainBits int) erro
 	return nil
 }
 
+// attrPackBits is the slot payload width for packed SSED: half the
+// squared-distance domain, which always covers one attribute value and
+// its query difference (l ≥ 2b by dataset.DomainBits).
+func attrPackBits(domainBits int) int {
+	if b := domainBits / 2; b > 1 {
+		return b
+	}
+	return 1
+}
+
 // rankClusters is the clustered index's query-time phase: an oblivious
 // top-p selection over the encrypted centroids. Each round runs SMINn
 // over the still-live centroid distances, blinds and permutes the
@@ -241,21 +251,32 @@ func (s *QuerySession) rankClusters(q EncryptedQuery, domainBits, target int, me
 	cents := s.tbl.centroids2D()
 	nc := len(cents)
 
-	ds, err := s.distancesOf(q, cents)
+	var packed *smc.PackedRows
+	if s.packingOn() {
+		packed = s.tbl.packedCentroids(attrPackBits(domainBits))
+	}
+	ds, err := s.distancesOf(q, cents, packed)
 	if err != nil {
 		return nil, fmt.Errorf("core: centroid SSED: %w", err)
 	}
-	bits := make([][]*paillier.Ciphertext, nc)
-	err = s.parallelOverRecords(nc, func(rq *smc.Requester, lo, hi int) error {
-		bs, err := rq.SBDBatch(ds[lo:hi], domainBits)
+	// The value-domain tournament ranks the composed distances directly,
+	// so the centroid bit decomposition — needed only as Algorithm 4
+	// input — is skipped entirely on packed sessions.
+	useValue := s.valueMinOK(domainBits)
+	var bits [][]*paillier.Ciphertext
+	if !useValue {
+		bits = make([][]*paillier.Ciphertext, nc)
+		err = s.parallelOverRecords(nc, func(rq *smc.Requester, lo, hi int) error {
+			bs, err := rq.SBDBatch(ds[lo:hi], domainBits)
+			if err != nil {
+				return fmt.Errorf("core: centroid SBD chunk [%d,%d): %w", lo, hi, err)
+			}
+			copy(bits[lo:hi], bs)
+			return nil
+		})
 		if err != nil {
-			return fmt.Errorf("core: centroid SBD chunk [%d,%d): %w", lo, hi, err)
+			return nil, err
 		}
-		copy(bits[lo:hi], bs)
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
 
 	live := make([]int, nc)
@@ -272,16 +293,29 @@ func (s *QuerySession) rankClusters(q EncryptedQuery, domainBits, target int, me
 		if len(live) == 1 {
 			winner = live[0]
 		} else {
-			liveBits := make([][]*paillier.Ciphertext, len(live))
-			for i, j := range live {
-				liveBits[i] = bits[j]
-			}
-			minBits, err := s.sminnParallel(liveBits)
-			if err != nil {
-				return nil, fmt.Errorf("core: centroid SMINn (round %d): %w", len(chosen)+1, err)
+			var encMin *paillier.Ciphertext
+			if useValue {
+				liveDs := make([]*paillier.Ciphertext, len(live))
+				for i, j := range live {
+					liveDs[i] = ds[j]
+				}
+				var err error
+				encMin, err = s.sminnValue(liveDs, domainBits)
+				if err != nil {
+					return nil, fmt.Errorf("core: centroid SMINn (round %d): %w", len(chosen)+1, err)
+				}
+			} else {
+				liveBits := make([][]*paillier.Ciphertext, len(live))
+				for i, j := range live {
+					liveBits[i] = bits[j]
+				}
+				minBits, err := s.sminnParallel(liveBits)
+				if err != nil {
+					return nil, fmt.Errorf("core: centroid SMINn (round %d): %w", len(chosen)+1, err)
+				}
+				encMin = smc.Recompose(pk, minBits)
 			}
 			metrics.SMINCount += len(live) - 1
-			encMin := smc.Recompose(pk, minBits)
 
 			perm, err := smc.NewPermutation(s.primary().Rand(), len(live))
 			if err != nil {
@@ -341,7 +375,9 @@ func (s *QuerySession) secureScan(q EncryptedQuery, k, domainBits int, idx []int
 	if err != nil {
 		return nil, err
 	}
-	cands, err := s.selectTopK(bits, records, ds, k, domainBits, metrics)
+	// The selected candidates feed only the masked reveal here, so no
+	// [dmin] bits are needed.
+	cands, err := s.selectTopK(bits, records, ds, k, domainBits, false, metrics)
 	if err != nil {
 		return nil, err
 	}
@@ -380,7 +416,11 @@ func (s *QuerySession) candidateBits(q EncryptedQuery, domainBits int, idx []int
 
 	// Step 2a: E(dᵢ) for every candidate record.
 	phase := time.Now()
-	ds, err := s.distancesOf(q, feat)
+	var packed *smc.PackedRows
+	if s.packingOn() {
+		packed = s.tbl.packedFeatureRows(attrPackBits(domainBits), idx)
+	}
+	ds, err := s.distancesOf(q, feat, packed)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -390,6 +430,13 @@ func (s *QuerySession) candidateBits(q EncryptedQuery, domainBits int, idx []int
 	}
 
 	// Step 2b: [dᵢ] — bit decomposition of every distance (chunked).
+	// Value-domain sessions never consume the candidate bit vectors: the
+	// tournament compares composed values and the disqualification
+	// rewrites them in place, so the whole SBD stage is skipped and the
+	// caller receives nil bits.
+	if s.valueMinOK(domainBits) {
+		return ds, nil, nil
+	}
 	phase = time.Now()
 	bits := make([][]*paillier.Ciphertext, n)
 	err = s.parallelOverRecords(n, func(rq *smc.Requester, lo, hi int) error {
@@ -416,19 +463,23 @@ func (s *QuerySession) candidateBits(q EncryptedQuery, domainBits int, idx []int
 // encrypted candidates the shards return: the secure merge is exactly
 // this loop over the gathered candidates' bits.
 //
-// Each returned Candidate carries the round's [dmin] alongside the
-// extracted record, which is what lets a shard ship rank-ordered
-// encrypted candidates upward without ever decrypting a distance. bits
-// is mutated in place (the disqualification of step 3(e)); pass a copy
-// to keep the originals. seed, when non-nil, is E(dᵢ) for every
-// candidate (SSED's output) and saves the first round's recompositions;
-// callers without composed distances (the coordinator's merge) pass
-// nil and round 1 recomposes from the bit vectors.
-func (s *QuerySession) selectTopK(bits [][]*paillier.Ciphertext, records [][]*paillier.Ciphertext, seed []*paillier.Ciphertext, k, domainBits int, metrics *SecureMetrics) ([]Candidate, error) {
+// When needBits is set each returned Candidate carries the round's
+// [dmin] alongside the extracted record, which is what lets a shard ship
+// rank-ordered encrypted candidates upward without ever decrypting a
+// distance; callers whose candidates only feed the masked reveal pass
+// false and skip producing the bits. bits is mutated in place (the
+// disqualification of step 3(e)); pass a copy to keep the originals. On
+// value-domain sessions bits may be nil as long as seed is provided —
+// the selection never touches bit vectors then. seed, when non-nil, is
+// E(dᵢ) for every candidate (SSED's output) and saves the first round's
+// recompositions; callers without composed distances (the coordinator's
+// merge) pass nil and round 1 recomposes from the bit vectors.
+func (s *QuerySession) selectTopK(bits [][]*paillier.Ciphertext, records [][]*paillier.Ciphertext, seed []*paillier.Ciphertext, k, domainBits int, needBits bool, metrics *SecureMetrics) ([]Candidate, error) {
 	pk := s.pk
-	n := len(bits)
-	if len(records) != n {
-		return nil, fmt.Errorf("core: %d candidate bit vectors, %d records", n, len(records))
+	n := len(records)
+	useValue := s.valueMinOK(domainBits)
+	if (!useValue || seed == nil) && len(bits) != n {
+		return nil, fmt.Errorf("core: %d candidate bit vectors, %d records", len(bits), n)
 	}
 	if seed != nil && len(seed) != n {
 		return nil, fmt.Errorf("core: %d candidate distances, %d records", len(seed), n)
@@ -448,30 +499,64 @@ func (s *QuerySession) selectTopK(bits [][]*paillier.Ciphertext, records [][]*pa
 		if err := s.ctxErr(); err != nil {
 			return nil, err
 		}
-		// Step 3(a): [dmin] = SMINn([d₁],…,[d_n]).
+		// Step 3(b) input: the round's composed distances E(dᵢ). Round 1
+		// reuses SSED's output when the caller seeded it (recomposing from
+		// the bit vectors otherwise); later rounds recompose from the
+		// SBOR-updated bits on classic sessions, while value-domain
+		// sessions carry ds forward — the disqualification below already
+		// rewrote the winner in place.
 		phase := time.Now()
-		minBits, err := s.sminnParallel(bits)
-		if err != nil {
-			return nil, fmt.Errorf("core: iteration %d SMINn: %w", iter+1, err)
-		}
-		metrics.SMINCount += n - 1
-		metrics.SMINn += time.Since(phase)
-
-		// Step 3(b): recompose E(dmin) and, when no seed covers the
-		// round, E(dᵢ) from the (possibly SBOR-updated) bit vectors.
-		phase = time.Now()
-		encMin := smc.Recompose(pk, minBits)
-		if iter == 0 && seed != nil {
-			copy(ds, seed)
-		} else {
+		if iter == 0 {
+			if seed != nil {
+				copy(ds, seed)
+			} else {
+				for i := 0; i < n; i++ {
+					ds[i] = smc.Recompose(pk, bits[i])
+				}
+			}
+		} else if !useValue {
 			for i := 0; i < n; i++ {
 				ds[i] = smc.Recompose(pk, bits[i])
 			}
 		}
+		metrics.Select += time.Since(phase)
+
+		// Step 3(a): E(dmin) — and its bits when the caller ships them.
+		// Packed sessions run the value-domain tournament
+		// (smc.SMINnValues) over the composed distances and bit-decompose
+		// only the single winner, only when Candidate.Bits must feed a
+		// shard merge. Classic sessions run Algorithm 4 over the bit
+		// vectors and recompose the winner; both shapes cost n−1
+		// SMIN-equivalents.
+		phase = time.Now()
+		var minBits []*paillier.Ciphertext
+		var encMin *paillier.Ciphertext
+		var err error
+		if useValue {
+			encMin, err = s.sminnValue(ds, domainBits)
+			if err != nil {
+				return nil, fmt.Errorf("core: iteration %d SMINn: %w", iter+1, err)
+			}
+			if needBits {
+				minBits, err = s.rqs[0].SBD(encMin, domainBits)
+				if err != nil {
+					return nil, fmt.Errorf("core: iteration %d dmin SBD: %w", iter+1, err)
+				}
+			}
+		} else {
+			minBits, err = s.sminnParallel(bits)
+			if err != nil {
+				return nil, fmt.Errorf("core: iteration %d SMINn: %w", iter+1, err)
+			}
+			encMin = smc.Recompose(pk, minBits)
+		}
+		metrics.SMINCount += n - 1
+		metrics.SMINn += time.Since(phase)
 
 		// Step 3(b)-(c): τᵢ = E(rᵢ·(dmin−dᵢ)), permute, and ask C2 for the
 		// one-hot selector U. The permutation is fresh per iteration and
 		// lives only on this session.
+		phase = time.Now()
 		tauP := make([]*big.Int, n)
 		perm, err := smc.NewPermutation(s.primary().Rand(), n)
 		if err != nil {
@@ -518,7 +603,10 @@ func (s *QuerySession) selectTopK(bits [][]*paillier.Ciphertext, records [][]*pa
 					rec = append(rec, records[i][j])
 				}
 			}
-			prods, err := rq.SMBatch(sel, rec)
+			// Selectors are bits and record attributes come from uint64
+			// rows, so the products can ride the packed SM uplink
+			// unconditionally.
+			prods, err := rq.SMBatchBounded(sel, rec, 1, 64)
 			if err != nil {
 				return fmt.Errorf("core: extract chunk [%d,%d): %w", lo, hi, err)
 			}
@@ -555,14 +643,43 @@ func (s *QuerySession) selectTopK(bits [][]*paillier.Ciphertext, records [][]*pa
 		selected = append(selected, Candidate{Bits: minBits, Rec: record})
 		metrics.Extract += time.Since(phase)
 
-		// Step 3(e): oblivious disqualification — OR Vᵢ into every bit of
-		// [dᵢ], driving the winner's distance to 2^l − 1 (strictly above
-		// any real distance thanks to the DomainBits headroom bit).
-		// Skipped after the final iteration (nothing consumes the update).
+		// Step 3(e): oblivious disqualification, driving the winner's
+		// distance to the 2^l − 1 sentinel (strictly above any real
+		// distance thanks to the DomainBits headroom bit). Skipped after
+		// the final iteration (nothing consumes the update).
 		if iter == k-1 {
 			break
 		}
 		phase = time.Now()
+		if useValue {
+			// Value-domain form: dᵢ += Vᵢ·(2^l−1−dᵢ) — n secure
+			// multiplications instead of the bit path's n·l SBORs. The
+			// gap 2^l−1−dᵢ is below 2^l, so the products ride the packed
+			// SM uplink under the domain bound.
+			sentinel := new(big.Int).Lsh(big.NewInt(1), uint(domainBits))
+			sentinel.Sub(sentinel, big.NewInt(1))
+			err = s.parallelOverRecords(n, func(rq *smc.Requester, lo, hi int) error {
+				sel := make([]*paillier.Ciphertext, hi-lo)
+				gaps := make([]*paillier.Ciphertext, hi-lo)
+				for i := lo; i < hi; i++ {
+					sel[i-lo] = v[i]
+					gaps[i-lo] = pk.AddPlain(pk.Neg(ds[i]), sentinel)
+				}
+				prods, err := rq.SMBatchBounded(sel, gaps, 1, domainBits)
+				if err != nil {
+					return fmt.Errorf("core: exclude chunk [%d,%d): %w", lo, hi, err)
+				}
+				for i := lo; i < hi; i++ {
+					ds[i] = pk.Add(ds[i], prods[i-lo])
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			metrics.Exclude += time.Since(phase)
+			continue
+		}
 		err = s.parallelOverRecords(n, func(rq *smc.Requester, lo, hi int) error {
 			sel := make([]*paillier.Ciphertext, 0, (hi-lo)*domainBits)
 			bts := make([]*paillier.Ciphertext, 0, (hi-lo)*domainBits)
@@ -637,7 +754,9 @@ func (s *QuerySession) TopK(q EncryptedQuery, k, domainBits, target int, secure 
 	if err != nil {
 		return nil, nil, err
 	}
-	cands, err := s.selectTopK(bits, records, ds, k, domainBits, metrics)
+	// Shard-local candidates ship their [dmin] bits to the coordinator's
+	// merge, so this is the one path that needs them.
+	cands, err := s.selectTopK(bits, records, ds, k, domainBits, true, metrics)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -655,6 +774,70 @@ func (s *QuerySession) workerIndex(rq *smc.Requester) int {
 		}
 	}
 	panic("core: requester not owned by this session")
+}
+
+// valueMinOK reports whether the value-domain tournament can run on this
+// session: packing is on and the key fits an (l+1)-bit slot codec (the
+// comparison decomposes t = 2^l + a − b, one bit wider than the domain).
+func (s *QuerySession) valueMinOK(domainBits int) bool {
+	if !s.packingOn() {
+		return false
+	}
+	_, err := paillier.NewPacking(s.pk, domainBits+1)
+	return err == nil
+}
+
+// sminnValue is the value-domain SMINn: the same ⌈log₂ n⌉-level
+// tournament shape as sminnParallel, over composed distances instead of
+// bit vectors, with each level's pairs spread across the session's
+// streams. Callers gate on valueMinOK.
+func (s *QuerySession) sminnValue(ds []*paillier.Ciphertext, l int) (*paillier.Ciphertext, error) {
+	if len(ds) == 0 {
+		return nil, fmt.Errorf("core: SMINn over empty set")
+	}
+	if len(s.rqs) == 1 {
+		return s.rqs[0].SMINnValues(ds, l)
+	}
+	live := make([]*paillier.Ciphertext, len(ds))
+	copy(live, ds)
+	for len(live) > 1 {
+		pairs := len(live) / 2
+		next := make([]*paillier.Ciphertext, (len(live)+1)/2)
+		if len(live)%2 == 1 {
+			next[pairs] = live[len(live)-1]
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, len(s.rqs))
+		for w := range s.rqs {
+			lo := w * pairs / len(s.rqs)
+			hi := (w + 1) * pairs / len(s.rqs)
+			if lo == hi {
+				continue
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				batch := make([]smc.SMINValuePair, hi-lo)
+				for p := lo; p < hi; p++ {
+					batch[p-lo] = smc.SMINValuePair{A: live[2*p], B: live[2*p+1]}
+				}
+				mins, err := s.rqs[w].SMINValuePairsBatch(batch, l)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				copy(next[lo:hi], mins)
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		live = next
+	}
+	return live[0], nil
 }
 
 // sminnParallel is SMINn (Algorithm 4) with each tournament level's

@@ -88,9 +88,16 @@ func (s *QuerySession) ctxErr() error { return ctxErr(s.ctx) }
 
 // attach wires one opened logical stream into the session.
 func (s *QuerySession) attach(conn mpc.Conn) {
+	rq := smc.NewRequester(s.pk, conn, s.pool.random)
+	rq.SetTuning(s.pool.tuning)
 	s.conns = append(s.conns, conn)
-	s.rqs = append(s.rqs, smc.NewRequester(s.pk, conn, s.pool.random))
+	s.rqs = append(s.rqs, rq)
 }
+
+// packingOn reports whether this session's requesters run the packed
+// protocol variants — the gate the query engine checks before paying
+// for packed renderings of table rows.
+func (s *QuerySession) packingOn() bool { return s.pool.tuning.Packing }
 
 // Close ends the session's logical streams and releases its links back
 // to the scheduler. It is idempotent and safe to call with the query
@@ -169,11 +176,21 @@ func (s *QuerySession) parallelOverRecords(n int, fn func(rq *smc.Requester, lo,
 
 // distancesOf computes E(|Q−rᵢ|²) for an arbitrary list of encrypted
 // feature vectors — the table's records, a candidate subset of them, or
-// the cluster centroids — chunked across the session's workers.
-func (s *QuerySession) distancesOf(q EncryptedQuery, rows [][]*paillier.Ciphertext) ([]*paillier.Ciphertext, error) {
+// the cluster centroids — chunked across the session's workers. packed,
+// when non-nil, is the slot-packed rendering of exactly the same rows
+// (usually a cached subset from the table view); the chunks then ride
+// the packed SSED uplink. Pass nil to stay on the classic path.
+func (s *QuerySession) distancesOf(q EncryptedQuery, rows [][]*paillier.Ciphertext, packed *smc.PackedRows) ([]*paillier.Ciphertext, error) {
 	out := make([]*paillier.Ciphertext, len(rows))
 	err := s.parallelOverRecords(len(rows), func(rq *smc.Requester, lo, hi int) error {
-		ds, err := rq.SSEDMany(q, rows[lo:hi])
+		var ds []*paillier.Ciphertext
+		var err error
+		if packed != nil {
+			sub := &smc.PackedRows{Codec: packed.Codec, Rows: packed.Rows[lo:hi]}
+			ds, err = rq.SSEDManyPacked(q, rows[lo:hi], sub)
+		} else {
+			ds, err = rq.SSEDMany(q, rows[lo:hi])
+		}
 		if err != nil {
 			return fmt.Errorf("core: SSED chunk [%d,%d): %w", lo, hi, err)
 		}

@@ -10,6 +10,7 @@ import (
 
 	"sknn/internal/mpc"
 	"sknn/internal/paillier"
+	"sknn/internal/smc"
 )
 
 // Candidate is one entry of a shard-local top-k list, still fully
@@ -109,6 +110,14 @@ type ShardedC1 struct {
 	m      int
 	featM  int
 }
+
+// SetTuning selects the smc protocol variant for the coordinator's own
+// merge sessions. Shard workers carry their own tuning (a LocalShard's
+// via its CloudC1; a remote shard's is server-side configuration).
+func (c *ShardedC1) SetTuning(t smc.Tuning) { c.pool.tuning = t }
+
+// Tuning reports the merge sessions' protocol variant.
+func (c *ShardedC1) Tuning() smc.Tuning { return c.pool.tuning }
 
 // NewShardedC1 wires a coordinator over the given shard workers and its
 // own merge connections to C2. The shards must form one coherent
@@ -311,7 +320,8 @@ func (c *ShardedC1) SecureQueryMetered(ctx context.Context, q EncryptedQuery, k,
 		records[i] = cand.Rec
 	}
 	mergeMetrics := &SecureMetrics{}
-	selected, err := s.selectTopK(bits, records, nil, k, domainBits, mergeMetrics)
+	// The merged winners feed only the masked reveal — no bits needed.
+	selected, err := s.selectTopK(bits, records, nil, k, domainBits, false, mergeMetrics)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: merge: %w", err)
 	}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"sknn/internal/paillier"
+	"sknn/internal/smc"
 )
 
 // EncryptedRecord is one row of the outsourced database, encrypted
@@ -506,6 +507,16 @@ type tableView struct {
 	liveIdx   []int             // live positions, ascending
 	centroids []EncryptedRecord // nil when unclustered
 	members   [][]int           // positions incl tombstones; filter via dead
+
+	// Lazy slot-packed renderings of the feature prefixes, built on the
+	// first packed query and shared by every session holding this view
+	// (the view is memoized, so the Horner packing cost amortizes across
+	// queries until the next table mutation drops the view). Keyed by
+	// slot payload width because different domainBits yield different
+	// codecs.
+	packMu   sync.Mutex
+	packFeat map[int]*smc.PackedRows // guarded by packMu; all positions, row-indexed
+	packCent map[int]*smc.PackedRows // guarded by packMu
 }
 
 // view returns the immutable snapshot of the current table state for
@@ -590,6 +601,58 @@ func (v *tableView) featureRows(idx []int) [][]*paillier.Ciphertext {
 		out[i] = v.records[id][:v.featureM]
 	}
 	return out
+}
+
+// packedFeatureRows returns the slot-packed rendering of the feature
+// prefixes of the records at the given positions, for valueBits-wide
+// slot payloads. The full-table packing is computed once per width and
+// cached on the view; subsets are cheap slice re-selections (rows pack
+// independently — slots combine a row's attributes, never rows). Returns
+// nil when the key is too small for packing; callers fall back to the
+// classic path.
+func (v *tableView) packedFeatureRows(valueBits int, idx []int) *smc.PackedRows {
+	v.packMu.Lock()
+	defer v.packMu.Unlock()
+	if v.packFeat == nil {
+		v.packFeat = make(map[int]*smc.PackedRows)
+	}
+	full, ok := v.packFeat[valueBits]
+	if !ok {
+		all := make([]int, len(v.records))
+		for i := range all {
+			all[i] = i
+		}
+		full, _ = smc.PackRows(v.pk, valueBits, v.featureRows(all))
+		v.packFeat[valueBits] = full // nil on failure, cached to skip retries
+	}
+	if full == nil {
+		return nil
+	}
+	rows := make([][]*paillier.Ciphertext, len(idx))
+	for i, id := range idx {
+		rows[i] = full.Rows[id]
+	}
+	return &smc.PackedRows{Codec: full.Codec, Rows: rows}
+}
+
+// packedCentroids returns the slot-packed rendering of the cluster
+// centroids, cached per width like packedFeatureRows. Nil when
+// unclustered or when packing is unavailable.
+func (v *tableView) packedCentroids(valueBits int) *smc.PackedRows {
+	if v.centroids == nil {
+		return nil
+	}
+	v.packMu.Lock()
+	defer v.packMu.Unlock()
+	if v.packCent == nil {
+		v.packCent = make(map[int]*smc.PackedRows)
+	}
+	packed, ok := v.packCent[valueBits]
+	if !ok {
+		packed, _ = smc.PackRows(v.pk, valueBits, v.centroids2D())
+		v.packCent[valueBits] = packed
+	}
+	return packed
 }
 
 // TableSnapshot is the portable state of an EncryptedTable: everything

@@ -9,16 +9,12 @@ import (
 	"sknn/internal/dataset"
 	"sknn/internal/mpc"
 	"sknn/internal/paillier"
+	"sknn/internal/testkit"
 )
 
-// testKey is a shared 256-bit key for the core suite.
-var testKey = sync.OnceValue(func() *paillier.PrivateKey {
-	sk, err := paillier.GenerateKey(rand.Reader, 256)
-	if err != nil {
-		panic(err)
-	}
-	return sk
-})
+// testKey is the shared 256-bit key for the core suite, drawn from the
+// cross-package keyring.
+func testKey() *paillier.PrivateKey { return testkit.Key(256) }
 
 // newSystem outsources tbl to a fresh federated cloud with the given
 // number of C1↔C2 connections and returns the orchestrator plus Bob's

@@ -89,9 +89,21 @@ func (pk *PublicKey) AddPlain(a *Ciphertext, m *big.Int) *Ciphertext {
 	return &Ciphertext{c: gm}
 }
 
-// ScalarMul returns E(a*k mod N) = E(a)^k mod N². Negative k is reduced
-// into Z_N first (so ScalarMul(a, -1) == Neg(a)).
+// ScalarMul returns E(a*k mod N) = E(a)^k mod N². Negative k of small
+// magnitude is routed through the group inverse — Inv(a)^|k| — so the
+// ubiquitous "multiply by −r" unblinding steps cost a modular inversion
+// plus a short exponentiation instead of a full-width one. The result is
+// a different group element than E(a)^{N-|k|} but encrypts the same
+// plaintext, which is all any protocol step relies on.
 func (pk *PublicKey) ScalarMul(a *Ciphertext, k *big.Int) *Ciphertext {
+	if k.Sign() < 0 {
+		abs := new(big.Int).Neg(k)
+		abs.Mod(abs, pk.N)
+		if abs.BitLen()+64 < pk.N.BitLen() {
+			c := new(big.Int).Exp(pk.Inv(a).c, abs, pk.NSquared)
+			return &Ciphertext{c: c}
+		}
+	}
 	e := pk.reduceMessage(k)
 	c := new(big.Int).Exp(a.c, e, pk.NSquared)
 	return &Ciphertext{c: c}
@@ -102,12 +114,62 @@ func (pk *PublicKey) ScalarMulInt64(a *Ciphertext, k int64) *Ciphertext {
 	return pk.ScalarMul(a, big.NewInt(k))
 }
 
-// Neg returns E(-a mod N) = E(a)^{N-1} mod N², the "N - x" trick the
-// paper applies throughout.
-func (pk *PublicKey) Neg(a *Ciphertext) *Ciphertext {
+// Inv returns the group inverse of a, which encrypts −a mod N: a
+// modular inversion (~1% of a full-width exponentiation) instead of the
+// textbook E(a)^{N-1}. Non-invertible elements — impossible for honest
+// ciphertexts, reachable only through FromRaw on adversarial values —
+// fall back to the exponentiation, which is total.
+func (pk *PublicKey) Inv(a *Ciphertext) *Ciphertext {
+	if inv := new(big.Int).ModInverse(a.c, pk.NSquared); inv != nil {
+		return &Ciphertext{c: inv}
+	}
 	e := new(big.Int).Sub(pk.N, one)
 	c := new(big.Int).Exp(a.c, e, pk.NSquared)
 	return &Ciphertext{c: c}
+}
+
+// InvMany inverts a batch of ciphertexts with Montgomery's trick: one
+// modular inversion plus three multiplications per element, instead of
+// one inversion each. Order is preserved. If the combined product is
+// non-invertible (adversarial input), it falls back to per-element Inv.
+func (pk *PublicKey) InvMany(cts []*Ciphertext) []*Ciphertext {
+	n := len(cts)
+	out := make([]*Ciphertext, n)
+	if n == 0 {
+		return out
+	}
+	// prefix[i] = c₀·…·c_i mod N².
+	prefix := make([]*big.Int, n)
+	acc := new(big.Int).Set(cts[0].c)
+	prefix[0] = new(big.Int).Set(acc)
+	for i := 1; i < n; i++ {
+		acc.Mul(acc, cts[i].c)
+		acc.Mod(acc, pk.NSquared)
+		prefix[i] = new(big.Int).Set(acc)
+	}
+	inv := new(big.Int).ModInverse(acc, pk.NSquared)
+	if inv == nil {
+		for i, ct := range cts {
+			out[i] = pk.Inv(ct)
+		}
+		return out
+	}
+	for i := n - 1; i >= 1; i-- {
+		// inv = (c₀·…·c_i)⁻¹; c_i⁻¹ = inv · prefix[i−1].
+		ci := new(big.Int).Mul(inv, prefix[i-1])
+		ci.Mod(ci, pk.NSquared)
+		out[i] = &Ciphertext{c: ci}
+		inv.Mul(inv, cts[i].c)
+		inv.Mod(inv, pk.NSquared)
+	}
+	out[0] = &Ciphertext{c: inv}
+	return out
+}
+
+// Neg returns E(-a mod N). Since the group inverse of a valid ciphertext
+// is itself a valid encryption of the negated plaintext, this is Inv.
+func (pk *PublicKey) Neg(a *Ciphertext) *Ciphertext {
+	return pk.Inv(a)
 }
 
 // Sub returns E(a-b mod N) = E(a) * E(b)^{N-1} mod N².
@@ -118,11 +180,10 @@ func (pk *PublicKey) Sub(a, b *Ciphertext) *Ciphertext {
 // Rerandomize multiplies in a fresh encryption of zero, producing a
 // ciphertext of the same plaintext that is statistically unlinkable to a.
 func (pk *PublicKey) Rerandomize(random io.Reader, a *Ciphertext) (*Ciphertext, error) {
-	r, err := pk.randomUnit(random)
+	rn, err := pk.noncePower(random)
 	if err != nil {
 		return nil, err
 	}
-	rn := new(big.Int).Exp(r, pk.N, pk.NSquared)
 	rn.Mul(rn, a.c)
 	rn.Mod(rn, pk.NSquared)
 	return &Ciphertext{c: rn}, nil

@@ -38,3 +38,33 @@ func NewPrivateKeyFromPrimes(p, q *big.Int) *PrivateKey {
 func (sk *PrivateKey) Factors() (p, q *big.Int) {
 	return new(big.Int).Set(sk.p), new(big.Int).Set(sk.q)
 }
+
+// FBTable wraps the unexported fixed-base window table so property and
+// fuzz tests can compare it against big.Int.Exp directly.
+type FBTable struct{ t *fbTable }
+
+// NewTestFBTable builds a window table for the given base and modulus.
+func NewTestFBTable(base, mod *big.Int, maxExpBits int) *FBTable {
+	return &FBTable{t: newFBTable(base, mod, maxExpBits)}
+}
+
+// Exp evaluates base^e via the table; ok is false out of range.
+func (t *FBTable) Exp(e *big.Int) (*big.Int, bool) { return t.t.Exp(e) }
+
+// FixedBaseHN returns h^N mod N² for cross-checks; nil when the
+// fixed-base state is not enabled.
+func (pk *PublicKey) FixedBaseHN() *big.Int {
+	if pk.fb == nil {
+		return nil
+	}
+	return new(big.Int).Set(pk.fb.hN)
+}
+
+// FixedBasePow evaluates the randomizer power hN^a through whichever
+// path is installed (CRT-split when enabled via the private key).
+func (pk *PublicKey) FixedBasePow(a *big.Int) (*big.Int, bool) {
+	if pk.fb == nil {
+		return nil, false
+	}
+	return pk.fb.pow(a)
+}

@@ -47,6 +47,12 @@ type PublicKey struct {
 	N *big.Int
 	// NSquared caches N² since every ciphertext operation reduces mod N².
 	NSquared *big.Int
+
+	// fb is the optional fixed-base randomizer state (see fixedbase.go).
+	// nil unless EnableFixedBase ran; set once at setup before the key is
+	// shared, immutable afterwards. Unexported, so serialized keys never
+	// carry it — each process enables its own tables.
+	fb *pkFixedBase
 }
 
 // PrivateKey holds the factorization of N and the precomputed CRT values
@@ -103,6 +109,7 @@ func GenerateKey(random io.Reader, bits int) (*PrivateKey, error) {
 		if new(big.Int).GCD(nil, nil, n, tot).Cmp(one) != 0 {
 			continue
 		}
+		keygenCalls.Add(1)
 		return newPrivateKey(p, q), nil
 	}
 }
@@ -191,13 +198,15 @@ func (pk *PublicKey) reduceMessage(m *big.Int) *big.Int {
 }
 
 // Encrypt encrypts m (reduced into Z_N, so negative values encode N-|m|)
-// under pk with fresh randomness: c = (1 + m*N) * r^N mod N².
+// under pk with fresh randomness: c = (1 + m*N) * r^N mod N². With
+// fixed-base precomputation enabled the nonce power comes from the
+// window tables instead of a full-width exponentiation.
 func (pk *PublicKey) Encrypt(random io.Reader, m *big.Int) (*Ciphertext, error) {
-	r, err := pk.randomUnit(random)
+	rn, err := pk.noncePower(random)
 	if err != nil {
 		return nil, err
 	}
-	return pk.encryptWithNonce(m, r), nil
+	return pk.encryptWithNoncePower(m, rn), nil
 }
 
 // EncryptInt64 is a convenience wrapper around Encrypt for small values.
@@ -220,16 +229,30 @@ var encryptCalls atomic.Uint64
 // around an operation to assert its encryption cost.
 func EncryptCalls() uint64 { return encryptCalls.Load() }
 
+// keygenCalls counts every completed GenerateKey, mirroring
+// encryptCalls: the metering hook the shared test keyring uses to prove
+// keys are cached rather than regenerated.
+var keygenCalls atomic.Uint64
+
+// KeygenCalls reports how many Paillier key generations this process has
+// performed. Monotonic; compare deltas to assert caching behavior.
+func KeygenCalls() uint64 { return keygenCalls.Load() }
+
 // encryptWithNonce computes (1+mN) * r^N mod N². Exposed only to tests
 // (deterministic vectors) via export_test.go.
 func (pk *PublicKey) encryptWithNonce(m, r *big.Int) *Ciphertext {
+	return pk.encryptWithNoncePower(m, new(big.Int).Exp(r, pk.N, pk.NSquared))
+}
+
+// encryptWithNoncePower assembles (1+mN) · rn mod N² from a ready nonce
+// power rn = r^N mod N².
+func (pk *PublicKey) encryptWithNoncePower(m, rn *big.Int) *Ciphertext {
 	encryptCalls.Add(1)
 	mm := pk.reduceMessage(m)
 	// g^m = (N+1)^m = 1 + m*N (mod N²), avoiding one exponentiation.
 	gm := new(big.Int).Mul(mm, pk.N)
 	gm.Add(gm, one)
 	gm.Mod(gm, pk.NSquared)
-	rn := new(big.Int).Exp(r, pk.N, pk.NSquared)
 	c := gm.Mul(gm, rn)
 	c.Mod(c, pk.NSquared)
 	return &Ciphertext{c: c}

@@ -82,13 +82,10 @@ func (p *RandomizerPool) produce() {
 	}
 }
 
-// makeRandomizer computes one fresh r^N mod N².
+// makeRandomizer computes one fresh r^N mod N², via the key's
+// fixed-base tables when enabled.
 func (p *RandomizerPool) makeRandomizer() (*big.Int, error) {
-	r, err := p.pk.randomUnit(p.random)
-	if err != nil {
-		return nil, err
-	}
-	return new(big.Int).Exp(r, p.pk.N, p.pk.NSquared), nil
+	return p.pk.noncePower(p.random)
 }
 
 // take returns a precomputed randomizer if available, else computes one

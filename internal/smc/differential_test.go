@@ -1,0 +1,344 @@
+package smc
+
+import (
+	"math/rand"
+	"testing"
+
+	"sknn/internal/mpc"
+	"sknn/internal/paillier"
+)
+
+// This file is the packed-vs-unpacked conformance suite: every protocol
+// with a packed uplink is run twice on the same inputs — tuning on
+// (packed groups, short blinds) and tuning off (one ciphertext per
+// value, full-range blinds) — and both decryptions are checked against
+// the plaintext oracle. The classic path is the differential oracle; a
+// slot-layout or blind-width bug shows up as a divergence here before it
+// ever reaches a query.
+
+// pairWithTuning returns a Requester with the given packing setting over
+// a live responder.
+func pairWithTuning(t *testing.T, packing bool) (*Requester, *paillier.PrivateKey) {
+	t.Helper()
+	rq, sk := pair(t)
+	rq.SetTuning(Tuning{Packing: packing})
+	return rq, sk
+}
+
+func TestDifferentialSMBatchBounded(t *testing.T) {
+	rqP, sk := pairWithTuning(t, true)
+	rqC, _ := pairWithTuning(t, false)
+	rng := rand.New(rand.NewSource(11))
+	const n, bits = 9, 16
+	av := make([]int64, n)
+	bv := make([]int64, n)
+	for i := range av {
+		av[i] = rng.Int63n(1 << bits)
+		bv[i] = rng.Int63n(1 << bits)
+	}
+	av[0], bv[0] = 0, (1<<bits)-1 // zero × max edge
+	as := encVec(t, sk, av...)
+	bs := encVec(t, sk, bv...)
+
+	packed, err := rqP.SMBatchBounded(as, bs, bits, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classic, err := rqC.SMBatchBounded(as, bs, bits, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range av {
+		want := av[i] * bv[i]
+		if got := dec(t, sk, packed[i]); got != want {
+			t.Errorf("packed product[%d] = %d, want %d", i, got, want)
+		}
+		if got := dec(t, sk, classic[i]); got != want {
+			t.Errorf("classic product[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestDifferentialSSEDMany(t *testing.T) {
+	rqP, sk := pairWithTuning(t, true)
+	rqC, _ := pairWithTuning(t, false)
+	rng := rand.New(rand.NewSource(12))
+	const n, m, attrBits = 7, 3, 8
+	qv := make([]int64, m)
+	for j := range qv {
+		qv[j] = rng.Int63n(1 << attrBits)
+	}
+	rowsV := make([][]int64, n)
+	for i := range rowsV {
+		rowsV[i] = make([]int64, m)
+		for j := range rowsV[i] {
+			rowsV[i][j] = rng.Int63n(1 << attrBits)
+		}
+	}
+	rowsV[0] = append([]int64(nil), qv...) // zero-distance edge
+
+	q := encVec(t, sk, qv...)
+	rows := make([][]*paillier.Ciphertext, n)
+	for i := range rows {
+		rows[i] = encVec(t, sk, rowsV[i]...)
+	}
+	packedRows, err := PackRows(rqP.PK(), attrBits, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsP, err := rqP.SSEDManyPacked(q, rows, packedRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsC, err := rqC.SSEDMany(q, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		var want int64
+		for j := range qv {
+			d := qv[j] - rowsV[i][j]
+			want += d * d
+		}
+		if got := dec(t, sk, dsP[i]); got != want {
+			t.Errorf("packed distance[%d] = %d, want %d", i, got, want)
+		}
+		if got := dec(t, sk, dsC[i]); got != want {
+			t.Errorf("classic distance[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestDifferentialSBDBatch(t *testing.T) {
+	rqP, sk := pairWithTuning(t, true)
+	rqC, _ := pairWithTuning(t, false)
+	rng := rand.New(rand.NewSource(13))
+	const l = 12
+	vals := []uint64{0, 1, (1 << l) - 1, uint64(rng.Int63n(1 << l)), uint64(rng.Int63n(1 << l))}
+	zs := make([]*paillier.Ciphertext, len(vals))
+	for i, v := range vals {
+		zs[i] = enc(t, sk, int64(v))
+	}
+	bitsP, err := rqP.SBDBatch(zs, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitsC, err := rqC.SBDBatch(zs, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if got := decBits(t, sk, bitsP[i]); got != v {
+			t.Errorf("packed SBD[%d] = %d, want %d", i, got, v)
+		}
+		if got := decBits(t, sk, bitsC[i]); got != v {
+			t.Errorf("classic SBD[%d] = %d, want %d", i, got, v)
+		}
+	}
+}
+
+// TestDifferentialSMIN runs the full comparison protocol — whose packed
+// variant changes the blind widths, the product uplink, AND the λ
+// construction — under both tunings and against the plaintext min.
+func TestDifferentialSMIN(t *testing.T) {
+	rqP, sk := pairWithTuning(t, true)
+	rqC, _ := pairWithTuning(t, false)
+	const l = 8
+	cases := [][2]uint64{{3, 200}, {200, 3}, {77, 77}, {0, 255}, {255, 254}}
+	for _, c := range cases {
+		u := encBits(t, sk, c[0], l)
+		v := encBits(t, sk, c[1], l)
+		want := min(c[0], c[1])
+		minP, err := rqP.SMIN(u, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := decBits(t, sk, minP); got != want {
+			t.Errorf("packed SMIN(%d,%d) = %d, want %d", c[0], c[1], got, want)
+		}
+		minC, err := rqC.SMIN(u, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := decBits(t, sk, minC); got != want {
+			t.Errorf("classic SMIN(%d,%d) = %d, want %d", c[0], c[1], got, want)
+		}
+	}
+}
+
+func TestDifferentialSMINPairsBatch(t *testing.T) {
+	rqP, sk := pairWithTuning(t, true)
+	rqC, _ := pairWithTuning(t, false)
+	const l = 8
+	plain := [][2]uint64{{9, 4}, {100, 101}, {55, 55}, {0, 1}}
+	pairs := make([]SMINPair, len(plain))
+	for i, c := range plain {
+		pairs[i] = SMINPair{U: encBits(t, sk, c[0], l), V: encBits(t, sk, c[1], l)}
+	}
+	minsP, err := rqP.SMINPairsBatch(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minsC, err := rqC.SMINPairsBatch(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range plain {
+		want := min(c[0], c[1])
+		if got := decBits(t, sk, minsP[i]); got != want {
+			t.Errorf("packed min[%d] = %d, want %d", i, got, want)
+		}
+		if got := decBits(t, sk, minsC[i]); got != want {
+			t.Errorf("classic min[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestDifferentialSMINValuePairs checks the value-domain minimum — the
+// packed tournament's comparison — against both the plaintext min and
+// the classic bit-vector SMIN on the same inputs: the two protocols
+// must agree on every pair even though one consumes composed values and
+// the other bit vectors.
+func TestDifferentialSMINValuePairs(t *testing.T) {
+	rqP, sk := pairWithTuning(t, true)
+	rqC, _ := pairWithTuning(t, false)
+	const l = 8
+	plain := [][2]uint64{
+		{3, 200}, {200, 3}, {77, 77}, {0, 255}, {255, 254},
+		{0, 0}, {1, 0}, {128, 127}, {255, 255},
+	}
+	pairs := make([]SMINValuePair, len(plain))
+	bitPairs := make([]SMINPair, len(plain))
+	for i, c := range plain {
+		pairs[i] = SMINValuePair{A: enc(t, sk, int64(c[0])), B: enc(t, sk, int64(c[1]))}
+		bitPairs[i] = SMINPair{U: encBits(t, sk, c[0], l), V: encBits(t, sk, c[1], l)}
+	}
+	minsV, err := rqP.SMINValuePairsBatch(pairs, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minsB, err := rqC.SMINPairsBatch(bitPairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range plain {
+		want := int64(min(c[0], c[1]))
+		if got := dec(t, sk, minsV[i]); got != want {
+			t.Errorf("value min(%d,%d) = %d, want %d", c[0], c[1], got, want)
+		}
+		if got := int64(decBits(t, sk, minsB[i])); got != want {
+			t.Errorf("bit min(%d,%d) = %d, want %d", c[0], c[1], got, want)
+		}
+	}
+}
+
+func TestSMINnValuesTournament(t *testing.T) {
+	rq, sk := pairWithTuning(t, true)
+	const l = 10
+	cases := [][]int64{
+		{42},                          // n = 1: no comparison at all
+		{9, 4},                        // single pair
+		{5, 5, 5},                     // all tied, odd carry
+		{1023, 0, 512, 7, 7, 300},     // min duplicated
+		{8, 7, 6, 5, 4, 3, 2, 1, 0},   // strictly decreasing, odd length
+		{100, 200, 300, 400, 50, 600}, // min in the carry-prone tail
+	}
+	for _, vals := range cases {
+		ds := encVec(t, sk, vals...)
+		got, err := rq.SMINnValues(ds, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := vals[0]
+		for _, v := range vals {
+			want = min(want, v)
+		}
+		if d := dec(t, sk, got); d != want {
+			t.Errorf("SMINnValues(%v) = %d, want %d", vals, d, want)
+		}
+	}
+}
+
+func TestHandleSBDPackBitValidation(t *testing.T) {
+	sk := testKey()
+	mux := NewResponder(sk, nil).Mux()
+	bad := []*mpc.Message{
+		{Op: OpSBDPackBit},
+		{Op: OpSBDPackBit, Ints: bigInts(1)},
+		{Op: OpSBDPackBit, Ints: bigInts(1, 8)},        // missing shift
+		{Op: OpSBDPackBit, Ints: bigInts(1, 8, -1, 1)}, // negative shift
+		{Op: OpSBDPackBit, Ints: bigInts(1, 8, 8, 1)},  // shift ≥ valueBits
+		{Op: OpSBDPackBit, Ints: bigInts(1, 8, 0)},     // missing group ct
+		{Op: OpSBDPackBit, Ints: bigInts(1, 8, 0, 0)},  // invalid ciphertext
+	}
+	for i, msg := range bad {
+		if _, err := mux.Handle(msg); err == nil {
+			t.Errorf("frame %d accepted", i)
+		}
+	}
+}
+
+func TestSMINValuePairsValidation(t *testing.T) {
+	rq, sk := pairWithTuning(t, true)
+	if _, err := rq.SMINValuePairsBatch(nil, 8); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := rq.SMINValuePairsBatch([]SMINValuePair{{A: enc(t, sk, 1)}}, 8); err == nil {
+		t.Error("nil operand accepted")
+	}
+	if _, err := rq.SMINValuePairsBatch(
+		[]SMINValuePair{{A: enc(t, sk, 1), B: enc(t, sk, 2)}}, 0); err == nil {
+		t.Error("l = 0 accepted")
+	}
+	if _, err := rq.SMINnValues(nil, 8); err == nil {
+		t.Error("empty tournament accepted")
+	}
+}
+
+// TestSSEDManyPackedFallsBackWithoutCache: a nil packed-rows cache must
+// transparently use the classic wire format, not fail.
+func TestSSEDManyPackedFallsBackWithoutCache(t *testing.T) {
+	rq, sk := pairWithTuning(t, true)
+	q := encVec(t, sk, 0, 0)
+	rows := [][]*paillier.Ciphertext{encVec(t, sk, 3, 4)}
+	ds, err := rq.SSEDManyPacked(q, rows, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dec(t, sk, ds[0]); got != 25 {
+		t.Errorf("distance = %d, want 25", got)
+	}
+}
+
+// TestPackRowsShape pins the cache builder's group math: n rows of m
+// attributes become n packed rows of ⌈m/Slots⌉ groups each.
+func TestPackRowsShape(t *testing.T) {
+	rq, sk := pair(t)
+	const n, m, attrBits = 4, 5, 8
+	rows := make([][]*paillier.Ciphertext, n)
+	for i := range rows {
+		vals := make([]int64, m)
+		for j := range vals {
+			vals[j] = int64(i*m + j)
+		}
+		rows[i] = encVec(t, sk, vals...)
+	}
+	packed, err := PackRows(rq.PK(), attrBits, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(packed.Rows) != n {
+		t.Fatalf("packed %d rows, want %d", len(packed.Rows), n)
+	}
+	wantGroups := packed.Codec.Groups(m)
+	for i, row := range packed.Rows {
+		if len(row) != wantGroups {
+			t.Errorf("row %d has %d groups, want %d", i, len(row), wantGroups)
+		}
+	}
+	// Ragged inputs must be rejected, not mis-packed.
+	ragged := [][]*paillier.Ciphertext{encVec(t, sk, 1, 2), encVec(t, sk, 3)}
+	if _, err := PackRows(rq.PK(), attrBits, ragged); err == nil {
+		t.Error("ragged rows accepted")
+	}
+}

@@ -57,7 +57,7 @@ func TestSBDRecoversFromCorruptedRound(t *testing.T) {
 	var once sync.Once
 	sk := testKey()
 	rq, _ := corruptedPair(t, func(req, resp *mpc.Message) *mpc.Message {
-		if req.Op == OpSBDLsb {
+		if req.Op == OpSBDLsb || req.Op == OpSBDPackLsb {
 			once.Do(func() {
 				// Flip the first returned bit by homomorphically adding 1.
 				ct, err := sk.FromRaw(resp.Ints[0])
@@ -85,7 +85,7 @@ func TestSBDRecoversFromCorruptedRound(t *testing.T) {
 func TestSBDGivesUpAfterPersistentCorruption(t *testing.T) {
 	sk := testKey()
 	rq, _ := corruptedPair(t, func(req, resp *mpc.Message) *mpc.Message {
-		if req.Op == OpSBDLsb {
+		if req.Op == OpSBDLsb || req.Op == OpSBDPackLsb {
 			ct, err := sk.FromRaw(resp.Ints[0])
 			if err == nil {
 				resp.Ints[0] = sk.AddPlain(ct, big.NewInt(1)).Raw()

@@ -1,0 +1,658 @@
+package smc
+
+import (
+	"fmt"
+	"math/big"
+
+	"sknn/internal/mpc"
+	"sknn/internal/paillier"
+)
+
+// This file holds the slot-packed protocol variants (see
+// paillier.Packing): the same two-party functionalities as sm.go,
+// ssed.go, and sbd.go, but with the C1→C2 uplink carrying many blinded
+// values per ciphertext, so C2 pays one decryption per slot group
+// instead of one per value. Every value C2 sees is still additively
+// blinded — with short σ-statistical blinds sized to the slot headroom
+// instead of full-width ones — so the leakage class is unchanged (see
+// docs/PROTOCOLS.md). The unpacked paths remain callable and serve as
+// the differential oracle; Requester.Tuning selects between them.
+
+// smPackMaxCount mirrors handleSMINBatch's element bound: enough for
+// any real batch, small enough that a hostile header cannot drive
+// allocation.
+const smPackMaxCount = 1 << 22
+
+// smPackMaxAttrs bounds the record arity in a packed SSED frame,
+// matching the shard-hello attribute cap.
+const smPackMaxAttrs = 1 << 10
+
+// packMaxValueBits mirrors the codec's own bound for header validation
+// before NewPacking runs.
+const packMaxValueBits = 512
+
+// SMBatchBounded is SMBatch for inputs with known plaintext bounds:
+// aᵢ < 2^aBits and bᵢ < 2^bBits. With packing enabled the blinded pairs
+// ride the slot-packed uplink (OpSMPack) under short blinds; otherwise
+// it degrades to the classic SMBatch. The bounds are a caller contract —
+// correctness of the packed layout depends on them, and every call site
+// derives them from dataset validation (attribute domains) or from bit
+// arithmetic (values in {0,1}).
+func (rq *Requester) SMBatchBounded(as, bs []*paillier.Ciphertext, aBits, bBits int) ([]*paillier.Ciphertext, error) {
+	if len(as) != len(bs) {
+		return nil, fmt.Errorf("%w: %d vs %d", ErrLengthMismatch, len(as), len(bs))
+	}
+	if len(as) == 0 {
+		return nil, ErrEmptyInput
+	}
+	if !rq.tuning.Packing || aBits < 1 || bBits < 1 {
+		return rq.SMBatch(as, bs)
+	}
+	vb := aBits
+	if bBits > vb {
+		vb = bBits
+	}
+	codec, err := paillier.NewPacking(rq.pk, vb)
+	if err != nil || codec.Slots < 2 {
+		// Key too small for even one packed pair: unpacked oracle path.
+		return rq.SMBatch(as, bs)
+	}
+	n := len(as)
+	pairsPerGroup := codec.Slots / 2
+	groups := (n + pairsPerGroup - 1) / pairsPerGroup
+
+	ras := make([]*big.Int, n)
+	rbs := make([]*big.Int, n)
+	blinded := make([]*paillier.Ciphertext, 0, 2*n)
+	for i := 0; i < n; i++ {
+		ra, err := rq.shortBlind(aBits)
+		if err != nil {
+			return nil, err
+		}
+		rb, err := rq.shortBlind(bBits)
+		if err != nil {
+			return nil, err
+		}
+		ras[i], rbs[i] = ra, rb
+		blinded = append(blinded, rq.pk.AddPlain(as[i], ra), rq.pk.AddPlain(bs[i], rb))
+	}
+
+	payload := make([]*big.Int, 0, 2+groups)
+	payload = append(payload, big.NewInt(int64(n)), big.NewInt(int64(vb)))
+	for g := 0; g < groups; g++ {
+		lo := g * 2 * pairsPerGroup
+		hi := min(len(blinded), lo+2*pairsPerGroup)
+		ct, err := codec.PackCiphertexts(blinded[lo:hi])
+		if err != nil {
+			return nil, fmt.Errorf("smc: packed SM group %d: %w", g, err)
+		}
+		payload = append(payload, ct.Raw())
+	}
+
+	reply, err := rq.roundTrip(OpSMPack, payload, n)
+	if err != nil {
+		return nil, fmt.Errorf("smc: packed SM round trip: %w", err)
+	}
+	hs, err := rq.rawCiphertexts(reply)
+	if err != nil {
+		return nil, err
+	}
+
+	// Unblind with short positive exponents on the batch-inverted inputs:
+	// E(ab) = E(h) · Inv(a)^(r_b) · Inv(b)^(rₐ) · E(−rₐ·r_b).
+	invA := rq.pk.InvMany(as)
+	invB := rq.pk.InvMany(bs)
+	out := make([]*paillier.Ciphertext, n)
+	for i := 0; i < n; i++ {
+		s := rq.pk.Add(hs[i], rq.pk.ScalarMul(invA[i], rbs[i]))
+		s = rq.pk.Add(s, rq.pk.ScalarMul(invB[i], ras[i]))
+		cross := new(big.Int).Mul(ras[i], rbs[i])
+		out[i] = rq.pk.AddPlain(s, cross.Neg(cross))
+	}
+	return out, nil
+}
+
+// handleSMPack is C2's half of the packed SM uplink: decrypt each slot
+// group once, multiply the blinded pairs, reply with one fresh
+// encryption per product. Frame: [count, valueBits, group ciphertexts].
+func (rp *Responder) handleSMPack(req *mpc.Message) (*mpc.Message, error) {
+	count, codec, err := rp.packHeader(req.Ints, "SM")
+	if err != nil {
+		return nil, err
+	}
+	pairsPerGroup := codec.Slots / 2
+	if pairsPerGroup < 1 {
+		return nil, fmt.Errorf("%w: packed SM width leaves no pair slot", ErrBadFrame)
+	}
+	groups := (count + pairsPerGroup - 1) / pairsPerGroup
+	if len(req.Ints) != 2+groups {
+		return nil, fmt.Errorf("%w: packed SM payload of %d ints for %d pairs",
+			ErrBadFrame, len(req.Ints), count)
+	}
+	out := make([]*big.Int, 0, count)
+	for g := 0; g < groups; g++ {
+		pairs := min(pairsPerGroup, count-g*pairsPerGroup)
+		ct, err := rp.sk.FromRaw(req.Ints[2+g])
+		if err != nil {
+			return nil, fmt.Errorf("smc: packed SM group %d: %w", g, err)
+		}
+		vals, err := codec.UnpackDecrypt(rp.sk, ct, 2*pairs)
+		if err != nil {
+			return nil, fmt.Errorf("smc: packed SM group %d: %w", g, err)
+		}
+		for t := 0; t < pairs; t++ {
+			h := new(big.Int).Mul(vals[2*t], vals[2*t+1])
+			h.Mod(h, rp.sk.N)
+			hEnc, err := rp.encrypt(h)
+			if err != nil {
+				return nil, fmt.Errorf("smc: packed SM encrypt: %w", err)
+			}
+			out = append(out, hEnc.Raw())
+		}
+	}
+	return &mpc.Message{Op: OpSMPack, Ints: out}, nil
+}
+
+// packHeader validates the common [count, valueBits, ...] header of the
+// packed frames and builds C2's view of the codec (identical to C1's:
+// both derive it from valueBits and the shared modulus).
+func (rp *Responder) packHeader(ints []*big.Int, what string) (int, *paillier.Packing, error) {
+	if len(ints) < 2 || !ints[0].IsInt64() || !ints[1].IsInt64() {
+		return 0, nil, fmt.Errorf("%w: packed %s header", ErrBadFrame, what)
+	}
+	count := int(ints[0].Int64())
+	vb := int(ints[1].Int64())
+	if count < 1 || count > smPackMaxCount || vb < 1 || vb > packMaxValueBits {
+		return 0, nil, fmt.Errorf("%w: packed %s header count=%d valueBits=%d",
+			ErrBadFrame, what, count, vb)
+	}
+	codec, err := paillier.NewPacking(&rp.sk.PublicKey, vb)
+	if err != nil {
+		return 0, nil, fmt.Errorf("%w: packed %s: %v", ErrBadFrame, what, err)
+	}
+	return count, codec, nil
+}
+
+// PackedRows is a reusable slot-packed rendering of encrypted feature
+// rows: Rows[i] holds row i's Groups(m) packed ciphertexts under Codec.
+// Packing existing ciphertexts costs ~Width squarings per slot (Horner),
+// so callers cache PackedRows across queries (see core's table view).
+type PackedRows struct {
+	Codec *paillier.Packing
+	Rows  [][]*paillier.Ciphertext
+}
+
+// PackRows packs each row of encrypted values (all below 2^valueBits)
+// into slot groups. Returns an error when the key is too small for even
+// one slot — callers then stay on the unpacked path.
+func PackRows(pk *paillier.PublicKey, valueBits int, rows [][]*paillier.Ciphertext) (*PackedRows, error) {
+	if len(rows) == 0 {
+		return nil, ErrEmptyInput
+	}
+	codec, err := paillier.NewPacking(pk, valueBits)
+	if err != nil {
+		return nil, err
+	}
+	m := len(rows[0])
+	out := &PackedRows{Codec: codec, Rows: make([][]*paillier.Ciphertext, len(rows))}
+	for i, row := range rows {
+		if len(row) != m {
+			return nil, fmt.Errorf("%w: row %d has %d attributes, want %d",
+				ErrLengthMismatch, i, len(row), m)
+		}
+		groups, err := packRow(codec, row)
+		if err != nil {
+			return nil, fmt.Errorf("smc: packing row %d: %w", i, err)
+		}
+		out.Rows[i] = groups
+	}
+	return out, nil
+}
+
+// packRow packs one row into its slot groups.
+func packRow(codec *paillier.Packing, row []*paillier.Ciphertext) ([]*paillier.Ciphertext, error) {
+	groups := make([]*paillier.Ciphertext, 0, codec.Groups(len(row)))
+	for lo := 0; lo < len(row); lo += codec.Slots {
+		hi := min(len(row), lo+codec.Slots)
+		ct, err := codec.PackCiphertexts(row[lo:hi])
+		if err != nil {
+			return nil, err
+		}
+		groups = append(groups, ct)
+	}
+	return groups, nil
+}
+
+// SSEDManyPacked is SSEDMany over pre-packed record rows: one uplink
+// ciphertext per record slot group (instead of m blinded pairs per
+// record) and one downlink ciphertext per record. C1 sends, per record,
+// the slotwise value yⱼ = qⱼ − tⱼ + 2^B + rⱼ (offset clears the
+// subtraction's sign, short blind rⱼ hides the difference); C2 decrypts
+// once per group, returns E(Σⱼ yⱼ²); C1 strips the known cross terms:
+//
+//	E(Σdⱼ²) = E(Σyⱼ²) · Πⱼ (Inv(E(qⱼ))·E(tⱼ))^(2cⱼ) · E(−Σcⱼ²),  cⱼ = 2^B + rⱼ
+//
+// rows must carry values below 2^(packed.Codec.ValueBits) — the dataset
+// validation bound. Falls back to SSEDMany when packing is off or
+// packed is nil.
+func (rq *Requester) SSEDManyPacked(q []*paillier.Ciphertext, rows [][]*paillier.Ciphertext, packed *PackedRows) ([]*paillier.Ciphertext, error) {
+	if packed == nil || !rq.tuning.Packing {
+		return rq.SSEDMany(q, rows)
+	}
+	if len(rows) == 0 {
+		return nil, ErrEmptyInput
+	}
+	codec := packed.Codec
+	m := len(q)
+	n := len(rows)
+	if len(packed.Rows) != n {
+		return nil, fmt.Errorf("%w: %d packed rows for %d records", ErrLengthMismatch, len(packed.Rows), n)
+	}
+	groups := codec.Groups(m)
+	for i, row := range rows {
+		if len(row) != m {
+			return nil, fmt.Errorf("%w: record %d has %d attributes, query has %d",
+				ErrLengthMismatch, i, len(row), m)
+		}
+		if len(packed.Rows[i]) != groups {
+			return nil, fmt.Errorf("%w: record %d has %d packed groups, want %d",
+				ErrLengthMismatch, i, len(packed.Rows[i]), groups)
+		}
+	}
+	B := codec.ValueBits
+
+	// Pack the query once per group layout.
+	packedQ, err := packRow(codec, q)
+	if err != nil {
+		return nil, fmt.Errorf("smc: packing query: %w", err)
+	}
+	// Batch-invert the packed record groups (for the slotwise Sub) and
+	// the query attributes (for the per-attribute unblind terms).
+	flat := make([]*paillier.Ciphertext, 0, n*groups)
+	for _, row := range packed.Rows {
+		flat = append(flat, row...)
+	}
+	invT := rq.pk.InvMany(flat)
+	invQ := rq.pk.InvMany(q)
+
+	offset := new(big.Int).Lsh(oneBig, uint(B))
+	cs := make([][]*big.Int, n) // per record, per attribute: cⱼ = 2^B + rⱼ
+	payload := make([]*big.Int, 0, 3+n*groups)
+	payload = append(payload, big.NewInt(int64(n)), big.NewInt(int64(m)), big.NewInt(int64(B)))
+	for i := 0; i < n; i++ {
+		cs[i] = make([]*big.Int, m)
+		for g := 0; g < groups; g++ {
+			lo := g * codec.Slots
+			hi := min(m, lo+codec.Slots)
+			slotVals := make([]*big.Int, hi-lo)
+			for j := lo; j < hi; j++ {
+				r, err := rq.shortBlind(B)
+				if err != nil {
+					return nil, err
+				}
+				c := new(big.Int).Add(offset, r)
+				cs[i][j] = c
+				slotVals[j-lo] = c
+			}
+			packedC, err := codec.Pack(slotVals)
+			if err != nil {
+				return nil, fmt.Errorf("smc: packed SSED offsets: %w", err)
+			}
+			diff := rq.pk.AddPlain(rq.pk.Add(packedQ[g], invT[i*groups+g]), packedC)
+			payload = append(payload, diff.Raw())
+		}
+	}
+
+	reply, err := rq.roundTrip(OpSSEDPack, payload, n)
+	if err != nil {
+		return nil, fmt.Errorf("smc: packed SSED round trip: %w", err)
+	}
+	sums, err := rq.rawCiphertexts(reply)
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]*paillier.Ciphertext, n)
+	for i := 0; i < n; i++ {
+		acc := sums[i]
+		sumC2 := new(big.Int)
+		for j := 0; j < m; j++ {
+			c2 := new(big.Int).Lsh(cs[i][j], 1) // 2cⱼ
+			// (Inv(E(qⱼ))·E(tⱼ))^(2cⱼ) = E(dⱼ)^(−2cⱼ), short exponent.
+			term := rq.pk.ScalarMul(rq.pk.Add(invQ[j], rows[i][j]), c2)
+			acc = rq.pk.Add(acc, term)
+			sumC2.Add(sumC2, new(big.Int).Mul(cs[i][j], cs[i][j]))
+		}
+		out[i] = rq.pk.AddPlain(acc, sumC2.Neg(sumC2))
+	}
+	return out, nil
+}
+
+// handleSSEDPack is C2's half of the packed SSED: decrypt each record's
+// slot groups, square and sum the blinded slot values, reply with one
+// encryption per record. Frame: [count, m, valueBits, count·groups cts].
+func (rp *Responder) handleSSEDPack(req *mpc.Message) (*mpc.Message, error) {
+	if len(req.Ints) < 3 || !req.Ints[0].IsInt64() || !req.Ints[1].IsInt64() || !req.Ints[2].IsInt64() {
+		return nil, fmt.Errorf("%w: packed SSED header", ErrBadFrame)
+	}
+	count := int(req.Ints[0].Int64())
+	m := int(req.Ints[1].Int64())
+	vb := int(req.Ints[2].Int64())
+	if count < 1 || count > smPackMaxCount || m < 1 || m > smPackMaxAttrs || vb < 1 || vb > packMaxValueBits {
+		return nil, fmt.Errorf("%w: packed SSED header count=%d m=%d valueBits=%d",
+			ErrBadFrame, count, m, vb)
+	}
+	codec, err := paillier.NewPacking(&rp.sk.PublicKey, vb)
+	if err != nil {
+		return nil, fmt.Errorf("%w: packed SSED: %v", ErrBadFrame, err)
+	}
+	groups := codec.Groups(m)
+	if len(req.Ints) != 3+count*groups {
+		return nil, fmt.Errorf("%w: packed SSED payload of %d ints for %d records of %d groups",
+			ErrBadFrame, len(req.Ints), count, groups)
+	}
+	body := req.Ints[3:]
+	out := make([]*big.Int, count)
+	for i := 0; i < count; i++ {
+		total := new(big.Int)
+		for g := 0; g < groups; g++ {
+			cnt := min(codec.Slots, m-g*codec.Slots)
+			ct, err := rp.sk.FromRaw(body[i*groups+g])
+			if err != nil {
+				return nil, fmt.Errorf("smc: packed SSED record %d group %d: %w", i, g, err)
+			}
+			vals, err := codec.UnpackDecrypt(rp.sk, ct, cnt)
+			if err != nil {
+				return nil, fmt.Errorf("smc: packed SSED record %d group %d: %w", i, g, err)
+			}
+			for _, y := range vals {
+				total.Add(total, new(big.Int).Mul(y, y))
+			}
+		}
+		total.Mod(total, rp.sk.N)
+		enc, err := rp.encrypt(total)
+		if err != nil {
+			return nil, fmt.Errorf("smc: packed SSED encrypt: %w", err)
+		}
+		out[i] = enc.Raw()
+	}
+	return &mpc.Message{Op: OpSSEDPack, Ints: out}, nil
+}
+
+// sbdOncePacked is one unverified SBD pass with the remainders held
+// packed: each of the l rounds sends ⌈n/Slots⌉ group ciphertexts (the
+// remainders under fresh short slot blinds) instead of n, C2 decrypts
+// per group and returns each slot's encrypted low bit individually (the
+// SMIN tournament consumes bits one ciphertext each), and C1 folds the
+// corrected bits back into packed form to halve all slots with a single
+// exponentiation per group:
+//
+//	remⱼ ← (remⱼ − bitⱼ) / 2  slotwise, via (P_rem · Inv(P_bits))^(2⁻¹)
+//
+// exact because every slot of the numerator is even and the packed
+// integer never wraps mod N. Short blinds also mean z' + r never wraps,
+// so — unlike the unpacked path — the decomposition cannot fail
+// verification against an honest C2.
+func (rq *Requester) sbdOncePacked(zs []*paillier.Ciphertext, l int, codec *paillier.Packing) ([][]*paillier.Ciphertext, error) {
+	n := len(zs)
+	groups := codec.Groups(n)
+	packedRem := make([]*paillier.Ciphertext, groups)
+	for g := 0; g < groups; g++ {
+		lo := g * codec.Slots
+		hi := min(n, lo+codec.Slots)
+		ct, err := codec.PackCiphertexts(zs[lo:hi])
+		if err != nil {
+			return nil, fmt.Errorf("smc: SBD packing group %d: %w", g, err)
+		}
+		packedRem[g] = ct
+	}
+
+	lsbFirst := make([][]*paillier.Ciphertext, n)
+	for i := range lsbFirst {
+		lsbFirst[i] = make([]*paillier.Ciphertext, 0, l)
+	}
+	rs := make([]*big.Int, n)
+	for round := 0; round < l; round++ {
+		payload := make([]*big.Int, 0, 2+groups)
+		payload = append(payload, big.NewInt(int64(n)), big.NewInt(int64(l)))
+		for g := 0; g < groups; g++ {
+			lo := g * codec.Slots
+			hi := min(n, lo+codec.Slots)
+			blinds := make([]*big.Int, hi-lo)
+			for i := lo; i < hi; i++ {
+				r, err := rq.shortBlind(l)
+				if err != nil {
+					return nil, err
+				}
+				rs[i] = r
+				blinds[i-lo] = r
+			}
+			ct, err := codec.AddPacked(packedRem[g], blinds)
+			if err != nil {
+				return nil, fmt.Errorf("smc: SBD packed blind: %w", err)
+			}
+			payload = append(payload, ct.Raw())
+		}
+		reply, err := rq.roundTrip(OpSBDPackLsb, payload, n)
+		if err != nil {
+			return nil, fmt.Errorf("smc: packed SBD round %d: %w", round, err)
+		}
+		lsbs, err := rq.rawCiphertexts(reply)
+		if err != nil {
+			return nil, err
+		}
+		// Correct for odd blinds — lsb(z') = 1 − lsb(y) there — with the
+		// inversions batched.
+		var toFlip []*paillier.Ciphertext
+		for i := 0; i < n; i++ {
+			if rs[i].Bit(0) == 1 {
+				toFlip = append(toFlip, lsbs[i])
+			}
+		}
+		flipped := rq.pk.InvMany(toFlip)
+		bits := make([]*paillier.Ciphertext, n)
+		fi := 0
+		for i := 0; i < n; i++ {
+			if rs[i].Bit(0) == 1 {
+				bits[i] = rq.pk.AddPlain(flipped[fi], oneBig)
+				fi++
+			} else {
+				bits[i] = lsbs[i]
+			}
+			lsbFirst[i] = append(lsbFirst[i], bits[i])
+		}
+		for g := 0; g < groups; g++ {
+			lo := g * codec.Slots
+			hi := min(n, lo+codec.Slots)
+			packedBits, err := codec.PackCiphertexts(bits[lo:hi])
+			if err != nil {
+				return nil, fmt.Errorf("smc: SBD packing bits: %w", err)
+			}
+			even := rq.pk.Add(packedRem[g], rq.pk.Inv(packedBits))
+			packedRem[g] = rq.pk.ScalarMul(even, rq.invTwo)
+		}
+	}
+
+	out := make([][]*paillier.Ciphertext, n)
+	for i := range lsbFirst {
+		msbFirst := make([]*paillier.Ciphertext, l)
+		for j := 0; j < l; j++ {
+			msbFirst[j] = lsbFirst[i][l-1-j]
+		}
+		out[i] = msbFirst
+	}
+	return out, nil
+}
+
+// handleSBDPackLsb is C2's half of a packed LSB round: decrypt each slot
+// group once and return each slot's low bit as an individual fresh
+// encryption. Frame: [count, valueBits, group ciphertexts].
+func (rp *Responder) handleSBDPackLsb(req *mpc.Message) (*mpc.Message, error) {
+	count, codec, err := rp.packHeader(req.Ints, "SBD")
+	if err != nil {
+		return nil, err
+	}
+	groups := codec.Groups(count)
+	if len(req.Ints) != 2+groups {
+		return nil, fmt.Errorf("%w: packed SBD payload of %d ints for %d values",
+			ErrBadFrame, len(req.Ints), count)
+	}
+	out := make([]*big.Int, 0, count)
+	for g := 0; g < groups; g++ {
+		cnt := min(codec.Slots, count-g*codec.Slots)
+		ct, err := rp.sk.FromRaw(req.Ints[2+g])
+		if err != nil {
+			return nil, fmt.Errorf("smc: packed SBD group %d: %w", g, err)
+		}
+		vals, err := codec.UnpackDecrypt(rp.sk, ct, cnt)
+		if err != nil {
+			return nil, fmt.Errorf("smc: packed SBD group %d: %w", g, err)
+		}
+		for _, y := range vals {
+			bit, err := rp.encrypt(new(big.Int).SetUint64(uint64(y.Bit(0))))
+			if err != nil {
+				return nil, fmt.Errorf("smc: packed SBD encrypt lsb: %w", err)
+			}
+			out = append(out, bit.Raw())
+		}
+	}
+	return &mpc.Message{Op: OpSBDPackLsb, Ints: out}, nil
+}
+
+// msbOncePacked extracts E(bit L−1) of each value's L-bit decomposition
+// — the only bit the value-domain SMIN consumes — without ever halving
+// the remainders. sbdOncePacked divides every slot by two each round,
+// and that (N+1)/2 exponentiation per group per round is the last
+// full-range exponentiation left in the tournament. Here the remainder
+// keeps its scale and round j blinds bit j in place: the uplink adds
+// rᵢ·2^j with rᵢ ← shortBlind(L−j), so the slot's low j bits (already
+// peeled to zero) stay zero, bit j of the decrypted slot equals bit j
+// of the remainder XOR lsb(rᵢ), and C2 returns that bit per slot. C1
+// flips where rᵢ is odd and subtracts E(βⱼ)·2^j — a j-bit exponent —
+// from the packed remainder, so every exponentiation in the loop is
+// short. The shifted blind still fits a slot: rᵢ·2^j < 2^(L+σ) <
+// 2^Width. C2's view — slotwise short-blinded remainder windows and the
+// public round index — is the same leakage class as sbdOncePacked, and
+// like it the pass is exact against an honest C2 (no slot ever wraps).
+func (rq *Requester) msbOncePacked(zs []*paillier.Ciphertext, L int, codec *paillier.Packing) ([]*paillier.Ciphertext, error) {
+	n := len(zs)
+	groups := codec.Groups(n)
+	packedRem := make([]*paillier.Ciphertext, groups)
+	for g := 0; g < groups; g++ {
+		lo := g * codec.Slots
+		hi := min(n, lo+codec.Slots)
+		ct, err := codec.PackCiphertexts(zs[lo:hi])
+		if err != nil {
+			return nil, fmt.Errorf("smc: MSB packing group %d: %w", g, err)
+		}
+		packedRem[g] = ct
+	}
+
+	rs := make([]*big.Int, n)
+	for j := 0; j < L; j++ {
+		payload := make([]*big.Int, 0, 3+groups)
+		payload = append(payload, big.NewInt(int64(n)), big.NewInt(int64(L)), big.NewInt(int64(j)))
+		for g := 0; g < groups; g++ {
+			lo := g * codec.Slots
+			hi := min(n, lo+codec.Slots)
+			blinds := make([]*big.Int, hi-lo)
+			for i := lo; i < hi; i++ {
+				r, err := rq.shortBlind(L - j)
+				if err != nil {
+					return nil, err
+				}
+				rs[i] = r
+				blinds[i-lo] = new(big.Int).Lsh(r, uint(j))
+			}
+			ct, err := codec.AddPacked(packedRem[g], blinds)
+			if err != nil {
+				return nil, fmt.Errorf("smc: MSB packed blind: %w", err)
+			}
+			payload = append(payload, ct.Raw())
+		}
+		reply, err := rq.roundTrip(OpSBDPackBit, payload, n)
+		if err != nil {
+			return nil, fmt.Errorf("smc: packed MSB round %d: %w", j, err)
+		}
+		raw, err := rq.rawCiphertexts(reply)
+		if err != nil {
+			return nil, err
+		}
+		// Correct for odd blinds — bit j of the slot is flipped there —
+		// with the inversions batched.
+		var toFlip []*paillier.Ciphertext
+		for i := 0; i < n; i++ {
+			if rs[i].Bit(0) == 1 {
+				toFlip = append(toFlip, raw[i])
+			}
+		}
+		flipped := rq.pk.InvMany(toFlip)
+		bits := make([]*paillier.Ciphertext, n)
+		fi := 0
+		for i := 0; i < n; i++ {
+			if rs[i].Bit(0) == 1 {
+				bits[i] = rq.pk.AddPlain(flipped[fi], oneBig)
+				fi++
+			} else {
+				bits[i] = raw[i]
+			}
+		}
+		if j == L-1 {
+			return bits, nil
+		}
+		shift := new(big.Int).Lsh(oneBig, uint(j))
+		for g := 0; g < groups; g++ {
+			lo := g * codec.Slots
+			hi := min(n, lo+codec.Slots)
+			packedBits, err := codec.PackCiphertexts(bits[lo:hi])
+			if err != nil {
+				return nil, fmt.Errorf("smc: MSB packing bits: %w", err)
+			}
+			packedRem[g] = rq.pk.Add(packedRem[g], rq.pk.Inv(rq.pk.ScalarMul(packedBits, shift)))
+		}
+	}
+	return nil, fmt.Errorf("smc: MSB extraction of %d bits", L)
+}
+
+// handleSBDPackBit is C2's half of a shifted packed bit round: decrypt
+// each slot group once and return bit `shift` of every slot as an
+// individual fresh encryption. Frame: [count, valueBits, shift, group
+// ciphertexts].
+func (rp *Responder) handleSBDPackBit(req *mpc.Message) (*mpc.Message, error) {
+	count, codec, err := rp.packHeader(req.Ints, "SBD bit")
+	if err != nil {
+		return nil, err
+	}
+	if len(req.Ints) < 3 || !req.Ints[2].IsInt64() {
+		return nil, fmt.Errorf("%w: packed SBD bit header", ErrBadFrame)
+	}
+	shift := int(req.Ints[2].Int64())
+	if shift < 0 || shift >= codec.ValueBits {
+		return nil, fmt.Errorf("%w: packed SBD bit shift=%d of %d", ErrBadFrame, shift, codec.ValueBits)
+	}
+	groups := codec.Groups(count)
+	if len(req.Ints) != 3+groups {
+		return nil, fmt.Errorf("%w: packed SBD bit payload of %d ints for %d values",
+			ErrBadFrame, len(req.Ints), count)
+	}
+	out := make([]*big.Int, 0, count)
+	for g := 0; g < groups; g++ {
+		cnt := min(codec.Slots, count-g*codec.Slots)
+		ct, err := rp.sk.FromRaw(req.Ints[3+g])
+		if err != nil {
+			return nil, fmt.Errorf("smc: packed SBD bit group %d: %w", g, err)
+		}
+		vals, err := codec.UnpackDecrypt(rp.sk, ct, cnt)
+		if err != nil {
+			return nil, fmt.Errorf("smc: packed SBD bit group %d: %w", g, err)
+		}
+		for _, y := range vals {
+			bit, err := rp.encrypt(new(big.Int).SetUint64(uint64(y.Bit(shift))))
+			if err != nil {
+				return nil, fmt.Errorf("smc: packed SBD bit encrypt: %w", err)
+			}
+			out = append(out, bit.Raw())
+		}
+	}
+	return &mpc.Message{Op: OpSBDPackBit, Ints: out}, nil
+}

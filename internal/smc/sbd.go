@@ -84,8 +84,23 @@ func (rq *Requester) SBDBatch(zs []*paillier.Ciphertext, l int) ([][]*paillier.C
 	return bits, nil
 }
 
-// sbdOnce performs one unverified decomposition pass over all values.
+// sbdOnce performs one unverified decomposition pass over all values,
+// via the slot-packed rounds when the tuning and key size allow.
 func (rq *Requester) sbdOnce(zs []*paillier.Ciphertext, l int) ([][]*paillier.Ciphertext, error) {
+	if rq.tuning.Packing {
+		if codec, err := paillier.NewPacking(rq.pk, l); err == nil {
+			out, err := rq.sbdOncePacked(zs, l, codec)
+			if err == nil {
+				return out, nil
+			}
+			// A corrupted reply breaks the packed slot layout mid-pass
+			// (slot overflow surfaces as a remote unpack error rather
+			// than a wrong bit), so fall through to the classic pass,
+			// whose verify-and-retry loop owns corruption handling.
+			// Genuine transport failures repeat there and surface
+			// normally.
+		}
+	}
 	n := len(zs)
 	rem := make([]*paillier.Ciphertext, n)
 	copy(rem, zs)

@@ -38,6 +38,11 @@ const (
 	OpSBDLsb    mpc.Op = 17 // batched encrypted-LSB extraction
 	OpSBDVerify mpc.Op = 18 // batched randomized zero test
 	OpSMIN      mpc.Op = 19 // SMIN step 2 (Γ′, L′ → M′, E(α))
+	// 20 is opSMINBatch (sminbatch.go).
+	OpSMPack     mpc.Op = 21 // slot-packed SM uplink (pack.go)
+	OpSBDPackLsb mpc.Op = 22 // slot-packed SBD LSB round (pack.go)
+	OpSSEDPack   mpc.Op = 23 // slot-packed SSED record distances (pack.go)
+	OpSBDPackBit mpc.Op = 24 // slot-packed shifted bit round (pack.go)
 )
 
 // Errors returned by the primitives.
@@ -56,20 +61,42 @@ var oneBig = big.NewInt(1)
 // retry triggering at all in practice means a broken peer.
 const sbdMaxRetries = 4
 
+// Tuning selects between the fast protocol variants — ciphertext
+// packing and short statistical blinds — and the classic one-ciphertext-
+// per-value presentation, which stays alive as the differential oracle.
+// Both variants speak to the same C2 handlers where possible; only the
+// slot-packed uplinks use dedicated opcodes.
+type Tuning struct {
+	// Packing enables slot-packed uplinks (SM, SSED, SBD) and the
+	// σ-statistical short blinds in SMIN. Off = the paper-faithful
+	// unpacked path.
+	Packing bool
+}
+
+// DefaultTuning is the production setting: packing on.
+func DefaultTuning() Tuning { return Tuning{Packing: true} }
+
+// statSecBits is σ, the statistical-hiding margin of the short additive
+// blinds: a bounded plaintext behind a (bound+σ)-bit blind is hidden to
+// statistical distance 2^−σ. Matches paillier.PackHeadroom − 2 so a
+// blinded slot value always fits its slot.
+const statSecBits = 64
+
 // Requester is C1's execution context: the public key, one connection to
 // C2, and a randomness source. A Requester drives primitives serially;
 // for parallel work open one Requester per worker connection.
 type Requester struct {
-	pk   *paillier.PublicKey
-	conn mpc.Conn
-	rand io.Reader
+	pk     *paillier.PublicKey
+	conn   mpc.Conn
+	rand   io.Reader
+	tuning Tuning
 
 	// invTwo caches 2⁻¹ mod N for SBD's halving step.
 	invTwo *big.Int
 }
 
-// NewRequester builds C1's context. If random is nil, crypto/rand.Reader
-// is used.
+// NewRequester builds C1's context with the default tuning (packing on).
+// If random is nil, crypto/rand.Reader is used.
 func NewRequester(pk *paillier.PublicKey, conn mpc.Conn, random io.Reader) *Requester {
 	if random == nil {
 		random = rand.Reader
@@ -78,8 +105,42 @@ func NewRequester(pk *paillier.PublicKey, conn mpc.Conn, random io.Reader) *Requ
 		pk:     pk,
 		conn:   conn,
 		rand:   random,
+		tuning: DefaultTuning(),
 		invTwo: new(big.Int).ModInverse(big.NewInt(2), pk.N),
 	}
+}
+
+// SetTuning switches the requester's protocol variant. Call before
+// driving primitives, not mid-protocol.
+func (rq *Requester) SetTuning(t Tuning) { rq.tuning = t }
+
+// Tuning reports the active protocol variant.
+func (rq *Requester) Tuning() Tuning { return rq.tuning }
+
+// shortBlind samples a statistical blind in [0, 2^(bits+σ)) for a
+// plaintext bounded by 2^bits.
+func (rq *Requester) shortBlind(bits int) (*big.Int, error) {
+	bound := new(big.Int).Lsh(oneBig, uint(bits+statSecBits))
+	r, err := rand.Int(rq.rand, bound)
+	if err != nil {
+		return nil, fmt.Errorf("smc: short blind: %w", err)
+	}
+	return r, nil
+}
+
+// shortNonzero samples a nonzero exponent in [1, 2^σ). Used for SMIN's
+// H-chain factors rᵢ, which never reach C2 unblinded (every L ships
+// under a full-range multiplicative blind), so their only job is making
+// accidental Φᵢ = 0 collisions negligible — σ bits suffice and the
+// chain's per-bit exponentiation drops from full width to 64 bits.
+func (rq *Requester) shortNonzero() (*big.Int, error) {
+	bound := new(big.Int).Lsh(oneBig, statSecBits)
+	bound.Sub(bound, oneBig)
+	r, err := rand.Int(rq.rand, bound)
+	if err != nil {
+		return nil, fmt.Errorf("smc: short nonzero blind: %w", err)
+	}
+	return r.Add(r, oneBig), nil
 }
 
 // PK returns the public key the requester encrypts under.
@@ -183,6 +244,10 @@ func (rp *Responder) Register(mux *mpc.Mux) {
 	mux.Register(OpSBDVerify, mpc.HandlerFunc(rp.handleSBDVerify))
 	mux.Register(OpSMIN, mpc.HandlerFunc(rp.handleSMIN))
 	mux.Register(opSMINBatch, mpc.HandlerFunc(rp.handleSMINBatch))
+	mux.Register(OpSMPack, mpc.HandlerFunc(rp.handleSMPack))
+	mux.Register(OpSBDPackLsb, mpc.HandlerFunc(rp.handleSBDPackLsb))
+	mux.Register(OpSSEDPack, mpc.HandlerFunc(rp.handleSSEDPack))
+	mux.Register(OpSBDPackBit, mpc.HandlerFunc(rp.handleSBDPackBit))
 }
 
 // Mux returns a fresh Mux with all smc handlers registered.

@@ -53,8 +53,9 @@ func (rq *Requester) SMIN(u, v []*paillier.Ciphertext) ([]*paillier.Ciphertext, 
 	}
 	fUGreaterV := coin.Int64() == 1
 
-	// E(uᵢ·vᵢ) for all i in one round.
-	uv, err := rq.SMBatch(u, v)
+	// E(uᵢ·vᵢ) for all i in one round; the operands are bits, so the
+	// products ride the packed SM uplink when tuning allows.
+	uv, err := rq.SMBatchBounded(u, v, 1, 1)
 	if err != nil {
 		return nil, fmt.Errorf("smc: SMIN bit products: %w", err)
 	}
@@ -76,9 +77,23 @@ func (rq *Requester) SMIN(u, v []*paillier.Ciphertext) ([]*paillier.Ciphertext, 
 			w = rq.pk.Sub(v[i], uv[i])
 			gammaRawDiff = rq.pk.Sub(u[i], v[i])
 		}
-		rhat, err := rq.pk.RandomZN(rq.rand)
-		if err != nil {
-			return nil, fmt.Errorf("smc: SMIN r̂: %w", err)
+		// The additive blind on Γ: full-range classically; with tuning
+		// on, a short blind offset by +1 so the blinded plaintext
+		// diff + r̂ stays small and non-negative for diff ∈ {−1,0,1}
+		// (σ-statistical hiding, and λ's exponent below turns short).
+		var rhat *big.Int
+		if rq.tuning.Packing {
+			r, err := rq.shortBlind(1)
+			if err != nil {
+				return nil, fmt.Errorf("smc: SMIN r̂: %w", err)
+			}
+			rhat = r.Add(r, oneBig)
+		} else {
+			r, err := rq.pk.RandomZN(rq.rand)
+			if err != nil {
+				return nil, fmt.Errorf("smc: SMIN r̂: %w", err)
+			}
+			rhat = r
 		}
 		rhats[i] = rhat
 		gamma[i] = rq.pk.AddPlain(gammaRawDiff, rhat)
@@ -86,7 +101,12 @@ func (rq *Requester) SMIN(u, v []*paillier.Ciphertext) ([]*paillier.Ciphertext, 
 		// Gᵢ = E(uᵢ⊕vᵢ) = E(uᵢ+vᵢ−2uᵢvᵢ)
 		g := rq.pk.Add(rq.pk.Add(u[i], v[i]), rq.pk.ScalarMulInt64(uv[i], -2))
 		// Hᵢ = H_{i−1}^{rᵢ}·Gᵢ with rᵢ random nonzero.
-		ri, err := rq.pk.RandomNonzeroZN(rq.rand)
+		var ri *big.Int
+		if rq.tuning.Packing {
+			ri, err = rq.shortNonzero()
+		} else {
+			ri, err = rq.pk.RandomNonzeroZN(rq.rand)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("smc: SMIN rᵢ: %w", err)
 		}
@@ -135,11 +155,13 @@ func (rq *Requester) SMIN(u, v []*paillier.Ciphertext) ([]*paillier.Ciphertext, 
 	}
 
 	// Step 3: unpermute, unblind, and assemble the minimum's bits.
+	// λᵢ = M̃ᵢ · E(α)^(−r̂ᵢ) = M̃ᵢ · Inv(E(α))^(r̂ᵢ): one inversion shared
+	// across all bits, then positive exponents — short ones under tuning.
 	mTilde := applyPerm(pi1.Inverse(), mPrime)
+	aInv := rq.pk.Inv(encAlpha)
 	out := make([]*paillier.Ciphertext, l)
 	for i := 0; i < l; i++ {
-		// λᵢ = M̃ᵢ · E(α)^(−r̂ᵢ)
-		lambda := rq.pk.Add(mTilde[i], rq.pk.ScalarMul(encAlpha, new(big.Int).Neg(rhats[i])))
+		lambda := rq.pk.Add(mTilde[i], rq.pk.ScalarMul(aInv, rhats[i]))
 		if fUGreaterV {
 			out[i] = rq.pk.Add(u[i], lambda)
 		} else {

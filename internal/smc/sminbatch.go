@@ -58,7 +58,7 @@ func (rq *Requester) SMINPairsBatch(pairs []SMINPair) ([][]*paillier.Ciphertext,
 		us = append(us, p.U...)
 		vs = append(vs, p.V...)
 	}
-	uvAll, err := rq.SMBatch(us, vs)
+	uvAll, err := rq.SMBatchBounded(us, vs, 1, 1)
 	if err != nil {
 		return nil, fmt.Errorf("smc: batched SMIN products: %w", err)
 	}
@@ -92,15 +92,32 @@ func (rq *Requester) SMINPairsBatch(pairs []SMINPair) ([][]*paillier.Ciphertext,
 				w = rq.pk.Sub(p.V[i], uv[i])
 				diff = rq.pk.Sub(p.U[i], p.V[i])
 			}
-			rhat, err := rq.pk.RandomZN(rq.rand)
-			if err != nil {
-				return nil, err
+			// Same blind choices as scalar SMIN: short offset-by-one r̂
+			// and short H-chain rᵢ under tuning, full-range classically.
+			var rhat *big.Int
+			if rq.tuning.Packing {
+				r, err := rq.shortBlind(1)
+				if err != nil {
+					return nil, err
+				}
+				rhat = r.Add(r, oneBig)
+			} else {
+				r, err := rq.pk.RandomZN(rq.rand)
+				if err != nil {
+					return nil, err
+				}
+				rhat = r
 			}
 			rhats[pi][i] = rhat
 			gamma[i] = rq.pk.AddPlain(diff, rhat)
 
 			g := rq.pk.Add(rq.pk.Add(p.U[i], p.V[i]), rq.pk.ScalarMulInt64(uv[i], -2))
-			ri, err := rq.pk.RandomNonzeroZN(rq.rand)
+			var ri *big.Int
+			if rq.tuning.Packing {
+				ri, err = rq.shortNonzero()
+			} else {
+				ri, err = rq.pk.RandomNonzeroZN(rq.rand)
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -148,9 +165,10 @@ func (rq *Requester) SMINPairsBatch(pairs []SMINPair) ([][]*paillier.Ciphertext,
 			return nil, fmt.Errorf("smc: batched SMIN E(α) of pair %d: %w", pi, err)
 		}
 		mTilde := applyPerm(pi1s[pi].Inverse(), mPrime)
+		aInv := rq.pk.Inv(encAlpha)
 		min := make([]*paillier.Ciphertext, l)
 		for i := 0; i < l; i++ {
-			lambda := rq.pk.Add(mTilde[i], rq.pk.ScalarMul(encAlpha, new(big.Int).Neg(rhats[pi][i])))
+			lambda := rq.pk.Add(mTilde[i], rq.pk.ScalarMul(aInv, rhats[pi][i]))
 			if coins[pi] {
 				min[i] = rq.pk.Add(p.U[i], lambda)
 			} else {

@@ -3,22 +3,17 @@ package smc
 import (
 	"crypto/rand"
 	"math/big"
-	"sync"
 	"testing"
 
 	"sknn/internal/mpc"
 	"sknn/internal/paillier"
+	"sknn/internal/testkit"
 )
 
-// testKey is a shared 256-bit key for the whole smc suite (keygen is the
-// slow part; the key itself is immutable).
-var testKey = sync.OnceValue(func() *paillier.PrivateKey {
-	sk, err := paillier.GenerateKey(rand.Reader, 256)
-	if err != nil {
-		panic(err)
-	}
-	return sk
-})
+// testKey is the shared 256-bit key for the whole smc suite, drawn from
+// the cross-package keyring (keygen is the slow part; the key itself is
+// immutable).
+func testKey() *paillier.PrivateKey { return testkit.Key(256) }
 
 // pair wires a Requester to a live Responder over an in-process pipe and
 // registers cleanup. Tests drive the returned Requester directly.

@@ -1,0 +1,46 @@
+// Package testkit holds cross-package test fixtures. Its main export is
+// a process-wide Paillier keyring: key generation (two safe primes) is
+// by far the slowest part of any test, and every suite wants the same
+// few modulus sizes, so the ring generates each size once and hands the
+// same immutable key to every caller — including concurrent t.Parallel
+// tests. paillier.KeygenCalls makes the no-regeneration property
+// testable.
+//
+// The paillier package's own tests keep local generation (importing
+// testkit from there would be a cycle); everything above it shares the
+// ring.
+package testkit
+
+import (
+	"crypto/rand"
+	"fmt"
+	"sync"
+
+	"sknn/internal/paillier"
+)
+
+var (
+	ringMu sync.Mutex
+	ring   = map[int]func() *paillier.PrivateKey{} // guarded by ringMu
+)
+
+// Key returns the shared Paillier private key for the given modulus
+// size, generating it on first use. The returned key is immutable and
+// safe to share across parallel tests; a given size is never generated
+// twice in one process. Panics on generation failure (test-only code).
+func Key(bits int) *paillier.PrivateKey {
+	ringMu.Lock()
+	once, ok := ring[bits]
+	if !ok {
+		once = sync.OnceValue(func() *paillier.PrivateKey {
+			sk, err := paillier.GenerateKey(rand.Reader, bits)
+			if err != nil {
+				panic(fmt.Sprintf("testkit: generating %d-bit key: %v", bits, err))
+			}
+			return sk
+		})
+		ring[bits] = once
+	}
+	ringMu.Unlock()
+	return once()
+}

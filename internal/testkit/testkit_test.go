@@ -1,0 +1,49 @@
+package testkit
+
+import (
+	"sync"
+	"testing"
+
+	"sknn/internal/paillier"
+)
+
+// TestKeyGeneratesOncePerSize hammers the ring from parallel goroutines
+// and asserts, via the paillier keygen meter, that each size was
+// generated exactly once — the property that keeps suites fast when
+// t.Parallel tests all ask for keys at the same instant.
+func TestKeyGeneratesOncePerSize(t *testing.T) {
+	before := paillier.KeygenCalls()
+	sizes := []int{128, 256}
+	var wg sync.WaitGroup
+	keys := make([][]*paillier.PrivateKey, len(sizes))
+	for si := range sizes {
+		keys[si] = make([]*paillier.PrivateKey, 8)
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(si, g int) {
+				defer wg.Done()
+				keys[si][g] = Key(sizes[si])
+			}(si, g)
+		}
+	}
+	wg.Wait()
+	for si, sz := range sizes {
+		for g := 1; g < 8; g++ {
+			if keys[si][g] != keys[si][0] {
+				t.Errorf("Key(%d) returned distinct keys across goroutines", sz)
+			}
+		}
+		if got := keys[si][0].Bits(); got != sz {
+			t.Errorf("Key(%d) has %d-bit modulus", sz, got)
+		}
+	}
+	if delta := paillier.KeygenCalls() - before; delta != uint64(len(sizes)) {
+		t.Errorf("KeygenCalls delta = %d, want %d (one per size)", delta, len(sizes))
+	}
+	// Repeat requests must not regenerate.
+	_ = Key(128)
+	_ = Key(256)
+	if delta := paillier.KeygenCalls() - before; delta != uint64(len(sizes)) {
+		t.Errorf("KeygenCalls after reuse = %d, want %d", delta, len(sizes))
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"sknn/internal/dataset"
 	"sknn/internal/mpc"
 	"sknn/internal/paillier"
+	"sknn/internal/smc"
 )
 
 // Mode selects which of the paper's two protocols answers a query.
@@ -168,6 +169,17 @@ type Config struct {
 	// recall on badly clusterable (e.g. uniform) data. Sharded, the
 	// floor applies per shard scan.
 	Coverage float64
+	// DisablePacking turns off the slot-packed protocol variants
+	// (ciphertext packing in SSED/SBD/SM uplinks plus short statistical
+	// blinds in SMIN) and runs the paper-faithful one-ciphertext-per-
+	// value presentation instead. The zero value — packing ON — is the
+	// production setting; the classic path exists as the differential
+	// oracle and for ablation benchmarks (cmd/sknnbench -fig pack).
+	DisablePacking bool
+	// DisableFixedBase skips building the fixed-base exponentiation
+	// tables that accelerate encryption-nonce generation (r^N = hN^a
+	// with hN precomputed; CRT-split on C2). Zero value = tables ON.
+	DisableFixedBase bool
 	// CompactThreshold is the dirty-fraction bound of the live table:
 	// when (tombstones + inserts since the last clean build) exceeds
 	// this fraction of stored records, the next Insert or Delete
@@ -380,6 +392,15 @@ func assemble(sk *paillier.PrivateKey, encTable *core.EncryptedTable, attrBits, 
 		compactAt:   cfg.CompactThreshold,
 		closeDone:   make(chan struct{}),
 	}
+	if !cfg.DisableFixedBase {
+		// Build the fixed-base nonce tables before any party holds a
+		// copy of the key: C2's CRT-split tables and the shared public-
+		// key table both hang off unexported pointers set once here.
+		if err := sk.EnableFixedBase(random); err != nil {
+			return nil, fmt.Errorf("sknn: fixed-base tables: %w", err)
+		}
+	}
+	tuning := smc.Tuning{Packing: !cfg.DisablePacking}
 	c2 := core.NewCloudC2(sk, random)
 	if cfg.UseNoncePool {
 		pool, err := paillier.NewRandomizerPool(&sk.PublicKey, random, 4096)
@@ -425,6 +446,7 @@ func assemble(sk *paillier.PrivateKey, encTable *core.EncryptedTable, attrBits, 
 		if err != nil {
 			return fail(fmt.Errorf("sknn: wiring clouds: %w", err))
 		}
+		sys.c1.SetTuning(tuning)
 		return sys, nil
 	}
 
@@ -442,6 +464,7 @@ func assemble(sk *paillier.PrivateKey, encTable *core.EncryptedTable, attrBits, 
 		if err != nil {
 			return fail(fmt.Errorf("sknn: wiring shard %d: %w", i, err))
 		}
+		c1.SetTuning(tuning)
 		sys.shards = append(sys.shards, c1)
 		workers[i] = &core.LocalShard{C1: c1, Index: i, Count: cfg.Shards}
 	}
@@ -449,6 +472,7 @@ func assemble(sk *paillier.PrivateKey, encTable *core.EncryptedTable, attrBits, 
 	if err != nil {
 		return fail(fmt.Errorf("sknn: wiring coordinator: %w", err))
 	}
+	sys.coord.SetTuning(tuning)
 	return sys, nil
 }
 

@@ -1,25 +1,19 @@
 package sknn
 
 import (
-	"crypto/rand"
 	"errors"
 	"sort"
-	"sync"
 	"testing"
 
 	"sknn/internal/dataset"
 	"sknn/internal/paillier"
 	"sknn/internal/plainknn"
+	"sknn/internal/testkit"
 )
 
-// facadeKey shares one small key across facade tests (keygen dominates).
-var facadeKey = sync.OnceValue(func() *paillier.PrivateKey {
-	sk, err := paillier.GenerateKey(rand.Reader, 256)
-	if err != nil {
-		panic(err)
-	}
-	return sk
-})
+// facadeKey shares one small key across facade tests via the
+// cross-package keyring (keygen dominates).
+func facadeKey() *paillier.PrivateKey { return testkit.Key(256) }
 
 func newTestSystem(t *testing.T, rows [][]uint64, attrBits, workers int) *System {
 	t.Helper()
