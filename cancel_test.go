@@ -24,13 +24,14 @@ const cancelReturnBound = 5 * time.Second
 // hardware, so a cancel fired at tens of milliseconds always lands
 // mid-protocol. The clustered configs use a coverage factor that probes
 // every cluster, keeping pruned results oracle-exact.
-func newCancelSystem(t *testing.T, shards int, index IndexMode) (*System, *dataset.Table) {
+func newCancelSystem(t *testing.T, shards int, index IndexMode, serialMerge bool) (*System, *dataset.Table) {
 	t.Helper()
 	tbl, err := dataset.Generate(701, 48, 2, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := Config{Key: facadeKey(), Workers: 2, Shards: shards, Index: index}
+	cfg := Config{Key: facadeKey(), Workers: 2, Shards: shards, Index: index,
+		DisableStreamingMerge: serialMerge}
 	if index == IndexClustered {
 		cfg.Clusters = 4
 		cfg.Coverage = 100 // pool target ≥ n: probe everything, stay exact
@@ -95,18 +96,22 @@ func assertOracle(t *testing.T, sys *System, tbl *dataset.Table, q []uint64, k i
 // links, and leaves the System answering oracle-correct queries.
 func TestCancelMidProtocol(t *testing.T) {
 	cases := []struct {
-		name   string
-		shards int
-		index  IndexMode
+		name        string
+		shards      int
+		index       IndexMode
+		serialMerge bool
 	}{
-		{"unsharded/full", 0, IndexNone},
-		{"unsharded/clustered", 0, IndexClustered},
-		{"sharded2/full", 2, IndexNone},
-		{"sharded2/clustered", 2, IndexClustered},
+		{"unsharded/full", 0, IndexNone, false},
+		{"unsharded/clustered", 0, IndexClustered, false},
+		{"sharded2/full", 2, IndexNone, false},
+		{"sharded2/clustered", 2, IndexClustered, false},
+		// The barrier-gather ablation: cancellation must behave
+		// identically with the streaming fold switched off.
+		{"sharded2/serialmerge", 2, IndexNone, true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			sys, tbl := newCancelSystem(t, tc.shards, tc.index)
+			sys, tbl := newCancelSystem(t, tc.shards, tc.index, tc.serialMerge)
 			q, _ := dataset.GenerateQuery(702, 2, 4)
 
 			ctx, cancel := context.WithCancel(context.Background())
@@ -139,7 +144,7 @@ func TestCancelMidProtocol(t *testing.T) {
 // with context.DeadlineExceeded visible through the wrap, and the
 // System keeps working.
 func TestQueryDeadline(t *testing.T) {
-	sys, tbl := newCancelSystem(t, 0, IndexNone)
+	sys, tbl := newCancelSystem(t, 0, IndexNone, false)
 	q, _ := dataset.GenerateQuery(703, 2, 4)
 
 	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
@@ -162,7 +167,7 @@ func TestQueryDeadline(t *testing.T) {
 // ErrCanceled (visible through the errors.Join), failed slots are nil,
 // and the System stays usable.
 func TestCancelBatch(t *testing.T) {
-	sys, tbl := newCancelSystem(t, 0, IndexNone)
+	sys, tbl := newCancelSystem(t, 0, IndexNone, false)
 	queries := make([][]uint64, 4)
 	for i := range queries {
 		queries[i], _ = dataset.GenerateQuery(int64(710+i), 2, 4)

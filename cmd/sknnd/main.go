@@ -36,11 +36,13 @@
 //	    link pool to C2, and serves shard-local encrypted top-k lists to
 //	    coordinators.
 //
-//	sknnd coord -shards host:7101,host:7102 -connect host:7002 -q 1,2,3 -k 5 [-mode secure]
+//	sknnd coord -shards host:7101,host:7102 -connect host:7002 -q 1,2,3 -k 5 [-mode secure] [-serial-merge]
 //	    The scatter-gather coordinator (playing Bob as well): scatters
-//	    each query to every shard, securely merges the s·k encrypted
-//	    candidates over its own C2 links, and unmasks the exact global
-//	    top-k.
+//	    each query to every shard, folds shard results into a streaming
+//	    value-domain merge over its own C2 links as each scan lands, and
+//	    unmasks the exact global top-k. -serial-merge gathers behind a
+//	    barrier instead (the ablation/differential topology; identical
+//	    answers by construction).
 //
 // The table file never contains plaintext or the secret key; C1 learns
 // nothing it wouldn't in the paper's model — the snapshot is exactly
@@ -452,6 +454,7 @@ func cmdCoord(args []string) {
 	workers := fs.Int("workers", 1, "parallel merge connections to C2")
 	coverage := fs.Float64("coverage", 4, "per-shard candidate-pool factor on clustered shards")
 	timeout := fs.Duration("timeout", 0, "per-query deadline; 0 = none. Expiry cancels every outstanding shard scan")
+	serialMerge := fs.Bool("serial-merge", false, "gather behind a barrier and merge serially instead of the pipelined streaming fold (ablation/differential topology)")
 	fs.Parse(args)
 	queries, err := collectQueries(*queryStr, *queryFile)
 	if err != nil {
@@ -501,6 +504,7 @@ func cmdCoord(args []string) {
 		log.Fatal(err)
 	}
 	defer coord.Close()
+	coord.SetStreaming(!*serialMerge)
 	bob := core.NewClient(pk, nil)
 	target := 0
 	if clustered {

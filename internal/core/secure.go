@@ -375,9 +375,7 @@ func (s *QuerySession) secureScan(q EncryptedQuery, k, domainBits int, idx []int
 	if err != nil {
 		return nil, err
 	}
-	// The selected candidates feed only the masked reveal here, so no
-	// [dmin] bits are needed.
-	cands, err := s.selectTopK(bits, records, ds, k, domainBits, false, metrics)
+	cands, err := s.selectTopK(bits, records, ds, k, domainBits, metrics)
 	if err != nil {
 		return nil, err
 	}
@@ -455,26 +453,26 @@ func (s *QuerySession) candidateBits(q EncryptedQuery, domainBits int, idx []int
 }
 
 // selectTopK is the k-round selection loop of Algorithm 6 (steps 3(a)
-// through 3(e)) over pre-computed candidate distance bits: SMINn,
-// blinded min-select, oblivious record extraction, SBOR
-// disqualification. It is deliberately table-agnostic — candidates are
-// (distance bits, record) pairs — so the same engine selects from a
-// shard's scanned records and, at the coordinator, from the s·k
-// encrypted candidates the shards return: the secure merge is exactly
-// this loop over the gathered candidates' bits.
+// through 3(e)) over pre-computed candidate distances: SMINn, blinded
+// min-select, oblivious record extraction, SBOR disqualification. It is
+// deliberately table-agnostic — candidates are (distance, record) pairs
+// — so the same engine selects from a shard's scanned records and, at
+// the coordinator, from the s·k encrypted candidates the shards return:
+// the secure merge is exactly this loop over the gathered candidates.
 //
-// When needBits is set each returned Candidate carries the round's
-// [dmin] alongside the extracted record, which is what lets a shard ship
-// rank-ordered encrypted candidates upward without ever decrypting a
-// distance; callers whose candidates only feed the masked reveal pass
-// false and skip producing the bits. bits is mutated in place (the
-// disqualification of step 3(e)); pass a copy to keep the originals. On
-// value-domain sessions bits may be nil as long as seed is provided —
-// the selection never touches bit vectors then. seed, when non-nil, is
-// E(dᵢ) for every candidate (SSED's output) and saves the first round's
-// recompositions; callers without composed distances (the coordinator's
-// merge) pass nil and round 1 recomposes from the bit vectors.
-func (s *QuerySession) selectTopK(bits [][]*paillier.Ciphertext, records [][]*paillier.Ciphertext, seed []*paillier.Ciphertext, k, domainBits int, needBits bool, metrics *SecureMetrics) ([]Candidate, error) {
+// Every returned Candidate carries the round's E(dmin) alongside the
+// extracted record — the composed value each round produces anyway —
+// which is what lets a shard ship rank-ordered encrypted candidates
+// upward without ever decrypting a distance, and lets the coordinator
+// fold shard result sets into further selections. bits is mutated in
+// place (the disqualification of step 3(e)); pass a copy to keep the
+// originals. On value-domain sessions bits may be nil as long as seed
+// is provided — the selection never touches bit vectors then. seed,
+// when non-nil, is E(dᵢ) for every candidate (SSED's output, or a
+// gathered Candidate.Dist) and saves the first round's recompositions;
+// callers without composed distances pass nil and round 1 recomposes
+// from the bit vectors.
+func (s *QuerySession) selectTopK(bits [][]*paillier.Ciphertext, records [][]*paillier.Ciphertext, seed []*paillier.Ciphertext, k, domainBits int, metrics *SecureMetrics) ([]Candidate, error) {
 	pk := s.pk
 	n := len(records)
 	useValue := s.valueMinOK(domainBits)
@@ -521,15 +519,14 @@ func (s *QuerySession) selectTopK(bits [][]*paillier.Ciphertext, records [][]*pa
 		}
 		metrics.Select += time.Since(phase)
 
-		// Step 3(a): E(dmin) — and its bits when the caller ships them.
-		// Packed sessions run the value-domain tournament
-		// (smc.SMINnValues) over the composed distances and bit-decompose
-		// only the single winner, only when Candidate.Bits must feed a
-		// shard merge. Classic sessions run Algorithm 4 over the bit
-		// vectors and recompose the winner; both shapes cost n−1
-		// SMIN-equivalents.
+		// Step 3(a): E(dmin). Packed sessions run the value-domain
+		// tournament (smc.SMINnValues) over the composed distances;
+		// classic sessions run Algorithm 4 over the bit vectors and
+		// recompose the winner. Both shapes cost n−1 SMIN-equivalents,
+		// and both end the round holding the composed minimum — the
+		// form every consumer (the one-hot select here, a shard merge
+		// upstream) wants, so no winner is ever re-decomposed.
 		phase = time.Now()
-		var minBits []*paillier.Ciphertext
 		var encMin *paillier.Ciphertext
 		var err error
 		if useValue {
@@ -537,14 +534,8 @@ func (s *QuerySession) selectTopK(bits [][]*paillier.Ciphertext, records [][]*pa
 			if err != nil {
 				return nil, fmt.Errorf("core: iteration %d SMINn: %w", iter+1, err)
 			}
-			if needBits {
-				minBits, err = s.rqs[0].SBD(encMin, domainBits)
-				if err != nil {
-					return nil, fmt.Errorf("core: iteration %d dmin SBD: %w", iter+1, err)
-				}
-			}
 		} else {
-			minBits, err = s.sminnParallel(bits)
+			minBits, err := s.sminnParallel(bits)
 			if err != nil {
 				return nil, fmt.Errorf("core: iteration %d SMINn: %w", iter+1, err)
 			}
@@ -640,7 +631,7 @@ func (s *QuerySession) selectTopK(bits [][]*paillier.Ciphertext, records [][]*pa
 				}
 			}
 		}
-		selected = append(selected, Candidate{Bits: minBits, Rec: record})
+		selected = append(selected, Candidate{Dist: encMin, Rec: record})
 		metrics.Extract += time.Since(phase)
 
 		// Step 3(e): oblivious disqualification, driving the winner's
@@ -711,7 +702,7 @@ func (s *QuerySession) selectTopK(bits [][]*paillier.Ciphertext, records [][]*pa
 // a standalone query runs — pruned when the session's table carries a
 // cluster index and target > 0, full otherwise — stopped before the
 // masked reveal, returning the top-k candidates still encrypted
-// (rank-ordered [dmin] bits plus the obliviously extracted record for
+// (rank-ordered E(dmin) plus the obliviously extracted record for
 // SkNNm; E(d) plus the record for SkNNb). k is clamped to the shard's
 // live record count: a shard smaller than k contributes everything it
 // has, and an empty shard contributes nothing.
@@ -754,15 +745,59 @@ func (s *QuerySession) TopK(q EncryptedQuery, k, domainBits, target int, secure 
 	if err != nil {
 		return nil, nil, err
 	}
-	// Shard-local candidates ship their [dmin] bits to the coordinator's
-	// merge, so this is the one path that needs them.
-	cands, err := s.selectTopK(bits, records, ds, k, domainBits, true, metrics)
+	// Shard-local candidates ship their composed E(dmin) to the
+	// coordinator's merge — every selection round produces it for free.
+	cands, err := s.selectTopK(bits, records, ds, k, domainBits, metrics)
 	if err != nil {
 		return nil, nil, err
 	}
 	metrics.Total = time.Since(start)
 	metrics.Comm = s.CommStats().Sub(comm0)
 	return cands, metrics, nil
+}
+
+// mergeCandidates is the coordinator's secure merge: selectTopK — the
+// identical engine the shards ran — over gathered candidates' composed
+// distances. On value-domain sessions the gathered E(d) values feed the
+// tournament directly, so no bit decomposition happens at the merge
+// boundary at all; classic sessions (packing off, or a key too small
+// for the value codec) decompose the gathered distances first and run
+// the bit-vector engine — the differential oracle for the value path.
+// The returned candidates are rank-ordered and carry fresh E(dmin)
+// values, so a fold's output can feed the next fold.
+func (s *QuerySession) mergeCandidates(cands []Candidate, k, domainBits int, metrics *SecureMetrics) ([]Candidate, error) {
+	n := len(cands)
+	records := make([][]*paillier.Ciphertext, n)
+	ds := make([]*paillier.Ciphertext, n)
+	for i, cand := range cands {
+		if cand.Dist == nil {
+			return nil, fmt.Errorf("%w: merge candidate %d has no distance", ErrBadFrame, i)
+		}
+		if len(cand.Rec) != s.m {
+			return nil, fmt.Errorf("%w: merge candidate %d has %d attributes, want %d",
+				ErrBadFrame, i, len(cand.Rec), s.m)
+		}
+		records[i] = cand.Rec
+		ds[i] = cand.Dist
+	}
+	if s.valueMinOK(domainBits) {
+		return s.selectTopK(nil, records, ds, k, domainBits, metrics)
+	}
+	phase := time.Now()
+	bits := make([][]*paillier.Ciphertext, n)
+	err := s.parallelOverRecords(n, func(rq *smc.Requester, lo, hi int) error {
+		bs, err := rq.SBDBatch(ds[lo:hi], domainBits)
+		if err != nil {
+			return fmt.Errorf("core: merge SBD chunk [%d,%d): %w", lo, hi, err)
+		}
+		copy(bits[lo:hi], bs)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	metrics.BitDecom += time.Since(phase)
+	return s.selectTopK(bits, records, ds, k, domainBits, metrics)
 }
 
 // workerIndex maps a requester back to its slot (for per-worker result

@@ -14,15 +14,17 @@ import (
 )
 
 // Candidate is one entry of a shard-local top-k list, still fully
-// encrypted: the obliviously extracted record plus its distance — as
-// the rank-round's [dmin] bit decomposition for SkNNm (what the secure
-// merge's SMINn consumes) or as E(d) for SkNNb (what the rank merge
-// consumes). Shipping candidates instead of results is what makes the
-// scatter-gather exact: the coordinator re-runs the selection protocol
-// over s·k candidates rather than trusting any shard-local ordering.
+// encrypted: the obliviously extracted record plus its composed
+// distance E(d) — the rank-round's E(dmin) for SkNNm, the scanned
+// distance for SkNNb. Shipping candidates instead of results is what
+// makes the scatter-gather exact: the coordinator re-runs the selection
+// protocol over s·k candidates rather than trusting any shard-local
+// ordering. SkNNm candidates used to carry the [dmin] bit decomposition
+// for the coordinator's bit-vector merge; the value-domain merge
+// consumes composed values directly, so the l-ciphertext vector is gone
+// from the struct and from the OpShardTopK frame.
 type Candidate struct {
-	Bits []*paillier.Ciphertext // [d], length l — SkNNm candidates
-	Dist *paillier.Ciphertext   // E(d) — SkNNb candidates
+	Dist *paillier.Ciphertext // E(d), the candidate's composed distance
 	Rec  EncryptedRecord
 	// ID is the stable record id — meaningful on SkNNb candidates only,
 	// where the protocol already reveals which records were selected.
@@ -109,12 +111,25 @@ type ShardedC1 struct {
 	pk     *paillier.PublicKey
 	m      int
 	featM  int
+	// streaming selects the pipelined gather (stream.go): shard results
+	// fold into the merge as they arrive instead of behind a barrier.
+	// On by default; SetStreaming(false) restores the serial merge — the
+	// differential oracle — and single-shard or packing-off deployments
+	// fall back to it automatically.
+	streaming bool
 }
 
 // SetTuning selects the smc protocol variant for the coordinator's own
 // merge sessions. Shard workers carry their own tuning (a LocalShard's
 // via its CloudC1; a remote shard's is server-side configuration).
 func (c *ShardedC1) SetTuning(t smc.Tuning) { c.pool.tuning = t }
+
+// SetStreaming toggles the pipelined streaming gather (on by default).
+// Call before queries start; the knob is not synchronized.
+func (c *ShardedC1) SetStreaming(on bool) { c.streaming = on }
+
+// Streaming reports whether the pipelined gather is enabled.
+func (c *ShardedC1) Streaming() bool { return c.streaming }
 
 // Tuning reports the merge sessions' protocol variant.
 func (c *ShardedC1) Tuning() smc.Tuning { return c.pool.tuning }
@@ -163,7 +178,7 @@ func NewShardedC1(shards []Shard, mergeConns []mpc.Conn, pk *paillier.PublicKey,
 	if err != nil {
 		return fail(err)
 	}
-	c := &ShardedC1{shards: ordered, pool: pool, pk: pk, m: m, featM: featM}
+	c := &ShardedC1{shards: ordered, pool: pool, pk: pk, m: m, featM: featM, streaming: true}
 	if err := pool.handshake(pk.N); err != nil {
 		for _, link := range pool.links {
 			link.Close()
@@ -288,6 +303,9 @@ func (c *ShardedC1) SecureQueryMetered(ctx context.Context, q EncryptedQuery, k,
 	if domainBits < 1 || domainBits > 512 {
 		return nil, nil, fmt.Errorf("%w: l=%d", ErrDomainBits, domainBits)
 	}
+	if c.streamingMergeOK(domainBits) {
+		return c.secureQueryStreaming(ctx, q, k, domainBits, target)
+	}
 	metrics := &SecureMetrics{}
 	start := time.Now()
 	cands, err := c.scatter(ctx, q, k, domainBits, target, true, metrics)
@@ -295,36 +313,21 @@ func (c *ShardedC1) SecureQueryMetered(ctx context.Context, q EncryptedQuery, k,
 		return nil, nil, err
 	}
 
-	// Gather: the secure merge is selectTopK — the very engine each
-	// shard just ran — over the s·k candidates' distance bits, followed
-	// by the masked reveal. The SBOR disqualification mutates the
-	// gathered bit vectors, which are exclusively ours.
+	// Gather: the secure merge is mergeCandidates — selectTopK, the very
+	// engine each shard just ran — over the s·k candidates' composed
+	// distances, followed by the masked reveal.
 	mergeStart := time.Now()
 	s, err := c.mergeSession(ctx)
 	if err != nil {
 		return nil, nil, err
 	}
 	defer s.Close()
-	bits := make([][]*paillier.Ciphertext, len(cands))
-	records := make([][]*paillier.Ciphertext, len(cands))
-	for i, cand := range cands {
-		if len(cand.Bits) != domainBits {
-			return nil, nil, fmt.Errorf("%w: candidate %d has %d distance bits, want %d",
-				ErrBadFrame, i, len(cand.Bits), domainBits)
-		}
-		if len(cand.Rec) != c.m {
-			return nil, nil, fmt.Errorf("%w: candidate %d has %d attributes, want %d",
-				ErrBadFrame, i, len(cand.Rec), c.m)
-		}
-		bits[i] = cand.Bits
-		records[i] = cand.Rec
-	}
 	mergeMetrics := &SecureMetrics{}
-	// The merged winners feed only the masked reveal — no bits needed.
-	selected, err := s.selectTopK(bits, records, nil, k, domainBits, false, mergeMetrics)
+	selected, err := s.mergeCandidates(cands, k, domainBits, mergeMetrics)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: merge: %w", err)
 	}
+	metrics.BitDecom += mergeMetrics.BitDecom
 	metrics.SMINn += mergeMetrics.SMINn
 	metrics.Select += mergeMetrics.Select
 	metrics.Extract += mergeMetrics.Extract

@@ -27,13 +27,18 @@ import (
 //	OpShardTopK   req: [k, l, target, secure, q₁…q_f]   (qᵢ encrypted)
 //	              rep: [n, count, sminCount, candidates, clustersProbed,
 //	                    totalNanos, then per candidate:
-//	                    secure → l distance bits, m record attributes
+//	                    secure → E(dmin), m record attributes
 //	                    basic  → id, E(d), m record attributes]
 //
 // Basic candidates carry their stable record id (SkNNb reveals access
 // patterns anyway; the id lets the coordinator name the merged results
 // for Bob). Secure candidates are obliviously extracted — not even the
-// shard knows which record one holds — so no id travels.
+// shard knows which record one holds — so no id travels. Secure
+// candidates carry the composed encrypted distance, not the l-ciphertext
+// bit vector the merge used to consume: the coordinator's value-domain
+// tournament compares composed values directly, shrinking the reply from
+// m+l to m+1 ciphertexts per candidate, and the serial-merge fallback
+// re-decomposes coordinator-side when it must.
 
 // RemoteShard drives one shard worker over a connection. It implements
 // Shard; the static shape is cached from the dial-time hello and the
@@ -200,7 +205,7 @@ func (r *RemoteShard) TopK(ctx context.Context, q EncryptedQuery, k, domainBits,
 	if err := ctxErr(ctx); err != nil {
 		return nil, nil, err
 	}
-	liveN, cands, metrics, err := decodeTopKReply(r.pk, r.info.M, resp, k, domainBits, secure)
+	liveN, cands, metrics, err := decodeTopKReply(r.pk, r.info.M, resp, k, secure)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -212,11 +217,11 @@ func (r *RemoteShard) TopK(ctx context.Context, q EncryptedQuery, k, domainBits,
 
 // decodeTopKReply validates and unpacks a shard's top-k reply against
 // the query the coordinator actually sent: m is the shard's (already
-// bounded) record width, k and domainBits the request parameters. The
-// candidate count is bounded by k before any arithmetic on it, so a
-// lying reply fails with ErrBadFrame instead of overflowing count*per
-// or reaching a huge make().
-func decodeTopKReply(pk *paillier.PublicKey, m int, resp *mpc.Message, k, domainBits int, secure bool) (liveN int, cands []Candidate, metrics *SecureMetrics, err error) {
+// bounded) record width, k the request parameter. The candidate count
+// is bounded by k before any arithmetic on it, so a lying reply fails
+// with ErrBadFrame instead of overflowing count*per or reaching a huge
+// make().
+func decodeTopKReply(pk *paillier.PublicKey, m int, resp *mpc.Message, k int, secure bool) (liveN int, cands []Candidate, metrics *SecureMetrics, err error) {
 	const head = 6
 	if len(resp.Ints) < head {
 		return 0, nil, nil, fmt.Errorf("%w: shard top-k reply has %d ints", ErrBadFrame, len(resp.Ints))
@@ -236,7 +241,7 @@ func decodeTopKReply(pk *paillier.PublicKey, m int, resp *mpc.Message, k, domain
 	metrics.Total = time.Duration(resp.Ints[5].Int64())
 	per := m + 2 // id + E(d) + record
 	if secure {
-		per = m + domainBits // [d] bits + record
+		per = m + 1 // E(dmin) + record
 	}
 	if count < 0 || count > k || len(resp.Ints) != head+count*per {
 		return 0, nil, nil, fmt.Errorf("%w: shard top-k reply: %d candidates but %d payload ints",
@@ -246,14 +251,10 @@ func decodeTopKReply(pk *paillier.PublicKey, m int, resp *mpc.Message, k, domain
 	pos := head
 	for i := range cands {
 		if secure {
-			bits := make([]*paillier.Ciphertext, domainBits)
-			for g := range bits {
-				if bits[g], err = pk.FromRaw(resp.Ints[pos]); err != nil {
-					return 0, nil, nil, fmt.Errorf("core: shard candidate %d bit %d: %w", i, g, err)
-				}
-				pos++
+			if cands[i].Dist, err = pk.FromRaw(resp.Ints[pos]); err != nil {
+				return 0, nil, nil, fmt.Errorf("core: shard candidate %d distance: %w", i, err)
 			}
-			cands[i].Bits = bits
+			pos++
 		} else {
 			if resp.Ints[pos] == nil || !resp.Ints[pos].IsUint64() {
 				return 0, nil, nil, fmt.Errorf("%w: shard candidate %d record id", ErrBadFrame, i)
@@ -353,15 +354,15 @@ func (s *ShardServer) handleTopK(req *mpc.Message) (*mpc.Message, error) {
 	if err != nil {
 		return nil, err
 	}
-	return encodeTopKReply(t.N(), t.M(), cands, metrics, secure, domainBits), nil
+	return encodeTopKReply(t.N(), t.M(), cands, metrics, secure), nil
 }
 
 // encodeTopKReply lays out a top-k reply frame: the metrics header
 // followed by each candidate's payload.
-func encodeTopKReply(liveN, m int, cands []Candidate, metrics *SecureMetrics, secure bool, domainBits int) *mpc.Message {
+func encodeTopKReply(liveN, m int, cands []Candidate, metrics *SecureMetrics, secure bool) *mpc.Message {
 	per := m + 2
 	if secure {
-		per = m + domainBits
+		per = m + 1
 	}
 	out := make([]*big.Int, 0, 6+len(cands)*per)
 	out = append(out,
@@ -370,9 +371,7 @@ func encodeTopKReply(liveN, m int, cands []Candidate, metrics *SecureMetrics, se
 		big.NewInt(int64(metrics.ClustersProbed)), big.NewInt(metrics.Total.Nanoseconds()))
 	for _, c := range cands {
 		if secure {
-			for _, b := range c.Bits {
-				out = append(out, b.Raw())
-			}
+			out = append(out, c.Dist.Raw())
 		} else {
 			out = append(out, new(big.Int).SetUint64(c.ID), c.Dist.Raw())
 		}

@@ -78,16 +78,16 @@ func TestDecodeTopKReplyLyingCount(t *testing.T) {
 		big.NewInt(10), big.NewInt(1 << 40), // liveN, lying count
 		big.NewInt(0), big.NewInt(0), big.NewInt(0), big.NewInt(0),
 	}
-	if _, _, _, err := decodeTopKReply(h.pk, h.info.M, &mpc.Message{Op: OpShardTopK, Ints: head}, 2, 96, true); !errors.Is(err, ErrBadFrame) {
+	if _, _, _, err := decodeTopKReply(h.pk, h.info.M, &mpc.Message{Op: OpShardTopK, Ints: head}, 2, true); !errors.Is(err, ErrBadFrame) {
 		t.Fatalf("lying count: err = %v, want ErrBadFrame", err)
 	}
 	// Count within k but payload missing.
 	head[1] = big.NewInt(2)
-	if _, _, _, err := decodeTopKReply(h.pk, h.info.M, &mpc.Message{Op: OpShardTopK, Ints: head}, 2, 96, true); !errors.Is(err, ErrBadFrame) {
+	if _, _, _, err := decodeTopKReply(h.pk, h.info.M, &mpc.Message{Op: OpShardTopK, Ints: head}, 2, true); !errors.Is(err, ErrBadFrame) {
 		t.Fatalf("short payload: err = %v, want ErrBadFrame", err)
 	}
 	// Truncated header.
-	if _, _, _, err := decodeTopKReply(h.pk, h.info.M, &mpc.Message{Op: OpShardTopK, Ints: head[:3]}, 2, 96, true); !errors.Is(err, ErrBadFrame) {
+	if _, _, _, err := decodeTopKReply(h.pk, h.info.M, &mpc.Message{Op: OpShardTopK, Ints: head[:3]}, 2, true); !errors.Is(err, ErrBadFrame) {
 		t.Fatalf("short header: err = %v, want ErrBadFrame", err)
 	}
 }
@@ -131,7 +131,7 @@ func FuzzShardFrame(f *testing.F) {
 			// Feed the same adversarial ints through the reply decoder
 			// under the shape it just accepted.
 			reply := &mpc.Message{Op: OpShardTopK, Ints: ints}
-			_, cands, _, err := decodeTopKReply(h.pk, h.info.M, reply, 3, h.domainBits, true)
+			_, cands, _, err := decodeTopKReply(h.pk, h.info.M, reply, 3, true)
 			if err == nil && len(cands) > 3 {
 				t.Fatalf("decodeTopKReply returned %d candidates for k=3", len(cands))
 			}

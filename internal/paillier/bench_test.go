@@ -85,6 +85,40 @@ func BenchmarkAblationCRTDecrypt(b *testing.B) {
 	})
 }
 
+// BenchmarkFixedBaseExp measures the fixed-base window walk — the
+// Montgomery REDC hot loop — against direct big.Int.Exp of the same
+// base and exponent (the r^N cost the table replaces). The interesting
+// delta over time is table vs itself across commits: the REDC walk
+// removed the per-window division.
+func BenchmarkFixedBaseExp(b *testing.B) {
+	sk := benchKey(b, 512)
+	pk := sk.PublicKey // copy: the table stays off the shared bench key
+	if err := pk.EnableFixedBase(rand.Reader); err != nil {
+		b.Fatal(err)
+	}
+	exps := make([]*big.Int, 64)
+	for i := range exps {
+		e, err := rand.Int(rand.Reader, pk.N)
+		if err != nil {
+			b.Fatal(err)
+		}
+		exps[i] = e
+	}
+	b.Run("table", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, ok := pk.fb.tab.Exp(exps[i%len(exps)]); !ok {
+				b.Fatal("exponent out of range")
+			}
+		}
+	})
+	b.Run("bigint", func(b *testing.B) {
+		hN := pk.fb.hN
+		for i := 0; i < b.N; i++ {
+			new(big.Int).Exp(hN, exps[i%len(exps)], pk.NSquared)
+		}
+	})
+}
+
 func BenchmarkHomomorphicOps(b *testing.B) {
 	sk := benchKey(b, 512)
 	x, _ := sk.Encrypt(rand.Reader, big.NewInt(42))

@@ -31,30 +31,36 @@ import (
 const fbWindow = 6
 
 // fbTable is a windowed fixed-base table for one (base, modulus) pair.
-// Immutable after construction.
+// The entries are held in Montgomery representation so the per-window
+// multiply reduces by REDC instead of a full-width division; Exp
+// converts out once at the end. Immutable after construction.
 type fbTable struct {
 	mod        *big.Int
 	maxExpBits int
-	tab        [][]*big.Int // tab[i][d-1] = base^(d·2^(fbWindow·i)) mod mod
+	mont       *montCtx
+	tab        [][]*big.Int // tab[i][d-1] = Mont(base^(d·2^(fbWindow·i)) mod mod)
 }
 
 // newFBTable precomputes the window table for exponents below
-// 2^maxExpBits.
+// 2^maxExpBits. The moduli here (N², p², q²) are always odd, so the
+// Montgomery context always exists.
 func newFBTable(base, mod *big.Int, maxExpBits int) *fbTable {
+	mc, ok := newMontCtx(mod)
+	if !ok {
+		panic("paillier: fixed-base modulus not odd")
+	}
 	numWin := (maxExpBits + fbWindow - 1) / fbWindow
-	t := &fbTable{mod: mod, maxExpBits: maxExpBits, tab: make([][]*big.Int, numWin)}
-	cur := new(big.Int).Mod(base, mod) // base^(2^(fbWindow·i))
+	t := &fbTable{mod: mod, maxExpBits: maxExpBits, mont: mc, tab: make([][]*big.Int, numWin)}
+	cur := mc.toMont(new(big.Int).Mod(base, mod)) // Mont(base^(2^(fbWindow·i)))
 	for i := 0; i < numWin; i++ {
 		row := make([]*big.Int, (1<<fbWindow)-1)
 		row[0] = new(big.Int).Set(cur)
 		for d := 2; d < 1<<fbWindow; d++ {
-			v := new(big.Int).Mul(row[d-2], cur)
-			row[d-1] = v.Mod(v, mod)
+			row[d-1] = mc.mul(row[d-2], cur)
 		}
 		t.tab[i] = row
 		if i+1 < numWin {
-			next := new(big.Int).Mul(row[len(row)-1], cur) // cur^(2^fbWindow)
-			cur = next.Mod(next, mod)
+			cur = mc.mul(row[len(row)-1], cur) // cur^(2^fbWindow)
 		}
 	}
 	return t
@@ -66,7 +72,10 @@ func (t *fbTable) Exp(e *big.Int) (*big.Int, bool) {
 	if e.Sign() < 0 || e.BitLen() > t.maxExpBits {
 		return nil, false
 	}
-	var acc *big.Int
+	// Two accumulators swap roles as Montgomery product destinations, so
+	// the whole walk reuses three buffers and allocates only at growth.
+	var acc, spare, scratch big.Int
+	have := false
 	bits := e.BitLen()
 	for i := 0; i*fbWindow < bits; i++ {
 		d := 0
@@ -76,17 +85,19 @@ func (t *fbTable) Exp(e *big.Int) (*big.Int, bool) {
 		if d == 0 {
 			continue
 		}
-		if acc == nil {
-			acc = new(big.Int).Set(t.tab[i][d-1])
+		if !have {
+			acc.Set(t.tab[i][d-1])
+			have = true
 		} else {
-			acc.Mul(acc, t.tab[i][d-1])
-			acc.Mod(acc, t.mod)
+			t.mont.mulInto(&spare, &scratch, &acc, t.tab[i][d-1])
+			acc, spare = spare, acc
 		}
 	}
-	if acc == nil { // e == 0
+	if !have { // e == 0
 		return big.NewInt(1), true
 	}
-	return acc, true
+	t.mont.redcInto(&acc, &scratch)
+	return &acc, true
 }
 
 // crtFB is the private-key half of the fixed-base state: tables for hN

@@ -52,7 +52,7 @@ func (rq *Requester) SMBatchBounded(as, bs []*paillier.Ciphertext, aBits, bBits 
 	if bBits > vb {
 		vb = bBits
 	}
-	codec, err := paillier.NewPacking(rq.pk, vb)
+	codec, err := rq.packCodec(vb)
 	if err != nil || codec.Slots < 2 {
 		// Key too small for even one packed pair: unpacked oracle path.
 		return rq.SMBatch(as, bs)
@@ -381,16 +381,25 @@ func (rp *Responder) handleSSEDPack(req *mpc.Message) (*mpc.Message, error) {
 
 // sbdOncePacked is one unverified SBD pass with the remainders held
 // packed: each of the l rounds sends ⌈n/Slots⌉ group ciphertexts (the
-// remainders under fresh short slot blinds) instead of n, C2 decrypts
-// per group and returns each slot's encrypted low bit individually (the
-// SMIN tournament consumes bits one ciphertext each), and C1 folds the
-// corrected bits back into packed form to halve all slots with a single
-// exponentiation per group:
+// remainders under fresh short slot blinds) instead of n, and C2
+// decrypts per group and returns each slot's encrypted low bit
+// individually — the bits are the round's output and a slot-packed bit
+// would be homomorphically inaccessible to C1, so n ciphertexts per
+// round is the downlink floor for the decomposition itself. What does
+// ride packed is the halving: C2 appends, per group, one ciphertext
+// packing every slot's halved blinded value wᵢ = yᵢ >> 1, and C1
+// rebuilds the next remainder from it with plaintext constants it
+// already knows. With y = z' + r and b' = lsb(y):
 //
-//	remⱼ ← (remⱼ − bitⱼ) / 2  slotwise, via (P_rem · Inv(P_bits))^(2⁻¹)
+//	r even:  (z' − lsb(z'))/2 = w − r/2
+//	r odd:   (z' − lsb(z'))/2 = w − (r+1)/2 + b'
 //
-// exact because every slot of the numerator is even and the packed
-// integer never wraps mod N. Short blinds also mean z' + r never wraps,
+// so the update is one packed AddPlain of the −⌈r/2⌉ constants plus a
+// short Horner fold of the raw reply bits over the odd-blind slots.
+// That replaces the old C1-side halving — a re-pack of all corrected
+// bits plus a (2⁻¹ mod N)-power per group, the last full-range
+// exponentiation in packed SBD — with short exponentiations only,
+// mirroring msbOncePacked. Short blinds also mean z' + r never wraps,
 // so — unlike the unpacked path — the decomposition cannot fail
 // verification against an honest C2.
 func (rq *Requester) sbdOncePacked(zs []*paillier.Ciphertext, l int, codec *paillier.Packing) ([][]*paillier.Ciphertext, error) {
@@ -433,14 +442,15 @@ func (rq *Requester) sbdOncePacked(zs []*paillier.Ciphertext, l int, codec *pail
 			}
 			payload = append(payload, ct.Raw())
 		}
-		reply, err := rq.roundTrip(OpSBDPackLsb, payload, n)
+		reply, err := rq.roundTrip(OpSBDPackLsb, payload, n+groups)
 		if err != nil {
 			return nil, fmt.Errorf("smc: packed SBD round %d: %w", round, err)
 		}
-		lsbs, err := rq.rawCiphertexts(reply)
+		cts, err := rq.rawCiphertexts(reply)
 		if err != nil {
 			return nil, err
 		}
+		lsbs, rems := cts[:n], cts[n:]
 		// Correct for odd blinds — lsb(z') = 1 − lsb(y) there — with the
 		// inversions batched.
 		var toFlip []*paillier.Ciphertext
@@ -461,15 +471,45 @@ func (rq *Requester) sbdOncePacked(zs []*paillier.Ciphertext, l int, codec *pail
 			}
 			lsbFirst[i] = append(lsbFirst[i], bits[i])
 		}
+		if round == l-1 {
+			break // the last bits are out; no remainder to rebuild
+		}
 		for g := 0; g < groups; g++ {
 			lo := g * codec.Slots
 			hi := min(n, lo+codec.Slots)
-			packedBits, err := codec.PackCiphertexts(bits[lo:hi])
-			if err != nil {
-				return nil, fmt.Errorf("smc: SBD packing bits: %w", err)
+			// Packed constant −⌈rᵢ/2⌉ per slot, one cheap AddPlain (the
+			// closed-form (1+mN) multiply, no exponentiation).
+			negC := new(big.Int)
+			for i := hi - 1; i >= lo; i-- {
+				c := new(big.Int).Rsh(new(big.Int).Add(rs[i], oneBig), 1) // ⌈rᵢ/2⌉
+				negC.Lsh(negC, uint(codec.Width)).Add(negC, c)
 			}
-			even := rq.pk.Add(packedRem[g], rq.pk.Inv(packedBits))
-			packedRem[g] = rq.pk.ScalarMul(even, rq.invTwo)
+			next := rq.pk.AddPlain(rems[g], negC.Neg(negC))
+			// Fold the raw reply bits of the odd-blind slots back in at
+			// their slot offsets: Horner from the highest such slot down,
+			// every exponent a power of two below 2^(Slots·Width).
+			var acc *paillier.Ciphertext
+			prev := 0
+			for i := hi - 1; i >= lo; i-- {
+				if rs[i].Bit(0) == 0 {
+					continue
+				}
+				if acc == nil {
+					acc = lsbs[i]
+				} else {
+					gap := new(big.Int).Lsh(oneBig, uint((prev-i)*codec.Width))
+					acc = rq.pk.Add(rq.pk.ScalarMul(acc, gap), lsbs[i])
+				}
+				prev = i
+			}
+			if acc != nil {
+				if prev > lo {
+					gap := new(big.Int).Lsh(oneBig, uint((prev-lo)*codec.Width))
+					acc = rq.pk.ScalarMul(acc, gap)
+				}
+				next = rq.pk.Add(next, acc)
+			}
+			packedRem[g] = next
 		}
 	}
 
@@ -485,8 +525,11 @@ func (rq *Requester) sbdOncePacked(zs []*paillier.Ciphertext, l int, codec *pail
 }
 
 // handleSBDPackLsb is C2's half of a packed LSB round: decrypt each slot
-// group once and return each slot's low bit as an individual fresh
-// encryption. Frame: [count, valueBits, group ciphertexts].
+// group once, return each slot's low bit as an individual fresh
+// encryption, then append one ciphertext per group packing every slot's
+// halved value yᵢ >> 1 — the next-round remainder up to constants C1
+// knows, so C1's halving needs no full-range exponentiation. Frame:
+// [count, valueBits, group ciphertexts] → [count bit cts, group rem cts].
 func (rp *Responder) handleSBDPackLsb(req *mpc.Message) (*mpc.Message, error) {
 	count, codec, err := rp.packHeader(req.Ints, "SBD")
 	if err != nil {
@@ -497,7 +540,9 @@ func (rp *Responder) handleSBDPackLsb(req *mpc.Message) (*mpc.Message, error) {
 		return nil, fmt.Errorf("%w: packed SBD payload of %d ints for %d values",
 			ErrBadFrame, len(req.Ints), count)
 	}
-	out := make([]*big.Int, 0, count)
+	out := make([]*big.Int, 0, count+groups)
+	halves := make([]*big.Int, 0, groups)
+	halved := make([]*big.Int, codec.Slots)
 	for g := 0; g < groups; g++ {
 		cnt := min(codec.Slots, count-g*codec.Slots)
 		ct, err := rp.sk.FromRaw(req.Ints[2+g])
@@ -508,15 +553,25 @@ func (rp *Responder) handleSBDPackLsb(req *mpc.Message) (*mpc.Message, error) {
 		if err != nil {
 			return nil, fmt.Errorf("smc: packed SBD group %d: %w", g, err)
 		}
-		for _, y := range vals {
+		for j, y := range vals {
 			bit, err := rp.encrypt(new(big.Int).SetUint64(uint64(y.Bit(0))))
 			if err != nil {
 				return nil, fmt.Errorf("smc: packed SBD encrypt lsb: %w", err)
 			}
 			out = append(out, bit.Raw())
+			halved[j] = new(big.Int).Rsh(y, 1)
 		}
+		packed, err := codec.Pack(halved[:cnt])
+		if err != nil {
+			return nil, fmt.Errorf("smc: packed SBD halves group %d: %w", g, err)
+		}
+		rem, err := rp.encrypt(packed)
+		if err != nil {
+			return nil, fmt.Errorf("smc: packed SBD encrypt halves: %w", err)
+		}
+		halves = append(halves, rem.Raw())
 	}
-	return &mpc.Message{Op: OpSBDPackLsb, Ints: out}, nil
+	return &mpc.Message{Op: OpSBDPackLsb, Ints: append(out, halves...)}, nil
 }
 
 // msbOncePacked extracts E(bit L−1) of each value's L-bit decomposition

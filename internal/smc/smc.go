@@ -93,6 +93,30 @@ type Requester struct {
 
 	// invTwo caches 2⁻¹ mod N for SBD's halving step.
 	invTwo *big.Int
+
+	// codecs caches the slot codec per value-bit width so the packed
+	// kernels called once per tournament level (SMINValuePairsBatch,
+	// SMBatchBounded) don't rebuild it each call. A Requester drives
+	// primitives serially — its documented contract — so the map needs
+	// no lock.
+	codecs map[int]*paillier.Packing
+}
+
+// packCodec returns the slot codec for valueBits-wide values, cached
+// per width for the lifetime of the requester.
+func (rq *Requester) packCodec(valueBits int) (*paillier.Packing, error) {
+	if c, ok := rq.codecs[valueBits]; ok {
+		return c, nil
+	}
+	c, err := paillier.NewPacking(rq.pk, valueBits)
+	if err != nil {
+		return nil, err
+	}
+	if rq.codecs == nil {
+		rq.codecs = make(map[int]*paillier.Packing)
+	}
+	rq.codecs[valueBits] = c
+	return c, nil
 }
 
 // NewRequester builds C1's context with the default tuning (packing on).

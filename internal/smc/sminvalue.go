@@ -57,7 +57,7 @@ func (rq *Requester) SMINValuePairsBatch(pairs []SMINValuePair, l int) ([]*paill
 	if l < 1 || l+1 > packMaxValueBits {
 		return nil, fmt.Errorf("smc: value SMIN domain l=%d", l)
 	}
-	codec, err := paillier.NewPacking(rq.pk, l+1)
+	codec, err := rq.packCodec(l + 1)
 	if err != nil {
 		return nil, fmt.Errorf("smc: value SMIN codec: %w", err)
 	}

@@ -2,10 +2,12 @@ package sknn
 
 import (
 	"bytes"
+	"sort"
 	"sync"
 	"testing"
 
 	"sknn/internal/dataset"
+	"sknn/internal/plainknn"
 	"sknn/internal/store"
 )
 
@@ -404,6 +406,62 @@ func TestBatchMeteredUnsharded(t *testing.T) {
 	for i, qm := range smts {
 		if qm == nil || qm.Secure == nil || qm.Secure.SMINCount == 0 {
 			t.Fatalf("secure query %d metrics missing: %+v", i, qm)
+		}
+	}
+}
+
+// TestShardedStreamingSerialDifferential pins the facade-level contract
+// of the pipelined gather: in both index modes, a sharded System with
+// the streaming merge (the default) returns the identical top-k
+// distance multiset as one with DisableStreamingMerge set, and both
+// match the plaintext oracle.
+func TestShardedStreamingSerialDifferential(t *testing.T) {
+	const attrBits, k = 5, 3
+	tbl, err := dataset.GenerateClustered(571, 30, 2, attrBits, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := [][]uint64{tbl.Rows[2], {3, 28}}
+	for _, index := range []IndexMode{IndexNone, IndexClustered} {
+		cfg := Config{Key: facadeKey(), Shards: 3, Workers: 2, Index: index, Clusters: 3, Coverage: 8}
+		streaming, err := New(tbl.Rows, attrBits, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer streaming.Close()
+		cfg.DisableStreamingMerge = true
+		serial, err := New(tbl.Rows, attrBits, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer serial.Close()
+		for _, q := range queries {
+			got, err := queryRows(streaming, q, k, ModeSecure)
+			if err != nil {
+				t.Fatalf("index %v streaming: %v", index, err)
+			}
+			want, err := queryRows(serial, q, k, ModeSecure)
+			if err != nil {
+				t.Fatalf("index %v serial: %v", index, err)
+			}
+			ds := func(rows [][]uint64) []uint64 {
+				out := make([]uint64, len(rows))
+				for i, row := range rows {
+					var err error
+					if out[i], err = plainknn.SquaredDistance(row[:len(q)], q); err != nil {
+						t.Fatal(err)
+					}
+				}
+				sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+				return out
+			}
+			sd, wd := ds(got), ds(want)
+			for i := range sd {
+				if sd[i] != wd[i] {
+					t.Fatalf("index %v q=%v: streaming distances %v, serial %v", index, q, sd, wd)
+				}
+			}
+			oracleCheck(t, tbl.Rows, got, q, k)
 		}
 	}
 }
