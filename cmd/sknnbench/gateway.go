@@ -1,0 +1,235 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"sknn"
+	"sknn/internal/benchkit"
+	"sknn/internal/dataset"
+	"sknn/internal/gateway"
+	"sknn/internal/mpc"
+	"sknn/internal/plainknn"
+)
+
+// gatewayFig is the PR 10 figure: the multi-tenant serving tier over a
+// replicated scatter-gather backend, sweeping the replication factor
+// R ∈ {1, 2, 3} at S=2 shards. Five series per R:
+//
+//   - "alpha QPS (SkNNb, clean)": tenant alpha's serial throughput
+//     through the gateway with every replica healthy — the serving-tier
+//     overhead curve (admission, tenant framing, coordinator dispatch);
+//   - "beta QPS (contending tenant)": a second tenant querying its own
+//     table concurrently with alpha's load — multi-tenant contention,
+//     not a protocol change (separate backends, shared process);
+//   - "alpha QPS (replica kill mid-run)": alpha's throughput across a
+//     load burst during which replica 0 of every shard — the pick the
+//     idle-load balancer prefers — is killed after the first query
+//     lands. Every query must still succeed: a dead replica costs one
+//     retry, never a failed query;
+//   - "alpha recall (SkNNm)": one secure query against the plaintext
+//     oracle — post-kill on the degraded system when R ≥ 2, clean at
+//     R=1. Exactness target 1.0 in every cell;
+//   - "retries observed": the coordinator's requeue counter summed over
+//     partitions after the burst (0 at R=1, ≥ 1 once a kill can be
+//     survived — proof the burst actually exercised failover).
+//
+// QPS rows use SkNNb so the sweep measures the serving tier rather than
+// the SkNNm protocol wall; the recall row pins the secure path. On one
+// CPU the replicas time-slice a single core, so QPS is flat-to-falling
+// in R — the figure's value there is the zero-lost-queries invariant
+// and the failover counters, not speedup.
+func (b *bench) gatewayFig() error {
+	const m, attrBits, k, shards = 2, 4, 3, 2
+	ns := map[string]int{"small": 24, "medium": 60, "paper": 120}
+	n := ns[b.sc.name]
+	const burst = 6 // queries per load phase per tenant
+
+	tblA, err := dataset.Generate(int64(n*53+7), n, m, attrBits)
+	if err != nil {
+		return err
+	}
+	tblB, err := dataset.Generate(int64(n*59+11), n, m, attrBits)
+	if err != nil {
+		return err
+	}
+	queries := make([][]uint64, burst)
+	for i := range queries {
+		if queries[i], err = dataset.GenerateQuery(int64(n*61+i), m, attrBits); err != nil {
+			return err
+		}
+	}
+	secureQ := tblA.Rows[n/3]
+	oracle, err := plainknn.KDistances(tblA.Rows, secureQ, k)
+	if err != nil {
+		return err
+	}
+	l := dataset.DomainBits(attrBits, m)
+
+	fig := benchkit.NewFigure(
+		fmt.Sprintf("Gateway: 2-tenant serving tier over S=%d shards, n=%d/tenant, m=%d, k=%d, K=512 [scale=%s]",
+			shards, n, m, k, b.sc.name),
+		"replicas R", "QPS / recall / count (per series)")
+	cleanQPS := fig.NewSeries("alpha QPS (SkNNb, clean)")
+	contQPS := fig.NewSeries("beta QPS (contending tenant)")
+	killQPS := fig.NewSeries("alpha QPS (replica kill mid-run)")
+	recall := fig.NewSeries("alpha recall (SkNNm)")
+	fov := fig.NewSeries("retries observed")
+
+	for _, r := range []int{1, 2, 3} {
+		if err := b.gatewayPoint(tblA, tblB, queries, secureQ, oracle,
+			attrBits, k, shards, r, l, cleanQPS, contQPS, killQPS, recall, fov); err != nil {
+			return fmt.Errorf("R=%d: %w", r, err)
+		}
+	}
+	if err := b.emit(fig, "gateway"); err != nil {
+		return err
+	}
+	fmt.Printf("(target: zero failed queries and recall 1.0 in every cell, retries ≥ 1 once R ≥ 2;\n")
+	fmt.Printf(" QPS gains from R need ≥R free cores — %d CPUs here, so expect flat QPS on CI)\n", runtime.NumCPU())
+	return nil
+}
+
+// gatewayPoint measures one replication factor: a fresh replicated
+// system for tenant alpha, a fresh single-engine system for tenant
+// beta, both behind one gateway.
+func (b *bench) gatewayPoint(tblA, tblB *dataset.Table, queries [][]uint64, secureQ, oracle []uint64,
+	attrBits, k, shards, r, l int,
+	cleanQPS, contQPS, killQPS, recall, fov *benchkit.Series) error {
+
+	sysA, err := sknn.New(tblA.Rows, attrBits, sknn.Config{Key: b.key(512), Shards: shards, Replicas: r, Workers: 2})
+	if err != nil {
+		return err
+	}
+	defer sysA.Close()
+	sysB, err := sknn.New(tblB.Rows, attrBits, sknn.Config{Key: b.key(512)})
+	if err != nil {
+		return err
+	}
+	defer sysB.Close()
+
+	g := gateway.NewGateway()
+	err = g.AddTenant(gateway.TenantConfig{
+		Name: "alpha", Token: "alpha", DomainBits: l, MaxInflight: 4, MaxQueue: 8,
+	}, sysA.GatewayBackend())
+	if err != nil {
+		return err
+	}
+	err = g.AddTenant(gateway.TenantConfig{
+		Name: "beta", Token: "beta", DomainBits: l, MaxInflight: 2, MaxQueue: 4,
+	}, sysB.GatewayBackend())
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+
+	dial := func(name, token string) (*gateway.TenantClient, error) {
+		clientSide, serverSide := mpc.ChanPipe()
+		go g.HandleConn(serverSide)
+		return gateway.DialTenant(clientSide, name, token)
+	}
+	alpha, err := dial("alpha", "alpha")
+	if err != nil {
+		return err
+	}
+	defer alpha.Close()
+	beta, err := dial("beta", "beta")
+	if err != nil {
+		return err
+	}
+	defer beta.Close()
+
+	run := func(tc *gateway.TenantClient, qs [][]uint64) (time.Duration, error) {
+		return benchkit.Timed(func() error {
+			for _, q := range qs {
+				ctx, cancel := queryCtx()
+				_, _, err := tc.Query(ctx, q, k, false)
+				cancel()
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+
+	// Clean phase: alpha's burst with beta contending on its own
+	// connection and backend.
+	betaDone := make(chan error, 1)
+	var betaD time.Duration
+	go func() {
+		var err error
+		betaD, err = run(beta, queries)
+		betaDone <- err
+	}()
+	alphaD, err := run(alpha, queries)
+	if berr := <-betaDone; err == nil {
+		err = berr
+	}
+	if err != nil {
+		return err
+	}
+	cleanQPS.Add(float64(r), float64(len(queries))/alphaD.Seconds())
+	contQPS.Add(float64(r), float64(len(queries))/betaD.Seconds())
+
+	// Kill phase (R ≥ 2): a second connection runs the burst again; once
+	// its first query lands, replica 0 of every shard — the idle-load
+	// balancer's preferred pick — dies. The burst must finish with zero
+	// failures — a dead replica costs retries, never answers.
+	if r >= 2 {
+		alpha2, err := dial("alpha", "alpha")
+		if err != nil {
+			return err
+		}
+		defer alpha2.Close()
+		firstDone := make(chan struct{})
+		killed := make(chan error, 1)
+		go func() {
+			<-firstDone
+			for s := 0; s < shards; s++ {
+				if err := sysA.CloseReplica(s, 0); err != nil {
+					killed <- err
+					return
+				}
+			}
+			killed <- nil
+		}()
+		d, err := benchkit.Timed(func() error {
+			for i, q := range queries {
+				ctx, cancel := queryCtx()
+				_, _, qerr := alpha2.Query(ctx, q, k, false)
+				cancel()
+				if qerr != nil {
+					return fmt.Errorf("query %d during replica kill: %w", i, qerr)
+				}
+				if i == 0 {
+					close(firstDone)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if kerr := <-killed; kerr != nil {
+			return kerr
+		}
+		killQPS.Add(float64(r), float64(len(queries))/d.Seconds())
+	}
+
+	// Secure recall: post-kill on the degraded system when R ≥ 2.
+	ctx, cancel := queryCtx()
+	rows, _, err := alpha.Query(ctx, secureQ, k, true)
+	cancel()
+	if err != nil {
+		return err
+	}
+	recall.Add(float64(r), recallOf(rows, secureQ, oracle))
+	retries := 0
+	for _, st := range sysA.ReplicaStats() {
+		retries += st.Retries
+	}
+	fov.Add(float64(r), float64(retries))
+	return nil
+}

@@ -14,14 +14,16 @@
 //	sknnbench -fig 2a -scale medium     # closer to paper sizes
 //	sknnbench -fig 2d -scale paper      # the paper's exact parameters (hours!)
 //
-// Figures: 2a 2b 2c 2d 2e 2f 3 qps index shard pack sminn bob comm baselines all
+// Figures: 2a 2b 2c 2d 2e 2f 3 qps index shard stream pack gateway sminn bob comm baselines all
 //
 // "qps" (multi-query throughput), "index" (clustered secure index vs
 // full scan: QPS, recall, SMIN reduction), "shard" (scatter-gather
 // SkNNm across S shard workers: per-shard scan cost, merge overhead,
-// recall), and "pack" (2×2 ablation of ciphertext packing and
-// fixed-base exponentiation on a single SkNNm query) are extensions
-// beyond the paper's evaluation.
+// recall), "pack" (2×2 ablation of ciphertext packing and fixed-base
+// exponentiation on a single SkNNm query), and "gateway" (2-tenant
+// serving tier over replicated shards: QPS under contention and
+// mid-run replica kill, sweeping R) are extensions beyond the paper's
+// evaluation.
 package main
 
 import (
@@ -158,7 +160,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sknnbench: ")
 	var (
-		figFlag     = flag.String("fig", "all", "figure to regenerate: 2a 2b 2c 2d 2e 2f 3 qps index shard stream pack sminn bob comm baselines all")
+		figFlag     = flag.String("fig", "all", "figure to regenerate: 2a 2b 2c 2d 2e 2f 3 qps index shard stream pack gateway sminn bob comm baselines all")
 		scaleFlag   = flag.String("scale", "small", "sweep preset: small | medium | paper")
 		workersFlag = flag.Int("workers", 0, "override Figure 3 / QPS worker count (0 = min(6, NumCPU))")
 		jsonFlag    = flag.String("json", "", "also write machine-readable BENCH_<fig>.json files into this directory")
@@ -194,12 +196,13 @@ func main() {
 		"shard":     b.shard,
 		"stream":    b.stream,
 		"pack":      b.pack,
+		"gateway":   b.gatewayFig,
 		"sminn":     b.sminnShare,
 		"bob":       b.bobCost,
 		"comm":      b.comm,
 		"baselines": b.baselines,
 	}
-	order := []string{"2a", "2b", "2c", "2d", "2e", "2f", "3", "qps", "index", "shard", "stream", "pack", "sminn", "bob", "comm", "baselines"}
+	order := []string{"2a", "2b", "2c", "2d", "2e", "2f", "3", "qps", "index", "shard", "stream", "pack", "gateway", "sminn", "bob", "comm", "baselines"}
 
 	if *figFlag == "all" {
 		for _, name := range order {

@@ -42,7 +42,29 @@
 //	    value-domain merge over its own C2 links as each scan lands, and
 //	    unmasks the exact global top-k. -serial-merge gathers behind a
 //	    barrier instead (the ablation/differential topology; identical
-//	    answers by construction).
+//	    answers by construction). Listing the same shard's replicas as
+//	    separate addresses groups them into a failover set.
+//
+// Two more subcommands deploy the multi-tenant serving tier:
+//
+//	sknnd gateway -tenants gateway.json -listen :7100 [-metrics :7190] [-token T]
+//	    The serving front end: each tenant in the roster gets its own
+//	    backend (a snapshot-backed C1 or a coordinator over dialed,
+//	    possibly replicated shard workers), admission control, and
+//	    Prometheus-text metrics. Shutdown drains: in-flight queries
+//	    finish, nothing new is admitted.
+//
+//	sknnd query -connect host:7100 -tenant alpha -token S -q 1,2,3 -k 5
+//	    Bob at the edge: authenticates to a gateway as one tenant and
+//	    queries through it, printing results in the c1/coord format.
+//
+// Every listener supports wire hardening: -token requires a pre-shared
+// token proved in a challenge-response handshake before any protocol
+// frame is served (unauthenticated connections are refused uniformly),
+// and -rate caps the frame rate one connection can push. Serving
+// subcommands drain gracefully on SIGINT/SIGTERM; batch query
+// subcommands abort in-flight protocol rounds with the typed
+// cancellation error instead.
 //
 // The table file never contains plaintext or the secret key; C1 learns
 // nothing it wouldn't in the paper's model — the snapshot is exactly
@@ -95,13 +117,17 @@ func main() {
 		cmdShard(os.Args[2:])
 	case "coord":
 		cmdCoord(os.Args[2:])
+	case "gateway":
+		cmdGateway(os.Args[2:])
+	case "query":
+		cmdQuery(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sknnd {keygen|encrypt|c2|c1|split|shard|coord} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: sknnd {keygen|encrypt|c2|c1|split|shard|coord|gateway|query} [flags]")
 	os.Exit(2)
 }
 
@@ -181,6 +207,10 @@ func cmdC2(args []string) {
 	keyPath := fs.String("key", "alice.key", "Alice's private key (entrusted to C2)")
 	listen := fs.String("listen", ":7002", "TCP listen address")
 	inflight := fs.Int("inflight", 4, "interleaved requests handled at once per connection")
+	token := fs.String("token", "", "pre-shared token clients must prove (empty = open listener)")
+	rate := fs.Float64("rate", 0, "per-connection frame rate limit, frames/sec (0 = unlimited)")
+	burst := fs.Int("burst", 0, "rate-limit burst (minimum 1 when -rate is set)")
+	drain := fs.Duration("drain", 10*time.Second, "how long shutdown waits for clients to hang up")
 	fs.Parse(args)
 
 	sk := loadKey(*keyPath)
@@ -190,20 +220,20 @@ func cmdC2(args []string) {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "C2 (key cloud) serving on %s (%d in-flight requests/conn)\n", ln.Addr(), *inflight)
-	for {
-		conn, err := ln.Accept()
+	serveUntilSignal(ln, *drain, nil, func(netConn net.Conn) {
+		defer netConn.Close()
+		conn, err := guard(netConn, *token, *rate, *burst)
 		if err != nil {
-			log.Fatal(err)
+			log.Printf("connection from %s refused: %v", netConn.RemoteAddr(), err)
+			return
 		}
 		// Each accepted connection carries any number of multiplexed C1
 		// query sessions; serve their interleaved frames concurrently.
-		go func(conn net.Conn) {
-			defer conn.Close()
-			if err := c2.ServeConcurrent(mpc.WrapNet(conn), *inflight); err != nil {
-				log.Printf("session from %s: %v", conn.RemoteAddr(), err)
-			}
-		}(conn)
-	}
+		if err := c2.ServeConcurrent(conn, *inflight); err != nil {
+			log.Printf("session from %s: %v", netConn.RemoteAddr(), err)
+		}
+	})
+	fmt.Fprintln(os.Stderr, "C2 drained")
 }
 
 func cmdC1(args []string) {
@@ -218,6 +248,7 @@ func cmdC1(args []string) {
 	concurrency := fs.Int("concurrency", 0, "queries in flight at once (0 = all at once)")
 	coverage := fs.Float64("coverage", 4, "candidate-pool factor when the snapshot carries a cluster index")
 	timeout := fs.Duration("timeout", 0, "per-query deadline; 0 = none")
+	c2Token := fs.String("c2-token", "", "pre-shared token the C2 listener requires")
 	fs.Parse(args)
 	queries, err := collectQueries(*queryStr, *queryFile)
 	if err != nil {
@@ -240,7 +271,7 @@ func cmdC1(args []string) {
 
 	conns := make([]mpc.Conn, *workers)
 	for i := range conns {
-		conn, err := mpc.Dial(*connect)
+		conn, err := mpc.DialAuth(*connect, *c2Token)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -261,7 +292,10 @@ func cmdC1(args []string) {
 	}
 
 	// Answer all queries concurrently: each leases its own session from
-	// the pool, so they multiplex over the -workers connections.
+	// the pool, so they multiplex over the -workers connections. An
+	// operator interrupt cancels every in-flight round cleanly.
+	base, stop := signalContext()
+	defer stop()
 	inflight := *concurrency
 	if inflight <= 0 || inflight > len(queries) {
 		inflight = len(queries)
@@ -277,7 +311,7 @@ func cmdC1(args []string) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			rows[i], errs[i] = runQuery(c1, bob, q, *k, *mode, l, target, *timeout)
+			rows[i], errs[i] = runQuery(base, c1, bob, q, *k, *mode, l, target, *timeout)
 		}(i, q)
 	}
 	wg.Wait()
@@ -304,12 +338,12 @@ func cmdC1(args []string) {
 // positive target selects the partition-pruned SkNNm variant (the table
 // must carry a cluster index); a positive timeout bounds the protocol
 // run — the session aborts within one round of the deadline.
-func runQuery(c1 *core.CloudC1, bob *core.Client, q []uint64, k int, mode string, l, target int, timeout time.Duration) ([][]uint64, error) {
+func runQuery(base context.Context, c1 *core.CloudC1, bob *core.Client, q []uint64, k int, mode string, l, target int, timeout time.Duration) ([][]uint64, error) {
 	eq, err := bob.EncryptQuery(q)
 	if err != nil {
 		return nil, err
 	}
-	ctx, cancel := queryContext(timeout)
+	ctx, cancel := queryContext(base, timeout)
 	defer cancel()
 	sess, err := c1.NewSession(ctx, 0)
 	if err != nil {
@@ -335,12 +369,13 @@ func runQuery(c1 *core.CloudC1, bob *core.Client, q []uint64, k int, mode string
 	return bob.Unmask(res)
 }
 
-// queryContext arms a per-query deadline (0 = unbounded).
-func queryContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+// queryContext arms a per-query deadline (0 = only the base context's
+// cancellation — typically the operator's interrupt — bounds the run).
+func queryContext(base context.Context, timeout time.Duration) (context.Context, context.CancelFunc) {
 	if timeout > 0 {
-		return context.WithTimeout(context.Background(), timeout)
+		return context.WithTimeout(base, timeout)
 	}
-	return context.Background(), func() {}
+	return context.WithCancel(base)
 }
 
 // fatalQueryErr names the typed error class of a failed query instead
@@ -389,6 +424,12 @@ func cmdShard(args []string) {
 	connect := fs.String("connect", "127.0.0.1:7002", "C2 address")
 	listen := fs.String("listen", ":7101", "TCP listen address for coordinators")
 	workers := fs.Int("workers", 1, "parallel connections to C2")
+	replica := fs.Int("replica", 0, "this worker's ordinal within its shard's replica set")
+	token := fs.String("token", "", "pre-shared token coordinators must prove (empty = open listener)")
+	c2Token := fs.String("c2-token", "", "pre-shared token the C2 listener requires")
+	rate := fs.Float64("rate", 0, "per-connection frame rate limit, frames/sec (0 = unlimited)")
+	burst := fs.Int("burst", 0, "rate-limit burst (minimum 1 when -rate is set)")
+	drain := fs.Duration("drain", 10*time.Second, "how long shutdown waits for coordinators to hang up")
 	fs.Parse(args)
 	if *tablePath == "" {
 		fs.Usage()
@@ -407,7 +448,7 @@ func cmdShard(args []string) {
 	}
 	conns := make([]mpc.Conn, *workers)
 	for i := range conns {
-		if conns[i], err = mpc.Dial(*connect); err != nil {
+		if conns[i], err = mpc.DialAuth(*connect, *c2Token); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -420,24 +461,27 @@ func cmdShard(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if err := srv.SetReplica(*replica); err != nil {
+		log.Fatal(err)
+	}
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "shard %d/%d (%d records, index clustered=%v) serving on %s, C2 at %s\n",
-		snap.ShardIndex, snap.ShardCount, table.N(), table.Clustered(), ln.Addr(), *connect)
-	for {
-		conn, err := ln.Accept()
+	fmt.Fprintf(os.Stderr, "shard %d/%d replica %d (%d records, index clustered=%v) serving on %s, C2 at %s\n",
+		snap.ShardIndex, snap.ShardCount, *replica, table.N(), table.Clustered(), ln.Addr(), *connect)
+	serveUntilSignal(ln, *drain, nil, func(netConn net.Conn) {
+		defer netConn.Close()
+		conn, err := guard(netConn, *token, *rate, *burst)
 		if err != nil {
-			log.Fatal(err)
+			log.Printf("connection from %s refused: %v", netConn.RemoteAddr(), err)
+			return
 		}
-		go func(conn net.Conn) {
-			defer conn.Close()
-			if err := srv.Serve(mpc.WrapNet(conn)); err != nil {
-				log.Printf("coordinator session from %s: %v", conn.RemoteAddr(), err)
-			}
-		}(conn)
-	}
+		if err := srv.Serve(conn); err != nil {
+			log.Printf("coordinator session from %s: %v", netConn.RemoteAddr(), err)
+		}
+	})
+	fmt.Fprintf(os.Stderr, "shard %d/%d replica %d drained\n", snap.ShardIndex, snap.ShardCount, *replica)
 }
 
 // cmdCoord runs the scatter-gather coordinator: it dials every shard
@@ -455,6 +499,8 @@ func cmdCoord(args []string) {
 	coverage := fs.Float64("coverage", 4, "per-shard candidate-pool factor on clustered shards")
 	timeout := fs.Duration("timeout", 0, "per-query deadline; 0 = none. Expiry cancels every outstanding shard scan")
 	serialMerge := fs.Bool("serial-merge", false, "gather behind a barrier and merge serially instead of the pipelined streaming fold (ablation/differential topology)")
+	c2Token := fs.String("c2-token", "", "pre-shared token the C2 listener requires")
+	shardToken := fs.String("shard-token", "", "pre-shared token the shard listeners require")
 	fs.Parse(args)
 	queries, err := collectQueries(*queryStr, *queryFile)
 	if err != nil {
@@ -468,7 +514,7 @@ func cmdCoord(args []string) {
 	var shards []core.Shard
 	var remotes []*core.RemoteShard
 	for _, addr := range strings.Split(*shardsStr, ",") {
-		conn, err := mpc.Dial(strings.TrimSpace(addr))
+		conn, err := mpc.DialAuth(strings.TrimSpace(addr), *shardToken)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -493,13 +539,20 @@ func cmdCoord(args []string) {
 			clustered = true
 		}
 	}
+	// Workers announcing the same shard index fold into one replicated
+	// partition with coordinator-side load balancing and failover;
+	// unreplicated deployments pass through unchanged.
+	grouped, err := core.GroupReplicas(shards)
+	if err != nil {
+		log.Fatal(err)
+	}
 	mergeConns := make([]mpc.Conn, *workers)
 	for i := range mergeConns {
-		if mergeConns[i], err = mpc.Dial(*connect); err != nil {
+		if mergeConns[i], err = mpc.DialAuth(*connect, *c2Token); err != nil {
 			log.Fatal(err)
 		}
 	}
-	coord, err := core.NewShardedC1(shards, mergeConns, pk, nil)
+	coord, err := core.NewShardedC1(grouped, mergeConns, pk, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -512,6 +565,8 @@ func cmdCoord(args []string) {
 		fmt.Fprintf(os.Stderr, "clustered shards: per-shard pruned SkNNm (pool ≥ %d each)\n", target)
 	}
 
+	base, stop := signalContext()
+	defer stop()
 	start := time.Now()
 	rows := make([][][]uint64, len(queries))
 	errs := make([]error, len(queries))
@@ -520,7 +575,7 @@ func cmdCoord(args []string) {
 		wg.Add(1)
 		go func(i int, q []uint64) {
 			defer wg.Done()
-			rows[i], errs[i] = runCoordQuery(coord, bob, q, *k, *mode, l, target, *timeout)
+			rows[i], errs[i] = runCoordQuery(base, coord, bob, q, *k, *mode, l, target, *timeout)
 		}(i, q)
 	}
 	wg.Wait()
@@ -545,12 +600,12 @@ func cmdCoord(args []string) {
 // runCoordQuery answers one query through the scatter-gather engine. A
 // positive timeout bounds the whole scatter+merge; expiry cancels every
 // outstanding shard scan.
-func runCoordQuery(coord *core.ShardedC1, bob *core.Client, q []uint64, k int, mode string, l, target int, timeout time.Duration) ([][]uint64, error) {
+func runCoordQuery(base context.Context, coord *core.ShardedC1, bob *core.Client, q []uint64, k int, mode string, l, target int, timeout time.Duration) ([][]uint64, error) {
 	eq, err := bob.EncryptQuery(q)
 	if err != nil {
 		return nil, err
 	}
-	ctx, cancel := queryContext(timeout)
+	ctx, cancel := queryContext(base, timeout)
 	defer cancel()
 	var res *core.MaskedResult
 	switch mode {

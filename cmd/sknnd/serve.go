@@ -1,0 +1,94 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"sknn/internal/mpc"
+)
+
+// Shared serving plumbing for the daemon subcommands (c2, shard,
+// gateway): the signal-driven accept loop with graceful drain, and the
+// per-connection wire hardening every listener applies before handing
+// the connection to its protocol handler.
+
+// guard applies a listener's wire hardening to one accepted connection:
+// the pre-shared-token handshake first (an empty token leaves the
+// listener open), then the per-connection frame-rate limit. On an
+// authentication failure the connection has already been refused and
+// closed; the caller just logs and moves on.
+func guard(netConn net.Conn, token string, rate float64, burst int) (mpc.Conn, error) {
+	conn := mpc.WrapNet(netConn)
+	if err := mpc.AuthServer(conn, token); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return mpc.RateLimit(conn, rate, burst), nil
+}
+
+// serveUntilSignal runs an accept loop until the process receives
+// SIGINT or SIGTERM, then drains: the listener closes (no new
+// connections are accepted), onDrain runs (a gateway closes its serving
+// tier there, which finishes in-flight queries and hangs up idle tenant
+// connections), and in-flight handler goroutines get up to drainTimeout
+// to finish before the function returns anyway. A second signal during
+// the drain aborts immediately.
+func serveUntilSignal(ln net.Listener, drainTimeout time.Duration, onDrain func(), handle func(net.Conn)) {
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+	go func() {
+		sig := <-sigs
+		fmt.Fprintf(os.Stderr, "%v: draining (no new connections; in-flight work finishes)\n", sig)
+		ln.Close()
+		<-sigs
+		fmt.Fprintln(os.Stderr, "second signal: aborting without drain")
+		os.Exit(1)
+	}()
+
+	var wg sync.WaitGroup
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				break
+			}
+			log.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			handle(conn)
+		}()
+	}
+
+	if onDrain != nil {
+		onDrain()
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(drainTimeout):
+		fmt.Fprintf(os.Stderr, "drain timeout (%v): exiting with sessions still open\n", drainTimeout)
+	}
+}
+
+// signalContext is the batch commands' half of graceful shutdown: a
+// context canceled by the first SIGINT/SIGTERM, so in-flight protocol
+// rounds abort with the typed core.ErrCanceled instead of dying
+// mid-frame when the operator interrupts a long query run.
+func signalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}

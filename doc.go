@@ -84,11 +84,21 @@
 //
 //	sys, err := sknn.New(rows, attrBits, sknn.Config{Shards: 4, Workers: 2})
 //
+// Config.Replicas > 1 additionally runs R interchangeable workers per
+// shard over one shared ciphertext table: the coordinator picks the
+// least-loaded live replica per scan and fails over with a requeue
+// when one dies — a dead replica costs one retry, never a failed
+// query. ReplicaStats reports liveness and retry counters, and
+// GatewayBackend adapts the System to the multi-tenant serving tier in
+// internal/gateway (tenant auth, admission control, metrics, drain).
+//
 // For a real multi-machine deployment, use the building blocks directly
 // (internal/core, internal/mpc with the TCP transport) the way
 // cmd/sknnd does — its shard/coord subcommands run the same
 // scatter-gather across S shard processes, one C2, and a coordinator
-// over TCP.
+// over TCP; its gateway/query subcommands add the replicated,
+// token-authenticated multi-tenant serving tier (see
+// docs/DEPLOYMENT.md).
 //
 // See README.md for the module layout and concurrency architecture,
 // docs/ARCHITECTURE.md and docs/PROTOCOLS.md for the deep dives,

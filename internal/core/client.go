@@ -60,6 +60,23 @@ type MaskedResult struct {
 	IDs []uint64
 }
 
+// RestoreMaskedResult rebuilds a MaskedResult from its transported
+// shares — used by serving tiers that relay the masked shares to Bob
+// over their own wire protocol (the shares are uniformly random alone,
+// so relaying them leaks nothing the reveal step didn't already grant
+// Bob). The unmasking modulus is the public key's N; Unmask re-checks
+// the per-record arity, so this only pins the outer shape.
+func RestoreMaskedResult(pk *paillier.PublicKey, k, m int, masks, masked [][]*big.Int, ids []uint64) (*MaskedResult, error) {
+	if k < 1 || m < 1 || len(masks) != k || len(masked) != k {
+		return nil, fmt.Errorf("%w: masked result shape %d×%d with %d/%d share rows",
+			ErrBadFrame, k, m, len(masks), len(masked))
+	}
+	if ids != nil && len(ids) != k {
+		return nil, fmt.Errorf("%w: %d ids for %d results", ErrBadFrame, len(ids), k)
+	}
+	return &MaskedResult{K: k, M: m, Masks: masks, Masked: masked, n: pk.N, IDs: ids}, nil
+}
+
 // Unmask recovers the k nearest records: t′_{j,h} = γ′_{j,h} − r_{j,h}
 // mod N (step 6 of Algorithm 5). The recovered attributes must fit
 // uint64; anything larger means a corrupted transcript.

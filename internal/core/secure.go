@@ -51,6 +51,11 @@ type SecureMetrics struct {
 	Shards  int
 	Scatter time.Duration
 	Merge   time.Duration
+
+	// Failovers counts shard scans this query requeued onto a sibling
+	// replica after a worker died mid-protocol (replicated deployments
+	// only; see ReplicaSet).
+	Failovers int
 }
 
 // SMINnShare is SMINn's fraction of total wall-clock time.
@@ -75,6 +80,7 @@ func (m *SecureMetrics) add(o *SecureMetrics) {
 	m.SMINCount += o.SMINCount
 	m.Candidates += o.Candidates
 	m.ClustersProbed += o.ClustersProbed
+	m.Failovers += o.Failovers
 }
 
 // SecureQuery runs SkNNm (Algorithm 6), the fully secure protocol: data

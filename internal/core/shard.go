@@ -43,6 +43,10 @@ type ShardInfo struct {
 	M         int
 	FeatureM  int
 	Clustered bool
+	// Replica is this worker's ordinal within its shard's replica set —
+	// identification for operators and failover accounting only; replicas
+	// of one shard serve the same snapshot and are interchangeable.
+	Replica int
 }
 
 // Shard is one partition worker the coordinator scatters to: a local
@@ -193,6 +197,12 @@ func (c *ShardedC1) Shards() int { return len(c.shards) }
 
 // Shard returns worker i (owning record ids ≡ i mod S).
 func (c *ShardedC1) Shard(i int) Shard { return c.shards[i] }
+
+// M reports the record arity every shard agreed on.
+func (c *ShardedC1) M() int { return c.m }
+
+// FeatureM reports the feature-column count every shard agreed on.
+func (c *ShardedC1) FeatureM() int { return c.featM }
 
 // N sums the live records over every shard.
 func (c *ShardedC1) N() int {

@@ -23,7 +23,7 @@ import (
 //
 //	OpShardHello  req: []
 //	              rep: [N, index, count, n, m, featureM, clustered,
-//	                    attrBits, domainBits]
+//	                    attrBits, domainBits, replica]
 //	OpShardTopK   req: [k, l, target, secure, q₁…q_f]   (qᵢ encrypted)
 //	              rep: [n, count, sminCount, candidates, clustersProbed,
 //	                    totalNanos, then per candidate:
@@ -67,6 +67,7 @@ const (
 	maxShardCount      = 1 << 16 // shards in a topology
 	maxShardAttrBits   = 1 << 10 // per-attribute domain bits
 	maxShardDomainBits = 1 << 10 // squared-distance domain bits
+	maxShardReplicas   = 1 << 8  // replicas of one shard
 )
 
 // shardHello is the decoded handshake reply.
@@ -89,6 +90,7 @@ func encodeHello(pkN *big.Int, info ShardInfo, attrBits, domainBits int) *mpc.Me
 		big.NewInt(int64(info.N)), big.NewInt(int64(info.M)),
 		big.NewInt(int64(info.FeatureM)), big.NewInt(clustered),
 		big.NewInt(int64(attrBits)), big.NewInt(int64(domainBits)),
+		big.NewInt(int64(info.Replica)),
 	}}
 }
 
@@ -97,15 +99,15 @@ func encodeHello(pkN *big.Int, info ShardInfo, attrBits, domainBits int) *mpc.Me
 // the coordinator makes for this shard's candidates.
 func decodeHello(resp *mpc.Message) (shardHello, error) {
 	var h shardHello
-	if len(resp.Ints) != 9 {
-		return h, fmt.Errorf("%w: shard hello reply has %d ints, want 9", ErrBadFrame, len(resp.Ints))
+	if len(resp.Ints) != 10 {
+		return h, fmt.Errorf("%w: shard hello reply has %d ints, want 10", ErrBadFrame, len(resp.Ints))
 	}
 	n := resp.Ints[0]
 	if n == nil || n.Sign() <= 0 || n.BitLen() < 64 {
 		return h, fmt.Errorf("%w: implausible shard public modulus", ErrBadFrame)
 	}
-	vals := make([]int, 8)
-	for i := 1; i < 9; i++ {
+	vals := make([]int, 9)
+	for i := 1; i < 10; i++ {
 		if resp.Ints[i] == nil || !resp.Ints[i].IsInt64() {
 			return h, fmt.Errorf("%w: shard hello field %d", ErrBadFrame, i)
 		}
@@ -118,6 +120,7 @@ func decodeHello(resp *mpc.Message) (shardHello, error) {
 		M:         vals[3],
 		FeatureM:  vals[4],
 		Clustered: vals[5] != 0,
+		Replica:   vals[8],
 	}
 	h.attrBits, h.domainBits = vals[6], vals[7]
 	info := h.info
@@ -131,6 +134,9 @@ func decodeHello(resp *mpc.Message) (shardHello, error) {
 		h.domainBits < 0 || h.domainBits > maxShardDomainBits {
 		return h, fmt.Errorf("%w: shard hello declares attrBits=%d domainBits=%d",
 			ErrBadFrame, h.attrBits, h.domainBits)
+	}
+	if info.Replica < 0 || info.Replica >= maxShardReplicas {
+		return h, fmt.Errorf("%w: shard hello declares replica %d", ErrBadFrame, info.Replica)
 	}
 	h.pk = &paillier.PublicKey{N: n, NSquared: new(big.Int).Mul(n, n)}
 	return h, nil
@@ -283,6 +289,7 @@ type ShardServer struct {
 	c1         *CloudC1
 	index      int
 	count      int
+	replica    int
 	attrBits   int
 	domainBits int
 }
@@ -295,6 +302,18 @@ func NewShardServer(c1 *CloudC1, index, count, attrBits, domainBits int) (*Shard
 		return nil, fmt.Errorf("%w: shard %d of %d", ErrShardTopology, index, count)
 	}
 	return &ShardServer{c1: c1, index: index, count: count, attrBits: attrBits, domainBits: domainBits}, nil
+}
+
+// SetReplica declares this worker's ordinal within its shard's replica
+// set, announced in the hello so coordinators and operators can tell
+// interchangeable workers apart. Call before Serve; replica 0 is the
+// default.
+func (s *ShardServer) SetReplica(r int) error {
+	if r < 0 || r >= maxShardReplicas {
+		return fmt.Errorf("%w: replica %d", ErrShardTopology, r)
+	}
+	s.replica = r
+	return nil
 }
 
 // Mux returns the coordinator-facing dispatcher.
@@ -317,6 +336,7 @@ func (s *ShardServer) handleHello(*mpc.Message) (*mpc.Message, error) {
 		M:         t.M(),
 		FeatureM:  t.FeatureM(),
 		Clustered: t.Clustered(),
+		Replica:   s.replica,
 	}, s.attrBits, s.domainBits), nil
 }
 

@@ -11,12 +11,17 @@ import (
 // helloReply builds a hello frame with the given shape fields, using a
 // plausible modulus.
 func helloReply(index, count, n, m, featureM, clustered, attrBits, domainBits int64) *mpc.Message {
+	return helloReplyR(index, count, n, m, featureM, clustered, attrBits, domainBits, 0)
+}
+
+func helloReplyR(index, count, n, m, featureM, clustered, attrBits, domainBits, replica int64) *mpc.Message {
 	mod := new(big.Int).Lsh(big.NewInt(1), 1024)
 	return &mpc.Message{Op: OpShardHello, Ints: []*big.Int{
 		mod,
 		big.NewInt(index), big.NewInt(count), big.NewInt(n), big.NewInt(m),
 		big.NewInt(featureM), big.NewInt(clustered),
 		big.NewInt(attrBits), big.NewInt(domainBits),
+		big.NewInt(replica),
 	}}
 }
 
@@ -38,7 +43,10 @@ func TestDecodeHelloBounds(t *testing.T) {
 		{"negative domainBits", helloReply(0, 1, 10, 4, 2, 0, 32, -1)},
 		{"featureM over M", helloReply(0, 1, 10, 4, 5, 0, 32, 96)},
 		{"index out of range", helloReply(3, 2, 10, 4, 2, 0, 32, 96)},
-		{"nil field", &mpc.Message{Op: OpShardHello, Ints: make([]*big.Int, 9)}},
+		{"negative replica", helloReplyR(0, 1, 10, 4, 2, 0, 32, 96, -1)},
+		{"huge replica", helloReplyR(0, 1, 10, 4, 2, 0, 32, 96, maxShardReplicas)},
+		{"nil field", &mpc.Message{Op: OpShardHello, Ints: make([]*big.Int, 10)}},
+		{"old 9-int frame", &mpc.Message{Op: OpShardHello, Ints: helloReply(0, 1, 10, 4, 2, 0, 32, 96).Ints[:9]}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -52,13 +60,13 @@ func TestDecodeHelloBounds(t *testing.T) {
 // TestDecodeHelloAccepts pins the valid path so the bounds stay bounds,
 // not rejections of legitimate shards.
 func TestDecodeHelloAccepts(t *testing.T) {
-	h, err := decodeHello(helloReply(1, 3, 1000, 6, 2, 1, 32, 96))
+	h, err := decodeHello(helloReplyR(1, 3, 1000, 6, 2, 1, 32, 96, 2))
 	if err != nil {
 		t.Fatalf("decodeHello: %v", err)
 	}
 	if h.info.Index != 1 || h.info.Count != 3 || h.info.N != 1000 ||
 		h.info.M != 6 || h.info.FeatureM != 2 || !h.info.Clustered ||
-		h.attrBits != 32 || h.domainBits != 96 {
+		h.attrBits != 32 || h.domainBits != 96 || h.info.Replica != 2 {
 		t.Fatalf("decodeHello = %+v", h)
 	}
 	if h.pk == nil || h.pk.NSquared.BitLen() < 2048 {

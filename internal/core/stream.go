@@ -102,7 +102,7 @@ func (c *ShardedC1) secureQueryStreaming(ctx context.Context, q EncryptedQuery, 
 	localSlots := make(chan struct{}, runtime.GOMAXPROCS(0))
 	for i, sh := range c.shards {
 		go func(i int, sh Shard) {
-			if _, local := sh.(*LocalShard); local {
+			if localLike(sh) {
 				select {
 				case localSlots <- struct{}{}:
 					defer func() { <-localSlots }()

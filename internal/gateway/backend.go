@@ -1,0 +1,106 @@
+package gateway
+
+import (
+	"context"
+	"io"
+
+	"sknn/internal/core"
+	"sknn/internal/paillier"
+)
+
+// Backend is the query engine a tenant's frames execute against: a
+// sharded (possibly replicated) coordinator, a single in-process C1, or
+// a test stub. The gateway is deliberately indifferent to which — it
+// owns admission, auth, and metrics; the backend owns the protocol.
+type Backend interface {
+	// SecureQuery runs SkNNm and returns the masked result plus its
+	// metrics (which carry the failover count on replicated backends).
+	SecureQuery(ctx context.Context, q core.EncryptedQuery, k, domainBits, target int) (*core.MaskedResult, *core.SecureMetrics, error)
+	// BasicQuery runs SkNNb.
+	BasicQuery(ctx context.Context, q core.EncryptedQuery, k int) (*core.MaskedResult, error)
+	// N reports the live record count, M the table shape.
+	N() int
+	M() (m, featureM int)
+	// PK is the public key the tenant's table is encrypted under.
+	PK() *paillier.PublicKey
+	// Close releases the backend's resources (link pools, shard dials).
+	Close() error
+}
+
+// coordinatorBackend adapts a scatter-gather coordinator (and whatever
+// extra resources it rides on — shard dials, serve loops) to Backend.
+type coordinatorBackend struct {
+	coord *core.ShardedC1
+	also  []io.Closer
+}
+
+// NewCoordinatorBackend wraps a sharded coordinator as a tenant
+// backend. extra closers (shard connections, dialed workers) are closed
+// after the coordinator on Close, in order.
+func NewCoordinatorBackend(coord *core.ShardedC1, extra ...io.Closer) Backend {
+	return &coordinatorBackend{coord: coord, also: extra}
+}
+
+func (b *coordinatorBackend) SecureQuery(ctx context.Context, q core.EncryptedQuery, k, domainBits, target int) (*core.MaskedResult, *core.SecureMetrics, error) {
+	return b.coord.SecureQueryMetered(ctx, q, k, domainBits, target)
+}
+
+func (b *coordinatorBackend) BasicQuery(ctx context.Context, q core.EncryptedQuery, k int) (*core.MaskedResult, error) {
+	return b.coord.BasicQuery(ctx, q, k)
+}
+
+func (b *coordinatorBackend) N() int                  { return b.coord.N() }
+func (b *coordinatorBackend) M() (int, int)           { return b.coord.M(), b.coord.FeatureM() }
+func (b *coordinatorBackend) PK() *paillier.PublicKey { return b.coord.PK() }
+
+func (b *coordinatorBackend) Close() error {
+	err := b.coord.Close()
+	for _, c := range b.also {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// singleBackend adapts one in-process CloudC1 — the unsharded
+// deployment — to Backend.
+type singleBackend struct {
+	c1   *core.CloudC1
+	also []io.Closer
+}
+
+// NewSingleBackend wraps a single data cloud as a tenant backend.
+func NewSingleBackend(c1 *core.CloudC1, extra ...io.Closer) Backend {
+	return &singleBackend{c1: c1, also: extra}
+}
+
+func (b *singleBackend) SecureQuery(ctx context.Context, q core.EncryptedQuery, k, domainBits, target int) (*core.MaskedResult, *core.SecureMetrics, error) {
+	if target > 0 && b.c1.Table().Clustered() {
+		return b.c1.SecureQueryClusteredMetered(ctx, q, k, domainBits, target)
+	}
+	return b.c1.SecureQueryMetered(ctx, q, k, domainBits)
+}
+
+func (b *singleBackend) BasicQuery(ctx context.Context, q core.EncryptedQuery, k int) (*core.MaskedResult, error) {
+	return b.c1.BasicQuery(ctx, q, k)
+}
+
+func (b *singleBackend) N() int { return b.c1.Table().N() }
+
+func (b *singleBackend) M() (int, int) {
+	t := b.c1.Table()
+	return t.M(), t.FeatureM()
+}
+
+func (b *singleBackend) PK() *paillier.PublicKey { return b.c1.Table().PK() }
+
+func (b *singleBackend) Close() error {
+	err := b.c1.Close()
+	for _, c := range b.also {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

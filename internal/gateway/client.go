@@ -1,0 +1,133 @@
+package gateway
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"sknn/internal/core"
+	"sknn/internal/mpc"
+	"sknn/internal/paillier"
+)
+
+// TenantClient is Bob's edge against the gateway: it runs the tenant
+// handshake on dial, then encrypts queries and unmasks results locally
+// under the tenant's public key — the gateway relays shares, it never
+// sees plaintext. One client drives one connection serially; open more
+// clients for concurrency.
+type TenantClient struct {
+	client *core.Client
+	pk     *paillier.PublicKey
+	n      int
+	m      int
+	featM  int
+
+	mu   sync.Mutex
+	conn mpc.Conn // guarded by mu; one query frame in flight at a time
+}
+
+// ctxErr converts a done context into the shared cancellation sentinel;
+// nil contexts never cancel.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", core.ErrCanceled, err)
+	}
+	return nil
+}
+
+// DialTenant authenticates conn as the named tenant and returns a query
+// client bound to it. On any failure the connection is closed: a
+// half-authenticated connection is useless to the caller.
+func DialTenant(conn mpc.Conn, name, token string) (*TenantClient, error) {
+	w, err := tenantHandshake(conn, name, token)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &TenantClient{
+		client: core.NewClient(w.pk, nil),
+		pk:     w.pk,
+		n:      w.n, m: w.m, featM: w.featureM,
+		conn: conn,
+	}, nil
+}
+
+// tenantHandshake runs the hello/proof exchange and returns the decoded
+// welcome.
+func tenantHandshake(conn mpc.Conn, name, token string) (gateWelcome, error) {
+	var w gateWelcome
+	if !ValidTenantName(name) {
+		return w, fmt.Errorf("%w: invalid tenant name %q", ErrGateAuth, name)
+	}
+	challenge, err := mpc.RoundTrip(conn, encodeGateHello(name))
+	if err != nil {
+		return w, fmt.Errorf("%w: hello: %w", ErrGateAuth, err)
+	}
+	nonce, err := decodeGateChallenge(challenge)
+	if err != nil {
+		return w, err
+	}
+	welcome, err := mpc.RoundTrip(conn, encodeGateProof(tenantMAC(token, nonce, name)))
+	if err != nil {
+		return w, fmt.Errorf("%w: proof: %w", ErrGateAuth, err)
+	}
+	return decodeGateWelcome(welcome)
+}
+
+// N reports the tenant table's record count as declared by the gateway.
+func (c *TenantClient) N() int { return c.n }
+
+// M reports the tenant table's total and feature attribute counts.
+func (c *TenantClient) M() (m, featureM int) { return c.m, c.featM }
+
+// Query runs one k-NN query: encrypt locally, one round trip to the
+// gateway, unmask locally. secure selects SkNNm (oblivious) over SkNNb.
+// It returns the k records (m attributes each) and, for basic queries,
+// their record ids (nil under SkNNm, which hides them by design).
+func (c *TenantClient) Query(ctx context.Context, q []uint64, k int, secure bool) ([][]uint64, []uint64, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, nil, err
+	}
+	if len(q) != c.featM {
+		return nil, nil, fmt.Errorf("%w: query has %d attributes, table has %d",
+			core.ErrDimension, len(q), c.featM)
+	}
+	if k < 1 || k > maxGateK {
+		return nil, nil, fmt.Errorf("%w: k=%d (cap %d)", core.ErrBadK, k, maxGateK)
+	}
+	eq, err := c.client.EncryptQuery(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	req := encodeGateQuery(k, secure, eq)
+
+	c.mu.Lock()
+	resp, err := mpc.RoundTrip(c.conn, req)
+	c.mu.Unlock()
+	if err != nil {
+		return nil, nil, fmt.Errorf("gateway: query round trip: %w", err)
+	}
+	res, err := decodeGateResult(c.pk, k, c.m, resp)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows, err := c.client.Unmask(res)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rows, res.IDs, nil
+}
+
+// Close ends the session politely (OpClose) and closes the connection.
+func (c *TenantClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	err := mpc.SendClose(c.conn)
+	if cerr := c.conn.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -46,7 +46,8 @@ var KnownRoles = map[string]bool{
 // contains both the Requester (C1 side) and Responder (C2 side) halves
 // of each primitive in one package and documents the split per type.
 var ScopedPackages = map[string]bool{
-	"sknn/internal/core": true,
+	"sknn/internal/core":    true,
+	"sknn/internal/gateway": true,
 }
 
 // Manifest assigns each scoped non-test file its party role.
@@ -57,6 +58,7 @@ var Manifest = map[string]string{
 	"sknn/internal/core/client.go":    RoleClient,
 	"sknn/internal/core/core.go":      RoleC1,
 	"sknn/internal/core/pool.go":      RoleC1,
+	"sknn/internal/core/replica.go":   RoleC1,
 	"sknn/internal/core/secure.go":    RoleC1,
 	"sknn/internal/core/session.go":   RoleC1,
 	"sknn/internal/core/shard.go":     RoleC1,
@@ -64,4 +66,14 @@ var Manifest = map[string]string{
 	"sknn/internal/core/split.go":     RoleC1,
 	"sknn/internal/core/stream.go":    RoleC1,
 	"sknn/internal/core/table.go":     RoleC1,
+
+	// The gateway is C1-side serving infrastructure: it relays encrypted
+	// queries and masked shares, never key material. Only the tenant
+	// client (Bob's edge) plays the client role.
+	"sknn/internal/gateway/backend.go": RoleC1,
+	"sknn/internal/gateway/client.go":  RoleClient,
+	"sknn/internal/gateway/gateway.go": RoleC1,
+	"sknn/internal/gateway/metrics.go": RoleC1,
+	"sknn/internal/gateway/tenant.go":  RoleC1,
+	"sknn/internal/gateway/wire.go":    RoleC1,
 }

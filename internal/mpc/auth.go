@@ -1,0 +1,158 @@
+package mpc
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// Connection authentication: a pre-shared-token challenge-response that
+// runs before any protocol frame. The SkNN wire protocols were designed
+// for links inside one trust domain; the serving tier (gateway, shard,
+// and C2 listeners) faces networks where anyone can dial a port, so a
+// listener configured with a token refuses to serve a peer that cannot
+// prove knowledge of it.
+//
+// The handshake is two round trips, client-first like every other
+// exchange in this stack:
+//
+//	client → OpAuth []                  (hello: request a challenge)
+//	server → OpAuth [nonce]             (32 random bytes)
+//	client → OpAuth [HMAC-SHA256(token, nonce)]
+//	server → OpAuth []                  (accepted) or OpError (refused)
+//
+// Properties and limits: the token never travels; a recorded transcript
+// cannot be replayed against a fresh nonce; the MAC is compared in
+// constant time. The scheme authenticates the connection only — frames
+// after the handshake are not integrity-protected, so it defends the
+// ports (who may consume protocol service), not the links (run them
+// over a trusted network or a TLS tunnel; see docs/DEPLOYMENT.md).
+// An empty token on both sides disables the handshake entirely, which
+// is the pre-existing same-trust-domain deployment; the two sides must
+// agree, since an unauthenticated server treats OpAuth as an unknown
+// op and an authenticated one refuses any other first frame.
+
+// OpAuth carries the connection-authentication handshake (see above).
+const OpAuth Op = 3
+
+// authNonceLen is the challenge size in bytes.
+const authNonceLen = 32
+
+// ErrAuth reports a failed connection authentication: a missing or
+// malformed handshake, or a MAC under the wrong token.
+var ErrAuth = errors.New("mpc: connection authentication failed")
+
+// authMAC computes the challenge response: HMAC-SHA256 keyed by the
+// token over the nonce.
+func authMAC(token string, nonce []byte) []byte {
+	mac := hmac.New(sha256.New, []byte(token))
+	mac.Write(nonce)
+	return mac.Sum(nil)
+}
+
+// macBytes rebuilds the fixed-width MAC from its wire integer. big.Int
+// drops leading zero bytes, so the comparison must re-pad.
+func macBytes(v *big.Int) []byte {
+	out := make([]byte, sha256.Size)
+	if v == nil || v.Sign() < 0 || v.BitLen() > 8*sha256.Size {
+		return out // cannot match a real MAC; verification fails closed
+	}
+	v.FillBytes(out)
+	return out
+}
+
+// AuthServer guards one accepted connection: it runs the responder half
+// of the token handshake and returns nil only for a peer that proved
+// knowledge of the token. Any other outcome — wrong first opcode, bad
+// MAC, transport failure — returns an error wrapping ErrAuth where the
+// peer is at fault; the caller must close the connection and serve
+// nothing. An empty token disables the handshake and accepts
+// immediately. The refusal frame names no cause beyond "refused", so a
+// prober learns nothing about which step failed.
+func AuthServer(conn Conn, token string) error {
+	if token == "" {
+		return nil
+	}
+	refuse := func(cause error) error {
+		// Best-effort notification; the connection is being dropped
+		// either way, so a failed send changes nothing.
+		if err := conn.Send(&Message{Op: OpError, Err: "connection refused: authentication required"}); err != nil && !errors.Is(err, ErrConnClosed) {
+			return fmt.Errorf("%w: %w (refusal notify failed: %v)", ErrAuth, cause, err)
+		}
+		return fmt.Errorf("%w: %w", ErrAuth, cause)
+	}
+	hello, err := conn.Recv()
+	if err != nil {
+		return fmt.Errorf("%w: reading hello: %w", ErrAuth, err)
+	}
+	if hello.Op != OpAuth {
+		return refuse(fmt.Errorf("first frame is op %d, want OpAuth", hello.Op))
+	}
+	nonce := make([]byte, authNonceLen)
+	if _, err := rand.Read(nonce); err != nil {
+		return fmt.Errorf("mpc: auth nonce: %w", err)
+	}
+	challenge := &Message{Op: OpAuth, Tag: hello.Tag, Ints: []*big.Int{new(big.Int).SetBytes(nonce)}}
+	if err := conn.Send(challenge); err != nil {
+		return fmt.Errorf("%w: sending challenge: %w", ErrAuth, err)
+	}
+	proof, err := conn.Recv()
+	if err != nil {
+		return fmt.Errorf("%w: reading proof: %w", ErrAuth, err)
+	}
+	if proof.Op != OpAuth || len(proof.Ints) != 1 {
+		return refuse(errors.New("malformed proof frame"))
+	}
+	if !hmac.Equal(macBytes(proof.Ints[0]), authMAC(token, nonce)) {
+		return refuse(errors.New("wrong token"))
+	}
+	if err := conn.Send(&Message{Op: OpAuth, Tag: proof.Tag}); err != nil {
+		return fmt.Errorf("%w: sending acceptance: %w", ErrAuth, err)
+	}
+	return nil
+}
+
+// AuthClient runs the initiator half of the token handshake on a fresh
+// connection. It must be the first exchange on the wire; an empty token
+// is a no-op (for talking to listeners that do not require one).
+func AuthClient(conn Conn, token string) error {
+	if token == "" {
+		return nil
+	}
+	challenge, err := RoundTrip(conn, &Message{Op: OpAuth})
+	if err != nil {
+		return fmt.Errorf("%w: requesting challenge: %w", ErrAuth, err)
+	}
+	if len(challenge.Ints) != 1 {
+		return fmt.Errorf("%w: malformed challenge frame", ErrAuth)
+	}
+	if challenge.Ints[0] == nil || challenge.Ints[0].Sign() < 0 || challenge.Ints[0].BitLen() > 8*authNonceLen {
+		return fmt.Errorf("%w: implausible challenge", ErrAuth)
+	}
+	nonce := make([]byte, authNonceLen)
+	challenge.Ints[0].FillBytes(nonce)
+	proof := &Message{Op: OpAuth, Ints: []*big.Int{new(big.Int).SetBytes(authMAC(token, nonce))}}
+	if _, err := RoundTrip(conn, proof); err != nil {
+		return fmt.Errorf("%w: %w", ErrAuth, err)
+	}
+	return nil
+}
+
+// DialAuth dials a listening peer and authenticates with the token
+// before returning the connection (an empty token dials plain). On any
+// authentication failure the connection is closed and an error
+// wrapping ErrAuth returned.
+func DialAuth(addr, token string) (Conn, error) {
+	conn, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := AuthClient(conn, token); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return conn, nil
+}

@@ -1,0 +1,221 @@
+package mpc
+
+import (
+	"errors"
+	"math/big"
+	"net"
+	"testing"
+	"time"
+)
+
+// authPair runs the two handshake halves concurrently over a ChanPipe
+// and returns both outcomes.
+func authPair(t *testing.T, clientToken, serverToken string) (clientErr, serverErr error) {
+	t.Helper()
+	a, b := ChanPipe()
+	defer a.Close()
+	defer b.Close()
+	done := make(chan error, 1)
+	go func() { done <- AuthServer(b, serverToken) }()
+	clientErr = AuthClient(a, clientToken)
+	serverErr = <-done
+	return clientErr, serverErr
+}
+
+func TestAuthHandshake(t *testing.T) {
+	cErr, sErr := authPair(t, "hunter2", "hunter2")
+	if cErr != nil || sErr != nil {
+		t.Fatalf("matching tokens: client=%v server=%v", cErr, sErr)
+	}
+}
+
+func TestAuthWrongTokenRefused(t *testing.T) {
+	cErr, sErr := authPair(t, "wrong", "hunter2")
+	if !errors.Is(sErr, ErrAuth) {
+		t.Errorf("server error = %v, want ErrAuth", sErr)
+	}
+	if !errors.Is(cErr, ErrAuth) {
+		t.Errorf("client error = %v, want ErrAuth", cErr)
+	}
+	var remote *RemoteError
+	if !errors.As(cErr, &remote) {
+		t.Errorf("client error %v does not carry the server's refusal", cErr)
+	}
+}
+
+func TestAuthEmptyTokenDisabled(t *testing.T) {
+	a, b := ChanPipe()
+	defer a.Close()
+	defer b.Close()
+	if err := AuthServer(b, ""); err != nil {
+		t.Errorf("empty-token server = %v, want nil without touching the conn", err)
+	}
+	if err := AuthClient(a, ""); err != nil {
+		t.Errorf("empty-token client = %v, want nil", err)
+	}
+	// The disabled handshake must not have consumed or emitted frames.
+	go a.Send(msg(OpPing, 7))
+	got, err := b.Recv()
+	if err != nil || got.Op != OpPing {
+		t.Errorf("first frame after disabled handshake = %v, %v; want the ping", got, err)
+	}
+}
+
+func TestAuthNonAuthHelloRefused(t *testing.T) {
+	a, b := ChanPipe()
+	defer a.Close()
+	defer b.Close()
+	done := make(chan error, 1)
+	go func() { done <- AuthServer(b, "hunter2") }()
+	// A peer that skips the handshake and speaks protocol immediately.
+	if err := a.Send(msg(OpPing)); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; !errors.Is(err, ErrAuth) {
+		t.Errorf("server error = %v, want ErrAuth", err)
+	}
+	refusal, err := a.Recv()
+	if err != nil || refusal.Op != OpError {
+		t.Errorf("peer sees %v, %v; want an OpError refusal", refusal, err)
+	}
+}
+
+func TestAuthMalformedProofRefused(t *testing.T) {
+	a, b := ChanPipe()
+	defer a.Close()
+	defer b.Close()
+	done := make(chan error, 1)
+	go func() { done <- AuthServer(b, "hunter2") }()
+	if _, err := RoundTrip(a, &Message{Op: OpAuth}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(&Message{Op: OpAuth, Ints: []*big.Int{big.NewInt(1), big.NewInt(2)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; !errors.Is(err, ErrAuth) {
+		t.Errorf("server error = %v, want ErrAuth", err)
+	}
+}
+
+func TestAuthMACPadding(t *testing.T) {
+	// A MAC with leading zero bytes shrinks on the wire (big.Int drops
+	// them); macBytes must re-pad so verification still matches.
+	short := new(big.Int).SetBytes([]byte{0x05})
+	got := macBytes(short)
+	if len(got) != 32 || got[31] != 0x05 || got[0] != 0 {
+		t.Errorf("macBytes = %x, want 31 zero bytes then 05", got)
+	}
+	for _, bad := range []*big.Int{nil, big.NewInt(-1), new(big.Int).Lsh(big.NewInt(1), 257)} {
+		out := macBytes(bad)
+		if len(out) != 32 {
+			t.Errorf("macBytes(%v) length = %d, want 32", bad, len(out))
+		}
+		for _, b := range out {
+			if b != 0 {
+				t.Errorf("macBytes(%v) = %x, want all-zero fail-closed value", bad, out)
+				break
+			}
+		}
+	}
+}
+
+func TestDialAuth(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	const token = "secret"
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(nc net.Conn) {
+				conn := WrapNet(nc)
+				if err := AuthServer(conn, token); err != nil {
+					conn.Close()
+					return
+				}
+				Serve(conn, NewMux())
+				conn.Close()
+			}(nc)
+		}
+	}()
+
+	conn, err := DialAuth(ln.Addr().String(), token)
+	if err != nil {
+		t.Fatalf("DialAuth with right token: %v", err)
+	}
+	if _, err := RoundTrip(conn, msg(OpPing, 42)); err != nil {
+		t.Errorf("authenticated round trip: %v", err)
+	}
+	SendClose(conn)
+	conn.Close()
+
+	if _, err := DialAuth(ln.Addr().String(), "not-the-token"); !errors.Is(err, ErrAuth) {
+		t.Errorf("DialAuth with wrong token = %v, want ErrAuth", err)
+	}
+
+	// A tokenless client dialing a tokened listener is refused before any
+	// protocol frame is served.
+	plain, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	if _, err := RoundTrip(plain, msg(OpPing, 1)); err == nil {
+		t.Error("unauthenticated round trip succeeded, want refusal")
+	}
+}
+
+func TestRateLimit(t *testing.T) {
+	a, b := ChanPipe()
+	defer a.Close()
+	defer b.Close()
+
+	var slept time.Duration
+	clock := time.Unix(0, 0)
+	lim := RateLimit(b, 10, 2).(*limitedConn)
+	lim.now = func() time.Time { return clock }
+	lim.sleep = func(d time.Duration) { slept += d; clock = clock.Add(d) }
+
+	for i := 0; i < 4; i++ {
+		if err := a.Send(msg(OpPing, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Burst of 2 admits two frames free; the next two owe 100ms each.
+	for i := 0; i < 4; i++ {
+		if _, err := lim.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if want := 200 * time.Millisecond; slept != want {
+		t.Errorf("slept %v over 4 recvs at 10/s burst 2, want %v", slept, want)
+	}
+
+	// A long idle period refills only to the burst cap.
+	clock = clock.Add(time.Hour)
+	slept = 0
+	for i := 0; i < 3; i++ {
+		if err := a.Send(msg(OpPing, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := lim.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if want := 100 * time.Millisecond; slept != want {
+		t.Errorf("slept %v after idle refill, want %v (burst capped at 2)", slept, want)
+	}
+}
+
+func TestRateLimitDisabled(t *testing.T) {
+	a, _ := ChanPipe()
+	defer a.Close()
+	if got := RateLimit(a, 0, 5); got != a {
+		t.Errorf("RateLimit(perSec=0) = %T, want the conn unchanged", got)
+	}
+}

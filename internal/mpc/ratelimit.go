@@ -1,0 +1,81 @@
+package mpc
+
+import (
+	"sync"
+	"time"
+)
+
+// Per-connection rate limiting for listeners. The frame codec already
+// bounds the *size* of any single frame (maxFrameBytes, netconn.go);
+// this bounds the *rate* at which one peer can make the server do work.
+// The wrapper meters Recv — the point where a request enters the
+// process — with a token bucket: a peer sending faster than the
+// configured rate is simply read more slowly, which on a TCP transport
+// backpressures the sender without dropping frames or failing the
+// connection. Protocol rounds are strictly request/response, so slowing
+// Recv caps the request rate exactly.
+
+// RateLimit wraps conn so Recv admits at most perSec frames per second
+// after an initial burst. perSec <= 0 disables limiting and returns
+// conn unchanged. A burst below 1 is raised to 1 (a bucket that can
+// never hold a whole token would deadlock the first Recv).
+func RateLimit(conn Conn, perSec float64, burst int) Conn {
+	if perSec <= 0 {
+		return conn
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &limitedConn{
+		Conn:   conn,
+		perSec: perSec,
+		burst:  float64(burst),
+		tokens: float64(burst),
+		now:    time.Now,
+		sleep:  time.Sleep,
+	}
+}
+
+// limitedConn is a Conn whose Recv is metered by a token bucket.
+// Send, Close, and Stats pass through untouched.
+type limitedConn struct {
+	Conn
+	perSec float64
+	burst  float64
+
+	now   func() time.Time // test seam
+	sleep func(time.Duration)
+
+	mu     sync.Mutex
+	tokens float64   // guarded by mu
+	last   time.Time // guarded by mu
+}
+
+// take removes one token, returning how long the caller must wait
+// before the frame is admitted (zero when a token was banked).
+func (c *limitedConn) take() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.now()
+	if !c.last.IsZero() {
+		c.tokens += t.Sub(c.last).Seconds() * c.perSec
+		if c.tokens > c.burst {
+			c.tokens = c.burst
+		}
+	}
+	c.last = t
+	c.tokens--
+	if c.tokens >= 0 {
+		return 0
+	}
+	// The deficit is repaid by waiting; queued callers each extend the
+	// wait by a further 1/perSec because tokens went further negative.
+	return time.Duration(-c.tokens / c.perSec * float64(time.Second))
+}
+
+func (c *limitedConn) Recv() (*Message, error) {
+	if d := c.take(); d > 0 {
+		c.sleep(d)
+	}
+	return c.Conn.Recv()
+}

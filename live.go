@@ -162,8 +162,10 @@ func (s *System) Compact() error {
 	if s.c1 != nil {
 		return s.compactShardLocked(s.c1)
 	}
-	for _, sh := range s.shards {
-		if err := s.compactShardLocked(sh); err != nil && first == nil {
+	// One pass per partition: replicas share the table, so compacting
+	// through any live replica compacts the whole group.
+	for i := range s.shardGroups {
+		if err := s.compactShardLocked(s.liveReplica(i)); err != nil && first == nil {
 			first = err
 		}
 	}
@@ -297,9 +299,9 @@ func (s *System) snapshot() (*core.TableSnapshot, error) {
 		return s.c1.Table().Snapshot(), nil
 	}
 	s.writeMu.Lock()
-	parts := make([]*core.TableSnapshot, len(s.shards))
-	for i, sh := range s.shards {
-		parts[i] = sh.Table().Snapshot()
+	parts := make([]*core.TableSnapshot, len(s.shardGroups))
+	for i, group := range s.shardGroups {
+		parts[i] = group[0].Table().Snapshot()
 	}
 	s.writeMu.Unlock()
 	snap, err := core.MergeTableSnapshots(parts)

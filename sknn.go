@@ -132,6 +132,17 @@ type Config struct {
 	// Records are partitioned by stable id mod Shards; mutations route
 	// to the owning shard. 0 or 1 = unsharded. Requires Shards ≤ n.
 	Shards int
+	// Replicas runs every shard partition on R interchangeable workers
+	// sharing one ciphertext table, each with its own link pool to C2.
+	// The coordinator scatters each scan to the least-loaded live
+	// replica and, when a replica dies mid-scan, requeues the scan on a
+	// sibling — a dead replica costs one retried shard scan, never a
+	// failed query (SecureMetrics.Failovers counts the requeues).
+	// Replication is free at the data layer: replicas serve the same
+	// Paillier ciphertexts, so R changes capacity and availability, not
+	// the security argument. 0 or 1 = unreplicated. Replicas > 1 routes
+	// through the scatter-gather coordinator even when Shards ≤ 1.
+	Replicas int
 	// Random overrides the randomness source (default crypto/rand).
 	// Queries run concurrently, so the reader is shared across
 	// goroutines; New wraps it in a mutex so any io.Reader is safe,
@@ -239,10 +250,16 @@ func (l *lockedReader) Read(p []byte) (int, error) {
 // scans in parallel, then a secure merge at the coordinator. Results
 // are exactly the unsharded results in both index modes.
 type System struct {
-	sk          *paillier.PrivateKey
-	c1          *core.CloudC1   // unsharded engine (nil when sharded)
-	coord       *core.ShardedC1 // sharded coordinator (nil when unsharded)
-	shards      []*core.CloudC1 // shard workers behind coord
+	sk     *paillier.PrivateKey
+	c1     *core.CloudC1   // unsharded engine (nil when sharded)
+	coord  *core.ShardedC1 // sharded coordinator (nil when unsharded)
+	shards []*core.CloudC1 // every shard worker behind coord, all replicas flat
+	// shardGroups is the S×R replica topology behind coord: shardGroups[i]
+	// holds shard i's replicas, which share one ciphertext table (a
+	// replica is another worker over the same snapshot, so mutations and
+	// compaction touch each shard's table exactly once, via any replica).
+	shardGroups [][]*core.CloudC1
+	replicas    int // replication factor R (1 = unreplicated)
 	client      *core.Client
 	random      io.Reader // shared, lock-wrapped randomness source
 	domainBits  int
@@ -262,6 +279,7 @@ type System struct {
 
 	mu        sync.Mutex
 	closed    bool
+	deadRep   [][]bool       // guarded by mu; replicas taken down by CloseReplica
 	closeDone chan struct{}  // closed when teardown has fully finished
 	closeErr  error          // valid once closeDone is closed
 	inflight  sync.WaitGroup // in-flight Query/QueryBatch/mutation calls
@@ -348,6 +366,12 @@ func normalizeConfig(cfg *Config) error {
 	}
 	if cfg.Shards == 0 {
 		cfg.Shards = 1
+	}
+	if cfg.Replicas < 0 {
+		return fmt.Errorf("sknn: negative replica count %d", cfg.Replicas)
+	}
+	if cfg.Replicas == 0 {
+		cfg.Replicas = 1
 	}
 	if cfg.Index != IndexNone && cfg.Index != IndexClustered {
 		return fmt.Errorf("sknn: unknown index mode %d", int(cfg.Index))
@@ -449,7 +473,8 @@ func assemble(sk *paillier.PrivateKey, encTable *core.EncryptedTable, attrBits, 
 		return nil, err
 	}
 
-	if cfg.Shards <= 1 {
+	sys.replicas = cfg.Replicas
+	if cfg.Shards <= 1 && cfg.Replicas <= 1 {
 		var err error
 		sys.c1, err = core.NewCloudC1(encTable, newConns(cfg.Workers), random)
 		if err != nil {
@@ -465,17 +490,36 @@ func assemble(sk *paillier.PrivateKey, encTable *core.EncryptedTable, attrBits, 
 	}
 	workers := make([]core.Shard, cfg.Shards)
 	for i, part := range parts {
+		// One restored table per shard, shared by all its replicas: a
+		// replica is an independent worker (own link pool to C2) over the
+		// same ciphertext snapshot.
 		shardTable, err := core.RestoreTable(&sk.PublicKey, part)
 		if err != nil {
 			return fail(fmt.Errorf("sknn: shard %d table: %w", i, err))
 		}
-		c1, err := core.NewCloudC1(shardTable, newConns(cfg.Workers), random)
-		if err != nil {
-			return fail(fmt.Errorf("sknn: wiring shard %d: %w", i, err))
+		group := make([]*core.CloudC1, cfg.Replicas)
+		members := make([]core.Shard, cfg.Replicas)
+		for r := 0; r < cfg.Replicas; r++ {
+			c1, err := core.NewCloudC1(shardTable, newConns(cfg.Workers), random)
+			if err != nil {
+				return fail(fmt.Errorf("sknn: wiring shard %d replica %d: %w", i, r, err))
+			}
+			c1.SetTuning(tuning)
+			sys.shards = append(sys.shards, c1)
+			group[r] = c1
+			members[r] = &core.LocalShard{C1: c1, Index: i, Count: cfg.Shards}
 		}
-		c1.SetTuning(tuning)
-		sys.shards = append(sys.shards, c1)
-		workers[i] = &core.LocalShard{C1: c1, Index: i, Count: cfg.Shards}
+		sys.shardGroups = append(sys.shardGroups, group)
+		sys.deadRep = append(sys.deadRep, make([]bool, cfg.Replicas))
+		if cfg.Replicas == 1 {
+			workers[i] = members[0]
+		} else {
+			rs, err := core.NewReplicaSet(members)
+			if err != nil {
+				return fail(fmt.Errorf("sknn: shard %d replica set: %w", i, err))
+			}
+			workers[i] = rs
+		}
 	}
 	sys.coord, err = core.NewShardedC1(workers, newConns(cfg.Workers), &sk.PublicKey, random)
 	if err != nil {
@@ -486,24 +530,42 @@ func assemble(sk *paillier.PrivateKey, encTable *core.EncryptedTable, attrBits, 
 	return sys, nil
 }
 
-// tables lists the live table(s): one unsharded, or one per shard.
+// tables lists the live table(s): one unsharded, or one per shard
+// partition (replicas of a shard share their table, so each partition
+// contributes exactly one).
 func (s *System) tables() []*core.EncryptedTable {
 	if s.c1 != nil {
 		return []*core.EncryptedTable{s.c1.Table()}
 	}
-	out := make([]*core.EncryptedTable, len(s.shards))
-	for i, sh := range s.shards {
-		out[i] = sh.Table()
+	out := make([]*core.EncryptedTable, len(s.shardGroups))
+	for i, group := range s.shardGroups {
+		out[i] = group[0].Table()
 	}
 	return out
 }
 
-// shardFor routes a stable record id to its owning worker (id mod S).
+// shardFor routes a stable record id to a live worker of its owning
+// partition (id mod S). Replicas share the partition's table, so any
+// live one serves mutations and routing sessions equally.
 func (s *System) shardFor(id uint64) *core.CloudC1 {
 	if s.c1 != nil {
 		return s.c1
 	}
-	return s.shards[id%uint64(len(s.shards))]
+	return s.liveReplica(int(id % uint64(len(s.shardGroups))))
+}
+
+// liveReplica picks a worker of one partition that CloseReplica has not
+// taken down, falling back to replica 0 when all are dead (its table is
+// still valid data even if its links are gone).
+func (s *System) liveReplica(shard int) *core.CloudC1 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for r, dead := range s.deadRep[shard] {
+		if !dead {
+			return s.shardGroups[shard][r]
+		}
+	}
+	return s.shardGroups[shard][0]
 }
 
 // N returns the number of live outsourced records: the initial table
@@ -541,7 +603,51 @@ func (s *System) Shards() int {
 	if s.c1 != nil {
 		return 1
 	}
-	return len(s.shards)
+	return len(s.shardGroups)
+}
+
+// Replicas reports the replication factor per shard partition (1 when
+// unreplicated).
+func (s *System) Replicas() int {
+	if s.replicas < 1 {
+		return 1
+	}
+	return s.replicas
+}
+
+// ReplicaStats reports each replicated partition's health: per-replica
+// inflight/dead state plus the retry and failover counters. Empty when
+// the system is not replicated.
+func (s *System) ReplicaStats() []core.ReplicaStats {
+	if s.coord == nil {
+		return nil
+	}
+	return s.coord.ReplicaStats()
+}
+
+// CloseReplica takes one replica of one shard partition out of service:
+// its link pool drains and closes, so scans in flight on it finish and
+// later picks fail fast — the coordinator marks it dead on the first
+// failed pick and requeues that one scan onto a sibling. Queries keep
+// succeeding as long as each partition retains a live replica. Closing
+// the same replica twice is a no-op; closing on an unreplicated system
+// is an error.
+func (s *System) CloseReplica(shard, replica int) error {
+	if s.coord == nil || s.Replicas() < 2 {
+		return fmt.Errorf("sknn: CloseReplica on an unreplicated system")
+	}
+	if shard < 0 || shard >= len(s.shardGroups) || replica < 0 || replica >= s.Replicas() {
+		return fmt.Errorf("sknn: no replica %d/%d in a %d×%d system",
+			shard, replica, len(s.shardGroups), s.Replicas())
+	}
+	s.mu.Lock()
+	if s.closed || s.deadRep[shard][replica] {
+		s.mu.Unlock()
+		return nil
+	}
+	s.deadRep[shard][replica] = true
+	s.mu.Unlock()
+	return s.shardGroups[shard][replica].Close()
 }
 
 // Index reports the configured SkNNm scan strategy.
